@@ -1,0 +1,53 @@
+//! Criterion bench: BFS (Q32) and shortest path (Q34) — Figures 6 / 7a.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_core::params::Workload;
+use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_model::api::LoadOptions;
+use gm_model::QueryCtx;
+use gm_traversal::algo;
+use graphmark::registry::EngineKind;
+
+fn bench_paths(c: &mut Criterion) {
+    let data = datasets::generate(DatasetId::Mico, Scale::tiny(), 42);
+    let workload = Workload::choose(&data, 7, 4);
+
+    for depth in [2usize, 3] {
+        let mut group = c.benchmark_group(format!("bfs/Q32-depth-{depth}"));
+        group.sample_size(10);
+        for kind in EngineKind::ALL {
+            let mut db = kind.make();
+            db.bulk_load(&data, &LoadOptions::default()).expect("load");
+            let v = db.resolve_vertex(workload.vertex).expect("resolve");
+            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &db, |b, db| {
+                let ctx = QueryCtx::unbounded();
+                b.iter(|| algo::bfs(db.as_ref(), v, depth, None, &ctx).expect("bfs"));
+            });
+        }
+        group.finish();
+    }
+
+    let mut group = c.benchmark_group("bfs/Q34-shortest-path");
+    group.sample_size(10);
+    for kind in EngineKind::ALL {
+        let mut db = kind.make();
+        db.bulk_load(&data, &LoadOptions::default()).expect("load");
+        let v1 = db.resolve_vertex(workload.vertex).expect("resolve");
+        let v2 = db.resolve_vertex(workload.vertex2).expect("resolve");
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &db, |b, db| {
+            let ctx = QueryCtx::unbounded();
+            b.iter(|| algo::shortest_path(db.as_ref(), v1, v2, None, &ctx).expect("sp"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_paths
+}
+criterion_main!(benches);

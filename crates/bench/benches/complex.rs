@@ -1,0 +1,41 @@
+//! Criterion bench: three representative complex queries (Figure 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_core::complex::{self, ComplexParams, ComplexQuery};
+use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_model::api::LoadOptions;
+use gm_model::QueryCtx;
+use graphmark::registry::EngineKind;
+
+fn bench_complex(c: &mut Criterion) {
+    let data = datasets::generate(DatasetId::Ldbc, Scale::tiny(), 42);
+    let params = ComplexParams::choose(&data, 7);
+    for q in [
+        ComplexQuery::PersonsInCity,
+        ComplexQuery::FriendOfFriendRecommendation,
+        ComplexQuery::PlacesHierarchy,
+    ] {
+        let mut group = c.benchmark_group(format!("complex/{}", q.name()));
+        group.sample_size(10);
+        for kind in EngineKind::ALL {
+            let mut db = kind.make();
+            db.bulk_load(&data, &LoadOptions::default()).expect("load");
+            let p = params.resolve(db.as_ref()).expect("params");
+            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+                let ctx = QueryCtx::unbounded();
+                b.iter(|| complex::execute(q, db.as_mut(), &p, &ctx).expect("query"));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_complex
+}
+criterion_main!(benches);

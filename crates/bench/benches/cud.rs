@@ -1,0 +1,65 @@
+//! Criterion bench: create/update/delete primitives (Figure 3b/c).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_model::api::LoadOptions;
+use gm_model::Value;
+use graphmark::registry::EngineKind;
+
+fn bench_cud(c: &mut Criterion) {
+    let data = datasets::generate(DatasetId::Yeast, Scale::tiny(), 42);
+
+    let mut group = c.benchmark_group("cud/Q2-add-vertex");
+    group.sample_size(20);
+    for kind in EngineKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            // Batched setup: one loaded engine, many inserts.
+            let mut db = kind.make();
+            db.bulk_load(&data, &LoadOptions::default()).expect("load");
+            let props = vec![("name".to_string(), Value::Str("bench".into()))];
+            b.iter(|| db.add_vertex("bench", &props).expect("add"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cud/Q3-add-edge");
+    group.sample_size(20);
+    for kind in EngineKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            let mut db = kind.make();
+            db.bulk_load(&data, &LoadOptions::default()).expect("load");
+            let a = db.resolve_vertex(0).expect("v0");
+            let z = db.resolve_vertex(1).expect("v1");
+            b.iter(|| db.add_edge(a, z, "bench", &vec![]).expect("edge"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cud/Q19-remove-edge");
+    group.sample_size(10);
+    for kind in EngineKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            b.iter_batched(
+                || {
+                    let mut db = kind.make();
+                    db.bulk_load(&data, &LoadOptions::default()).expect("load");
+                    let e = db.resolve_edge(0).expect("e0");
+                    (db, e)
+                },
+                |(mut db, e)| db.remove_edge(e).expect("remove"),
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_cud
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion bench: Q11 with and without an attribute index (Figure 4c).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_core::params::Workload;
+use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_model::api::LoadOptions;
+use gm_model::QueryCtx;
+use graphmark::registry::EngineKind;
+
+/// §6.4, *Effect of Indexing*: "Insertions, updates, and deletions, as
+/// expected, become slower since the index structures have to be
+/// maintained" — ~10 % in general, ~30 % for linked(v2)-class and ~100 %
+/// for cluster-class systems. This group measures the insert path with and
+/// without a maintained attribute index.
+fn bench_cud_with_index(c: &mut Criterion) {
+    use gm_model::Value;
+    let data = datasets::generate(DatasetId::Yeast, Scale::tiny(), 42);
+    for indexed in [false, true] {
+        let mut group = c.benchmark_group(if indexed {
+            "index/Q2-insert-indexed"
+        } else {
+            "index/Q2-insert-plain"
+        });
+        group.sample_size(20);
+        for kind in EngineKind::ALL {
+            let mut db = kind.make();
+            db.bulk_load(&data, &LoadOptions::default()).expect("load");
+            if indexed && db.create_vertex_index("short_name").is_err() {
+                continue;
+            }
+            let props = vec![("short_name".to_string(), Value::Str("bench".into()))];
+            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+                b.iter(|| db.add_vertex("bench", &props).expect("add"));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_index(c: &mut Criterion) {
+    let data = datasets::generate(DatasetId::Mico, Scale::tiny(), 42);
+    let workload = Workload::choose(&data, 7, 4);
+    for indexed in [false, true] {
+        let mut group = c.benchmark_group(if indexed {
+            "index/Q11-indexed"
+        } else {
+            "index/Q11-scan"
+        });
+        for kind in EngineKind::ALL {
+            let mut db = kind.make();
+            db.bulk_load(&data, &LoadOptions::default()).expect("load");
+            if indexed && db.create_vertex_index(&workload.vertex_prop.0).is_err() {
+                continue; // triple engine has no attribute indexes
+            }
+            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &db, |b, db| {
+                let ctx = QueryCtx::unbounded();
+                b.iter(|| {
+                    db.vertices_with_property(
+                        &workload.vertex_prop.0,
+                        &workload.vertex_prop.1,
+                        &ctx,
+                    )
+                    .expect("search")
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_index, bench_cud_with_index
+}
+criterion_main!(benches);

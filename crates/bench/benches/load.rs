@@ -1,0 +1,53 @@
+//! Criterion bench: bulk load per engine (Figure 3a microscope).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_model::api::LoadOptions;
+use graphmark::registry::EngineKind;
+
+fn bench_load(c: &mut Criterion) {
+    let data = datasets::generate(DatasetId::Yeast, Scale::tiny(), 42);
+    let mut group = c.benchmark_group("load/yeast-tiny");
+    group.sample_size(10);
+    for kind in EngineKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            b.iter(|| {
+                let mut db = kind.make();
+                db.bulk_load(&data, &LoadOptions::default()).expect("load");
+                std::hint::black_box(db.space().total())
+            });
+        });
+    }
+    group.finish();
+
+    // The load ablation: triple engine with and without the bulk option.
+    let mut group = c.benchmark_group("load/triple-bulk-ablation");
+    group.sample_size(10);
+    for (name, bulk) in [("bulk", true), ("per-statement", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut db = EngineKind::Triple.make();
+                db.bulk_load(
+                    &data,
+                    &LoadOptions {
+                        bulk,
+                        index_during_load: false,
+                    },
+                )
+                .expect("load");
+                std::hint::black_box(db.space().total())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_load
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench: read queries Q8/Q11/Q14 per engine (Figure 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_core::params::Workload;
+use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_model::api::{GraphDb, LoadOptions};
+use gm_model::QueryCtx;
+use graphmark::registry::EngineKind;
+
+fn loaded(kind: EngineKind, data: &gm_model::Dataset) -> Box<dyn GraphDb> {
+    let mut db = kind.make();
+    db.bulk_load(data, &LoadOptions::default()).expect("load");
+    db
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let data = datasets::generate(DatasetId::Yeast, Scale::tiny(), 42);
+    let workload = Workload::choose(&data, 7, 4);
+
+    let mut group = c.benchmark_group("read/Q8-vertex-count");
+    for kind in EngineKind::ALL {
+        let db = loaded(kind, &data);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &db, |b, db| {
+            let ctx = QueryCtx::unbounded();
+            b.iter(|| db.vertex_count(&ctx).expect("count"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("read/Q11-property-search");
+    for kind in EngineKind::ALL {
+        let db = loaded(kind, &data);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &db, |b, db| {
+            let ctx = QueryCtx::unbounded();
+            b.iter(|| {
+                db.vertices_with_property(&workload.vertex_prop.0, &workload.vertex_prop.1, &ctx)
+                    .expect("search")
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("read/Q14-by-id");
+    for kind in EngineKind::ALL {
+        let db = loaded(kind, &data);
+        let v = db.resolve_vertex(workload.vertex).expect("resolve");
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &db, |b, db| {
+            b.iter(|| db.vertex(v).expect("vertex"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_reads
+}
+criterion_main!(benches);

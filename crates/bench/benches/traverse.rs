@@ -1,0 +1,66 @@
+//! Criterion bench: neighborhood and degree primitives (Figure 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_core::params::Workload;
+use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_model::api::{Direction, LoadOptions};
+use gm_model::QueryCtx;
+use graphmark::registry::EngineKind;
+
+fn bench_traversals(c: &mut Criterion) {
+    let data = datasets::generate(DatasetId::Mico, Scale::tiny(), 42);
+    let workload = Workload::choose(&data, 7, 4);
+
+    let mut group = c.benchmark_group("traverse/Q23-out-neighbors");
+    for kind in EngineKind::ALL {
+        let mut db = kind.make();
+        db.bulk_load(&data, &LoadOptions::default()).expect("load");
+        let v = db.resolve_vertex(workload.vertex).expect("resolve");
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &db, |b, db| {
+            let ctx = QueryCtx::unbounded();
+            b.iter(|| db.neighbors(v, Direction::Out, None, &ctx).expect("out"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("traverse/Q24-labeled-both");
+    for kind in EngineKind::ALL {
+        let mut db = kind.make();
+        db.bulk_load(&data, &LoadOptions::default()).expect("load");
+        let v = db.resolve_vertex(workload.vertex).expect("resolve");
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &db, |b, db| {
+            let ctx = QueryCtx::unbounded();
+            b.iter(|| {
+                db.neighbors(v, Direction::Both, Some(&workload.vertex_edge_label), &ctx)
+                    .expect("both")
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("traverse/Q30-degree-scan");
+    group.sample_size(10);
+    for kind in EngineKind::ALL {
+        let mut db = kind.make();
+        db.bulk_load(&data, &LoadOptions::default()).expect("load");
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &db, |b, db| {
+            let ctx = QueryCtx::unbounded();
+            b.iter(|| {
+                // The bitmap engine may exhaust its materialization budget —
+                // that outcome is part of what this group shows.
+                let _ = db.degree_scan(Direction::Both, workload.k, &ctx);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_traversals
+}
+criterion_main!(benches);

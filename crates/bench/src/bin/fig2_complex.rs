@@ -1,0 +1,47 @@
+//! Figure 2 — complex (LDBC-style) query performance on the ldbc dataset.
+
+use std::time::Instant;
+
+use gm_bench::{DataBank, Env};
+use gm_core::complex::{self, ComplexParams, ComplexQuery};
+use gm_datasets::DatasetId;
+use gm_model::{GdbError, QueryCtx};
+
+fn main() {
+    let env = Env::from_env();
+    let bank = DataBank::generate(&env);
+    let data = bank.get(DatasetId::Ldbc);
+    let params = ComplexParams::choose(data, env.seed);
+
+    println!("\n=== Figure 2 — complex queries on ldbc (ms) ===");
+    print!("{:<18}", "query");
+    for kind in &env.engines {
+        print!(" | {:>14}", kind.name());
+    }
+    println!();
+    println!("{}", "-".repeat(18 + env.engines.len() * 17));
+    for q in ComplexQuery::ALL {
+        print!("{:<18}", q.name());
+        for kind in &env.engines {
+            let mut db = kind.make();
+            db.bulk_load(data, &gm_model::api::LoadOptions::default())
+                .expect("load");
+            let p = params.resolve(db.as_ref()).expect("params");
+            let ctx = QueryCtx::with_timeout(env.timeout);
+            let start = Instant::now();
+            let cell = match complex::execute(q, db.as_mut(), &p, &ctx) {
+                Ok(_) => format!("{:.3}", start.elapsed().as_secs_f64() * 1e3),
+                Err(GdbError::Timeout) => "TIMEOUT".to_string(),
+                Err(e) => format!("ERR:{e:.8}"),
+            };
+            print!(" | {cell:>14}");
+        }
+        println!();
+    }
+    println!(
+        "\nExpected shape (paper): relational fastest on city/company/university\n\
+         (single-label conditional joins) and slowest on places (multi-label\n\
+         traversal with large intermediates); triple times out; native engines\n\
+         dominate friend-of-friend and triangle."
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 3 (b, c) — insertions (Q2–Q7) and updates/deletions (Q16–Q21)
+//! across the Freebase samples.
+
+use gm_bench::{instances_for, print_block, run_queries, DataBank, Env};
+use gm_core::report::RunMode;
+
+fn main() {
+    let env = Env::from_env();
+    let bank = DataBank::generate(&env);
+    let insertions = instances_for(2..=7);
+    let cud = instances_for(16..=21);
+    for (id, data) in bank.freebase() {
+        let rep = run_queries(&env, data, &insertions, &[RunMode::Isolation], false);
+        print_block("Figure 3(b) — insertions Q2–Q7", id, &rep, RunMode::Isolation);
+        let rep = run_queries(&env, data, &cud, &[RunMode::Isolation], false);
+        print_block(
+            "Figure 3(c) — updates/deletions Q16–Q21",
+            id,
+            &rep,
+            RunMode::Isolation,
+        );
+    }
+    println!(
+        "\nExpected shape (paper): bitmap/document/linked(v1) fastest CUD;\n\
+         linked(v2) pays the wrapper shim; columnar slowest on inserts\n\
+         (consistency checks + schema inference) but competitive on deletes\n\
+         (tombstones); relational fast on Q2 but slow when a new column\n\
+         forces an ALTER TABLE (Q5/Q6)."
+    );
+}

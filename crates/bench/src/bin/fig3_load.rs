@@ -1,0 +1,70 @@
+//! Figure 3 (a) — data loading time per engine and dataset, plus the
+//! bulk-load ablation (§6.2: BlazeGraph's "bulk loading" option; Titan's
+//! schema-inference cost).
+
+use gm_bench::{DataBank, Env};
+use gm_core::params::Workload;
+use gm_core::runner::{BenchConfig, Runner};
+use gm_model::api::LoadOptions;
+use graphmark::registry::EngineKind;
+
+fn main() {
+    let env = Env::from_env();
+    let bank = DataBank::generate(&env);
+
+    println!("\n=== Figure 3(a) — load time (ms) ===");
+    print!("{:<14}", "engine");
+    for (id, _) in bank.all() {
+        print!(" | {:>10}", id.name());
+    }
+    println!();
+    println!("{}", "-".repeat(14 + 7 * 13));
+    for kind in &env.engines {
+        print!("{:<14}", kind.name());
+        for (_, data) in bank.all() {
+            let workload = Workload::choose(data, env.seed, 4);
+            let factory = move || kind.make();
+            let runner = Runner::new(&factory, data, &workload, env.config());
+            let (m, _, _) = runner.measure_load();
+            print!(" | {:>10.1}", m.millis());
+        }
+        println!();
+    }
+
+    // Ablation: bulk vs per-statement load for the engines where the paper
+    // calls the difference out.
+    println!("\n=== Load ablation — bulk vs per-item path (frb-m, ms) ===");
+    let data = bank.get(gm_datasets::DatasetId::FrbM);
+    let workload = Workload::choose(data, env.seed, 4);
+    for kind in [EngineKind::Triple, EngineKind::ColumnarV05, EngineKind::ColumnarV10] {
+        let mut cells = Vec::new();
+        for bulk in [true, false] {
+            let factory = move || kind.make();
+            let runner = Runner::new(
+                &factory,
+                data,
+                &workload,
+                BenchConfig {
+                    load: LoadOptions {
+                        bulk,
+                        index_during_load: false,
+                    },
+                    ..env.config()
+                },
+            );
+            let (m, _, _) = runner.measure_load();
+            cells.push(m.millis());
+        }
+        println!(
+            "{:<14}  bulk: {:>10.1}   per-item: {:>10.1}   slowdown: {:>5.1}x",
+            kind.name(),
+            cells[0],
+            cells[1],
+            cells[1] / cells[0].max(1e-9)
+        );
+    }
+    println!(
+        "\nExpected shape (paper): document/linked fastest; cluster sensitive to\n\
+         |L| (frb-s); triple orders slower without bulk loading."
+    );
+}

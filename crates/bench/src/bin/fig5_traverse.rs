@@ -1,0 +1,43 @@
+//! Figure 5 — traversals: (a) local neighborhoods Q22–Q27, (b) whole-graph
+//! degree filters Q28–Q31.
+
+use gm_bench::{instances_for, print_block, run_queries, DataBank, Env};
+use gm_core::report::RunMode;
+
+fn main() {
+    let env = Env::from_env();
+    let bank = DataBank::generate(&env);
+    for (id, data) in bank.freebase() {
+        let rep = run_queries(
+            &env,
+            data,
+            &instances_for(22..=27),
+            &[RunMode::Isolation],
+            false,
+        );
+        print_block(
+            "Figure 5(a) — neighborhood Q22–Q27",
+            id,
+            &rep,
+            RunMode::Isolation,
+        );
+        let rep = run_queries(
+            &env,
+            data,
+            &instances_for(28..=31),
+            &[RunMode::Isolation],
+            false,
+        );
+        print_block(
+            "Figure 5(b) — degree filters Q28–Q31",
+            id,
+            &rep,
+            RunMode::Isolation,
+        );
+    }
+    println!(
+        "\nExpected shape (paper): cluster/linked/document lead Q22–Q27;\n\
+         relational slowest unless label-filtered (Q24); linked best on\n\
+         Q28–Q31 with bitmap failing on the larger Freebase samples."
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 6 — breadth-first traversal (Q32) at depths 2, 3, 4, 5.
+
+use gm_bench::{print_block, run_queries, DataBank, Env};
+use gm_core::catalog::QueryId;
+use gm_core::report::RunMode;
+use gm_core::QueryInstance;
+
+fn main() {
+    let env = Env::from_env();
+    let bank = DataBank::generate(&env);
+    let instances: Vec<QueryInstance> = (2..=5u8)
+        .map(|d| QueryInstance {
+            id: QueryId::Q32,
+            depth: Some(d),
+            k: None,
+        })
+        .collect();
+    for (id, data) in bank.freebase() {
+        let rep = run_queries(&env, data, &instances, &[RunMode::Isolation], false);
+        print_block("Figure 6 — BFS Q32 at depths 2–5", id, &rep, RunMode::Isolation);
+    }
+    println!(
+        "\nExpected shape (paper): linked scales best across depths; cluster\n\
+         and columnar(v10) second at depth 2 with cluster edging ahead at\n\
+         depth ≥ 3; relational and bitmap slowest."
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 7 (c, d) — cumulative suite time per engine, single and batch
+//! executions, across the Freebase samples. Also reports the batch/single
+//! ratio analysis of §6.4 (CUD amortizes setup; reads scale linearly).
+
+use gm_bench::{DataBank, Env};
+use gm_core::params::Workload;
+use gm_core::report::{Report, RunMode};
+use gm_core::runner::Runner;
+
+fn main() {
+    let env = Env::from_env();
+    let bank = DataBank::generate(&env);
+    let mut report = Report::default();
+    for (id, data) in bank.freebase() {
+        let workload = Workload::choose(data, env.seed, (env.batch as usize).max(16));
+        for kind in &env.engines {
+            eprintln!("[fig7] {} on {} …", kind.name(), id.name());
+            let factory = move || kind.make();
+            let mut runner = Runner::new(&factory, data, &workload, env.config());
+            report.extend(runner.run_suite(&[RunMode::Isolation, RunMode::Batch]));
+        }
+    }
+    println!("\n=== Figure 7(c) — total completed time, single executions (s) ===");
+    for (engine, secs) in report.total_seconds_by_engine(RunMode::Isolation) {
+        println!("{engine:<14} {secs:>10.3}");
+    }
+    println!("\n=== Figure 7(d) — total completed time, batch executions (s) ===");
+    for (engine, secs) in report.total_seconds_by_engine(RunMode::Batch) {
+        println!("{engine:<14} {secs:>10.3}");
+    }
+
+    // §6.4 single-vs-batch ratio: batch/(single × batch_len) per category.
+    println!(
+        "\n=== Single vs batch ratio (batch / (single × {})) ===",
+        env.batch
+    );
+    println!("values < 1 mean per-query setup dominates the single run");
+    let mut by_engine: std::collections::BTreeMap<String, (f64, f64)> =
+        std::collections::BTreeMap::new();
+    for r in &report.rows {
+        if r.mode != RunMode::Isolation || r.outcome.is_dnf() {
+            continue;
+        }
+        if let Some(batch_ms) = report.millis_of(&r.engine, &r.query, RunMode::Batch) {
+            let entry = by_engine.entry(r.engine.clone()).or_insert((0.0, 0.0));
+            entry.0 += batch_ms;
+            entry.1 += r.millis() * env.batch as f64;
+        }
+    }
+    for (engine, (batch, scaled_single)) in by_engine {
+        if scaled_single > 0.0 {
+            println!("{engine:<14} {:>8.3}", batch / scaled_single);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 7 — (a) unlabeled shortest path Q34 on the Freebase samples;
+//! (b) label-constrained BFS Q33 (depths 2–5) and shortest path Q35 on ldbc
+//! (on Freebase the label filter empties after one hop — §6.4).
+
+use gm_bench::{print_block, run_queries, DataBank, Env};
+use gm_core::catalog::QueryId;
+use gm_core::report::RunMode;
+use gm_core::QueryInstance;
+use gm_datasets::DatasetId;
+
+fn main() {
+    let env = Env::from_env();
+    let bank = DataBank::generate(&env);
+
+    let q34 = vec![QueryInstance::plain(QueryId::Q34)];
+    for (id, data) in bank.freebase() {
+        let rep = run_queries(&env, data, &q34, &[RunMode::Isolation], false);
+        print_block("Figure 7(a) — shortest path Q34", id, &rep, RunMode::Isolation);
+    }
+
+    let mut labeled: Vec<QueryInstance> = (2..=5u8)
+        .map(|d| QueryInstance {
+            id: QueryId::Q33,
+            depth: Some(d),
+            k: None,
+        })
+        .collect();
+    labeled.push(QueryInstance::plain(QueryId::Q35));
+    let data = bank.get(DatasetId::Ldbc);
+    let rep = run_queries(&env, data, &labeled, &[RunMode::Isolation], false);
+    print_block(
+        "Figure 7(b) — labeled BFS Q33 (d2–5) + SP Q35",
+        DatasetId::Ldbc,
+        &rep,
+        RunMode::Isolation,
+    );
+    println!(
+        "\nExpected shape (paper): linked fastest; bitmap second on labeled\n\
+         BFS (bitmap AND); columnar(v10) second on labeled shortest path;\n\
+         relational slowest (joins over every edge table)."
+    );
+}

@@ -1,0 +1,46 @@
+//! Run every experiment in sequence (the `EXPERIMENTS.md` regenerator).
+//!
+//! ```sh
+//! GM_SCALE=small cargo run --release -p gm-bench --bin reproduce_all
+//! ```
+//!
+//! Each experiment is also available as an individual binary; this driver
+//! simply chains them in paper order by spawning the sibling binaries so
+//! that their output is identical either way.
+
+use std::process::Command;
+
+const SEQUENCE: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "fig1_space",
+    "fig3_load",
+    "fig2_complex",
+    "fig3_cud",
+    "fig4_read",
+    "fig5_traverse",
+    "fig6_bfs",
+    "fig7_paths",
+    "fig1_timeouts",
+    "fig7_overall",
+    "table4",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("current exe");
+    let bin_dir = self_path.parent().expect("bin dir");
+    for name in SEQUENCE {
+        println!("\n########################################################");
+        println!("###  {name}");
+        println!("########################################################");
+        let status = Command::new(bin_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        if !status.success() {
+            eprintln!("experiment {name} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments completed.");
+}

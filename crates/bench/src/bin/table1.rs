@@ -1,0 +1,25 @@
+//! Table 1 — features and characteristics of the tested systems.
+
+use graphmark::registry::EngineKind;
+
+fn main() {
+    println!(
+        "{:<14} | {:<20} | {:<22} | {:<50} | {:<14} | {:<9} | {:<5} | {:<5}",
+        "engine", "emulates", "type", "storage", "edge traversal", "optimized", "async", "index"
+    );
+    println!("{}", "-".repeat(160));
+    for kind in EngineKind::ALL {
+        let f = kind.make().features();
+        println!(
+            "{:<14} | {:<20} | {:<22} | {:<50} | {:<14} | {:<9} | {:<5} | {:<5}",
+            f.name,
+            kind.emulates(),
+            f.system_type,
+            f.storage,
+            f.edge_traversal,
+            if f.optimized_adapter { "yes" } else { "no" },
+            if f.async_writes { "yes" } else { "no" },
+            if f.attribute_indexes { "yes" } else { "no" },
+        );
+    }
+}

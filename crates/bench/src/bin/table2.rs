@@ -1,0 +1,28 @@
+//! Table 2 — the test queries by category, with their Gremlin 2.6 text.
+
+use gm_core::catalog::QueryId;
+
+fn main() {
+    println!(
+        "{:<5} | {:<72} | {:<42} | {}",
+        "#", "Query (Gremlin 2.6)", "Description", "Cat"
+    );
+    println!("{}", "-".repeat(130));
+    let mut last_cat = None;
+    for q in QueryId::ALL {
+        let cat = q.category();
+        let tag = if last_cat == Some(cat) {
+            ' '
+        } else {
+            last_cat = Some(cat);
+            cat.tag()
+        };
+        println!(
+            "Q{:<4} | {:<72} | {:<42} | {}",
+            q.number(),
+            q.gremlin(),
+            q.description(),
+            tag
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Table 4 — the evaluation summary matrix, derived from a full run over
+//! the Freebase samples.
+
+use gm_bench::{DataBank, Env};
+use gm_core::params::Workload;
+use gm_core::report::{Report, RunMode};
+use gm_core::runner::Runner;
+use gm_core::summary;
+
+fn main() {
+    let env = Env::from_env();
+    let bank = DataBank::generate(&env);
+    let mut report = Report::default();
+    for (id, data) in bank.freebase() {
+        let workload = Workload::choose(data, env.seed, (env.batch as usize).max(16));
+        for kind in &env.engines {
+            eprintln!("[table4] {} on {} …", kind.name(), id.name());
+            let factory = move || kind.make();
+            let mut runner = Runner::new(&factory, data, &workload, env.config());
+            report.extend(runner.run_suite(&[RunMode::Isolation]));
+        }
+    }
+    println!("\nTable 4 — evaluation summary (✓ near-best · ⚠ slow/problems · blank mid):\n");
+    println!("{}", summary::derive(&report).render());
+}

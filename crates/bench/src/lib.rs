@@ -1,0 +1,231 @@
+//! # gm-bench — the figure/table reproduction harness
+//!
+//! One binary per paper artifact (see DESIGN.md §4): `table1`, `table3`,
+//! `fig1_space`, `fig1_timeouts`, `fig2_complex`, `fig3_load`, `fig3_cud`,
+//! `fig4_read`, `fig5_traverse`, `fig6_bfs`, `fig7_paths`, `fig7_overall`,
+//! `table4`, and `reproduce_all`. Criterion micro-benches live in
+//! `benches/`.
+//!
+//! All binaries honour these environment variables:
+//!
+//! | var | default | meaning |
+//! |---|---|---|
+//! | `GM_SCALE` | `small` | dataset scale preset (`tiny`/`small`/`medium`/`a/b`) |
+//! | `GM_SEED` | `42` | generator + workload seed |
+//! | `GM_TIMEOUT_SECS` | `5` | per-query deadline (the paper's 2 h analog) |
+//! | `GM_BATCH` | `10` | batch length (the paper uses 10) |
+//! | `GM_ENGINES` | all | comma-separated engine-name filter |
+
+use std::time::Duration;
+
+use gm_core::params::Workload;
+use gm_core::report::{Report, RunMode};
+use gm_core::runner::{BenchConfig, Runner};
+use gm_core::QueryInstance;
+use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_model::api::LoadOptions;
+use gm_model::Dataset;
+use graphmark::registry::EngineKind;
+
+/// Parsed harness environment.
+#[derive(Debug, Clone)]
+pub struct Env {
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Generator/workload seed.
+    pub seed: u64,
+    /// Per-query deadline.
+    pub timeout: Duration,
+    /// Batch length.
+    pub batch: u32,
+    /// Engines under test.
+    pub engines: Vec<EngineKind>,
+}
+
+impl Env {
+    /// Read the `GM_*` environment variables.
+    pub fn from_env() -> Env {
+        let scale = std::env::var("GM_SCALE")
+            .ok()
+            .and_then(|s| Scale::parse(&s))
+            .unwrap_or(Scale::small());
+        let seed = std::env::var("GM_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        let timeout = Duration::from_secs(
+            std::env::var("GM_TIMEOUT_SECS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(5),
+        );
+        let batch = std::env::var("GM_BATCH")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        let engines = match std::env::var("GM_ENGINES") {
+            Ok(list) => list
+                .split(',')
+                .filter_map(|n| EngineKind::parse(n.trim()))
+                .collect(),
+            Err(_) => EngineKind::ALL.to_vec(),
+        };
+        Env {
+            scale,
+            seed,
+            timeout,
+            batch,
+            engines,
+        }
+    }
+
+    /// The bench config derived from this environment.
+    pub fn config(&self) -> BenchConfig {
+        BenchConfig {
+            timeout: self.timeout,
+            batch: self.batch,
+            load: LoadOptions::default(),
+            with_index: false,
+        }
+    }
+}
+
+/// All seven datasets, generated once (the Freebase family shares one
+/// synthetic KB).
+pub struct DataBank {
+    datasets: Vec<(DatasetId, Dataset)>,
+}
+
+impl DataBank {
+    /// Generate every dataset for the environment.
+    pub fn generate(env: &Env) -> DataBank {
+        eprintln!(
+            "[gm-bench] generating datasets at scale '{}' (seed {}) …",
+            env.scale.name, env.seed
+        );
+        let fam = datasets::freebase::generate_all(env.scale, env.seed);
+        let datasets = vec![
+            (DatasetId::Yeast, datasets::yeast::generate(env.scale, env.seed)),
+            (DatasetId::Mico, datasets::mico::generate(env.scale, env.seed)),
+            (DatasetId::FrbS, fam.frb_s),
+            (DatasetId::FrbO, fam.frb_o),
+            (DatasetId::FrbM, fam.frb_m),
+            (DatasetId::FrbL, fam.frb_l),
+            (DatasetId::Ldbc, datasets::ldbc::generate(env.scale, env.seed)),
+        ];
+        for (id, d) in &datasets {
+            eprintln!(
+                "[gm-bench]   {:<6} |V|={:<8} |E|={:<8} |L|={}",
+                id.name(),
+                d.vertex_count(),
+                d.edge_count(),
+                d.edge_label_set().len()
+            );
+        }
+        DataBank { datasets }
+    }
+
+    /// Get one dataset.
+    pub fn get(&self, id: DatasetId) -> &Dataset {
+        &self
+            .datasets
+            .iter()
+            .find(|(i, _)| *i == id)
+            .expect("dataset generated")
+            .1
+    }
+
+    /// The four Freebase samples in size order (Frb-S, Frb-O, Frb-M, Frb-L),
+    /// as the result figures sweep them.
+    pub fn freebase(&self) -> Vec<(DatasetId, &Dataset)> {
+        DatasetId::FREEBASE
+            .iter()
+            .map(|id| (*id, self.get(*id)))
+            .collect()
+    }
+
+    /// All datasets.
+    pub fn all(&self) -> impl Iterator<Item = (DatasetId, &Dataset)> {
+        self.datasets.iter().map(|(id, d)| (*id, d))
+    }
+}
+
+/// Run a list of query instances for every engine on one dataset.
+pub fn run_queries(
+    env: &Env,
+    data: &Dataset,
+    instances: &[QueryInstance],
+    modes: &[RunMode],
+    with_index: bool,
+) -> Report {
+    let workload = Workload::choose(data, env.seed, (env.batch as usize).max(16));
+    let mut report = Report::default();
+    for kind in &env.engines {
+        let factory = move || kind.make();
+        let mut runner = Runner::new(
+            &factory,
+            data,
+            &workload,
+            BenchConfig {
+                with_index,
+                ..env.config()
+            },
+        );
+        for inst in instances {
+            for &mode in modes {
+                report.push(runner.run_instance(inst, mode));
+            }
+        }
+    }
+    report
+}
+
+/// Print a figure-style block: one matrix per dataset.
+pub fn print_block(title: &str, dataset: DatasetId, report: &Report, mode: RunMode) {
+    println!("\n=== {title} — dataset {} ({mode}) ===", dataset.name());
+    print!("{}", report.render_matrix(mode));
+}
+
+/// Instances for a contiguous query range (inclusive numbers, e.g. 22..=27).
+pub fn instances_for(numbers: std::ops::RangeInclusive<u8>) -> Vec<QueryInstance> {
+    gm_core::catalog::QueryId::ALL
+        .iter()
+        .filter(|q| numbers.contains(&q.number()))
+        .map(|q| QueryInstance::plain(*q))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        let env = Env::from_env();
+        assert!(env.batch >= 1);
+        assert!(!env.engines.is_empty());
+    }
+
+    #[test]
+    fn instances_for_ranges() {
+        let neigh = instances_for(22..=27);
+        assert_eq!(neigh.len(), 6);
+        assert_eq!(neigh[0].name(), "Q22");
+        assert_eq!(neigh[5].name(), "Q27");
+    }
+
+    #[test]
+    fn databank_tiny() {
+        let env = Env {
+            scale: Scale::tiny(),
+            seed: 1,
+            timeout: Duration::from_secs(5),
+            batch: 2,
+            engines: vec![EngineKind::LinkedV1],
+        };
+        let bank = DataBank::generate(&env);
+        assert_eq!(bank.all().count(), 7);
+        assert!(bank.get(DatasetId::Ldbc).vertex_count() > 0);
+        assert_eq!(bank.freebase().len(), 4);
+    }
+}

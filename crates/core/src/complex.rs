@@ -1,0 +1,517 @@
+//! The 13 complex LDBC-style queries of Figure 2.
+//!
+//! §4.7: a workload "based on the LDBC Social Network benchmark … mimic the
+//! tasks that may be performed by a new user in the system, from the
+//! creation of an account … to the task of retrieving recommendations",
+//! including "multiple join predicates, sorting, top-k, and max finding".
+//! The x-axis of Figure 2 names them: `max-iid`, `max-oid`, `create`,
+//! `city`, `company`, `university`, `friend1`, `friend2`, `friend-tags`,
+//! `add-tags`, `friend-of-friend`, `triangle`, `places`.
+//!
+//! These are macro-queries: each composes many primitive operators, which
+//! is exactly what the paper contrasts against the micro-benchmark (§6.3).
+
+use gm_model::api::Direction;
+use gm_model::fxmap::FxHashMap;
+use gm_model::{GdbResult, GraphDb, QueryCtx, Value, Vid};
+
+/// The 13 complex queries, in Figure 2 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ComplexQuery {
+    MaxInDegree,
+    MaxOutDegree,
+    CreateAccount,
+    PersonsInCity,
+    EmployeesOfCompany,
+    StudentsOfUniversity,
+    Friends1,
+    Friends2,
+    FriendTags,
+    AddTags,
+    FriendOfFriendRecommendation,
+    TriangleCount,
+    PlacesHierarchy,
+}
+
+impl ComplexQuery {
+    /// All queries in Figure 2 order.
+    pub const ALL: [ComplexQuery; 13] = [
+        ComplexQuery::MaxInDegree,
+        ComplexQuery::MaxOutDegree,
+        ComplexQuery::CreateAccount,
+        ComplexQuery::PersonsInCity,
+        ComplexQuery::EmployeesOfCompany,
+        ComplexQuery::StudentsOfUniversity,
+        ComplexQuery::Friends1,
+        ComplexQuery::Friends2,
+        ComplexQuery::FriendTags,
+        ComplexQuery::AddTags,
+        ComplexQuery::FriendOfFriendRecommendation,
+        ComplexQuery::TriangleCount,
+        ComplexQuery::PlacesHierarchy,
+    ];
+
+    /// Figure 2 x-axis label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ComplexQuery::MaxInDegree => "max-iid",
+            ComplexQuery::MaxOutDegree => "max-oid",
+            ComplexQuery::CreateAccount => "create",
+            ComplexQuery::PersonsInCity => "city",
+            ComplexQuery::EmployeesOfCompany => "company",
+            ComplexQuery::StudentsOfUniversity => "university",
+            ComplexQuery::Friends1 => "friend1",
+            ComplexQuery::Friends2 => "friend2",
+            ComplexQuery::FriendTags => "friend-tags",
+            ComplexQuery::AddTags => "add-tags",
+            ComplexQuery::FriendOfFriendRecommendation => "friend-of-friend",
+            ComplexQuery::TriangleCount => "triangle",
+            ComplexQuery::PlacesHierarchy => "places",
+        }
+    }
+
+    /// Whether the query writes to the graph.
+    pub fn is_mutation(&self) -> bool {
+        matches!(self, ComplexQuery::CreateAccount | ComplexQuery::AddTags)
+    }
+}
+
+/// Canonical parameters for the complex workload (drawn once per dataset;
+/// the LDBC generator's label vocabulary is fixed, so only element picks
+/// vary).
+#[derive(Debug, Clone)]
+pub struct ComplexParams {
+    /// The acting person (canonical id).
+    pub person: u64,
+    /// A city (canonical id).
+    pub city: u64,
+    /// A company (canonical id).
+    pub company: u64,
+    /// A university (canonical id).
+    pub university: u64,
+    /// Tags to attach in `add-tags`.
+    pub tags: Vec<u64>,
+    /// Top-k for the recommendation query.
+    pub top_k: usize,
+}
+
+impl ComplexParams {
+    /// Deterministically pick parameters from an LDBC-shaped dataset.
+    pub fn choose(data: &gm_model::Dataset, seed: u64) -> ComplexParams {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0_3171e8);
+        let by_label = |label: &str| -> Vec<u64> {
+            data.vertices
+                .iter()
+                .filter(|v| v.label == label)
+                .map(|v| v.id)
+                .collect()
+        };
+        let persons = by_label("person");
+        let cities = by_label("city");
+        let companies = by_label("company");
+        let universities = by_label("university");
+        let tags = by_label("tag");
+        assert!(
+            !persons.is_empty() && !cities.is_empty() && !tags.is_empty(),
+            "complex workload requires an LDBC-shaped dataset"
+        );
+        let pick = |rng: &mut StdRng, v: &[u64]| v[rng.gen_range(0..v.len())];
+        ComplexParams {
+            person: pick(&mut rng, &persons),
+            city: pick(&mut rng, &cities),
+            company: pick(&mut rng, &companies),
+            university: pick(&mut rng, &universities),
+            tags: (0..5).map(|_| pick(&mut rng, &tags)).collect(),
+            top_k: 10,
+        }
+    }
+
+    /// Resolve to internal ids against an engine.
+    pub fn resolve(&self, db: &dyn GraphDb) -> GdbResult<ResolvedComplexParams> {
+        let rv = |c: u64| {
+            db.resolve_vertex(c)
+                .ok_or(gm_model::GdbError::VertexNotFound(c))
+        };
+        Ok(ResolvedComplexParams {
+            person: rv(self.person)?,
+            city: rv(self.city)?,
+            company: rv(self.company)?,
+            university: rv(self.university)?,
+            tags: self.tags.iter().map(|t| rv(*t)).collect::<GdbResult<_>>()?,
+            top_k: self.top_k,
+        })
+    }
+}
+
+/// Engine-resolved complex-query parameters.
+#[derive(Debug, Clone)]
+pub struct ResolvedComplexParams {
+    /// Acting person.
+    pub person: Vid,
+    /// City for the `city` query.
+    pub city: Vid,
+    /// Company for the `company` query.
+    pub company: Vid,
+    /// University for the `university` query.
+    pub university: Vid,
+    /// Tags for `add-tags`.
+    pub tags: Vec<Vid>,
+    /// Recommendation cut-off.
+    pub top_k: usize,
+}
+
+/// Execute one complex query; returns the result cardinality.
+pub fn execute(
+    q: ComplexQuery,
+    db: &mut dyn GraphDb,
+    p: &ResolvedComplexParams,
+    ctx: &QueryCtx,
+) -> GdbResult<u64> {
+    match q {
+        // max-iid / max-oid: max-finding over a full scan (§4.7 "max
+        // finding").
+        ComplexQuery::MaxInDegree => max_degree_vertex(db, Direction::In, ctx),
+        ComplexQuery::MaxOutDegree => max_degree_vertex(db, Direction::Out, ctx),
+
+        // create: new account node + profile edges (school, city, work).
+        ComplexQuery::CreateAccount => {
+            let v = db.add_vertex(
+                "person",
+                &vec![
+                    ("firstName".into(), Value::Str("new-user".into())),
+                    ("lastName".into(), Value::Str("graphmark".into())),
+                    ("browserUsed".into(), Value::Str("Firefox".into())),
+                ],
+            )?;
+            db.add_edge(v, p.city, "isLocatedIn", &vec![("since".into(), Value::Int(0))])?;
+            db.add_edge(
+                v,
+                p.university,
+                "studyAt",
+                &vec![("classYear".into(), Value::Int(2020))],
+            )?;
+            db.add_edge(
+                v,
+                p.company,
+                "workAt",
+                &vec![("workFrom".into(), Value::Int(2022))],
+            )?;
+            Ok(4)
+        }
+
+        // city/company/university: single-label 1-hop reverse lookups — the
+        // conditional-join shape where Sqlg shines (§6.3).
+        ComplexQuery::PersonsInCity => {
+            Ok(db.neighbors(p.city, Direction::In, Some("isLocatedIn"), ctx)?.len() as u64)
+        }
+        ComplexQuery::EmployeesOfCompany => {
+            Ok(db.neighbors(p.company, Direction::In, Some("workAt"), ctx)?.len() as u64)
+        }
+        ComplexQuery::StudentsOfUniversity => {
+            Ok(db.neighbors(p.university, Direction::In, Some("studyAt"), ctx)?.len() as u64)
+        }
+
+        // friend1/friend2: 1- and 2-hop friendship neighborhoods.
+        ComplexQuery::Friends1 => {
+            Ok(dedup(db.neighbors(p.person, Direction::Both, Some("knows"), ctx)?).len() as u64)
+        }
+        ComplexQuery::Friends2 => {
+            let friends = dedup(db.neighbors(p.person, Direction::Both, Some("knows"), ctx)?);
+            let mut second = Vec::new();
+            for f in &friends {
+                second.extend(db.neighbors(*f, Direction::Both, Some("knows"), ctx)?);
+            }
+            let mut all = dedup(second);
+            all.retain(|v| *v != p.person && !friends.contains(v));
+            Ok(all.len() as u64)
+        }
+
+        // friend-tags: tags my friends are interested in (2 hops over two
+        // different labels + dedup).
+        ComplexQuery::FriendTags => {
+            let friends = dedup(db.neighbors(p.person, Direction::Both, Some("knows"), ctx)?);
+            let mut tags = Vec::new();
+            for f in &friends {
+                tags.extend(db.neighbors(*f, Direction::Out, Some("hasInterest"), ctx)?);
+            }
+            Ok(dedup(tags).len() as u64)
+        }
+
+        // add-tags: attach interests to the acting person (write).
+        ComplexQuery::AddTags => {
+            for t in &p.tags {
+                db.add_edge(p.person, *t, "hasInterest", &vec![])?;
+            }
+            Ok(p.tags.len() as u64)
+        }
+
+        // friend-of-friend: recommendation with join + group-count + top-k
+        // sorting (§4.7).
+        ComplexQuery::FriendOfFriendRecommendation => {
+            let friends = dedup(db.neighbors(p.person, Direction::Both, Some("knows"), ctx)?);
+            let mut common: FxHashMap<u64, u64> = FxHashMap::default();
+            for f in &friends {
+                for fof in db.neighbors(*f, Direction::Both, Some("knows"), ctx)? {
+                    if fof != p.person && !friends.contains(&fof) {
+                        *common.entry(fof.0).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mut ranked: Vec<(u64, u64)> = common.into_iter().collect();
+            // Sort by common-friend count desc, id asc (deterministic top-k).
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            ranked.truncate(p.top_k);
+            Ok(ranked.len() as u64)
+        }
+
+        // triangle: count triangles in the acting person's friendship
+        // neighborhood (join of two hops with a membership predicate).
+        ComplexQuery::TriangleCount => {
+            let friends = dedup(db.neighbors(p.person, Direction::Both, Some("knows"), ctx)?);
+            let mut triangles = 0u64;
+            for (i, f) in friends.iter().enumerate() {
+                let ff = db.neighbors(*f, Direction::Both, Some("knows"), ctx)?;
+                for g in &friends[i + 1..] {
+                    if ff.contains(g) {
+                        triangles += 1;
+                    }
+                }
+            }
+            Ok(triangles)
+        }
+
+        // places: person → city → country → all cities → all persons. Long
+        // multi-label traversal with a huge intermediate result — the query
+        // where Sqlg collapses (§6.3's "last query").
+        ComplexQuery::PlacesHierarchy => {
+            let cities = db.neighbors(p.person, Direction::Out, Some("isLocatedIn"), ctx)?;
+            let mut persons = Vec::new();
+            for city in dedup(cities) {
+                for country in db.neighbors(city, Direction::Out, Some("isPartOf"), ctx)? {
+                    for sibling_city in db.neighbors(country, Direction::In, Some("isPartOf"), ctx)? {
+                        persons.extend(db.neighbors(
+                            sibling_city,
+                            Direction::In,
+                            Some("isLocatedIn"),
+                            ctx,
+                        )?);
+                    }
+                }
+            }
+            Ok(dedup(persons).len() as u64)
+        }
+    }
+}
+
+fn max_degree_vertex(db: &dyn GraphDb, dir: Direction, ctx: &QueryCtx) -> GdbResult<u64> {
+    let mut best: Option<(u64, Vid)> = None;
+    let scan = db.scan_vertices(ctx)?;
+    let mut vs = Vec::new();
+    for v in scan {
+        vs.push(v?);
+    }
+    for v in vs {
+        let d = db.vertex_degree(v, dir, ctx)?;
+        if best.map(|(bd, _)| d > bd).unwrap_or(true) {
+            best = Some((d, v));
+        }
+    }
+    Ok(best.map(|(d, _)| d).unwrap_or(0))
+}
+
+fn dedup(mut v: Vec<Vid>) -> Vec<Vid> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine_linked::LinkedGraph;
+    use gm_model::api::LoadOptions;
+    use gm_model::Dataset;
+
+    /// A miniature LDBC-shaped world for unit tests.
+    fn mini_ldbc() -> Dataset {
+        let mut d = Dataset::new("mini-ldbc");
+        // 0-3: persons; 4: city; 5: country; 6: company; 7: university;
+        // 8-9: tags; 10: city2.
+        for _ in 0..4 {
+            d.add_vertex("person", vec![("firstName".into(), Value::Str("p".into()))]);
+        }
+        let city = d.add_vertex("city", vec![]);
+        let country = d.add_vertex("country", vec![]);
+        let company = d.add_vertex("company", vec![]);
+        let uni = d.add_vertex("university", vec![]);
+        let t1 = d.add_vertex("tag", vec![]);
+        let t2 = d.add_vertex("tag", vec![]);
+        let city2 = d.add_vertex("city", vec![]);
+        // Friendships: 0-1, 1-2, 0-2 (triangle), 2-3.
+        d.add_edge(0, 1, "knows", vec![]);
+        d.add_edge(1, 2, "knows", vec![]);
+        d.add_edge(0, 2, "knows", vec![]);
+        d.add_edge(2, 3, "knows", vec![]);
+        // Locations.
+        d.add_edge(0, city, "isLocatedIn", vec![]);
+        d.add_edge(1, city, "isLocatedIn", vec![]);
+        d.add_edge(2, city2, "isLocatedIn", vec![]);
+        d.add_edge(3, city2, "isLocatedIn", vec![]);
+        d.add_edge(city, country, "isPartOf", vec![]);
+        d.add_edge(city2, country, "isPartOf", vec![]);
+        // Work/study.
+        d.add_edge(0, company, "workAt", vec![]);
+        d.add_edge(1, company, "workAt", vec![]);
+        d.add_edge(1, uni, "studyAt", vec![]);
+        // Interests.
+        d.add_edge(1, t1, "hasInterest", vec![]);
+        d.add_edge(2, t1, "hasInterest", vec![]);
+        d.add_edge(2, t2, "hasInterest", vec![]);
+        d
+    }
+
+    fn engine_with(d: &Dataset) -> LinkedGraph {
+        let mut g = LinkedGraph::v1();
+        g.bulk_load(d, &LoadOptions::default()).unwrap();
+        g
+    }
+
+    fn params(d: &Dataset, g: &LinkedGraph) -> ResolvedComplexParams {
+        let _ = d;
+        ResolvedComplexParams {
+            person: g.resolve_vertex(0).unwrap(),
+            city: g.resolve_vertex(4).unwrap(),
+            company: g.resolve_vertex(6).unwrap(),
+            university: g.resolve_vertex(7).unwrap(),
+            tags: vec![g.resolve_vertex(8).unwrap(), g.resolve_vertex(9).unwrap()],
+            top_k: 10,
+        }
+    }
+
+    #[test]
+    fn all_thirteen_run() {
+        let d = mini_ldbc();
+        let ctx = QueryCtx::unbounded();
+        for q in ComplexQuery::ALL {
+            let mut g = engine_with(&d);
+            let p = params(&d, &g);
+            let card = execute(q, &mut g, &p, &ctx).unwrap();
+            // create always returns 4; everything else on this world is
+            // non-negative by construction.
+            if q == ComplexQuery::CreateAccount {
+                assert_eq!(card, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn friends_counts() {
+        let d = mini_ldbc();
+        let mut g = engine_with(&d);
+        let p = params(&d, &g);
+        let ctx = QueryCtx::unbounded();
+        // person 0 knows 1 and 2.
+        assert_eq!(
+            execute(ComplexQuery::Friends1, &mut g, &p, &ctx).unwrap(),
+            2
+        );
+        // friends-of-friends excluding self and direct friends: person 3.
+        assert_eq!(
+            execute(ComplexQuery::Friends2, &mut g, &p, &ctx).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn triangle_count() {
+        let d = mini_ldbc();
+        let mut g = engine_with(&d);
+        let p = params(&d, &g);
+        let ctx = QueryCtx::unbounded();
+        // 0's friends {1, 2}: 1 knows 2 → one triangle.
+        assert_eq!(
+            execute(ComplexQuery::TriangleCount, &mut g, &p, &ctx).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn friend_tags() {
+        let d = mini_ldbc();
+        let mut g = engine_with(&d);
+        let p = params(&d, &g);
+        let ctx = QueryCtx::unbounded();
+        // Friends 1 and 2 together know tags t1 and t2.
+        assert_eq!(
+            execute(ComplexQuery::FriendTags, &mut g, &p, &ctx).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn places_crosses_the_hierarchy() {
+        let d = mini_ldbc();
+        let mut g = engine_with(&d);
+        let p = params(&d, &g);
+        let ctx = QueryCtx::unbounded();
+        // All 4 persons live in cities of person-0's country.
+        assert_eq!(
+            execute(ComplexQuery::PlacesHierarchy, &mut g, &p, &ctx).unwrap(),
+            4
+        );
+    }
+
+    #[test]
+    fn reverse_lookups() {
+        let d = mini_ldbc();
+        let mut g = engine_with(&d);
+        let p = params(&d, &g);
+        let ctx = QueryCtx::unbounded();
+        assert_eq!(
+            execute(ComplexQuery::PersonsInCity, &mut g, &p, &ctx).unwrap(),
+            2
+        );
+        assert_eq!(
+            execute(ComplexQuery::EmployeesOfCompany, &mut g, &p, &ctx).unwrap(),
+            2
+        );
+        assert_eq!(
+            execute(ComplexQuery::StudentsOfUniversity, &mut g, &p, &ctx).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn max_degree_queries() {
+        let d = mini_ldbc();
+        let mut g = engine_with(&d);
+        let p = params(&d, &g);
+        let ctx = QueryCtx::unbounded();
+        let max_in = execute(ComplexQuery::MaxInDegree, &mut g, &p, &ctx).unwrap();
+        assert!(max_in >= 2, "country has in-degree 2");
+        let max_out = execute(ComplexQuery::MaxOutDegree, &mut g, &p, &ctx).unwrap();
+        assert!(max_out >= 4, "person 1 or 2 has several out-edges");
+    }
+
+    #[test]
+    fn add_tags_writes() {
+        let d = mini_ldbc();
+        let mut g = engine_with(&d);
+        let p = params(&d, &g);
+        let ctx = QueryCtx::unbounded();
+        let before = g.edge_count(&ctx).unwrap();
+        execute(ComplexQuery::AddTags, &mut g, &p, &ctx).unwrap();
+        assert_eq!(g.edge_count(&ctx).unwrap(), before + 2);
+    }
+
+    #[test]
+    fn names_match_figure2() {
+        let names: Vec<&str> = ComplexQuery::ALL.iter().map(|q| q.name()).collect();
+        assert_eq!(names[0], "max-iid");
+        assert_eq!(names[12], "places");
+        assert_eq!(names.len(), 13);
+    }
+}

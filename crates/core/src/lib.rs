@@ -1,0 +1,27 @@
+//! # gm-core — the microbenchmark framework (the paper's primary contribution)
+//!
+//! This crate materializes the evaluation methodology of §5:
+//!
+//! * [`catalog`] — the 35 primitive query classes of Table 2, with category,
+//!   Gremlin text, parameter spec, and an engine-agnostic executor;
+//! * [`params`] — deterministic workload parameter selection: "any random
+//!   selection made in one system … has been maintained the same across the
+//!   other systems";
+//! * [`runner`] — per-query measurement in **isolation** (fresh engine
+//!   state per query) and **batch** mode (N consecutive executions), with
+//!   the scaled-down analogue of the paper's 2-hour timeout;
+//! * [`complex`] — the 13 LDBC-style complex queries of Figure 2;
+//! * [`report`] — figure/table series collection and text rendering;
+//! * [`summary`] — the Table 4 ✓/⚠ matrix derivation.
+
+pub mod catalog;
+pub mod complex;
+pub mod params;
+pub mod report;
+pub mod runner;
+pub mod summary;
+
+pub use catalog::{Category, QueryId, QueryInstance};
+pub use params::Workload;
+pub use report::{Measurement, Outcome, RunMode};
+pub use runner::{BenchConfig, Runner};

@@ -1,0 +1,259 @@
+//! Measurement records and report rendering.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Execution mode (§6.4, *Single vs Batch Execution*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunMode {
+    /// One execution on fresh state ("Interactive"/isolation in Fig. 1c).
+    Isolation,
+    /// N consecutive executions ("Batch").
+    Batch,
+}
+
+impl fmt::Display for RunMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunMode::Isolation => write!(f, "single"),
+            RunMode::Batch => write!(f, "batch"),
+        }
+    }
+}
+
+/// What happened to a query execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed within the deadline.
+    Completed,
+    /// Hit the deadline (counts toward Figure 1c).
+    Timeout,
+    /// Failed with an engine error (e.g. the bitmap engine's
+    /// resource-exhaustion on degree scans — also a Fig. 1c non-completion).
+    Failed(String),
+}
+
+impl Outcome {
+    /// True when the query did not complete (timeout or failure).
+    pub fn is_dnf(&self) -> bool {
+        !matches!(self, Outcome::Completed)
+    }
+}
+
+/// One measured query execution (or batch thereof).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Engine name.
+    pub engine: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Query instance name (e.g. `"Q32(d=3)"`) or experiment label.
+    pub query: String,
+    /// Execution mode.
+    pub mode: RunMode,
+    /// Outcome.
+    pub outcome: Outcome,
+    /// Wall-clock nanoseconds (of the whole batch in batch mode).
+    pub nanos: u64,
+    /// Result cardinality, when the query completed.
+    pub cardinality: Option<u64>,
+}
+
+impl Measurement {
+    /// Milliseconds, as the paper's figures report.
+    pub fn millis(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+}
+
+/// A collection of measurements with helpers for the figure renderers.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All rows.
+    pub rows: Vec<Measurement>,
+}
+
+impl Report {
+    /// Add a row.
+    pub fn push(&mut self, m: Measurement) {
+        self.rows.push(m);
+    }
+
+    /// Append another report.
+    pub fn extend(&mut self, other: Report) {
+        self.rows.extend(other.rows);
+    }
+
+    /// Count of non-completions per engine (Figure 1c).
+    pub fn timeouts_by_engine(&self, mode: RunMode) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for r in &self.rows {
+            if r.mode == mode && r.outcome.is_dnf() {
+                *out.entry(r.engine.clone()).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Total completed time per engine in seconds (Figure 7c/d).
+    pub fn total_seconds_by_engine(&self, mode: RunMode) -> BTreeMap<String, f64> {
+        let mut out: BTreeMap<String, f64> = BTreeMap::new();
+        for r in &self.rows {
+            if r.mode == mode && r.outcome == Outcome::Completed {
+                *out.entry(r.engine.clone()).or_insert(0.0) += r.nanos as f64 / 1e9;
+            }
+        }
+        out
+    }
+
+    /// Milliseconds for (engine, query) in a given mode, if completed.
+    pub fn millis_of(&self, engine: &str, query: &str, mode: RunMode) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.engine == engine && r.query == query && r.mode == mode)
+            .filter(|r| r.outcome == Outcome::Completed)
+            .map(|r| r.millis())
+    }
+
+    /// Render a figure-style table: rows = queries, columns = engines,
+    /// cells = milliseconds or `TIMEOUT`/`FAILED`.
+    pub fn render_matrix(&self, mode: RunMode) -> String {
+        let mut engines: Vec<String> = self
+            .rows
+            .iter()
+            .filter(|r| r.mode == mode)
+            .map(|r| r.engine.clone())
+            .collect();
+        engines.sort();
+        engines.dedup();
+        let mut queries: Vec<String> = Vec::new();
+        for r in self.rows.iter().filter(|r| r.mode == mode) {
+            if !queries.contains(&r.query) {
+                queries.push(r.query.clone());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{:<12}", "query"));
+        for e in &engines {
+            out.push_str(&format!(" | {e:>14}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(12 + engines.len() * 17));
+        out.push('\n');
+        for q in &queries {
+            out.push_str(&format!("{q:<12}"));
+            for e in &engines {
+                let cell = self
+                    .rows
+                    .iter()
+                    .find(|r| r.mode == mode && &r.query == q && &r.engine == e);
+                let text = match cell {
+                    Some(r) if r.outcome == Outcome::Completed => {
+                        format!("{:.3} ms", r.millis())
+                    }
+                    Some(r) if matches!(r.outcome, Outcome::Timeout) => "TIMEOUT".to_string(),
+                    Some(_) => "FAILED".to_string(),
+                    None => "-".to_string(),
+                };
+                out.push_str(&format!(" | {text:>14}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (machine-readable companion to the figures).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("engine,dataset,query,mode,outcome,millis,cardinality\n");
+        for r in &self.rows {
+            let outcome = match &r.outcome {
+                Outcome::Completed => "ok",
+                Outcome::Timeout => "timeout",
+                Outcome::Failed(_) => "failed",
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.6},{}\n",
+                r.engine,
+                r.dataset,
+                r.query,
+                r.mode,
+                outcome,
+                r.millis(),
+                r.cardinality.map(|c| c.to_string()).unwrap_or_default()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(engine: &str, query: &str, mode: RunMode, outcome: Outcome, ms: f64) -> Measurement {
+        Measurement {
+            engine: engine.into(),
+            dataset: "d".into(),
+            query: query.into(),
+            mode,
+            outcome,
+            nanos: (ms * 1e6) as u64,
+            cardinality: Some(1),
+        }
+    }
+
+    #[test]
+    fn timeout_accounting() {
+        let mut rep = Report::default();
+        rep.push(row("a", "Q8", RunMode::Isolation, Outcome::Completed, 1.0));
+        rep.push(row("a", "Q9", RunMode::Isolation, Outcome::Timeout, 0.0));
+        rep.push(row(
+            "b",
+            "Q9",
+            RunMode::Isolation,
+            Outcome::Failed("oom".into()),
+            0.0,
+        ));
+        let t = rep.timeouts_by_engine(RunMode::Isolation);
+        assert_eq!(t.get("a"), Some(&1));
+        assert_eq!(t.get("b"), Some(&1));
+        assert_eq!(t.get("c"), None);
+    }
+
+    #[test]
+    fn totals_exclude_dnf() {
+        let mut rep = Report::default();
+        rep.push(row("a", "Q8", RunMode::Batch, Outcome::Completed, 1000.0));
+        rep.push(row("a", "Q9", RunMode::Batch, Outcome::Timeout, 99999.0));
+        let t = rep.total_seconds_by_engine(RunMode::Batch);
+        assert!((t["a"] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_contains_cells() {
+        let mut rep = Report::default();
+        rep.push(row("a", "Q8", RunMode::Isolation, Outcome::Completed, 1.5));
+        rep.push(row("b", "Q8", RunMode::Isolation, Outcome::Timeout, 0.0));
+        let m = rep.render_matrix(RunMode::Isolation);
+        assert!(m.contains("Q8"));
+        assert!(m.contains("1.500 ms"));
+        assert!(m.contains("TIMEOUT"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut rep = Report::default();
+        rep.push(row("a", "Q8", RunMode::Isolation, Outcome::Completed, 1.5));
+        let csv = rep.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.lines().nth(1).unwrap().starts_with("a,d,Q8,single,ok"));
+    }
+
+    #[test]
+    fn millis_lookup() {
+        let mut rep = Report::default();
+        rep.push(row("a", "Q8", RunMode::Isolation, Outcome::Completed, 2.0));
+        assert_eq!(rep.millis_of("a", "Q8", RunMode::Isolation), Some(2.0));
+        assert_eq!(rep.millis_of("a", "Q9", RunMode::Isolation), None);
+    }
+}

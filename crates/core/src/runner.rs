@@ -1,0 +1,334 @@
+//! The benchmark runner: isolation/batch execution with deadlines.
+//!
+//! Reproduces the paper's measurement discipline (§5):
+//!
+//! * **isolation**: each query runs against freshly loaded state, so no
+//!   query observes another's mutations (the paper used one Docker
+//!   container per test);
+//! * **batch**: the same query repeated `batch` times back to back, with
+//!   rotating mutation victims (Figure 1c's "B" columns and Figure 7d);
+//! * a **cooperative deadline** per execution — the scaled-down analogue of
+//!   the paper's 2-hour cap;
+//! * **untimed setup**: engine loading, parameter resolution and `sync()`
+//!   happen outside the measured window.
+
+use std::time::{Duration, Instant};
+
+use gm_model::api::LoadOptions;
+use gm_model::{Dataset, GdbError, GraphDb, QueryCtx};
+
+use crate::catalog::{self, QueryInstance};
+use crate::params::Workload;
+use crate::report::{Measurement, Outcome, Report, RunMode};
+
+/// Engine factory used by the runner to create fresh instances.
+pub type EngineFactory<'a> = dyn Fn() -> Box<dyn GraphDb> + 'a;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Per-execution deadline (per batch in batch mode).
+    pub timeout: Duration,
+    /// Batch length (the paper uses 10).
+    pub batch: u32,
+    /// Load options (bulk on/off — the triple-engine ablation).
+    pub load: LoadOptions,
+    /// Build an attribute index on the Q11 property before running
+    /// (Figure 4c).
+    pub with_index: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            timeout: Duration::from_secs(10),
+            batch: 10,
+            load: LoadOptions::default(),
+            with_index: false,
+        }
+    }
+}
+
+/// The benchmark runner for one (engine, dataset) pair.
+pub struct Runner<'a> {
+    factory: &'a EngineFactory<'a>,
+    engine_name: String,
+    dataset: &'a Dataset,
+    workload: &'a Workload,
+    config: BenchConfig,
+    /// Reusable loaded engine for read-only queries.
+    cached: Option<Box<dyn GraphDb>>,
+}
+
+impl<'a> Runner<'a> {
+    /// Create a runner. `factory` must produce empty engines.
+    pub fn new(
+        factory: &'a EngineFactory<'a>,
+        dataset: &'a Dataset,
+        workload: &'a Workload,
+        config: BenchConfig,
+    ) -> Self {
+        let engine_name = factory().name();
+        Runner {
+            factory,
+            engine_name,
+            dataset,
+            workload,
+            config,
+            cached: None,
+        }
+    }
+
+    /// Engine name this runner measures.
+    pub fn engine_name(&self) -> &str {
+        &self.engine_name
+    }
+
+    fn fresh_loaded(&self) -> Result<Box<dyn GraphDb>, GdbError> {
+        let mut db = (self.factory)();
+        db.bulk_load(self.dataset, &self.config.load)?;
+        if self.config.with_index {
+            let _ = db.create_vertex_index(&self.workload.vertex_prop.0);
+        }
+        db.sync()?;
+        Ok(db)
+    }
+
+    fn loaded_for(&mut self, mutating: bool) -> Result<Box<dyn GraphDb>, GdbError> {
+        if mutating {
+            // Mutations always get pristine state.
+            return self.fresh_loaded();
+        }
+        match self.cached.take() {
+            Some(db) => Ok(db),
+            None => self.fresh_loaded(),
+        }
+    }
+
+    fn give_back(&mut self, db: Box<dyn GraphDb>, mutating: bool) {
+        if !mutating {
+            self.cached = Some(db);
+        }
+    }
+
+    /// Measure Q1: bulk load time (Figure 3a) and the space report
+    /// (Figure 1a/b). Returns (measurement, space bytes, raw json bytes).
+    pub fn measure_load(&self) -> (Measurement, u64, u64) {
+        let mut db = (self.factory)();
+        let start = Instant::now();
+        let outcome = match db.bulk_load(self.dataset, &self.config.load) {
+            Ok(_) => match db.sync() {
+                Ok(()) => Outcome::Completed,
+                Err(e) => Outcome::Failed(e.to_string()),
+            },
+            Err(e) => Outcome::Failed(e.to_string()),
+        };
+        let nanos = start.elapsed().as_nanos() as u64;
+        let space = db.space().total();
+        let raw = gm_model::graphson::raw_json_bytes(self.dataset);
+        (
+            Measurement {
+                engine: self.engine_name.clone(),
+                dataset: self.dataset.name.clone(),
+                query: "Q1".into(),
+                mode: RunMode::Isolation,
+                outcome,
+                nanos,
+                cardinality: None,
+            },
+            space,
+            raw,
+        )
+    }
+
+    /// Run one query instance in the given mode.
+    pub fn run_instance(&mut self, inst: &QueryInstance, mode: RunMode) -> Measurement {
+        let mutating = inst.id.is_mutation();
+        let mut db = match self.loaded_for(mutating) {
+            Ok(db) => db,
+            Err(e) => {
+                return Measurement {
+                    engine: self.engine_name.clone(),
+                    dataset: self.dataset.name.clone(),
+                    query: inst.name(),
+                    mode,
+                    outcome: Outcome::Failed(format!("load: {e}")),
+                    nanos: 0,
+                    cardinality: None,
+                }
+            }
+        };
+        let params = match self.workload.resolve(db.as_ref()) {
+            Ok(p) => p,
+            Err(e) => {
+                return Measurement {
+                    engine: self.engine_name.clone(),
+                    dataset: self.dataset.name.clone(),
+                    query: inst.name(),
+                    mode,
+                    outcome: Outcome::Failed(format!("resolve: {e}")),
+                    nanos: 0,
+                    cardinality: None,
+                }
+            }
+        };
+
+        let rounds = match mode {
+            RunMode::Isolation => 1,
+            RunMode::Batch => self.config.batch,
+        };
+        let ctx = QueryCtx::with_timeout(self.config.timeout);
+        let start = Instant::now();
+        let mut outcome = Outcome::Completed;
+        let mut cardinality = None;
+        for round in 0..rounds {
+            match catalog::execute(inst, db.as_mut(), &params, round as usize, &ctx) {
+                Ok(card) => cardinality = Some(card),
+                Err(GdbError::Timeout) => {
+                    outcome = Outcome::Timeout;
+                    break;
+                }
+                Err(e) => {
+                    outcome = Outcome::Failed(e.to_string());
+                    break;
+                }
+            }
+        }
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.give_back(db, mutating);
+        Measurement {
+            engine: self.engine_name.clone(),
+            dataset: self.dataset.name.clone(),
+            query: inst.name(),
+            mode,
+            outcome,
+            nanos,
+            cardinality,
+        }
+    }
+
+    /// Run the full Table 2 suite in both modes (plus the load measurement).
+    /// This is the workhorse behind Figures 1c, 3–7.
+    pub fn run_suite(&mut self, modes: &[RunMode]) -> Report {
+        let mut report = Report::default();
+        let (load, _, _) = self.measure_load();
+        report.push(load);
+        let suite = QueryInstance::full_suite(self.workload.k);
+        for inst in &suite {
+            for &mode in modes {
+                report.push(self.run_instance(inst, mode));
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::QueryId;
+    use engine_linked::LinkedGraph;
+    use gm_model::testkit;
+
+    fn setup() -> (Dataset, Workload) {
+        let d = testkit::chain_dataset(300);
+        let w = Workload::choose(&d, 7, 16);
+        (d, w)
+    }
+
+    #[test]
+    fn load_measurement_reports_space() {
+        let (d, w) = setup();
+        let factory = || -> Box<dyn GraphDb> { Box::new(LinkedGraph::v1()) };
+        let runner = Runner::new(&factory, &d, &w, BenchConfig::default());
+        let (m, space, raw) = runner.measure_load();
+        assert_eq!(m.outcome, Outcome::Completed);
+        assert!(space > 0);
+        assert!(raw > 0);
+    }
+
+    #[test]
+    fn read_query_reuses_cached_engine() {
+        let (d, w) = setup();
+        let factory = || -> Box<dyn GraphDb> { Box::new(LinkedGraph::v1()) };
+        let mut runner = Runner::new(&factory, &d, &w, BenchConfig::default());
+        let q8 = QueryInstance::plain(QueryId::Q8);
+        let m1 = runner.run_instance(&q8, RunMode::Isolation);
+        assert_eq!(m1.outcome, Outcome::Completed);
+        assert_eq!(m1.cardinality, Some(300));
+        let m2 = runner.run_instance(&q8, RunMode::Isolation);
+        assert_eq!(m2.cardinality, Some(300));
+    }
+
+    #[test]
+    fn mutations_run_on_fresh_state() {
+        let (d, w) = setup();
+        let factory = || -> Box<dyn GraphDb> { Box::new(LinkedGraph::v1()) };
+        let mut runner = Runner::new(&factory, &d, &w, BenchConfig::default());
+        let q18 = QueryInstance::plain(QueryId::Q18);
+        // Run deletion twice: both succeed because state is re-loaded.
+        let m1 = runner.run_instance(&q18, RunMode::Isolation);
+        assert_eq!(m1.outcome, Outcome::Completed, "{:?}", m1.outcome);
+        let m2 = runner.run_instance(&q18, RunMode::Isolation);
+        assert_eq!(m2.outcome, Outcome::Completed);
+        // And a read afterwards still sees the pristine vertex count.
+        let q8 = QueryInstance::plain(QueryId::Q8);
+        let m3 = runner.run_instance(&q8, RunMode::Isolation);
+        assert_eq!(m3.cardinality, Some(300));
+    }
+
+    #[test]
+    fn batch_mode_rotates_victims() {
+        let (d, w) = setup();
+        let factory = || -> Box<dyn GraphDb> { Box::new(LinkedGraph::v1()) };
+        let mut runner = Runner::new(&factory, &d, &w, BenchConfig::default());
+        let q19 = QueryInstance::plain(QueryId::Q19);
+        let m = runner.run_instance(&q19, RunMode::Batch);
+        assert_eq!(m.outcome, Outcome::Completed, "10 distinct edge victims");
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        // Large enough that the scan crosses the deadline's clock-check
+        // granularity (4096 ticks).
+        let d = testkit::chain_dataset(20_000);
+        let w = Workload::choose(&d, 7, 16);
+        let factory = || -> Box<dyn GraphDb> { Box::new(LinkedGraph::v1()) };
+        let mut runner = Runner::new(
+            &factory,
+            &d,
+            &w,
+            BenchConfig {
+                timeout: Duration::from_nanos(1),
+                ..BenchConfig::default()
+            },
+        );
+        let q31 = QueryInstance::plain(QueryId::Q31);
+        let m = runner.run_instance(&q31, RunMode::Isolation);
+        assert_eq!(m.outcome, Outcome::Timeout);
+    }
+
+    #[test]
+    fn suite_covers_everything() {
+        let (d, w) = setup();
+        let factory = || -> Box<dyn GraphDb> { Box::new(LinkedGraph::v1()) };
+        let mut runner = Runner::new(
+            &factory,
+            &d,
+            &w,
+            BenchConfig {
+                batch: 3,
+                ..BenchConfig::default()
+            },
+        );
+        let report = runner.run_suite(&[RunMode::Isolation]);
+        // Q1 + 40 instances.
+        assert_eq!(report.rows.len(), 41);
+        let dnf = report
+            .rows
+            .iter()
+            .filter(|r| r.outcome.is_dnf())
+            .count();
+        assert_eq!(dnf, 0, "linked engine completes the whole suite");
+    }
+}

@@ -1,0 +1,253 @@
+//! Table 4 derivation: the ✓/⚠ evaluation summary.
+//!
+//! The paper condenses all experiments into a matrix of categories ×
+//! engines where "✓ means that the system achieved the best or near-to-best
+//! performance" and "⚠ means that the system performance was towards the
+//! low end or indicated execution problems". We derive the same matrix
+//! mechanically from a [`Report`]:
+//!
+//! * ✓ — median latency within [`GOOD_FACTOR`] of the per-query best and
+//!   no non-completions in the group;
+//! * ⚠ — any timeout/failure in the group, or median more than
+//!   [`WARN_FACTOR`] × best;
+//! * blank — in between.
+
+use std::collections::BTreeMap;
+
+use crate::report::{Outcome, Report, RunMode};
+
+/// Within this factor of the best = near-to-best (✓).
+pub const GOOD_FACTOR: f64 = 3.0;
+/// Beyond this factor of the best = low end (⚠).
+pub const WARN_FACTOR: f64 = 25.0;
+
+/// Table 4 column groups (the paper's header row).
+pub const GROUPS: [(&str, &[&str]); 13] = [
+    ("Load", &["Q1"]),
+    ("Insertions", &["Q2", "Q3", "Q4", "Q5", "Q6", "Q7"]),
+    ("Graph Statistics", &["Q8", "Q9", "Q10"]),
+    ("Search by Property/Label", &["Q11", "Q12", "Q13"]),
+    ("Search by Id", &["Q14", "Q15"]),
+    ("Updates", &["Q16", "Q17"]),
+    ("Delete Node", &["Q18"]),
+    ("Other Deletions", &["Q19", "Q20", "Q21"]),
+    ("Neighbors", &["Q22", "Q23", "Q24"]),
+    ("Node Edge-Labels", &["Q25", "Q26", "Q27"]),
+    ("Degree Filter", &["Q28", "Q29", "Q30", "Q31"]),
+    ("BFS", &["Q32", "Q33"]),
+    ("Shortest Path", &["Q34", "Q35"]),
+];
+
+/// A cell of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// Best or near-to-best (✓).
+    Good,
+    /// Low end or execution problems (⚠).
+    Warn,
+    /// In between (blank in the paper).
+    Mid,
+    /// No data.
+    NoData,
+}
+
+impl Cell {
+    /// Render as the paper does.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Cell::Good => "✓",
+            Cell::Warn => "⚠",
+            Cell::Mid => " ",
+            Cell::NoData => "·",
+        }
+    }
+}
+
+/// The derived Table 4.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Engine names (rows).
+    pub engines: Vec<String>,
+    /// Group names (columns).
+    pub groups: Vec<String>,
+    /// `cells[engine_idx][group_idx]`.
+    pub cells: Vec<Vec<Cell>>,
+}
+
+/// Instance name → group query list match (`"Q32(d=3)"` belongs to `"Q32"`).
+fn in_group(query: &str, group_queries: &[&str]) -> bool {
+    let base = query.split('(').next().unwrap_or(query);
+    group_queries.contains(&base)
+}
+
+/// Derive Table 4 from a report (isolation-mode rows).
+pub fn derive(report: &Report) -> Summary {
+    let mut engines: Vec<String> = report.rows.iter().map(|r| r.engine.clone()).collect();
+    engines.sort();
+    engines.dedup();
+
+    let mut cells = vec![Vec::new(); engines.len()];
+    for (group_name, group_queries) in GROUPS {
+        let _ = group_name;
+        // Collect per-engine medians over the group.
+        let mut medians: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut dnf: Vec<bool> = vec![false; engines.len()];
+        let mut any_data: Vec<bool> = vec![false; engines.len()];
+        for (ei, engine) in engines.iter().enumerate() {
+            let mut times: Vec<f64> = Vec::new();
+            for r in &report.rows {
+                if r.mode != RunMode::Isolation
+                    || &r.engine != engine
+                    || !in_group(&r.query, group_queries)
+                {
+                    continue;
+                }
+                any_data[ei] = true;
+                match r.outcome {
+                    Outcome::Completed => times.push(r.millis()),
+                    _ => dnf[ei] = true,
+                }
+            }
+            if !times.is_empty() {
+                times.sort_by(|a, b| a.total_cmp(b));
+                medians.insert(ei, times[times.len() / 2]);
+            }
+        }
+        let best = medians
+            .values()
+            .fold(f64::INFINITY, |acc, &v| acc.min(v))
+            .max(1e-6);
+        for (ei, _) in engines.iter().enumerate() {
+            let cell = if !any_data[ei] {
+                Cell::NoData
+            } else if dnf[ei] {
+                Cell::Warn
+            } else {
+                match medians.get(&ei) {
+                    Some(&m) if m <= best * GOOD_FACTOR => Cell::Good,
+                    Some(&m) if m > best * WARN_FACTOR => Cell::Warn,
+                    Some(_) => Cell::Mid,
+                    None => Cell::NoData,
+                }
+            };
+            cells[ei].push(cell);
+        }
+    }
+    Summary {
+        engines,
+        groups: GROUPS.iter().map(|(n, _)| n.to_string()).collect(),
+        cells,
+    }
+}
+
+impl Summary {
+    /// Render as a text table in the shape of Table 4.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<16}", "engine"));
+        for g in &self.groups {
+            let short: String = g.chars().take(12).collect();
+            out.push_str(&format!(" | {short:>12}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(16 + self.groups.len() * 15));
+        out.push('\n');
+        for (ei, engine) in self.engines.iter().enumerate() {
+            out.push_str(&format!("{engine:<16}"));
+            for cell in &self.cells[ei] {
+                out.push_str(&format!(" | {:>12}", cell.symbol()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The cell for (engine, group name), if present.
+    pub fn cell(&self, engine: &str, group: &str) -> Option<Cell> {
+        let ei = self.engines.iter().position(|e| e == engine)?;
+        let gi = self.groups.iter().position(|g| g == group)?;
+        Some(self.cells[ei][gi])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Measurement, Outcome, Report, RunMode};
+
+    fn m(engine: &str, query: &str, outcome: Outcome, ms: f64) -> Measurement {
+        Measurement {
+            engine: engine.into(),
+            dataset: "d".into(),
+            query: query.into(),
+            mode: RunMode::Isolation,
+            outcome,
+            nanos: (ms * 1e6) as u64,
+            cardinality: None,
+        }
+    }
+
+    #[test]
+    fn fast_engine_gets_tick() {
+        let mut rep = Report::default();
+        rep.push(m("fast", "Q8", Outcome::Completed, 1.0));
+        rep.push(m("slow", "Q8", Outcome::Completed, 100.0));
+        rep.push(m("mid", "Q8", Outcome::Completed, 10.0));
+        let s = derive(&rep);
+        assert_eq!(s.cell("fast", "Graph Statistics"), Some(Cell::Good));
+        assert_eq!(s.cell("slow", "Graph Statistics"), Some(Cell::Warn));
+        assert_eq!(s.cell("mid", "Graph Statistics"), Some(Cell::Mid));
+    }
+
+    #[test]
+    fn timeout_always_warns() {
+        let mut rep = Report::default();
+        rep.push(m("a", "Q9", Outcome::Completed, 1.0));
+        rep.push(m("b", "Q9", Outcome::Timeout, 0.0));
+        let s = derive(&rep);
+        assert_eq!(s.cell("b", "Graph Statistics"), Some(Cell::Warn));
+    }
+
+    #[test]
+    fn depth_instances_fold_into_bfs_group() {
+        let mut rep = Report::default();
+        rep.push(m("a", "Q32(d=2)", Outcome::Completed, 1.0));
+        rep.push(m("a", "Q32(d=3)", Outcome::Completed, 2.0));
+        rep.push(m("b", "Q32(d=2)", Outcome::Completed, 200.0));
+        let s = derive(&rep);
+        assert_eq!(s.cell("a", "BFS"), Some(Cell::Good));
+        assert_eq!(s.cell("b", "BFS"), Some(Cell::Warn));
+    }
+
+    #[test]
+    fn missing_data_marked() {
+        let mut rep = Report::default();
+        rep.push(m("a", "Q8", Outcome::Completed, 1.0));
+        let s = derive(&rep);
+        assert_eq!(s.cell("a", "Load"), Some(Cell::NoData));
+    }
+
+    #[test]
+    fn render_contains_symbols() {
+        let mut rep = Report::default();
+        rep.push(m("a", "Q8", Outcome::Completed, 1.0));
+        rep.push(m("b", "Q8", Outcome::Timeout, 0.0));
+        let text = derive(&rep).render();
+        assert!(text.contains('✓'));
+        assert!(text.contains('⚠'));
+        assert!(text.contains("engine"));
+    }
+
+    #[test]
+    fn groups_cover_all_queries() {
+        // Every Q2..Q35 falls in exactly one group.
+        for q in 2..=35 {
+            let name = format!("Q{q}");
+            let hits = GROUPS
+                .iter()
+                .filter(|(_, qs)| qs.contains(&name.as_str()))
+                .count();
+            assert_eq!(hits, 1, "{name} must be in exactly one group");
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Synthetic Freebase knowledge base and the paper's four samples.
+//!
+//! The paper takes the cleaned 300M-fact Freebase dump and derives (§5):
+//!
+//! * **Frb-O** — the induced subgraph on nodes "related to the topics of
+//!   organization, business, government, finance, geography and military";
+//! * **Frb-S / Frb-M / Frb-L** — "randomly selecting 0.1 %, 1 %, and 10 % of
+//!   the edges from the complete graph".
+//!
+//! We reproduce the *method*: generate one seeded synthetic knowledge base
+//! with Freebase's shape (heavily skewed degrees — Table 3 reports a max
+//! degree of 1.4M at 28M nodes —, thousands of relation labels with Zipf
+//! frequencies, topical domains with strong intra-domain linking, high
+//! fragmentation), then apply exactly the paper's sampling rules.
+
+use gm_model::fxmap::FxHashMap;
+use gm_model::{Dataset, DsEdge, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::power_law::{AttachmentPool, Zipf};
+use crate::scale::Scale;
+
+/// Topic domains; the first six are the Frb-O topics.
+pub const DOMAINS: [&str; 20] = [
+    "organization",
+    "business",
+    "government",
+    "finance",
+    "geography",
+    "military",
+    "people",
+    "film",
+    "music",
+    "book",
+    "sports",
+    "location",
+    "education",
+    "medicine",
+    "biology",
+    "astronomy",
+    "chemistry",
+    "computer",
+    "language",
+    "religion",
+];
+
+/// Number of Frb-O topic domains (prefix of [`DOMAINS`]).
+pub const O_TOPICS: usize = 6;
+
+/// The complete synthetic knowledge base plus the four derived samples.
+#[derive(Debug, Clone)]
+pub struct FreebaseFamily {
+    /// The full synthetic KB (the paper's "complete graph").
+    pub full: Dataset,
+    /// Topic-restricted sample.
+    pub frb_o: Dataset,
+    /// 0.1 % edge sample.
+    pub frb_s: Dataset,
+    /// 1 % edge sample.
+    pub frb_m: Dataset,
+    /// 10 % edge sample.
+    pub frb_l: Dataset,
+}
+
+/// Generate the full KB and derive all four samples (one pass).
+pub fn generate_all(scale: Scale, seed: u64) -> FreebaseFamily {
+    let full = generate_full(scale, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf6eb_0a5e);
+    // Exactly the paper's sampling rule: 0.1 %, 1 %, 10 % of the edges of
+    // the complete graph (the scale factor already shrank the full graph).
+    let frb_s = sample_edges(&full, "frb-s", 0.001, &mut rng);
+    let frb_m = sample_edges(&full, "frb-m", 0.01, &mut rng);
+    let frb_l = sample_edges(&full, "frb-l", 0.1, &mut rng);
+    let frb_o = topic_sample(&full, "frb-o");
+    FreebaseFamily {
+        full,
+        frb_o,
+        frb_s,
+        frb_m,
+        frb_l,
+    }
+}
+
+/// Generate the full synthetic knowledge base.
+pub fn generate_full(scale: Scale, seed: u64) -> Dataset {
+    // Paper's cleaned full graph: 76M nodes / 314M edges. At Scale::small
+    // (1/2000) this is 38K nodes / 157K edges, so Frb-L ≈ 16K edges.
+    let n = scale.apply(76_000_000, 800);
+    let target_edges = scale.apply(314_000_000, 3200);
+    let n_labels = ((target_edges as f64).sqrt() as usize).clamp(40, 4000);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf6eb_0001);
+    let mut d = Dataset::new("freebase");
+
+    // Domain assignment: Zipf over the 20 domains, but with the six O-topics
+    // deliberately placed mid-tail so Frb-O lands between Frb-M and Frb-L
+    // as in Table 3.
+    let domain_order: [usize; 20] = [6, 7, 8, 0, 9, 1, 10, 2, 11, 3, 12, 4, 13, 5, 14, 15, 16, 17, 18, 19];
+    let domain_sampler = Zipf::new(DOMAINS.len(), 0.75);
+    let mut domains: Vec<u8> = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let rank = domain_sampler.sample(&mut rng);
+        let dom = domain_order[rank];
+        domains.push(dom as u8);
+        d.add_vertex(
+            "topic",
+            vec![
+                ("mid".into(), Value::Str(format!("/m/{i:07x}"))),
+                ("domain".into(), Value::Str(DOMAINS[dom].to_string())),
+                ("notable".into(), Value::Bool(i % 97 == 0)),
+            ],
+        );
+    }
+
+    // Relation labels: Zipf frequencies over a large alphabet, scoped by
+    // the source domain (label = "<domain>/<relation-k>").
+    let label_sampler = Zipf::new(n_labels, 1.05);
+    // Per-domain index of member vertices for intra-domain linking.
+    let mut members: Vec<Vec<u64>> = vec![Vec::new(); DOMAINS.len()];
+    for (i, dom) in domains.iter().enumerate() {
+        members[*dom as usize].push(i as u64);
+    }
+    let mut pool = AttachmentPool::new(n);
+    let mut edges = 0u64;
+    while edges < target_edges {
+        let src = pool.sample(&mut rng, 0.2);
+        let dom = domains[src as usize] as usize;
+        // 85% intra-domain edges → the near-1.0 modularity of Table 3.
+        let dst = if rng.gen_bool(0.85) {
+            let list = &members[dom];
+            list[rng.gen_range(0..list.len())]
+        } else {
+            pool.sample(&mut rng, 0.5)
+        };
+        if src == dst {
+            continue;
+        }
+        let rel = label_sampler.sample(&mut rng);
+        let label = format!("{}/r{rel}", DOMAINS[dom]);
+        d.add_edge(src, dst, label, vec![]);
+        pool.touch(src);
+        // Destinations gain attachment mass at half rate: Freebase's object
+        // hubs (countries, professions) absorb edges massively.
+        if rng.gen_bool(0.5) {
+            pool.touch(dst);
+        }
+        edges += 1;
+    }
+    d
+}
+
+/// The paper's random-edge sampling: keep each edge with probability `p`,
+/// then keep exactly the endpoint vertices of kept edges.
+pub fn sample_edges(full: &Dataset, name: &str, p: f64, rng: &mut StdRng) -> Dataset {
+    let kept: Vec<&DsEdge> = full
+        .edges
+        .iter()
+        .filter(|_| rng.gen_bool(p.min(1.0)))
+        .collect();
+    induced(full, name, kept)
+}
+
+/// The Frb-O rule: keep vertices in the six O-topic domains and the edges
+/// among them.
+pub fn topic_sample(full: &Dataset, name: &str) -> Dataset {
+    let is_o: Vec<bool> = full
+        .vertices
+        .iter()
+        .map(|v| {
+            matches!(
+                v.props.iter().find(|(n, _)| n == "domain"),
+                Some((_, Value::Str(s))) if DOMAINS[..O_TOPICS].contains(&s.as_str())
+            )
+        })
+        .collect();
+    let kept: Vec<&DsEdge> = full
+        .edges
+        .iter()
+        .filter(|e| is_o[e.src as usize] && is_o[e.dst as usize])
+        .collect();
+    induced(full, name, kept)
+}
+
+fn induced(full: &Dataset, name: &str, kept: Vec<&DsEdge>) -> Dataset {
+    let mut d = Dataset::new(name);
+    let mut remap: FxHashMap<u64, u64> = FxHashMap::default();
+    for e in &kept {
+        for endpoint in [e.src, e.dst] {
+            remap.entry(endpoint).or_insert_with(|| {
+                let old = &full.vertices[endpoint as usize];
+                
+                d.add_vertex(old.label.clone(), old.props.clone())
+            });
+        }
+    }
+    for e in kept {
+        d.add_edge(remap[&e.src], remap[&e.dst], e.label.clone(), e.props.clone());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::dataset_stats;
+
+    #[test]
+    fn family_sizes_are_ordered() {
+        let fam = generate_all(Scale::tiny(), 42);
+        for d in [&fam.full, &fam.frb_o, &fam.frb_s, &fam.frb_m, &fam.frb_l] {
+            d.validate().unwrap();
+        }
+        assert!(fam.frb_s.edge_count() < fam.frb_m.edge_count());
+        assert!(fam.frb_m.edge_count() < fam.frb_l.edge_count());
+        assert!(fam.frb_l.edge_count() < fam.full.edge_count());
+        // Frb-O sits between M and L (Table 3 ordering by edges).
+        assert!(fam.frb_o.edge_count() > fam.frb_s.edge_count());
+        // Ratio S:L ≈ 1:100 (wide tolerance at tiny scale).
+        let ratio = fam.frb_l.edge_count() as f64 / fam.frb_s.edge_count().max(1) as f64;
+        assert!(ratio > 20.0, "S:L ratio ≈ 1:100, got 1:{ratio:.0}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_all(Scale::tiny(), 9);
+        let b = generate_all(Scale::tiny(), 9);
+        assert_eq!(a.full.edges, b.full.edges);
+        assert_eq!(a.frb_m.edges, b.frb_m.edges);
+    }
+
+    #[test]
+    fn frb_o_is_topic_pure_and_modular() {
+        let fam = generate_all(Scale::small(), 42);
+        assert!(fam.frb_o.edge_count() > 100, "frb-o is non-trivial");
+        for v in &fam.frb_o.vertices {
+            let dom = v
+                .props
+                .iter()
+                .find(|(n, _)| n == "domain")
+                .and_then(|(_, v)| v.as_str())
+                .unwrap();
+            assert!(DOMAINS[..O_TOPICS].contains(&dom), "non-O domain {dom}");
+        }
+        let stats = dataset_stats(&fam.frb_o);
+        assert!(
+            stats.modularity > 0.1,
+            "domain-structured sample is modular ({})",
+            stats.modularity
+        );
+    }
+
+    #[test]
+    fn samples_are_fragmented() {
+        // Random edge sampling of a sparse graph shatters it (Table 3: the
+        // Frb samples are "the most fragmented").
+        let fam = generate_all(Scale::small(), 42);
+        let stats = dataset_stats(&fam.frb_s);
+        assert!(
+            stats.components as f64 > 0.1 * fam.frb_s.vertex_count() as f64,
+            "many components ({} of {})",
+            stats.components,
+            fam.frb_s.vertex_count()
+        );
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let full = generate_full(Scale::small(), 42);
+        let stats = dataset_stats(&full);
+        assert!(
+            (stats.max_degree as f64) > 20.0 * stats.avg_degree,
+            "hubs dominate (max {} vs avg {:.1})",
+            stats.max_degree,
+            stats.avg_degree
+        );
+    }
+
+    #[test]
+    fn label_alphabet_is_large_and_skewed() {
+        let full = generate_full(Scale::small(), 42);
+        let labels = full.edge_label_set();
+        assert!(labels.len() > 60, "many relation labels ({})", labels.len());
+        // Skew: the most frequent label covers far more than 1/|L|.
+        let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for e in &full.edges {
+            *counts.entry(e.label.as_str()).or_default() += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max as f64 > 5.0 * full.edge_count() as f64 / labels.len() as f64);
+    }
+}

@@ -1,0 +1,123 @@
+//! # gm-datasets — dataset generators, samplers and statistics
+//!
+//! The paper evaluates on four dataset families (§5, *Datasets*): the Yeast
+//! protein-interaction network, the MiCo co-authorship graph, four Freebase
+//! samples (Frb-O by topic; Frb-S/M/L by sampling 0.1 / 1 / 10 % of edges),
+//! and an LDBC social network. The original data is either unavailable or
+//! far beyond laptop scale, so this crate provides **seeded synthetic
+//! generators that reproduce the shape statistics of Table 3** (degree
+//! skew, label cardinality, fragmentation, density, modularity) at a
+//! configurable scale — see DESIGN.md §2 for the substitution rationale.
+//!
+//! * [`scale::Scale`] — scale presets (`tiny`, `small`, `medium`);
+//! * [`yeast`], [`mico`], [`freebase`], [`ldbc`] — the generators;
+//! * [`stats`] — everything Table 3 reports (components, density,
+//!   modularity, degrees, diameter);
+//! * GraphSON I/O re-exported from `gm_model::graphson`.
+
+pub mod freebase;
+pub mod ldbc;
+pub mod mico;
+pub mod power_law;
+pub mod scale;
+pub mod stats;
+pub mod yeast;
+
+pub use gm_model::graphson;
+pub use scale::Scale;
+pub use stats::{dataset_stats, DatasetStats};
+
+use gm_model::Dataset;
+
+/// Identifier for the seven benchmark datasets of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// Protein-interaction network (small, dense, many labels).
+    Yeast,
+    /// Co-authorship network (100K nodes at full scale).
+    Mico,
+    /// Freebase topic sample: organization/business/government/finance/
+    /// geography/military.
+    FrbO,
+    /// Freebase 0.1 % edge sample.
+    FrbS,
+    /// Freebase 1 % edge sample.
+    FrbM,
+    /// Freebase 10 % edge sample.
+    FrbL,
+    /// LDBC-style social network (properties on nodes *and* edges).
+    Ldbc,
+}
+
+impl DatasetId {
+    /// All seven datasets in the order the paper lists them.
+    pub const ALL: [DatasetId; 7] = [
+        DatasetId::Yeast,
+        DatasetId::Mico,
+        DatasetId::FrbO,
+        DatasetId::FrbS,
+        DatasetId::FrbM,
+        DatasetId::FrbL,
+        DatasetId::Ldbc,
+    ];
+
+    /// The four Freebase samples the result sections focus on.
+    pub const FREEBASE: [DatasetId; 4] =
+        [DatasetId::FrbS, DatasetId::FrbO, DatasetId::FrbM, DatasetId::FrbL];
+
+    /// Canonical short name (Table 3 row label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetId::Yeast => "yeast",
+            DatasetId::Mico => "mico",
+            DatasetId::FrbO => "frb-o",
+            DatasetId::FrbS => "frb-s",
+            DatasetId::FrbM => "frb-m",
+            DatasetId::FrbL => "frb-l",
+            DatasetId::Ldbc => "ldbc",
+        }
+    }
+}
+
+/// Generate a dataset by id at the given scale with a fixed seed.
+///
+/// The Freebase samples share one underlying synthetic knowledge base per
+/// (scale, seed): generating `FrbS`, `FrbM`, `FrbL`, `FrbO` individually
+/// re-derives it, which keeps this function self-contained; callers that
+/// need several samples should use [`freebase::generate_all`] once.
+pub fn generate(id: DatasetId, scale: Scale, seed: u64) -> Dataset {
+    match id {
+        DatasetId::Yeast => yeast::generate(scale, seed),
+        DatasetId::Mico => mico::generate(scale, seed),
+        DatasetId::Ldbc => ldbc::generate(scale, seed),
+        DatasetId::FrbO | DatasetId::FrbS | DatasetId::FrbM | DatasetId::FrbL => {
+            let all = freebase::generate_all(scale, seed);
+            match id {
+                DatasetId::FrbO => all.frb_o,
+                DatasetId::FrbS => all.frb_s,
+                DatasetId::FrbM => all.frb_m,
+                DatasetId::FrbL => all.frb_l,
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(DatasetId::FrbO.name(), "frb-o");
+        assert_eq!(DatasetId::ALL.len(), 7);
+    }
+
+    #[test]
+    fn generate_dispatches() {
+        let d = generate(DatasetId::Yeast, Scale::tiny(), 42);
+        assert_eq!(d.name, "yeast");
+        assert!(d.vertex_count() > 0);
+        d.validate().unwrap();
+    }
+}

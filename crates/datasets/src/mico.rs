@@ -1,0 +1,114 @@
+//! MiCo co-authorship network generator.
+//!
+//! Table 3 shape: |V| = 100K, |E| = 1.08M, |L| = 106, 1.3K components with a
+//! 93K giant component, avg degree 21.6, max 1.3K, diameter 23. "Nodes
+//! represent authors, while edges represent co-authorships … and have as a
+//! label the number of co-authored papers" — so the label alphabet is the
+//! set of distinct co-authorship counts, heavily skewed toward "1".
+
+use gm_model::{Dataset, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::power_law::{AttachmentPool, Zipf};
+use crate::scale::Scale;
+
+const FIELDS: [&str; 10] = [
+    "databases",
+    "theory",
+    "systems",
+    "ml",
+    "networks",
+    "graphics",
+    "hci",
+    "security",
+    "bioinformatics",
+    "pl",
+];
+
+/// Generate the MiCo-shaped dataset.
+pub fn generate(scale: Scale, seed: u64) -> Dataset {
+    let n = scale.apply(100_000, 400);
+    let target_edges = ((n as f64) * 10.8) as u64; // avg degree ≈ 21.6
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9ea5_0002);
+    let mut d = Dataset::new("mico");
+
+    let field_sampler = Zipf::new(FIELDS.len(), 0.8);
+    for i in 0..n {
+        let field = FIELDS[field_sampler.sample(&mut rng)];
+        d.add_vertex(
+            "author",
+            vec![
+                ("name".into(), Value::Str(format!("author-{i}"))),
+                ("field".into(), Value::Str(field.to_string())),
+            ],
+        );
+    }
+
+    // Co-authorship counts: Zipf over 1..=106 (most pairs co-author once).
+    let count_sampler = Zipf::new(106, 1.6);
+    let mut pool = AttachmentPool::new(n);
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = 0u64;
+    let mut guard = 0u64;
+    while edges < target_edges && guard < target_edges * 50 {
+        guard += 1;
+        let a = pool.sample(&mut rng, 0.12);
+        let b = pool.sample(&mut rng, 0.25);
+        if a == b || !seen.insert((a.min(b), a.max(b))) {
+            continue;
+        }
+        let papers = count_sampler.sample(&mut rng) + 1;
+        d.add_edge(a, b, papers.to_string(), vec![]);
+        pool.touch(a);
+        pool.touch(b);
+        edges += 1;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::dataset_stats;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(Scale::tiny(), 5);
+        let b = generate(Scale::tiny(), 5);
+        assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn shape_at_small_scale() {
+        let d = generate(Scale::small(), 42);
+        d.validate().unwrap();
+        let v = d.vertex_count() as f64;
+        let e = d.edge_count() as f64;
+        // Average total degree ≈ 2E/V ≈ 21.6 (±40%).
+        let avg = 2.0 * e / v;
+        assert!(avg > 12.0 && avg < 30.0, "avg degree {avg}");
+        let stats = dataset_stats(&d);
+        assert!(
+            stats.max_component as f64 > 0.7 * v,
+            "giant component holds most authors"
+        );
+        assert!(
+            stats.max_degree as f64 > avg * 3.0,
+            "hubs well above average ({} vs {avg})",
+            stats.max_degree
+        );
+        // Labels are numeric strings, skewed toward "1".
+        let ones = d.edges.iter().filter(|e| e.label == "1").count();
+        assert!(ones as f64 > 0.4 * e, "most pairs co-author once");
+    }
+
+    #[test]
+    fn labels_are_paper_counts() {
+        let d = generate(Scale::tiny(), 3);
+        for e in &d.edges {
+            let n: u32 = e.label.parse().expect("numeric label");
+            assert!((1..=106).contains(&n));
+        }
+    }
+}

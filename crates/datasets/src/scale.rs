@@ -1,0 +1,100 @@
+//! Scale presets.
+//!
+//! The paper's datasets range from 2.3K to 76M nodes; a laptop-scale
+//! reproduction shrinks every dataset by a common factor while preserving
+//! its *shape* (degree skew, label cardinality relative to edges,
+//! fragmentation). `Scale::small()` is the default for the reproduction
+//! binaries; `Scale::tiny()` keeps unit tests fast; `Scale::medium()` is for
+//! longer benchmark runs.
+
+/// A scale preset: a multiplier applied to the paper's dataset sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Fraction of the paper's size (1.0 = paper scale).
+    pub factor: f64,
+    /// Human-readable preset name.
+    pub name: &'static str,
+}
+
+impl Scale {
+    /// Unit-test scale: ~1/20000 of the paper.
+    pub fn tiny() -> Scale {
+        Scale {
+            factor: 1.0 / 20000.0,
+            name: "tiny",
+        }
+    }
+
+    /// Default reproduction scale: ~1/2000 of the paper (Frb-L ≈ 15K edges).
+    pub fn small() -> Scale {
+        Scale {
+            factor: 1.0 / 2000.0,
+            name: "small",
+        }
+    }
+
+    /// Extended scale for benchmark runs: ~1/400 of the paper.
+    pub fn medium() -> Scale {
+        Scale {
+            factor: 1.0 / 400.0,
+            name: "medium",
+        }
+    }
+
+    /// Parse a preset name (`tiny` / `small` / `medium`) or a custom
+    /// fraction like `1/1000`.
+    pub fn parse(text: &str) -> Option<Scale> {
+        match text {
+            "tiny" => Some(Scale::tiny()),
+            "small" => Some(Scale::small()),
+            "medium" => Some(Scale::medium()),
+            other => {
+                let (num, den) = other.split_once('/')?;
+                let num: f64 = num.trim().parse().ok()?;
+                let den: f64 = den.trim().parse().ok()?;
+                if den > 0.0 && num > 0.0 {
+                    Some(Scale {
+                        factor: num / den,
+                        name: "custom",
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Scale a paper-size count with a floor.
+    pub fn apply(&self, paper_count: u64, floor: u64) -> u64 {
+        ((paper_count as f64 * self.factor) as u64).max(floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse() {
+        assert_eq!(Scale::parse("tiny").unwrap().name, "tiny");
+        assert_eq!(Scale::parse("small").unwrap().name, "small");
+        assert_eq!(Scale::parse("medium").unwrap().name, "medium");
+        let c = Scale::parse("1/100").unwrap();
+        assert!((c.factor - 0.01).abs() < 1e-12);
+        assert!(Scale::parse("nope").is_none());
+        assert!(Scale::parse("1/0").is_none());
+    }
+
+    #[test]
+    fn apply_respects_floor() {
+        let s = Scale::tiny();
+        assert_eq!(s.apply(100, 50), 50);
+        assert!(s.apply(100_000_000, 1) > 1000);
+    }
+
+    #[test]
+    fn ordering_of_presets() {
+        assert!(Scale::tiny().factor < Scale::small().factor);
+        assert!(Scale::small().factor < Scale::medium().factor);
+    }
+}

@@ -1,0 +1,137 @@
+//! Yeast protein-interaction network generator.
+//!
+//! Table 3 shape: |V| = 2.3K, |E| = 7.1K, |L| = 167, 101 components with a
+//! 2.2K-vertex giant component, avg degree 6.1, max 66, diameter 11. Nodes
+//! carry "the short name, a long name, a description, and a label based on
+//! its putative function class"; edge labels are "the respective protein
+//! classes" (pairs of function classes).
+
+use gm_model::{Dataset, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::power_law::{AttachmentPool, Zipf};
+use crate::scale::Scale;
+
+/// Protein function classes (Bu et al. 2003 use ~13 broad classes).
+const FUNCTION_CLASSES: [&str; 13] = [
+    "metabolism",
+    "energy",
+    "cell-growth",
+    "transcription",
+    "protein-synthesis",
+    "protein-destination",
+    "transport",
+    "signal-transduction",
+    "cell-rescue",
+    "cell-death",
+    "ionic-homeostasis",
+    "cell-organization",
+    "unclassified",
+];
+
+/// Generate the Yeast-shaped dataset. Yeast is already laptop-sized, so
+/// scaling only kicks in below `Scale::small` (the floor keeps ≥ 120
+/// proteins for test runs).
+pub fn generate(scale: Scale, seed: u64) -> Dataset {
+    let n = scale.apply(2361 * 2000, 120).min(2361); // paper size cap
+    let target_edges = ((n as f64) * 3.05) as u64; // avg degree ≈ 6.1
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9ea5_0001);
+    let mut d = Dataset::new("yeast");
+
+    let class_sampler = Zipf::new(FUNCTION_CLASSES.len(), 0.9);
+    let mut classes = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let class = FUNCTION_CLASSES[class_sampler.sample(&mut rng)];
+        classes.push(class);
+        d.add_vertex(
+            "protein",
+            vec![
+                ("short_name".into(), Value::Str(format!("Y{i:04}"))),
+                (
+                    "long_name".into(),
+                    Value::Str(format!("budding yeast protein {i}")),
+                ),
+                (
+                    "description".into(),
+                    Value::Str(format!(
+                        "S.cerevisiae ORF {i} involved in {class}"
+                    )),
+                ),
+                ("class".into(), Value::Str(class.to_string())),
+            ],
+        );
+    }
+
+    // PPI edges: preferential attachment with moderate skew; ~4% of nodes
+    // stay isolated so the component count matches the fragmented shape.
+    let mut pool = AttachmentPool::new(n);
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = 0u64;
+    let mut guard = 0u64;
+    while edges < target_edges && guard < target_edges * 50 {
+        guard += 1;
+        let a = pool.sample(&mut rng, 0.35);
+        let b = pool.sample(&mut rng, 0.35);
+        if a == b || !seen.insert((a.min(b), a.max(b))) {
+            continue;
+        }
+        // Edge label: the interacting protein-class pair.
+        let (ca, cb) = (classes[a as usize], classes[b as usize]);
+        let label = if ca <= cb {
+            format!("{ca}--{cb}")
+        } else {
+            format!("{cb}--{ca}")
+        };
+        d.add_edge(a, b, label, vec![]);
+        pool.touch(a);
+        pool.touch(b);
+        edges += 1;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::dataset_stats;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(Scale::tiny(), 7);
+        let b = generate(Scale::tiny(), 7);
+        assert_eq!(a.vertices.len(), b.vertices.len());
+        assert_eq!(a.edges, b.edges);
+        let c = generate(Scale::tiny(), 8);
+        assert_ne!(a.edges, c.edges, "different seed, different graph");
+    }
+
+    #[test]
+    fn paper_scale_shape() {
+        let d = generate(Scale { factor: 1.0, name: "paper" }, 42);
+        d.validate().unwrap();
+        assert_eq!(d.vertex_count(), 2361);
+        let e = d.edge_count() as f64;
+        assert!(e > 6000.0 && e < 8000.0, "≈7.1K edges, got {e}");
+        let labels = d.edge_label_set().len();
+        assert!(labels > 60 && labels <= 169, "many class-pair labels, got {labels}");
+        let stats = dataset_stats(&d);
+        assert!(stats.components > 20, "fragmented ({})", stats.components);
+        assert!(
+            stats.max_component as f64 > 0.8 * d.vertex_count() as f64,
+            "giant component"
+        );
+        assert!(stats.max_degree >= 30, "hub proteins exist");
+    }
+
+    #[test]
+    fn node_properties_present() {
+        let d = generate(Scale::tiny(), 1);
+        let v = &d.vertices[0];
+        let names: Vec<&str> = v.props.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["short_name", "long_name", "description", "class"]
+        );
+    }
+}

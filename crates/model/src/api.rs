@@ -1,0 +1,412 @@
+//! The engine API — graphmark's analogue of a TinkerPop/Gremlin adapter.
+//!
+//! Every storage engine implements [`GraphDb`]. The 35 microbenchmark queries
+//! (paper Table 2) and the complex LDBC-style workload decompose into calls
+//! on this trait, exactly as Gremlin queries decompose into primitive
+//! operators (§1, *Micro-benchmarking*). The traversal layer (`gm-traversal`)
+//! builds BFS, shortest paths, and multi-step traversals from these
+//! primitives so that **per-engine differences come only from the physical
+//! data organization underneath**.
+
+use std::time::Duration;
+
+use crate::ctx::QueryCtx;
+use crate::dataset::Dataset;
+use crate::error::GdbResult;
+use crate::ids::{Eid, Vid};
+use crate::value::{Props, Value};
+
+/// Traversal direction, matching Gremlin's `in()`, `out()`, `both()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Follow incoming edges (`v.in()` / `v.inE()`).
+    In,
+    /// Follow outgoing edges (`v.out()` / `v.outE()`).
+    Out,
+    /// Follow edges in both directions (`v.both()` / `v.bothE()`).
+    Both,
+}
+
+impl Direction {
+    /// The opposite direction; `Both` is its own opposite.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::In => Direction::Out,
+            Direction::Out => Direction::In,
+            Direction::Both => Direction::Both,
+        }
+    }
+
+    /// All three directions, for tests and sweeps.
+    pub const ALL: [Direction; 3] = [Direction::In, Direction::Out, Direction::Both];
+}
+
+/// A (edge, neighbor) pair returned by [`GraphDb::vertex_edges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// Internal edge id.
+    pub eid: Eid,
+    /// The endpoint on the far side of the edge relative to the queried
+    /// vertex. For self-loops this equals the queried vertex.
+    pub other: Vid,
+}
+
+/// Materialized vertex (Q14 result shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertexData {
+    /// Internal id.
+    pub id: Vid,
+    /// Vertex label.
+    pub label: String,
+    /// Properties.
+    pub props: Props,
+}
+
+/// Materialized edge (Q15 result shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeData {
+    /// Internal id.
+    pub id: Eid,
+    /// Source vertex.
+    pub src: Vid,
+    /// Destination vertex.
+    pub dst: Vid,
+    /// Edge label.
+    pub label: String,
+    /// Properties.
+    pub props: Props,
+}
+
+/// Options for [`GraphDb::bulk_load`] (Q1).
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Use the engine's bulk path if it has one. The paper had to enable
+    /// this explicitly for BlazeGraph ("bulk loading" option, §6.2); with
+    /// `false` the triple engine updates all three B+Trees per statement.
+    pub bulk: bool,
+    /// Build attribute indexes during the load instead of after.
+    pub index_during_load: bool,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            bulk: true,
+            index_during_load: false,
+        }
+    }
+}
+
+/// Load outcome (vertex/edge counts as seen by the engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Vertices ingested.
+    pub vertices: u64,
+    /// Edges ingested.
+    pub edges: u64,
+}
+
+/// Structure-by-structure space accounting (Figure 1).
+#[derive(Debug, Clone, Default)]
+pub struct SpaceReport {
+    /// Named components, e.g. `("node records", 1_048_576)`.
+    pub components: Vec<(String, u64)>,
+}
+
+impl SpaceReport {
+    /// Add a named component.
+    pub fn add(&mut self, name: impl Into<String>, bytes: u64) {
+        self.components.push((name.into(), bytes));
+    }
+
+    /// Total bytes across all components.
+    pub fn total(&self) -> u64 {
+        self.components.iter().map(|(_, b)| *b).sum()
+    }
+}
+
+/// Static description of an engine for the Table 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct EngineFeatures {
+    /// Short engine name, e.g. `"linked(v1)"`.
+    pub name: String,
+    /// `"Native"` or `"Hybrid (…)"`, as in Table 1.
+    pub system_type: String,
+    /// Physical storage summary, as in Table 1's *Storage* column.
+    pub storage: String,
+    /// How edge traversal is resolved, as in Table 1's *Edge Traversal*.
+    pub edge_traversal: String,
+    /// Whether the adapter conflates multiple query steps into one plan
+    /// (Table 1's "Optimized" column; true for the relational engine).
+    pub optimized_adapter: bool,
+    /// Whether writes are acknowledged before reaching the primary store
+    /// (the document engine's asynchronous journal; biases CUD latency,
+    /// §6.4 "Insertions …" caveat).
+    pub async_writes: bool,
+    /// Whether user-controlled attribute indexes are supported (Figure 4c;
+    /// the triple engine has none, as BlazeGraph in §6.4 *Effect of Indexing*).
+    pub attribute_indexes: bool,
+}
+
+/// The common engine interface.
+///
+/// Mutating operations take `&mut self`; queries take `&self` plus a
+/// [`QueryCtx`] that carries the cooperative deadline. Implementations must
+/// call [`QueryCtx::tick`] at least once per element touched during scans and
+/// traversals so timeouts observe the same granularity across engines.
+pub trait GraphDb {
+    /// Variant-qualified engine name (e.g. `"linked(v2)"`).
+    fn name(&self) -> String;
+
+    /// Static feature description (Table 1).
+    fn features(&self) -> EngineFeatures;
+
+    // ----- Load (Q1) --------------------------------------------------
+
+    /// Ingest a canonical dataset into an **empty** engine.
+    fn bulk_load(&mut self, data: &Dataset, opts: &LoadOptions) -> GdbResult<LoadStats>;
+
+    /// Map a canonical vertex id to this engine's internal id.
+    ///
+    /// Used by the benchmark runner *outside* the timed region ("the lookup
+    /// for the object is performed before the time is measured", §4.2).
+    fn resolve_vertex(&self, canonical: u64) -> Option<Vid>;
+
+    /// Map a canonical edge id to this engine's internal id.
+    fn resolve_edge(&self, canonical: u64) -> Option<Eid>;
+
+    // ----- Create (Q2–Q7) ---------------------------------------------
+
+    /// Q2: add a vertex with properties; returns the internal id.
+    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid>;
+
+    /// Q3/Q4: add an edge (with properties for Q4).
+    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid>;
+
+    /// Q5/Q16: insert or update a vertex property.
+    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()>;
+
+    /// Q6/Q17: insert or update an edge property.
+    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()>;
+
+    // ----- Read (Q8–Q15) ----------------------------------------------
+
+    /// Q8: total number of vertices.
+    fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64>;
+
+    /// Q9: total number of edges.
+    fn edge_count(&self, ctx: &QueryCtx) -> GdbResult<u64>;
+
+    /// Q10: distinct edge labels (order unspecified, no duplicates).
+    fn edge_label_set(&self, ctx: &QueryCtx) -> GdbResult<Vec<String>>;
+
+    /// Q11: vertices whose property `name` equals `value`.
+    fn vertices_with_property(
+        &self,
+        name: &str,
+        value: &Value,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Vid>>;
+
+    /// Q12: edges whose property `name` equals `value`.
+    fn edges_with_property(&self, name: &str, value: &Value, ctx: &QueryCtx)
+        -> GdbResult<Vec<Eid>>;
+
+    /// Q13: edges with the given label.
+    fn edges_with_label(&self, label: &str, ctx: &QueryCtx) -> GdbResult<Vec<Eid>>;
+
+    /// Q14: the vertex with internal id `v`, fully materialized.
+    fn vertex(&self, v: Vid) -> GdbResult<Option<VertexData>>;
+
+    /// Q15: the edge with internal id `e`, fully materialized.
+    fn edge(&self, e: Eid) -> GdbResult<Option<EdgeData>>;
+
+    // ----- Update / Delete (Q16–Q21) ------------------------------------
+
+    /// Q18: delete a vertex together with its incident edges and properties.
+    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()>;
+
+    /// Q19: delete an edge and its properties.
+    fn remove_edge(&mut self, e: Eid) -> GdbResult<()>;
+
+    /// Q20: remove a vertex property; returns the previous value if present.
+    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>>;
+
+    /// Q21: remove an edge property; returns the previous value if present.
+    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>>;
+
+    // ----- Traversal primitives (Q22–Q35 build on these) ----------------
+
+    /// Q22/Q23/Q24: neighbors of `v` via `dir` edges, optionally restricted
+    /// to a label. Duplicates allowed (parallel edges yield repeats), order
+    /// unspecified.
+    fn neighbors(
+        &self,
+        v: Vid,
+        dir: Direction,
+        label: Option<&str>,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Vid>>;
+
+    /// Incident edges of `v` with the far endpoint.
+    fn vertex_edges(
+        &self,
+        v: Vid,
+        dir: Direction,
+        label: Option<&str>,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<EdgeRef>>;
+
+    /// Number of incident edges (Q28–Q30 predicate).
+    fn vertex_degree(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<u64>;
+
+    /// Q25/Q26/Q27: distinct labels of incident edges.
+    fn vertex_edge_labels(
+        &self,
+        v: Vid,
+        dir: Direction,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<String>>;
+
+    /// Iterate all vertex ids (`g.V`). Engines yield `Err(Timeout)` if the
+    /// context expires mid-scan.
+    fn scan_vertices<'a>(
+        &'a self,
+        ctx: &'a QueryCtx,
+    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Vid>> + 'a>>;
+
+    /// Iterate all edge ids (`g.E`).
+    fn scan_edges<'a>(
+        &'a self,
+        ctx: &'a QueryCtx,
+    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Eid>> + 'a>>;
+
+    // ----- Element accessors used by traversal filters -------------------
+
+    /// Single vertex property lookup.
+    fn vertex_property(&self, v: Vid, name: &str) -> GdbResult<Option<Value>>;
+
+    /// Single edge property lookup.
+    fn edge_property(&self, e: Eid, name: &str) -> GdbResult<Option<Value>>;
+
+    /// Source and destination of an edge.
+    fn edge_endpoints(&self, e: Eid) -> GdbResult<Option<(Vid, Vid)>>;
+
+    /// Label of an edge.
+    fn edge_label(&self, e: Eid) -> GdbResult<Option<String>>;
+
+    /// Label of a vertex.
+    fn vertex_label(&self, v: Vid) -> GdbResult<Option<String>>;
+
+    // ----- Bulk traversal helpers -----------------------------------------
+
+    /// Q28–Q30: all vertices with at least `k` incident edges in `dir`.
+    ///
+    /// The default implementation is the Gremlin decomposition — scan all
+    /// vertices and evaluate the degree filter per vertex. Engines may
+    /// override it with a physically better (or, in the bitmap engine's
+    /// case, deliberately adapter-faithful worse) strategy; the paper's
+    /// Figure 5(b) differences come precisely from these implementations.
+    fn degree_scan(&self, dir: Direction, k: u64, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        let mut out = Vec::new();
+        let scan = self.scan_vertices(ctx)?;
+        for v in scan {
+            let v = v?;
+            if self.vertex_degree(v, dir, ctx)? >= k {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Q31: distinct vertices reachable over one hop in `dir` from any
+    /// vertex (`g.V.out.dedup()` — "nodes having an incoming edge" for
+    /// `Out`).
+    ///
+    /// The default is the Gremlin decomposition: per-vertex neighbor
+    /// expansion followed by dedup. Engines whose adapter conflates steps
+    /// into one plan (Table 1's "Optimized") may override — the relational
+    /// engine answers with one pass over its edge tables, which is why the
+    /// paper finds "Sqlg is able to complete only Q.31" among the
+    /// whole-graph filters (§6.4).
+    fn distinct_neighbor_scan(&self, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        let mut out = Vec::new();
+        let scan = self.scan_vertices(ctx)?;
+        let mut sources = Vec::new();
+        for v in scan {
+            sources.push(v?);
+        }
+        for v in sources {
+            out.extend(self.neighbors(v, dir, None, ctx)?);
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    // ----- Attribute indexes (Figure 4c) ---------------------------------
+
+    /// Build a user-controlled index on a vertex property. Engines without
+    /// this capability return [`GdbError::Unsupported`](crate::GdbError).
+    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()>;
+
+    /// Whether a vertex index on `prop` exists.
+    fn has_vertex_index(&self, prop: &str) -> bool;
+
+    // ----- Space (Figure 1) ----------------------------------------------
+
+    /// Structure-by-structure space report.
+    fn space(&self) -> SpaceReport;
+
+    /// Flush any asynchronous write buffers (document engine journal).
+    /// Engines with synchronous writes implement this as a no-op. The
+    /// benchmark runner calls it after CUD batches *outside* the timed
+    /// region, matching the client-side measurement caveat of §6.4.
+    fn sync(&mut self) -> GdbResult<()> {
+        Ok(())
+    }
+}
+
+/// A timeout helper used by the runner: the paper's per-query budget.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeBudget {
+    /// Wall-clock budget for one query execution.
+    pub per_query: Duration,
+}
+
+impl Default for TimeBudget {
+    fn default() -> Self {
+        // The paper uses 2 hours on server hardware with up to 314M edges;
+        // scaled-down datasets get a proportionally scaled-down default.
+        TimeBudget {
+            per_query: Duration::from_secs(30),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::In.reverse(), Direction::Out);
+        assert_eq!(Direction::Out.reverse(), Direction::In);
+        assert_eq!(Direction::Both.reverse(), Direction::Both);
+    }
+
+    #[test]
+    fn space_report_totals() {
+        let mut r = SpaceReport::default();
+        r.add("a", 10);
+        r.add("b", 32);
+        assert_eq!(r.total(), 42);
+        assert_eq!(r.components.len(), 2);
+    }
+
+    #[test]
+    fn load_options_default_is_bulk() {
+        assert!(LoadOptions::default().bulk);
+        assert!(!LoadOptions::default().index_during_load);
+    }
+}

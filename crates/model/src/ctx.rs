@@ -1,0 +1,170 @@
+//! Cooperative query deadlines — the in-process analogue of the paper's
+//! 2-hour per-query timeout.
+//!
+//! Real GDB servers are killed from the outside when a query overruns; inside
+//! one process we instead thread a [`QueryCtx`] through every scan and
+//! traversal loop. Engines call [`QueryCtx::tick`] once per element touched;
+//! the context checks the wall clock only every [`TICKS_PER_CLOCK_CHECK`]
+//! ticks so the overhead on the measured path stays in the sub-nanosecond
+//! range.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+use crate::error::{GdbError, GdbResult};
+
+/// How many `tick()` calls elapse between wall-clock checks.
+pub const TICKS_PER_CLOCK_CHECK: u64 = 4096;
+
+/// Per-query execution context: deadline + work counter.
+///
+/// Not `Sync` on purpose — a query runs on one thread; the batch runner
+/// creates one context per query execution.
+#[derive(Debug)]
+pub struct QueryCtx {
+    deadline: Option<Instant>,
+    ticks: Cell<u64>,
+    expired: Cell<bool>,
+}
+
+impl QueryCtx {
+    /// A context that never times out. Used by unit tests and by setup code
+    /// outside the measured region.
+    pub fn unbounded() -> Self {
+        QueryCtx {
+            deadline: None,
+            ticks: Cell::new(0),
+            expired: Cell::new(false),
+        }
+    }
+
+    /// A context that expires `budget` from now.
+    pub fn with_timeout(budget: Duration) -> Self {
+        QueryCtx {
+            deadline: Some(Instant::now() + budget),
+            ticks: Cell::new(0),
+            expired: Cell::new(false),
+        }
+    }
+
+    /// A context that expires at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        QueryCtx {
+            deadline: Some(deadline),
+            ticks: Cell::new(0),
+            expired: Cell::new(false),
+        }
+    }
+
+    /// Record one unit of work; fails with [`GdbError::Timeout`] once the
+    /// deadline has passed. Engines call this in every scan/traversal loop.
+    #[inline]
+    pub fn tick(&self) -> GdbResult<()> {
+        if self.expired.get() {
+            return Err(GdbError::Timeout);
+        }
+        let t = self.ticks.get().wrapping_add(1);
+        self.ticks.set(t);
+        if t.is_multiple_of(TICKS_PER_CLOCK_CHECK) {
+            self.check_clock()?;
+        }
+        Ok(())
+    }
+
+    /// Record `n` units of work at once (bulk operations).
+    #[inline]
+    pub fn tick_n(&self, n: u64) -> GdbResult<()> {
+        if self.expired.get() {
+            return Err(GdbError::Timeout);
+        }
+        let before = self.ticks.get();
+        let after = before.wrapping_add(n);
+        self.ticks.set(after);
+        if before / TICKS_PER_CLOCK_CHECK != after / TICKS_PER_CLOCK_CHECK {
+            self.check_clock()?;
+        }
+        Ok(())
+    }
+
+    /// Force an immediate wall-clock check regardless of tick count.
+    pub fn check_clock(&self) -> GdbResult<()> {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.expired.set(true);
+                return Err(GdbError::Timeout);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total units of work recorded so far — a rough, engine-reported
+    /// "elements touched" figure that reports can show next to latencies.
+    pub fn work(&self) -> u64 {
+        self.ticks.get()
+    }
+
+    /// Whether this context has already observed its deadline expiring.
+    pub fn is_expired(&self) -> bool {
+        self.expired.get()
+    }
+}
+
+impl Default for QueryCtx {
+    fn default() -> Self {
+        QueryCtx::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_times_out() {
+        let ctx = QueryCtx::unbounded();
+        for _ in 0..(TICKS_PER_CLOCK_CHECK * 3) {
+            ctx.tick().unwrap();
+        }
+        assert!(!ctx.is_expired());
+        assert_eq!(ctx.work(), TICKS_PER_CLOCK_CHECK * 3);
+    }
+
+    #[test]
+    fn zero_budget_times_out_on_first_clock_check() {
+        let ctx = QueryCtx::with_timeout(Duration::from_millis(0));
+        // The first TICKS_PER_CLOCK_CHECK-1 ticks succeed (no clock check yet).
+        let mut failed = false;
+        for _ in 0..(TICKS_PER_CLOCK_CHECK * 2) {
+            if ctx.tick().is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "deadline must eventually fire");
+        // Once expired, every subsequent tick fails immediately.
+        assert_eq!(ctx.tick(), Err(GdbError::Timeout));
+        assert!(ctx.is_expired());
+    }
+
+    #[test]
+    fn explicit_clock_check_fires_immediately() {
+        let ctx = QueryCtx::with_timeout(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(ctx.check_clock(), Err(GdbError::Timeout));
+    }
+
+    #[test]
+    fn tick_n_crosses_check_boundary() {
+        let ctx = QueryCtx::with_timeout(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        // A single bulk tick spanning the boundary must observe the deadline.
+        assert_eq!(ctx.tick_n(TICKS_PER_CLOCK_CHECK + 1), Err(GdbError::Timeout));
+    }
+
+    #[test]
+    fn generous_deadline_allows_work() {
+        let ctx = QueryCtx::with_timeout(Duration::from_secs(60));
+        ctx.tick_n(100_000).unwrap();
+        assert!(!ctx.is_expired());
+    }
+}

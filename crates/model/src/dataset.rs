@@ -1,0 +1,324 @@
+//! Canonical in-memory datasets.
+//!
+//! A [`Dataset`] is the engine-independent form of a graph: what the paper
+//! stores as a GraphSON file and feeds to every system. Generators in
+//! `gm-datasets` produce `Dataset`s; [`GraphDb::bulk_load`](crate::GraphDb)
+//! consumes them; the statistics module derives Table 3 from them.
+//!
+//! Canonical ids are dense (`0..vertices.len()`), which the generators
+//! guarantee and [`Dataset::validate`] checks. Engines map canonical ids to
+//! their internal ids at load time.
+
+use crate::value::{prop_get, Props, Value};
+
+/// A vertex in canonical form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsVertex {
+    /// Canonical id, equal to the index in [`Dataset::vertices`].
+    pub id: u64,
+    /// Vertex label (type), e.g. `"author"`, `"person"`, `"protein"`.
+    pub label: String,
+    /// Properties.
+    pub props: Props,
+}
+
+/// An edge in canonical form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsEdge {
+    /// Canonical id, equal to the index in [`Dataset::edges`].
+    pub id: u64,
+    /// Canonical id of the source vertex.
+    pub src: u64,
+    /// Canonical id of the destination vertex.
+    pub dst: u64,
+    /// Edge label. In the paper's model every edge has a label.
+    pub label: String,
+    /// Properties (only the LDBC dataset populates these — §5, *Datasets*).
+    pub props: Props,
+}
+
+/// An engine-independent graph dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Short dataset name (`"yeast"`, `"mico"`, `"frb-s"`, `"ldbc"`, …).
+    pub name: String,
+    /// Vertices, indexed by canonical id.
+    pub vertices: Vec<DsVertex>,
+    /// Edges, indexed by canonical id.
+    pub edges: Vec<DsEdge>,
+}
+
+impl Dataset {
+    /// Create an empty dataset with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dataset {
+            name: name.into(),
+            vertices: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Append a vertex, assigning the next canonical id. Returns the id.
+    pub fn add_vertex(&mut self, label: impl Into<String>, props: Props) -> u64 {
+        let id = self.vertices.len() as u64;
+        self.vertices.push(DsVertex {
+            id,
+            label: label.into(),
+            props,
+        });
+        id
+    }
+
+    /// Append an edge, assigning the next canonical id. Returns the id.
+    ///
+    /// Panics in debug builds if an endpoint is out of range; release-mode
+    /// validation is done by [`Dataset::validate`].
+    pub fn add_edge(&mut self, src: u64, dst: u64, label: impl Into<String>, props: Props) -> u64 {
+        debug_assert!((src as usize) < self.vertices.len(), "src out of range");
+        debug_assert!((dst as usize) < self.vertices.len(), "dst out of range");
+        let id = self.edges.len() as u64;
+        self.edges.push(DsEdge {
+            id,
+            src,
+            dst,
+            label: label.into(),
+            props,
+        });
+        id
+    }
+
+    /// Check structural invariants: dense ids and in-range endpoints.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, v) in self.vertices.iter().enumerate() {
+            if v.id != i as u64 {
+                return Err(format!("vertex at index {i} has id {}", v.id));
+            }
+        }
+        let n = self.vertices.len() as u64;
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.id != i as u64 {
+                return Err(format!("edge at index {i} has id {}", e.id));
+            }
+            if e.src >= n || e.dst >= n {
+                return Err(format!(
+                    "edge {} references missing vertex ({} -> {}, |V| = {n})",
+                    e.id, e.src, e.dst
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Distinct edge labels, sorted. |L| of Table 3.
+    pub fn edge_label_set(&self) -> Vec<&str> {
+        let mut labels: Vec<&str> = self.edges.iter().map(|e| e.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+
+    /// Distinct vertex labels, sorted.
+    pub fn vertex_label_set(&self) -> Vec<&str> {
+        let mut labels: Vec<&str> = self.vertices.iter().map(|v| v.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+
+    /// Out-degree, in-degree and total degree per vertex.
+    pub fn degrees(&self) -> Vec<DegreeEntry> {
+        let mut deg = vec![
+            DegreeEntry {
+                out_deg: 0,
+                in_deg: 0
+            };
+            self.vertices.len()
+        ];
+        for e in &self.edges {
+            deg[e.src as usize].out_deg += 1;
+            deg[e.dst as usize].in_deg += 1;
+        }
+        deg
+    }
+
+    /// Build a CSR-style undirected adjacency for statistics algorithms
+    /// (connected components, diameter estimation, modularity).
+    pub fn undirected_adjacency(&self) -> Adjacency {
+        let n = self.vertices.len();
+        let mut degree = vec![0u32; n];
+        for e in &self.edges {
+            degree[e.src as usize] += 1;
+            degree[e.dst as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        offsets.push(0u64);
+        for d in &degree {
+            acc += *d as u64;
+            offsets.push(acc);
+        }
+        let mut targets = vec![0u32; acc as usize];
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        for e in &self.edges {
+            let (s, d) = (e.src as usize, e.dst as usize);
+            targets[cursor[s] as usize] = e.dst as u32;
+            cursor[s] += 1;
+            targets[cursor[d] as usize] = e.src as u32;
+            cursor[d] += 1;
+        }
+        Adjacency { offsets, targets }
+    }
+
+    /// Sum of the name/value byte sizes of all properties — the "raw data"
+    /// yardstick used in the space experiment.
+    pub fn approx_property_bytes(&self) -> u64 {
+        let props_bytes = |props: &Props| {
+            props
+                .iter()
+                .map(|(n, v)| n.len() as u64 + v.approx_bytes())
+                .sum::<u64>()
+        };
+        self.vertices.iter().map(|v| props_bytes(&v.props)).sum::<u64>()
+            + self.edges.iter().map(|e| props_bytes(&e.props)).sum::<u64>()
+    }
+
+    /// Look up a vertex property by canonical id (generator-side helper).
+    pub fn vertex_prop(&self, id: u64, name: &str) -> Option<&Value> {
+        self.vertices
+            .get(id as usize)
+            .and_then(|v| prop_get(&v.props, name))
+    }
+}
+
+/// Per-vertex degree counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegreeEntry {
+    /// Number of outgoing edges.
+    pub out_deg: u32,
+    /// Number of incoming edges.
+    pub in_deg: u32,
+}
+
+impl DegreeEntry {
+    /// Total degree (in + out).
+    pub fn total(&self) -> u32 {
+        self.out_deg + self.in_deg
+    }
+}
+
+/// Compressed sparse row adjacency (undirected view of the graph).
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`.
+    pub offsets: Vec<u64>,
+    /// Concatenated neighbor lists.
+    pub targets: Vec<u32>,
+}
+
+impl Adjacency {
+    /// Neighbors of vertex `v` (with multiplicity; self-loops appear twice).
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mut d = Dataset::new("tiny");
+        let a = d.add_vertex("person", vec![("name".into(), Value::Str("ann".into()))]);
+        let b = d.add_vertex("person", vec![("name".into(), Value::Str("bob".into()))]);
+        let c = d.add_vertex("city", vec![]);
+        d.add_edge(a, b, "knows", vec![]);
+        d.add_edge(b, c, "lives_in", vec![]);
+        d.add_edge(a, c, "lives_in", vec![]);
+        d
+    }
+
+    #[test]
+    fn ids_are_dense_and_valid() {
+        let d = tiny();
+        assert_eq!(d.vertex_count(), 3);
+        assert_eq!(d.edge_count(), 3);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_bad_endpoint() {
+        let mut d = tiny();
+        d.edges[0].dst = 99;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_non_dense_ids() {
+        let mut d = tiny();
+        d.vertices[1].id = 7;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn label_sets_are_sorted_distinct() {
+        let d = tiny();
+        assert_eq!(d.edge_label_set(), vec!["knows", "lives_in"]);
+        assert_eq!(d.vertex_label_set(), vec!["city", "person"]);
+    }
+
+    #[test]
+    fn degrees_count_directionally() {
+        let d = tiny();
+        let deg = d.degrees();
+        assert_eq!(deg[0], DegreeEntry { out_deg: 2, in_deg: 0 });
+        assert_eq!(deg[1], DegreeEntry { out_deg: 1, in_deg: 1 });
+        assert_eq!(deg[2], DegreeEntry { out_deg: 0, in_deg: 2 });
+        assert_eq!(deg[2].total(), 2);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let d = tiny();
+        let adj = d.undirected_adjacency();
+        assert_eq!(adj.len(), 3);
+        assert_eq!(adj.neighbors(0), &[1, 2]);
+        assert_eq!(adj.neighbors(2).len(), 2);
+        // total slots == 2|E|
+        assert_eq!(adj.targets.len(), 6);
+    }
+
+    #[test]
+    fn property_bytes_positive() {
+        assert!(tiny().approx_property_bytes() > 0);
+    }
+
+    #[test]
+    fn vertex_prop_lookup() {
+        let d = tiny();
+        assert_eq!(d.vertex_prop(0, "name"), Some(&Value::Str("ann".into())));
+        assert_eq!(d.vertex_prop(2, "name"), None);
+        assert_eq!(d.vertex_prop(99, "name"), None);
+    }
+}

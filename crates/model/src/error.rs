@@ -1,0 +1,77 @@
+//! Error type shared by engines, traversal layer and benchmark runner.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type GdbResult<T> = Result<T, GdbError>;
+
+/// Errors surfaced by graph engines and the query machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GdbError {
+    /// The cooperative deadline of a [`QueryCtx`](crate::QueryCtx) expired.
+    ///
+    /// This is the in-process analogue of the paper's 2-hour query timeout;
+    /// the runner records it as a *did-not-complete* for Figure 1(c).
+    Timeout,
+    /// A vertex referenced by internal id does not exist (wrong id or deleted).
+    VertexNotFound(u64),
+    /// An edge referenced by internal id does not exist (wrong id or deleted).
+    EdgeNotFound(u64),
+    /// The operation is not supported by this engine (paper Table 1 gaps,
+    /// e.g. an engine without user-controllable attribute indexes).
+    Unsupported(String),
+    /// An invariant of the engine's physical storage was violated. Seeing this
+    /// in practice is a bug in the engine, never a user error.
+    Corrupt(String),
+    /// The caller supplied an invalid argument (empty label, NaN property
+    /// used as a key, …).
+    Invalid(String),
+    /// An engine-specific resource budget was exhausted (e.g. the bitmap
+    /// engine's intermediate-materialization cap, mirroring the Sparksee
+    /// memory-exhaustion failures of §6.4).
+    ResourceExhausted(String),
+    /// I/O or parse failure while reading a GraphSON file.
+    Io(String),
+}
+
+impl fmt::Display for GdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdbError::Timeout => write!(f, "query exceeded its deadline"),
+            GdbError::VertexNotFound(id) => write!(f, "vertex v{id} not found"),
+            GdbError::EdgeNotFound(id) => write!(f, "edge e{id} not found"),
+            GdbError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            GdbError::Corrupt(what) => write!(f, "storage corruption detected: {what}"),
+            GdbError::Invalid(what) => write!(f, "invalid argument: {what}"),
+            GdbError::ResourceExhausted(what) => write!(f, "resource exhausted: {what}"),
+            GdbError::Io(what) => write!(f, "i/o error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GdbError {}
+
+impl From<std::io::Error> for GdbError {
+    fn from(e: std::io::Error) -> Self {
+        GdbError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(GdbError::Timeout.to_string(), "query exceeded its deadline");
+        assert_eq!(GdbError::VertexNotFound(3).to_string(), "vertex v3 not found");
+        assert!(GdbError::Unsupported("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GdbError = io.into();
+        assert!(matches!(e, GdbError::Io(_)));
+    }
+}

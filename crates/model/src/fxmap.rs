@@ -1,0 +1,135 @@
+//! Fast integer-friendly hashing (FxHash-style) without external crates.
+//!
+//! The engines key most of their internal maps by `u64` ids; the default
+//! SipHash hasher of `std::collections::HashMap` is measurably slow for such
+//! keys (see the Rust Performance Book, "Hashing"). This module implements the
+//! multiply-rotate hash used by rustc's `FxHasher` — low quality but extremely
+//! fast, and HashDoS is not a concern for an in-process benchmark suite.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The rustc "Fx" hash: for each word, `hash = (rotl(hash, 5) ^ word) * SEED`.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Standalone convenience: hash a single `u64` with the Fx mix. Useful for
+/// engines that need a cheap deterministic scramble (e.g. hash partitioning).
+#[inline]
+pub fn fx_mix(word: u64) -> u64 {
+    word.rotate_left(ROTATE).wrapping_mul(SEED64)
+}
+
+/// Hash an arbitrary byte string with [`FxHasher`]; used where engines need a
+/// stable digest of a label or property name.
+pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fx_hash_bytes(b"person"), fx_hash_bytes(b"person"));
+        assert_ne!(fx_hash_bytes(b"person"), fx_hash_bytes(b"persons"));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, "x");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&999));
+        assert!(!m.contains_key(&1000));
+    }
+
+    #[test]
+    fn set_distinguishes_values() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(1);
+        s.insert(1);
+        s.insert(2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        // Distinct lengths with a shared prefix must not collide trivially.
+        assert_ne!(fx_hash_bytes(b"abcdefgh"), fx_hash_bytes(b"abcdefg"));
+        assert_ne!(fx_hash_bytes(b""), fx_hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn mix_is_not_identity() {
+        assert_ne!(fx_mix(1), 1);
+        assert_ne!(fx_mix(1), fx_mix(2));
+    }
+}

@@ -1,0 +1,305 @@
+//! GraphSON I/O — the suite's interchange format.
+//!
+//! The paper's suite stores every dataset as "GraphSON file (plain JSON)"
+//! (§5, *Test Suite*). We implement the classic (TinkerPop 2 style) GraphSON
+//! shape, which is the version the paper's Gremlin 2.6 queries operate on:
+//!
+//! ```json
+//! {
+//!   "graph": {
+//!     "mode": "NORMAL",
+//!     "vertices": [
+//!       {"_id": 0, "_type": "vertex", "_label": "author", "name": "ann"}
+//!     ],
+//!     "edges": [
+//!       {"_id": 0, "_type": "edge", "_outV": 0, "_inV": 1,
+//!        "_label": "coauthor", "papers": 3}
+//!     ]
+//!   }
+//! }
+//! ```
+//!
+//! Property values may be strings, integers, floats or booleans. Reserved
+//! keys (prefixed `_`) never collide with dataset property names — the
+//! generators enforce this and the reader rejects violations.
+
+use std::fs;
+use std::path::Path;
+
+use crate::dataset::{Dataset, DsEdge, DsVertex};
+use crate::error::{GdbError, GdbResult};
+use crate::json::Json;
+use crate::value::{Props, Value};
+
+/// Serialize a dataset to GraphSON text (compact JSON).
+pub fn to_graphson(data: &Dataset) -> String {
+    json_of_dataset(data).to_compact_string()
+}
+
+/// Serialize a dataset to pretty-printed GraphSON text.
+pub fn to_graphson_pretty(data: &Dataset) -> String {
+    json_of_dataset(data).to_pretty_string()
+}
+
+/// Write a dataset to a GraphSON file.
+pub fn write_file(data: &Dataset, path: &Path) -> GdbResult<()> {
+    fs::write(path, to_graphson(data))?;
+    Ok(())
+}
+
+/// Read a dataset from a GraphSON file.
+pub fn read_file(path: &Path) -> GdbResult<Dataset> {
+    let text = fs::read_to_string(path)?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_string());
+    from_graphson(&text, &name)
+}
+
+/// Parse GraphSON text into a dataset.
+pub fn from_graphson(text: &str, name: &str) -> GdbResult<Dataset> {
+    let doc = Json::parse(text).map_err(|e| GdbError::Io(e.to_string()))?;
+    let graph = doc
+        .get("graph")
+        .ok_or_else(|| bad("missing top-level 'graph' object"))?;
+    let vertices = graph
+        .get("vertices")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing 'vertices' array"))?;
+    let edges = graph
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing 'edges' array"))?;
+
+    let mut out = Dataset::new(name);
+    out.vertices.reserve(vertices.len());
+    for (idx, v) in vertices.iter().enumerate() {
+        let id = required_int(v, "_id")?;
+        if id != idx as i64 {
+            return Err(bad(&format!(
+                "vertex ids must be dense: saw {id} at index {idx}"
+            )));
+        }
+        let label = v
+            .get("_label")
+            .and_then(Json::as_str)
+            .unwrap_or("vertex")
+            .to_string();
+        out.vertices.push(DsVertex {
+            id: id as u64,
+            label,
+            props: props_of(v)?,
+        });
+    }
+    out.edges.reserve(edges.len());
+    for (idx, e) in edges.iter().enumerate() {
+        let id = required_int(e, "_id")?;
+        if id != idx as i64 {
+            return Err(bad(&format!(
+                "edge ids must be dense: saw {id} at index {idx}"
+            )));
+        }
+        let src = required_int(e, "_outV")? as u64;
+        let dst = required_int(e, "_inV")? as u64;
+        let label = e
+            .get("_label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("edge without '_label'"))?
+            .to_string();
+        out.edges.push(DsEdge {
+            id: id as u64,
+            src,
+            dst,
+            label,
+            props: props_of(e)?,
+        });
+    }
+    out.validate().map_err(|m| bad(&m))?;
+    Ok(out)
+}
+
+fn bad(msg: &str) -> GdbError {
+    GdbError::Io(format!("graphson: {msg}"))
+}
+
+fn required_int(obj: &Json, key: &str) -> GdbResult<i64> {
+    obj.get(key)
+        .and_then(Json::as_int)
+        .ok_or_else(|| bad(&format!("missing integer field '{key}'")))
+}
+
+fn props_of(obj: &Json) -> GdbResult<Props> {
+    let fields = match obj {
+        Json::Obj(fields) => fields,
+        _ => return Err(bad("element is not an object")),
+    };
+    let mut props = Props::new();
+    for (k, v) in fields {
+        if k.starts_with('_') {
+            continue; // reserved key
+        }
+        let value = match v {
+            Json::Str(s) => Value::Str(s.clone()),
+            Json::Int(i) => Value::Int(*i),
+            Json::Float(f) => Value::Float(*f),
+            Json::Bool(b) => Value::Bool(*b),
+            Json::Null => Value::Null,
+            _ => {
+                return Err(bad(&format!(
+                    "property '{k}' has unsupported nested value"
+                )))
+            }
+        };
+        props.push((k.clone(), value));
+    }
+    Ok(props)
+}
+
+fn json_of_value(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Int(*i),
+        Value::Float(f) => Json::Float(*f),
+        Value::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+fn json_of_dataset(data: &Dataset) -> Json {
+    let vertices: Vec<Json> = data
+        .vertices
+        .iter()
+        .map(|v| {
+            let mut fields = vec![
+                ("_id".to_string(), Json::Int(v.id as i64)),
+                ("_type".to_string(), Json::Str("vertex".into())),
+                ("_label".to_string(), Json::Str(v.label.clone())),
+            ];
+            for (k, val) in &v.props {
+                fields.push((k.clone(), json_of_value(val)));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    let edges: Vec<Json> = data
+        .edges
+        .iter()
+        .map(|e| {
+            let mut fields = vec![
+                ("_id".to_string(), Json::Int(e.id as i64)),
+                ("_type".to_string(), Json::Str("edge".into())),
+                ("_outV".to_string(), Json::Int(e.src as i64)),
+                ("_inV".to_string(), Json::Int(e.dst as i64)),
+                ("_label".to_string(), Json::Str(e.label.clone())),
+            ];
+            for (k, val) in &e.props {
+                fields.push((k.clone(), json_of_value(val)));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::Obj(vec![(
+        "graph".to_string(),
+        Json::Obj(vec![
+            ("mode".to_string(), Json::Str("NORMAL".into())),
+            ("vertices".to_string(), Json::Arr(vertices)),
+            ("edges".to_string(), Json::Arr(edges)),
+        ]),
+    )])
+}
+
+/// Byte size of the dataset's GraphSON serialization — the "Raw Data (JSON)"
+/// reference series of Figure 1.
+pub fn raw_json_bytes(data: &Dataset) -> u64 {
+    to_graphson(data).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new("sample");
+        let a = d.add_vertex(
+            "author",
+            vec![
+                ("name".into(), Value::Str("ann".into())),
+                ("papers".into(), Value::Int(12)),
+                ("active".into(), Value::Bool(true)),
+                ("h_index".into(), Value::Float(3.5)),
+            ],
+        );
+        let b = d.add_vertex("author", vec![("name".into(), Value::Str("bob".into()))]);
+        d.add_edge(a, b, "coauthor", vec![("papers".into(), Value::Int(3))]);
+        d
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let d = sample();
+        let text = to_graphson(&d);
+        let back = from_graphson(&text, "sample").unwrap();
+        assert_eq!(back.vertices, d.vertices);
+        assert_eq!(back.edges, d.edges);
+    }
+
+    #[test]
+    fn pretty_round_trip() {
+        let d = sample();
+        let text = to_graphson_pretty(&d);
+        let back = from_graphson(&text, "sample").unwrap();
+        assert_eq!(back.vertices, d.vertices);
+    }
+
+    #[test]
+    fn rejects_missing_graph_key() {
+        assert!(from_graphson("{}", "x").is_err());
+        assert!(from_graphson(r#"{"graph":{}}"#, "x").is_err());
+    }
+
+    #[test]
+    fn rejects_non_dense_ids() {
+        let text = r#"{"graph":{"mode":"NORMAL","vertices":[{"_id":5,"_type":"vertex","_label":"a"}],"edges":[]}}"#;
+        assert!(from_graphson(text, "x").is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_edge() {
+        let text = r#"{"graph":{"mode":"NORMAL","vertices":[{"_id":0,"_type":"vertex","_label":"a"}],
+            "edges":[{"_id":0,"_type":"edge","_outV":0,"_inV":7,"_label":"l"}]}}"#;
+        assert!(from_graphson(text, "x").is_err());
+    }
+
+    #[test]
+    fn rejects_nested_property_values() {
+        let text = r#"{"graph":{"mode":"NORMAL","vertices":[{"_id":0,"_type":"vertex","_label":"a","bad":[1,2]}],"edges":[]}}"#;
+        assert!(from_graphson(text, "x").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let d = sample();
+        let dir = std::env::temp_dir().join("graphmark-test-graphson");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.graphson.json");
+        write_file(&d, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.vertex_count(), d.vertex_count());
+        assert_eq!(back.edge_count(), d.edge_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn raw_bytes_nonzero() {
+        assert!(raw_json_bytes(&sample()) > 100);
+    }
+
+    #[test]
+    fn edge_label_required() {
+        let text = r#"{"graph":{"mode":"NORMAL","vertices":[{"_id":0,"_type":"vertex","_label":"a"},
+            {"_id":1,"_type":"vertex","_label":"a"}],
+            "edges":[{"_id":0,"_type":"edge","_outV":0,"_inV":1}]}}"#;
+        assert!(from_graphson(text, "x").is_err());
+    }
+}

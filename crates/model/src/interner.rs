@@ -1,0 +1,113 @@
+//! String interning for labels and property names.
+//!
+//! Engines store labels and property names as small integer ids; this
+//! interner provides the id↔string mapping. Every engine owns its own
+//! interner — the benchmark would be distorted if engines shared one.
+
+use crate::fxmap::FxHashMap;
+
+/// Bidirectional string↔u32 mapping with stable ids.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    by_name: FxHashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern a string, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up an id without interning; `None` if the string is unknown.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve an id back to its string.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All interned strings in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+
+    /// Approximate memory footprint.
+    pub fn bytes(&self) -> u64 {
+        self.names
+            .iter()
+            .map(|s| 2 * (s.len() as u64 + 24) + 8)
+            .sum::<u64>()
+            + 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("knows");
+        let b = i.intern("knows");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolvable() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("b"), 1);
+        assert_eq!(i.resolve(0), Some("a"));
+        assert_eq!(i.resolve(1), Some("b"));
+        assert_eq!(i.resolve(2), None);
+        assert_eq!(i.get("b"), Some(1));
+        assert_eq!(i.get("c"), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        let all: Vec<(u32, &str)> = i.iter().collect();
+        assert_eq!(all, vec![(0, "x"), (1, "y")]);
+    }
+
+    #[test]
+    fn bytes_nonzero_after_interning() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        i.intern("hello");
+        assert!(!i.is_empty());
+        assert!(i.bytes() > 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Property values of the attributed graph model.
+//!
+//! The paper's data model (§3) attaches sets of name–value pairs to nodes and
+//! edges. The value domain needed by all seven datasets is small: strings,
+//! integers, floats and booleans. [`Value`] supports total ordering and
+//! hashing (floats via `f64::total_cmp` / bit patterns) so it can be used as
+//! a key in engine indexes — B+Trees in the relational and triple engines,
+//! value→bitmap maps in the bitmap engine.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A property value. `Null` is used only as an in-band "absent" marker by a
+/// few engine internals; datasets never contain explicit nulls.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Absence marker.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. Ordered with `total_cmp`, hashed by canonicalized bits.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+/// A property list: ordered name–value pairs. The order is the insertion
+/// order of the generator, which every engine must preserve semantically
+/// (they may store properties however they like physically).
+pub type Props = Vec<(String, Value)>;
+
+impl Value {
+    /// Short type tag, used in error messages and the triple engine's
+    /// statement encoding.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+        }
+    }
+
+    /// Returns the string slice if this is a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an `Int` value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float if this is a `Float` (or lossless `Int`) value.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a `Bool` value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True when the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Approximate heap + inline footprint in bytes; engines use this for the
+    /// space accounting of Figure 1.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Str(s) => 16 + s.len() as u64,
+        }
+    }
+
+    /// Canonicalized float bits: all NaNs map to one pattern, -0.0 to +0.0,
+    /// so `Eq`/`Hash` agree with `total order by value`.
+    fn float_bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0u64 // fold -0.0 and +0.0
+        } else {
+            f.to_bits()
+        }
+    }
+
+    /// A stable order across value types: Null < Bool < Int/Float < Str.
+    /// Ints and floats compare numerically with each other so that engine
+    /// indexes behave like a database ORDER BY.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                state.write_u8(*b as u8);
+            }
+            // Int and Float that are numerically equal must hash equally
+            // because Eq says they are equal: hash both through float bits
+            // when the int is exactly representable, otherwise through the
+            // integer itself (such an int can never equal any float value
+            // produced by parsing, which we accept).
+            Value::Int(i) => {
+                state.write_u8(2);
+                let f = *i as f64;
+                if f as i64 == *i {
+                    state.write_u64(Self::float_bits(f));
+                } else {
+                    state.write_u64(*i as u64);
+                }
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                state.write_u64(Self::float_bits(*f));
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                state.write(s.as_bytes());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+/// Find a property by name in a [`Props`] list.
+pub fn prop_get<'a>(props: &'a Props, name: &str) -> Option<&'a Value> {
+    props.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+}
+
+/// Insert-or-replace a property in a [`Props`] list; returns the old value.
+pub fn prop_set(props: &mut Props, name: &str, value: Value) -> Option<Value> {
+    for (n, v) in props.iter_mut() {
+        if n == name {
+            return Some(std::mem::replace(v, value));
+        }
+    }
+    props.push((name.to_string(), value));
+    None
+}
+
+/// Remove a property by name; returns the removed value if present.
+pub fn prop_remove(props: &mut Props, name: &str) -> Option<Value> {
+    let idx = props.iter().position(|(n, _)| n == name)?;
+    Some(props.remove(idx).1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn ordering_across_types_is_total() {
+        let mut vals = [Value::Str("b".into()),
+            Value::Int(3),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(2.5),
+            Value::Str("a".into())];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::Float(2.5));
+        assert_eq!(vals[3], Value::Int(3));
+        assert_eq!(vals[4], Value::Str("a".into()));
+        assert_eq!(vals[5], Value::Str("b".into()));
+    }
+
+    #[test]
+    fn int_float_numeric_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Float(3.0)));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+    }
+
+    #[test]
+    fn nan_is_self_equal_after_canonicalization() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(-f64::NAN);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn zero_signs_fold() {
+        assert_eq!(hash_of(&Value::Float(0.0)), hash_of(&Value::Float(-0.0)));
+    }
+
+    #[test]
+    fn prop_list_helpers() {
+        let mut p: Props = vec![("a".into(), Value::Int(1))];
+        assert_eq!(prop_get(&p, "a"), Some(&Value::Int(1)));
+        assert_eq!(prop_get(&p, "b"), None);
+        assert_eq!(prop_set(&mut p, "a", Value::Int(2)), Some(Value::Int(1)));
+        assert_eq!(prop_set(&mut p, "b", Value::Bool(true)), None);
+        assert_eq!(p.len(), 2);
+        assert_eq!(prop_remove(&mut p, "a"), Some(Value::Int(2)));
+        assert_eq!(prop_remove(&mut p, "a"), None);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_strings() {
+        assert!(Value::Str("hello".into()).approx_bytes() > Value::Int(1).approx_bytes());
+    }
+
+    #[test]
+    fn display_round_trip_for_ints() {
+        assert_eq!(Value::Int(-42).to_string(), "-42");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(1i64), Value::Int(1));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+    }
+}

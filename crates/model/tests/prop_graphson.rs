@@ -1,0 +1,55 @@
+//! Property-based test: GraphSON round-trips arbitrary datasets.
+
+use gm_model::graphson::{from_graphson, to_graphson};
+use gm_model::value::Value;
+use gm_model::Dataset;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
+        "[a-zA-Z0-9 ,.☃]{0,16}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_props() -> impl Strategy<Value = Vec<(String, Value)>> {
+    prop::collection::btree_map("[a-z]{1,8}", arb_value(), 0..5)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+prop_compose! {
+    fn arb_dataset()(
+        vlabels in prop::collection::vec(("[a-z]{1,6}", arb_props()), 1..20),
+    )(
+        edges in prop::collection::vec(
+            (0..vlabels.len() as u64, 0..vlabels.len() as u64, "[a-z]{1,6}", arb_props()),
+            0..40,
+        ),
+        vlabels in Just(vlabels),
+    ) -> Dataset {
+        let mut d = Dataset::new("prop");
+        for (label, props) in vlabels {
+            d.add_vertex(label, props);
+        }
+        for (s, t, label, props) in edges {
+            d.add_edge(s, t, label, props);
+        }
+        d
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graphson_round_trip(d in arb_dataset()) {
+        let text = to_graphson(&d);
+        let back = from_graphson(&text, "prop").unwrap();
+        prop_assert_eq!(back.vertices, d.vertices);
+        prop_assert_eq!(back.edges, d.edges);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests: JSON round-trips and Value ordering laws.
+
+use gm_model::json::Json;
+use gm_model::value::Value;
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary JSON documents of bounded depth.
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(Json::Int),
+        // Finite floats only; NaN/Inf intentionally serialize as null.
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Json::Float),
+        "[a-zA-Z0-9 _\\-\\\\\"\n\t☃]{0,24}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6).prop_map(|m| {
+                Json::Obj(m.into_iter().collect())
+            }),
+        ]
+    })
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z0-9]{0,12}".prop_map(Value::Str),
+    ]
+}
+
+proptest! {
+    /// parse(print(doc)) == doc for compact printing.
+    #[test]
+    fn json_compact_round_trip(doc in arb_json()) {
+        let text = doc.to_compact_string();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    /// parse(pretty_print(doc)) == doc.
+    #[test]
+    fn json_pretty_round_trip(doc in arb_json()) {
+        let text = doc.to_pretty_string();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn json_parser_total(input in "\\PC{0,256}") {
+        let _ = Json::parse(&input);
+    }
+
+    /// Value ordering is antisymmetric and transitive (spot-check totality).
+    #[test]
+    fn value_order_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // antisymmetry
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // transitivity for the <= relation
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Eq implies equal hashes for Value.
+    #[test]
+    fn value_eq_implies_hash_eq(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+}

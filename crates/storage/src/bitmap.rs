@@ -1,0 +1,495 @@
+//! Compressed bitmaps in the roaring style.
+//!
+//! Sparksee/DEX partitions its graph into "clusters of bitmaps" and answers
+//! most queries with bitwise operations (§3.2; Martínez-Bazán et al.,
+//! IDEAS'12). This module provides the same machinery: a 64-bit key space
+//! split into 16-bit chunks, each chunk stored either as a sorted array of
+//! `u16` (sparse) or a 65536-bit bitset (dense), switching representation at
+//! [`ARRAY_MAX`] entries.
+
+/// Maximum entries a sparse container holds before converting to a bitset.
+pub const ARRAY_MAX: usize = 4096;
+
+const BITSET_WORDS: usize = 1024; // 65536 bits
+
+#[derive(Debug, Clone)]
+enum Container {
+    /// Sorted, deduplicated low-16-bit values.
+    Array(Vec<u16>),
+    /// Dense bitset of all 65536 possible low values + cardinality.
+    Bitset(Box<[u64; BITSET_WORDS]>, u32),
+}
+
+impl Container {
+    fn new() -> Self {
+        Container::Array(Vec::new())
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Container::Array(v) => v.len(),
+            Container::Bitset(_, n) => *n as usize,
+        }
+    }
+
+    fn contains(&self, low: u16) -> bool {
+        match self {
+            Container::Array(v) => v.binary_search(&low).is_ok(),
+            Container::Bitset(words, _) => {
+                words[(low >> 6) as usize] & (1u64 << (low & 63)) != 0
+            }
+        }
+    }
+
+    fn insert(&mut self, low: u16) -> bool {
+        match self {
+            Container::Array(v) => match v.binary_search(&low) {
+                Ok(_) => false,
+                Err(i) => {
+                    v.insert(i, low);
+                    if v.len() > ARRAY_MAX {
+                        self.promote_to_bitset();
+                    }
+                    true
+                }
+            },
+            Container::Bitset(words, n) => {
+                let w = &mut words[(low >> 6) as usize];
+                let mask = 1u64 << (low & 63);
+                if *w & mask != 0 {
+                    false
+                } else {
+                    *w |= mask;
+                    *n += 1;
+                    true
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, low: u16) -> bool {
+        match self {
+            Container::Array(v) => match v.binary_search(&low) {
+                Ok(i) => {
+                    v.remove(i);
+                    true
+                }
+                Err(_) => false,
+            },
+            Container::Bitset(words, n) => {
+                let w = &mut words[(low >> 6) as usize];
+                let mask = 1u64 << (low & 63);
+                if *w & mask == 0 {
+                    false
+                } else {
+                    *w &= !mask;
+                    *n -= 1;
+                    if (*n as usize) <= ARRAY_MAX / 2 {
+                        self.demote_to_array();
+                    }
+                    true
+                }
+            }
+        }
+    }
+
+    fn promote_to_bitset(&mut self) {
+        if let Container::Array(v) = self {
+            let mut words = Box::new([0u64; BITSET_WORDS]);
+            for &low in v.iter() {
+                words[(low >> 6) as usize] |= 1u64 << (low & 63);
+            }
+            let n = v.len() as u32;
+            *self = Container::Bitset(words, n);
+        }
+    }
+
+    fn demote_to_array(&mut self) {
+        if let Container::Bitset(words, _) = self {
+            let mut v = Vec::new();
+            for (wi, &word) in words.iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let bit = w.trailing_zeros();
+                    v.push(((wi as u32) << 6 | bit) as u16);
+                    w &= w - 1;
+                }
+            }
+            *self = Container::Array(v);
+        }
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = u16> + '_> {
+        match self {
+            Container::Array(v) => Box::new(v.iter().copied()),
+            Container::Bitset(words, _) => Box::new(words.iter().enumerate().flat_map(
+                |(wi, &word)| {
+                    let mut out = Vec::with_capacity(word.count_ones() as usize);
+                    let mut w = word;
+                    while w != 0 {
+                        let bit = w.trailing_zeros();
+                        out.push(((wi as u32) << 6 | bit) as u16);
+                        w &= w - 1;
+                    }
+                    out
+                },
+            )),
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        match self {
+            Container::Array(v) => 24 + 2 * v.len() as u64,
+            Container::Bitset(_, _) => 8 * BITSET_WORDS as u64 + 8,
+        }
+    }
+
+    fn and(&self, other: &Container) -> Container {
+        let mut out = Container::new();
+        // Iterate the smaller side for array/any combos.
+        match (self, other) {
+            (Container::Bitset(a, _), Container::Bitset(b, _)) => {
+                let mut words = Box::new([0u64; BITSET_WORDS]);
+                let mut n = 0u32;
+                for i in 0..BITSET_WORDS {
+                    words[i] = a[i] & b[i];
+                    n += words[i].count_ones();
+                }
+                let mut c = Container::Bitset(words, n);
+                if (n as usize) <= ARRAY_MAX / 2 {
+                    c.demote_to_array();
+                }
+                return c;
+            }
+            _ => {
+                let (small, big) = if self.len() <= other.len() {
+                    (self, other)
+                } else {
+                    (other, self)
+                };
+                for low in small.iter() {
+                    if big.contains(low) {
+                        out.insert(low);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn or(&self, other: &Container) -> Container {
+        match (self, other) {
+            (Container::Bitset(a, _), Container::Bitset(b, _)) => {
+                let mut words = Box::new([0u64; BITSET_WORDS]);
+                let mut n = 0u32;
+                for i in 0..BITSET_WORDS {
+                    words[i] = a[i] | b[i];
+                    n += words[i].count_ones();
+                }
+                Container::Bitset(words, n)
+            }
+            _ => {
+                let mut out = self.clone();
+                for low in other.iter() {
+                    out.insert(low);
+                }
+                out
+            }
+        }
+    }
+
+    fn and_not(&self, other: &Container) -> Container {
+        let mut out = Container::new();
+        for low in self.iter() {
+            if !other.contains(low) {
+                out.insert(low);
+            }
+        }
+        out
+    }
+}
+
+/// A set of `u64` values stored as compressed per-chunk containers.
+#[derive(Debug, Clone, Default)]
+pub struct Bitmap {
+    /// Sorted by chunk key (`value >> 16`).
+    chunks: Vec<(u64, Container)>,
+    len: u64,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Bitmap::default()
+    }
+
+    /// Build from an iterator of values.
+    pub fn from_iter_values(values: impl IntoIterator<Item = u64>) -> Self {
+        let mut b = Bitmap::new();
+        for v in values {
+            b.insert(v);
+        }
+        b
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn chunk_index(&self, high: u64) -> Result<usize, usize> {
+        self.chunks.binary_search_by_key(&high, |(h, _)| *h)
+    }
+
+    /// Insert a value; returns true if it was not already present.
+    pub fn insert(&mut self, value: u64) -> bool {
+        let high = value >> 16;
+        let low = (value & 0xFFFF) as u16;
+        let idx = match self.chunk_index(high) {
+            Ok(i) => i,
+            Err(i) => {
+                self.chunks.insert(i, (high, Container::new()));
+                i
+            }
+        };
+        let added = self.chunks[idx].1.insert(low);
+        if added {
+            self.len += 1;
+        }
+        added
+    }
+
+    /// Remove a value; returns true if it was present.
+    pub fn remove(&mut self, value: u64) -> bool {
+        let high = value >> 16;
+        let low = (value & 0xFFFF) as u16;
+        if let Ok(i) = self.chunk_index(high) {
+            let removed = self.chunks[i].1.remove(low);
+            if removed {
+                self.len -= 1;
+                if self.chunks[i].1.len() == 0 {
+                    self.chunks.remove(i);
+                }
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, value: u64) -> bool {
+        match self.chunk_index(value >> 16) {
+            Ok(i) => self.chunks[i].1.contains((value & 0xFFFF) as u16),
+            Err(_) => false,
+        }
+    }
+
+    /// Iterate values in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.chunks
+            .iter()
+            .flat_map(|(high, c)| c.iter().map(move |low| (high << 16) | low as u64))
+    }
+
+    /// Set intersection.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        let mut out = Bitmap::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.chunks.len() && j < other.chunks.len() {
+            let (ha, ca) = &self.chunks[i];
+            let (hb, cb) = &other.chunks[j];
+            match ha.cmp(hb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let c = ca.and(cb);
+                    if c.len() > 0 {
+                        out.len += c.len() as u64;
+                        out.chunks.push((*ha, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Set union.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        let mut out = Bitmap::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.chunks.len() || j < other.chunks.len() {
+            let pick_a = match (self.chunks.get(i), other.chunks.get(j)) {
+                (Some((ha, _)), Some((hb, _))) => {
+                    if ha == hb {
+                        let c = self.chunks[i].1.or(&other.chunks[j].1);
+                        out.len += c.len() as u64;
+                        out.chunks.push((*ha, c));
+                        i += 1;
+                        j += 1;
+                        continue;
+                    }
+                    ha < hb
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if pick_a {
+                out.len += self.chunks[i].1.len() as u64;
+                out.chunks.push(self.chunks[i].clone());
+                i += 1;
+            } else {
+                out.len += other.chunks[j].1.len() as u64;
+                out.chunks.push(other.chunks[j].clone());
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        let mut out = Bitmap::new();
+        for (high, c) in &self.chunks {
+            let c2 = match other.chunk_index(*high) {
+                Ok(j) => c.and_not(&other.chunks[j].1),
+                Err(_) => c.clone(),
+            };
+            if c2.len() > 0 {
+                out.len += c2.len() as u64;
+                out.chunks.push((*high, c2));
+            }
+        }
+        out
+    }
+
+    /// Approximate memory footprint.
+    pub fn bytes(&self) -> u64 {
+        16 + self
+            .chunks
+            .iter()
+            .map(|(_, c)| 8 + c.bytes())
+            .sum::<u64>()
+    }
+
+    /// Smallest stored value, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.iter().next()
+    }
+}
+
+impl FromIterator<u64> for Bitmap {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        Bitmap::from_iter_values(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut b = Bitmap::new();
+        assert!(b.insert(42));
+        assert!(!b.insert(42));
+        assert!(b.contains(42));
+        assert!(!b.contains(41));
+        assert_eq!(b.len(), 1);
+        assert!(b.remove(42));
+        assert!(!b.remove(42));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn spans_chunks() {
+        let mut b = Bitmap::new();
+        let values = [0u64, 1, 65535, 65536, 1 << 20, (1 << 32) + 5, u64::MAX];
+        for &v in &values {
+            b.insert(v);
+        }
+        assert_eq!(b.len(), values.len() as u64);
+        let collected: Vec<u64> = b.iter().collect();
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(collected, sorted);
+    }
+
+    #[test]
+    fn array_to_bitset_promotion_and_back() {
+        let mut b = Bitmap::new();
+        for v in 0..(ARRAY_MAX as u64 + 100) {
+            b.insert(v);
+        }
+        assert_eq!(b.len(), ARRAY_MAX as u64 + 100);
+        for v in 0..(ARRAY_MAX as u64 + 100) {
+            assert!(b.contains(v), "missing {v} after promotion");
+        }
+        // Shrink far enough to trigger demotion.
+        for v in 0..(ARRAY_MAX as u64) {
+            b.remove(v);
+        }
+        assert_eq!(b.len(), 100);
+        let vals: Vec<u64> = b.iter().collect();
+        assert_eq!(vals.len(), 100);
+        assert_eq!(vals[0], ARRAY_MAX as u64);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a: Bitmap = (0..100u64).collect();
+        let b: Bitmap = (50..150u64).collect();
+        assert_eq!(a.and(&b).len(), 50);
+        assert_eq!(a.or(&b).len(), 150);
+        assert_eq!(a.and_not(&b).len(), 50);
+        assert_eq!(a.and_not(&b).iter().max(), Some(49));
+        assert!(a.and(&Bitmap::new()).is_empty());
+        assert_eq!(a.or(&Bitmap::new()).len(), 100);
+    }
+
+    #[test]
+    fn dense_and_dense_ops() {
+        let a: Bitmap = (0..10_000u64).collect();
+        let b: Bitmap = (5_000..15_000u64).collect();
+        assert_eq!(a.and(&b).len(), 5_000);
+        assert_eq!(a.or(&b).len(), 15_000);
+        // Verify a sample of members.
+        let and = a.and(&b);
+        assert!(and.contains(7_000));
+        assert!(!and.contains(4_999));
+    }
+
+    #[test]
+    fn ops_across_disjoint_chunks() {
+        let a: Bitmap = [1u64, 2, 3].into_iter().collect();
+        let b: Bitmap = [1u64 << 40, 2u64 << 40].into_iter().collect();
+        assert!(a.and(&b).is_empty());
+        assert_eq!(a.or(&b).len(), 5);
+        assert_eq!(a.and_not(&b).len(), 3);
+    }
+
+    #[test]
+    fn min_is_smallest() {
+        let b: Bitmap = [99u64, 3, 1 << 30].into_iter().collect();
+        assert_eq!(b.min(), Some(3));
+        assert_eq!(Bitmap::new().min(), None);
+    }
+
+    #[test]
+    fn bytes_reflect_density() {
+        let sparse: Bitmap = (0..10u64).collect();
+        let dense: Bitmap = (0..60_000u64).collect();
+        assert!(sparse.bytes() < dense.bytes());
+        // A dense chunk is a fixed 8 KiB bitset, far below 2 bytes/element
+        // that an array would need at this cardinality.
+        assert!(dense.bytes() < 2 * 60_000);
+    }
+}

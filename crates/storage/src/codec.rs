@@ -1,0 +1,212 @@
+//! Integer codecs: LEB128 varints, zigzag, and delta encoding.
+//!
+//! Titan compacts node identifiers in each adjacency list "with a form of
+//! delta encoding, a strategy very effective in graphs with nodes of high
+//! degree" (§6.2, *Space*). The columnar engine uses [`delta_encode`] for its
+//! neighbor lists; the document engine uses varints in its binary document
+//! format.
+
+/// Append `value` to `out` as an unsigned LEB128 varint (1–10 bytes).
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a varint from `buf` at `pos`; advances `pos`. Returns `None` on
+/// truncated or overlong input.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // overflow
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Zigzag-encode a signed integer so small magnitudes stay small.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Delta-encode a **sorted** slice of ids: first value as-is, then gaps,
+/// all as varints. Panics in debug builds if the input is unsorted.
+pub fn delta_encode(sorted: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(sorted.len() + 4);
+    write_varint(&mut out, sorted.len() as u64);
+    let mut prev = 0u64;
+    for (i, &v) in sorted.iter().enumerate() {
+        debug_assert!(i == 0 || v >= prev, "delta_encode input must be sorted");
+        let gap = if i == 0 { v } else { v - prev };
+        write_varint(&mut out, gap);
+        prev = v;
+    }
+    out
+}
+
+/// Decode a [`delta_encode`]d buffer.
+pub fn delta_decode(buf: &[u8]) -> Option<Vec<u64>> {
+    let mut pos = 0usize;
+    let n = read_varint(buf, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    for i in 0..n {
+        let gap = read_varint(buf, &mut pos)?;
+        let v = if i == 0 { gap } else { prev.checked_add(gap)? };
+        out.push(v);
+        prev = v;
+    }
+    Some(out)
+}
+
+/// Iterate a delta-encoded buffer without materializing the vector.
+pub struct DeltaIter<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    remaining: u64,
+    prev: u64,
+    first: bool,
+}
+
+impl<'a> DeltaIter<'a> {
+    /// Start decoding `buf`; returns `None` if the header is malformed.
+    pub fn new(buf: &'a [u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let n = read_varint(buf, &mut pos)?;
+        Some(DeltaIter {
+            buf,
+            pos,
+            remaining: n,
+            prev: 0,
+            first: true,
+        })
+    }
+
+    /// Number of ids that have not been yielded yet.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl<'a> Iterator for DeltaIter<'a> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let gap = read_varint(self.buf, &mut self.pos)?;
+        let v = if self.first { gap } else { self.prev.checked_add(gap)? };
+        self.first = false;
+        self.prev = v;
+        self.remaining -= 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip_edges() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        // 11 continuation bytes would exceed 64 bits.
+        let buf = vec![0xFFu8; 11];
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 4242, -4242] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes encode small.
+        assert!(zigzag(-1) < 4);
+        assert!(zigzag(1) < 4);
+    }
+
+    #[test]
+    fn delta_round_trip() {
+        let ids = vec![3u64, 7, 7, 100, 5_000_000, 5_000_001];
+        let enc = delta_encode(&ids);
+        assert_eq!(delta_decode(&enc), Some(ids.clone()));
+        let via_iter: Vec<u64> = DeltaIter::new(&enc).unwrap().collect();
+        assert_eq!(via_iter, ids);
+    }
+
+    #[test]
+    fn delta_empty() {
+        let enc = delta_encode(&[]);
+        assert_eq!(delta_decode(&enc), Some(vec![]));
+        assert_eq!(DeltaIter::new(&enc).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn delta_compresses_dense_ids() {
+        // 1000 consecutive ids: ~1 byte each + header, far below 8 bytes each.
+        let ids: Vec<u64> = (1_000_000..1_001_000).collect();
+        let enc = delta_encode(&ids);
+        assert!(enc.len() < 1_100, "got {} bytes", enc.len());
+    }
+
+    #[test]
+    fn delta_decode_rejects_garbage() {
+        assert_eq!(delta_decode(&[]), None);
+        // Claims 5 entries but provides none.
+        assert_eq!(delta_decode(&[5]), None);
+    }
+
+    #[test]
+    fn delta_iter_size_hint() {
+        let enc = delta_encode(&[1, 2, 3]);
+        let it = DeltaIter::new(&enc).unwrap();
+        assert_eq!(it.size_hint(), (3, Some(3)));
+    }
+}

@@ -1,0 +1,274 @@
+//! Open-addressing hash multimap from `u64` keys to `u64` values.
+//!
+//! ArangoDB "builds automatically indexes on edge endpoints" and resolves
+//! edge traversals through "a specialized hash index" (§3.1/§3.2). The
+//! document engine uses two of these (out-endpoint → edges, in-endpoint →
+//! edges); the columnar engine uses one as its row-key index.
+//!
+//! Linear probing with tombstones; duplicate `(key, value)` pairs are
+//! rejected so the structure is a set-valued map.
+
+const EMPTY: u64 = u64::MAX;
+const TOMB: u64 = u64::MAX - 1;
+
+/// Reserved key values (`u64::MAX` and `u64::MAX - 1`) may not be inserted.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    live: usize,
+    used: usize, // live + tombstones
+}
+
+impl Default for HashIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HashIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::with_capacity(16)
+    }
+
+    /// An empty index pre-sized for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        let slots = (cap * 2).next_power_of_two().max(16);
+        HashIndex {
+            keys: vec![EMPTY; slots],
+            vals: vec![0; slots],
+            live: 0,
+            used: 0,
+        }
+    }
+
+    /// Number of live `(key, value)` pairs.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    #[inline]
+    fn hash(key: u64, mask: usize) -> usize {
+        // Fibonacci hashing mixes the key before masking.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as usize & mask
+    }
+
+    fn grow(&mut self) {
+        let new_slots = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_slots]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_slots]);
+        self.live = 0;
+        self.used = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY && k != TOMB {
+                self.insert(k, v);
+            }
+        }
+    }
+
+    /// Insert a pair; returns false if the exact pair was already present.
+    ///
+    /// Panics if `key` is one of the two reserved values.
+    pub fn insert(&mut self, key: u64, value: u64) -> bool {
+        assert!(key != EMPTY && key != TOMB, "reserved key");
+        if (self.used + 1) * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = Self::hash(key, mask);
+        let mut first_tomb: Option<usize> = None;
+        loop {
+            match self.keys[i] {
+                k if k == EMPTY => {
+                    let slot = first_tomb.unwrap_or(i);
+                    if self.keys[slot] == EMPTY {
+                        self.used += 1;
+                    }
+                    self.keys[slot] = key;
+                    self.vals[slot] = value;
+                    self.live += 1;
+                    return true;
+                }
+                k if k == TOMB
+                    && first_tomb.is_none() => {
+                        first_tomb = Some(i);
+                    }
+                k if k == key && self.vals[i] == value => return false,
+                _ => {}
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// All values stored under `key`, in probe order.
+    pub fn get(&self, key: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.for_each(key, |v| out.push(v));
+        out
+    }
+
+    /// Visit every value stored under `key`.
+    pub fn for_each(&self, key: u64, mut f: impl FnMut(u64)) {
+        let mask = self.keys.len() - 1;
+        let mut i = Self::hash(key, mask);
+        loop {
+            match self.keys[i] {
+                k if k == EMPTY => return,
+                k if k == key => f(self.vals[i]),
+                _ => {}
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Whether any value is stored under `key`.
+    pub fn contains_key(&self, key: u64) -> bool {
+        let mut found = false;
+        self.for_each(key, |_| found = true);
+        found
+    }
+
+    /// Number of values stored under `key`.
+    pub fn count(&self, key: u64) -> usize {
+        let mut n = 0;
+        self.for_each(key, |_| n += 1);
+        n
+    }
+
+    /// Remove one exact pair; returns true if it was present.
+    pub fn remove(&mut self, key: u64, value: u64) -> bool {
+        let mask = self.keys.len() - 1;
+        let mut i = Self::hash(key, mask);
+        loop {
+            match self.keys[i] {
+                k if k == EMPTY => return false,
+                k if k == key && self.vals[i] == value => {
+                    self.keys[i] = TOMB;
+                    self.live -= 1;
+                    return true;
+                }
+                _ => {}
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Remove every pair under `key`; returns how many were removed.
+    pub fn remove_all(&mut self, key: u64) -> usize {
+        let mask = self.keys.len() - 1;
+        let mut i = Self::hash(key, mask);
+        let mut removed = 0;
+        loop {
+            match self.keys[i] {
+                k if k == EMPTY => return removed,
+                k if k == key => {
+                    self.keys[i] = TOMB;
+                    self.live -= 1;
+                    removed += 1;
+                }
+                _ => {}
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Approximate memory footprint.
+    pub fn bytes(&self) -> u64 {
+        (self.keys.len() * 16 + 32) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multimap_semantics() {
+        let mut h = HashIndex::new();
+        assert!(h.insert(1, 10));
+        assert!(h.insert(1, 11));
+        assert!(!h.insert(1, 10), "duplicate pair rejected");
+        assert_eq!(h.len(), 2);
+        let mut vals = h.get(1);
+        vals.sort_unstable();
+        assert_eq!(vals, vec![10, 11]);
+        assert_eq!(h.get(2), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn remove_specific_pair() {
+        let mut h = HashIndex::new();
+        h.insert(5, 50);
+        h.insert(5, 51);
+        assert!(h.remove(5, 50));
+        assert!(!h.remove(5, 50));
+        assert_eq!(h.get(5), vec![51]);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn remove_all_values() {
+        let mut h = HashIndex::new();
+        for v in 0..10 {
+            h.insert(7, v);
+        }
+        assert_eq!(h.count(7), 10);
+        assert_eq!(h.remove_all(7), 10);
+        assert_eq!(h.count(7), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn survives_growth() {
+        let mut h = HashIndex::new();
+        for k in 0..10_000u64 {
+            h.insert(k, k * 2);
+            h.insert(k, k * 2 + 1);
+        }
+        assert_eq!(h.len(), 20_000);
+        for k in 0..10_000u64 {
+            let mut v = h.get(k);
+            v.sort_unstable();
+            assert_eq!(v, vec![k * 2, k * 2 + 1]);
+        }
+    }
+
+    #[test]
+    fn tombstones_are_reusable() {
+        let mut h = HashIndex::new();
+        for round in 0..50u64 {
+            for k in 0..100u64 {
+                h.insert(k, round);
+            }
+            for k in 0..100u64 {
+                assert!(h.remove(k, round));
+            }
+        }
+        assert!(h.is_empty());
+        // The table must not have ballooned: inserts reuse tombstones after
+        // a rehash; just confirm it still answers correctly.
+        h.insert(3, 3);
+        assert_eq!(h.get(3), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved key")]
+    fn reserved_key_rejected() {
+        HashIndex::new().insert(u64::MAX, 1);
+    }
+
+    #[test]
+    fn contains_and_bytes() {
+        let mut h = HashIndex::new();
+        assert!(!h.contains_key(1));
+        h.insert(1, 1);
+        assert!(h.contains_key(1));
+        assert!(h.bytes() > 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # gm-storage — storage substrates for the graphmark engines
+//!
+//! The paper's systems delegate their physical storage to very different
+//! structures (Table 1): fixed-size linked records (Neo4j), append-only
+//! clusters with indirection (OrientDB), value bitmaps (Sparksee), JSON
+//! documents + endpoint hash indexes (ArangoDB), B+Tree-indexed statement
+//! journals (BlazeGraph), relational tables (Sqlg/Postgres), and
+//! adjacency-list rows over an LSM column store (Titan/Cassandra).
+//!
+//! This crate implements each substrate once, from scratch, so the engine
+//! crates can focus purely on the *graph layout* decisions the paper
+//! analyses:
+//!
+//! * [`bptree`] — in-memory B+Tree with range scans;
+//! * [`bitmap`] — compressed (roaring-style) bitmaps;
+//! * [`lsm`] — log-structured merge table with tombstones and compaction;
+//! * [`records`] — fixed-size record files where id == offset;
+//! * [`pagestore`] — append-only record store with logical→physical
+//!   indirection;
+//! * [`hashidx`] — open-addressing multimap for id→id indexes;
+//! * [`codec`] — varint / zigzag / delta encoding helpers.
+
+pub mod bitmap;
+pub mod bptree;
+pub mod codec;
+pub mod hashidx;
+pub mod lsm;
+pub mod pagestore;
+pub mod records;
+pub mod valcodec;
+
+pub use bitmap::Bitmap;
+pub use bptree::BPlusTree;
+pub use hashidx::HashIndex;
+pub use lsm::LsmTable;
+pub use pagestore::PageStore;
+pub use records::RecordFile;

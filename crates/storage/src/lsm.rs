@@ -1,0 +1,491 @@
+//! A log-structured merge table with tombstones and compaction.
+//!
+//! Titan's default backend is Cassandra (§3.1); the columnar engine stores
+//! its adjacency rows in this LSM. The structure reproduces the behaviours
+//! the paper attributes to the backend:
+//!
+//! * writes go to a sorted **memtable** and are cheap;
+//! * deletes write **tombstones** instead of removing data — the paper
+//!   credits Titan's fast deletions to exactly this (§6.5: "the tombstone
+//!   mechanism, that in deletions marks an item as removed instead of
+//!   actually removing it");
+//! * reads consult the memtable and then immutable runs newest-first, so
+//!   read amplification grows with the number of runs until **compaction**
+//!   folds them together.
+
+use std::collections::BTreeMap;
+
+/// Key-value entry; `None` is a tombstone.
+type MemEntry = Option<Vec<u8>>;
+
+/// A live `(key, value)` pair yielded by scans.
+type ScanItem = (Vec<u8>, Vec<u8>);
+
+/// One source cursor of the k-way merge scan.
+type SourceIter<'a> = Box<dyn Iterator<Item = SourceHead<'a>> + 'a>;
+
+/// The head element of a merge-scan source.
+type SourceHead<'a> = (&'a [u8], &'a MemEntry);
+
+/// The upper-bound predicate of a merge scan.
+type BoundCheck<'a> = Box<dyn Fn(&[u8]) -> bool + 'a>;
+
+/// An immutable sorted run produced by a memtable flush or a compaction.
+#[derive(Debug, Clone)]
+struct Run {
+    /// Sorted by key; values of `None` are tombstones.
+    entries: Vec<(Vec<u8>, MemEntry)>,
+    bytes: u64,
+}
+
+impl Run {
+    fn get(&self, key: &[u8]) -> Option<&MemEntry> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+}
+
+/// Tuning knobs for the LSM.
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Flush the memtable once it holds this many entries.
+    pub memtable_limit: usize,
+    /// Compact once this many immutable runs accumulate.
+    pub max_runs: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_limit: 4096,
+            max_runs: 6,
+        }
+    }
+}
+
+/// Counters exposed for tests and the benchmark's space accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LsmStats {
+    /// Completed memtable flushes.
+    pub flushes: u64,
+    /// Completed compactions.
+    pub compactions: u64,
+    /// Live tombstones across all runs.
+    pub tombstones: u64,
+}
+
+/// The LSM table.
+#[derive(Debug, Clone)]
+pub struct LsmTable {
+    mem: BTreeMap<Vec<u8>, MemEntry>,
+    runs: Vec<Run>, // oldest first
+    config: LsmConfig,
+    stats: LsmStats,
+}
+
+impl Default for LsmTable {
+    fn default() -> Self {
+        Self::new(LsmConfig::default())
+    }
+}
+
+impl LsmTable {
+    /// A new table with the given configuration.
+    pub fn new(config: LsmConfig) -> Self {
+        LsmTable {
+            mem: BTreeMap::new(),
+            runs: Vec::new(),
+            config,
+            stats: LsmStats::default(),
+        }
+    }
+
+    /// Insert or overwrite a key.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.mem.insert(key.to_vec(), Some(value.to_vec()));
+        self.maybe_flush();
+    }
+
+    /// Delete a key by writing a tombstone (cheap, like Cassandra).
+    pub fn delete(&mut self, key: &[u8]) {
+        self.mem.insert(key.to_vec(), None);
+        self.maybe_flush();
+    }
+
+    /// Point lookup; `None` for missing or tombstoned keys.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        if let Some(entry) = self.mem.get(key) {
+            return entry.clone();
+        }
+        for run in self.runs.iter().rev() {
+            if let Some(entry) = run.get(key) {
+                return entry.clone();
+            }
+        }
+        None
+    }
+
+    /// Whether a live value exists for `key`.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate live `(key, value)` pairs whose key starts with `prefix`,
+    /// in key order, with newest-version-wins and tombstone suppression.
+    pub fn scan_prefix<'a>(&'a self, prefix: &'a [u8]) -> impl Iterator<Item = ScanItem> + 'a {
+        self.scan_range(prefix, PrefixEnd::of(prefix))
+    }
+
+    /// Iterate live pairs with `lo <= key < hi` (no upper bound when
+    /// `hi == PrefixEnd::Unbounded`).
+    pub fn scan_range<'a>(
+        &'a self,
+        lo: &'a [u8],
+        hi: PrefixEnd,
+    ) -> impl Iterator<Item = ScanItem> + 'a {
+        // Build per-source cursors: index 0 = memtable (newest), then runs
+        // newest-first. A k-way merge picks the smallest key; on ties the
+        // newest source wins and older duplicates are skipped.
+        let within = move |k: &[u8]| match &hi {
+            PrefixEnd::Excluded(h) => k < h.as_slice(),
+            PrefixEnd::Unbounded => true,
+        };
+        let mut sources: Vec<SourceIter<'a>> = Vec::new();
+        sources.push(Box::new(
+            self.mem
+                .range(lo.to_vec()..)
+                .map(|(k, v)| (k.as_slice(), v)),
+        ));
+        for run in self.runs.iter().rev() {
+            let start = run
+                .entries
+                .partition_point(|(k, _)| k.as_slice() < lo);
+            sources.push(Box::new(
+                run.entries[start..].iter().map(|(k, v)| (k.as_slice(), v)),
+            ));
+        }
+        MergeScan {
+            heads: sources.iter_mut().map(|s| s.next()).collect(),
+            sources,
+            within: Box::new(within),
+        }
+    }
+
+    /// Count of live keys (scans everything; test/debug helper).
+    pub fn live_len(&self) -> usize {
+        self.scan_range(&[], PrefixEnd::Unbounded).count()
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.mem.len() >= self.config.memtable_limit {
+            self.flush();
+        }
+    }
+
+    /// Force the memtable into an immutable run.
+    pub fn flush(&mut self) {
+        if self.mem.is_empty() {
+            return;
+        }
+        let entries: Vec<(Vec<u8>, MemEntry)> = std::mem::take(&mut self.mem).into_iter().collect();
+        let bytes = run_bytes(&entries);
+        self.stats.tombstones += entries.iter().filter(|(_, v)| v.is_none()).count() as u64;
+        self.runs.push(Run { entries, bytes });
+        self.stats.flushes += 1;
+        if self.runs.len() > self.config.max_runs {
+            self.compact();
+        }
+    }
+
+    /// Merge all runs into one, dropping shadowed versions and tombstones.
+    pub fn compact(&mut self) {
+        if self.runs.len() <= 1 {
+            return;
+        }
+        let mut merged: BTreeMap<Vec<u8>, MemEntry> = BTreeMap::new();
+        for run in self.runs.drain(..) {
+            // Later (newer) runs overwrite earlier entries.
+            for (k, v) in run.entries {
+                merged.insert(k, v);
+            }
+        }
+        // Tombstones at the bottom level can be dropped entirely.
+        let entries: Vec<(Vec<u8>, MemEntry)> = merged
+            .into_iter()
+            .filter(|(_, v)| v.is_some())
+            .collect();
+        let bytes = run_bytes(&entries);
+        self.stats.tombstones = 0;
+        self.runs.push(Run { entries, bytes });
+        self.stats.compactions += 1;
+    }
+
+    /// Number of immutable runs currently on "disk".
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Counters for tests and reports.
+    pub fn stats(&self) -> LsmStats {
+        self.stats
+    }
+
+    /// Approximate footprint: memtable + all runs (including shadowed
+    /// versions and tombstones — that is the point of an LSM's space story).
+    pub fn bytes(&self) -> u64 {
+        let mem: u64 = self
+            .mem
+            .iter()
+            .map(|(k, v)| k.len() as u64 + v.as_ref().map_or(1, |v| v.len() as u64) + 32)
+            .sum();
+        mem + self.runs.iter().map(|r| r.bytes).sum::<u64>()
+    }
+}
+
+/// On-disk footprint of an immutable run, modelling the SSTable format:
+/// sorted keys are **prefix-compressed** against their predecessor (the
+/// Cassandra/SSTable trick that, combined with the columnar engine's delta
+/// encoding, gives Titan its Figure 1 space win), plus a small per-entry
+/// header.
+fn run_bytes(entries: &[(Vec<u8>, MemEntry)]) -> u64 {
+    let mut total = 0u64;
+    let mut prev: &[u8] = &[];
+    for (k, v) in entries {
+        let shared = prev
+            .iter()
+            .zip(k.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        total += (k.len() - shared) as u64 + v.as_ref().map_or(1, |v| v.len() as u64) + 4;
+        prev = k;
+    }
+    total
+}
+
+/// Exclusive upper bound for [`LsmTable::scan_range`].
+#[derive(Debug, Clone)]
+pub enum PrefixEnd {
+    /// Stop before this key.
+    Excluded(Vec<u8>),
+    /// No upper bound.
+    Unbounded,
+}
+
+impl PrefixEnd {
+    /// The smallest key greater than every key with the given prefix.
+    pub fn of(prefix: &[u8]) -> PrefixEnd {
+        let mut end = prefix.to_vec();
+        while let Some(last) = end.last_mut() {
+            if *last < 0xFF {
+                *last += 1;
+                return PrefixEnd::Excluded(end);
+            }
+            end.pop();
+        }
+        PrefixEnd::Unbounded
+    }
+}
+
+struct MergeScan<'a> {
+    sources: Vec<SourceIter<'a>>,
+    heads: Vec<Option<SourceHead<'a>>>,
+    within: BoundCheck<'a>,
+}
+
+impl<'a> Iterator for MergeScan<'a> {
+    type Item = ScanItem;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            // Find the smallest key among heads; newest source (lowest index)
+            // wins ties.
+            let mut best: Option<(usize, &'a [u8])> = None;
+            for (i, head) in self.heads.iter().enumerate() {
+                if let Some((k, _)) = head {
+                    match best {
+                        None => best = Some((i, k)),
+                        Some((_, bk)) if *k < bk => best = Some((i, k)),
+                        _ => {}
+                    }
+                }
+            }
+            let (winner, key) = best?;
+            if !(self.within)(key) {
+                return None;
+            }
+            let (_, entry) = self.heads[winner].take().expect("head exists");
+            self.heads[winner] = self.sources[winner].next();
+            // Skip the same key in all older sources.
+            for i in 0..self.heads.len() {
+                while let Some((k, _)) = self.heads[i] {
+                    if k == key {
+                        self.heads[i] = self.sources[i].next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            match entry {
+                Some(value) => return Some((key.to_vec(), value.clone())),
+                None => continue, // tombstone suppresses older versions
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LsmTable {
+        LsmTable::new(LsmConfig {
+            memtable_limit: 8,
+            max_runs: 3,
+        })
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut t = LsmTable::default();
+        t.put(b"a", b"1");
+        t.put(b"b", b"2");
+        assert_eq!(t.get(b"a"), Some(b"1".to_vec()));
+        t.delete(b"a");
+        assert_eq!(t.get(b"a"), None);
+        assert_eq!(t.get(b"b"), Some(b"2".to_vec()));
+        assert!(!t.contains(b"c"));
+    }
+
+    #[test]
+    fn newest_version_wins_across_runs() {
+        let mut t = small();
+        for round in 0..5u8 {
+            for k in 0..10u8 {
+                t.put(&[k], &[round]);
+            }
+            t.flush();
+        }
+        for k in 0..10u8 {
+            assert_eq!(t.get(&[k]), Some(vec![4]));
+        }
+    }
+
+    #[test]
+    fn tombstone_survives_flush() {
+        let mut t = small();
+        t.put(b"x", b"1");
+        t.flush();
+        t.delete(b"x");
+        t.flush();
+        assert_eq!(t.get(b"x"), None);
+        assert_eq!(t.live_len(), 0);
+    }
+
+    #[test]
+    fn compaction_drops_tombstones_and_shrinks() {
+        let mut t = small();
+        for k in 0..100u8 {
+            t.put(&[k], &[k]);
+        }
+        t.flush();
+        for k in 0..50u8 {
+            t.delete(&[k]);
+        }
+        t.flush();
+        let before = t.bytes();
+        t.compact();
+        assert!(t.bytes() < before, "compaction reclaims space");
+        assert_eq!(t.run_count(), 1);
+        assert_eq!(t.live_len(), 50);
+        assert_eq!(t.stats().tombstones, 0);
+        for k in 0..100u8 {
+            assert_eq!(t.get(&[k]).is_some(), k >= 50);
+        }
+    }
+
+    #[test]
+    fn auto_flush_and_auto_compact() {
+        let mut t = small();
+        for k in 0..200u32 {
+            t.put(&k.to_be_bytes(), b"v");
+        }
+        assert!(t.stats().flushes > 0, "memtable limit triggers flushes");
+        assert!(t.run_count() <= 4, "max_runs bounds the run count");
+        assert!(t.stats().compactions > 0);
+        assert_eq!(t.live_len(), 200);
+    }
+
+    #[test]
+    fn prefix_scan_merges_sources() {
+        let mut t = small();
+        // Rows keyed (vertex_id BE, column) like the columnar engine.
+        for v in 0..4u32 {
+            for c in 0..4u8 {
+                let mut key = v.to_be_bytes().to_vec();
+                key.push(c);
+                t.put(&key, &[c]);
+            }
+            t.flush();
+        }
+        // Overwrite one column in the memtable and delete another.
+        let mut k = 2u32.to_be_bytes().to_vec();
+        k.push(1);
+        t.put(&k, b"new");
+        let mut k2 = 2u32.to_be_bytes().to_vec();
+        k2.push(2);
+        t.delete(&k2);
+
+        let hits: Vec<(Vec<u8>, Vec<u8>)> = t.scan_prefix(&2u32.to_be_bytes()).collect();
+        assert_eq!(hits.len(), 3, "one column deleted");
+        assert_eq!(hits[1].1, b"new".to_vec());
+        // Keys come back sorted.
+        let keys: Vec<&[u8]> = hits.iter().map(|(k, _)| k.as_slice()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn prefix_end_handles_ff() {
+        match PrefixEnd::of(&[1, 0xFF]) {
+            PrefixEnd::Excluded(e) => assert_eq!(e, vec![2]),
+            _ => panic!("expected excluded"),
+        }
+        assert!(matches!(PrefixEnd::of(&[0xFF, 0xFF]), PrefixEnd::Unbounded));
+        assert!(matches!(PrefixEnd::of(&[]), PrefixEnd::Unbounded));
+    }
+
+    #[test]
+    fn scan_range_unbounded() {
+        let mut t = small();
+        t.put(b"a", b"1");
+        t.put(b"z", b"2");
+        t.flush();
+        let all: Vec<_> = t.scan_range(b"", PrefixEnd::Unbounded).collect();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn bytes_grow_until_compaction() {
+        // Disable auto-compaction so the growth is observable.
+        let mut t = LsmTable::new(LsmConfig {
+            memtable_limit: 1_000_000,
+            max_runs: 1_000_000,
+        });
+        for k in 0..64u32 {
+            t.put(&k.to_be_bytes(), &[0u8; 32]);
+        }
+        t.flush();
+        let b1 = t.bytes();
+        // Overwrite everything: space roughly doubles until compaction.
+        for k in 0..64u32 {
+            t.put(&k.to_be_bytes(), &[1u8; 32]);
+        }
+        t.flush();
+        assert!(t.bytes() > b1);
+        t.compact();
+        assert!(t.bytes() <= b1 + 64, "post-compaction space back to ~one copy");
+    }
+}

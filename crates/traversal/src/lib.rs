@@ -1,0 +1,26 @@
+//! # gm-traversal — the Gremlin-like traversal machine
+//!
+//! The paper runs every query through Apache TinkerPop/Gremlin so that all
+//! systems execute *the same logical plan* and differences come from the
+//! storage layer (§5, *Common Query Language*). This crate plays that role
+//! for the graphmark engines:
+//!
+//! * [`Traversal`] — a step-based query builder/interpreter
+//!   (`V → has → out → count` …) executing against any
+//!   [`GraphDb`](gm_model::GraphDb). Steps are evaluated one at a time with
+//!   materialized intermediate results — exactly the per-step adapter
+//!   semantics the paper describes for non-optimizing Gremlin
+//!   implementations;
+//! * [`algo`] — breadth-first search and unweighted shortest paths
+//!   (Q32–Q35), composed from the engine's primitive operators with
+//!   cooperative cancellation;
+//! * [`parser`] — a small text frontend for Gremlin-style query strings, so
+//!   new test queries can be added to the suite as scripts (the
+//!   extensibility claim of §5).
+
+pub mod algo;
+pub mod parser;
+pub mod steps;
+
+pub use algo::{bfs, shortest_path, PathResult};
+pub use steps::{Elem, Step, Traversal};

@@ -1,0 +1,379 @@
+//! A small text frontend for Gremlin-style traversals.
+//!
+//! The paper's suite lets users add a query by "writing it into a dedicated
+//! script" (§5, *Test Suite*). This parser provides that extension point for
+//! graphmark: a subset of Gremlin 2.6/3.x syntax large enough for all Table
+//! 2 read/traversal queries.
+//!
+//! ```text
+//! g.V().has('name', 'ann').out('knows').dedup().count()
+//! g.E().label().dedup()
+//! g.V(42)
+//! ```
+
+use gm_model::api::Direction;
+use gm_model::{Eid, Value, Vid};
+
+use crate::steps::{Step, Traversal};
+
+/// Parse error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a Gremlin-style query string into a [`Traversal`].
+pub fn parse(input: &str) -> Result<Traversal, ParseError> {
+    Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    }
+    .parse()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{token}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii ident")
+            .to_string())
+    }
+
+    fn number(&mut self) -> Result<i64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if matches!(self.bytes.get(self.pos), Some(b'-')) {
+            self.pos += 1;
+        }
+        while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("expected integer"))
+    }
+
+    fn string_lit(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let quote = match self.bytes.get(self.pos) {
+            Some(b'\'') => b'\'',
+            Some(b'"') => b'"',
+            _ => return Err(self.err("expected string literal")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c == quote {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string literal"))
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'\'' | b'"') => Ok(Value::Str(self.string_lit()?)),
+            Some(b't') if self.eat("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat("false") => Ok(Value::Bool(false)),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                // Distinguish int from float.
+                let start = self.pos;
+                let _ = self.number()?;
+                if matches!(self.bytes.get(self.pos), Some(b'.')) {
+                    self.pos += 1;
+                    while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_digit()) {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("bad float"))?;
+                    text.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| self.err("bad float"))
+                } else {
+                    let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("bad int"))?;
+                    text.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| self.err("bad int"))
+                }
+            }
+            _ => Err(self.err("expected value literal")),
+        }
+    }
+
+    fn optional_label_arg(&mut self) -> Result<Option<String>, ParseError> {
+        self.expect("(")?;
+        self.skip_ws();
+        if self.eat(")") {
+            return Ok(None);
+        }
+        let label = self.string_lit()?;
+        self.expect(")")?;
+        Ok(Some(label))
+    }
+
+    fn parse(mut self) -> Result<Traversal, ParseError> {
+        self.expect("g")?;
+        self.expect(".")?;
+        let source = self.ident()?;
+        self.expect("(")?;
+        self.skip_ws();
+        let mut t = match source.as_str() {
+            "V" => {
+                if self.eat(")") {
+                    Traversal::v()
+                } else {
+                    let id = self.number()?;
+                    self.expect(")")?;
+                    Traversal::v_by_id(Vid(id as u64))
+                }
+            }
+            "E" => {
+                if self.eat(")") {
+                    Traversal::e()
+                } else {
+                    let id = self.number()?;
+                    self.expect(")")?;
+                    Traversal::e_by_id(Eid(id as u64))
+                }
+            }
+            other => return Err(self.err(format!("unknown source step '{other}'"))),
+        };
+        // Chained steps.
+        loop {
+            self.skip_ws();
+            if self.pos == self.bytes.len() {
+                break;
+            }
+            self.expect(".")?;
+            let step = self.ident()?;
+            t = match step.as_str() {
+                "has" => {
+                    self.expect("(")?;
+                    let name = self.string_lit()?;
+                    self.expect(",")?;
+                    let value = self.value()?;
+                    self.expect(")")?;
+                    t.step(Step::Has(name, value))
+                }
+                "hasLabel" => {
+                    self.expect("(")?;
+                    let label = self.string_lit()?;
+                    self.expect(")")?;
+                    t.step(Step::HasLabel(label))
+                }
+                "out" => t.step(Step::Out(self.optional_label_arg()?)),
+                "in" => t.step(Step::In(self.optional_label_arg()?)),
+                "both" => t.step(Step::Both(self.optional_label_arg()?)),
+                "outE" => t.step(Step::OutE(self.optional_label_arg()?)),
+                "inE" => t.step(Step::InE(self.optional_label_arg()?)),
+                "bothE" => t.step(Step::BothE(self.optional_label_arg()?)),
+                "label" => {
+                    self.expect("(")?;
+                    self.expect(")")?;
+                    t.step(Step::Label)
+                }
+                "values" => {
+                    self.expect("(")?;
+                    let name = self.string_lit()?;
+                    self.expect(")")?;
+                    t.step(Step::Values(name))
+                }
+                "id" => {
+                    self.expect("(")?;
+                    self.expect(")")?;
+                    t.step(Step::Id)
+                }
+                "dedup" => {
+                    self.expect("(")?;
+                    self.expect(")")?;
+                    t.step(Step::Dedup)
+                }
+                "limit" => {
+                    self.expect("(")?;
+                    let n = self.number()?;
+                    self.expect(")")?;
+                    t.step(Step::Limit(n.max(0) as usize))
+                }
+                "count" => {
+                    self.expect("(")?;
+                    self.expect(")")?;
+                    t.step(Step::Count)
+                }
+                "degreeAtLeast" => {
+                    // graphmark extension for Q28-Q30: degreeAtLeast('both', k)
+                    self.expect("(")?;
+                    let dir = match self.string_lit()?.as_str() {
+                        "in" => Direction::In,
+                        "out" => Direction::Out,
+                        "both" => Direction::Both,
+                        other => {
+                            return Err(self.err(format!("unknown direction '{other}'")))
+                        }
+                    };
+                    self.expect(",")?;
+                    let k = self.number()?;
+                    self.expect(")")?;
+                    t.step(Step::DegreeAtLeast(dir, k.max(0) as u64))
+                }
+                other => return Err(self.err(format!("unknown step '{other}'"))),
+            };
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine_linked::LinkedGraph;
+    use gm_model::api::{GraphDb, LoadOptions};
+    use gm_model::testkit;
+    use gm_model::QueryCtx;
+
+    fn engine() -> LinkedGraph {
+        let mut g = LinkedGraph::v1();
+        g.bulk_load(&testkit::tiny_dataset(), &LoadOptions::default())
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn parses_basic_chains() {
+        let t = parse("g.V().count()").unwrap();
+        assert_eq!(t.steps().len(), 2);
+        let t = parse("g.E().label().dedup()").unwrap();
+        assert_eq!(
+            t.steps(),
+            &[Step::E, Step::Label, Step::Dedup]
+        );
+    }
+
+    #[test]
+    fn parses_arguments() {
+        let t = parse("g.V().has('name', 'ann').out('knows').limit(3)").unwrap();
+        assert_eq!(
+            t.steps(),
+            &[
+                Step::V,
+                Step::Has("name".into(), Value::Str("ann".into())),
+                Step::Out(Some("knows".into())),
+                Step::Limit(3),
+            ]
+        );
+        let t = parse("g.V().has('age', 30)").unwrap();
+        assert_eq!(
+            t.steps()[1],
+            Step::Has("age".into(), Value::Int(30))
+        );
+        let t = parse("g.V().has('w', 1.5)").unwrap();
+        assert_eq!(t.steps()[1], Step::Has("w".into(), Value::Float(1.5)));
+        let t = parse("g.V().has('ok', true)").unwrap();
+        assert_eq!(t.steps()[1], Step::Has("ok".into(), Value::Bool(true)));
+    }
+
+    #[test]
+    fn parses_id_sources() {
+        assert_eq!(parse("g.V(7)").unwrap().steps()[0], Step::VById(Vid(7)));
+        assert_eq!(parse("g.E(3)").unwrap().steps()[0], Step::EById(Eid(3)));
+    }
+
+    #[test]
+    fn parses_degree_extension() {
+        let t = parse("g.V().degreeAtLeast('both', 4).count()").unwrap();
+        assert_eq!(
+            t.steps()[1],
+            Step::DegreeAtLeast(Direction::Both, 4)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("h.V()").is_err());
+        assert!(parse("g.V().frobnicate()").is_err());
+        assert!(parse("g.V().has('a'").is_err());
+        assert!(parse("g.V().has('a', )").is_err());
+        assert!(parse("g.V() trailing").is_err());
+    }
+
+    #[test]
+    fn parsed_query_executes() {
+        let g = engine();
+        let ctx = QueryCtx::unbounded();
+        let t = parse("g.V().has('age', 30).count()").unwrap();
+        assert_eq!(t.run_count(&g, &ctx).unwrap(), 2);
+        let t = parse("g.V().hasLabel('person').out('knows').dedup().count()").unwrap();
+        assert_eq!(t.run_count(&g, &ctx).unwrap(), 2, "bob and col");
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let t = parse("g.V()\n  .has( 'name' , 'ann' )\n  .count()").unwrap();
+        let g = engine();
+        let ctx = QueryCtx::unbounded();
+        assert_eq!(t.run_count(&g, &ctx).unwrap(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Additional traversal-machine coverage: edge-side projections, label
+//! filters on edges, id steps, and step composition corner cases.
+
+use engine_linked::LinkedGraph;
+use gm_model::api::{GraphDb, LoadOptions};
+use gm_model::{testkit, QueryCtx, Value};
+use gm_traversal::steps::{Elem, Step, Traversal};
+
+fn engine() -> LinkedGraph {
+    let mut g = LinkedGraph::v1();
+    g.bulk_load(&testkit::tiny_dataset(), &LoadOptions::default())
+        .unwrap();
+    g
+}
+
+#[test]
+fn values_on_edges() {
+    let g = engine();
+    let ctx = QueryCtx::unbounded();
+    // Edge property "since" exists on two knows edges.
+    let out = Traversal::e().values("since").run(&g, &ctx).unwrap();
+    assert_eq!(out.len(), 2);
+    assert!(out.iter().all(|e| matches!(e, Elem::Val(Value::Int(_)))));
+}
+
+#[test]
+fn has_label_on_edges() {
+    let g = engine();
+    let ctx = QueryCtx::unbounded();
+    let n = Traversal::e()
+        .has_label("likes")
+        .count()
+        .run_count(&g, &ctx)
+        .unwrap();
+    assert_eq!(n, 2);
+}
+
+#[test]
+fn has_on_edges() {
+    let g = engine();
+    let ctx = QueryCtx::unbounded();
+    let n = Traversal::e()
+        .has("since", Value::Int(2010))
+        .count()
+        .run_count(&g, &ctx)
+        .unwrap();
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn id_step_produces_ints() {
+    let g = engine();
+    let ctx = QueryCtx::unbounded();
+    let out = Traversal::v().id().run(&g, &ctx).unwrap();
+    assert_eq!(out.len(), 5);
+    assert!(out.iter().all(|e| matches!(e, Elem::Val(Value::Int(i)) if *i >= 0)));
+}
+
+#[test]
+fn vertices_then_edges_then_vertices() {
+    // v -> outE -> (edges have no out-step result) and composition of
+    // filters after flat-maps.
+    let g = engine();
+    let ctx = QueryCtx::unbounded();
+    let v0 = g.resolve_vertex(0).unwrap();
+    let labels = Traversal::from_vertices([v0])
+        .out_e(None)
+        .label()
+        .dedup()
+        .run(&g, &ctx)
+        .unwrap();
+    assert_eq!(labels, vec![Elem::Val(Value::Str("knows".into()))]);
+}
+
+#[test]
+fn empty_stream_propagates() {
+    let g = engine();
+    let ctx = QueryCtx::unbounded();
+    let out = Traversal::v()
+        .has("name", Value::Str("nobody".into()))
+        .out(None)
+        .values("name")
+        .run(&g, &ctx)
+        .unwrap();
+    assert!(out.is_empty());
+    // count() of an empty stream is 0, not an error.
+    let n = Traversal::v()
+        .has_label("ghost")
+        .count()
+        .run_count(&g, &ctx)
+        .unwrap();
+    assert_eq!(n, 0);
+}
+
+#[test]
+fn count_mid_stream_then_nothing_else_needed() {
+    let g = engine();
+    let ctx = QueryCtx::unbounded();
+    // count() collapses the stream to one integer traverser.
+    let out = Traversal::v().count().run(&g, &ctx).unwrap();
+    assert_eq!(out, vec![Elem::Val(Value::Int(5))]);
+}
+
+#[test]
+fn limit_zero_and_oversized() {
+    let g = engine();
+    let ctx = QueryCtx::unbounded();
+    assert_eq!(Traversal::v().limit(0).run(&g, &ctx).unwrap().len(), 0);
+    assert_eq!(Traversal::v().limit(999).run(&g, &ctx).unwrap().len(), 5);
+}
+
+#[test]
+fn elem_accessors() {
+    let g = engine();
+    let ctx = QueryCtx::unbounded();
+    let vs = Traversal::v().limit(1).run(&g, &ctx).unwrap();
+    assert!(vs[0].as_vertex().is_some());
+    assert!(vs[0].as_edge().is_none());
+    assert!(vs[0].as_value().is_none());
+    let es = Traversal::e().limit(1).run(&g, &ctx).unwrap();
+    assert!(es[0].as_edge().is_some());
+    let vals = Traversal::v().limit(1).id().run(&g, &ctx).unwrap();
+    assert!(vals[0].as_value().is_some());
+}
+
+#[test]
+fn manual_step_push() {
+    let g = engine();
+    let ctx = QueryCtx::unbounded();
+    // Building a traversal from raw steps is equivalent to the builder.
+    let t = Traversal::v()
+        .step(Step::HasLabel("person".into()))
+        .step(Step::Count);
+    assert_eq!(t.run_count(&g, &ctx).unwrap(), 4);
+}

@@ -1,0 +1,101 @@
+//! Knowledge-graph exploration on a Freebase-shaped sample.
+//!
+//! Builds the synthetic Freebase family (the paper's Frb-S/O/M/L), loads
+//! Frb-S into three architecturally different engines, and explores it:
+//! label statistics, hub discovery (Q28-style degree scan), breadth-first
+//! neighborhood growth (Q32), and shortest paths (Q34).
+//!
+//! ```sh
+//! cargo run --release --example knowledge_graph
+//! ```
+
+use std::time::Instant;
+
+use graphmark::datasets::freebase;
+use graphmark::datasets::{dataset_stats, Scale};
+use graphmark::model::api::{Direction, LoadOptions};
+use graphmark::model::QueryCtx;
+use graphmark::registry::EngineKind;
+use graphmark::traversal::algo;
+
+fn main() {
+    let scale = std::env::var("GM_SCALE")
+        .ok()
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::tiny());
+    println!("generating the synthetic Freebase family at scale '{}' …", scale.name);
+    let family = freebase::generate_all(scale, 42);
+    for (name, d) in [
+        ("full", &family.full),
+        ("frb-o", &family.frb_o),
+        ("frb-s", &family.frb_s),
+        ("frb-m", &family.frb_m),
+        ("frb-l", &family.frb_l),
+    ] {
+        println!(
+            "  {name:<6} |V|={:<7} |E|={:<7} |L|={}",
+            d.vertex_count(),
+            d.edge_count(),
+            d.edge_label_set().len()
+        );
+    }
+
+    let data = &family.frb_m;
+    let stats = dataset_stats(data);
+    println!(
+        "\nfrb-m shape: {} components (max {}), avg degree {:.1}, max degree {}, diameter ≈ {}\n",
+        stats.components, stats.max_component, stats.avg_degree, stats.max_degree, stats.diameter
+    );
+
+    let ctx = QueryCtx::unbounded();
+    for kind in [
+        EngineKind::LinkedV2,
+        EngineKind::ColumnarV10,
+        EngineKind::Triple,
+    ] {
+        let mut db = kind.make();
+        let t0 = Instant::now();
+        db.bulk_load(data, &LoadOptions::default()).expect("load");
+        let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Hub discovery: Q30 with a high threshold.
+        let t1 = Instant::now();
+        let hubs = db
+            .degree_scan(Direction::Both, stats.avg_degree as u64 * 4, &ctx)
+            .expect("degree scan");
+        let hubs_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        // BFS from the first hub (or vertex 0).
+        let start = hubs
+            .first()
+            .copied()
+            .or_else(|| db.resolve_vertex(0))
+            .expect("start vertex");
+        let t2 = Instant::now();
+        let frontier = algo::bfs(db.as_ref(), start, 3, None, &ctx).expect("bfs");
+        let bfs_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        // Shortest path between two BFS-reachable vertices.
+        let sp_info = if let (Some(&a), Some(&b)) = (frontier.first(), frontier.last()) {
+            let t3 = Instant::now();
+            let sp = algo::shortest_path(db.as_ref(), a, b, None, &ctx).expect("sp");
+            let ms = t3.elapsed().as_secs_f64() * 1e3;
+            match sp {
+                Some(p) => format!("{} hops in {ms:.2} ms", p.hops()),
+                None => format!("disconnected ({ms:.2} ms)"),
+            }
+        } else {
+            "n/a".to_string()
+        };
+
+        println!("{:<14} (emulating {})", db.name(), kind.emulates());
+        println!("  load:        {load_ms:>9.2} ms");
+        println!("  hub scan:    {hubs_ms:>9.2} ms ({} hubs)", hubs.len());
+        println!("  bfs depth 3: {bfs_ms:>9.2} ms ({} reached)", frontier.len());
+        println!("  short path:  {sp_info}");
+        println!(
+            "  space:       {:>9.1} KiB\n",
+            db.space().total() as f64 / 1024.0
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a small graph, query it three ways, inspect space.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use graphmark::model::api::{Direction, LoadOptions};
+use graphmark::model::{Dataset, QueryCtx, Value};
+use graphmark::registry::EngineKind;
+use graphmark::traversal::{algo, parser, Traversal};
+
+fn main() {
+    // 1. Describe a graph in the engine-independent canonical form.
+    let mut data = Dataset::new("quickstart");
+    let ann = data.add_vertex("person", vec![("name".into(), Value::Str("ann".into()))]);
+    let bob = data.add_vertex("person", vec![("name".into(), Value::Str("bob".into()))]);
+    let carol = data.add_vertex("person", vec![("name".into(), Value::Str("carol".into()))]);
+    let dave = data.add_vertex("person", vec![("name".into(), Value::Str("dave".into()))]);
+    data.add_edge(ann, bob, "knows", vec![("since".into(), Value::Int(2015))]);
+    data.add_edge(bob, carol, "knows", vec![("since".into(), Value::Int(2018))]);
+    data.add_edge(carol, dave, "knows", vec![("since".into(), Value::Int(2021))]);
+    data.add_edge(ann, dave, "follows", vec![]);
+
+    // 2. Load it into an engine — any of the nine; here the Neo4j-class one.
+    let mut db = EngineKind::LinkedV1.make();
+    db.bulk_load(&data, &LoadOptions::default()).expect("load");
+    let ctx = QueryCtx::unbounded();
+
+    // 3a. Query through the trait (what the benchmark's catalog does).
+    let ann_id = db.resolve_vertex(ann).expect("ann");
+    let friends = db
+        .neighbors(ann_id, Direction::Out, Some("knows"), &ctx)
+        .expect("neighbors");
+    println!("ann --knows--> {} people", friends.len());
+
+    // 3b. Query through the Gremlin-style traversal builder.
+    let knows_edges = Traversal::e()
+        .has_label("knows")
+        .count()
+        .run_count(db.as_ref(), &ctx)
+        .expect("traversal");
+    println!("knows edges: {knows_edges}");
+
+    // 3c. Query from a Gremlin-style string (the suite's extension point).
+    let q = parser::parse("g.V().has('name', 'ann').out('knows').values('name')")
+        .expect("parse");
+    let out = q.run(db.as_ref(), &ctx).expect("run");
+    println!("parsed query result: {out:?}");
+
+    // 4. Graph algorithms: BFS and shortest path (Q32/Q34 of the paper).
+    let dave_id = db.resolve_vertex(dave).expect("dave");
+    let reach = algo::bfs(db.as_ref(), ann_id, 2, None, &ctx).expect("bfs");
+    println!("within 2 hops of ann: {} vertices", reach.len());
+    let path = algo::shortest_path(db.as_ref(), ann_id, dave_id, Some("knows"), &ctx)
+        .expect("sp")
+        .expect("connected");
+    println!("ann→dave via 'knows': {} hops", path.hops());
+
+    // 5. Space accounting (Figure 1's yardstick).
+    println!("\nspace report for {}:", db.name());
+    for (component, bytes) in &db.space().components {
+        println!("  {component:<24} {bytes:>8} B");
+    }
+}

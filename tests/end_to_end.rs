@@ -1,0 +1,180 @@
+//! End-to-end framework tests: runner suites, complex workload, GraphSON
+//! interchange, and Table 4 derivation across all engines.
+
+use graphmark::core::complex::{self, ComplexParams, ComplexQuery};
+use graphmark::core::params::Workload;
+use graphmark::core::report::{Report, RunMode};
+use graphmark::core::runner::{BenchConfig, Runner};
+use graphmark::core::summary;
+use graphmark::datasets::{self, DatasetId, Scale};
+use graphmark::model::api::LoadOptions;
+use graphmark::model::{graphson, QueryCtx};
+use graphmark::registry::EngineKind;
+
+#[test]
+fn runner_full_suite_on_two_engines() {
+    let data = datasets::generate(DatasetId::Yeast, Scale::tiny(), 3);
+    let workload = Workload::choose(&data, 5, 12);
+    let mut report = Report::default();
+    for kind in [EngineKind::LinkedV1, EngineKind::Relational] {
+        let factory = move || kind.make();
+        let mut runner = Runner::new(
+            &factory,
+            &data,
+            &workload,
+            BenchConfig {
+                batch: 3,
+                ..BenchConfig::default()
+            },
+        );
+        report.extend(runner.run_suite(&[RunMode::Isolation, RunMode::Batch]));
+    }
+    // Q1 (isolation only) + 40 instances × 2 modes, × 2 engines.
+    assert_eq!(report.rows.len(), 2 * (1 + 40 * 2));
+    let dnf: Vec<&str> = report
+        .rows
+        .iter()
+        .filter(|r| r.outcome.is_dnf())
+        .map(|r| r.query.as_str())
+        .collect();
+    assert!(dnf.is_empty(), "unexpected non-completions: {dnf:?}");
+
+    // The summary derives a full matrix.
+    let table4 = summary::derive(&report);
+    assert_eq!(table4.engines.len(), 2);
+    assert_eq!(table4.groups.len(), 13);
+    let rendered = table4.render();
+    assert!(rendered.contains("linked(v1)"));
+    assert!(rendered.contains("relational"));
+}
+
+#[test]
+fn complex_queries_agree_across_engines() {
+    let data = datasets::generate(DatasetId::Ldbc, Scale::tiny(), 7);
+    let params = ComplexParams::choose(&data, 9);
+    let ctx = QueryCtx::unbounded();
+
+    let mut reference: Vec<(&str, u64)> = Vec::new();
+    {
+        let mut db = EngineKind::LinkedV1.make();
+        db.bulk_load(&data, &LoadOptions::default()).unwrap();
+        let p = params.resolve(db.as_ref()).unwrap();
+        for q in ComplexQuery::ALL {
+            let mut fresh = EngineKind::LinkedV1.make();
+            fresh.bulk_load(&data, &LoadOptions::default()).unwrap();
+            let p2 = params.resolve(fresh.as_ref()).unwrap();
+            let card = complex::execute(q, fresh.as_mut(), &p2, &ctx).unwrap();
+            reference.push((q.name(), card));
+        }
+        let _ = p;
+    }
+
+    for kind in EngineKind::ALL.iter().skip(1) {
+        for (q, (name, want)) in ComplexQuery::ALL.iter().zip(&reference) {
+            let mut db = kind.make();
+            db.bulk_load(&data, &LoadOptions::default()).unwrap();
+            let p = params.resolve(db.as_ref()).unwrap();
+            let card = complex::execute(*q, db.as_mut(), &p, &ctx)
+                .unwrap_or_else(|e| panic!("{} failed {name}: {e}", kind.name()));
+            assert_eq!(card, *want, "{} disagrees on {name}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn graphson_file_feeds_every_engine() {
+    let data = datasets::generate(DatasetId::Yeast, Scale::tiny(), 21);
+    let dir = std::env::temp_dir().join("graphmark-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("yeast.graphson.json");
+    graphson::write_file(&data, &path).unwrap();
+    let loaded = graphson::read_file(&path).unwrap();
+    assert_eq!(loaded.vertex_count(), data.vertex_count());
+
+    let ctx = QueryCtx::unbounded();
+    for kind in EngineKind::ALL {
+        let mut db = kind.make();
+        db.bulk_load(&loaded, &LoadOptions::default()).unwrap();
+        assert_eq!(
+            db.vertex_count(&ctx).unwrap(),
+            data.vertex_count() as u64,
+            "{} after graphson round-trip",
+            kind.name()
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn load_options_ablation_runs() {
+    // Bulk off vs on must produce the same data (and is the knob behind the
+    // triple-engine load ablation).
+    let data = datasets::generate(DatasetId::Yeast, Scale::tiny(), 33);
+    let ctx = QueryCtx::unbounded();
+    for kind in [EngineKind::Triple, EngineKind::ColumnarV10] {
+        let mut bulk = kind.make();
+        bulk.bulk_load(
+            &data,
+            &LoadOptions {
+                bulk: true,
+                index_during_load: false,
+            },
+        )
+        .unwrap();
+        let mut slow = kind.make();
+        slow.bulk_load(
+            &data,
+            &LoadOptions {
+                bulk: false,
+                index_during_load: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            bulk.edge_count(&ctx).unwrap(),
+            slow.edge_count(&ctx).unwrap(),
+            "{}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn space_reports_are_complete() {
+    let data = datasets::generate(DatasetId::Yeast, Scale::tiny(), 43);
+    for kind in EngineKind::ALL {
+        let mut db = kind.make();
+        db.bulk_load(&data, &LoadOptions::default()).unwrap();
+        let report = db.space();
+        assert!(report.total() > 0, "{}", kind.name());
+        // Raw JSON reference for Figure 1.
+        let raw = graphson::raw_json_bytes(&data);
+        assert!(raw > 0);
+    }
+}
+
+#[test]
+fn timeouts_surface_in_report() {
+    let data = datasets::generate(DatasetId::Mico, Scale::tiny(), 47);
+    let workload = Workload::choose(&data, 51, 4);
+    let factory = || EngineKind::Triple.make();
+    let mut runner = Runner::new(
+        &factory,
+        &data,
+        &workload,
+        BenchConfig {
+            timeout: std::time::Duration::from_nanos(1),
+            batch: 2,
+            ..BenchConfig::default()
+        },
+    );
+    let report = runner.run_suite(&[RunMode::Isolation]);
+    let dnf = report.timeouts_by_engine(RunMode::Isolation);
+    assert!(
+        dnf.get("triple").copied().unwrap_or(0) > 0,
+        "1ns deadline must cause non-completions"
+    );
+    // The matrix renderer shows them.
+    let matrix = report.render_matrix(RunMode::Isolation);
+    assert!(matrix.contains("TIMEOUT") || matrix.contains("FAILED"));
+}

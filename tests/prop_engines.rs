@@ -1,0 +1,286 @@
+//! Model-based property test: all nine engines vs a naive reference graph.
+//!
+//! Random mutation sequences (vertex/edge adds, property updates, removals)
+//! are applied simultaneously to every engine and to a trivially correct
+//! in-memory model; afterwards every read and traversal primitive must
+//! agree. This is the strongest guarantee behind the benchmark's fairness
+//! claim — engines can only differ in *time*, never in *answers*.
+
+#![allow(clippy::type_complexity)]
+
+use gm_model::api::{Direction, GraphDb};
+use gm_model::value::prop_get;
+use gm_model::{QueryCtx, Value, Vid};
+use graphmark::registry::EngineKind;
+use proptest::prelude::*;
+
+/// Reference implementation: plain vectors, obviously correct.
+#[derive(Default, Clone, Debug)]
+struct RefGraph {
+    vertices: Vec<Option<(String, Vec<(String, Value)>)>>,
+    edges: Vec<Option<(usize, usize, String, Vec<(String, Value)>)>>,
+}
+
+impl RefGraph {
+    fn live_vertices(&self) -> Vec<usize> {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn live_edges(&self) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn add_vertex(&mut self, label: &str, props: Vec<(String, Value)>) -> usize {
+        self.vertices.push(Some((label.to_string(), props)));
+        self.vertices.len() - 1
+    }
+
+    fn add_edge(&mut self, src: usize, dst: usize, label: &str) -> usize {
+        self.edges
+            .push(Some((src, dst, label.to_string(), Vec::new())));
+        self.edges.len() - 1
+    }
+
+    fn remove_vertex(&mut self, v: usize) {
+        self.vertices[v] = None;
+        for e in self.edges.iter_mut() {
+            if let Some((s, d, _, _)) = e {
+                if *s == v || *d == v {
+                    *e = None;
+                }
+            }
+        }
+    }
+
+    fn neighbors(&self, v: usize, dir: Direction) -> Vec<usize> {
+        let mut out = Vec::new();
+        for e in self.edges.iter().flatten() {
+            let (s, d, _, _) = e;
+            if matches!(dir, Direction::Out | Direction::Both) && *s == v {
+                out.push(*d);
+            }
+            if matches!(dir, Direction::In | Direction::Both) && *d == v {
+                out.push(*s);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn degree(&self, v: usize, dir: Direction) -> u64 {
+        self.neighbors(v, dir).len() as u64
+    }
+
+    fn label_set(&self) -> Vec<String> {
+        let mut labels: Vec<String> = self
+            .edges
+            .iter()
+            .flatten()
+            .map(|(_, _, l, _)| l.clone())
+            .collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddVertex(u8, bool), // label selector, with property?
+    AddEdge(u8, u8, u8), // src selector, dst selector, label selector
+    SetVertexProp(u8, i64),
+    RemoveEdge(u8),
+    RemoveVertex(u8),
+    RemoveVertexProp(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (any::<u8>(), any::<bool>()).prop_map(|(l, p)| Op::AddVertex(l, p)),
+            4 => (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, l)| Op::AddEdge(a, b, l)),
+            2 => (any::<u8>(), any::<i64>()).prop_map(|(v, x)| Op::SetVertexProp(v, x)),
+            1 => any::<u8>().prop_map(Op::RemoveEdge),
+            1 => any::<u8>().prop_map(Op::RemoveVertex),
+            1 => any::<u8>().prop_map(Op::RemoveVertexProp),
+        ],
+        1..50,
+    )
+}
+
+const LABELS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn engines_match_reference_model(ops in arb_ops()) {
+        let ctx = QueryCtx::unbounded();
+        let mut model = RefGraph::default();
+        // Engine state + model-index → engine-Vid/Eid maps.
+        let mut engines: Vec<(Box<dyn GraphDb>, Vec<Vid>, Vec<gm_model::Eid>)> =
+            EngineKind::ALL
+                .iter()
+                .map(|k| (k.make(), Vec::new(), Vec::new()))
+                .collect();
+
+        for op in &ops {
+            match op {
+                Op::AddVertex(l, with_prop) => {
+                    let label = LABELS[*l as usize % LABELS.len()];
+                    let props = if *with_prop {
+                        vec![("p".to_string(), Value::Int(*l as i64))]
+                    } else {
+                        Vec::new()
+                    };
+                    model.add_vertex(label, props.clone());
+                    for (db, vmap, _) in engines.iter_mut() {
+                        let vid = db.add_vertex(label, &props).expect("add_vertex");
+                        vmap.push(vid);
+                    }
+                }
+                Op::AddEdge(a, b, l) => {
+                    let live = model.live_vertices();
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let src = live[*a as usize % live.len()];
+                    let dst = live[*b as usize % live.len()];
+                    let label = LABELS[*l as usize % LABELS.len()];
+                    model.add_edge(src, dst, label);
+                    for (db, vmap, emap) in engines.iter_mut() {
+                        let eid = db
+                            .add_edge(vmap[src], vmap[dst], label, &Vec::new())
+                            .expect("add_edge");
+                        emap.push(eid);
+                    }
+                }
+                Op::SetVertexProp(sel, value) => {
+                    let live = model.live_vertices();
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let v = live[*sel as usize % live.len()];
+                    let entry = model.vertices[v].as_mut().expect("live");
+                    gm_model::value::prop_set(&mut entry.1, "p", Value::Int(*value));
+                    for (db, vmap, _) in engines.iter_mut() {
+                        db.set_vertex_property(vmap[v], "p", Value::Int(*value))
+                            .expect("set prop");
+                    }
+                }
+                Op::RemoveEdge(sel) => {
+                    let live = model.live_edges();
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let e = live[*sel as usize % live.len()];
+                    model.edges[e] = None;
+                    for (db, _, emap) in engines.iter_mut() {
+                        db.remove_edge(emap[e]).expect("remove_edge");
+                    }
+                }
+                Op::RemoveVertex(sel) => {
+                    let live = model.live_vertices();
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let v = live[*sel as usize % live.len()];
+                    model.remove_vertex(v);
+                    for (db, vmap, _) in engines.iter_mut() {
+                        db.remove_vertex(vmap[v]).expect("remove_vertex");
+                    }
+                }
+                Op::RemoveVertexProp(sel) => {
+                    let live = model.live_vertices();
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let v = live[*sel as usize % live.len()];
+                    let expect = {
+                        let entry = model.vertices[v].as_mut().expect("live");
+                        gm_model::value::prop_remove(&mut entry.1, "p")
+                    };
+                    for (db, vmap, _) in engines.iter_mut() {
+                        let got = db.remove_vertex_property(vmap[v], "p").expect("remove prop");
+                        prop_assert_eq!(&got, &expect, "{} remove prop", db.name());
+                    }
+                }
+            }
+        }
+
+        // ---- verification against the model --------------------------------
+        let v_count = model.live_vertices().len() as u64;
+        let e_count = model.live_edges().len() as u64;
+        let labels = model.label_set();
+        for (db, vmap, _) in engines.iter() {
+            let name = db.name();
+            prop_assert_eq!(db.vertex_count(&ctx).unwrap(), v_count, "{} |V|", name);
+            prop_assert_eq!(db.edge_count(&ctx).unwrap(), e_count, "{} |E|", name);
+            let mut got_labels = db.edge_label_set(&ctx).unwrap();
+            got_labels.sort();
+            prop_assert_eq!(&got_labels, &labels, "{} labels", name);
+
+            for v in model.live_vertices() {
+                // Degrees in all directions.
+                for dir in Direction::ALL {
+                    prop_assert_eq!(
+                        db.vertex_degree(vmap[v], dir, &ctx).unwrap(),
+                        model.degree(v, dir),
+                        "{} degree({}, {:?})", name, v, dir
+                    );
+                }
+                // Neighbor multisets (mapped back through vmap).
+                let rev: std::collections::HashMap<Vid, usize> = vmap
+                    .iter()
+                    .enumerate()
+                    .map(|(i, vid)| (*vid, i))
+                    .collect();
+                for dir in Direction::ALL {
+                    let mut got: Vec<usize> = db
+                        .neighbors(vmap[v], dir, None, &ctx)
+                        .unwrap()
+                        .into_iter()
+                        .map(|n| rev[&n])
+                        .collect();
+                    got.sort_unstable();
+                    prop_assert_eq!(
+                        &got,
+                        &model.neighbors(v, dir),
+                        "{} neighbors({}, {:?})", name, v, dir
+                    );
+                }
+                // Property agreement.
+                let want = model.vertices[v]
+                    .as_ref()
+                    .and_then(|(_, props)| prop_get(props, "p").cloned());
+                prop_assert_eq!(
+                    db.vertex_property(vmap[v], "p").unwrap(),
+                    want,
+                    "{} prop of {}", name, v
+                );
+            }
+            // Property search agrees with a model filter.
+            let hits = db
+                .vertices_with_property("p", &Value::Int(1), &ctx)
+                .unwrap()
+                .len();
+            let want = model
+                .vertices
+                .iter()
+                .flatten()
+                .filter(|(_, props)| prop_get(props, "p") == Some(&Value::Int(1)))
+                .count();
+            prop_assert_eq!(hits, want, "{} Q11", name);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Suite extensibility: new queries arrive as Gremlin-style scripts (§5,
+//! "to test a new query it suffices to write it into a dedicated script").
+//! Every script must parse, run on every engine, and return identical
+//! results everywhere.
+
+use graphmark::datasets::{self, DatasetId, Scale};
+use graphmark::model::api::LoadOptions;
+use graphmark::model::QueryCtx;
+use graphmark::registry::EngineKind;
+use graphmark::traversal::parser;
+
+/// A few "user-contributed" query scripts over the LDBC schema.
+const SCRIPTS: [&str; 7] = [
+    "g.V().count()",
+    "g.E().label().dedup().count()",
+    "g.V().hasLabel('person').count()",
+    "g.V().hasLabel('person').out('knows').dedup().count()",
+    "g.V().hasLabel('forum').out('hasModerator').dedup().count()",
+    "g.E().hasLabel('likes').count()",
+    "g.V().hasLabel('tag').in('hasInterest').dedup().limit(5).count()",
+];
+
+#[test]
+fn scripts_agree_across_engines() {
+    let data = datasets::generate(DatasetId::Ldbc, Scale::tiny(), 99);
+    let ctx = QueryCtx::unbounded();
+    for script in SCRIPTS {
+        let traversal = parser::parse(script).unwrap_or_else(|e| panic!("{script}: {e}"));
+        let mut want: Option<i64> = None;
+        for kind in EngineKind::ALL {
+            let mut db = kind.make();
+            db.bulk_load(&data, &LoadOptions::default()).expect("load");
+            let got = traversal
+                .run_count(db.as_ref(), &ctx)
+                .unwrap_or_else(|e| panic!("{} on `{script}`: {e}", kind.name()));
+            match want {
+                None => want = Some(got),
+                Some(w) => assert_eq!(
+                    got,
+                    w,
+                    "{} disagrees on `{script}`",
+                    kind.name()
+                ),
+            }
+        }
+        assert!(want.unwrap_or(0) >= 0);
+    }
+}
+
+#[test]
+fn scripts_observe_deadlines() {
+    let data = datasets::generate(DatasetId::Mico, Scale::tiny(), 7);
+    let traversal = parser::parse("g.V().out().dedup().count()").expect("parse");
+    let mut db = EngineKind::Triple.make();
+    db.bulk_load(&data, &LoadOptions::default()).expect("load");
+    let ctx = QueryCtx::with_timeout(std::time::Duration::from_nanos(1));
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let result = traversal.run_count(db.as_ref(), &ctx);
+    assert_eq!(result, Err(graphmark::model::GdbError::Timeout));
+}
