@@ -1,0 +1,44 @@
+//! Criterion bench: the concurrent workload driver itself.
+//!
+//! Measures whole closed-loop runs at 1 and 4 workers on two engines, for
+//! the read-heavy mix — the quick regression signal for lock overhead in
+//! the driver hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_workload::{run, MixKind, WorkloadConfig};
+use graphmark::registry::EngineKind;
+
+fn bench_driver(c: &mut Criterion) {
+    let data = datasets::generate(DatasetId::Yeast, Scale::tiny(), 42);
+    let mut group = c.benchmark_group("workload/read-heavy");
+    for kind in [EngineKind::LinkedV1, EngineKind::Document] {
+        for threads in [1u32, 4] {
+            let cfg = WorkloadConfig {
+                mix: MixKind::ReadHeavy,
+                threads,
+                ops_per_worker: 64,
+                ..WorkloadConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{}-t{threads}", kind.name())),
+                &cfg,
+                |b, cfg| {
+                    let factory = move || kind.make();
+                    b.iter(|| run(&factory, &data, cfg).expect("run"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(1000))
+        .sample_size(10);
+    targets = bench_driver
+}
+criterion_main!(benches);

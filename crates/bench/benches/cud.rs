@@ -12,49 +12,61 @@ fn bench_cud(c: &mut Criterion) {
     let mut group = c.benchmark_group("cud/Q2-add-vertex");
     group.sample_size(20);
     for kind in EngineKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            // Batched setup: one loaded engine, many inserts.
-            let mut db = kind.make();
-            db.bulk_load(&data, &LoadOptions::default()).expect("load");
-            let props = vec![("name".to_string(), Value::Str("bench".into()))];
-            b.iter(|| db.add_vertex("bench", &props).expect("add"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                // Batched setup: one loaded engine, many inserts.
+                let mut db = kind.make();
+                db.bulk_load(&data, &LoadOptions::default()).expect("load");
+                let props = vec![("name".to_string(), Value::Str("bench".into()))];
+                b.iter(|| db.add_vertex("bench", &props).expect("add"));
+            },
+        );
     }
     group.finish();
 
     let mut group = c.benchmark_group("cud/Q3-add-edge");
     group.sample_size(20);
     for kind in EngineKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            let mut db = kind.make();
-            db.bulk_load(&data, &LoadOptions::default()).expect("load");
-            let a = db.resolve_vertex(0).expect("v0");
-            let z = db.resolve_vertex(1).expect("v1");
-            b.iter(|| db.add_edge(a, z, "bench", &vec![]).expect("edge"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                let mut db = kind.make();
+                db.bulk_load(&data, &LoadOptions::default()).expect("load");
+                let a = db.resolve_vertex(0).expect("v0");
+                let z = db.resolve_vertex(1).expect("v1");
+                b.iter(|| db.add_edge(a, z, "bench", &vec![]).expect("edge"));
+            },
+        );
     }
     group.finish();
 
     let mut group = c.benchmark_group("cud/Q19-remove-edge");
     group.sample_size(10);
     for kind in EngineKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            b.iter_batched(
-                || {
-                    let mut db = kind.make();
-                    db.bulk_load(&data, &LoadOptions::default()).expect("load");
-                    let e = db.resolve_edge(0).expect("e0");
-                    (db, e)
-                },
-                |(mut db, e)| db.remove_edge(e).expect("remove"),
-                criterion::BatchSize::PerIteration,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                b.iter_batched(
+                    || {
+                        let mut db = kind.make();
+                        db.bulk_load(&data, &LoadOptions::default()).expect("load");
+                        let e = db.resolve_edge(0).expect("e0");
+                        (db, e)
+                    },
+                    |(mut db, e)| db.remove_edge(e).expect("remove"),
+                    criterion::BatchSize::PerIteration,
+                );
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

@@ -10,13 +10,17 @@ fn bench_load(c: &mut Criterion) {
     let mut group = c.benchmark_group("load/yeast-tiny");
     group.sample_size(10);
     for kind in EngineKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            b.iter(|| {
-                let mut db = kind.make();
-                db.bulk_load(&data, &LoadOptions::default()).expect("load");
-                std::hint::black_box(db.space().total())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let mut db = kind.make();
+                    db.bulk_load(&data, &LoadOptions::default()).expect("load");
+                    std::hint::black_box(db.space().total())
+                });
+            },
+        );
     }
     group.finish();
 
@@ -42,7 +46,7 @@ fn bench_load(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

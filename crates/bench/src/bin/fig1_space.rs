@@ -10,8 +10,14 @@ fn main() {
     let bank = DataBank::generate(&env);
     // The paper splits the figure: (a) Frb-O/M/L, (b) Frb-S/LDBC/MiCo.
     let panels: [(&str, &[DatasetId]); 2] = [
-        ("Figure 1(a)", &[DatasetId::FrbO, DatasetId::FrbM, DatasetId::FrbL]),
-        ("Figure 1(b)", &[DatasetId::FrbS, DatasetId::Ldbc, DatasetId::Mico]),
+        (
+            "Figure 1(a)",
+            &[DatasetId::FrbO, DatasetId::FrbM, DatasetId::FrbL],
+        ),
+        (
+            "Figure 1(b)",
+            &[DatasetId::FrbS, DatasetId::Ldbc, DatasetId::Mico],
+        ),
     ];
     for (panel, ids) in panels {
         println!("\n=== {panel} — space occupancy (KiB) ===");

@@ -21,10 +21,7 @@ fn main() {
         }
     }
     println!("\n=== Figure 1(c) — non-completions over the full suite (Frb-S/O/M/L) ===");
-    println!(
-        "{:<14} | {:>12} | {:>12}",
-        "engine", "interactive", "batch"
-    );
+    println!("{:<14} | {:>12} | {:>12}", "engine", "interactive", "batch");
     println!("{}", "-".repeat(45));
     let single = report.timeouts_by_engine(RunMode::Isolation);
     let batch = report.timeouts_by_engine(RunMode::Batch);

@@ -11,7 +11,12 @@ fn main() {
     let cud = instances_for(16..=21);
     for (id, data) in bank.freebase() {
         let rep = run_queries(&env, data, &insertions, &[RunMode::Isolation], false);
-        print_block("Figure 3(b) — insertions Q2–Q7", id, &rep, RunMode::Isolation);
+        print_block(
+            "Figure 3(b) — insertions Q2–Q7",
+            id,
+            &rep,
+            RunMode::Isolation,
+        );
         let rep = run_queries(&env, data, &cud, &[RunMode::Isolation], false);
         print_block(
             "Figure 3(c) — updates/deletions Q16–Q21",

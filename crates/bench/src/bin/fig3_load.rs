@@ -36,7 +36,11 @@ fn main() {
     println!("\n=== Load ablation — bulk vs per-item path (frb-m, ms) ===");
     let data = bank.get(gm_datasets::DatasetId::FrbM);
     let workload = Workload::choose(data, env.seed, 4);
-    for kind in [EngineKind::Triple, EngineKind::ColumnarV05, EngineKind::ColumnarV10] {
+    for kind in [
+        EngineKind::Triple,
+        EngineKind::ColumnarV05,
+        EngineKind::ColumnarV10,
+    ] {
         let mut cells = Vec::new();
         for bulk in [true, false] {
             let factory = move || kind.make();

@@ -15,7 +15,12 @@ fn main() {
             &[RunMode::Isolation],
             false,
         );
-        print_block("Figure 4(a) — selections Q8–Q13", id, &rep, RunMode::Isolation);
+        print_block(
+            "Figure 4(a) — selections Q8–Q13",
+            id,
+            &rep,
+            RunMode::Isolation,
+        );
         let rep = run_queries(
             &env,
             data,
@@ -23,7 +28,12 @@ fn main() {
             &[RunMode::Isolation],
             false,
         );
-        print_block("Figure 4(b) — id search Q14–Q15", id, &rep, RunMode::Isolation);
+        print_block(
+            "Figure 4(b) — id search Q14–Q15",
+            id,
+            &rep,
+            RunMode::Isolation,
+        );
         let rep = run_queries(
             &env,
             data,

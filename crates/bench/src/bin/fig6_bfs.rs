@@ -17,7 +17,12 @@ fn main() {
         .collect();
     for (id, data) in bank.freebase() {
         let rep = run_queries(&env, data, &instances, &[RunMode::Isolation], false);
-        print_block("Figure 6 — BFS Q32 at depths 2–5", id, &rep, RunMode::Isolation);
+        print_block(
+            "Figure 6 — BFS Q32 at depths 2–5",
+            id,
+            &rep,
+            RunMode::Isolation,
+        );
     }
     println!(
         "\nExpected shape (paper): linked scales best across depths; cluster\n\

@@ -15,7 +15,12 @@ fn main() {
     let q34 = vec![QueryInstance::plain(QueryId::Q34)];
     for (id, data) in bank.freebase() {
         let rep = run_queries(&env, data, &q34, &[RunMode::Isolation], false);
-        print_block("Figure 7(a) — shortest path Q34", id, &rep, RunMode::Isolation);
+        print_block(
+            "Figure 7(a) — shortest path Q34",
+            id,
+            &rep,
+            RunMode::Isolation,
+        );
     }
 
     let mut labeled: Vec<QueryInstance> = (2..=5u8)

@@ -1,0 +1,112 @@
+//! Figure 8 (beyond the paper): multi-client scalability sweep.
+//!
+//! The paper measures everything single-threaded; this binary sweeps worker
+//! threads (default 1 → 2 → 4 → 8) across every engine under test and two
+//! workload mixes, reporting throughput, speedup over one thread, and the
+//! p50/p95/p99/max latency tail — through the same `core::report` /
+//! `core::summary` machinery as the paper's figures.
+//!
+//! Extra environment variables on top of the `GM_*` set (see `gm_bench`):
+//!
+//! | var | default | meaning |
+//! |---|---|---|
+//! | `GM_THREADS` | `1,2,4,8` | thread counts to sweep |
+//! | `GM_MIXES` | `read-heavy,mixed` | mix names to sweep |
+//! | `GM_WL_OPS` | `400` | ops per worker |
+
+use gm_bench::Env;
+use gm_core::report::{Report, RunMode};
+use gm_core::summary;
+use gm_datasets::{self as datasets, DatasetId};
+use gm_workload::{run, MixKind, WorkloadConfig};
+
+fn main() {
+    let env = Env::from_env();
+    let threads: Vec<u32> = std::env::var("GM_THREADS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|t| match t.trim().parse() {
+            Ok(0) | Err(_) => {
+                eprintln!("[fig8] ignoring GM_THREADS entry {t:?} (want a positive integer)");
+                None
+            }
+            Ok(n) => Some(n),
+        })
+        .collect();
+    let mixes: Vec<MixKind> = std::env::var("GM_MIXES")
+        .unwrap_or_else(|_| "read-heavy,mixed".into())
+        .split(',')
+        .filter_map(|m| {
+            let kind = MixKind::parse(m.trim());
+            if kind.is_none() {
+                let known: Vec<&str> = MixKind::ALL.iter().map(|k| k.name()).collect();
+                eprintln!("[fig8] ignoring unknown GM_MIXES entry {m:?} (known: {known:?})");
+            }
+            kind
+        })
+        .collect();
+    let ops_per_worker: u64 = std::env::var("GM_WL_OPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    if threads.is_empty() || mixes.is_empty() {
+        eprintln!("[fig8] nothing to run: GM_THREADS or GM_MIXES left no valid entries");
+        std::process::exit(2);
+    }
+
+    let data = datasets::generate(DatasetId::Yeast, env.scale, env.seed);
+    eprintln!(
+        "[fig8] dataset {} |V|={} |E|={}, {} engines × {:?} threads × {:?}",
+        data.name,
+        data.vertex_count(),
+        data.edge_count(),
+        env.engines.len(),
+        threads,
+        mixes.iter().map(|m| m.name()).collect::<Vec<_>>()
+    );
+
+    let mut rows = Vec::new();
+    let mut report = Report::default();
+    for kind in &env.engines {
+        for mix in &mixes {
+            for &t in &threads {
+                let cfg = WorkloadConfig {
+                    mix: *mix,
+                    threads: t,
+                    ops_per_worker,
+                    seed: env.seed,
+                    op_timeout: env.timeout,
+                    ..WorkloadConfig::default()
+                };
+                let factory = move || kind.make();
+                match run(&factory, &data, &cfg) {
+                    Ok(r) => {
+                        eprintln!(
+                            "[fig8]   {:<14} {:<11} t={:<2} {:>9.0} ops/s  p99 {}",
+                            r.engine,
+                            r.mix,
+                            t,
+                            r.throughput(),
+                            gm_workload::format_nanos(r.hist.p99()),
+                        );
+                        report.push(r.to_measurement());
+                        rows.push(r.scaling_row());
+                    }
+                    Err(e) => {
+                        eprintln!("[fig8]   {} {} t={t}: FAILED: {e}", kind.name(), mix.name())
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "\n=== Figure 8 — concurrency scalability (dataset {}) ===",
+        data.name
+    );
+    print!("{}", summary::render_scaling(&rows));
+    println!("\n--- run durations via core::report ---");
+    print!("{}", report.render_matrix(RunMode::Batch));
+    println!("\n--- csv ---");
+    print!("{}", summary::scaling_to_csv(&rows));
+}

@@ -25,6 +25,8 @@ const SEQUENCE: &[&str] = &[
     "fig1_timeouts",
     "fig7_overall",
     "table4",
+    // Beyond the paper: the multi-client concurrency sweep (gm-workload).
+    "fig8_concurrency",
 ];
 
 fn main() {

@@ -4,8 +4,8 @@ use gm_core::catalog::QueryId;
 
 fn main() {
     println!(
-        "{:<5} | {:<72} | {:<42} | {}",
-        "#", "Query (Gremlin 2.6)", "Description", "Cat"
+        "{:<5} | {:<72} | {:<42} | Cat",
+        "#", "Query (Gremlin 2.6)", "Description"
     );
     println!("{}", "-".repeat(130));
     let mut last_cat = None;

@@ -10,7 +10,10 @@ fn main() {
     let env = Env::from_env();
     let bank = DataBank::generate(&env);
     let rows: Vec<_> = bank.all().map(|(_, d)| dataset_stats(d)).collect();
-    println!("\nTable 3 — dataset characteristics (scale '{}'):\n", env.scale.name);
+    println!(
+        "\nTable 3 — dataset characteristics (scale '{}'):\n",
+        env.scale.name
+    );
     print!("{}", render_table(&rows));
     println!(
         "\nPaper shape checks: Frb samples fragmented & modular; ldbc single\n\

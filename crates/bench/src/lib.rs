@@ -105,13 +105,22 @@ impl DataBank {
         );
         let fam = datasets::freebase::generate_all(env.scale, env.seed);
         let datasets = vec![
-            (DatasetId::Yeast, datasets::yeast::generate(env.scale, env.seed)),
-            (DatasetId::Mico, datasets::mico::generate(env.scale, env.seed)),
+            (
+                DatasetId::Yeast,
+                datasets::yeast::generate(env.scale, env.seed),
+            ),
+            (
+                DatasetId::Mico,
+                datasets::mico::generate(env.scale, env.seed),
+            ),
             (DatasetId::FrbS, fam.frb_s),
             (DatasetId::FrbO, fam.frb_o),
             (DatasetId::FrbM, fam.frb_m),
             (DatasetId::FrbL, fam.frb_l),
-            (DatasetId::Ldbc, datasets::ldbc::generate(env.scale, env.seed)),
+            (
+                DatasetId::Ldbc,
+                datasets::ldbc::generate(env.scale, env.seed),
+            ),
         ];
         for (id, d) in &datasets {
             eprintln!(

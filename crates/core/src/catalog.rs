@@ -46,21 +46,81 @@ impl Category {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum QueryId {
-    Q1, Q2, Q3, Q4, Q5, Q6, Q7, Q8, Q9, Q10, Q11, Q12, Q13, Q14, Q15, Q16,
-    Q17, Q18, Q19, Q20, Q21, Q22, Q23, Q24, Q25, Q26, Q27, Q28, Q29, Q30,
-    Q31, Q32, Q33, Q34, Q35,
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+    Q5,
+    Q6,
+    Q7,
+    Q8,
+    Q9,
+    Q10,
+    Q11,
+    Q12,
+    Q13,
+    Q14,
+    Q15,
+    Q16,
+    Q17,
+    Q18,
+    Q19,
+    Q20,
+    Q21,
+    Q22,
+    Q23,
+    Q24,
+    Q25,
+    Q26,
+    Q27,
+    Q28,
+    Q29,
+    Q30,
+    Q31,
+    Q32,
+    Q33,
+    Q34,
+    Q35,
 }
 
 impl QueryId {
     /// All queries in Table 2 order.
     pub const ALL: [QueryId; 35] = [
-        QueryId::Q1, QueryId::Q2, QueryId::Q3, QueryId::Q4, QueryId::Q5,
-        QueryId::Q6, QueryId::Q7, QueryId::Q8, QueryId::Q9, QueryId::Q10,
-        QueryId::Q11, QueryId::Q12, QueryId::Q13, QueryId::Q14, QueryId::Q15,
-        QueryId::Q16, QueryId::Q17, QueryId::Q18, QueryId::Q19, QueryId::Q20,
-        QueryId::Q21, QueryId::Q22, QueryId::Q23, QueryId::Q24, QueryId::Q25,
-        QueryId::Q26, QueryId::Q27, QueryId::Q28, QueryId::Q29, QueryId::Q30,
-        QueryId::Q31, QueryId::Q32, QueryId::Q33, QueryId::Q34, QueryId::Q35,
+        QueryId::Q1,
+        QueryId::Q2,
+        QueryId::Q3,
+        QueryId::Q4,
+        QueryId::Q5,
+        QueryId::Q6,
+        QueryId::Q7,
+        QueryId::Q8,
+        QueryId::Q9,
+        QueryId::Q10,
+        QueryId::Q11,
+        QueryId::Q12,
+        QueryId::Q13,
+        QueryId::Q14,
+        QueryId::Q15,
+        QueryId::Q16,
+        QueryId::Q17,
+        QueryId::Q18,
+        QueryId::Q19,
+        QueryId::Q20,
+        QueryId::Q21,
+        QueryId::Q22,
+        QueryId::Q23,
+        QueryId::Q24,
+        QueryId::Q25,
+        QueryId::Q26,
+        QueryId::Q27,
+        QueryId::Q28,
+        QueryId::Q29,
+        QueryId::Q30,
+        QueryId::Q31,
+        QueryId::Q32,
+        QueryId::Q33,
+        QueryId::Q34,
+        QueryId::Q35,
     ];
 
     /// Table 2 number (1–35).
@@ -239,7 +299,10 @@ impl QueryInstance {
 /// cardinality (used for cross-engine equivalence checking).
 ///
 /// Mutating queries consume one victim/payload slot from `params` according
-/// to `round` so batch executions touch distinct elements.
+/// to `round` so batch executions touch distinct elements. Read-only
+/// queries delegate to [`execute_read`], which needs only `&dyn GraphDb` —
+/// the split is what lets the concurrent workload driver (`gm-workload`)
+/// run reads under a shared lock while writes take the exclusive one.
 pub fn execute(
     inst: &QueryInstance,
     db: &mut dyn GraphDb,
@@ -248,9 +311,11 @@ pub fn execute(
     ctx: &QueryCtx,
 ) -> GdbResult<u64> {
     use QueryId::*;
+    if !inst.id.is_mutation() {
+        return execute_read(inst, db, params, ctx);
+    }
     let p = params;
     match inst.id {
-        Q1 => Ok(0), // handled by Runner::measure_load
         Q2 => {
             db.add_vertex("bench_node", &p.new_vertex_props)?;
             Ok(1)
@@ -284,18 +349,6 @@ pub fn execute(
             }
             Ok(1 + p.fanout as u64)
         }
-        Q8 => db.vertex_count(ctx),
-        Q9 => db.edge_count(ctx),
-        Q10 => Ok(db.edge_label_set(ctx)?.len() as u64),
-        Q11 => Ok(db
-            .vertices_with_property(&p.vertex_prop_name, &p.vertex_prop_value, ctx)?
-            .len() as u64),
-        Q12 => Ok(db
-            .edges_with_property(&p.edge_prop_name, &p.edge_prop_value, ctx)?
-            .len() as u64),
-        Q13 => Ok(db.edges_with_label(&p.edge_label, ctx)?.len() as u64),
-        Q14 => Ok(db.vertex(p.vertex)?.map(|_| 1).unwrap_or(0)),
-        Q15 => Ok(db.edge(p.edge)?.map(|_| 1).unwrap_or(0)),
         Q16 => {
             db.set_vertex_property(
                 p.vertex,
@@ -305,11 +358,7 @@ pub fn execute(
             Ok(1)
         }
         Q17 => {
-            db.set_edge_property(
-                p.edge,
-                &p.update_edge_prop,
-                Value::Int(2000 + round as i64),
-            )?;
+            db.set_edge_property(p.edge, &p.update_edge_prop, Value::Int(2000 + round as i64))?;
             Ok(1)
         }
         Q18 => {
@@ -328,6 +377,37 @@ pub fn execute(
             .remove_edge_property(p.edge_prop_victim(round), &p.update_edge_prop)?
             .map(|_| 1)
             .unwrap_or(0)),
+        _ => unreachable!("non-mutating query handled by execute_read"),
+    }
+}
+
+/// Execute a **read-only** query instance through `&dyn GraphDb`.
+///
+/// Covers Q1 (a no-op here; the load path measures it), the read queries
+/// Q8–Q15, and the traversals Q22–Q35. Panics on mutating query ids —
+/// callers route those through [`execute`].
+pub fn execute_read(
+    inst: &QueryInstance,
+    db: &dyn GraphDb,
+    params: &ResolvedParams,
+    ctx: &QueryCtx,
+) -> GdbResult<u64> {
+    use QueryId::*;
+    let p = params;
+    match inst.id {
+        Q1 => Ok(0), // handled by Runner::measure_load
+        Q8 => db.vertex_count(ctx),
+        Q9 => db.edge_count(ctx),
+        Q10 => Ok(db.edge_label_set(ctx)?.len() as u64),
+        Q11 => Ok(db
+            .vertices_with_property(&p.vertex_prop_name, &p.vertex_prop_value, ctx)?
+            .len() as u64),
+        Q12 => Ok(db
+            .edges_with_property(&p.edge_prop_name, &p.edge_prop_value, ctx)?
+            .len() as u64),
+        Q13 => Ok(db.edges_with_label(&p.edge_label, ctx)?.len() as u64),
+        Q14 => Ok(db.vertex(p.vertex)?.map(|_| 1).unwrap_or(0)),
+        Q15 => Ok(db.edge(p.edge)?.map(|_| 1).unwrap_or(0)),
         Q22 => Ok(db.neighbors(p.vertex, Direction::In, None, ctx)?.len() as u64),
         Q23 => Ok(db.neighbors(p.vertex, Direction::Out, None, ctx)?.len() as u64),
         Q24 => Ok(db
@@ -336,14 +416,19 @@ pub fn execute(
         Q25 => Ok(db.vertex_edge_labels(p.vertex, Direction::In, ctx)?.len() as u64),
         Q26 => Ok(db.vertex_edge_labels(p.vertex, Direction::Out, ctx)?.len() as u64),
         Q27 => Ok(db.vertex_edge_labels(p.vertex, Direction::Both, ctx)?.len() as u64),
-        Q28 => Ok(db.degree_scan(Direction::In, inst.k.unwrap_or(p.k), ctx)?.len() as u64),
-        Q29 => Ok(db.degree_scan(Direction::Out, inst.k.unwrap_or(p.k), ctx)?.len() as u64),
+        Q28 => Ok(db
+            .degree_scan(Direction::In, inst.k.unwrap_or(p.k), ctx)?
+            .len() as u64),
+        Q29 => Ok(db
+            .degree_scan(Direction::Out, inst.k.unwrap_or(p.k), ctx)?
+            .len() as u64),
         Q30 => Ok(db
             .degree_scan(Direction::Both, inst.k.unwrap_or(p.k), ctx)?
             .len() as u64),
         Q31 => Ok(db.distinct_neighbor_scan(Direction::Out, ctx)?.len() as u64),
-        Q32 => Ok(algo::bfs(db, p.vertex, inst.depth.unwrap_or(3) as usize, None, ctx)?.len()
-            as u64),
+        Q32 => {
+            Ok(algo::bfs(db, p.vertex, inst.depth.unwrap_or(3) as usize, None, ctx)?.len() as u64)
+        }
         Q33 => Ok(algo::bfs(
             db,
             p.vertex,
@@ -360,6 +445,9 @@ pub fn execute(
                 .map(|r| r.path.len() as u64)
                 .unwrap_or(0),
         ),
+        Q2 | Q3 | Q4 | Q5 | Q6 | Q7 | Q16 | Q17 | Q18 | Q19 | Q20 | Q21 => {
+            unreachable!("mutating query routed through execute")
+        }
     }
 }
 

@@ -186,7 +186,12 @@ pub fn execute(
                     ("browserUsed".into(), Value::Str("Firefox".into())),
                 ],
             )?;
-            db.add_edge(v, p.city, "isLocatedIn", &vec![("since".into(), Value::Int(0))])?;
+            db.add_edge(
+                v,
+                p.city,
+                "isLocatedIn",
+                &vec![("since".into(), Value::Int(0))],
+            )?;
             db.add_edge(
                 v,
                 p.university,
@@ -204,15 +209,15 @@ pub fn execute(
 
         // city/company/university: single-label 1-hop reverse lookups — the
         // conditional-join shape where Sqlg shines (§6.3).
-        ComplexQuery::PersonsInCity => {
-            Ok(db.neighbors(p.city, Direction::In, Some("isLocatedIn"), ctx)?.len() as u64)
-        }
-        ComplexQuery::EmployeesOfCompany => {
-            Ok(db.neighbors(p.company, Direction::In, Some("workAt"), ctx)?.len() as u64)
-        }
-        ComplexQuery::StudentsOfUniversity => {
-            Ok(db.neighbors(p.university, Direction::In, Some("studyAt"), ctx)?.len() as u64)
-        }
+        ComplexQuery::PersonsInCity => Ok(db
+            .neighbors(p.city, Direction::In, Some("isLocatedIn"), ctx)?
+            .len() as u64),
+        ComplexQuery::EmployeesOfCompany => Ok(db
+            .neighbors(p.company, Direction::In, Some("workAt"), ctx)?
+            .len() as u64),
+        ComplexQuery::StudentsOfUniversity => Ok(db
+            .neighbors(p.university, Direction::In, Some("studyAt"), ctx)?
+            .len() as u64),
 
         // friend1/friend2: 1- and 2-hop friendship neighborhoods.
         ComplexQuery::Friends1 => {
@@ -291,7 +296,9 @@ pub fn execute(
             let mut persons = Vec::new();
             for city in dedup(cities) {
                 for country in db.neighbors(city, Direction::Out, Some("isPartOf"), ctx)? {
-                    for sibling_city in db.neighbors(country, Direction::In, Some("isPartOf"), ctx)? {
+                    for sibling_city in
+                        db.neighbors(country, Direction::In, Some("isPartOf"), ctx)?
+                    {
                         persons.extend(db.neighbors(
                             sibling_city,
                             Direction::In,

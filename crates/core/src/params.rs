@@ -426,9 +426,7 @@ mod tests {
         let c = Workload::choose(&d, 6, 4);
         // Different seeds virtually always pick different anchors on 100
         // vertices; tolerate equality of a single field but not all.
-        assert!(
-            a.vertex != c.vertex || a.edge != c.edge || a.delete_vertices != c.delete_vertices
-        );
+        assert!(a.vertex != c.vertex || a.edge != c.edge || a.delete_vertices != c.delete_vertices);
     }
 
     #[test]
@@ -437,8 +435,7 @@ mod tests {
         let w = Workload::choose(&d, 1, 4);
         let deg = d.degrees()[w.vertex as usize];
         assert!(deg.total() >= 1);
-        assert!(d
-            .vertices[w.vertex as usize]
+        assert!(d.vertices[w.vertex as usize]
             .props
             .iter()
             .any(|(n, v)| *n == w.vertex_prop.0 && *v == w.vertex_prop.1));

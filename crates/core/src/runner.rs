@@ -324,11 +324,7 @@ mod tests {
         let report = runner.run_suite(&[RunMode::Isolation]);
         // Q1 + 40 instances.
         assert_eq!(report.rows.len(), 41);
-        let dnf = report
-            .rows
-            .iter()
-            .filter(|r| r.outcome.is_dnf())
-            .count();
+        let dnf = report.rows.iter().filter(|r| r.outcome.is_dnf()).count();
         assert_eq!(dnf, 0, "linked engine completes the whole suite");
     }
 }

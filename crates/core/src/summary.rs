@@ -170,6 +170,132 @@ impl Summary {
     }
 }
 
+// ----- concurrency scalability report (Figure 8) ---------------------------
+
+/// One (engine, mix, thread-count) cell of the concurrency sweep, produced
+/// by the `gm-workload` driver and rendered next to the paper's figures.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Engine name.
+    pub engine: String,
+    /// Workload mix name (e.g. `"read-heavy"`).
+    pub mix: String,
+    /// Worker thread count.
+    pub threads: u32,
+    /// Operations completed.
+    pub ops: u64,
+    /// Operations that returned an error (timeouts included).
+    pub errors: u64,
+    /// Wall-clock duration of the whole run.
+    pub wall_nanos: u64,
+    /// Median per-op latency.
+    pub p50_nanos: u64,
+    /// 95th percentile per-op latency.
+    pub p95_nanos: u64,
+    /// 99th percentile per-op latency.
+    pub p99_nanos: u64,
+    /// Worst observed per-op latency.
+    pub max_nanos: u64,
+}
+
+impl ScalingRow {
+    /// Completed operations per second over the wall clock.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+}
+
+/// Human-friendly nanosecond formatting, shared by every latency renderer
+/// (the scaling table here and the histogram sketches in `gm-workload`).
+pub fn format_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    }
+}
+
+/// Render the concurrency sweep: one section per (engine, mix), one line per
+/// thread count, with throughput, speedup over the 1-thread line, and the
+/// latency tail. This is the text analogue of a scalability figure.
+pub fn render_scaling(rows: &[ScalingRow]) -> String {
+    let mut keys: Vec<(String, String)> = rows
+        .iter()
+        .map(|r| (r.engine.clone(), r.mix.clone()))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>7} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7}\n",
+        "engine/mix", "threads", "ops/s", "speedup", "p50", "p95", "p99", "max", "errors"
+    ));
+    out.push_str(&"-".repeat(104));
+    out.push('\n');
+    for (engine, mix) in &keys {
+        let mut group: Vec<&ScalingRow> = rows
+            .iter()
+            .filter(|r| &r.engine == engine && &r.mix == mix)
+            .collect();
+        group.sort_by_key(|r| r.threads);
+        let base = group
+            .iter()
+            .find(|r| r.threads == 1)
+            .map(|r| r.throughput());
+        for r in group {
+            let speedup = match base {
+                Some(b) if b > 0.0 => format!("{:.2}x", r.throughput() / b),
+                _ => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<22} {:>7} {:>12.0} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7}\n",
+                format!("{engine}/{mix}"),
+                r.threads,
+                r.throughput(),
+                speedup,
+                format_nanos(r.p50_nanos),
+                format_nanos(r.p95_nanos),
+                format_nanos(r.p99_nanos),
+                format_nanos(r.max_nanos),
+                r.errors
+            ));
+        }
+    }
+    out
+}
+
+/// Render the sweep as CSV (machine-readable companion).
+pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
+    let mut out = String::from(
+        "engine,mix,threads,ops,errors,wall_millis,throughput_ops_s,p50_us,p95_us,p99_us,max_us\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.3},{:.1},{:.3},{:.3},{:.3},{:.3}\n",
+            r.engine,
+            r.mix,
+            r.threads,
+            r.ops,
+            r.errors,
+            r.wall_nanos as f64 / 1e6,
+            r.throughput(),
+            r.p50_nanos as f64 / 1e3,
+            r.p95_nanos as f64 / 1e3,
+            r.p99_nanos as f64 / 1e3,
+            r.max_nanos as f64 / 1e3,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +362,52 @@ mod tests {
         assert!(text.contains('✓'));
         assert!(text.contains('⚠'));
         assert!(text.contains("engine"));
+    }
+
+    fn srow(engine: &str, threads: u32, ops: u64, wall_ms: u64) -> ScalingRow {
+        ScalingRow {
+            engine: engine.into(),
+            mix: "mixed".into(),
+            threads,
+            ops,
+            errors: 0,
+            wall_nanos: wall_ms * 1_000_000,
+            p50_nanos: 1_000,
+            p95_nanos: 20_000,
+            p99_nanos: 90_000,
+            max_nanos: 15_000_000,
+        }
+    }
+
+    #[test]
+    fn scaling_throughput_and_speedup() {
+        let rows = vec![
+            srow("linked(v1)", 1, 1_000, 100),
+            srow("linked(v1)", 4, 3_000, 100),
+        ];
+        assert!((rows[0].throughput() - 10_000.0).abs() < 1e-6);
+        let text = render_scaling(&rows);
+        assert!(text.contains("linked(v1)/mixed"), "{text}");
+        assert!(
+            text.contains("3.00x"),
+            "4 threads at 3x throughput:\n{text}"
+        );
+        assert!(text.contains("1.0µs"), "p50 formatting:\n{text}");
+        assert!(text.contains("20.0µs"), "p95 formatting:\n{text}");
+        let csv = scaling_to_csv(&rows);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("linked(v1),mixed,1,1000,0,100.000"));
+    }
+
+    #[test]
+    fn scaling_zero_wall_is_safe() {
+        let mut r = srow("x", 1, 10, 0);
+        r.wall_nanos = 0;
+        assert_eq!(r.throughput(), 0.0);
     }
 
     #[test]

@@ -95,7 +95,9 @@ pub fn generate_full(scale: Scale, seed: u64) -> Dataset {
     // Domain assignment: Zipf over the 20 domains, but with the six O-topics
     // deliberately placed mid-tail so Frb-O lands between Frb-M and Frb-L
     // as in Table 3.
-    let domain_order: [usize; 20] = [6, 7, 8, 0, 9, 1, 10, 2, 11, 3, 12, 4, 13, 5, 14, 15, 16, 17, 18, 19];
+    let domain_order: [usize; 20] = [
+        6, 7, 8, 0, 9, 1, 10, 2, 11, 3, 12, 4, 13, 5, 14, 15, 16, 17, 18, 19,
+    ];
     let domain_sampler = Zipf::new(DOMAINS.len(), 0.75);
     let mut domains: Vec<u8> = Vec::with_capacity(n as usize);
     for i in 0..n {
@@ -188,13 +190,18 @@ fn induced(full: &Dataset, name: &str, kept: Vec<&DsEdge>) -> Dataset {
         for endpoint in [e.src, e.dst] {
             remap.entry(endpoint).or_insert_with(|| {
                 let old = &full.vertices[endpoint as usize];
-                
+
                 d.add_vertex(old.label.clone(), old.props.clone())
             });
         }
     }
     for e in kept {
-        d.add_edge(remap[&e.src], remap[&e.dst], e.label.clone(), e.props.clone());
+        d.add_edge(
+            remap[&e.src],
+            remap[&e.dst],
+            e.label.clone(),
+            e.props.clone(),
+        );
     }
     d
 }

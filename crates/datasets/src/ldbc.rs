@@ -114,10 +114,7 @@ pub fn generate(scale: Scale, seed: u64) -> Dataset {
     let mut tag_ids = Vec::new();
     let class_sampler = Zipf::new(class_ids.len(), 1.0);
     for i in 0..tags {
-        let id = d.add_vertex(
-            "tag",
-            vec![("name".into(), Value::Str(format!("tag-{i}")))],
-        );
+        let id = d.add_vertex("tag", vec![("name".into(), Value::Str(format!("tag-{i}")))]);
         tag_ids.push(id);
         let class = class_ids[class_sampler.sample(&mut rng)];
         d.add_edge(id, class, "hasType", vec![]);
@@ -135,7 +132,10 @@ pub fn generate(scale: Scale, seed: u64) -> Dataset {
             vec![
                 ("firstName".into(), Value::Str(name.to_string())),
                 ("lastName".into(), Value::Str(format!("surname-{i}"))),
-                ("birthday".into(), Value::Int(rng.gen_range(-15_000..-5_000))),
+                (
+                    "birthday".into(),
+                    Value::Int(rng.gen_range(-15_000..-5_000)),
+                ),
                 (
                     "browserUsed".into(),
                     Value::Str(BROWSERS[rng.gen_range(0..BROWSERS.len())].to_string()),
@@ -144,7 +144,12 @@ pub fn generate(scale: Scale, seed: u64) -> Dataset {
         );
         person_ids.push(id);
         let city = city_ids[rng.gen_range(0..city_ids.len())];
-        d.add_edge(id, city, "isLocatedIn", vec![("since".into(), creation_date(&mut rng))]);
+        d.add_edge(
+            id,
+            city,
+            "isLocatedIn",
+            vec![("since".into(), creation_date(&mut rng))],
+        );
         if rng.gen_bool(0.7) {
             let uni = uni_ids[rng.gen_range(0..uni_ids.len())];
             d.add_edge(

@@ -62,8 +62,12 @@ impl DatasetId {
     ];
 
     /// The four Freebase samples the result sections focus on.
-    pub const FREEBASE: [DatasetId; 4] =
-        [DatasetId::FrbS, DatasetId::FrbO, DatasetId::FrbM, DatasetId::FrbL];
+    pub const FREEBASE: [DatasetId; 4] = [
+        DatasetId::FrbS,
+        DatasetId::FrbO,
+        DatasetId::FrbM,
+        DatasetId::FrbL,
+    ];
 
     /// Canonical short name (Table 3 row label).
     pub fn name(&self) -> &'static str {

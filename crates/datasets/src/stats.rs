@@ -45,7 +45,11 @@ pub fn dataset_stats(data: &Dataset) -> DatasetStats {
     let (components, max_component, component_of) = components(&adj);
     let degrees = data.degrees();
     let max_degree = degrees.iter().map(|d| d.total() as u64).max().unwrap_or(0);
-    let avg_degree = if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 };
+    let avg_degree = if n > 0 {
+        2.0 * m as f64 / n as f64
+    } else {
+        0.0
+    };
     let density = if n > 1 {
         m as f64 / (n as f64 * (n as f64 - 1.0))
     } else {

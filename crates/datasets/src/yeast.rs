@@ -54,9 +54,7 @@ pub fn generate(scale: Scale, seed: u64) -> Dataset {
                 ),
                 (
                     "description".into(),
-                    Value::Str(format!(
-                        "S.cerevisiae ORF {i} involved in {class}"
-                    )),
+                    Value::Str(format!("S.cerevisiae ORF {i} involved in {class}")),
                 ),
                 ("class".into(), Value::Str(class.to_string())),
             ],
@@ -108,13 +106,22 @@ mod tests {
 
     #[test]
     fn paper_scale_shape() {
-        let d = generate(Scale { factor: 1.0, name: "paper" }, 42);
+        let d = generate(
+            Scale {
+                factor: 1.0,
+                name: "paper",
+            },
+            42,
+        );
         d.validate().unwrap();
         assert_eq!(d.vertex_count(), 2361);
         let e = d.edge_count() as f64;
         assert!(e > 6000.0 && e < 8000.0, "≈7.1K edges, got {e}");
         let labels = d.edge_label_set().len();
-        assert!(labels > 60 && labels <= 169, "many class-pair labels, got {labels}");
+        assert!(
+            labels > 60 && labels <= 169,
+            "many class-pair labels, got {labels}"
+        );
         let stats = dataset_stats(&d);
         assert!(stats.components > 20, "fragmented ({})", stats.components);
         assert!(

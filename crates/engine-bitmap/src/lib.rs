@@ -265,7 +265,9 @@ impl GraphDb for BitmapGraph {
 
     fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
         if !self.vmap.is_empty() {
-            return Err(GdbError::Invalid("bulk_load requires an empty engine".into()));
+            return Err(GdbError::Invalid(
+                "bulk_load requires an empty engine".into(),
+            ));
         }
         for v in &data.vertices {
             let vid = self.add_vertex(&v.label, &v.props)?;
@@ -440,7 +442,11 @@ impl GraphDb for BitmapGraph {
             }
         }
         props.sort_by(|a, b| a.0.cmp(&b.0));
-        Ok(Some(VertexData { id: v, label, props }))
+        Ok(Some(VertexData {
+            id: v,
+            label,
+            props,
+        }))
     }
 
     fn edge(&self, e: Eid) -> GdbResult<Option<EdgeData>> {
@@ -607,12 +613,7 @@ impl GraphDb for BitmapGraph {
         Ok(out)
     }
 
-    fn vertex_edge_labels(
-        &self,
-        v: Vid,
-        dir: Direction,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<String>> {
+    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
         self.require_vertex(v.0)?;
         let mut seen: Vec<u32> = Vec::new();
         for e in self.incident(v.0, dir, None) {
@@ -798,7 +799,11 @@ mod tests {
             .unwrap();
         assert_eq!(rare.len(), 25);
         // Only matching edges are touched after the AND.
-        assert!(ctx.work() <= 30, "AND prunes before iteration ({})", ctx.work());
+        assert!(
+            ctx.work() <= 30,
+            "AND prunes before iteration ({})",
+            ctx.work()
+        );
     }
 
     #[test]

@@ -345,7 +345,9 @@ impl GraphDb for ClusterGraph {
 
     fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
         if !self.vmap.is_empty() {
-            return Err(GdbError::Invalid("bulk_load requires an empty engine".into()));
+            return Err(GdbError::Invalid(
+                "bulk_load requires an empty engine".into(),
+            ));
         }
         // Pass 1: edges first, collecting adjacency per canonical vertex, so
         // each vertex record is written exactly once (no rewrite storm).
@@ -595,9 +597,7 @@ impl GraphDb for ClusterGraph {
                         .to_string(),
                     props: props
                         .into_iter()
-                        .map(|(k, val)| {
-                            (self.keys.resolve(k).expect("known key").to_string(), val)
-                        })
+                        .map(|(k, val)| (self.keys.resolve(k).expect("known key").to_string(), val))
                         .collect(),
                 }))
             }
@@ -763,12 +763,7 @@ impl GraphDb for ClusterGraph {
         })
     }
 
-    fn vertex_edge_labels(
-        &self,
-        v: Vid,
-        dir: Direction,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<String>> {
+    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
         let rec = self.vertex_record(v.0)?;
         let (out, inn, _) = Self::decode_adjacency(rec);
         let mut clusters: Vec<u32> = Vec::new();
@@ -798,34 +793,28 @@ impl GraphDb for ClusterGraph {
         &'a self,
         ctx: &'a QueryCtx,
     ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Vid>> + 'a>> {
-        Ok(Box::new(
-            self.vertex_clusters
-                .iter()
-                .enumerate()
-                .flat_map(move |(cluster, store)| {
-                    store.iter_ids().map(move |pos| {
-                        ctx.tick()?;
-                        Ok(Vid(rid(cluster as u32, pos)))
-                    })
-                }),
-        ))
+        Ok(Box::new(self.vertex_clusters.iter().enumerate().flat_map(
+            move |(cluster, store)| {
+                store.iter_ids().map(move |pos| {
+                    ctx.tick()?;
+                    Ok(Vid(rid(cluster as u32, pos)))
+                })
+            },
+        )))
     }
 
     fn scan_edges<'a>(
         &'a self,
         ctx: &'a QueryCtx,
     ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Eid>> + 'a>> {
-        Ok(Box::new(
-            self.edge_clusters
-                .iter()
-                .enumerate()
-                .flat_map(move |(cluster, store)| {
-                    store.iter_ids().map(move |pos| {
-                        ctx.tick()?;
-                        Ok(Eid(rid(cluster as u32, pos)))
-                    })
-                }),
-        ))
+        Ok(Box::new(self.edge_clusters.iter().enumerate().flat_map(
+            move |(cluster, store)| {
+                store.iter_ids().map(move |pos| {
+                    ctx.tick()?;
+                    Ok(Eid(rid(cluster as u32, pos)))
+                })
+            },
+        )))
     }
 
     fn vertex_property(&self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
@@ -846,7 +835,10 @@ impl GraphDb for ClusterGraph {
             return Ok(None);
         };
         let (_, _, props) = self.edge_parts(e.0)?;
-        Ok(props.into_iter().find(|(k, _)| *k == key).map(|(_, val)| val))
+        Ok(props
+            .into_iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, val)| val))
     }
 
     fn edge_endpoints(&self, e: Eid) -> GdbResult<Option<(Vid, Vid)>> {
@@ -917,8 +909,7 @@ impl GraphDb for ClusterGraph {
         );
         r.add(
             "cluster metadata",
-            (self.vertex_clusters.len() + self.edge_clusters.len()) as u64
-                * CLUSTER_METADATA_BYTES,
+            (self.vertex_clusters.len() + self.edge_clusters.len()) as u64 * CLUSTER_METADATA_BYTES,
         );
         r.add("value dictionary", self.strings.bytes());
         r.add(
@@ -953,7 +944,11 @@ mod tests {
         let a = g.add_vertex("person", &vec![]).unwrap();
         let b = g.add_vertex("city", &vec![]).unwrap();
         let c = g.add_vertex("person", &vec![]).unwrap();
-        assert_eq!(rid_cluster(a.0), rid_cluster(c.0), "same label, same cluster");
+        assert_eq!(
+            rid_cluster(a.0),
+            rid_cluster(c.0),
+            "same label, same cluster"
+        );
         assert_ne!(rid_cluster(a.0), rid_cluster(b.0));
         assert_eq!(rid_pos(a.0), 0);
         assert_eq!(rid_pos(c.0), 1);
@@ -970,8 +965,13 @@ mod tests {
             }
         }
         for i in 0..19u64 {
-            few.add_edge(Vid(few.vmap_id(i)), Vid(few.vmap_id(i + 1)), "same", &vec![])
-                .unwrap();
+            few.add_edge(
+                Vid(few.vmap_id(i)),
+                Vid(few.vmap_id(i + 1)),
+                "same",
+                &vec![],
+            )
+            .unwrap();
             many.add_edge(
                 Vid(many.vmap_id(i)),
                 Vid(many.vmap_id(i + 1)),
@@ -1002,11 +1002,7 @@ mod tests {
         for i in 0..20 {
             let v = g.add_vertex("n", &vec![]).unwrap();
             g.add_edge(hub, v, "e", &vec![]).unwrap();
-            let garbage: u64 = g
-                .vertex_clusters
-                .iter()
-                .map(|c| c.garbage_bytes())
-                .sum();
+            let garbage: u64 = g.vertex_clusters.iter().map(|c| c.garbage_bytes()).sum();
             if i > 0 {
                 assert!(garbage > garbage_before, "each edge appends a new version");
             }
@@ -1026,7 +1022,11 @@ mod tests {
         assert_eq!(g.vertex_degree(hub, Direction::Out, &ctx).unwrap(), 100);
         assert_eq!(g.vertex_degree(hub, Direction::In, &ctx).unwrap(), 0);
         // Header decode: one tick, not one per edge.
-        assert!(ctx.work() < 10, "degree must not walk edges ({})", ctx.work());
+        assert!(
+            ctx.work() < 10,
+            "degree must not walk edges ({})",
+            ctx.work()
+        );
     }
 
     #[test]

@@ -364,7 +364,9 @@ impl GraphDb for ColumnarGraph {
 
     fn bulk_load(&mut self, data: &Dataset, opts: &LoadOptions) -> GdbResult<LoadStats> {
         if !self.vmap.is_empty() {
-            return Err(GdbError::Invalid("bulk_load requires an empty engine".into()));
+            return Err(GdbError::Invalid(
+                "bulk_load requires an empty engine".into(),
+            ));
         }
         if opts.bulk {
             // Schema declared up front (no per-item inference), adjacency
@@ -402,13 +404,17 @@ impl GraphDb for ColumnarGraph {
             }
             for ((vid, label), mut entries) in out_cells {
                 entries.sort_by_key(|e| (e.other, e.eid));
-                self.store
-                    .put(&Self::key_adj(vid, DIR_OUT, label), &Self::encode_adj(&entries));
+                self.store.put(
+                    &Self::key_adj(vid, DIR_OUT, label),
+                    &Self::encode_adj(&entries),
+                );
             }
             for ((vid, label), mut entries) in in_cells {
                 entries.sort_by_key(|e| (e.other, e.eid));
-                self.store
-                    .put(&Self::key_adj(vid, DIR_IN, label), &Self::encode_adj(&entries));
+                self.store.put(
+                    &Self::key_adj(vid, DIR_IN, label),
+                    &Self::encode_adj(&entries),
+                );
             }
             // The bulk loader flushes its memtable to an SSTable run at the
             // end, like Titan's batch loading against Cassandra.
@@ -580,9 +586,7 @@ impl GraphDb for ColumnarGraph {
                 if k == key_id {
                     let mut pos = 0usize;
                     if decode_value(&cell, &mut pos).as_ref() == Some(value) {
-                        out.push(Vid(u64::from_be_bytes(
-                            key[0..8].try_into().expect("vid"),
-                        )));
+                        out.push(Vid(u64::from_be_bytes(key[0..8].try_into().expect("vid"))));
                     }
                 }
             }
@@ -658,10 +662,7 @@ impl GraphDb for ColumnarGraph {
             let k = u32::from_be_bytes(key[9..13].try_into().expect("key id"));
             let mut pos = 0usize;
             if let Some(value) = decode_value(&cell, &mut pos) {
-                props.push((
-                    self.keys.resolve(k).expect("known key").to_string(),
-                    value,
-                ));
+                props.push((self.keys.resolve(k).expect("known key").to_string(), value));
             }
         }
         Ok(Some(VertexData {
@@ -834,12 +835,7 @@ impl GraphDb for ColumnarGraph {
         Ok(n)
     }
 
-    fn vertex_edge_labels(
-        &self,
-        v: Vid,
-        dir: Direction,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<String>> {
+    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
         self.require_vertex(v.0)?;
         let mut seen: Vec<u32> = Vec::new();
         let mut visit = |d: u8| -> GdbResult<()> {
@@ -889,9 +885,8 @@ impl GraphDb for ColumnarGraph {
         ctx: &'a QueryCtx,
     ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Eid>> + 'a>> {
         Ok(Box::new(
-            self.store
-                .scan_range(&[], PrefixEnd::Unbounded)
-                .flat_map(move |(key, cell)| -> Vec<GdbResult<Eid>> {
+            self.store.scan_range(&[], PrefixEnd::Unbounded).flat_map(
+                move |(key, cell)| -> Vec<GdbResult<Eid>> {
                     if let Err(e) = ctx.tick() {
                         return vec![Err(e)];
                     }
@@ -904,7 +899,8 @@ impl GraphDb for ColumnarGraph {
                     } else {
                         Vec::new()
                     }
-                }),
+                },
+            ),
         ))
     }
 
@@ -987,10 +983,7 @@ impl GraphDb for ColumnarGraph {
         r.add("lsm store (rows + columns)", self.store.bytes());
         r.add("row-key cache", self.row_cache.len() as u64 * 8 + 48);
         r.add("edge-id index", self.edge_index.len() as u64 * 28 + 48);
-        r.add(
-            "tombstone set",
-            self.deleted_edges.len() as u64 * 8 + 48,
-        );
+        r.add("tombstone set", self.deleted_edges.len() as u64 * 8 + 48);
         r.add(
             "schema registry",
             self.schema.len() as u64 * 5
@@ -1023,7 +1016,9 @@ mod tests {
         // 16 bytes/edge.
         let mut g = ColumnarGraph::v10();
         let hub = g.add_vertex("n", &vec![]).unwrap();
-        let spokes: Vec<Vid> = (0..1000).map(|_| g.add_vertex("n", &vec![]).unwrap()).collect();
+        let spokes: Vec<Vid> = (0..1000)
+            .map(|_| g.add_vertex("n", &vec![]).unwrap())
+            .collect();
         for s in &spokes {
             g.add_edge(hub, *s, "e", &vec![]).unwrap();
         }
@@ -1053,13 +1048,17 @@ mod tests {
         assert_eq!(g.store.get(&cell_key).unwrap(), before);
         assert!(g.deleted_edges.contains(&e.0));
         let ctx = QueryCtx::unbounded();
-        assert!(g.neighbors(a, Direction::Out, None, &ctx).unwrap().is_empty());
+        assert!(g
+            .neighbors(a, Direction::Out, None, &ctx)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn schema_inference_tracks_types() {
         let mut g = ColumnarGraph::v10();
-        g.add_vertex("n", &vec![("x".into(), Value::Int(1))]).unwrap();
+        g.add_vertex("n", &vec![("x".into(), Value::Int(1))])
+            .unwrap();
         let key = g.keys.get("x").unwrap();
         assert_eq!(g.schema.get(&key), Some(&2u8));
         // Conflicting type downgrades to "mixed".
@@ -1119,12 +1118,15 @@ mod tests {
         let e = g
             .add_edge(a, b, "l", &vec![("w".into(), Value::Float(1.5))])
             .unwrap();
-        assert_eq!(
-            g.edge_property(e, "w").unwrap(),
-            Some(Value::Float(1.5))
-        );
-        let in_cell = g.store.get(&ColumnarGraph::key_adj(b.0, DIR_IN, 0)).unwrap();
-        let out_cell = g.store.get(&ColumnarGraph::key_adj(a.0, DIR_OUT, 0)).unwrap();
+        assert_eq!(g.edge_property(e, "w").unwrap(), Some(Value::Float(1.5)));
+        let in_cell = g
+            .store
+            .get(&ColumnarGraph::key_adj(b.0, DIR_IN, 0))
+            .unwrap();
+        let out_cell = g
+            .store
+            .get(&ColumnarGraph::key_adj(a.0, DIR_OUT, 0))
+            .unwrap();
         assert!(in_cell.len() < out_cell.len(), "IN side carries no props");
     }
 

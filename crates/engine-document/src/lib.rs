@@ -276,7 +276,9 @@ impl GraphDb for DocumentGraph {
 
     fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
         if !self.vmap.is_empty() {
-            return Err(GdbError::Invalid("bulk_load requires an empty engine".into()));
+            return Err(GdbError::Invalid(
+                "bulk_load requires an empty engine".into(),
+            ));
         }
         // Native-script load path (the paper had to bypass Gremlin): write
         // documents straight into the primary store.
@@ -648,12 +650,7 @@ impl GraphDb for DocumentGraph {
         Ok(n as u64)
     }
 
-    fn vertex_edge_labels(
-        &self,
-        v: Vid,
-        dir: Direction,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<String>> {
+    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
         let refs = self.vertex_edges(v, dir, None, ctx)?;
         let mut seen: Vec<u32> = Vec::new();
         for r in refs {
@@ -753,11 +750,17 @@ impl GraphDb for DocumentGraph {
         let mut r = SpaceReport::default();
         r.add(
             "vertex documents",
-            self.vdocs.values().map(|d| d.len() as u64 + 24).sum::<u64>(),
+            self.vdocs
+                .values()
+                .map(|d| d.len() as u64 + 24)
+                .sum::<u64>(),
         );
         r.add(
             "edge documents",
-            self.edocs.values().map(|d| d.len() as u64 + 24).sum::<u64>(),
+            self.edocs
+                .values()
+                .map(|d| d.len() as u64 + 24)
+                .sum::<u64>(),
         );
         r.add(
             "endpoint hash indexes",
@@ -808,16 +811,15 @@ mod tests {
     #[test]
     fn overlay_reads_are_read_your_writes() {
         let mut g = DocumentGraph::new();
-        let a = g.add_vertex("n", &vec![("x".into(), Value::Int(1))]).unwrap();
+        let a = g
+            .add_vertex("n", &vec![("x".into(), Value::Int(1))])
+            .unwrap();
         // Visible before any sync.
         assert_eq!(g.vertex_property(a, "x").unwrap(), Some(Value::Int(1)));
         let b = g.add_vertex("n", &vec![]).unwrap();
         let e = g.add_edge(a, b, "l", &vec![]).unwrap();
         let ctx = QueryCtx::unbounded();
-        assert_eq!(
-            g.neighbors(a, Direction::Out, None, &ctx).unwrap(),
-            vec![b]
-        );
+        assert_eq!(g.neighbors(a, Direction::Out, None, &ctx).unwrap(), vec![b]);
         g.remove_edge(e).unwrap();
         assert!(g
             .neighbors(a, Direction::Out, None, &ctx)
@@ -884,7 +886,8 @@ mod tests {
         let ctx = QueryCtx::unbounded();
         let before_work = {
             let c = QueryCtx::unbounded();
-            g.vertices_with_property("age", &Value::Int(30), &c).unwrap();
+            g.vertices_with_property("age", &Value::Int(30), &c)
+                .unwrap();
             c.work()
         };
         g.create_vertex_index("age").unwrap();

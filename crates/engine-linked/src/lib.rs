@@ -239,13 +239,11 @@ impl LinkedGraph {
     fn collect_props(&self, mut cur: u64) -> Props {
         let mut out = Props::new();
         while cur != NIL {
-            let Some(rec) = self.props.get(cur) else { break };
+            let Some(rec) = self.props.get(cur) else {
+                break;
+            };
             let key = Self::read_u32(rec, 0);
-            let name = self
-                .keys
-                .resolve(key)
-                .unwrap_or("<unknown>")
-                .to_string();
+            let name = self.keys.resolve(key).unwrap_or("<unknown>").to_string();
             out.push((name, self.decode_prop_value(rec)));
             cur = Self::read_u64(rec, 21);
         }
@@ -422,7 +420,13 @@ impl LinkedGraph {
         Ok(())
     }
 
-    fn add_edge_internal(&mut self, src: u64, dst: u64, label: u32, props: &Props) -> GdbResult<u64> {
+    fn add_edge_internal(
+        &mut self,
+        src: u64,
+        dst: u64,
+        label: u32,
+        props: &Props,
+    ) -> GdbResult<u64> {
         if !self.nodes.is_live(src) {
             return Err(GdbError::VertexNotFound(src));
         }
@@ -545,7 +549,9 @@ impl GraphDb for LinkedGraph {
 
     fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
         if !self.nodes.is_empty() {
-            return Err(GdbError::Invalid("bulk_load requires an empty engine".into()));
+            return Err(GdbError::Invalid(
+                "bulk_load requires an empty engine".into(),
+            ));
         }
         self.vmap.reserve(data.vertices.len());
         for v in &data.vertices {
@@ -921,12 +927,7 @@ impl GraphDb for LinkedGraph {
         Ok(n)
     }
 
-    fn vertex_edge_labels(
-        &self,
-        v: Vid,
-        dir: Direction,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<String>> {
+    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
         if !self.nodes.is_live(v.0) {
             return Err(GdbError::VertexNotFound(v.0));
         }
@@ -1123,7 +1124,9 @@ mod tests {
     fn middle_of_chain_unlink() {
         let mut g = LinkedGraph::v1();
         let hub = g.add_vertex("n", &vec![]).unwrap();
-        let spokes: Vec<Vid> = (0..5).map(|_| g.add_vertex("n", &vec![]).unwrap()).collect();
+        let spokes: Vec<Vid> = (0..5)
+            .map(|_| g.add_vertex("n", &vec![]).unwrap())
+            .collect();
         let edges: Vec<Eid> = spokes
             .iter()
             .map(|s| g.add_edge(hub, *s, "e", &vec![]).unwrap())
@@ -1148,7 +1151,10 @@ mod tests {
     fn property_records_reused_after_delete() {
         let mut g = LinkedGraph::v1();
         let v = g
-            .add_vertex("n", &vec![("a".into(), Value::Int(1)), ("b".into(), Value::Int(2))])
+            .add_vertex(
+                "n",
+                &vec![("a".into(), Value::Int(1)), ("b".into(), Value::Int(2))],
+            )
             .unwrap();
         let props_before = g.props.len();
         g.remove_vertex_property(v, "a").unwrap();
@@ -1166,10 +1172,7 @@ mod tests {
         let v = g
             .add_vertex("n", &vec![("s".into(), Value::Str(long.clone()))])
             .unwrap();
-        assert_eq!(
-            g.vertex_property(v, "s").unwrap(),
-            Some(Value::Str(long))
-        );
+        assert_eq!(g.vertex_property(v, "s").unwrap(), Some(Value::Str(long)));
     }
 
     #[test]

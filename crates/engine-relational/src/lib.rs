@@ -143,7 +143,11 @@ impl EdgeTable {
 
     /// Rows whose endpoint matches, via the FK index.
     fn rows_by_endpoint(&self, endpoint: u64, src_side: bool) -> Vec<u64> {
-        let idx = if src_side { &self.src_index } else { &self.dst_index };
+        let idx = if src_side {
+            &self.src_index
+        } else {
+            &self.dst_index
+        };
         idx.range(&(endpoint, 0), Some(&(endpoint + 1, 0)))
             .map(|((_, row), _)| *row)
             .collect()
@@ -316,7 +320,9 @@ impl GraphDb for RelationalGraph {
 
     fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
         if !self.vmap.is_empty() {
-            return Err(GdbError::Invalid("bulk_load requires an empty engine".into()));
+            return Err(GdbError::Invalid(
+                "bulk_load requires an empty engine".into(),
+            ));
         }
         // Declare the full schema first (one ALTER storm avoided), as Sqlg's
         // COPY-based loader effectively does.
@@ -453,10 +459,9 @@ impl GraphDb for RelationalGraph {
             // Indexed probe when available.
             if let Some(idx) = t.indexes.get(&key) {
                 ctx.tick()?;
-                for ((_, row), _) in idx.range(
-                    &(value.clone(), 0),
-                    Some(&(value.clone(), u64::MAX)),
-                ) {
+                for ((_, row), _) in
+                    idx.range(&(value.clone(), 0), Some(&(value.clone(), u64::MAX)))
+                {
                     out.push(Vid(gid(table as u32, *row)));
                 }
                 continue;
@@ -629,7 +634,10 @@ impl GraphDb for RelationalGraph {
         let Some(pos) = t.column_pos(key) else {
             return Ok(None);
         };
-        let cells = &mut t.rows[gid_row(e.0) as usize].as_mut().expect("checked live").2;
+        let cells = &mut t.rows[gid_row(e.0) as usize]
+            .as_mut()
+            .expect("checked live")
+            .2;
         Ok(cells[pos].take())
     }
 
@@ -707,12 +715,7 @@ impl GraphDb for RelationalGraph {
         Ok(n)
     }
 
-    fn vertex_edge_labels(
-        &self,
-        v: Vid,
-        dir: Direction,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<String>> {
+    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
         self.vrow(v.0)?;
         let mut out = Vec::new();
         for (table, t) in self.etables.iter().enumerate() {
@@ -905,7 +908,10 @@ mod tests {
     fn new_property_triggers_alter_table() {
         let mut g = RelationalGraph::new();
         let vids: Vec<Vid> = (0..10)
-            .map(|_| g.add_vertex("n", &vec![("a".into(), Value::Int(1))]).unwrap())
+            .map(|_| {
+                g.add_vertex("n", &vec![("a".into(), Value::Int(1))])
+                    .unwrap()
+            })
             .collect();
         assert_eq!(g.vtables[0].alter_count, 1, "column 'a' added once");
         g.set_vertex_property(vids[0], "b", Value::Int(2)).unwrap();
@@ -925,7 +931,8 @@ mod tests {
         let a = g.add_vertex("n", &vec![]).unwrap();
         for i in 0..50 {
             let b = g.add_vertex("n", &vec![]).unwrap();
-            g.add_edge(a, b, &format!("label{}", i % 10), &vec![]).unwrap();
+            g.add_edge(a, b, &format!("label{}", i % 10), &vec![])
+                .unwrap();
         }
         let labeled = QueryCtx::unbounded();
         let hits = g

@@ -284,7 +284,9 @@ impl GraphDb for TripleGraph {
 
     fn bulk_load(&mut self, data: &Dataset, opts: &LoadOptions) -> GdbResult<LoadStats> {
         if !self.vmap.is_empty() {
-            return Err(GdbError::Invalid("bulk_load requires an empty engine".into()));
+            return Err(GdbError::Invalid(
+                "bulk_load requires an empty engine".into(),
+            ));
         }
         if opts.bulk {
             // Bulk path: dictionary-encode everything first, then build each
@@ -664,12 +666,7 @@ impl GraphDb for TripleGraph {
         Ok(n)
     }
 
-    fn vertex_edge_labels(
-        &self,
-        v: Vid,
-        dir: Direction,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<String>> {
+    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
         let refs = self.vertex_edges(v, dir, None, ctx)?;
         let mut seen: Vec<u64> = Vec::new();
         for r in refs {
@@ -851,11 +848,14 @@ mod tests {
     #[test]
     fn statements_per_element() {
         let mut g = TripleGraph::new();
-        let a = g.add_vertex("n", &vec![("p".into(), Value::Int(1))]).unwrap();
+        let a = g
+            .add_vertex("n", &vec![("p".into(), Value::Int(1))])
+            .unwrap();
         assert_eq!(g.statements, 2, "vertex = type + 1 prop");
         let b = g.add_vertex("n", &vec![]).unwrap();
         assert_eq!(g.statements, 3);
-        g.add_edge(a, b, "l", &vec![("w".into(), Value::Int(2))]).unwrap();
+        g.add_edge(a, b, "l", &vec![("w".into(), Value::Int(2))])
+            .unwrap();
         assert_eq!(g.statements, 7, "edge = src + dst + label + 1 prop");
     }
 
@@ -883,7 +883,10 @@ mod tests {
             .map(|(_, b)| *b)
             .unwrap();
         assert_eq!(journal % JOURNAL_EXTENT, 0);
-        assert!(journal >= JOURNAL_EXTENT, "at least one extent pre-allocated");
+        assert!(
+            journal >= JOURNAL_EXTENT,
+            "at least one extent pre-allocated"
+        );
     }
 
     #[test]
@@ -901,7 +904,9 @@ mod tests {
     #[test]
     fn update_replaces_statement() {
         let mut g = TripleGraph::new();
-        let v = g.add_vertex("n", &vec![("p".into(), Value::Int(1))]).unwrap();
+        let v = g
+            .add_vertex("n", &vec![("p".into(), Value::Int(1))])
+            .unwrap();
         let stmts = g.statements;
         g.set_vertex_property(v, "p", Value::Int(2)).unwrap();
         assert_eq!(g.statements, stmts, "retract + assert keeps count");

@@ -154,7 +154,13 @@ pub struct EngineFeatures {
 /// [`QueryCtx`] that carries the cooperative deadline. Implementations must
 /// call [`QueryCtx::tick`] at least once per element touched during scans and
 /// traversals so timeouts observe the same granularity across engines.
-pub trait GraphDb {
+///
+/// Engines are `Send + Sync`: all interior state is owned (no `Rc`/`Cell`),
+/// so the concurrent workload driver (`gm-workload`) can share one engine
+/// across client threads behind an `RwLock` — concurrent reads through
+/// `&self`, serialized writes through `&mut self`. The type system enforces
+/// the read/write split because every mutating method takes `&mut self`.
+pub trait GraphDb: Send + Sync {
     /// Variant-qualified engine name (e.g. `"linked(v2)"`).
     fn name(&self) -> String;
 
@@ -261,12 +267,7 @@ pub trait GraphDb {
     fn vertex_degree(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<u64>;
 
     /// Q25/Q26/Q27: distinct labels of incident edges.
-    fn vertex_edge_labels(
-        &self,
-        v: Vid,
-        dir: Direction,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<String>>;
+    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>>;
 
     /// Iterate all vertex ids (`g.V`). Engines yield `Err(Timeout)` if the
     /// context expires mid-scan.

@@ -188,8 +188,15 @@ impl Dataset {
                 .map(|(n, v)| n.len() as u64 + v.approx_bytes())
                 .sum::<u64>()
         };
-        self.vertices.iter().map(|v| props_bytes(&v.props)).sum::<u64>()
-            + self.edges.iter().map(|e| props_bytes(&e.props)).sum::<u64>()
+        self.vertices
+            .iter()
+            .map(|v| props_bytes(&v.props))
+            .sum::<u64>()
+            + self
+                .edges
+                .iter()
+                .map(|e| props_bytes(&e.props))
+                .sum::<u64>()
     }
 
     /// Look up a vertex property by canonical id (generator-side helper).
@@ -292,9 +299,27 @@ mod tests {
     fn degrees_count_directionally() {
         let d = tiny();
         let deg = d.degrees();
-        assert_eq!(deg[0], DegreeEntry { out_deg: 2, in_deg: 0 });
-        assert_eq!(deg[1], DegreeEntry { out_deg: 1, in_deg: 1 });
-        assert_eq!(deg[2], DegreeEntry { out_deg: 0, in_deg: 2 });
+        assert_eq!(
+            deg[0],
+            DegreeEntry {
+                out_deg: 2,
+                in_deg: 0
+            }
+        );
+        assert_eq!(
+            deg[1],
+            DegreeEntry {
+                out_deg: 1,
+                in_deg: 1
+            }
+        );
+        assert_eq!(
+            deg[2],
+            DegreeEntry {
+                out_deg: 0,
+                in_deg: 2
+            }
+        );
         assert_eq!(deg[2].total(), 2);
     }
 

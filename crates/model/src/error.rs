@@ -64,7 +64,10 @@ mod tests {
     #[test]
     fn display_is_human_readable() {
         assert_eq!(GdbError::Timeout.to_string(), "query exceeded its deadline");
-        assert_eq!(GdbError::VertexNotFound(3).to_string(), "vertex v3 not found");
+        assert_eq!(
+            GdbError::VertexNotFound(3).to_string(),
+            "vertex v3 not found"
+        );
         assert!(GdbError::Unsupported("x".into()).to_string().contains("x"));
     }
 

@@ -145,11 +145,7 @@ fn props_of(obj: &Json) -> GdbResult<Props> {
             Json::Float(f) => Value::Float(*f),
             Json::Bool(b) => Value::Bool(*b),
             Json::Null => Value::Null,
-            _ => {
-                return Err(bad(&format!(
-                    "property '{k}' has unsupported nested value"
-                )))
-            }
+            _ => return Err(bad(&format!("property '{k}' has unsupported nested value"))),
         };
         props.push((k.clone(), value));
     }

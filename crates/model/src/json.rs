@@ -406,7 +406,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (c as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -532,15 +534,9 @@ mod tests {
 
     #[test]
     fn unicode_escapes() {
-        assert_eq!(
-            Json::parse(r#""Aé""#).unwrap(),
-            Json::Str("Aé".into())
-        );
+        assert_eq!(Json::parse(r#""Aé""#).unwrap(), Json::Str("Aé".into()));
         // Surrogate pair: U+1F600
-        assert_eq!(
-            Json::parse(r#""😀""#).unwrap(),
-            Json::Str("😀".into())
-        );
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
         assert!(Json::parse(r#""\ud83d""#).is_err(), "lone high surrogate");
         assert!(Json::parse(r#""\ude00""#).is_err(), "lone low surrogate");
     }

@@ -109,7 +109,10 @@ fn load_tiny(make: &mut dyn FnMut() -> Box<dyn GraphDb>) -> Box<dyn GraphDb> {
 /// Map canonical vertex ids to internal ones for assertion convenience.
 fn vids(db: &dyn GraphDb) -> Vec<crate::Vid> {
     (0..5)
-        .map(|c| db.resolve_vertex(c).unwrap_or_else(|| panic!("canonical v{c} unmapped")))
+        .map(|c| {
+            db.resolve_vertex(c)
+                .unwrap_or_else(|| panic!("canonical v{c} unmapped"))
+        })
         .collect()
 }
 
@@ -181,11 +184,7 @@ fn check_load_and_reads(make: &mut dyn FnMut() -> Box<dyn GraphDb>) {
         .map(|r| r.unwrap().0)
         .collect();
     assert_eq!(scanned.len(), 5, "vertex scan cardinality");
-    let scanned_e: Vec<u64> = db
-        .scan_edges(&ctx)
-        .unwrap()
-        .map(|r| r.unwrap().0)
-        .collect();
+    let scanned_e: Vec<u64> = db.scan_edges(&ctx).unwrap().map(|r| r.unwrap().0).collect();
     assert_eq!(scanned_e.len(), 6, "edge scan cardinality");
 
     // Accessors.
@@ -252,9 +251,7 @@ fn check_traversals(make: &mut dyn FnMut() -> Box<dyn GraphDb>) {
     assert_eq!(db.vertex_degree(v[3], Direction::Both, &ctx).unwrap(), 0);
 
     // Q25-27 edge label sets.
-    let mut labels = db
-        .vertex_edge_labels(v[0], Direction::Both, &ctx)
-        .unwrap();
+    let mut labels = db.vertex_edge_labels(v[0], Direction::Both, &ctx).unwrap();
     labels.sort();
     assert_eq!(labels, vec!["follows", "knows", "likes"], "Q27 both labels");
     let mut labels = db.vertex_edge_labels(v[0], Direction::Out, &ctx).unwrap();
@@ -262,9 +259,7 @@ fn check_traversals(make: &mut dyn FnMut() -> Box<dyn GraphDb>) {
     assert_eq!(labels, vec!["knows"], "Q26 out labels dedup");
 
     // vertex_edges returns matching EdgeRefs.
-    let refs = db
-        .vertex_edges(v[0], Direction::Out, None, &ctx)
-        .unwrap();
+    let refs = db.vertex_edges(v[0], Direction::Out, None, &ctx).unwrap();
     assert_eq!(refs.len(), 2);
     assert!(refs.iter().all(|r| r.other == v[1]));
 }
@@ -289,16 +284,13 @@ fn check_mutations(make: &mut dyn FnMut() -> Box<dyn GraphDb>) {
     assert_eq!(db.edge_count(&ctx).unwrap(), 7);
     assert_eq!(db.edge_endpoints(ne).unwrap(), Some((nv, v[0])));
     let ne2 = db
-        .add_edge(
-            nv,
-            v[1],
-            "rated",
-            &vec![("stars".into(), Value::Int(5))],
-        )
+        .add_edge(nv, v[1], "rated", &vec![("stars".into(), Value::Int(5))])
         .unwrap();
     assert_eq!(db.edge_property(ne2, "stars").unwrap(), Some(Value::Int(5)));
     assert!(
-        db.edge_label_set(&ctx).unwrap().contains(&"rated".to_string()),
+        db.edge_label_set(&ctx)
+            .unwrap()
+            .contains(&"rated".to_string()),
         "new edge label appears in Q10"
     );
 
@@ -359,7 +351,11 @@ fn check_deletes(make: &mut dyn FnMut() -> Box<dyn GraphDb>) {
     db.remove_vertex(v[2]).unwrap();
     assert_eq!(db.vertex_count(&ctx).unwrap(), 4);
     // col had: in knows from bob, out likes to ann, self-loop likes = 3 edges.
-    assert_eq!(db.edge_count(&ctx).unwrap(), 2, "cascade removed col's 3 edges");
+    assert_eq!(
+        db.edge_count(&ctx).unwrap(),
+        2,
+        "cascade removed col's 3 edges"
+    );
     assert_eq!(db.vertex(v[2]).unwrap(), None);
     assert!(db.remove_vertex(v[2]).is_err());
     // ann's in-neighbors no longer include col.

@@ -261,12 +261,14 @@ mod tests {
 
     #[test]
     fn ordering_across_types_is_total() {
-        let mut vals = [Value::Str("b".into()),
+        let mut vals = [
+            Value::Str("b".into()),
             Value::Int(3),
             Value::Null,
             Value::Bool(true),
             Value::Float(2.5),
-            Value::Str("a".into())];
+            Value::Str("a".into()),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));

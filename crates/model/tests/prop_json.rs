@@ -19,9 +19,8 @@ fn arb_json() -> impl Strategy<Value = Json> {
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
-            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6).prop_map(|m| {
-                Json::Obj(m.into_iter().collect())
-            }),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6)
+                .prop_map(|m| { Json::Obj(m.into_iter().collect()) }),
         ]
     })
 }

@@ -35,9 +35,7 @@ impl Container {
     fn contains(&self, low: u16) -> bool {
         match self {
             Container::Array(v) => v.binary_search(&low).is_ok(),
-            Container::Bitset(words, _) => {
-                words[(low >> 6) as usize] & (1u64 << (low & 63)) != 0
-            }
+            Container::Bitset(words, _) => words[(low >> 6) as usize] & (1u64 << (low & 63)) != 0,
         }
     }
 
@@ -122,8 +120,8 @@ impl Container {
     fn iter(&self) -> Box<dyn Iterator<Item = u16> + '_> {
         match self {
             Container::Array(v) => Box::new(v.iter().copied()),
-            Container::Bitset(words, _) => Box::new(words.iter().enumerate().flat_map(
-                |(wi, &word)| {
+            Container::Bitset(words, _) => {
+                Box::new(words.iter().enumerate().flat_map(|(wi, &word)| {
                     let mut out = Vec::with_capacity(word.count_ones() as usize);
                     let mut w = word;
                     while w != 0 {
@@ -132,8 +130,8 @@ impl Container {
                         w &= w - 1;
                     }
                     out
-                },
-            )),
+                }))
+            }
         }
     }
 
@@ -373,11 +371,7 @@ impl Bitmap {
 
     /// Approximate memory footprint.
     pub fn bytes(&self) -> u64 {
-        16 + self
-            .chunks
-            .iter()
-            .map(|(_, c)| 8 + c.bytes())
-            .sum::<u64>()
+        16 + self.chunks.iter().map(|(_, c)| 8 + c.bytes()).sum::<u64>()
     }
 
     /// Smallest stored value, if any.

@@ -119,10 +119,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     pub fn get(&self, key: &K) -> Option<&V> {
         let leaf = self.find_leaf(key);
         match &self.nodes[leaf as usize] {
-            Node::Leaf { keys, vals, .. } => keys
-                .binary_search(key)
-                .ok()
-                .map(|i| &vals[i]),
+            Node::Leaf { keys, vals, .. } => keys.binary_search(key).ok().map(|i| &vals[i]),
             _ => unreachable!("find_leaf returned non-leaf"),
         }
     }
@@ -186,30 +183,27 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
         };
 
         match child {
-            Some((child_idx, child_node)) => {
-                match self.insert_rec(child_node, key, value) {
-                    InsertResult::Split(sep, right) => {
-                        let order = self.order;
-                        let needs_split;
-                        {
-                            let Node::Internal { keys, children } =
-                                &mut self.nodes[node as usize]
-                            else {
-                                unreachable!()
-                            };
-                            keys.insert(child_idx, sep);
-                            children.insert(child_idx + 1, right);
-                            needs_split = keys.len() > order;
-                        }
-                        if needs_split {
-                            self.split_internal(node)
-                        } else {
-                            InsertResult::Done
-                        }
+            Some((child_idx, child_node)) => match self.insert_rec(child_node, key, value) {
+                InsertResult::Split(sep, right) => {
+                    let order = self.order;
+                    let needs_split;
+                    {
+                        let Node::Internal { keys, children } = &mut self.nodes[node as usize]
+                        else {
+                            unreachable!()
+                        };
+                        keys.insert(child_idx, sep);
+                        children.insert(child_idx + 1, right);
+                        needs_split = keys.len() > order;
                     }
-                    other => other,
+                    if needs_split {
+                        self.split_internal(node)
+                    } else {
+                        InsertResult::Done
+                    }
                 }
-            }
+                other => other,
+            },
             None => {
                 let order = self.order;
                 let needs_split;
@@ -240,7 +234,10 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
 
     fn split_leaf(&mut self, node: u32) -> InsertResult<K, V> {
         let (right_keys, right_vals, old_next) = {
-            let Node::Leaf { keys, vals, next, .. } = &mut self.nodes[node as usize] else {
+            let Node::Leaf {
+                keys, vals, next, ..
+            } = &mut self.nodes[node as usize]
+            else {
                 unreachable!()
             };
             let mid = keys.len() / 2;
@@ -416,7 +413,9 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
                 return None;
             }
             match &self.nodes[leaf as usize] {
-                Node::Leaf { keys, vals, next, .. } => {
+                Node::Leaf {
+                    keys, vals, next, ..
+                } => {
                     if keys.is_empty() {
                         leaf = *next;
                     } else {
@@ -551,7 +550,9 @@ impl<'a, K: Ord + Clone + Debug, V: Clone> Iterator for BPlusIter<'a, K, V> {
                 return None;
             }
             match &self.tree.nodes[self.leaf as usize] {
-                Node::Leaf { keys, vals, next, .. } => {
+                Node::Leaf {
+                    keys, vals, next, ..
+                } => {
                     if self.pos < keys.len() {
                         let k = &keys[self.pos];
                         if let Some(hi) = &self.upper {

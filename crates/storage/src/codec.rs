@@ -118,7 +118,11 @@ impl<'a> Iterator for DeltaIter<'a> {
             return None;
         }
         let gap = read_varint(self.buf, &mut self.pos)?;
-        let v = if self.first { gap } else { self.prev.checked_add(gap)? };
+        let v = if self.first {
+            gap
+        } else {
+            self.prev.checked_add(gap)?
+        };
         self.first = false;
         self.prev = v;
         self.remaining -= 1;

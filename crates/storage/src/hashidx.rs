@@ -95,10 +95,9 @@ impl HashIndex {
                     self.live += 1;
                     return true;
                 }
-                k if k == TOMB
-                    && first_tomb.is_none() => {
-                        first_tomb = Some(i);
-                    }
+                k if k == TOMB && first_tomb.is_none() => {
+                    first_tomb = Some(i);
+                }
                 k if k == key && self.vals[i] == value => return false,
                 _ => {}
             }

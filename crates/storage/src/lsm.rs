@@ -159,9 +159,7 @@ impl LsmTable {
                 .map(|(k, v)| (k.as_slice(), v)),
         ));
         for run in self.runs.iter().rev() {
-            let start = run
-                .entries
-                .partition_point(|(k, _)| k.as_slice() < lo);
+            let start = run.entries.partition_point(|(k, _)| k.as_slice() < lo);
             sources.push(Box::new(
                 run.entries[start..].iter().map(|(k, v)| (k.as_slice(), v)),
             ));
@@ -212,10 +210,8 @@ impl LsmTable {
             }
         }
         // Tombstones at the bottom level can be dropped entirely.
-        let entries: Vec<(Vec<u8>, MemEntry)> = merged
-            .into_iter()
-            .filter(|(_, v)| v.is_some())
-            .collect();
+        let entries: Vec<(Vec<u8>, MemEntry)> =
+            merged.into_iter().filter(|(_, v)| v.is_some()).collect();
         let bytes = run_bytes(&entries);
         self.stats.tombstones = 0;
         self.runs.push(Run { entries, bytes });
@@ -486,6 +482,9 @@ mod tests {
         t.flush();
         assert!(t.bytes() > b1);
         t.compact();
-        assert!(t.bytes() <= b1 + 64, "post-compaction space back to ~one copy");
+        assert!(
+            t.bytes() <= b1 + 64,
+            "post-compaction space back to ~one copy"
+        );
     }
 }

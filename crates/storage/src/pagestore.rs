@@ -199,7 +199,8 @@ mod tests {
             s.free(rid);
         }
         assert!(s.garbage_bytes() > 0);
-        let expect: Vec<Option<Vec<u8>>> = ids.iter().map(|&r| s.get(r).map(|b| b.to_vec())).collect();
+        let expect: Vec<Option<Vec<u8>>> =
+            ids.iter().map(|&r| s.get(r).map(|b| b.to_vec())).collect();
         let before = s.bytes();
         s.compact();
         assert_eq!(s.garbage_bytes(), 0);

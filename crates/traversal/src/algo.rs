@@ -105,11 +105,7 @@ pub fn shortest_path(
 
 /// Eccentricity-style probe used by the dataset statistics module and a few
 /// complex queries: the maximum BFS depth reachable from `start`.
-pub fn bfs_depth(
-    db: &dyn GraphDb,
-    start: Vid,
-    ctx: &QueryCtx,
-) -> GdbResult<usize> {
+pub fn bfs_depth(db: &dyn GraphDb, start: Vid, ctx: &QueryCtx) -> GdbResult<usize> {
     let mut visited: FxHashMap<u64, ()> = FxHashMap::default();
     visited.insert(start.0, ());
     let mut frontier = vec![start];

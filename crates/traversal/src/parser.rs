@@ -269,9 +269,7 @@ impl<'a> Parser<'a> {
                         "in" => Direction::In,
                         "out" => Direction::Out,
                         "both" => Direction::Both,
-                        other => {
-                            return Err(self.err(format!("unknown direction '{other}'")))
-                        }
+                        other => return Err(self.err(format!("unknown direction '{other}'"))),
                     };
                     self.expect(",")?;
                     let k = self.number()?;
@@ -305,10 +303,7 @@ mod tests {
         let t = parse("g.V().count()").unwrap();
         assert_eq!(t.steps().len(), 2);
         let t = parse("g.E().label().dedup()").unwrap();
-        assert_eq!(
-            t.steps(),
-            &[Step::E, Step::Label, Step::Dedup]
-        );
+        assert_eq!(t.steps(), &[Step::E, Step::Label, Step::Dedup]);
     }
 
     #[test]
@@ -324,10 +319,7 @@ mod tests {
             ]
         );
         let t = parse("g.V().has('age', 30)").unwrap();
-        assert_eq!(
-            t.steps()[1],
-            Step::Has("age".into(), Value::Int(30))
-        );
+        assert_eq!(t.steps()[1], Step::Has("age".into(), Value::Int(30)));
         let t = parse("g.V().has('w', 1.5)").unwrap();
         assert_eq!(t.steps()[1], Step::Has("w".into(), Value::Float(1.5)));
         let t = parse("g.V().has('ok', true)").unwrap();
@@ -343,10 +335,7 @@ mod tests {
     #[test]
     fn parses_degree_extension() {
         let t = parse("g.V().degreeAtLeast('both', 4).count()").unwrap();
-        assert_eq!(
-            t.steps()[1],
-            Step::DegreeAtLeast(Direction::Both, 4)
-        );
+        assert_eq!(t.steps()[1], Step::DegreeAtLeast(Direction::Both, 4));
     }
 
     #[test]

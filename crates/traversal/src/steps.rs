@@ -99,7 +99,9 @@ impl Traversal {
 
     /// `g.V()`
     pub fn v() -> Self {
-        Traversal { steps: vec![Step::V] }
+        Traversal {
+            steps: vec![Step::V],
+        }
     }
 
     /// `g.V(id)`
@@ -111,7 +113,9 @@ impl Traversal {
 
     /// `g.E()`
     pub fn e() -> Self {
-        Traversal { steps: vec![Step::E] }
+        Traversal {
+            steps: vec![Step::E],
+        }
     }
 
     /// `g.E(id)`

@@ -53,7 +53,9 @@ fn id_step_produces_ints() {
     let ctx = QueryCtx::unbounded();
     let out = Traversal::v().id().run(&g, &ctx).unwrap();
     assert_eq!(out.len(), 5);
-    assert!(out.iter().all(|e| matches!(e, Elem::Val(Value::Int(i)) if *i >= 0)));
+    assert!(out
+        .iter()
+        .all(|e| matches!(e, Elem::Val(Value::Int(i)) if *i >= 0)));
 }
 
 #[test]

@@ -1,0 +1,321 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small wall-clock harness covering the criterion surface graphmark's
+//! benches use: groups, `bench_function`/`bench_with_input`, `iter`,
+//! `iter_batched`, `BenchmarkId`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros. It reports mean/min/max ns per iteration to
+//! stdout; there is no statistical analysis or HTML output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How a batched setup product is sized (accepted, not acted upon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// (total busy nanos, iterations) accumulated by the last `iter*` call.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine` repeatedly until the configured measurement time is
+    /// spent, after a short warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        let mut iters = 0u64;
+        let mut busy = Duration::ZERO;
+        let measure_until = Instant::now() + self.config.measurement_time;
+        while Instant::now() < measure_until {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            busy += t0.elapsed();
+            iters += 1;
+        }
+        self.result = Some((busy, iters.max(1)));
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut busy = Duration::ZERO;
+        let measure_until = Instant::now() + self.config.measurement_time;
+        while Instant::now() < measure_until {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            busy += t0.elapsed();
+            iters += 1;
+        }
+        self.result = Some((busy, iters.max(1)));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+            sample_size: 10,
+        }
+    }
+}
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Set the measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Set the nominal sample count (accepted for API compatibility).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            _parent: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one("", &self.config, id, f);
+        self
+    }
+}
+
+/// A group of related benchmarks, printed under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the nominal sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Set the measurement duration for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &self.config, &id.into().id, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        run_one(&self.name, &self.config, &id.id, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (printing is immediate; this is a no-op for layout).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(group: &str, config: &Config, id: &str, mut f: F) {
+    let mut b = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match b.result {
+        Some((busy, iters)) => {
+            let per_iter = busy.as_nanos() as f64 / iters as f64;
+            println!(
+                "{label:<48} time: [{} per iter, {iters} iters]",
+                fmt_ns(per_iter)
+            );
+        }
+        None => println!("{label:<48} time: [no measurement]"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = fast_config();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_fresh() {
+        let mut c = fast_config();
+        c.bench_function("batched", |b| {
+            b.iter_batched(Vec::<u64>::new, |mut v| v.push(1), BatchSize::SmallInput);
+        });
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

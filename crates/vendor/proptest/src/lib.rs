@@ -1,0 +1,395 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! generation-only property-testing harness covering the proptest surface
+//! graphmark's tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_filter` / `prop_recursive`, `any::<T>()`, range and tuple and
+//! regex-literal strategies, `prop::collection::*`, `prop::option::of`,
+//! `prop::sample::Index`, and the `proptest!` / `prop_oneof!` /
+//! `prop_compose!` / `prop_assert*!` macros.
+//!
+//! Differences from upstream: failing cases are **not shrunk** (the panic
+//! reports the case number and seed instead), and the byte-level random
+//! stream differs. Tests are seeded deterministically from the test name, so
+//! failures reproduce exactly across runs.
+
+use std::fmt;
+
+pub use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each `proptest!` test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure raised by `prop_assert*!` macros (or `?` inside a test body).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The input was rejected (kept for API compatibility).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure from any displayable reason.
+    pub fn fail<R: fmt::Display>(reason: R) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+
+    /// Build a rejection from any displayable reason.
+    pub fn reject<R: fmt::Display>(reason: R) -> Self {
+        TestCaseError::Reject(reason.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "assertion failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+impl<E: std::error::Error> From<E> for TestCaseError {
+    fn from(e: E) -> Self {
+        TestCaseError::Fail(e.to_string())
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the test name.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Build the RNG for one case of one test.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    StdRng::seed_from_u64(seed_for(test_name) ^ ((case as u64) << 32 | 0x9e37))
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                // Bias towards small magnitudes and boundary values: they
+                // exercise edge cases far more often than uniform bits do.
+                match rng.gen_range(0u32..8) {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 | 4 => (rng.next_u64() % 16) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+use rand::RngCore;
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        match rng.gen_range(0u32..10) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::NAN,
+            3 => f64::INFINITY,
+            4 => f64::NEG_INFINITY,
+            5 => f64::from_bits(rng.next_u64()),
+            _ => rng.gen_range(-1.0e6..1.0e6),
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> char {
+        if rng.gen_bool(0.9) {
+            rng.gen_range(0x20u32..0x7f) as u8 as char
+        } else {
+            char::from_u32(rng.gen_range(0x80u32..0xd800)).unwrap_or('�')
+        }
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut StdRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in out.iter_mut() {
+            *b = (rng.next_u64() & 0xff) as u8;
+        }
+        out
+    }
+}
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`vec`, `btree_map`, `btree_set`, `hash_set`).
+    pub mod collection {
+        pub use crate::strategy::collection::*;
+    }
+
+    /// `option::of`.
+    pub mod option {
+        pub use crate::strategy::option::*;
+    }
+
+    /// `sample::Index`.
+    pub mod sample {
+        pub use crate::strategy::sample::*;
+    }
+}
+
+/// The prelude glob-imported by every proptest-based test file.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        Arbitrary, ProptestConfig, TestCaseError,
+    };
+}
+
+/// Assert a boolean property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("condition false: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} != {} ({:?} != {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{} ({:?} != {:?})", format!($($fmt)+), l, r);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "{} == {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{} (both {:?})", format!($($fmt)+), l);
+    }};
+}
+
+/// Weighted/unweighted union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Build a named strategy function from generation stages, mirroring
+/// `proptest::prop_compose!`. The two-stage form lets the second stage's
+/// strategies depend on values drawn in the first.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        fn $name:ident()
+        ($($pat1:pat in $strat1:expr),+ $(,)?)
+        ($($pat2:pat in $strat2:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() -> impl $crate::Strategy<Value = $ret> {
+            $crate::strategy::from_fn(move |__rng: &mut $crate::StdRng| {
+                let ($($pat1,)*) =
+                    $crate::Strategy::generate(&($($strat1,)*), __rng);
+                let ($($pat2,)*) =
+                    $crate::Strategy::generate(&($($strat2,)*), __rng);
+                $body
+            })
+        }
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident()
+        ($($pat1:pat in $strat1:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() -> impl $crate::Strategy<Value = $ret> {
+            $crate::strategy::from_fn(move |__rng: &mut $crate::StdRng| {
+                let ($($pat1,)*) =
+                    $crate::Strategy::generate(&($($strat1,)*), __rng);
+                $body
+            })
+        }
+    };
+}
+
+/// Define property tests: each `fn` runs its body over `config.cases`
+/// randomly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __strategies = ($($strat,)*);
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    let ($($pat,)*) =
+                        $crate::Strategy::generate(&__strategies, &mut __rng);
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}/{} (seed {:#x}): {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            $crate::seed_for(stringify!($name)),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(crate::seed_for("abc"), crate::seed_for("abc"));
+        assert_ne!(crate::seed_for("abc"), crate::seed_for("abd"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_ranges_in_bounds(x in 10u64..20, v in prop::collection::vec(0i64..5, 0..8)) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|i| (0..5).contains(i)));
+        }
+
+        #[test]
+        fn regex_class_strings(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.chars().count()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_and_filter(x in prop_oneof![1 => Just(0u8), 3 => (1u8..10).prop_filter("nonzero", |v| *v > 0)]) {
+            prop_assert!(x < 10);
+        }
+    }
+}

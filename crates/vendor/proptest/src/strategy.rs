@@ -1,0 +1,751 @@
+//! Strategy combinators for the offline proptest stand-in.
+//!
+//! A [`Strategy`] here is just a deterministic generator: `generate` draws one
+//! value from the RNG. There is no shrinking tree; see the crate docs.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How many times `prop_filter` retries before giving up.
+const FILTER_RETRIES: u32 = 10_000;
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`, retrying the draw otherwise.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Build recursive structures: `recurse` receives the strategy for the
+    /// levels below and returns the strategy for one level up. `depth` bounds
+    /// the nesting; the size hints are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf: BoxedStrategy<Self::Value> = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(strat).boxed();
+            // Keep leaves reachable at every level so shallow values occur.
+            strat = Union::new(vec![(1, leaf.clone()), (2, branch)]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erase this strategy (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+/// Object-safe view used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `any::<T>()` strategy (see [`crate::Arbitrary`]).
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: crate::Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected {FILTER_RETRIES} draws",
+            self.whence
+        );
+    }
+}
+
+/// Weighted union of same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    entries: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Build from (weight, strategy) pairs.
+    pub fn new(entries: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = entries.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { entries, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.entries {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Strategy from a plain generation closure (used by `prop_compose!`).
+pub struct FnStrategy<F> {
+    f: F,
+}
+
+impl<T, F: Fn(&mut StdRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Build a strategy from a closure.
+pub fn from_fn<T, F: Fn(&mut StdRng) -> T>(f: F) -> FnStrategy<F> {
+    FnStrategy { f }
+}
+
+// ----- primitive strategies ------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ----- regex-literal string strategies -------------------------------------
+
+/// One generable unit of the supported regex subset.
+#[derive(Debug, Clone)]
+enum RegexAtom {
+    /// Inclusive char ranges (a char class or single literal).
+    Class(Vec<(char, char)>),
+    /// `\PC`: any non-control character.
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct RegexPart {
+    atom: RegexAtom,
+    min: u32,
+    max: u32,
+}
+
+/// Parse the regex subset used as string strategies: sequences of char
+/// classes / literals / `\PC`, each with an optional `{n}` or `{lo,hi}`
+/// quantifier. Anything fancier is a panic, not silent misgeneration.
+fn parse_regex(pattern: &str) -> Vec<RegexPart> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(i < chars.len(), "unterminated char class in {pattern:?}");
+                i += 1; // consume ']'
+                RegexAtom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                if chars[i] == 'P' && chars.get(i + 1) == Some(&'C') {
+                    i += 2;
+                    RegexAtom::Printable
+                } else {
+                    let c = unescape(chars[i]);
+                    i += 1;
+                    RegexAtom::Class(vec![(c, c)])
+                }
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '*' | '+' | '?' | '.'),
+                    "unsupported regex construct {c:?} in {pattern:?}"
+                );
+                i += 1;
+                RegexAtom::Class(vec![(c, c)])
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            i += 1;
+            let start = i;
+            while chars[i] != '}' {
+                i += 1;
+            }
+            let body: String = chars[start..i].iter().collect();
+            i += 1; // consume '}'
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lo"),
+                    hi.trim().parse().expect("quantifier hi"),
+                ),
+                None => {
+                    let n: u32 = body.trim().parse().expect("quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push(RegexPart { atom, min, max });
+    }
+    out
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn gen_atom(atom: &RegexAtom, rng: &mut StdRng) -> char {
+    match atom {
+        RegexAtom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.gen_range(0..total);
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick).unwrap_or(*lo);
+                }
+                pick -= span;
+            }
+            unreachable!("class ranges exhausted")
+        }
+        RegexAtom::Printable => {
+            // Mostly ASCII, occasionally wider unicode; never controls.
+            if rng.gen_bool(0.85) {
+                rng.gen_range(0x20u32..0x7f) as u8 as char
+            } else {
+                loop {
+                    let c = rng.gen_range(0xa0u32..0x3000);
+                    if let Some(c) = char::from_u32(c) {
+                        if !c.is_control() {
+                            return c;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// String literals are strategies over the regex subset above.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let parts = parse_regex(self);
+        let mut out = String::new();
+        for part in &parts {
+            let n = if part.min == part.max {
+                part.min
+            } else {
+                rng.gen_range(part.min..part.max + 1)
+            };
+            for _ in 0..n {
+                out.push(gen_atom(&part.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+// ----- collections ---------------------------------------------------------
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::{BTreeMap, BTreeSet, HashSet};
+    use std::hash::Hash;
+
+    /// `Vec` of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// `BTreeMap` with keys/values from the given strategies.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
+    }
+
+    /// `BTreeSet` with elements from `element`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// `HashSet` with elements from `element`.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.draw(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..target * 10 + 10 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = self.size.draw(rng);
+            let mut out = BTreeSet::new();
+            for _ in 0..target * 10 + 10 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = self.size.draw(rng);
+            let mut out = HashSet::new();
+            for _ in 0..target * 10 + 10 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    impl SizeRange {
+        pub(super) fn draw(&self, rng: &mut StdRng) -> usize {
+            if self.min >= self.max {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max)
+            }
+        }
+    }
+}
+
+/// Collection length specification: a `usize` (exact) or half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+/// `prop::option` strategies.
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// `Option<T>`: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// `prop::sample` helpers.
+pub mod sample {
+    use rand::rngs::StdRng;
+
+    /// An index into a collection whose length is only known at use-site.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Map onto `0..len` (`len` must be non-zero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl crate::Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            Index(usize::arbitrary(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn map_filter_union() {
+        let mut r = rng();
+        let s = (0u32..10)
+            .prop_map(|x| x * 2)
+            .prop_filter("nonzero", |x| *x > 0);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v > 0 && v < 20 && v % 2 == 0);
+        }
+        let u = Union::new(vec![(1, Just(1u8).boxed()), (1, Just(2u8).boxed())]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(u.generate(&mut r));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn regex_subset_parses_everything_graphmark_uses() {
+        let mut r = rng();
+        for pattern in [
+            "[a-z]{1,6}",
+            "[a-z0-9]{0,12}",
+            "[a-zA-Z0-9 _\\-\\\\\"\n\t☃]{0,24}",
+            "[a-zA-Z0-9 ,.☃]{0,16}",
+            "\\PC{0,256}",
+        ] {
+            for _ in 0..50 {
+                let s = pattern.generate(&mut r);
+                assert!(s.chars().count() <= 256);
+            }
+        }
+        let snowman_count = (0..200)
+            .filter(|_| "[☃]{1}".generate(&mut r).contains('☃'))
+            .count();
+        assert_eq!(snowman_count, 200);
+    }
+
+    #[test]
+    fn recursive_terminates_and_nests() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(u8),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(v) => {
+                    let _ = v;
+                    1
+                }
+                T::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                collection::vec(inner, 0..4).prop_map(T::Node)
+            });
+        let mut r = rng();
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&strat.generate(&mut r)));
+        }
+        assert!(max_depth > 1, "recursion must actually nest");
+        assert!(max_depth <= 4 + 1);
+    }
+
+    #[test]
+    fn collections_hit_size_bounds() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = collection::vec(0u8..255, 3usize).generate(&mut r);
+            assert_eq!(v.len(), 3);
+            let s = collection::btree_set(0u32..1000, 2..5).generate(&mut r);
+            assert!(s.len() >= 2 && s.len() < 5);
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! The concurrent multi-client driver.
+//!
+//! One engine instance is shared by N worker threads behind an `RwLock`:
+//! read queries run concurrently under the shared lock, CUD writes serialize
+//! under the exclusive lock — exactly the concurrency contract the
+//! `GraphDb: Send + Sync` bound encodes (reads take `&self`, writes
+//! `&mut self`). Each worker owns its RNG (seeded from the run seed and the
+//! worker index) and its latency histogram, so the measured path is free of
+//! cross-thread writes entirely; histograms and throughput counters merge
+//! by plain addition after the threads join ("lock-free" structurally —
+//! there is nothing to lock).
+//!
+//! Two pacing models:
+//!
+//! * **closed-loop** — each worker issues its next op as soon as the
+//!   previous one returns (throughput-bound, the classic benchmark client);
+//! * **open-loop** — ops arrive on a fixed global schedule (`ops_per_sec`)
+//!   dealt round-robin to workers, and latency is measured from *scheduled
+//!   arrival* to completion, so queueing delay is visible when the engine
+//!   cannot keep up (the coordinated-omission-free measurement the LDBC
+//!   driver papers argue for).
+
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
+
+use gm_core::catalog;
+use gm_core::params::{ResolvedParams, Workload};
+use gm_core::report::{Measurement, Outcome, RunMode};
+use gm_core::summary::ScalingRow;
+use gm_model::api::LoadOptions;
+use gm_model::{Dataset, Eid, GdbError, GdbResult, GraphDb, QueryCtx, Value};
+
+use crate::hist::LatencyHistogram;
+use crate::mix::{Mix, MixKind, Op, WriteOp};
+
+/// Cardinality recorded for an op that returned an error.
+pub const ERR_CARD: u64 = u64::MAX;
+
+/// How ops are paced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pacing {
+    /// Issue the next op when the previous one completes.
+    Closed,
+    /// Fixed-rate arrivals across all workers; latency includes queueing.
+    Open {
+        /// Aggregate arrival rate over all workers.
+        ops_per_sec: f64,
+    },
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Scenario shape.
+    pub mix: MixKind,
+    /// Worker (client) thread count.
+    pub threads: u32,
+    /// Ops each worker issues.
+    pub ops_per_worker: u64,
+    /// Run seed: fixes every worker's op sequence.
+    pub seed: u64,
+    /// Closed- or open-loop pacing.
+    pub pacing: Pacing,
+    /// Per-op cooperative deadline for **read** ops. Writes are point
+    /// operations whose engine API carries no `QueryCtx`, so they are not
+    /// deadline-checked.
+    pub op_timeout: Duration,
+    /// Record each op's result cardinality (for determinism checks).
+    pub record_cardinalities: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            mix: MixKind::Mixed,
+            threads: 4,
+            ops_per_worker: 256,
+            seed: 42,
+            pacing: Pacing::Closed,
+            op_timeout: Duration::from_secs(5),
+            record_cardinalities: false,
+        }
+    }
+}
+
+/// Per-worker results, merged lock-free (by plain addition) after the join.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Ops that completed.
+    pub ops: u64,
+    /// Ops that returned an error (timeouts included).
+    pub errors: u64,
+    /// This worker's latency histogram.
+    pub hist: LatencyHistogram,
+    /// Result cardinalities in issue order (empty unless
+    /// [`WorkloadConfig::record_cardinalities`]; errors record [`ERR_CARD`]).
+    pub cardinalities: Vec<u64>,
+}
+
+/// The outcome of one driver run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Engine name.
+    pub engine: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Mix name.
+    pub mix: String,
+    /// Worker count.
+    pub threads: u32,
+    /// Wall-clock time of the measured region (threads running).
+    pub wall_nanos: u64,
+    /// Per-worker stats.
+    pub workers: Vec<WorkerStats>,
+    /// All workers' histograms merged.
+    pub hist: LatencyHistogram,
+}
+
+impl RunReport {
+    /// Total completed ops.
+    pub fn ops(&self) -> u64 {
+        self.workers.iter().map(|w| w.ops).sum()
+    }
+
+    /// Total errored ops.
+    pub fn errors(&self) -> u64 {
+        self.workers.iter().map(|w| w.errors).sum()
+    }
+
+    /// Completed ops per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        self.scaling_row().throughput()
+    }
+
+    /// The row this run contributes to the concurrency figure.
+    pub fn scaling_row(&self) -> ScalingRow {
+        ScalingRow {
+            engine: self.engine.clone(),
+            mix: self.mix.clone(),
+            threads: self.threads,
+            ops: self.ops(),
+            errors: self.errors(),
+            wall_nanos: self.wall_nanos,
+            p50_nanos: self.hist.p50(),
+            p95_nanos: self.hist.p95(),
+            p99_nanos: self.hist.p99(),
+            max_nanos: self.hist.max_nanos(),
+        }
+    }
+
+    /// A `core::report` row so concurrency runs flow through the existing
+    /// rendering machinery next to the paper's figures. A run where no op
+    /// succeeded reports as failed rather than masquerading as completed.
+    pub fn to_measurement(&self) -> Measurement {
+        let outcome = if self.ops() == 0 && self.errors() > 0 {
+            Outcome::Failed(format!("all {} ops errored", self.errors()))
+        } else {
+            Outcome::Completed
+        };
+        Measurement {
+            engine: self.engine.clone(),
+            dataset: self.dataset.clone(),
+            query: format!("WL:{}@t{}", self.mix, self.threads),
+            mode: RunMode::Batch,
+            outcome,
+            nanos: self.wall_nanos,
+            cardinality: Some(self.ops()),
+        }
+    }
+
+    /// Concatenated per-worker cardinality traces (worker order), for
+    /// determinism comparisons.
+    pub fn cardinality_trace(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for w in &self.workers {
+            out.extend_from_slice(&w.cardinalities);
+        }
+        out
+    }
+}
+
+/// Load `data` into a fresh engine from `factory`, then run the configured
+/// workload with `cfg.threads` concurrent workers.
+pub fn run(
+    factory: &dyn Fn() -> Box<dyn GraphDb>,
+    data: &Dataset,
+    cfg: &WorkloadConfig,
+) -> GdbResult<RunReport> {
+    validate(cfg)?;
+    let (lock, params, engine) = prepare(factory, data, cfg)?;
+    let mix = cfg.mix.mix();
+    let start = Instant::now();
+    let workers: Vec<WorkerStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads as usize)
+            .map(|w| {
+                let lock = &lock;
+                let params = &params;
+                let mix = &mix;
+                s.spawn(move || worker_loop(w, lock, params, mix, cfg, start))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+    Ok(assemble(engine, data, cfg, wall_nanos, workers))
+}
+
+/// Execute the *same* per-worker op sequences one worker after another on a
+/// single thread — the sequential reference a concurrent read-only run must
+/// reproduce exactly. Pacing is forced to closed-loop: an open-loop arrival
+/// schedule assumes concurrent workers, so replaying it serially would fold
+/// earlier workers' runtimes into later workers' latencies.
+pub fn run_sequential(
+    factory: &dyn Fn() -> Box<dyn GraphDb>,
+    data: &Dataset,
+    cfg: &WorkloadConfig,
+) -> GdbResult<RunReport> {
+    let cfg = WorkloadConfig {
+        pacing: Pacing::Closed,
+        ..cfg.clone()
+    };
+    let cfg = &cfg;
+    validate(cfg)?;
+    let (lock, params, engine) = prepare(factory, data, cfg)?;
+    let mix = cfg.mix.mix();
+    let start = Instant::now();
+    let workers: Vec<WorkerStats> = (0..cfg.threads as usize)
+        .map(|w| worker_loop(w, &lock, &params, &mix, cfg, start))
+        .collect();
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+    Ok(assemble(engine, data, cfg, wall_nanos, workers))
+}
+
+type SharedEngine = RwLock<Box<dyn GraphDb>>;
+
+fn validate(cfg: &WorkloadConfig) -> GdbResult<()> {
+    if cfg.threads == 0 {
+        return Err(GdbError::Invalid(
+            "workload needs at least one worker".into(),
+        ));
+    }
+    if cfg.ops_per_worker == 0 {
+        return Err(GdbError::Invalid(
+            "workload needs at least one op per worker".into(),
+        ));
+    }
+    if let Pacing::Open { ops_per_sec } = cfg.pacing {
+        if ops_per_sec <= 0.0 || !ops_per_sec.is_finite() {
+            return Err(GdbError::Invalid(format!(
+                "open-loop pacing needs a positive finite rate, got {ops_per_sec}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn prepare(
+    factory: &dyn Fn() -> Box<dyn GraphDb>,
+    data: &Dataset,
+    cfg: &WorkloadConfig,
+) -> GdbResult<(SharedEngine, ResolvedParams, String)> {
+    let mut db = factory();
+    let engine = db.name();
+    db.bulk_load(data, &LoadOptions::default())?;
+    db.sync()?;
+    // Parameter resolution happens before the measured region, as §4.2
+    // prescribes for the sequential runner.
+    let workload = Workload::choose(data, cfg.seed, 16);
+    let params = workload.resolve(db.as_ref())?;
+    Ok((RwLock::new(db), params, engine))
+}
+
+fn assemble(
+    engine: String,
+    data: &Dataset,
+    cfg: &WorkloadConfig,
+    wall_nanos: u64,
+    workers: Vec<WorkerStats>,
+) -> RunReport {
+    let mut hist = LatencyHistogram::new();
+    for w in &workers {
+        hist.merge(&w.hist);
+    }
+    RunReport {
+        engine,
+        dataset: data.name.clone(),
+        mix: cfg.mix.name().to_string(),
+        threads: cfg.threads,
+        wall_nanos,
+        workers,
+        hist,
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    lock: &SharedEngine,
+    params: &ResolvedParams,
+    mix: &Mix,
+    cfg: &WorkloadConfig,
+    start: Instant,
+) -> WorkerStats {
+    let mut rng = Mix::worker_rng(cfg.seed, worker);
+    let mut stats = WorkerStats {
+        worker,
+        ops: 0,
+        errors: 0,
+        hist: LatencyHistogram::new(),
+        cardinalities: Vec::new(),
+    };
+    let mut owned_edges: Vec<Eid> = Vec::new();
+    for i in 0..cfg.ops_per_worker {
+        let op = mix.pick(&mut rng);
+        // Open-loop: wait for this op's scheduled arrival, and measure from
+        // it, so time spent queueing behind a slow engine is *in* the
+        // latency rather than silently coordinated away.
+        let issue_at = match cfg.pacing {
+            Pacing::Closed => Instant::now(),
+            Pacing::Open { ops_per_sec } => {
+                let k = worker as u64 + i * cfg.threads as u64;
+                let at = start + Duration::from_secs_f64(k as f64 / ops_per_sec);
+                let now = Instant::now();
+                if at > now {
+                    std::thread::sleep(at - now);
+                }
+                at
+            }
+        };
+        let result = execute_op(op, lock, params, cfg, worker, i, &mut owned_edges);
+        stats
+            .hist
+            .record(issue_at.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        match result {
+            Ok(card) => {
+                stats.ops += 1;
+                if cfg.record_cardinalities {
+                    stats.cardinalities.push(card);
+                }
+            }
+            Err(_) => {
+                stats.errors += 1;
+                if cfg.record_cardinalities {
+                    stats.cardinalities.push(ERR_CARD);
+                }
+            }
+        }
+    }
+    stats
+}
+
+fn execute_op(
+    op: Op,
+    lock: &SharedEngine,
+    params: &ResolvedParams,
+    cfg: &WorkloadConfig,
+    worker: usize,
+    op_index: u64,
+    owned_edges: &mut Vec<Eid>,
+) -> GdbResult<u64> {
+    match op {
+        Op::Read(inst) => {
+            let ctx = QueryCtx::with_timeout(cfg.op_timeout);
+            let db = lock.read().unwrap_or_else(|p| p.into_inner());
+            catalog::execute_read(&inst, db.as_ref(), params, &ctx)
+        }
+        // No deadline on writes: the GraphDb mutation API carries no
+        // QueryCtx (mutations are point operations in the paper's taxonomy),
+        // so `op_timeout` bounds reads only — see WorkloadConfig docs.
+        Op::Write(wop) => {
+            let mut db = lock.write().unwrap_or_else(|p| p.into_inner());
+            apply_write(wop, db.as_mut(), params, worker, op_index, owned_edges)
+        }
+    }
+}
+
+fn apply_write(
+    wop: WriteOp,
+    db: &mut dyn GraphDb,
+    params: &ResolvedParams,
+    worker: usize,
+    op_index: u64,
+    owned_edges: &mut Vec<Eid>,
+) -> GdbResult<u64> {
+    match wop {
+        WriteOp::AddVertex => {
+            db.add_vertex(
+                "wl_vertex",
+                &vec![
+                    ("wl_worker".into(), Value::Int(worker as i64)),
+                    ("wl_seq".into(), Value::Int(op_index as i64)),
+                ],
+            )?;
+            Ok(1)
+        }
+        WriteOp::AddEdge => {
+            // Endpoints from the pre-resolved pair pool; workers stride
+            // through it at different offsets so contention is realistic.
+            let (src, dst) = params.pair(worker.wrapping_mul(7919).wrapping_add(op_index as usize));
+            let eid = db.add_edge(src, dst, "wl_edge", &Vec::new())?;
+            owned_edges.push(eid);
+            Ok(1)
+        }
+        WriteOp::SetVertexProp => {
+            // Worker-unique property name: workers never clobber each other,
+            // so a run's end state is independent of interleaving.
+            db.set_vertex_property(
+                params.vertex,
+                &format!("wl_w{worker}"),
+                Value::Int(op_index as i64),
+            )?;
+            Ok(1)
+        }
+        WriteOp::RemoveOwnEdge => match owned_edges.pop() {
+            Some(eid) => {
+                db.remove_edge(eid)?;
+                Ok(1)
+            }
+            // Nothing of ours left to delete — degrade to a create so the
+            // op count stays comparable across runs.
+            None => apply_write(
+                WriteOp::AddVertex,
+                db,
+                params,
+                worker,
+                op_index,
+                owned_edges,
+            ),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine_linked::LinkedGraph;
+    use gm_model::testkit;
+
+    fn factory() -> Box<dyn GraphDb> {
+        Box::new(LinkedGraph::v1())
+    }
+
+    fn small_cfg(mix: MixKind, threads: u32) -> WorkloadConfig {
+        WorkloadConfig {
+            mix,
+            threads,
+            ops_per_worker: 60,
+            seed: 11,
+            record_cardinalities: true,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn closed_loop_mixed_run_completes() {
+        let data = testkit::chain_dataset(200);
+        let report = run(&factory, &data, &small_cfg(MixKind::Mixed, 4)).unwrap();
+        assert_eq!(report.threads, 4);
+        assert_eq!(report.ops() + report.errors(), 4 * 60);
+        assert_eq!(report.errors(), 0, "no op should fail on the linked engine");
+        assert_eq!(report.hist.count(), 4 * 60);
+        assert!(report.wall_nanos > 0);
+        assert!(report.throughput() > 0.0);
+        let row = report.scaling_row();
+        assert_eq!(row.ops, 240);
+        assert!(row.p50_nanos <= row.p99_nanos);
+    }
+
+    #[test]
+    fn read_only_concurrent_matches_sequential() {
+        let data = testkit::chain_dataset(300);
+        let cfg = small_cfg(MixKind::ReadOnly, 4);
+        let concurrent = run(&factory, &data, &cfg).unwrap();
+        let sequential = run_sequential(&factory, &data, &cfg).unwrap();
+        assert_eq!(
+            concurrent.cardinality_trace(),
+            sequential.cardinality_trace(),
+            "read-only results must not depend on interleaving"
+        );
+        assert_eq!(concurrent.ops(), sequential.ops());
+    }
+
+    #[test]
+    fn open_loop_records_latency_from_arrival() {
+        let data = testkit::chain_dataset(100);
+        let cfg = WorkloadConfig {
+            mix: MixKind::ReadOnly,
+            threads: 2,
+            ops_per_worker: 40,
+            pacing: Pacing::Open {
+                ops_per_sec: 4_000.0,
+            },
+            ..WorkloadConfig::default()
+        };
+        let report = run(&factory, &data, &cfg).unwrap();
+        assert_eq!(report.ops(), 80);
+        // 80 ops at 4k/s arrive over ~20 ms: the run cannot finish faster.
+        assert!(
+            report.wall_nanos >= 15_000_000,
+            "open loop paces the run ({} ns)",
+            report.wall_nanos
+        );
+    }
+
+    #[test]
+    fn write_heavy_grows_the_graph() {
+        let data = testkit::chain_dataset(120);
+        let cfg = small_cfg(MixKind::WriteHeavy, 3);
+        let report = run(&factory, &data, &cfg).unwrap();
+        assert_eq!(report.errors(), 0);
+        assert_eq!(report.mix, "write-heavy");
+    }
+
+    #[test]
+    fn measurement_row_shape() {
+        let data = testkit::chain_dataset(100);
+        let report = run(&factory, &data, &small_cfg(MixKind::ReadHeavy, 2)).unwrap();
+        let m = report.to_measurement();
+        assert_eq!(m.query, "WL:read-heavy@t2");
+        assert_eq!(m.cardinality, Some(report.ops()));
+        assert_eq!(m.outcome, Outcome::Completed);
+    }
+}

@@ -1,0 +1,270 @@
+//! Log2-bucketed latency histograms.
+//!
+//! Each worker thread owns one [`LatencyHistogram`] and records into it with
+//! plain (non-atomic) writes — no sharing, no false sharing, no locks on the
+//! hot path. When the run ends the driver [`merge`](LatencyHistogram::merge)s
+//! the per-worker histograms into one; merging is pure addition, so the
+//! "lock-free" claim is structural rather than clever: there is simply
+//! nothing to lock.
+//!
+//! Buckets are powers of two of nanoseconds: bucket *i* holds latencies in
+//! `[2^i, 2^(i+1))` ns (bucket 0 also catches 0 ns). 64 buckets cover every
+//! representable `u64` latency, from sub-microsecond point reads to scans
+//! that run for minutes. Quantiles interpolate inside the hit bucket and are
+//! clamped to the exact observed maximum, so `p99 <= max` always holds.
+
+/// Number of power-of-two buckets (covers all of `u64`).
+pub const BUCKETS: usize = 64;
+
+/// A fixed-size log2 latency histogram over nanoseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a latency.
+    #[inline]
+    pub fn bucket_of(nanos: u64) -> usize {
+        63 - nanos.max(1).leading_zeros() as usize
+    }
+
+    /// Inclusive lower bound of bucket `i` in nanoseconds.
+    pub fn bucket_floor(i: usize) -> u64 {
+        1u64 << i
+    }
+
+    /// Record one latency observation.
+    #[inline]
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[Self::bucket_of(nanos)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(nanos);
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min_nanos(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max_nanos(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Raw bucket counts (index = log2 of nanoseconds).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`, linearly interpolated inside
+    /// the hit bucket and clamped to the observed extrema.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                // Interpolate within [2^i, 2^(i+1)) by rank.
+                let into = (target - seen - 1) as f64 / c as f64;
+                let floor = Self::bucket_floor(i) as f64;
+                let est = floor + into * floor;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Render a compact text sketch: one line per non-empty bucket with a
+    /// proportional bar, for the example binary and debugging.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat((c * 40).div_ceil(peak) as usize);
+            out.push_str(&format!(
+                "{:>12} | {bar} {c}\n",
+                format_nanos(Self::bucket_floor(i))
+            ));
+        }
+        out.push_str(&format!(
+            "count={} mean={} p50={} p95={} p99={} max={}\n",
+            self.count,
+            format_nanos(self.mean_nanos()),
+            format_nanos(self.p50()),
+            format_nanos(self.p95()),
+            format_nanos(self.p99()),
+            format_nanos(self.max_nanos()),
+        ));
+        out
+    }
+}
+
+/// The shared latency formatter (one rendering rule for every report).
+pub use gm_core::summary::format_nanos;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 1);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn counts_and_extrema() {
+        let mut h = LatencyHistogram::new();
+        for v in [10, 20, 30, 4000, 5_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min_nanos(), 10);
+        assert_eq!(h.max_nanos(), 5_000_000);
+        assert_eq!(h.sum_nanos(), 5_004_060);
+        assert_eq!(h.mean_nanos(), 1_000_812);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_clamped() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 100);
+        }
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max_nanos());
+        // p50 of 100..100_000 uniform should land within a 2x log2 bucket
+        // of the true median 50_000.
+        assert!((25_000..=100_000).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(0.0), h.min_nanos());
+        assert_eq!(h.quantile(1.0), h.max_nanos());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.min_nanos(), 0);
+        assert_eq!(h.mean_nanos(), 0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let v = i * 37 + 5;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum_nanos(), all.sum_nanos());
+        assert_eq!(a.min_nanos(), all.min_nanos());
+        assert_eq!(a.max_nanos(), all.max_nanos());
+        assert_eq!(a.buckets(), all.buckets());
+        assert_eq!(a.p99(), all.p99());
+    }
+
+    #[test]
+    fn render_mentions_tail() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_500);
+        h.record(3_000_000);
+        let text = h.render();
+        assert!(text.contains("count=2"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # gm-workload — concurrent multi-client workload driver
+//!
+//! The paper measures every microbenchmark single-threaded; this crate adds
+//! the axis it leaves open — behavior under **concurrent clients** — and
+//! turns graphmark from a sequential harness into a multi-client benchmark
+//! system:
+//!
+//! * [`mix`] — declarative workload mixes (read-heavy / write-heavy /
+//!   scan-heavy / mixed / read-only) over the paper's 35 microbenchmark
+//!   operations plus CUD writes, with a seeded deterministic RNG per worker;
+//! * [`driver`] — a thread-pooled closed-loop and open-loop (fixed arrival
+//!   rate) driver fanning the mix across N workers against one shared
+//!   engine: reads under the `RwLock` shared lock, writes serialized under
+//!   the exclusive lock;
+//! * [`hist`] — per-worker log2-bucketed latency histograms (p50/p95/p99/
+//!   max) and throughput counters, merged lock-free when the run ends and
+//!   reported through `gm_core::report` / `gm_core::summary` next to the
+//!   paper's figures.
+//!
+//! Determinism contract: a run is fully described by `(mix, seed, threads,
+//! ops_per_worker)`. Each worker replays the same op sequence regardless of
+//! interleaving, and for read-only mixes the observed results are
+//! bit-identical to a sequential replay — the cross-engine test suite
+//! enforces this against the paper's sequential `Runner`.
+
+pub mod driver;
+pub mod hist;
+pub mod mix;
+
+pub use driver::{run, run_sequential, Pacing, RunReport, WorkerStats, WorkloadConfig, ERR_CARD};
+pub use hist::{format_nanos, LatencyHistogram};
+pub use mix::{Mix, MixKind, Op, WriteOp};

@@ -1,0 +1,319 @@
+//! Declarative workload mixes.
+//!
+//! A [`Mix`] is a weighted bag of operations — the paper's microbenchmark
+//! reads (Table 2, executed through `gm_core::catalog`) plus CUD writes —
+//! from which each worker draws with its own seeded RNG. Scenario diversity
+//! is therefore declarative: a scenario is a name and a weight table, not a
+//! hand-written loop. The stock mixes mirror the classic macro-workload
+//! shapes (read-heavy, write-heavy, scan-heavy, mixed) while staying
+//! composed of the paper's primitive operations.
+
+use gm_core::catalog::{QueryId, QueryInstance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A write operation issued by the driver under the exclusive lock.
+///
+/// Writes are designed to stay valid under concurrency without coordination:
+/// vertices/edges are only *added*, properties are written under
+/// worker-unique names, and deletions target edges the same worker created
+/// earlier — so no worker ever invalidates another worker's (or the shared
+/// read workload's) resolved ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Q2-shaped: add a vertex with a small property payload.
+    AddVertex,
+    /// Q3-shaped: add an edge between two pre-drawn existing vertices.
+    AddEdge,
+    /// Q5-shaped: upsert a worker-unique property on the anchor vertex.
+    SetVertexProp,
+    /// Q19-shaped: remove an edge this worker added earlier (falls back to
+    /// `AddVertex` when the worker has none left).
+    RemoveOwnEdge,
+}
+
+/// One operation drawn from a mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A read-only microbenchmark query (runs under the shared lock).
+    Read(QueryInstance),
+    /// A CUD write (runs under the exclusive lock).
+    Write(WriteOp),
+}
+
+impl Op {
+    /// Whether this op takes the exclusive lock.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Write(_))
+    }
+
+    /// Short display label (`"Q23"`, `"W:add_edge"`).
+    pub fn label(&self) -> String {
+        match self {
+            Op::Read(inst) => inst.name(),
+            Op::Write(WriteOp::AddVertex) => "W:add_vertex".into(),
+            Op::Write(WriteOp::AddEdge) => "W:add_edge".into(),
+            Op::Write(WriteOp::SetVertexProp) => "W:set_prop".into(),
+            Op::Write(WriteOp::RemoveOwnEdge) => "W:remove_edge".into(),
+        }
+    }
+}
+
+/// The stock scenario shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixKind {
+    /// Pure reads — the configuration whose concurrent results must match a
+    /// sequential run bit for bit.
+    ReadOnly,
+    /// ~90% reads, ~10% writes.
+    ReadHeavy,
+    /// ~70% writes.
+    WriteHeavy,
+    /// Whole-graph scans and filters (pure reads, heavy ones).
+    ScanHeavy,
+    /// A broad blend of everything.
+    Mixed,
+}
+
+impl MixKind {
+    /// All stock mixes.
+    pub const ALL: [MixKind; 5] = [
+        MixKind::ReadOnly,
+        MixKind::ReadHeavy,
+        MixKind::WriteHeavy,
+        MixKind::ScanHeavy,
+        MixKind::Mixed,
+    ];
+
+    /// Stable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MixKind::ReadOnly => "read-only",
+            MixKind::ReadHeavy => "read-heavy",
+            MixKind::WriteHeavy => "write-heavy",
+            MixKind::ScanHeavy => "scan-heavy",
+            MixKind::Mixed => "mixed",
+        }
+    }
+
+    /// Parse a name back to a kind.
+    pub fn parse(name: &str) -> Option<MixKind> {
+        MixKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Build the weight table for this kind.
+    pub fn mix(&self) -> Mix {
+        Mix::of(*self)
+    }
+}
+
+/// A named, weighted operation bag.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    name: &'static str,
+    entries: Vec<(u32, Op)>,
+    total: u32,
+}
+
+fn read(id: QueryId) -> Op {
+    Op::Read(QueryInstance::plain(id))
+}
+
+fn read_depth(id: QueryId, depth: u8) -> Op {
+    Op::Read(QueryInstance {
+        id,
+        depth: Some(depth),
+        k: None,
+    })
+}
+
+impl Mix {
+    /// The weight table of one stock mix.
+    pub fn of(kind: MixKind) -> Mix {
+        use QueryId::*;
+        let entries: Vec<(u32, Op)> = match kind {
+            // Point lookups and neighborhoods, as an OLTP graph app issues.
+            MixKind::ReadOnly => vec![
+                (4, read(Q8)),
+                (4, read(Q9)),
+                (10, read(Q14)),
+                (10, read(Q15)),
+                (10, read(Q22)),
+                (10, read(Q23)),
+                (8, read(Q24)),
+                (4, read(Q25)),
+                (4, read(Q26)),
+                (4, read(Q27)),
+                (3, read(Q13)),
+                (3, read_depth(Q32, 2)),
+                (2, read(Q34)),
+            ],
+            MixKind::ReadHeavy => vec![
+                (4, read(Q8)),
+                (10, read(Q14)),
+                (10, read(Q15)),
+                (12, read(Q22)),
+                (12, read(Q23)),
+                (8, read(Q24)),
+                (6, read(Q27)),
+                (3, read_depth(Q32, 2)),
+                (4, Op::Write(WriteOp::AddVertex)),
+                (3, Op::Write(WriteOp::SetVertexProp)),
+                (2, Op::Write(WriteOp::AddEdge)),
+            ],
+            MixKind::WriteHeavy => vec![
+                (16, Op::Write(WriteOp::AddVertex)),
+                (14, Op::Write(WriteOp::AddEdge)),
+                (12, Op::Write(WriteOp::SetVertexProp)),
+                (8, Op::Write(WriteOp::RemoveOwnEdge)),
+                (8, read(Q14)),
+                (6, read(Q22)),
+                (6, read(Q23)),
+            ],
+            // The whole-graph filters of Figure 5(b) plus property/label
+            // search — the queries that stress scans under sharing.
+            MixKind::ScanHeavy => vec![
+                (4, read(Q8)),
+                (4, read(Q9)),
+                (5, read(Q10)),
+                (5, read(Q11)),
+                (3, read(Q12)),
+                (5, read(Q13)),
+                (3, read(Q28)),
+                (3, read(Q29)),
+                (3, read(Q30)),
+                (3, read(Q31)),
+            ],
+            MixKind::Mixed => vec![
+                (3, read(Q8)),
+                (8, read(Q14)),
+                (8, read(Q15)),
+                (9, read(Q22)),
+                (9, read(Q23)),
+                (6, read(Q24)),
+                (4, read(Q27)),
+                (3, read(Q11)),
+                (3, read(Q13)),
+                (3, read_depth(Q32, 2)),
+                (2, read(Q34)),
+                (4, Op::Write(WriteOp::AddVertex)),
+                (4, Op::Write(WriteOp::AddEdge)),
+                (3, Op::Write(WriteOp::SetVertexProp)),
+                (1, Op::Write(WriteOp::RemoveOwnEdge)),
+            ],
+        };
+        let total = entries.iter().map(|(w, _)| *w).sum();
+        Mix {
+            name: kind.name(),
+            entries,
+            total,
+        }
+    }
+
+    /// Mix name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether every operation in the mix is a read.
+    pub fn is_read_only(&self) -> bool {
+        self.entries.iter().all(|(_, op)| !op.is_write())
+    }
+
+    /// The weighted entries.
+    pub fn entries(&self) -> &[(u32, Op)] {
+        &self.entries
+    }
+
+    /// Draw one operation.
+    pub fn pick(&self, rng: &mut StdRng) -> Op {
+        let mut roll = rng.gen_range(0..self.total);
+        for (w, op) in &self.entries {
+            if roll < *w {
+                return *op;
+            }
+            roll -= w;
+        }
+        unreachable!("mix weights exhausted")
+    }
+
+    /// The RNG a given worker uses: derived from the run seed and the worker
+    /// index, so every (seed, worker) pair replays the same op sequence
+    /// regardless of thread interleaving.
+    pub fn worker_rng(seed: u64, worker: usize) -> StdRng {
+        StdRng::seed_from_u64(seed ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// The deterministic op sequence for one worker — exactly what the
+    /// driver's worker thread executes, exposed so tests can replay it
+    /// sequentially.
+    pub fn sequence(&self, seed: u64, worker: usize, len: u64) -> Vec<Op> {
+        let mut rng = Self::worker_rng(seed, worker);
+        (0..len).map(|_| self.pick(&mut rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_mixes_have_expected_shapes() {
+        assert!(MixKind::ReadOnly.mix().is_read_only());
+        assert!(MixKind::ScanHeavy.mix().is_read_only());
+        assert!(!MixKind::ReadHeavy.mix().is_read_only());
+        assert!(!MixKind::Mixed.mix().is_read_only());
+        let wh = MixKind::WriteHeavy.mix();
+        let write_weight: u32 = wh
+            .entries()
+            .iter()
+            .filter(|(_, op)| op.is_write())
+            .map(|(w, _)| *w)
+            .sum();
+        let total: u32 = wh.entries().iter().map(|(w, _)| *w).sum();
+        assert!(
+            write_weight * 10 >= total * 6,
+            "write-heavy is mostly writes ({write_weight}/{total})"
+        );
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in MixKind::ALL {
+            assert_eq!(MixKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.mix().name(), kind.name());
+        }
+        assert_eq!(MixKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn sequences_are_deterministic_and_worker_distinct() {
+        let mix = MixKind::Mixed.mix();
+        let a = mix.sequence(42, 0, 300);
+        let b = mix.sequence(42, 0, 300);
+        assert_eq!(a, b);
+        let c = mix.sequence(42, 1, 300);
+        assert_ne!(a, c, "workers draw distinct streams");
+        let d = mix.sequence(43, 0, 300);
+        assert_ne!(a, d, "seeds draw distinct streams");
+    }
+
+    #[test]
+    fn pick_respects_weights_roughly() {
+        let mix = MixKind::ReadHeavy.mix();
+        let seq = mix.sequence(7, 0, 4_000);
+        let writes = seq.iter().filter(|op| op.is_write()).count();
+        // Write weight is 9/74 ≈ 12%; allow a wide band.
+        assert!(
+            (200..800).contains(&writes),
+            "expected ~12% writes in read-heavy, got {writes}/4000"
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(read(QueryId::Q23).label(), "Q23");
+        assert_eq!(Op::Write(WriteOp::AddEdge).label(), "W:add_edge");
+        assert_eq!(read_depth(QueryId::Q32, 2).label(), "Q32(d=2)");
+    }
+}

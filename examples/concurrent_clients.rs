@@ -1,0 +1,83 @@
+//! Quickstart for the concurrent workload driver: four clients hammer one
+//! engine with a mixed read/write workload, then the latency histogram and
+//! scalability row are printed.
+//!
+//! ```sh
+//! cargo run --example concurrent_clients
+//! ```
+
+use graphmark::core::summary;
+use graphmark::registry::EngineKind;
+use graphmark::workload::{run, MixKind, Pacing, WorkloadConfig};
+
+fn main() {
+    // 1. A synthetic social-ish dataset (the generators in `gm-datasets`
+    //    produce the paper's shapes; any Dataset works).
+    let data = graphmark::datasets::generate(
+        graphmark::datasets::DatasetId::Yeast,
+        graphmark::datasets::Scale::tiny(),
+        42,
+    );
+    println!(
+        "dataset {}: |V|={} |E|={}\n",
+        data.name,
+        data.vertex_count(),
+        data.edge_count()
+    );
+
+    // 2. Four closed-loop clients, mixed reads+writes, deterministic seed.
+    let kind = EngineKind::LinkedV2;
+    let factory = move || kind.make();
+    let cfg = WorkloadConfig {
+        mix: MixKind::Mixed,
+        threads: 4,
+        ops_per_worker: 500,
+        seed: 7,
+        ..WorkloadConfig::default()
+    };
+    let report = run(&factory, &data, &cfg).expect("workload run");
+
+    println!(
+        "{} × {} workers × {} ops ({}): {:.0} ops/s, {} errors",
+        report.engine,
+        report.threads,
+        cfg.ops_per_worker,
+        report.mix,
+        report.throughput(),
+        report.errors()
+    );
+    println!(
+        "\nlatency histogram (log2 buckets):\n{}",
+        report.hist.render()
+    );
+
+    // 3. The same run shape at 1 thread, for a speedup row.
+    let base_cfg = WorkloadConfig {
+        threads: 1,
+        ..cfg.clone()
+    };
+    let base = run(&factory, &data, &base_cfg).expect("baseline run");
+    let rows = vec![base.scaling_row(), report.scaling_row()];
+    println!("{}", summary::render_scaling(&rows));
+
+    // 4. Open-loop flavor: fixed arrival rate, latency includes queueing.
+    let open = run(
+        &factory,
+        &data,
+        &WorkloadConfig {
+            mix: MixKind::ReadHeavy,
+            threads: 2,
+            ops_per_worker: 200,
+            pacing: Pacing::Open {
+                ops_per_sec: 5_000.0,
+            },
+            ..WorkloadConfig::default()
+        },
+    )
+    .expect("open-loop run");
+    println!(
+        "open-loop @5000/s: p50 {} p99 {} (queueing included)",
+        graphmark::workload::format_nanos(open.hist.p50()),
+        graphmark::workload::format_nanos(open.hist.p99())
+    );
+}

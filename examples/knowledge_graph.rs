@@ -23,7 +23,10 @@ fn main() {
         .ok()
         .and_then(|s| Scale::parse(&s))
         .unwrap_or(Scale::tiny());
-    println!("generating the synthetic Freebase family at scale '{}' …", scale.name);
+    println!(
+        "generating the synthetic Freebase family at scale '{}' …",
+        scale.name
+    );
     let family = freebase::generate_all(scale, 42);
     for (name, d) in [
         ("full", &family.full),
@@ -91,7 +94,10 @@ fn main() {
         println!("{:<14} (emulating {})", db.name(), kind.emulates());
         println!("  load:        {load_ms:>9.2} ms");
         println!("  hub scan:    {hubs_ms:>9.2} ms ({} hubs)", hubs.len());
-        println!("  bfs depth 3: {bfs_ms:>9.2} ms ({} reached)", frontier.len());
+        println!(
+            "  bfs depth 3: {bfs_ms:>9.2} ms ({} reached)",
+            frontier.len()
+        );
         println!("  short path:  {sp_info}");
         println!(
             "  space:       {:>9.1} KiB\n",

@@ -17,8 +17,18 @@ fn main() {
     let carol = data.add_vertex("person", vec![("name".into(), Value::Str("carol".into()))]);
     let dave = data.add_vertex("person", vec![("name".into(), Value::Str("dave".into()))]);
     data.add_edge(ann, bob, "knows", vec![("since".into(), Value::Int(2015))]);
-    data.add_edge(bob, carol, "knows", vec![("since".into(), Value::Int(2018))]);
-    data.add_edge(carol, dave, "knows", vec![("since".into(), Value::Int(2021))]);
+    data.add_edge(
+        bob,
+        carol,
+        "knows",
+        vec![("since".into(), Value::Int(2018))],
+    );
+    data.add_edge(
+        carol,
+        dave,
+        "knows",
+        vec![("since".into(), Value::Int(2021))],
+    );
     data.add_edge(ann, dave, "follows", vec![]);
 
     // 2. Load it into an engine — any of the nine; here the Neo4j-class one.
@@ -42,8 +52,7 @@ fn main() {
     println!("knows edges: {knows_edges}");
 
     // 3c. Query from a Gremlin-style string (the suite's extension point).
-    let q = parser::parse("g.V().has('name', 'ann').out('knows').values('name')")
-        .expect("parse");
+    let q = parser::parse("g.V().has('name', 'ann').out('knows').values('name')").expect("parse");
     let out = q.run(db.as_ref(), &ctx).expect("run");
     println!("parsed query result: {out:?}");
 

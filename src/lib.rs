@@ -9,15 +9,19 @@
 //! * seven engines ([`engines`]), one per architecture class of the paper;
 //! * [`traversal`] — the Gremlin-like step machine and graph algorithms;
 //! * [`datasets`] — generators for Yeast/MiCo/Freebase/LDBC-shaped data;
-//! * [`core`] — the microbenchmark framework (catalog, runner, reports).
+//! * [`core`] — the microbenchmark framework (catalog, runner, reports);
+//! * [`workload`] — the concurrent multi-client driver (closed/open loop,
+//!   latency histograms, scalability sweeps).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/concurrent_clients.rs` for the multi-client driver.
 
 pub use gm_core as core;
 pub use gm_datasets as datasets;
 pub use gm_model as model;
 pub use gm_storage as storage;
 pub use gm_traversal as traversal;
+pub use gm_workload as workload;
 
 /// The seven storage engines, each reproducing the physical architecture of
 /// one system from the paper (Table 1).

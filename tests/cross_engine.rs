@@ -149,13 +149,8 @@ fn all_engines_agree_on_full_query_suite() {
                     // The bitmap engine's adapter-faithful degree-scan
                     // failure is the only sanctioned divergence.
                     assert!(
-                        matches!(
-                            gm_err,
-                            graphmark::model::GdbError::ResourceExhausted(_)
-                        ) && matches!(
-                            inst.id,
-                            QueryId::Q28 | QueryId::Q29 | QueryId::Q30
-                        ),
+                        matches!(gm_err, graphmark::model::GdbError::ResourceExhausted(_))
+                            && matches!(inst.id, QueryId::Q28 | QueryId::Q29 | QueryId::Q30),
                         "{} failed {name}: {gm_err}",
                         kind.name()
                     );

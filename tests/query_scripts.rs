@@ -35,12 +35,7 @@ fn scripts_agree_across_engines() {
                 .unwrap_or_else(|e| panic!("{} on `{script}`: {e}", kind.name()));
             match want {
                 None => want = Some(got),
-                Some(w) => assert_eq!(
-                    got,
-                    w,
-                    "{} disagrees on `{script}`",
-                    kind.name()
-                ),
+                Some(w) => assert_eq!(got, w, "{} disagrees on `{script}`", kind.name()),
             }
         }
         assert!(want.unwrap_or(0) >= 0);
