@@ -1,10 +1,18 @@
-//! Figure 8 (beyond the paper): multi-client scalability sweep.
+//! Figure 8 (beyond the paper): multi-client scalability sweep, plus an
+//! **overload sweep** that makes the figure's overload region meaningful.
 //!
 //! The paper measures everything single-threaded; this binary sweeps worker
 //! threads (default 1 → 2 → 4 → 8) across every engine under test and two
 //! workload mixes, reporting throughput, speedup over one thread, and the
 //! p50/p95/p99/max latency tail — through the same `core::report` /
 //! `core::summary` machinery as the paper's figures.
+//!
+//! After the closed-loop sweep, each (engine, mix) pair is driven **open
+//! loop** at 0.5×/1×/2×/4× of its measured closed-loop capacity with a
+//! bounded arrival backlog: arrivals that slip further behind schedule than
+//! the lateness bound are shed (counted, never executed), so the ≥1× rows
+//! terminate in bounded time and report offered vs achieved rate plus a shed
+//! column instead of queueing forever.
 //!
 //! Extra environment variables on top of the `GM_*` set (see `gm_bench`):
 //!
@@ -13,14 +21,47 @@
 //! | `GM_THREADS` | `1,2,4,8` | thread counts to sweep |
 //! | `GM_MIXES` | `read-heavy,mixed` | mix names to sweep |
 //! | `GM_WL_OPS` | `400` | ops per worker |
+//! | `GM_OVERLOAD_FACTORS` | `0.5,1,2,4` | open-loop rates as multiples of measured capacity (empty disables the overload sweep) |
+//! | `GM_MAX_LATENESS_MS` | `50` | backlog bound: arrivals later than this are shed |
+//!
+//! `--smoke` replaces the environment-driven configuration with a tiny fixed
+//! one (tiny dataset, one engine, 2 threads, aggressive overload) so CI can
+//! exercise shed accounting on every push in a few seconds.
+
+use std::time::Duration;
 
 use gm_bench::Env;
 use gm_core::report::{Report, RunMode};
-use gm_core::summary;
-use gm_datasets::{self as datasets, DatasetId};
-use gm_workload::{run, MixKind, WorkloadConfig};
+use gm_core::summary::{self, ScalingRow};
+use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_workload::{run, MixKind, Pacing, WorkloadConfig};
+use graphmark::registry::EngineKind;
 
-fn main() {
+struct Sweep {
+    env: Env,
+    threads: Vec<u32>,
+    mixes: Vec<MixKind>,
+    ops_per_worker: u64,
+    overload_factors: Vec<f64>,
+    max_lateness: Duration,
+}
+
+fn parse_f64_list(var: &str, default: &str) -> Vec<f64> {
+    std::env::var(var)
+        .unwrap_or_else(|_| default.into())
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .filter_map(|s| match s.trim().parse::<f64>() {
+            Ok(f) if f > 0.0 && f.is_finite() => Some(f),
+            _ => {
+                eprintln!("[fig8] ignoring {var} entry {s:?} (want a positive number)");
+                None
+            }
+        })
+        .collect()
+}
+
+fn sweep_from_env() -> Sweep {
     let env = Env::from_env();
     let threads: Vec<u32> = std::env::var("GM_THREADS")
         .unwrap_or_else(|_| "1,2,4,8".into())
@@ -49,33 +90,77 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(400);
-    if threads.is_empty() || mixes.is_empty() {
+    let max_lateness_ms: u64 = std::env::var("GM_MAX_LATENESS_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    Sweep {
+        env,
+        threads,
+        mixes,
+        ops_per_worker,
+        overload_factors: parse_f64_list("GM_OVERLOAD_FACTORS", "0.5,1,2,4"),
+        max_lateness: Duration::from_millis(max_lateness_ms),
+    }
+}
+
+/// The fixed tiny configuration behind `--smoke`: one engine, 2 threads, an
+/// aggressive overload sweep with a tight lateness bound, so shed accounting
+/// is exercised end-to-end in seconds.
+fn sweep_smoke() -> Sweep {
+    let mut env = Env::from_env();
+    env.scale = Scale::tiny();
+    if std::env::var("GM_ENGINES").is_err() {
+        env.engines = vec![EngineKind::LinkedV2];
+    }
+    Sweep {
+        env,
+        threads: vec![2],
+        mixes: vec![MixKind::ReadHeavy],
+        ops_per_worker: 1_000,
+        overload_factors: vec![0.5, 4.0, 32.0],
+        max_lateness: Duration::from_millis(1),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sweep = if smoke {
+        sweep_smoke()
+    } else {
+        sweep_from_env()
+    };
+    if sweep.threads.is_empty() || sweep.mixes.is_empty() {
         eprintln!("[fig8] nothing to run: GM_THREADS or GM_MIXES left no valid entries");
         std::process::exit(2);
     }
 
-    let data = datasets::generate(DatasetId::Yeast, env.scale, env.seed);
+    let data = datasets::generate(DatasetId::Yeast, sweep.env.scale, sweep.env.seed);
     eprintln!(
-        "[fig8] dataset {} |V|={} |E|={}, {} engines × {:?} threads × {:?}",
+        "[fig8] dataset {} |V|={} |E|={}, {} engines × {:?} threads × {:?}{}",
         data.name,
         data.vertex_count(),
         data.edge_count(),
-        env.engines.len(),
-        threads,
-        mixes.iter().map(|m| m.name()).collect::<Vec<_>>()
+        sweep.env.engines.len(),
+        sweep.threads,
+        sweep.mixes.iter().map(|m| m.name()).collect::<Vec<_>>(),
+        if smoke { " [smoke]" } else { "" }
     );
 
-    let mut rows = Vec::new();
+    let mut rows: Vec<ScalingRow> = Vec::new();
     let mut report = Report::default();
-    for kind in &env.engines {
-        for mix in &mixes {
-            for &t in &threads {
+    let mut total_shed = 0u64;
+    for kind in &sweep.env.engines {
+        for mix in &sweep.mixes {
+            // Closed-loop sweep: each thread count, measuring capacity.
+            let mut capacity = 0.0f64;
+            for &t in &sweep.threads {
                 let cfg = WorkloadConfig {
                     mix: *mix,
                     threads: t,
-                    ops_per_worker,
-                    seed: env.seed,
-                    op_timeout: env.timeout,
+                    ops_per_worker: sweep.ops_per_worker,
+                    seed: sweep.env.seed,
+                    op_timeout: sweep.env.timeout,
                     ..WorkloadConfig::default()
                 };
                 let factory = move || kind.make();
@@ -89,12 +174,56 @@ fn main() {
                             r.throughput(),
                             gm_workload::format_nanos(r.hist.p99()),
                         );
+                        capacity = capacity.max(r.throughput());
                         report.push(r.to_measurement());
                         rows.push(r.scaling_row());
                     }
                     Err(e) => {
                         eprintln!("[fig8]   {} {} t={t}: FAILED: {e}", kind.name(), mix.name())
                     }
+                }
+            }
+
+            // Overload sweep: open loop at multiples of the measured
+            // closed-loop capacity, with a bounded backlog so the >1× rows
+            // shed instead of queueing without bound.
+            if capacity <= 0.0 || sweep.overload_factors.is_empty() {
+                continue;
+            }
+            let threads = sweep.threads.iter().copied().max().unwrap_or(1);
+            for &factor in &sweep.overload_factors {
+                let rate = capacity * factor;
+                let cfg = WorkloadConfig {
+                    mix: *mix,
+                    threads,
+                    ops_per_worker: sweep.ops_per_worker,
+                    seed: sweep.env.seed,
+                    op_timeout: sweep.env.timeout,
+                    pacing: Pacing::open_bounded(rate, sweep.max_lateness),
+                    ..WorkloadConfig::default()
+                };
+                let factory = move || kind.make();
+                match run(&factory, &data, &cfg) {
+                    Ok(r) => {
+                        eprintln!(
+                            "[fig8]   {:<14} {:<11} t={threads:<2} open @{factor:>4}x \
+                             ({rate:>9.0}/s offered) {:>9.0} ops/s achieved, shed {} ({:.1}%), p99 {}",
+                            r.engine,
+                            r.mix,
+                            r.throughput(),
+                            r.shed(),
+                            r.scaling_row().shed_fraction() * 100.0,
+                            gm_workload::format_nanos(r.hist.p99()),
+                        );
+                        total_shed += r.shed();
+                        report.push(r.to_measurement());
+                        rows.push(r.scaling_row());
+                    }
+                    Err(e) => eprintln!(
+                        "[fig8]   {} {} open @{factor}x: FAILED: {e}",
+                        kind.name(),
+                        mix.name()
+                    ),
                 }
             }
         }
@@ -109,4 +238,16 @@ fn main() {
     print!("{}", report.render_matrix(RunMode::Batch));
     println!("\n--- csv ---");
     print!("{}", summary::scaling_to_csv(&rows));
+
+    if smoke {
+        // The smoke run exists to exercise shed accounting: at up to 32×
+        // measured capacity with a 1 ms bound, a zero shed count means
+        // backpressure never engaged — fail loudly so CI catches a
+        // regression.
+        if total_shed == 0 {
+            eprintln!("[fig8] smoke: overload sweep shed 0 ops — backpressure did not engage");
+            std::process::exit(1);
+        }
+        eprintln!("[fig8] smoke: overload sweep shed {total_shed} ops — backpressure engaged");
+    }
 }

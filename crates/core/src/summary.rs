@@ -186,6 +186,13 @@ pub struct ScalingRow {
     pub ops: u64,
     /// Operations that returned an error (timeouts included).
     pub errors: u64,
+    /// Operations shed by open-loop backpressure: their scheduled arrival
+    /// fell further behind than the configured bound, so the driver dropped
+    /// them instead of executing against an unbounded backlog.
+    pub shed: u64,
+    /// Configured open-loop arrival rate (`None` for closed-loop runs, where
+    /// the offered rate *is* the achieved rate by construction).
+    pub offered_ops_per_sec: Option<f64>,
     /// Wall-clock duration of the whole run.
     pub wall_nanos: u64,
     /// Median per-op latency.
@@ -199,12 +206,25 @@ pub struct ScalingRow {
 }
 
 impl ScalingRow {
-    /// Completed operations per second over the wall clock.
+    /// Completed operations per second over the wall clock (the *achieved*
+    /// rate; compare against [`ScalingRow::offered_ops_per_sec`] to see how
+    /// far an open-loop run fell short of its schedule).
     pub fn throughput(&self) -> f64 {
         if self.wall_nanos == 0 {
             0.0
         } else {
             self.ops as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// Fraction of issued arrivals that were shed (0.0 when nothing was
+    /// scheduled or nothing shed).
+    pub fn shed_fraction(&self) -> f64 {
+        let total = self.ops + self.errors + self.shed;
+        if total == 0 {
+            0.0
+        } else {
+            self.shed as f64 / total as f64
         }
     }
 }
@@ -235,10 +255,20 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
     keys.dedup();
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:>7} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7}\n",
-        "engine/mix", "threads", "ops/s", "speedup", "p50", "p95", "p99", "max", "errors"
+        "{:<22} {:>7} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7}\n",
+        "engine/mix",
+        "threads",
+        "offered/s",
+        "ops/s",
+        "speedup",
+        "p50",
+        "p95",
+        "p99",
+        "max",
+        "errors",
+        "shed"
     ));
-    out.push_str(&"-".repeat(104));
+    out.push_str(&"-".repeat(125));
     out.push('\n');
     for (engine, mix) in &keys {
         let mut group: Vec<&ScalingRow> = rows
@@ -246,26 +276,37 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
             .filter(|r| &r.engine == engine && &r.mix == mix)
             .collect();
         group.sort_by_key(|r| r.threads);
+        // Speedup is a closed-loop notion (throughput gained by adding
+        // threads); open-loop rows are rate-limited by their schedule, so
+        // they neither anchor the baseline nor get a speedup number.
         let base = group
             .iter()
-            .find(|r| r.threads == 1)
+            .find(|r| r.threads == 1 && r.offered_ops_per_sec.is_none())
             .map(|r| r.throughput());
         for r in group {
             let speedup = match base {
-                Some(b) if b > 0.0 => format!("{:.2}x", r.throughput() / b),
+                Some(b) if b > 0.0 && r.offered_ops_per_sec.is_none() => {
+                    format!("{:.2}x", r.throughput() / b)
+                }
                 _ => "-".to_string(),
             };
+            let offered = match r.offered_ops_per_sec {
+                Some(rate) => format!("{rate:.0}"),
+                None => "-".to_string(),
+            };
             out.push_str(&format!(
-                "{:<22} {:>7} {:>12.0} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7}\n",
+                "{:<22} {:>7} {:>12} {:>12.0} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7}\n",
                 format!("{engine}/{mix}"),
                 r.threads,
+                offered,
                 r.throughput(),
                 speedup,
                 format_nanos(r.p50_nanos),
                 format_nanos(r.p95_nanos),
                 format_nanos(r.p99_nanos),
                 format_nanos(r.max_nanos),
-                r.errors
+                r.errors,
+                r.shed
             ));
         }
     }
@@ -275,17 +316,23 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
 /// Render the sweep as CSV (machine-readable companion).
 pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
     let mut out = String::from(
-        "engine,mix,threads,ops,errors,wall_millis,throughput_ops_s,p50_us,p95_us,p99_us,max_us\n",
+        "engine,mix,threads,ops,errors,shed,wall_millis,offered_ops_s,throughput_ops_s,p50_us,p95_us,p99_us,max_us\n",
     );
     for r in rows {
+        let offered = match r.offered_ops_per_sec {
+            Some(rate) => format!("{rate:.1}"),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "{},{},{},{},{},{:.3},{:.1},{:.3},{:.3},{:.3},{:.3}\n",
+            "{},{},{},{},{},{},{:.3},{},{:.1},{:.3},{:.3},{:.3},{:.3}\n",
             r.engine,
             r.mix,
             r.threads,
             r.ops,
             r.errors,
+            r.shed,
             r.wall_nanos as f64 / 1e6,
+            offered,
             r.throughput(),
             r.p50_nanos as f64 / 1e3,
             r.p95_nanos as f64 / 1e3,
@@ -371,6 +418,8 @@ mod tests {
             threads,
             ops,
             errors: 0,
+            shed: 0,
+            offered_ops_per_sec: None,
             wall_nanos: wall_ms * 1_000_000,
             p50_nanos: 1_000,
             p95_nanos: 20_000,
@@ -400,7 +449,45 @@ mod tests {
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("linked(v1),mixed,1,1000,0,100.000"));
+            .starts_with("linked(v1),mixed,1,1000,0,0,100.000,,"));
+    }
+
+    #[test]
+    fn scaling_reports_shed_and_offered_rate() {
+        let mut over = srow("linked(v1)", 4, 800, 100);
+        over.errors = 10;
+        over.shed = 190;
+        over.offered_ops_per_sec = Some(40_000.0);
+        let rows = vec![srow("linked(v1)", 1, 1_000, 100), over];
+        assert!((rows[1].shed_fraction() - 0.19).abs() < 1e-9);
+        let text = render_scaling(&rows);
+        assert!(text.contains("offered/s"), "{text}");
+        assert!(text.contains("shed"), "{text}");
+        assert!(text.contains("40000"), "offered rate rendered:\n{text}");
+        assert!(text.contains("190"), "shed count rendered:\n{text}");
+        // Speedup is a closed-loop notion: the open-loop row's speedup
+        // column (5th) shows "-" even though a 1-thread baseline exists.
+        let over_line = text
+            .lines()
+            .find(|l| l.contains("40000"))
+            .expect("overload row rendered");
+        let fields: Vec<&str> = over_line.split_whitespace().collect();
+        assert_eq!(fields[4], "-", "open-loop rows get no speedup: {over_line}");
+        let csv = scaling_to_csv(&rows);
+        assert!(
+            csv.starts_with("engine,mix,threads,ops,errors,shed,wall_millis,offered_ops_s,"),
+            "{csv}"
+        );
+        // Closed-loop rows leave the offered column empty; open-loop rows
+        // carry rate and shed.
+        assert!(
+            csv.contains("linked(v1),mixed,1,1000,0,0,100.000,,"),
+            "{csv}"
+        );
+        assert!(
+            csv.contains("linked(v1),mixed,4,800,10,190,100.000,40000.0,"),
+            "{csv}"
+        );
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub enum GdbError {
     ResourceExhausted(String),
     /// I/O or parse failure while reading a GraphSON file.
     Io(String),
+    /// A shared engine lock was poisoned: a writer panicked mid-mutation and
+    /// may have left the engine half-mutated. Unlike [`GdbError::Corrupt`]
+    /// (an engine bug detected by the engine itself), this is a harness-level
+    /// signal that the run must abort rather than keep measuring against
+    /// unreliable state.
+    Poisoned(String),
 }
 
 impl fmt::Display for GdbError {
@@ -45,6 +51,9 @@ impl fmt::Display for GdbError {
             GdbError::Invalid(what) => write!(f, "invalid argument: {what}"),
             GdbError::ResourceExhausted(what) => write!(f, "resource exhausted: {what}"),
             GdbError::Io(what) => write!(f, "i/o error: {what}"),
+            GdbError::Poisoned(what) => {
+                write!(f, "engine lock poisoned by a panicking writer: {what}")
+            }
         }
     }
 }
@@ -69,6 +78,9 @@ mod tests {
             "vertex v3 not found"
         );
         assert!(GdbError::Unsupported("x".into()).to_string().contains("x"));
+        assert!(GdbError::Poisoned("worker 3".into())
+            .to_string()
+            .contains("poisoned"));
     }
 
     #[test]

@@ -19,6 +19,16 @@
 //!   arrival* to completion, so queueing delay is visible when the engine
 //!   cannot keep up (the coordinated-omission-free measurement the LDBC
 //!   driver papers argue for).
+//!
+//! Open-loop pacing carries an optional **backlog bound**
+//! ([`Pacing::Open::max_lateness`]): when a worker reaches an arrival whose
+//! schedule has already slipped further into the past than the bound, the op
+//! is **shed** — counted in [`WorkerStats::shed`] instead of executed — so an
+//! overload run terminates in bounded wall-clock time with honest latency
+//! tails instead of an ever-growing arrival backlog. Shed ops never enter the
+//! latency histogram (they have no completion), and in a recorded cardinality
+//! trace they appear as [`SHED_CARD`] placeholders so the executed positions
+//! still line up one-to-one with the deterministic op sequence.
 
 use std::sync::RwLock;
 use std::time::{Duration, Instant};
@@ -36,6 +46,12 @@ use crate::mix::{Mix, MixKind, Op, WriteOp};
 /// Cardinality recorded for an op that returned an error.
 pub const ERR_CARD: u64 = u64::MAX;
 
+/// Cardinality recorded for an op shed by open-loop backpressure. Using a
+/// placeholder (instead of omitting the entry) keeps trace positions aligned
+/// with the deterministic op sequence, so executed positions of an overloaded
+/// read-only run can still be compared against a sequential replay.
+pub const SHED_CARD: u64 = u64::MAX - 1;
+
 /// How ops are paced.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Pacing {
@@ -45,7 +61,40 @@ pub enum Pacing {
     Open {
         /// Aggregate arrival rate over all workers.
         ops_per_sec: f64,
+        /// Arrival-backlog bound: when a worker reaches an op whose scheduled
+        /// arrival is further in the past than this, the op is shed (counted,
+        /// not executed). `None` disables shedding — the legacy unbounded
+        /// behavior, where an overloaded run's backlog (and wall-clock time)
+        /// grows without limit.
+        max_lateness: Option<Duration>,
     },
+}
+
+impl Pacing {
+    /// Unbounded open-loop pacing at `ops_per_sec` aggregate arrivals.
+    pub fn open(ops_per_sec: f64) -> Pacing {
+        Pacing::Open {
+            ops_per_sec,
+            max_lateness: None,
+        }
+    }
+
+    /// Open-loop pacing that sheds any arrival running later than
+    /// `max_lateness` behind its schedule.
+    pub fn open_bounded(ops_per_sec: f64, max_lateness: Duration) -> Pacing {
+        Pacing::Open {
+            ops_per_sec,
+            max_lateness: Some(max_lateness),
+        }
+    }
+
+    /// The configured arrival rate (`None` for closed-loop pacing).
+    pub fn offered_rate(&self) -> Option<f64> {
+        match self {
+            Pacing::Closed => None,
+            Pacing::Open { ops_per_sec, .. } => Some(*ops_per_sec),
+        }
+    }
 }
 
 /// Driver configuration.
@@ -92,6 +141,10 @@ pub struct WorkerStats {
     pub ops: u64,
     /// Ops that returned an error (timeouts included).
     pub errors: u64,
+    /// Ops shed by open-loop backpressure (scheduled arrival fell further
+    /// behind than [`Pacing::Open::max_lateness`]); never executed, never in
+    /// the histogram. Always 0 for closed-loop or unbounded open-loop runs.
+    pub shed: u64,
     /// This worker's latency histogram.
     pub hist: LatencyHistogram,
     /// Result cardinalities in issue order (empty unless
@@ -110,6 +163,10 @@ pub struct RunReport {
     pub mix: String,
     /// Worker count.
     pub threads: u32,
+    /// Configured open-loop arrival rate (`None` for closed-loop runs):
+    /// the *offered* rate, to be read against the *achieved* rate
+    /// [`RunReport::throughput`].
+    pub offered_ops_per_sec: Option<f64>,
     /// Wall-clock time of the measured region (threads running).
     pub wall_nanos: u64,
     /// Per-worker stats.
@@ -129,9 +186,24 @@ impl RunReport {
         self.workers.iter().map(|w| w.errors).sum()
     }
 
-    /// Completed ops per wall-clock second.
+    /// Total ops shed by open-loop backpressure.
+    pub fn shed(&self) -> u64 {
+        self.workers.iter().map(|w| w.shed).sum()
+    }
+
+    /// Completed ops per wall-clock second (the achieved rate).
     pub fn throughput(&self) -> f64 {
         self.scaling_row().throughput()
+    }
+
+    /// Errored ops as a fraction of all issued (non-shed) ops.
+    pub fn error_rate(&self) -> f64 {
+        let issued = self.ops() + self.errors();
+        if issued == 0 {
+            0.0
+        } else {
+            self.errors() as f64 / issued as f64
+        }
     }
 
     /// The row this run contributes to the concurrency figure.
@@ -142,6 +214,8 @@ impl RunReport {
             threads: self.threads,
             ops: self.ops(),
             errors: self.errors(),
+            shed: self.shed(),
+            offered_ops_per_sec: self.offered_ops_per_sec,
             wall_nanos: self.wall_nanos,
             p50_nanos: self.hist.p50(),
             p95_nanos: self.hist.p95(),
@@ -152,17 +226,44 @@ impl RunReport {
 
     /// A `core::report` row so concurrency runs flow through the existing
     /// rendering machinery next to the paper's figures. A run where no op
-    /// succeeded reports as failed rather than masquerading as completed.
+    /// succeeded reports as failed, a run with *any* errored ops reports as
+    /// failed with its error rate, and a run that shed arrivals reports as
+    /// failed with its shed fraction — a 99%-errors (or mostly-shed
+    /// overload) run must not render identically to a clean one. Open-loop
+    /// runs carry their offered rate in the query label so measurements at
+    /// different rates do not collide in the report matrix.
     pub fn to_measurement(&self) -> Measurement {
-        let outcome = if self.ops() == 0 && self.errors() > 0 {
-            Outcome::Failed(format!("all {} ops errored", self.errors()))
-        } else {
+        let (ops, errors, shed) = (self.ops(), self.errors(), self.shed());
+        let mut problems = Vec::new();
+        if errors > 0 {
+            problems.push(format!(
+                "{errors} of {} issued ops errored ({:.1}%)",
+                ops + errors,
+                self.error_rate() * 100.0
+            ));
+        }
+        if shed > 0 {
+            problems.push(format!(
+                "shed {shed} of {} scheduled arrivals ({:.1}%)",
+                ops + errors + shed,
+                self.scaling_row().shed_fraction() * 100.0
+            ));
+        }
+        let outcome = if problems.is_empty() {
             Outcome::Completed
+        } else if ops == 0 {
+            Outcome::Failed(format!("no op completed: {}", problems.join("; ")))
+        } else {
+            Outcome::Failed(problems.join("; "))
+        };
+        let query = match self.offered_ops_per_sec {
+            Some(rate) => format!("WL:{}@t{}@{rate:.0}/s", self.mix, self.threads),
+            None => format!("WL:{}@t{}", self.mix, self.threads),
         };
         Measurement {
             engine: self.engine.clone(),
             dataset: self.dataset.clone(),
-            query: format!("WL:{}@t{}", self.mix, self.threads),
+            query,
             mode: RunMode::Batch,
             outcome,
             nanos: self.wall_nanos,
@@ -192,7 +293,7 @@ pub fn run(
     let (lock, params, engine) = prepare(factory, data, cfg)?;
     let mix = cfg.mix.mix();
     let start = Instant::now();
-    let workers: Vec<WorkerStats> = std::thread::scope(|s| {
+    let joined: Vec<GdbResult<WorkerStats>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.threads as usize)
             .map(|w| {
                 let lock = &lock;
@@ -203,10 +304,25 @@ pub fn run(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .enumerate()
+            .map(|(w, h)| {
+                // A worker that panicked (almost certainly inside an engine
+                // write, poisoning the shared lock) aborts the whole run:
+                // the engine may be half-mutated, so no further measurement
+                // against it is trustworthy.
+                h.join().unwrap_or_else(|_| {
+                    Err(GdbError::Poisoned(format!(
+                        "worker {w} panicked mid-run; engine state is unreliable"
+                    )))
+                })
+            })
             .collect()
     });
     let wall_nanos = start.elapsed().as_nanos() as u64;
+    let mut workers = Vec::with_capacity(joined.len());
+    for r in joined {
+        workers.push(r?);
+    }
     Ok(assemble(engine, data, cfg, wall_nanos, workers))
 }
 
@@ -231,12 +347,35 @@ pub fn run_sequential(
     let start = Instant::now();
     let workers: Vec<WorkerStats> = (0..cfg.threads as usize)
         .map(|w| worker_loop(w, &lock, &params, &mix, cfg, start))
-        .collect();
+        .collect::<GdbResult<_>>()?;
     let wall_nanos = start.elapsed().as_nanos() as u64;
     Ok(assemble(engine, data, cfg, wall_nanos, workers))
 }
 
 type SharedEngine = RwLock<Box<dyn GraphDb>>;
+
+/// Below this remaining wait the pacer spins instead of sleeping:
+/// `thread::sleep` routinely oversleeps by tens of microseconds, which at
+/// high arrival rates makes the *pacer* (not the engine) fall behind
+/// schedule and spuriously shed.
+const SPIN_THRESHOLD: Duration = Duration::from_micros(200);
+
+/// Wait until `at` with sleep for the bulk and a spin for the tail, so the
+/// arrival schedule is honored to sub-microsecond accuracy.
+fn wait_until(at: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= at {
+            return;
+        }
+        let remaining = at - now;
+        if remaining > SPIN_THRESHOLD {
+            std::thread::sleep(remaining - SPIN_THRESHOLD);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
 
 fn validate(cfg: &WorkloadConfig) -> GdbResult<()> {
     if cfg.threads == 0 {
@@ -249,7 +388,7 @@ fn validate(cfg: &WorkloadConfig) -> GdbResult<()> {
             "workload needs at least one op per worker".into(),
         ));
     }
-    if let Pacing::Open { ops_per_sec } = cfg.pacing {
+    if let Pacing::Open { ops_per_sec, .. } = cfg.pacing {
         if ops_per_sec <= 0.0 || !ops_per_sec.is_finite() {
             return Err(GdbError::Invalid(format!(
                 "open-loop pacing needs a positive finite rate, got {ops_per_sec}"
@@ -291,6 +430,7 @@ fn assemble(
         dataset: data.name.clone(),
         mix: cfg.mix.name().to_string(),
         threads: cfg.threads,
+        offered_ops_per_sec: cfg.pacing.offered_rate(),
         wall_nanos,
         workers,
         hist,
@@ -304,34 +444,55 @@ fn worker_loop(
     mix: &Mix,
     cfg: &WorkloadConfig,
     start: Instant,
-) -> WorkerStats {
+) -> GdbResult<WorkerStats> {
     let mut rng = Mix::worker_rng(cfg.seed, worker);
     let mut stats = WorkerStats {
         worker,
         ops: 0,
         errors: 0,
+        shed: 0,
         hist: LatencyHistogram::new(),
         cardinalities: Vec::new(),
     };
     let mut owned_edges: Vec<Eid> = Vec::new();
     for i in 0..cfg.ops_per_worker {
+        // Always draw from the RNG, shed or not, so trace position `i` maps
+        // to the same op regardless of which arrivals were shed.
         let op = mix.pick(&mut rng);
         // Open-loop: wait for this op's scheduled arrival, and measure from
         // it, so time spent queueing behind a slow engine is *in* the
-        // latency rather than silently coordinated away.
+        // latency rather than silently coordinated away. When the schedule
+        // has slipped past the backlog bound, shed the op instead of digging
+        // the backlog deeper.
         let issue_at = match cfg.pacing {
             Pacing::Closed => Instant::now(),
-            Pacing::Open { ops_per_sec } => {
+            Pacing::Open {
+                ops_per_sec,
+                max_lateness,
+            } => {
                 let k = worker as u64 + i * cfg.threads as u64;
                 let at = start + Duration::from_secs_f64(k as f64 / ops_per_sec);
                 let now = Instant::now();
                 if at > now {
-                    std::thread::sleep(at - now);
+                    wait_until(at);
+                } else if let Some(bound) = max_lateness {
+                    if now.duration_since(at) > bound {
+                        stats.shed += 1;
+                        if cfg.record_cardinalities {
+                            stats.cardinalities.push(SHED_CARD);
+                        }
+                        continue;
+                    }
                 }
                 at
             }
         };
         let result = execute_op(op, lock, params, cfg, worker, i, &mut owned_edges);
+        if let Err(GdbError::Poisoned(why)) = result {
+            // Another worker panicked inside a write and left the engine
+            // half-mutated: abort instead of recovering into corrupt state.
+            return Err(GdbError::Poisoned(why));
+        }
         stats
             .hist
             .record(issue_at.elapsed().as_nanos().min(u64::MAX as u128) as u64);
@@ -350,7 +511,7 @@ fn worker_loop(
             }
         }
     }
-    stats
+    Ok(stats)
 }
 
 fn execute_op(
@@ -362,17 +523,25 @@ fn execute_op(
     op_index: u64,
     owned_edges: &mut Vec<Eid>,
 ) -> GdbResult<u64> {
+    // A poisoned lock means a writer panicked while mutating the engine.
+    // Recovering (`into_inner`) would keep measuring against half-mutated
+    // state; surface a distinct error so the whole run aborts instead.
+    let poisoned = |side: &str| {
+        GdbError::Poisoned(format!(
+            "{side} lock poisoned before op {op_index} of worker {worker}"
+        ))
+    };
     match op {
         Op::Read(inst) => {
             let ctx = QueryCtx::with_timeout(cfg.op_timeout);
-            let db = lock.read().unwrap_or_else(|p| p.into_inner());
+            let db = lock.read().map_err(|_| poisoned("read"))?;
             catalog::execute_read(&inst, db.as_ref(), params, &ctx)
         }
         // No deadline on writes: the GraphDb mutation API carries no
         // QueryCtx (mutations are point operations in the paper's taxonomy),
         // so `op_timeout` bounds reads only — see WorkloadConfig docs.
         Op::Write(wop) => {
-            let mut db = lock.write().unwrap_or_else(|p| p.into_inner());
+            let mut db = lock.write().map_err(|_| poisoned("write"))?;
             apply_write(wop, db.as_mut(), params, worker, op_index, owned_edges)
         }
     }
@@ -491,13 +660,13 @@ mod tests {
             mix: MixKind::ReadOnly,
             threads: 2,
             ops_per_worker: 40,
-            pacing: Pacing::Open {
-                ops_per_sec: 4_000.0,
-            },
+            pacing: Pacing::open(4_000.0),
             ..WorkloadConfig::default()
         };
         let report = run(&factory, &data, &cfg).unwrap();
         assert_eq!(report.ops(), 80);
+        assert_eq!(report.shed(), 0, "unbounded open loop never sheds");
+        assert_eq!(report.offered_ops_per_sec, Some(4_000.0));
         // 80 ops at 4k/s arrive over ~20 ms: the run cannot finish faster.
         assert!(
             report.wall_nanos >= 15_000_000,
@@ -523,5 +692,359 @@ mod tests {
         assert_eq!(m.query, "WL:read-heavy@t2");
         assert_eq!(m.cardinality, Some(report.ops()));
         assert_eq!(m.outcome, Outcome::Completed);
+    }
+
+    /// Build a report by hand with chosen counters (the driver never errors
+    /// on the linked engine, so partial failure must be constructed).
+    fn hand_report(ops: u64, errors: u64, shed: u64) -> RunReport {
+        let mut hist = LatencyHistogram::new();
+        for _ in 0..(ops + errors) {
+            hist.record(1_000);
+        }
+        RunReport {
+            engine: "linked(v1)".into(),
+            dataset: "d".into(),
+            mix: "mixed".into(),
+            threads: 1,
+            offered_ops_per_sec: None,
+            wall_nanos: 1_000_000,
+            workers: vec![WorkerStats {
+                worker: 0,
+                ops,
+                errors,
+                shed,
+                hist: hist.clone(),
+                cardinalities: Vec::new(),
+            }],
+            hist,
+        }
+    }
+
+    /// Regression: a run with 99% errors must not render identically to a
+    /// clean one (`to_measurement` used to report `Completed` whenever at
+    /// least one op succeeded).
+    #[test]
+    fn measurement_surfaces_partial_failure() {
+        assert_eq!(
+            hand_report(100, 0, 0).to_measurement().outcome,
+            Outcome::Completed
+        );
+
+        let degraded = hand_report(1, 99, 0);
+        assert!((degraded.error_rate() - 0.99).abs() < 1e-9);
+        match degraded.to_measurement().outcome {
+            Outcome::Failed(why) => {
+                assert!(why.contains("99 of 100"), "{why}");
+                assert!(why.contains("99.0%"), "{why}");
+            }
+            o => panic!("expected Failed for a 99%-errors run, got {o:?}"),
+        }
+
+        match hand_report(0, 5, 0).to_measurement().outcome {
+            Outcome::Failed(why) => {
+                assert!(why.contains("no op completed"), "{why}");
+                assert!(why.contains("5 of 5"), "{why}");
+            }
+            o => panic!("expected Failed for an all-errors run, got {o:?}"),
+        }
+
+        // Heavy shedding must not render as a clean completion either.
+        let shed_heavy = hand_report(100, 0, 50);
+        match shed_heavy.to_measurement().outcome {
+            Outcome::Failed(why) => {
+                assert!(why.contains("shed 50 of 150"), "{why}");
+                assert!(why.contains("33.3%"), "{why}");
+            }
+            o => panic!("expected Failed for a shed-heavy run, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn overloaded_open_loop_sheds_and_terminates() {
+        // Scan-heavy ops over 2000 vertices take tens of microseconds each;
+        // 4000 arrivals offered over ~2 ms with a 5 ms lateness bound must
+        // overload any engine, so the run sheds instead of queueing forever.
+        let data = testkit::chain_dataset(2000);
+        let cfg = WorkloadConfig {
+            mix: MixKind::ScanHeavy,
+            threads: 2,
+            ops_per_worker: 2_000,
+            seed: 5,
+            record_cardinalities: true,
+            pacing: Pacing::open_bounded(2_000_000.0, Duration::from_millis(5)),
+            ..WorkloadConfig::default()
+        };
+        let t0 = Instant::now();
+        let report = run(&factory, &data, &cfg).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "overload run must terminate in bounded time"
+        );
+        assert!(report.shed() > 0, "an overloaded run must shed");
+        assert_eq!(
+            report.ops() + report.errors() + report.shed(),
+            4_000,
+            "every scheduled op is completed, errored, or shed"
+        );
+        assert_eq!(
+            report.hist.count(),
+            report.ops() + report.errors(),
+            "shed ops never enter the latency histogram"
+        );
+        assert_eq!(report.offered_ops_per_sec, Some(2_000_000.0));
+        let row = report.scaling_row();
+        assert_eq!(row.shed, report.shed());
+        assert!(row.shed_fraction() > 0.0);
+        // The measurement carries the offered rate in its label (so rates
+        // don't collide in the report matrix) and reports the shedding.
+        let m = report.to_measurement();
+        assert!(m.query.ends_with("@2000000/s"), "{}", m.query);
+        match m.outcome {
+            Outcome::Failed(why) => assert!(why.contains("shed"), "{why}"),
+            o => panic!("a shedding run must not report {o:?}"),
+        }
+
+        // Determinism under shedding: position i of the trace is the same op
+        // whether or not earlier arrivals were shed, so every *executed*
+        // position must match the closed-loop sequential replay exactly.
+        let seq = run_sequential(&factory, &data, &cfg).unwrap();
+        let (ct, st) = (report.cardinality_trace(), seq.cardinality_trace());
+        assert_eq!(ct.len(), st.len());
+        let mut executed = 0u64;
+        for (i, (c, s)) in ct.iter().zip(st.iter()).enumerate() {
+            if *c != SHED_CARD {
+                assert_eq!(c, s, "executed position {i} must match the replay");
+                executed += 1;
+            }
+        }
+        assert_eq!(executed, report.ops() + report.errors());
+    }
+
+    /// A `GraphDb` whose writes panic after a countdown, leaving the shared
+    /// lock poisoned mid-run — the deliberate failure the driver must abort
+    /// on rather than recover from.
+    struct PanicOnWrite {
+        inner: Box<dyn GraphDb>,
+        writes_left: u32,
+    }
+
+    impl PanicOnWrite {
+        fn tick(&mut self) {
+            if self.writes_left == 0 {
+                panic!("deliberate mid-write panic (PanicOnWrite)");
+            }
+            self.writes_left -= 1;
+        }
+    }
+
+    impl GraphDb for PanicOnWrite {
+        fn name(&self) -> String {
+            self.inner.name()
+        }
+        fn features(&self) -> gm_model::EngineFeatures {
+            self.inner.features()
+        }
+        fn bulk_load(
+            &mut self,
+            data: &Dataset,
+            opts: &LoadOptions,
+        ) -> GdbResult<gm_model::LoadStats> {
+            self.inner.bulk_load(data, opts)
+        }
+        fn resolve_vertex(&self, canonical: u64) -> Option<gm_model::Vid> {
+            self.inner.resolve_vertex(canonical)
+        }
+        fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
+            self.inner.resolve_edge(canonical)
+        }
+        fn add_vertex(&mut self, label: &str, props: &gm_model::Props) -> GdbResult<gm_model::Vid> {
+            self.tick();
+            self.inner.add_vertex(label, props)
+        }
+        fn add_edge(
+            &mut self,
+            src: gm_model::Vid,
+            dst: gm_model::Vid,
+            label: &str,
+            props: &gm_model::Props,
+        ) -> GdbResult<Eid> {
+            self.tick();
+            self.inner.add_edge(src, dst, label, props)
+        }
+        fn set_vertex_property(
+            &mut self,
+            v: gm_model::Vid,
+            name: &str,
+            value: Value,
+        ) -> GdbResult<()> {
+            self.tick();
+            self.inner.set_vertex_property(v, name, value)
+        }
+        fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
+            self.tick();
+            self.inner.set_edge_property(e, name, value)
+        }
+        fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
+            self.inner.vertex_count(ctx)
+        }
+        fn edge_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
+            self.inner.edge_count(ctx)
+        }
+        fn edge_label_set(&self, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
+            self.inner.edge_label_set(ctx)
+        }
+        fn vertices_with_property(
+            &self,
+            name: &str,
+            value: &Value,
+            ctx: &QueryCtx,
+        ) -> GdbResult<Vec<gm_model::Vid>> {
+            self.inner.vertices_with_property(name, value, ctx)
+        }
+        fn edges_with_property(
+            &self,
+            name: &str,
+            value: &Value,
+            ctx: &QueryCtx,
+        ) -> GdbResult<Vec<Eid>> {
+            self.inner.edges_with_property(name, value, ctx)
+        }
+        fn edges_with_label(&self, label: &str, ctx: &QueryCtx) -> GdbResult<Vec<Eid>> {
+            self.inner.edges_with_label(label, ctx)
+        }
+        fn vertex(&self, v: gm_model::Vid) -> GdbResult<Option<gm_model::VertexData>> {
+            self.inner.vertex(v)
+        }
+        fn edge(&self, e: Eid) -> GdbResult<Option<gm_model::EdgeData>> {
+            self.inner.edge(e)
+        }
+        fn remove_vertex(&mut self, v: gm_model::Vid) -> GdbResult<()> {
+            self.tick();
+            self.inner.remove_vertex(v)
+        }
+        fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
+            self.tick();
+            self.inner.remove_edge(e)
+        }
+        fn remove_vertex_property(
+            &mut self,
+            v: gm_model::Vid,
+            name: &str,
+        ) -> GdbResult<Option<Value>> {
+            self.tick();
+            self.inner.remove_vertex_property(v, name)
+        }
+        fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+            self.tick();
+            self.inner.remove_edge_property(e, name)
+        }
+        fn neighbors(
+            &self,
+            v: gm_model::Vid,
+            dir: gm_model::Direction,
+            label: Option<&str>,
+            ctx: &QueryCtx,
+        ) -> GdbResult<Vec<gm_model::Vid>> {
+            self.inner.neighbors(v, dir, label, ctx)
+        }
+        fn vertex_edges(
+            &self,
+            v: gm_model::Vid,
+            dir: gm_model::Direction,
+            label: Option<&str>,
+            ctx: &QueryCtx,
+        ) -> GdbResult<Vec<gm_model::EdgeRef>> {
+            self.inner.vertex_edges(v, dir, label, ctx)
+        }
+        fn vertex_degree(
+            &self,
+            v: gm_model::Vid,
+            dir: gm_model::Direction,
+            ctx: &QueryCtx,
+        ) -> GdbResult<u64> {
+            self.inner.vertex_degree(v, dir, ctx)
+        }
+        fn vertex_edge_labels(
+            &self,
+            v: gm_model::Vid,
+            dir: gm_model::Direction,
+            ctx: &QueryCtx,
+        ) -> GdbResult<Vec<String>> {
+            self.inner.vertex_edge_labels(v, dir, ctx)
+        }
+        fn scan_vertices<'a>(
+            &'a self,
+            ctx: &'a QueryCtx,
+        ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<gm_model::Vid>> + 'a>> {
+            self.inner.scan_vertices(ctx)
+        }
+        fn scan_edges<'a>(
+            &'a self,
+            ctx: &'a QueryCtx,
+        ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Eid>> + 'a>> {
+            self.inner.scan_edges(ctx)
+        }
+        fn vertex_property(&self, v: gm_model::Vid, name: &str) -> GdbResult<Option<Value>> {
+            self.inner.vertex_property(v, name)
+        }
+        fn edge_property(&self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+            self.inner.edge_property(e, name)
+        }
+        fn edge_endpoints(&self, e: Eid) -> GdbResult<Option<(gm_model::Vid, gm_model::Vid)>> {
+            self.inner.edge_endpoints(e)
+        }
+        fn edge_label(&self, e: Eid) -> GdbResult<Option<String>> {
+            self.inner.edge_label(e)
+        }
+        fn vertex_label(&self, v: gm_model::Vid) -> GdbResult<Option<String>> {
+            self.inner.vertex_label(v)
+        }
+        fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
+            self.inner.create_vertex_index(prop)
+        }
+        fn has_vertex_index(&self, prop: &str) -> bool {
+            self.inner.has_vertex_index(prop)
+        }
+        fn space(&self) -> gm_model::SpaceReport {
+            self.inner.space()
+        }
+        fn sync(&mut self) -> GdbResult<()> {
+            self.inner.sync()
+        }
+    }
+
+    /// Regression: a writer panicking mid-mutation used to be silently
+    /// "recovered" (`PoisonError::into_inner`), so the rest of the run kept
+    /// measuring a half-mutated engine. The run must abort with
+    /// [`GdbError::Poisoned`] instead.
+    #[test]
+    fn panicking_writer_aborts_the_run() {
+        let factory = || -> Box<dyn GraphDb> {
+            Box::new(PanicOnWrite {
+                inner: Box::new(LinkedGraph::v1()),
+                writes_left: 8,
+            })
+        };
+        let data = testkit::chain_dataset(150);
+        let cfg = WorkloadConfig {
+            mix: MixKind::WriteHeavy,
+            threads: 4,
+            ops_per_worker: 400,
+            seed: 3,
+            ..WorkloadConfig::default()
+        };
+        match run(&factory, &data, &cfg) {
+            Err(GdbError::Poisoned(why)) => {
+                assert!(
+                    why.contains("poisoned") || why.contains("panicked"),
+                    "{why}"
+                );
+            }
+            Err(e) => panic!("expected GdbError::Poisoned, got {e}"),
+            Ok(r) => panic!(
+                "run must abort on a panicking writer, but completed with {} ops",
+                r.ops()
+            ),
+        }
     }
 }

@@ -7,8 +7,9 @@
 //! "lock-free" claim is structural rather than clever: there is simply
 //! nothing to lock.
 //!
-//! Buckets are powers of two of nanoseconds: bucket *i* holds latencies in
-//! `[2^i, 2^(i+1))` ns (bucket 0 also catches 0 ns). 64 buckets cover every
+//! Buckets are powers of two of nanoseconds: bucket *i* (for `i >= 1`) holds
+//! latencies in `[2^i, 2^(i+1))` ns, and bucket 0 spans `[0, 2)` ns — its
+//! floor is 0, not 1. 64 buckets cover every
 //! representable `u64` latency, from sub-microsecond point reads to scans
 //! that run for minutes. Quantiles interpolate inside the hit bucket and are
 //! clamped to the exact observed maximum, so `p99 <= max` always holds.
@@ -50,9 +51,25 @@ impl LatencyHistogram {
         63 - nanos.max(1).leading_zeros() as usize
     }
 
-    /// Inclusive lower bound of bucket `i` in nanoseconds.
+    /// Inclusive lower bound of bucket `i` in nanoseconds. Bucket 0 spans
+    /// `[0, 2)` (it catches both 0 ns and 1 ns observations), so its floor is
+    /// 0 — not 1, which would mislabel and mis-interpolate the lowest bucket.
     pub fn bucket_floor(i: usize) -> u64 {
-        1u64 << i
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Width of bucket `i` in nanoseconds: bucket 0 is `[0, 2)` (width 2),
+    /// bucket `i >= 1` is `[2^i, 2^(i+1))` (width `2^i`).
+    pub fn bucket_width(i: usize) -> u64 {
+        if i == 0 {
+            2
+        } else {
+            1u64 << i
+        }
     }
 
     /// Record one latency observation.
@@ -127,10 +144,10 @@ impl LatencyHistogram {
                 continue;
             }
             if seen + c >= target {
-                // Interpolate within [2^i, 2^(i+1)) by rank.
+                // Interpolate within the bucket's span by rank.
                 let into = (target - seen - 1) as f64 / c as f64;
                 let floor = Self::bucket_floor(i) as f64;
-                let est = floor + into * floor;
+                let est = floor + into * Self::bucket_width(i) as f64;
                 return (est as u64).clamp(self.min, self.max);
             }
             seen += c;
@@ -196,6 +213,41 @@ mod tests {
         assert_eq!(LatencyHistogram::bucket_of(3), 1);
         assert_eq!(LatencyHistogram::bucket_of(1024), 10);
         assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 63);
+        // The floor of every bucket must be a value that lands in that
+        // bucket — in particular bucket 0's floor is 0, not 1 (the bucket
+        // spans [0, 2)).
+        for i in 0..BUCKETS {
+            let floor = LatencyHistogram::bucket_floor(i);
+            assert_eq!(
+                LatencyHistogram::bucket_of(floor),
+                i,
+                "floor({i}) = {floor} must fall inside bucket {i}"
+            );
+        }
+        assert_eq!(LatencyHistogram::bucket_floor(0), 0);
+        assert_eq!(LatencyHistogram::bucket_floor(1), 2);
+        assert_eq!(LatencyHistogram::bucket_width(0), 2);
+        assert_eq!(LatencyHistogram::bucket_width(1), 2);
+        assert_eq!(LatencyHistogram::bucket_width(10), 1024);
+    }
+
+    #[test]
+    fn lowest_bucket_labels_and_quantiles() {
+        // All-zero observations quantile to 0, and render labels the lowest
+        // bucket with its true floor (0ns), not 1ns.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..4 {
+            h.record(0);
+        }
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert!(h.render().contains("0ns"), "{}", h.render());
+        // A 0-and-1 mix interpolates within [0, 2) instead of above it.
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), 1);
     }
 
     #[test]

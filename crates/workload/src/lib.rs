@@ -11,7 +11,10 @@
 //! * [`driver`] — a thread-pooled closed-loop and open-loop (fixed arrival
 //!   rate) driver fanning the mix across N workers against one shared
 //!   engine: reads under the `RwLock` shared lock, writes serialized under
-//!   the exclusive lock;
+//!   the exclusive lock. Open-loop pacing takes an optional backlog bound:
+//!   arrivals that slip further behind schedule than the bound are **shed**
+//!   (counted, not executed), so overload runs terminate in bounded time and
+//!   report offered vs achieved rate honestly;
 //! * [`hist`] — per-worker log2-bucketed latency histograms (p50/p95/p99/
 //!   max) and throughput counters, merged lock-free when the run ends and
 //!   reported through `gm_core::report` / `gm_core::summary` next to the
@@ -27,6 +30,8 @@ pub mod driver;
 pub mod hist;
 pub mod mix;
 
-pub use driver::{run, run_sequential, Pacing, RunReport, WorkerStats, WorkloadConfig, ERR_CARD};
+pub use driver::{
+    run, run_sequential, Pacing, RunReport, WorkerStats, WorkloadConfig, ERR_CARD, SHED_CARD,
+};
 pub use hist::{format_nanos, LatencyHistogram};
 pub use mix::{Mix, MixKind, Op, WriteOp};

@@ -68,9 +68,7 @@ fn main() {
             mix: MixKind::ReadHeavy,
             threads: 2,
             ops_per_worker: 200,
-            pacing: Pacing::Open {
-                ops_per_sec: 5_000.0,
-            },
+            pacing: Pacing::open(5_000.0),
             ..WorkloadConfig::default()
         },
     )
@@ -80,4 +78,35 @@ fn main() {
         graphmark::workload::format_nanos(open.hist.p50()),
         graphmark::workload::format_nanos(open.hist.p99())
     );
+
+    // 5. Overload: offer 8× the engine's measured closed-loop capacity with
+    //    a bounded arrival backlog. Arrivals that slip more than 5 ms behind
+    //    schedule are shed (counted, never executed), so the run terminates
+    //    in bounded time and the gap between offered and achieved rate —
+    //    plus the shed count — makes the overload visible instead of letting
+    //    the backlog grow without bound.
+    let offered = report.throughput() * 8.0;
+    let overloaded = run(
+        &factory,
+        &data,
+        &WorkloadConfig {
+            mix: MixKind::Mixed,
+            threads: 4,
+            ops_per_worker: 2_000,
+            pacing: Pacing::open_bounded(offered, std::time::Duration::from_millis(5)),
+            ..WorkloadConfig::default()
+        },
+    )
+    .expect("overloaded run");
+    println!(
+        "\noverloaded open-loop: offered {:.0} ops/s, achieved {:.0} ops/s, \
+         shed {} of {} arrivals ({:.1}%), p99 {} (queueing up to the bound)",
+        offered,
+        overloaded.throughput(),
+        overloaded.shed(),
+        overloaded.ops() + overloaded.errors() + overloaded.shed(),
+        overloaded.scaling_row().shed_fraction() * 100.0,
+        graphmark::workload::format_nanos(overloaded.hist.p99()),
+    );
+    println!("{}", summary::render_scaling(&[overloaded.scaling_row()]));
 }

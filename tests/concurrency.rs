@@ -10,13 +10,15 @@
 //!    results equal a sequential replay of the same seed, and both equal
 //!    the sequential `Runner`'s answer for the same query instances.
 
+use std::time::{Duration, Instant};
+
 use graphmark::core::catalog::{execute, QueryInstance};
 use graphmark::core::params::Workload;
 use graphmark::core::report::{Outcome, RunMode};
 use graphmark::core::runner::{BenchConfig, Runner};
 use graphmark::model::testkit;
 use graphmark::registry::EngineKind;
-use graphmark::workload::{run, run_sequential, MixKind, Op, WorkloadConfig};
+use graphmark::workload::{run, run_sequential, MixKind, Op, Pacing, WorkloadConfig, SHED_CARD};
 
 fn cfg(mix: MixKind, threads: u32, ops: u64) -> WorkloadConfig {
     WorkloadConfig {
@@ -157,6 +159,73 @@ fn driver_results_match_sequential_runner() {
     let m = runner.run_instance(&q8, RunMode::Isolation);
     assert_eq!(m.outcome, Outcome::Completed);
     assert_eq!(m.cardinality, Some(data.vertex_count() as u64));
+}
+
+/// Overload guarantee: an open-loop run offered far more than an engine can
+/// absorb terminates within a wall-clock bound, reports `shed > 0`, keeps
+/// `ops + errors + shed == threads * ops_per_worker`, and — because shedding
+/// never advances or skips the deterministic op stream — every *executed*
+/// position of a read-only trace still matches the sequential replay.
+#[test]
+fn overloaded_open_loop_sheds_is_bounded_and_deterministic() {
+    let data = testkit::chain_dataset(1_500);
+    for kind in [EngineKind::LinkedV2, EngineKind::Triple] {
+        let factory = move || kind.make();
+        let c = WorkloadConfig {
+            // Scan-heavy is read-only and slow per op: offered at 2M ops/s
+            // it overloads every engine, so the 5 ms backlog bound engages.
+            pacing: Pacing::open_bounded(2_000_000.0, Duration::from_millis(5)),
+            ..cfg(MixKind::ScanHeavy, 2, 1_500)
+        };
+        let t0 = Instant::now();
+        let report = run(&factory, &data, &c)
+            .unwrap_or_else(|e| panic!("{}: overload run failed: {e}", kind.name()));
+        assert!(
+            t0.elapsed() < Duration::from_secs(120),
+            "{}: overload run must terminate in bounded time",
+            kind.name()
+        );
+        assert!(report.shed() > 0, "{}: overload must shed", kind.name());
+        assert_eq!(
+            report.ops() + report.errors() + report.shed(),
+            2 * 1_500,
+            "{}: completed + errored + shed covers every scheduled op",
+            kind.name()
+        );
+        assert_eq!(
+            report.hist.count(),
+            report.ops() + report.errors(),
+            "{}: shed ops stay out of the latency histogram",
+            kind.name()
+        );
+        // The scaling row and CSV carry the shed/offered accounting.
+        let row = report.scaling_row();
+        assert_eq!(row.shed, report.shed(), "{}", kind.name());
+        assert_eq!(
+            row.offered_ops_per_sec,
+            Some(2_000_000.0),
+            "{}",
+            kind.name()
+        );
+        let csv = graphmark::core::summary::scaling_to_csv(&[row]);
+        assert!(csv.contains("2000000.0"), "{}: {csv}", kind.name());
+
+        // Read-only determinism under shedding.
+        let sequential = run_sequential(&factory, &data, &c)
+            .unwrap_or_else(|e| panic!("{}: sequential replay failed: {e}", kind.name()));
+        let (ct, st) = (report.cardinality_trace(), sequential.cardinality_trace());
+        assert_eq!(ct.len(), st.len(), "{}", kind.name());
+        for (i, (c, s)) in ct.iter().zip(st.iter()).enumerate() {
+            if *c != SHED_CARD {
+                assert_eq!(
+                    c,
+                    s,
+                    "{}: executed position {i} must match the sequential replay",
+                    kind.name()
+                );
+            }
+        }
+    }
 }
 
 /// The scalability sweep wiring: scaling rows render for a 1→2-thread sweep.
