@@ -30,7 +30,7 @@
 
 use std::time::Duration;
 
-use gm_bench::Env;
+use gm_bench::{config, Env};
 use gm_core::report::{Report, RunMode};
 use gm_core::summary::{self, ScalingRow};
 use gm_datasets::{self as datasets, DatasetId, Scale};
@@ -46,61 +46,14 @@ struct Sweep {
     max_lateness: Duration,
 }
 
-fn parse_f64_list(var: &str, default: &str) -> Vec<f64> {
-    std::env::var(var)
-        .unwrap_or_else(|_| default.into())
-        .split(',')
-        .filter(|s| !s.trim().is_empty())
-        .filter_map(|s| match s.trim().parse::<f64>() {
-            Ok(f) if f > 0.0 && f.is_finite() => Some(f),
-            _ => {
-                eprintln!("[fig8] ignoring {var} entry {s:?} (want a positive number)");
-                None
-            }
-        })
-        .collect()
-}
-
 fn sweep_from_env() -> Sweep {
-    let env = Env::from_env();
-    let threads: Vec<u32> = std::env::var("GM_THREADS")
-        .unwrap_or_else(|_| "1,2,4,8".into())
-        .split(',')
-        .filter_map(|t| match t.trim().parse() {
-            Ok(0) | Err(_) => {
-                eprintln!("[fig8] ignoring GM_THREADS entry {t:?} (want a positive integer)");
-                None
-            }
-            Ok(n) => Some(n),
-        })
-        .collect();
-    let mixes: Vec<MixKind> = std::env::var("GM_MIXES")
-        .unwrap_or_else(|_| "read-heavy,mixed".into())
-        .split(',')
-        .filter_map(|m| {
-            let kind = MixKind::parse(m.trim());
-            if kind.is_none() {
-                let known: Vec<&str> = MixKind::ALL.iter().map(|k| k.name()).collect();
-                eprintln!("[fig8] ignoring unknown GM_MIXES entry {m:?} (known: {known:?})");
-            }
-            kind
-        })
-        .collect();
-    let ops_per_worker: u64 = std::env::var("GM_WL_OPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
-    let max_lateness_ms: u64 = std::env::var("GM_MAX_LATENESS_MS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50);
     Sweep {
-        env,
-        threads,
-        mixes,
-        ops_per_worker,
-        overload_factors: parse_f64_list("GM_OVERLOAD_FACTORS", "0.5,1,2,4"),
-        max_lateness: Duration::from_millis(max_lateness_ms),
+        env: Env::from_env(),
+        threads: config::var_list_u32("GM_THREADS", "1,2,4,8"),
+        mixes: config::var_mixes("GM_MIXES", "read-heavy,mixed"),
+        ops_per_worker: config::var_u64("GM_WL_OPS", 400),
+        overload_factors: config::var_list_f64("GM_OVERLOAD_FACTORS", "0.5,1,2,4"),
+        max_lateness: config::var_millis("GM_MAX_LATENESS_MS", 50),
     }
 }
 

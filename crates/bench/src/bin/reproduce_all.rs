@@ -10,6 +10,8 @@
 
 use std::process::Command;
 
+use gm_bench::config;
+
 const SEQUENCE: &[&str] = &[
     "table1",
     "table2",
@@ -25,11 +27,14 @@ const SEQUENCE: &[&str] = &[
     "fig1_timeouts",
     "fig7_overall",
     "table4",
-    // Beyond the paper: the multi-client concurrency sweep (gm-workload).
+    // Beyond the paper: the multi-client concurrency sweep (gm-workload)
+    // and the network-attached comparison (gm-net).
     "fig8_concurrency",
+    "fig9_network",
 ];
 
 fn main() {
+    eprint!("{}", config::render_knobs());
     let self_path = std::env::current_exe().expect("current exe");
     let bin_dir = self_path.parent().expect("bin dir");
     for name in SEQUENCE {

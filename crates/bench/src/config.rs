@@ -1,0 +1,285 @@
+//! Typed `GM_*` environment configuration — the single home for every knob.
+//!
+//! The harness binaries used to parse environment variables ad hoc, each
+//! with its own defaults and error handling; this module centralizes the
+//! parsing (with uniform "ignored invalid entry" warnings) and registers
+//! every knob in [`KNOBS`] so `reproduce_all` can print an accurate table
+//! and new knobs cannot silently drift undocumented.
+
+use std::time::Duration;
+
+use gm_datasets::Scale;
+use gm_workload::MixKind;
+use graphmark::registry::EngineKind;
+
+/// One documented environment knob.
+#[derive(Debug, Clone, Copy)]
+pub struct Knob {
+    /// Variable name (`GM_…`).
+    pub name: &'static str,
+    /// Default value, as the user would type it.
+    pub default: &'static str,
+    /// What it does.
+    pub doc: &'static str,
+}
+
+/// Every environment knob the harness binaries honour.
+pub const KNOBS: &[Knob] = &[
+    Knob {
+        name: "GM_SCALE",
+        default: "small",
+        doc: "dataset scale preset (tiny/small/medium/a/b)",
+    },
+    Knob {
+        name: "GM_SEED",
+        default: "42",
+        doc: "generator + workload seed",
+    },
+    Knob {
+        name: "GM_TIMEOUT_SECS",
+        default: "5",
+        doc: "per-query deadline (the paper's 2h analog)",
+    },
+    Knob {
+        name: "GM_BATCH",
+        default: "10",
+        doc: "batch length (the paper uses 10)",
+    },
+    Knob {
+        name: "GM_ENGINES",
+        default: "(all)",
+        doc: "comma-separated engine-name filter",
+    },
+    Knob {
+        name: "GM_THREADS",
+        default: "1,2,4,8",
+        doc: "fig8: thread counts to sweep",
+    },
+    Knob {
+        name: "GM_MIXES",
+        default: "read-heavy,mixed",
+        doc: "fig8/fig9: workload mix names to sweep",
+    },
+    Knob {
+        name: "GM_WL_OPS",
+        default: "400",
+        doc: "fig8/fig9: ops per worker",
+    },
+    Knob {
+        name: "GM_OVERLOAD_FACTORS",
+        default: "0.5,1,2,4",
+        doc: "fig8: open-loop rates as multiples of measured capacity",
+    },
+    Knob {
+        name: "GM_MAX_LATENESS_MS",
+        default: "50",
+        doc: "fig8/fig9: backlog bound; later arrivals are shed",
+    },
+    Knob {
+        name: "GM_SERVER_ADDR",
+        default: "(spawn loopback)",
+        doc: "fig9/gm-server: engine server address; fig9 spawns a loopback server per engine when unset",
+    },
+    Knob {
+        name: "GM_NET_CLIENTS",
+        default: "1,2,4",
+        doc: "fig9: client-connection counts to sweep",
+    },
+    Knob {
+        name: "GM_EXPORT_DIR",
+        default: "./data",
+        doc: "export_datasets: output directory (positional arg wins)",
+    },
+];
+
+/// Render the knob table (for `reproduce_all`'s header).
+pub fn render_knobs() -> String {
+    let mut out = String::from("environment knobs (see gm-bench::config):\n");
+    for k in KNOBS {
+        out.push_str(&format!(
+            "  {:<22} default {:<18} {}\n",
+            k.name, k.default, k.doc
+        ));
+    }
+    out
+}
+
+fn warn_ignored(var: &str, entry: &str, want: &str) {
+    eprintln!("[gm-bench] ignoring {var} entry {entry:?} (want {want})");
+}
+
+/// A `u64` knob.
+pub fn var_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(s) => s.trim().parse().unwrap_or_else(|_| {
+            warn_ignored(name, &s, "an unsigned integer");
+            default
+        }),
+    }
+}
+
+/// A `u32` knob.
+pub fn var_u32(name: &str, default: u32) -> u32 {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(s) => s.trim().parse().unwrap_or_else(|_| {
+            warn_ignored(name, &s, "an unsigned integer");
+            default
+        }),
+    }
+}
+
+/// A duration knob given in whole seconds.
+pub fn var_secs(name: &str, default_secs: u64) -> Duration {
+    Duration::from_secs(var_u64(name, default_secs))
+}
+
+/// A duration knob given in whole milliseconds.
+pub fn var_millis(name: &str, default_millis: u64) -> Duration {
+    Duration::from_millis(var_u64(name, default_millis))
+}
+
+/// A plain string knob.
+pub fn var_str(name: &str, default: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| default.to_string())
+}
+
+/// A comma-separated list of positive finite floats; invalid entries are
+/// warned about and skipped, so a typo narrows the sweep instead of
+/// silently replacing it with the default.
+pub fn var_list_f64(name: &str, default: &str) -> Vec<f64> {
+    std::env::var(name)
+        .unwrap_or_else(|_| default.into())
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .filter_map(|s| match s.trim().parse::<f64>() {
+            Ok(f) if f > 0.0 && f.is_finite() => Some(f),
+            _ => {
+                warn_ignored(name, s, "a positive number");
+                None
+            }
+        })
+        .collect()
+}
+
+/// A comma-separated list of positive integers.
+pub fn var_list_u32(name: &str, default: &str) -> Vec<u32> {
+    std::env::var(name)
+        .unwrap_or_else(|_| default.into())
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .filter_map(|s| match s.trim().parse::<u32>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                warn_ignored(name, s, "a positive integer");
+                None
+            }
+        })
+        .collect()
+}
+
+/// A comma-separated list of workload mix names.
+pub fn var_mixes(name: &str, default: &str) -> Vec<MixKind> {
+    std::env::var(name)
+        .unwrap_or_else(|_| default.into())
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .filter_map(|s| {
+            let kind = MixKind::parse(s.trim());
+            if kind.is_none() {
+                let known: Vec<&str> = MixKind::ALL.iter().map(|k| k.name()).collect();
+                warn_ignored(name, s, &format!("one of {known:?}"));
+            }
+            kind
+        })
+        .collect()
+}
+
+/// The dataset scale preset (`GM_SCALE`).
+pub fn var_scale() -> Scale {
+    match std::env::var("GM_SCALE") {
+        Err(_) => Scale::small(),
+        Ok(s) => Scale::parse(&s).unwrap_or_else(|| {
+            warn_ignored("GM_SCALE", &s, "tiny/small/medium/a/b");
+            Scale::small()
+        }),
+    }
+}
+
+/// The engine filter (`GM_ENGINES`; unset = all variants).
+pub fn var_engines() -> Vec<EngineKind> {
+    match std::env::var("GM_ENGINES") {
+        Ok(list) => list
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .filter_map(|n| {
+                let kind = EngineKind::parse(n.trim());
+                if kind.is_none() {
+                    let known: Vec<&str> = EngineKind::ALL.iter().map(|k| k.name()).collect();
+                    warn_ignored("GM_ENGINES", n, &format!("one of {known:?}"));
+                }
+                kind
+            })
+            .collect(),
+        Err(_) => EngineKind::ALL.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var tests set process-global state; keep each test's variables
+    // distinct so parallel execution cannot interfere.
+
+    #[test]
+    fn u64_default_and_parse() {
+        assert_eq!(var_u64("GM_TEST_ABSENT_U64", 7), 7);
+        std::env::set_var("GM_TEST_U64", "12");
+        assert_eq!(var_u64("GM_TEST_U64", 7), 12);
+        std::env::set_var("GM_TEST_U64_BAD", "nope");
+        assert_eq!(var_u64("GM_TEST_U64_BAD", 7), 7);
+    }
+
+    #[test]
+    fn lists_skip_invalid_entries() {
+        std::env::set_var("GM_TEST_LIST_F64", "0.5, nope, 2, -1");
+        assert_eq!(var_list_f64("GM_TEST_LIST_F64", "1"), vec![0.5, 2.0]);
+        std::env::set_var("GM_TEST_LIST_U32", "1,0,x,4");
+        assert_eq!(var_list_u32("GM_TEST_LIST_U32", "1"), vec![1, 4]);
+        assert_eq!(var_list_u32("GM_TEST_LIST_ABSENT", "2,8"), vec![2, 8]);
+    }
+
+    #[test]
+    fn mixes_parse_by_name() {
+        std::env::set_var("GM_TEST_MIXES", "read-only, bogus ,mixed");
+        assert_eq!(
+            var_mixes("GM_TEST_MIXES", "read-heavy"),
+            vec![MixKind::ReadOnly, MixKind::Mixed]
+        );
+        assert_eq!(
+            var_mixes("GM_TEST_MIXES_ABSENT", "read-heavy,mixed"),
+            vec![MixKind::ReadHeavy, MixKind::Mixed]
+        );
+    }
+
+    #[test]
+    fn knob_registry_covers_the_documented_set() {
+        for required in [
+            "GM_SCALE",
+            "GM_SEED",
+            "GM_ENGINES",
+            "GM_SERVER_ADDR",
+            "GM_NET_CLIENTS",
+        ] {
+            assert!(
+                KNOBS.iter().any(|k| k.name == required),
+                "{required} missing from KNOBS"
+            );
+        }
+        let table = render_knobs();
+        assert!(table.contains("GM_SERVER_ADDR"));
+        assert!(table.contains("GM_NET_CLIENTS"));
+    }
+}

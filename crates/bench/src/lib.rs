@@ -6,15 +6,13 @@
 //! `table4`, and `reproduce_all`. Criterion micro-benches live in
 //! `benches/`.
 //!
-//! All binaries honour these environment variables:
-//!
-//! | var | default | meaning |
-//! |---|---|---|
-//! | `GM_SCALE` | `small` | dataset scale preset (`tiny`/`small`/`medium`/`a/b`) |
-//! | `GM_SEED` | `42` | generator + workload seed |
-//! | `GM_TIMEOUT_SECS` | `5` | per-query deadline (the paper's 2 h analog) |
-//! | `GM_BATCH` | `10` | batch length (the paper uses 10) |
-//! | `GM_ENGINES` | all | comma-separated engine-name filter |
+//! All binaries honour the `GM_*` environment knobs; the typed parsers and
+//! the authoritative registry (names, defaults, docs) live in [`config`] —
+//! `reproduce_all` prints the full table. Core set: `GM_SCALE`
+//! (`tiny`/`small`/`medium`/`a/b`), `GM_SEED`, `GM_TIMEOUT_SECS`,
+//! `GM_BATCH`, `GM_ENGINES`; the concurrency/network sweeps add
+//! `GM_THREADS`, `GM_MIXES`, `GM_WL_OPS`, `GM_OVERLOAD_FACTORS`,
+//! `GM_MAX_LATENESS_MS`, `GM_SERVER_ADDR`, and `GM_NET_CLIENTS`.
 
 use std::time::Duration;
 
@@ -26,6 +24,8 @@ use gm_datasets::{self as datasets, DatasetId, Scale};
 use gm_model::api::LoadOptions;
 use gm_model::Dataset;
 use graphmark::registry::EngineKind;
+
+pub mod config;
 
 /// Parsed harness environment.
 #[derive(Debug, Clone)]
@@ -43,39 +43,15 @@ pub struct Env {
 }
 
 impl Env {
-    /// Read the `GM_*` environment variables.
+    /// Read the `GM_*` environment variables (see [`config`] for the typed
+    /// parsers and the full knob registry).
     pub fn from_env() -> Env {
-        let scale = std::env::var("GM_SCALE")
-            .ok()
-            .and_then(|s| Scale::parse(&s))
-            .unwrap_or(Scale::small());
-        let seed = std::env::var("GM_SEED")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(42);
-        let timeout = Duration::from_secs(
-            std::env::var("GM_TIMEOUT_SECS")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(5),
-        );
-        let batch = std::env::var("GM_BATCH")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(10);
-        let engines = match std::env::var("GM_ENGINES") {
-            Ok(list) => list
-                .split(',')
-                .filter_map(|n| EngineKind::parse(n.trim()))
-                .collect(),
-            Err(_) => EngineKind::ALL.to_vec(),
-        };
         Env {
-            scale,
-            seed,
-            timeout,
-            batch,
-            engines,
+            scale: config::var_scale(),
+            seed: config::var_u64("GM_SEED", 42),
+            timeout: config::var_secs("GM_TIMEOUT_SECS", 5),
+            batch: config::var_u32("GM_BATCH", 10),
+            engines: config::var_engines(),
         }
     }
 

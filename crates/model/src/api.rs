@@ -78,7 +78,7 @@ pub struct EdgeData {
 }
 
 /// Options for [`GraphDb::bulk_load`] (Q1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadOptions {
     /// Use the engine's bulk path if it has one. The paper had to enable
     /// this explicitly for BlazeGraph ("bulk loading" option, §6.2); with
@@ -107,7 +107,7 @@ pub struct LoadStats {
 }
 
 /// Structure-by-structure space accounting (Figure 1).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SpaceReport {
     /// Named components, e.g. `("node records", 1_048_576)`.
     pub components: Vec<(String, u64)>,
@@ -126,7 +126,7 @@ impl SpaceReport {
 }
 
 /// Static description of an engine for the Table 1 reproduction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineFeatures {
     /// Short engine name, e.g. `"linked(v1)"`.
     pub name: String,

@@ -114,6 +114,16 @@ impl QueryCtx {
     pub fn is_expired(&self) -> bool {
         self.expired.load(Ordering::Relaxed)
     }
+
+    /// Time left before the deadline: `None` for an unbounded context,
+    /// `Some(ZERO)` once the deadline has passed. Transports (gm-net) use
+    /// this to forward the *remaining* budget to a remote server, so a query
+    /// that already spent half its deadline client-side cannot spend a full
+    /// budget again server-side.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
 }
 
 impl Default for QueryCtx {
@@ -169,6 +179,19 @@ mod tests {
             ctx.tick_n(TICKS_PER_CLOCK_CHECK + 1),
             Err(GdbError::Timeout)
         );
+    }
+
+    #[test]
+    fn remaining_budget_reports_sanely() {
+        assert_eq!(QueryCtx::unbounded().remaining(), None);
+        let r = QueryCtx::with_timeout(Duration::from_secs(60))
+            .remaining()
+            .expect("bounded ctx has a remaining budget");
+        assert!(r <= Duration::from_secs(60));
+        assert!(r > Duration::from_secs(50));
+        // A context whose deadline already passed saturates to zero.
+        let expired = QueryCtx::with_deadline(Instant::now() - Duration::from_secs(1));
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
     }
 
     #[test]

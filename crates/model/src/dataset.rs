@@ -38,7 +38,7 @@ pub struct DsEdge {
 }
 
 /// An engine-independent graph dataset.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Dataset {
     /// Short dataset name (`"yeast"`, `"mico"`, `"frb-s"`, `"ldbc"`, …).
     pub name: String,

@@ -1,0 +1,73 @@
+//! Network-attached benchmarking in five minutes: spawn a loopback
+//! `gm-server`, point the multi-client workload driver at it, and compare
+//! against the same run in-process — the dispatch + serialization cost of
+//! the wire shows up directly in the latency columns.
+//!
+//! ```sh
+//! cargo run --release -p gm-net --example remote_clients
+//! ```
+//!
+//! Against an already-running server (`cargo run -p gm-net --bin gm-server`)
+//! set `GM_SERVER_ADDR=127.0.0.1:7687` and the example dials it instead.
+
+use gm_net::{run_remote, RemoteEngine, Server};
+use graphmark::core::summary;
+use graphmark::model::{GraphDb, QueryCtx};
+use graphmark::registry::EngineKind;
+use graphmark::workload::{run, MixKind, WorkloadConfig};
+
+fn main() {
+    let data = graphmark::datasets::generate(
+        graphmark::datasets::DatasetId::Yeast,
+        graphmark::datasets::Scale::tiny(),
+        42,
+    );
+
+    // 1. A server. Externally: `cargo run -p gm-net --bin gm-server`.
+    //    Here: spawned on a loopback port inside this process.
+    let kind = EngineKind::LinkedV2;
+    let (addr, handle) = match std::env::var("GM_SERVER_ADDR") {
+        Ok(addr) => (addr, None),
+        Err(_) => {
+            let server = Server::bind("127.0.0.1:0", Box::new(move || kind.make())).expect("bind");
+            let handle = server.spawn().expect("spawn");
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+    println!("server: {addr}");
+
+    // 2. The same workload, twice: in-process, then through gm-net with one
+    //    TCP connection per client. `run_remote` resets the server, ships
+    //    the dataset, prepares parameters, and drives the workers.
+    let cfg = WorkloadConfig {
+        mix: MixKind::ReadHeavy,
+        threads: 4,
+        ops_per_worker: 500,
+        seed: 7,
+        ..WorkloadConfig::default()
+    };
+    let factory = move || kind.make();
+    let local = run(&factory, &data, &cfg).expect("in-process run");
+    let remote = run_remote(&addr, &data, &cfg).expect("network-attached run");
+
+    let mut rows = vec![local.scaling_row(), remote.scaling_row()];
+    rows[1].engine.push_str("@net");
+    println!(
+        "\nsame mix, same seed, same engine — the difference is the wire:\n{}",
+        summary::render_scaling(&rows)
+    );
+
+    // 3. RemoteEngine is a GraphDb: trait-level access over the socket.
+    let engine = RemoteEngine::connect(&addr).expect("connect");
+    let ctx = QueryCtx::unbounded();
+    println!(
+        "remote {}: |V| = {}, |E| = {} (asked over the wire)",
+        engine.name(),
+        engine.vertex_count(&ctx).expect("count"),
+        engine.edge_count(&ctx).expect("count"),
+    );
+
+    if let Some(handle) = handle {
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,63 @@
+//! `gm-server` — host a graphmark engine behind a TCP socket.
+//!
+//! ```sh
+//! # host the default engine on the default address
+//! cargo run --release -p gm-net --bin gm-server
+//!
+//! # pick engine and address (engine names as in `GM_ENGINES`)
+//! GM_SERVER_ADDR=127.0.0.1:7687 cargo run --release -p gm-net --bin gm-server -- 'linked(v2)'
+//! ```
+//!
+//! The server hosts **one** engine instance. Clients drive it with the
+//! gm-net protocol: `RemoteEngine::connect` for trait-level access, or
+//! `run_remote` / the `fig9_network` bench binary for whole workloads
+//! (which reset, load and prepare the engine themselves). The process runs
+//! until killed.
+
+use graphmark::registry::EngineKind;
+
+use gm_net::Server;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: gm-server [engine-name]");
+        eprintln!("  engine-name: one of:");
+        for kind in EngineKind::ALL {
+            eprintln!("    {:<15} ({})", kind.name(), kind.emulates());
+        }
+        eprintln!("  env: GM_SERVER_ADDR (default 127.0.0.1:7687)");
+        std::process::exit(0);
+    }
+
+    let kind = match args.first() {
+        None => EngineKind::LinkedV2,
+        Some(name) => match EngineKind::parse(name) {
+            Some(kind) => kind,
+            None => {
+                let known: Vec<&str> = EngineKind::ALL.iter().map(|k| k.name()).collect();
+                eprintln!("[gm-server] unknown engine {name:?} (known: {known:?})");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let addr = std::env::var("GM_SERVER_ADDR").unwrap_or_else(|_| "127.0.0.1:7687".to_string());
+    let server = match Server::bind(&addr, Box::new(move || kind.make())) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("[gm-server] {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => eprintln!(
+            "[gm-server] hosting {} ({}) on {bound} — protocol v{}",
+            kind.name(),
+            kind.emulates(),
+            gm_net::PROTO_VERSION
+        ),
+        Err(e) => eprintln!("[gm-server] hosting {} ({e})", kind.name()),
+    }
+    server.run();
+}

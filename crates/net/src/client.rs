@@ -1,0 +1,623 @@
+//! The remote-engine client.
+//!
+//! [`Connection`] is one framed socket with the handshake done.
+//! [`RemoteEngine`] wraps a connection and implements
+//! [`GraphDb`](gm_model::GraphDb), so it drops transparently into
+//! `catalog::execute`, the sequential `Runner`, and anything else written
+//! against the trait — every primitive call is one request/response round
+//! trip, which is precisely the dispatch + serialization cost the paper's
+//! client/server deployments pay and the in-process harness hides.
+//!
+//! For the workload driver, [`RemoteBackend`] opens **one connection per
+//! worker** (like N benchmark clients against one server) and ships whole
+//! driver ops as single [`Request::ExecOp`] frames, executed server-side
+//! against parameters prepared by [`run_remote`] — one round trip per op,
+//! the way real drivers execute Gremlin server-side.
+
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use gm_model::api::{
+    Direction, EdgeData, EdgeRef, EngineFeatures, LoadOptions, LoadStats, SpaceReport, VertexData,
+};
+use gm_model::{Dataset, Eid, GdbError, GdbResult, GraphDb, Props, QueryCtx, Value, Vid};
+use gm_workload::{
+    run_backend, run_backend_sequential, Backend, Op, RunReport, Session, WorkloadConfig,
+    WORKLOAD_SLOTS,
+};
+
+use crate::proto::{Request, Response, MAGIC, PROTO_VERSION};
+use crate::wire;
+
+/// One framed, handshaken connection to a gm-net server.
+pub struct Connection {
+    stream: TcpStream,
+    engine: String,
+}
+
+impl Connection {
+    /// Dial `addr` and perform the version handshake.
+    pub fn connect(addr: &str) -> GdbResult<Connection> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| GdbError::Io(format!("dialing {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let mut conn = Connection {
+            stream,
+            engine: String::new(),
+        };
+        conn.send(&Request::Hello {
+            magic: MAGIC,
+            version: PROTO_VERSION,
+        })?;
+        match conn.recv()? {
+            Response::HelloAck { version, engine } if version == PROTO_VERSION => {
+                conn.engine = engine;
+                Ok(conn)
+            }
+            Response::HelloAck { version, .. } => Err(GdbError::Invalid(format!(
+                "server speaks protocol version {version}, client speaks {PROTO_VERSION}"
+            ))),
+            Response::Err(e) => Err(e),
+            other => Err(protocol_mismatch("HelloAck", &other)),
+        }
+    }
+
+    /// The hosted engine's display name (from the handshake).
+    pub fn engine_name(&self) -> &str {
+        &self.engine
+    }
+
+    /// Send one request without waiting for its response (pipelining).
+    pub fn send(&mut self, req: &Request) -> GdbResult<()> {
+        wire::write_frame(&mut self.stream, &req.encode())
+    }
+
+    /// Receive the next response in order.
+    pub fn recv(&mut self) -> GdbResult<Response> {
+        Response::decode(&wire::read_frame(&mut self.stream)?)
+    }
+
+    /// One round trip. A [`Response::Err`] payload is surfaced as the
+    /// original [`GdbError`] — remote errors keep their variant.
+    pub fn call(&mut self, req: &Request) -> GdbResult<Response> {
+        self.send(req)?;
+        match self.recv()? {
+            Response::Err(e) => Err(e),
+            rsp => Ok(rsp),
+        }
+    }
+}
+
+fn protocol_mismatch(expected: &str, got: &Response) -> GdbError {
+    GdbError::Corrupt(format!(
+        "protocol mismatch: expected {expected} response, got {}",
+        got.kind()
+    ))
+}
+
+/// Wire deadline for a read call: the context's *remaining* budget in
+/// microseconds (0 = unbounded). An already-expired context becomes the
+/// smallest non-zero budget, so the server observes the timeout immediately.
+fn t_of(ctx: &QueryCtx) -> u64 {
+    match ctx.remaining() {
+        None => 0,
+        Some(d) => (d.as_micros().min(u64::MAX as u128) as u64).max(1),
+    }
+}
+
+/// A network-attached engine: implements [`GraphDb`] by forwarding every
+/// primitive over one connection.
+///
+/// Reads take `&self`, so the connection lives behind a `Mutex` — calls on
+/// one `RemoteEngine` serialize, exactly like one Gremlin client session.
+/// Concurrent benchmark clients each get their own `RemoteEngine` (or
+/// [`RemoteBackend`] session) instead of sharing one.
+///
+/// Infallible trait methods degrade gracefully on transport failure:
+/// `features()`/`space()` return empty placeholders and `has_vertex_index`
+/// returns `false`, since the trait gives them no error channel.
+pub struct RemoteEngine {
+    conn: Mutex<Connection>,
+    name: String,
+}
+
+impl RemoteEngine {
+    /// Dial a server.
+    pub fn connect(addr: &str) -> GdbResult<RemoteEngine> {
+        let conn = Connection::connect(addr)?;
+        let name = conn.engine_name().to_string();
+        Ok(RemoteEngine {
+            conn: Mutex::new(conn),
+            name,
+        })
+    }
+
+    /// Swap the server's engine for a fresh one (and forget any retained
+    /// dataset / prepared workload). The benchmark analogue of dropping and
+    /// recreating a database.
+    pub fn reset(&self) -> GdbResult<()> {
+        expect_unit(self.call(&Request::Reset)?)
+    }
+
+    /// Resolve workload parameters server-side (required before
+    /// [`RemoteEngine::exec_op`]). `seed`/`slots` must match the driver's.
+    pub fn prepare(&self, seed: u64, slots: u32) -> GdbResult<()> {
+        expect_unit(self.call(&Request::Prepare { seed, slots })?)
+    }
+
+    /// Execute one whole driver op server-side in a single round trip.
+    pub fn exec_op(
+        &self,
+        op: Op,
+        worker: usize,
+        op_index: u64,
+        timeout: Duration,
+    ) -> GdbResult<u64> {
+        expect_u64(self.call(&Request::ExecOp {
+            worker: worker as u32,
+            op_index,
+            timeout_micros: timeout.as_micros().min(u64::MAX as u128) as u64,
+            op,
+        })?)
+    }
+
+    fn call(&self, req: &Request) -> GdbResult<Response> {
+        self.conn
+            .lock()
+            .map_err(|_| GdbError::Poisoned("remote connection mutex poisoned".into()))?
+            .call(req)
+    }
+}
+
+fn expect_unit(rsp: Response) -> GdbResult<()> {
+    match rsp {
+        Response::Unit => Ok(()),
+        other => Err(protocol_mismatch("Unit", &other)),
+    }
+}
+
+fn expect_u64(rsp: Response) -> GdbResult<u64> {
+    match rsp {
+        Response::U64(v) => Ok(v),
+        other => Err(protocol_mismatch("U64", &other)),
+    }
+}
+
+fn expect_opt_u64(rsp: Response) -> GdbResult<Option<u64>> {
+    match rsp {
+        Response::OptU64(v) => Ok(v),
+        other => Err(protocol_mismatch("OptU64", &other)),
+    }
+}
+
+fn expect_u64_list(rsp: Response) -> GdbResult<Vec<u64>> {
+    match rsp {
+        Response::U64List(v) => Ok(v),
+        other => Err(protocol_mismatch("U64List", &other)),
+    }
+}
+
+fn expect_str_list(rsp: Response) -> GdbResult<Vec<String>> {
+    match rsp {
+        Response::StrList(v) => Ok(v),
+        other => Err(protocol_mismatch("StrList", &other)),
+    }
+}
+
+fn expect_opt_value(rsp: Response) -> GdbResult<Option<Value>> {
+    match rsp {
+        Response::OptValue(v) => Ok(v),
+        other => Err(protocol_mismatch("OptValue", &other)),
+    }
+}
+
+impl GraphDb for RemoteEngine {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn features(&self) -> EngineFeatures {
+        match self.call(&Request::Features) {
+            Ok(Response::Features(f)) => f,
+            _ => EngineFeatures {
+                name: self.name.clone(),
+                system_type: "Remote".into(),
+                storage: "network-attached (features unavailable)".into(),
+                edge_traversal: "remote".into(),
+                optimized_adapter: false,
+                async_writes: false,
+                attribute_indexes: false,
+            },
+        }
+    }
+
+    fn bulk_load(&mut self, data: &Dataset, opts: &LoadOptions) -> GdbResult<LoadStats> {
+        match self.call(&Request::BulkLoad {
+            opts: opts.clone(),
+            data: data.clone(),
+        })? {
+            Response::Load(stats) => Ok(stats),
+            other => Err(protocol_mismatch("Load", &other)),
+        }
+    }
+
+    fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
+        expect_opt_u64(self.call(&Request::ResolveVertex(canonical)).ok()?)
+            .ok()?
+            .map(Vid)
+    }
+
+    fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
+        expect_opt_u64(self.call(&Request::ResolveEdge(canonical)).ok()?)
+            .ok()?
+            .map(Eid)
+    }
+
+    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
+        expect_u64(self.call(&Request::AddVertex {
+            label: label.to_string(),
+            props: props.clone(),
+        })?)
+        .map(Vid)
+    }
+
+    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
+        expect_u64(self.call(&Request::AddEdge {
+            src: src.0,
+            dst: dst.0,
+            label: label.to_string(),
+            props: props.clone(),
+        })?)
+        .map(Eid)
+    }
+
+    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
+        expect_unit(self.call(&Request::SetVertexProp {
+            v: v.0,
+            name: name.to_string(),
+            value,
+        })?)
+    }
+
+    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
+        expect_unit(self.call(&Request::SetEdgeProp {
+            e: e.0,
+            name: name.to_string(),
+            value,
+        })?)
+    }
+
+    fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
+        expect_u64(self.call(&Request::VertexCount { t: t_of(ctx) })?)
+    }
+
+    fn edge_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
+        expect_u64(self.call(&Request::EdgeCount { t: t_of(ctx) })?)
+    }
+
+    fn edge_label_set(&self, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
+        expect_str_list(self.call(&Request::EdgeLabelSet { t: t_of(ctx) })?)
+    }
+
+    fn vertices_with_property(
+        &self,
+        name: &str,
+        value: &Value,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Vid>> {
+        Ok(expect_u64_list(self.call(&Request::VerticesWithProperty {
+            name: name.to_string(),
+            value: value.clone(),
+            t: t_of(ctx),
+        })?)?
+        .into_iter()
+        .map(Vid)
+        .collect())
+    }
+
+    fn edges_with_property(
+        &self,
+        name: &str,
+        value: &Value,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Eid>> {
+        Ok(expect_u64_list(self.call(&Request::EdgesWithProperty {
+            name: name.to_string(),
+            value: value.clone(),
+            t: t_of(ctx),
+        })?)?
+        .into_iter()
+        .map(Eid)
+        .collect())
+    }
+
+    fn edges_with_label(&self, label: &str, ctx: &QueryCtx) -> GdbResult<Vec<Eid>> {
+        Ok(expect_u64_list(self.call(&Request::EdgesWithLabel {
+            label: label.to_string(),
+            t: t_of(ctx),
+        })?)?
+        .into_iter()
+        .map(Eid)
+        .collect())
+    }
+
+    fn vertex(&self, v: Vid) -> GdbResult<Option<VertexData>> {
+        match self.call(&Request::GetVertex(v.0))? {
+            Response::OptVertex(v) => Ok(v),
+            other => Err(protocol_mismatch("OptVertex", &other)),
+        }
+    }
+
+    fn edge(&self, e: Eid) -> GdbResult<Option<EdgeData>> {
+        match self.call(&Request::GetEdge(e.0))? {
+            Response::OptEdge(e) => Ok(e),
+            other => Err(protocol_mismatch("OptEdge", &other)),
+        }
+    }
+
+    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
+        expect_unit(self.call(&Request::RemoveVertex(v.0))?)
+    }
+
+    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
+        expect_unit(self.call(&Request::RemoveEdge(e.0))?)
+    }
+
+    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        expect_opt_value(self.call(&Request::RemoveVertexProp {
+            v: v.0,
+            name: name.to_string(),
+        })?)
+    }
+
+    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        expect_opt_value(self.call(&Request::RemoveEdgeProp {
+            e: e.0,
+            name: name.to_string(),
+        })?)
+    }
+
+    fn neighbors(
+        &self,
+        v: Vid,
+        dir: Direction,
+        label: Option<&str>,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Vid>> {
+        Ok(expect_u64_list(self.call(&Request::Neighbors {
+            v: v.0,
+            dir,
+            label: label.map(str::to_string),
+            t: t_of(ctx),
+        })?)?
+        .into_iter()
+        .map(Vid)
+        .collect())
+    }
+
+    fn vertex_edges(
+        &self,
+        v: Vid,
+        dir: Direction,
+        label: Option<&str>,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<EdgeRef>> {
+        match self.call(&Request::VertexEdges {
+            v: v.0,
+            dir,
+            label: label.map(str::to_string),
+            t: t_of(ctx),
+        })? {
+            Response::EdgeRefs(refs) => Ok(refs),
+            other => Err(protocol_mismatch("EdgeRefs", &other)),
+        }
+    }
+
+    fn vertex_degree(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<u64> {
+        expect_u64(self.call(&Request::VertexDegree {
+            v: v.0,
+            dir,
+            t: t_of(ctx),
+        })?)
+    }
+
+    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
+        expect_str_list(self.call(&Request::VertexEdgeLabels {
+            v: v.0,
+            dir,
+            t: t_of(ctx),
+        })?)
+    }
+
+    fn scan_vertices<'a>(
+        &'a self,
+        ctx: &'a QueryCtx,
+    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Vid>> + 'a>> {
+        // The server materializes the scan (honoring the forwarded deadline)
+        // and ships the ids in one response; the client then iterates the
+        // buffered ids. A mid-scan server timeout surfaces as Err here.
+        let ids = expect_u64_list(self.call(&Request::ScanVertices { t: t_of(ctx) })?)?;
+        Ok(Box::new(ids.into_iter().map(|v| Ok(Vid(v)))))
+    }
+
+    fn scan_edges<'a>(
+        &'a self,
+        ctx: &'a QueryCtx,
+    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Eid>> + 'a>> {
+        let ids = expect_u64_list(self.call(&Request::ScanEdges { t: t_of(ctx) })?)?;
+        Ok(Box::new(ids.into_iter().map(|e| Ok(Eid(e)))))
+    }
+
+    fn vertex_property(&self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        expect_opt_value(self.call(&Request::VertexProperty {
+            v: v.0,
+            name: name.to_string(),
+        })?)
+    }
+
+    fn edge_property(&self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        expect_opt_value(self.call(&Request::EdgeProperty {
+            e: e.0,
+            name: name.to_string(),
+        })?)
+    }
+
+    fn edge_endpoints(&self, e: Eid) -> GdbResult<Option<(Vid, Vid)>> {
+        match self.call(&Request::EdgeEndpoints(e.0))? {
+            Response::OptPair(p) => Ok(p.map(|(s, d)| (Vid(s), Vid(d)))),
+            other => Err(protocol_mismatch("OptPair", &other)),
+        }
+    }
+
+    fn edge_label(&self, e: Eid) -> GdbResult<Option<String>> {
+        match self.call(&Request::EdgeLabel(e.0))? {
+            Response::OptStr(s) => Ok(s),
+            other => Err(protocol_mismatch("OptStr", &other)),
+        }
+    }
+
+    fn vertex_label(&self, v: Vid) -> GdbResult<Option<String>> {
+        match self.call(&Request::VertexLabel(v.0))? {
+            Response::OptStr(s) => Ok(s),
+            other => Err(protocol_mismatch("OptStr", &other)),
+        }
+    }
+
+    fn degree_scan(&self, dir: Direction, k: u64, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        // One frame instead of the default per-vertex decomposition: the
+        // *hosted* engine's own strategy answers, so per-engine physical
+        // differences survive the wire.
+        Ok(expect_u64_list(self.call(&Request::DegreeScan {
+            dir,
+            k,
+            t: t_of(ctx),
+        })?)?
+        .into_iter()
+        .map(Vid)
+        .collect())
+    }
+
+    fn distinct_neighbor_scan(&self, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        Ok(
+            expect_u64_list(self.call(&Request::DistinctNeighborScan { dir, t: t_of(ctx) })?)?
+                .into_iter()
+                .map(Vid)
+                .collect(),
+        )
+    }
+
+    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
+        expect_unit(self.call(&Request::CreateVertexIndex {
+            prop: prop.to_string(),
+        })?)
+    }
+
+    fn has_vertex_index(&self, prop: &str) -> bool {
+        matches!(
+            self.call(&Request::HasVertexIndex {
+                prop: prop.to_string(),
+            }),
+            Ok(Response::Bool(true))
+        )
+    }
+
+    fn space(&self) -> SpaceReport {
+        match self.call(&Request::Space) {
+            Ok(Response::Space(report)) => report,
+            _ => SpaceReport::default(),
+        }
+    }
+
+    fn sync(&mut self) -> GdbResult<()> {
+        expect_unit(self.call(&Request::Sync)?)
+    }
+}
+
+// ----- workload backend ----------------------------------------------------
+
+/// The network transport for the workload driver: each worker dials its own
+/// connection (N independent benchmark clients), and every driver op is one
+/// `ExecOp` frame executed server-side.
+///
+/// Construct via [`run_remote`] (which also resets/loads/prepares the
+/// server), or directly when the server is already set up.
+pub struct RemoteBackend {
+    addr: String,
+    engine: String,
+    op_timeout: Duration,
+}
+
+impl RemoteBackend {
+    /// Point at a server that is already loaded and prepared.
+    pub fn new(addr: impl Into<String>, engine: impl Into<String>, op_timeout: Duration) -> Self {
+        RemoteBackend {
+            addr: addr.into(),
+            engine: engine.into(),
+            op_timeout,
+        }
+    }
+}
+
+impl Backend for RemoteBackend {
+    fn engine(&self) -> String {
+        self.engine.clone()
+    }
+
+    fn open_session(&self, _worker: usize) -> GdbResult<Box<dyn Session + '_>> {
+        Ok(Box::new(RemoteSession {
+            conn: Connection::connect(&self.addr)?,
+            op_timeout: self.op_timeout,
+        }))
+    }
+}
+
+struct RemoteSession {
+    conn: Connection,
+    op_timeout: Duration,
+}
+
+impl Session for RemoteSession {
+    fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<u64> {
+        let rsp = self.conn.call(&Request::ExecOp {
+            worker: worker as u32,
+            op_index,
+            timeout_micros: self.op_timeout.as_micros().min(u64::MAX as u128) as u64,
+            op,
+        })?;
+        expect_u64(rsp)
+    }
+}
+
+/// Set up `addr`'s server for a fresh run (reset, ship + bulk-load `data`,
+/// sync, prepare workload parameters from `cfg.seed`), then drive the
+/// configured workload over the wire with `cfg.threads` client connections.
+///
+/// The resulting [`RunReport`] is shaped exactly like an in-process one, so
+/// it flows through `ScalingRow`/`render_scaling`/CSV unchanged — with
+/// dispatch and serialization cost now *inside* every latency sample.
+pub fn run_remote(addr: &str, data: &Dataset, cfg: &WorkloadConfig) -> GdbResult<RunReport> {
+    let backend = setup_remote(addr, data, cfg)?;
+    run_backend(&backend, &data.name, cfg)
+}
+
+/// Like [`run_remote`], but replays the per-worker sequences serially over
+/// one connection at a time (closed loop) — the network-attached sequential
+/// reference.
+pub fn run_remote_sequential(
+    addr: &str,
+    data: &Dataset,
+    cfg: &WorkloadConfig,
+) -> GdbResult<RunReport> {
+    let backend = setup_remote(addr, data, cfg)?;
+    run_backend_sequential(&backend, &data.name, cfg)
+}
+
+fn setup_remote(addr: &str, data: &Dataset, cfg: &WorkloadConfig) -> GdbResult<RemoteBackend> {
+    let mut ctl = RemoteEngine::connect(addr)?;
+    ctl.reset()?;
+    ctl.bulk_load(data, &LoadOptions::default())?;
+    ctl.sync()?;
+    ctl.prepare(cfg.seed, WORKLOAD_SLOTS as u32)?;
+    Ok(RemoteBackend::new(addr, ctl.name(), cfg.op_timeout))
+}

@@ -1,0 +1,41 @@
+//! # gm-net — socket server front-end and remote-engine client
+//!
+//! The paper evaluates every system in its real client/server deployment:
+//! queries cross a driver/wire boundary before touching the store, so
+//! dispatch and serialization cost — a dominant term for sub-millisecond
+//! microbenchmark ops — is part of every measurement. This crate adds that
+//! boundary to graphmark:
+//!
+//! * [`wire`] — length-prefixed frames and a total (panic-free,
+//!   allocation-guarded) byte codec, reusing the storage layer's `Value`
+//!   encoding;
+//! * [`proto`] — the versioned request/response message set: one request
+//!   per [`GraphDb`](gm_model::GraphDb) primitive plus `ExecOp` frames that
+//!   ship a whole driver op ([`QueryId`](gm_core::catalog::QueryId) + swept
+//!   params) for server-side execution, and responses carrying result
+//!   payloads or losslessly round-tripped
+//!   [`GdbError`](gm_model::GdbError)s;
+//! * [`server`] — a std-only (tokio-free) TCP server hosting any engine
+//!   behind the workload driver's shared `RwLock`, thread-per-connection
+//!   with naturally pipelined request handling; the `gm-server` binary
+//!   hosts any registry engine from the command line;
+//! * [`client`] — [`client::RemoteEngine`] implements `GraphDb` over the
+//!   wire (drops into `catalog::execute` and the sequential `Runner`
+//!   unchanged), and [`client::RemoteBackend`] plugs the same socket into
+//!   the concurrent workload driver: one connection per worker, closed-loop
+//!   / open-loop / bounded-overload pacing all unchanged
+//!   ([`client::run_remote`]).
+//!
+//! Determinism contract: a read-only workload driven through
+//! [`client::run_remote`] over loopback produces per-op results identical
+//! to the in-process sequential replay — enforced for every engine by
+//! `tests/loopback.rs`.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use client::{run_remote, run_remote_sequential, Connection, RemoteBackend, RemoteEngine};
+pub use proto::{Request, Response, MAGIC, PROTO_VERSION};
+pub use server::{EngineFactory, Server, ServerHandle};

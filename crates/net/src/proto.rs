@@ -1,0 +1,1339 @@
+//! The gm-net message set: versioned request/response frames.
+//!
+//! A connection starts with a [`Request::Hello`] carrying [`MAGIC`] and
+//! [`PROTO_VERSION`]; the server answers [`Response::HelloAck`] (or an error
+//! frame) before anything else. After the handshake the client may send any
+//! number of requests; the server answers each **in order**, so clients are
+//! free to pipeline (send several requests before reading the first
+//! response) — the per-connection handler is a plain read→execute→write
+//! loop, which makes pipelining safe by construction.
+//!
+//! Two request families share the connection:
+//!
+//! * **primitive calls** — one frame per [`GraphDb`](gm_model::GraphDb)
+//!   method, used by `RemoteEngine` to implement the trait transparently
+//!   (client-side query decomposition, one round trip per primitive);
+//! * **workload frames** — [`Request::ExecOp`] ships a whole driver op
+//!   ([`QueryInstance`] by query id + swept params, or a CUD write) and the
+//!   server executes it against its resolved parameters in one round trip,
+//!   which is how real client/server deployments execute Gremlin
+//!   server-side.
+
+use gm_core::catalog::{QueryId, QueryInstance};
+use gm_model::api::{Direction, EdgeRef, EngineFeatures, LoadOptions, LoadStats, SpaceReport};
+use gm_model::{Dataset, DsEdge, DsVertex, EdgeData, GdbError, GdbResult, Value, VertexData};
+use gm_workload::{Op, WriteOp};
+
+use crate::wire::{self, Cur};
+
+/// Wire magic: `"GMNT"`.
+pub const MAGIC: u32 = 0x474D_4E54;
+
+/// Protocol version; bumped on any frame-format change. The server refuses
+/// mismatched clients at handshake instead of misparsing their frames.
+pub const PROTO_VERSION: u16 = 1;
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake; must be the first frame on a connection.
+    Hello {
+        /// Must equal [`MAGIC`].
+        magic: u32,
+        /// Must equal [`PROTO_VERSION`].
+        version: u16,
+    },
+    /// Replace the hosted engine with a fresh one from the server's factory
+    /// and forget any loaded dataset / prepared workload.
+    Reset,
+    /// Ship a dataset and bulk-load it into the hosted engine. The server
+    /// retains the dataset so a later [`Request::Prepare`] can derive
+    /// workload parameters from it.
+    BulkLoad {
+        /// Load options.
+        opts: LoadOptions,
+        /// The canonical dataset, shipped in full.
+        data: Dataset,
+    },
+    /// Resolve workload parameters server-side: `Workload::choose(data,
+    /// seed, slots)` against the retained dataset, resolved on the hosted
+    /// engine. Required before [`Request::ExecOp`].
+    Prepare {
+        /// Workload seed (must match the driver's).
+        seed: u64,
+        /// Victim/pair slot count (must match the driver's).
+        slots: u32,
+    },
+    /// Execute one driver op server-side in a single round trip.
+    ExecOp {
+        /// Issuing worker index (parameterizes writes).
+        worker: u32,
+        /// Op index within the worker's sequence.
+        op_index: u64,
+        /// Read deadline in microseconds (0 = unbounded).
+        timeout_micros: u64,
+        /// The op itself.
+        op: Op,
+    },
+    /// `GraphDb::features`.
+    Features,
+    /// `GraphDb::resolve_vertex`.
+    ResolveVertex(u64),
+    /// `GraphDb::resolve_edge`.
+    ResolveEdge(u64),
+    /// `GraphDb::add_vertex`.
+    AddVertex {
+        /// Vertex label.
+        label: String,
+        /// Properties.
+        props: Vec<(String, Value)>,
+    },
+    /// `GraphDb::add_edge`.
+    AddEdge {
+        /// Source vertex (internal id).
+        src: u64,
+        /// Destination vertex (internal id).
+        dst: u64,
+        /// Edge label.
+        label: String,
+        /// Properties.
+        props: Vec<(String, Value)>,
+    },
+    /// `GraphDb::set_vertex_property`.
+    SetVertexProp {
+        /// Vertex.
+        v: u64,
+        /// Property name.
+        name: String,
+        /// Property value.
+        value: Value,
+    },
+    /// `GraphDb::set_edge_property`.
+    SetEdgeProp {
+        /// Edge.
+        e: u64,
+        /// Property name.
+        name: String,
+        /// Property value.
+        value: Value,
+    },
+    /// `GraphDb::vertex_count` (`t` = read deadline in µs, 0 = unbounded).
+    VertexCount {
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::edge_count`.
+    EdgeCount {
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::edge_label_set`.
+    EdgeLabelSet {
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::vertices_with_property`.
+    VerticesWithProperty {
+        /// Property name.
+        name: String,
+        /// Property value.
+        value: Value,
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::edges_with_property`.
+    EdgesWithProperty {
+        /// Property name.
+        name: String,
+        /// Property value.
+        value: Value,
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::edges_with_label`.
+    EdgesWithLabel {
+        /// Edge label.
+        label: String,
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::vertex` (Q14 materialization).
+    GetVertex(u64),
+    /// `GraphDb::edge` (Q15 materialization).
+    GetEdge(u64),
+    /// `GraphDb::remove_vertex`.
+    RemoveVertex(u64),
+    /// `GraphDb::remove_edge`.
+    RemoveEdge(u64),
+    /// `GraphDb::remove_vertex_property`.
+    RemoveVertexProp {
+        /// Vertex.
+        v: u64,
+        /// Property name.
+        name: String,
+    },
+    /// `GraphDb::remove_edge_property`.
+    RemoveEdgeProp {
+        /// Edge.
+        e: u64,
+        /// Property name.
+        name: String,
+    },
+    /// `GraphDb::neighbors`.
+    Neighbors {
+        /// Vertex.
+        v: u64,
+        /// Direction.
+        dir: Direction,
+        /// Optional label filter.
+        label: Option<String>,
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::vertex_edges`.
+    VertexEdges {
+        /// Vertex.
+        v: u64,
+        /// Direction.
+        dir: Direction,
+        /// Optional label filter.
+        label: Option<String>,
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::vertex_degree`.
+    VertexDegree {
+        /// Vertex.
+        v: u64,
+        /// Direction.
+        dir: Direction,
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::vertex_edge_labels`.
+    VertexEdgeLabels {
+        /// Vertex.
+        v: u64,
+        /// Direction.
+        dir: Direction,
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::scan_vertices`, materialized server-side.
+    ScanVertices {
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::scan_edges`, materialized server-side.
+    ScanEdges {
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::vertex_property`.
+    VertexProperty {
+        /// Vertex.
+        v: u64,
+        /// Property name.
+        name: String,
+    },
+    /// `GraphDb::edge_property`.
+    EdgeProperty {
+        /// Edge.
+        e: u64,
+        /// Property name.
+        name: String,
+    },
+    /// `GraphDb::edge_endpoints`.
+    EdgeEndpoints(u64),
+    /// `GraphDb::edge_label`.
+    EdgeLabel(u64),
+    /// `GraphDb::vertex_label`.
+    VertexLabel(u64),
+    /// `GraphDb::degree_scan` — executed by the *hosted engine's* strategy,
+    /// so per-engine physical differences survive the wire.
+    DegreeScan {
+        /// Direction.
+        dir: Direction,
+        /// Degree threshold.
+        k: u64,
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::distinct_neighbor_scan`.
+    DistinctNeighborScan {
+        /// Direction.
+        dir: Direction,
+        /// Deadline µs.
+        t: u64,
+    },
+    /// `GraphDb::create_vertex_index`.
+    CreateVertexIndex {
+        /// Property name.
+        prop: String,
+    },
+    /// `GraphDb::has_vertex_index`.
+    HasVertexIndex {
+        /// Property name.
+        prop: String,
+    },
+    /// `GraphDb::space`.
+    Space,
+    /// `GraphDb::sync`.
+    Sync,
+}
+
+/// A server→client message. [`Response::Err`] may answer any request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake acknowledgement.
+    HelloAck {
+        /// Server protocol version.
+        version: u16,
+        /// Hosted engine's display name.
+        engine: String,
+    },
+    /// Success with no payload.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A u64 (counts, cardinalities, degrees).
+    U64(u64),
+    /// An optional u64 (id resolution).
+    OptU64(Option<u64>),
+    /// A list of ids (vertex or edge scans, filters).
+    U64List(Vec<u64>),
+    /// A list of strings (label sets).
+    StrList(Vec<String>),
+    /// An optional value (property lookups / removals).
+    OptValue(Option<Value>),
+    /// An optional string (label lookups).
+    OptStr(Option<String>),
+    /// Optional edge endpoints.
+    OptPair(Option<(u64, u64)>),
+    /// Incident-edge list.
+    EdgeRefs(Vec<EdgeRef>),
+    /// Materialized vertex.
+    OptVertex(Option<VertexData>),
+    /// Materialized edge.
+    OptEdge(Option<EdgeData>),
+    /// Bulk-load outcome.
+    Load(LoadStats),
+    /// Engine feature description.
+    Features(EngineFeatures),
+    /// Space report.
+    Space(SpaceReport),
+    /// The request failed with this engine error (round-tripped losslessly).
+    Err(GdbError),
+}
+
+impl Response {
+    /// Short kind name, used in protocol-mismatch diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::HelloAck { .. } => "HelloAck",
+            Response::Unit => "Unit",
+            Response::Bool(_) => "Bool",
+            Response::U64(_) => "U64",
+            Response::OptU64(_) => "OptU64",
+            Response::U64List(_) => "U64List",
+            Response::StrList(_) => "StrList",
+            Response::OptValue(_) => "OptValue",
+            Response::OptStr(_) => "OptStr",
+            Response::OptPair(_) => "OptPair",
+            Response::EdgeRefs(_) => "EdgeRefs",
+            Response::OptVertex(_) => "OptVertex",
+            Response::OptEdge(_) => "OptEdge",
+            Response::Load(_) => "Load",
+            Response::Features(_) => "Features",
+            Response::Space(_) => "Space",
+            Response::Err(_) => "Err",
+        }
+    }
+}
+
+// ----- shared field codecs -------------------------------------------------
+
+fn put_direction(out: &mut Vec<u8>, dir: Direction) {
+    wire::put_u8(
+        out,
+        match dir {
+            Direction::In => 0,
+            Direction::Out => 1,
+            Direction::Both => 2,
+        },
+    );
+}
+
+fn get_direction(cur: &mut Cur<'_>) -> GdbResult<Direction> {
+    match cur.u8()? {
+        0 => Ok(Direction::In),
+        1 => Ok(Direction::Out),
+        2 => Ok(Direction::Both),
+        d => Err(GdbError::Corrupt(format!("wire: unknown direction {d}"))),
+    }
+}
+
+fn put_instance(out: &mut Vec<u8>, inst: &QueryInstance) {
+    wire::put_u8(out, inst.id.number());
+    match inst.depth {
+        None => wire::put_bool(out, false),
+        Some(d) => {
+            wire::put_bool(out, true);
+            wire::put_u8(out, d);
+        }
+    }
+    match inst.k {
+        None => wire::put_bool(out, false),
+        Some(k) => {
+            wire::put_bool(out, true);
+            wire::put_u64(out, k);
+        }
+    }
+}
+
+fn get_instance(cur: &mut Cur<'_>) -> GdbResult<QueryInstance> {
+    let number = cur.u8()?;
+    let id = *QueryId::ALL
+        .get(number.wrapping_sub(1) as usize)
+        .ok_or_else(|| GdbError::Corrupt(format!("wire: unknown query number {number}")))?;
+    let depth = if cur.bool_()? { Some(cur.u8()?) } else { None };
+    let k = if cur.bool_()? { Some(cur.u64()?) } else { None };
+    Ok(QueryInstance { id, depth, k })
+}
+
+fn put_op(out: &mut Vec<u8>, op: &Op) {
+    match op {
+        Op::Read(inst) => {
+            wire::put_u8(out, 0);
+            put_instance(out, inst);
+        }
+        Op::Write(wop) => {
+            wire::put_u8(out, 1);
+            wire::put_u8(
+                out,
+                match wop {
+                    WriteOp::AddVertex => 0,
+                    WriteOp::AddEdge => 1,
+                    WriteOp::SetVertexProp => 2,
+                    WriteOp::RemoveOwnEdge => 3,
+                },
+            );
+        }
+    }
+}
+
+fn get_op(cur: &mut Cur<'_>) -> GdbResult<Op> {
+    match cur.u8()? {
+        0 => Ok(Op::Read(get_instance(cur)?)),
+        1 => Ok(Op::Write(match cur.u8()? {
+            0 => WriteOp::AddVertex,
+            1 => WriteOp::AddEdge,
+            2 => WriteOp::SetVertexProp,
+            3 => WriteOp::RemoveOwnEdge,
+            w => return Err(GdbError::Corrupt(format!("wire: unknown write op {w}"))),
+        })),
+        t => Err(GdbError::Corrupt(format!("wire: unknown op tag {t}"))),
+    }
+}
+
+fn put_dataset(out: &mut Vec<u8>, data: &Dataset) {
+    wire::put_str(out, &data.name);
+    wire::put_u32(out, data.vertices.len() as u32);
+    for v in &data.vertices {
+        wire::put_str(out, &v.label);
+        wire::put_props(out, &v.props);
+    }
+    wire::put_u32(out, data.edges.len() as u32);
+    for e in &data.edges {
+        wire::put_u64(out, e.src);
+        wire::put_u64(out, e.dst);
+        wire::put_str(out, &e.label);
+        wire::put_props(out, &e.props);
+    }
+}
+
+fn get_dataset(cur: &mut Cur<'_>) -> GdbResult<Dataset> {
+    let name = cur.str_()?;
+    let nv = cur.list_len("dataset vertices")?;
+    let mut vertices = Vec::with_capacity(nv);
+    for id in 0..nv {
+        vertices.push(DsVertex {
+            id: id as u64,
+            label: cur.str_()?,
+            props: cur.props()?,
+        });
+    }
+    let ne = cur.list_len("dataset edges")?;
+    let mut edges = Vec::with_capacity(ne);
+    for id in 0..ne {
+        edges.push(DsEdge {
+            id: id as u64,
+            src: cur.u64()?,
+            dst: cur.u64()?,
+            label: cur.str_()?,
+            props: cur.props()?,
+        });
+    }
+    let data = Dataset {
+        name,
+        vertices,
+        edges,
+    };
+    data.validate().map_err(GdbError::Corrupt)?;
+    Ok(data)
+}
+
+fn put_u64_list(out: &mut Vec<u8>, xs: &[u64]) {
+    wire::put_u32(out, xs.len() as u32);
+    for x in xs {
+        wire::put_u64(out, *x);
+    }
+}
+
+fn get_u64_list(cur: &mut Cur<'_>) -> GdbResult<Vec<u64>> {
+    let n = cur.list_len("u64 list")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(cur.u64()?);
+    }
+    Ok(out)
+}
+
+fn put_str_list(out: &mut Vec<u8>, xs: &[String]) {
+    wire::put_u32(out, xs.len() as u32);
+    for x in xs {
+        wire::put_str(out, x);
+    }
+}
+
+fn get_str_list(cur: &mut Cur<'_>) -> GdbResult<Vec<String>> {
+    let n = cur.list_len("string list")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(cur.str_()?);
+    }
+    Ok(out)
+}
+
+// ----- request codec -------------------------------------------------------
+
+mod req_op {
+    pub const HELLO: u8 = 0x01;
+    pub const RESET: u8 = 0x02;
+    pub const BULK_LOAD: u8 = 0x03;
+    pub const PREPARE: u8 = 0x04;
+    pub const EXEC_OP: u8 = 0x05;
+    pub const FEATURES: u8 = 0x10;
+    pub const RESOLVE_VERTEX: u8 = 0x11;
+    pub const RESOLVE_EDGE: u8 = 0x12;
+    pub const ADD_VERTEX: u8 = 0x13;
+    pub const ADD_EDGE: u8 = 0x14;
+    pub const SET_VERTEX_PROP: u8 = 0x15;
+    pub const SET_EDGE_PROP: u8 = 0x16;
+    pub const VERTEX_COUNT: u8 = 0x17;
+    pub const EDGE_COUNT: u8 = 0x18;
+    pub const EDGE_LABEL_SET: u8 = 0x19;
+    pub const VERTICES_WITH_PROPERTY: u8 = 0x1A;
+    pub const EDGES_WITH_PROPERTY: u8 = 0x1B;
+    pub const EDGES_WITH_LABEL: u8 = 0x1C;
+    pub const GET_VERTEX: u8 = 0x1D;
+    pub const GET_EDGE: u8 = 0x1E;
+    pub const REMOVE_VERTEX: u8 = 0x1F;
+    pub const REMOVE_EDGE: u8 = 0x20;
+    pub const REMOVE_VERTEX_PROP: u8 = 0x21;
+    pub const REMOVE_EDGE_PROP: u8 = 0x22;
+    pub const NEIGHBORS: u8 = 0x23;
+    pub const VERTEX_EDGES: u8 = 0x24;
+    pub const VERTEX_DEGREE: u8 = 0x25;
+    pub const VERTEX_EDGE_LABELS: u8 = 0x26;
+    pub const SCAN_VERTICES: u8 = 0x27;
+    pub const SCAN_EDGES: u8 = 0x28;
+    pub const VERTEX_PROPERTY: u8 = 0x29;
+    pub const EDGE_PROPERTY: u8 = 0x2A;
+    pub const EDGE_ENDPOINTS: u8 = 0x2B;
+    pub const EDGE_LABEL: u8 = 0x2C;
+    pub const VERTEX_LABEL: u8 = 0x2D;
+    pub const DEGREE_SCAN: u8 = 0x2E;
+    pub const DISTINCT_NEIGHBOR_SCAN: u8 = 0x2F;
+    pub const CREATE_VERTEX_INDEX: u8 = 0x30;
+    pub const HAS_VERTEX_INDEX: u8 = 0x31;
+    pub const SPACE: u8 = 0x32;
+    pub const SYNC: u8 = 0x33;
+}
+
+impl Request {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        use req_op::*;
+        let mut out = Vec::new();
+        match self {
+            Request::Hello { magic, version } => {
+                wire::put_u8(&mut out, HELLO);
+                wire::put_u32(&mut out, *magic);
+                wire::put_u16(&mut out, *version);
+            }
+            Request::Reset => wire::put_u8(&mut out, RESET),
+            Request::BulkLoad { opts, data } => {
+                wire::put_u8(&mut out, BULK_LOAD);
+                wire::put_bool(&mut out, opts.bulk);
+                wire::put_bool(&mut out, opts.index_during_load);
+                put_dataset(&mut out, data);
+            }
+            Request::Prepare { seed, slots } => {
+                wire::put_u8(&mut out, PREPARE);
+                wire::put_u64(&mut out, *seed);
+                wire::put_u32(&mut out, *slots);
+            }
+            Request::ExecOp {
+                worker,
+                op_index,
+                timeout_micros,
+                op,
+            } => {
+                wire::put_u8(&mut out, EXEC_OP);
+                wire::put_u32(&mut out, *worker);
+                wire::put_u64(&mut out, *op_index);
+                wire::put_u64(&mut out, *timeout_micros);
+                put_op(&mut out, op);
+            }
+            Request::Features => wire::put_u8(&mut out, FEATURES),
+            Request::ResolveVertex(c) => {
+                wire::put_u8(&mut out, RESOLVE_VERTEX);
+                wire::put_u64(&mut out, *c);
+            }
+            Request::ResolveEdge(c) => {
+                wire::put_u8(&mut out, RESOLVE_EDGE);
+                wire::put_u64(&mut out, *c);
+            }
+            Request::AddVertex { label, props } => {
+                wire::put_u8(&mut out, ADD_VERTEX);
+                wire::put_str(&mut out, label);
+                wire::put_props(&mut out, props);
+            }
+            Request::AddEdge {
+                src,
+                dst,
+                label,
+                props,
+            } => {
+                wire::put_u8(&mut out, ADD_EDGE);
+                wire::put_u64(&mut out, *src);
+                wire::put_u64(&mut out, *dst);
+                wire::put_str(&mut out, label);
+                wire::put_props(&mut out, props);
+            }
+            Request::SetVertexProp { v, name, value } => {
+                wire::put_u8(&mut out, SET_VERTEX_PROP);
+                wire::put_u64(&mut out, *v);
+                wire::put_str(&mut out, name);
+                wire::put_value(&mut out, value);
+            }
+            Request::SetEdgeProp { e, name, value } => {
+                wire::put_u8(&mut out, SET_EDGE_PROP);
+                wire::put_u64(&mut out, *e);
+                wire::put_str(&mut out, name);
+                wire::put_value(&mut out, value);
+            }
+            Request::VertexCount { t } => {
+                wire::put_u8(&mut out, VERTEX_COUNT);
+                wire::put_u64(&mut out, *t);
+            }
+            Request::EdgeCount { t } => {
+                wire::put_u8(&mut out, EDGE_COUNT);
+                wire::put_u64(&mut out, *t);
+            }
+            Request::EdgeLabelSet { t } => {
+                wire::put_u8(&mut out, EDGE_LABEL_SET);
+                wire::put_u64(&mut out, *t);
+            }
+            Request::VerticesWithProperty { name, value, t } => {
+                wire::put_u8(&mut out, VERTICES_WITH_PROPERTY);
+                wire::put_str(&mut out, name);
+                wire::put_value(&mut out, value);
+                wire::put_u64(&mut out, *t);
+            }
+            Request::EdgesWithProperty { name, value, t } => {
+                wire::put_u8(&mut out, EDGES_WITH_PROPERTY);
+                wire::put_str(&mut out, name);
+                wire::put_value(&mut out, value);
+                wire::put_u64(&mut out, *t);
+            }
+            Request::EdgesWithLabel { label, t } => {
+                wire::put_u8(&mut out, EDGES_WITH_LABEL);
+                wire::put_str(&mut out, label);
+                wire::put_u64(&mut out, *t);
+            }
+            Request::GetVertex(v) => {
+                wire::put_u8(&mut out, GET_VERTEX);
+                wire::put_u64(&mut out, *v);
+            }
+            Request::GetEdge(e) => {
+                wire::put_u8(&mut out, GET_EDGE);
+                wire::put_u64(&mut out, *e);
+            }
+            Request::RemoveVertex(v) => {
+                wire::put_u8(&mut out, REMOVE_VERTEX);
+                wire::put_u64(&mut out, *v);
+            }
+            Request::RemoveEdge(e) => {
+                wire::put_u8(&mut out, REMOVE_EDGE);
+                wire::put_u64(&mut out, *e);
+            }
+            Request::RemoveVertexProp { v, name } => {
+                wire::put_u8(&mut out, REMOVE_VERTEX_PROP);
+                wire::put_u64(&mut out, *v);
+                wire::put_str(&mut out, name);
+            }
+            Request::RemoveEdgeProp { e, name } => {
+                wire::put_u8(&mut out, REMOVE_EDGE_PROP);
+                wire::put_u64(&mut out, *e);
+                wire::put_str(&mut out, name);
+            }
+            Request::Neighbors { v, dir, label, t } => {
+                wire::put_u8(&mut out, NEIGHBORS);
+                wire::put_u64(&mut out, *v);
+                put_direction(&mut out, *dir);
+                wire::put_opt_str(&mut out, label.as_deref());
+                wire::put_u64(&mut out, *t);
+            }
+            Request::VertexEdges { v, dir, label, t } => {
+                wire::put_u8(&mut out, VERTEX_EDGES);
+                wire::put_u64(&mut out, *v);
+                put_direction(&mut out, *dir);
+                wire::put_opt_str(&mut out, label.as_deref());
+                wire::put_u64(&mut out, *t);
+            }
+            Request::VertexDegree { v, dir, t } => {
+                wire::put_u8(&mut out, VERTEX_DEGREE);
+                wire::put_u64(&mut out, *v);
+                put_direction(&mut out, *dir);
+                wire::put_u64(&mut out, *t);
+            }
+            Request::VertexEdgeLabels { v, dir, t } => {
+                wire::put_u8(&mut out, VERTEX_EDGE_LABELS);
+                wire::put_u64(&mut out, *v);
+                put_direction(&mut out, *dir);
+                wire::put_u64(&mut out, *t);
+            }
+            Request::ScanVertices { t } => {
+                wire::put_u8(&mut out, SCAN_VERTICES);
+                wire::put_u64(&mut out, *t);
+            }
+            Request::ScanEdges { t } => {
+                wire::put_u8(&mut out, SCAN_EDGES);
+                wire::put_u64(&mut out, *t);
+            }
+            Request::VertexProperty { v, name } => {
+                wire::put_u8(&mut out, VERTEX_PROPERTY);
+                wire::put_u64(&mut out, *v);
+                wire::put_str(&mut out, name);
+            }
+            Request::EdgeProperty { e, name } => {
+                wire::put_u8(&mut out, EDGE_PROPERTY);
+                wire::put_u64(&mut out, *e);
+                wire::put_str(&mut out, name);
+            }
+            Request::EdgeEndpoints(e) => {
+                wire::put_u8(&mut out, EDGE_ENDPOINTS);
+                wire::put_u64(&mut out, *e);
+            }
+            Request::EdgeLabel(e) => {
+                wire::put_u8(&mut out, EDGE_LABEL);
+                wire::put_u64(&mut out, *e);
+            }
+            Request::VertexLabel(v) => {
+                wire::put_u8(&mut out, VERTEX_LABEL);
+                wire::put_u64(&mut out, *v);
+            }
+            Request::DegreeScan { dir, k, t } => {
+                wire::put_u8(&mut out, DEGREE_SCAN);
+                put_direction(&mut out, *dir);
+                wire::put_u64(&mut out, *k);
+                wire::put_u64(&mut out, *t);
+            }
+            Request::DistinctNeighborScan { dir, t } => {
+                wire::put_u8(&mut out, DISTINCT_NEIGHBOR_SCAN);
+                put_direction(&mut out, *dir);
+                wire::put_u64(&mut out, *t);
+            }
+            Request::CreateVertexIndex { prop } => {
+                wire::put_u8(&mut out, CREATE_VERTEX_INDEX);
+                wire::put_str(&mut out, prop);
+            }
+            Request::HasVertexIndex { prop } => {
+                wire::put_u8(&mut out, HAS_VERTEX_INDEX);
+                wire::put_str(&mut out, prop);
+            }
+            Request::Space => wire::put_u8(&mut out, SPACE),
+            Request::Sync => wire::put_u8(&mut out, SYNC),
+        }
+        out
+    }
+
+    /// Decode a frame payload. Rejects unknown opcodes, malformed fields
+    /// and trailing bytes with [`GdbError::Corrupt`].
+    pub fn decode(buf: &[u8]) -> GdbResult<Request> {
+        use req_op::*;
+        let mut cur = Cur::new(buf);
+        let req = match cur.u8()? {
+            HELLO => Request::Hello {
+                magic: cur.u32()?,
+                version: cur.u16()?,
+            },
+            RESET => Request::Reset,
+            BULK_LOAD => {
+                let opts = LoadOptions {
+                    bulk: cur.bool_()?,
+                    index_during_load: cur.bool_()?,
+                };
+                Request::BulkLoad {
+                    opts,
+                    data: get_dataset(&mut cur)?,
+                }
+            }
+            PREPARE => Request::Prepare {
+                seed: cur.u64()?,
+                slots: cur.u32()?,
+            },
+            EXEC_OP => Request::ExecOp {
+                worker: cur.u32()?,
+                op_index: cur.u64()?,
+                timeout_micros: cur.u64()?,
+                op: get_op(&mut cur)?,
+            },
+            FEATURES => Request::Features,
+            RESOLVE_VERTEX => Request::ResolveVertex(cur.u64()?),
+            RESOLVE_EDGE => Request::ResolveEdge(cur.u64()?),
+            ADD_VERTEX => Request::AddVertex {
+                label: cur.str_()?,
+                props: cur.props()?,
+            },
+            ADD_EDGE => Request::AddEdge {
+                src: cur.u64()?,
+                dst: cur.u64()?,
+                label: cur.str_()?,
+                props: cur.props()?,
+            },
+            SET_VERTEX_PROP => Request::SetVertexProp {
+                v: cur.u64()?,
+                name: cur.str_()?,
+                value: cur.value()?,
+            },
+            SET_EDGE_PROP => Request::SetEdgeProp {
+                e: cur.u64()?,
+                name: cur.str_()?,
+                value: cur.value()?,
+            },
+            VERTEX_COUNT => Request::VertexCount { t: cur.u64()? },
+            EDGE_COUNT => Request::EdgeCount { t: cur.u64()? },
+            EDGE_LABEL_SET => Request::EdgeLabelSet { t: cur.u64()? },
+            VERTICES_WITH_PROPERTY => Request::VerticesWithProperty {
+                name: cur.str_()?,
+                value: cur.value()?,
+                t: cur.u64()?,
+            },
+            EDGES_WITH_PROPERTY => Request::EdgesWithProperty {
+                name: cur.str_()?,
+                value: cur.value()?,
+                t: cur.u64()?,
+            },
+            EDGES_WITH_LABEL => Request::EdgesWithLabel {
+                label: cur.str_()?,
+                t: cur.u64()?,
+            },
+            GET_VERTEX => Request::GetVertex(cur.u64()?),
+            GET_EDGE => Request::GetEdge(cur.u64()?),
+            REMOVE_VERTEX => Request::RemoveVertex(cur.u64()?),
+            REMOVE_EDGE => Request::RemoveEdge(cur.u64()?),
+            REMOVE_VERTEX_PROP => Request::RemoveVertexProp {
+                v: cur.u64()?,
+                name: cur.str_()?,
+            },
+            REMOVE_EDGE_PROP => Request::RemoveEdgeProp {
+                e: cur.u64()?,
+                name: cur.str_()?,
+            },
+            NEIGHBORS => Request::Neighbors {
+                v: cur.u64()?,
+                dir: get_direction(&mut cur)?,
+                label: cur.opt_str()?,
+                t: cur.u64()?,
+            },
+            VERTEX_EDGES => Request::VertexEdges {
+                v: cur.u64()?,
+                dir: get_direction(&mut cur)?,
+                label: cur.opt_str()?,
+                t: cur.u64()?,
+            },
+            VERTEX_DEGREE => Request::VertexDegree {
+                v: cur.u64()?,
+                dir: get_direction(&mut cur)?,
+                t: cur.u64()?,
+            },
+            VERTEX_EDGE_LABELS => Request::VertexEdgeLabels {
+                v: cur.u64()?,
+                dir: get_direction(&mut cur)?,
+                t: cur.u64()?,
+            },
+            SCAN_VERTICES => Request::ScanVertices { t: cur.u64()? },
+            SCAN_EDGES => Request::ScanEdges { t: cur.u64()? },
+            VERTEX_PROPERTY => Request::VertexProperty {
+                v: cur.u64()?,
+                name: cur.str_()?,
+            },
+            EDGE_PROPERTY => Request::EdgeProperty {
+                e: cur.u64()?,
+                name: cur.str_()?,
+            },
+            EDGE_ENDPOINTS => Request::EdgeEndpoints(cur.u64()?),
+            EDGE_LABEL => Request::EdgeLabel(cur.u64()?),
+            VERTEX_LABEL => Request::VertexLabel(cur.u64()?),
+            DEGREE_SCAN => Request::DegreeScan {
+                dir: get_direction(&mut cur)?,
+                k: cur.u64()?,
+                t: cur.u64()?,
+            },
+            DISTINCT_NEIGHBOR_SCAN => Request::DistinctNeighborScan {
+                dir: get_direction(&mut cur)?,
+                t: cur.u64()?,
+            },
+            CREATE_VERTEX_INDEX => Request::CreateVertexIndex { prop: cur.str_()? },
+            HAS_VERTEX_INDEX => Request::HasVertexIndex { prop: cur.str_()? },
+            SPACE => Request::Space,
+            SYNC => Request::Sync,
+            op => {
+                return Err(GdbError::Corrupt(format!(
+                    "wire: unknown request op {op:#x}"
+                )))
+            }
+        };
+        cur.finish()?;
+        Ok(req)
+    }
+}
+
+// ----- response codec ------------------------------------------------------
+
+mod rsp_op {
+    pub const HELLO_ACK: u8 = 0x80;
+    pub const UNIT: u8 = 0x81;
+    pub const BOOL: u8 = 0x82;
+    pub const U64: u8 = 0x83;
+    pub const OPT_U64: u8 = 0x84;
+    pub const U64_LIST: u8 = 0x85;
+    pub const STR_LIST: u8 = 0x86;
+    pub const OPT_VALUE: u8 = 0x87;
+    pub const OPT_STR: u8 = 0x88;
+    pub const OPT_PAIR: u8 = 0x89;
+    pub const EDGE_REFS: u8 = 0x8A;
+    pub const OPT_VERTEX: u8 = 0x8B;
+    pub const OPT_EDGE: u8 = 0x8C;
+    pub const LOAD: u8 = 0x8D;
+    pub const FEATURES: u8 = 0x8E;
+    pub const SPACE: u8 = 0x8F;
+    pub const ERR: u8 = 0xFF;
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        use rsp_op::*;
+        let mut out = Vec::new();
+        match self {
+            Response::HelloAck { version, engine } => {
+                wire::put_u8(&mut out, HELLO_ACK);
+                wire::put_u16(&mut out, *version);
+                wire::put_str(&mut out, engine);
+            }
+            Response::Unit => wire::put_u8(&mut out, UNIT),
+            Response::Bool(b) => {
+                wire::put_u8(&mut out, BOOL);
+                wire::put_bool(&mut out, *b);
+            }
+            Response::U64(v) => {
+                wire::put_u8(&mut out, U64);
+                wire::put_u64(&mut out, *v);
+            }
+            Response::OptU64(v) => {
+                wire::put_u8(&mut out, OPT_U64);
+                match v {
+                    None => wire::put_bool(&mut out, false),
+                    Some(v) => {
+                        wire::put_bool(&mut out, true);
+                        wire::put_u64(&mut out, *v);
+                    }
+                }
+            }
+            Response::U64List(xs) => {
+                wire::put_u8(&mut out, U64_LIST);
+                put_u64_list(&mut out, xs);
+            }
+            Response::StrList(xs) => {
+                wire::put_u8(&mut out, STR_LIST);
+                put_str_list(&mut out, xs);
+            }
+            Response::OptValue(v) => {
+                wire::put_u8(&mut out, OPT_VALUE);
+                match v {
+                    None => wire::put_bool(&mut out, false),
+                    Some(v) => {
+                        wire::put_bool(&mut out, true);
+                        wire::put_value(&mut out, v);
+                    }
+                }
+            }
+            Response::OptStr(s) => {
+                wire::put_u8(&mut out, OPT_STR);
+                wire::put_opt_str(&mut out, s.as_deref());
+            }
+            Response::OptPair(p) => {
+                wire::put_u8(&mut out, OPT_PAIR);
+                match p {
+                    None => wire::put_bool(&mut out, false),
+                    Some((a, b)) => {
+                        wire::put_bool(&mut out, true);
+                        wire::put_u64(&mut out, *a);
+                        wire::put_u64(&mut out, *b);
+                    }
+                }
+            }
+            Response::EdgeRefs(refs) => {
+                wire::put_u8(&mut out, EDGE_REFS);
+                wire::put_u32(&mut out, refs.len() as u32);
+                for r in refs {
+                    wire::put_u64(&mut out, r.eid.0);
+                    wire::put_u64(&mut out, r.other.0);
+                }
+            }
+            Response::OptVertex(v) => {
+                wire::put_u8(&mut out, OPT_VERTEX);
+                match v {
+                    None => wire::put_bool(&mut out, false),
+                    Some(v) => {
+                        wire::put_bool(&mut out, true);
+                        wire::put_u64(&mut out, v.id.0);
+                        wire::put_str(&mut out, &v.label);
+                        wire::put_props(&mut out, &v.props);
+                    }
+                }
+            }
+            Response::OptEdge(e) => {
+                wire::put_u8(&mut out, OPT_EDGE);
+                match e {
+                    None => wire::put_bool(&mut out, false),
+                    Some(e) => {
+                        wire::put_bool(&mut out, true);
+                        wire::put_u64(&mut out, e.id.0);
+                        wire::put_u64(&mut out, e.src.0);
+                        wire::put_u64(&mut out, e.dst.0);
+                        wire::put_str(&mut out, &e.label);
+                        wire::put_props(&mut out, &e.props);
+                    }
+                }
+            }
+            Response::Load(stats) => {
+                wire::put_u8(&mut out, LOAD);
+                wire::put_u64(&mut out, stats.vertices);
+                wire::put_u64(&mut out, stats.edges);
+            }
+            Response::Features(f) => {
+                wire::put_u8(&mut out, FEATURES);
+                wire::put_str(&mut out, &f.name);
+                wire::put_str(&mut out, &f.system_type);
+                wire::put_str(&mut out, &f.storage);
+                wire::put_str(&mut out, &f.edge_traversal);
+                wire::put_bool(&mut out, f.optimized_adapter);
+                wire::put_bool(&mut out, f.async_writes);
+                wire::put_bool(&mut out, f.attribute_indexes);
+            }
+            Response::Space(report) => {
+                wire::put_u8(&mut out, SPACE);
+                wire::put_u32(&mut out, report.components.len() as u32);
+                for (name, bytes) in &report.components {
+                    wire::put_str(&mut out, name);
+                    wire::put_u64(&mut out, *bytes);
+                }
+            }
+            Response::Err(e) => {
+                wire::put_u8(&mut out, ERR);
+                wire::put_error(&mut out, e);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(buf: &[u8]) -> GdbResult<Response> {
+        use gm_model::{Eid, Vid};
+        use rsp_op::*;
+        let mut cur = Cur::new(buf);
+        let rsp = match cur.u8()? {
+            HELLO_ACK => Response::HelloAck {
+                version: cur.u16()?,
+                engine: cur.str_()?,
+            },
+            UNIT => Response::Unit,
+            BOOL => Response::Bool(cur.bool_()?),
+            U64 => Response::U64(cur.u64()?),
+            OPT_U64 => Response::OptU64(if cur.bool_()? { Some(cur.u64()?) } else { None }),
+            U64_LIST => Response::U64List(get_u64_list(&mut cur)?),
+            STR_LIST => Response::StrList(get_str_list(&mut cur)?),
+            OPT_VALUE => Response::OptValue(if cur.bool_()? {
+                Some(cur.value()?)
+            } else {
+                None
+            }),
+            OPT_STR => Response::OptStr(cur.opt_str()?),
+            OPT_PAIR => Response::OptPair(if cur.bool_()? {
+                Some((cur.u64()?, cur.u64()?))
+            } else {
+                None
+            }),
+            EDGE_REFS => {
+                let n = cur.list_len("edge refs")?;
+                let mut refs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    refs.push(EdgeRef {
+                        eid: Eid(cur.u64()?),
+                        other: Vid(cur.u64()?),
+                    });
+                }
+                Response::EdgeRefs(refs)
+            }
+            OPT_VERTEX => Response::OptVertex(if cur.bool_()? {
+                Some(VertexData {
+                    id: Vid(cur.u64()?),
+                    label: cur.str_()?,
+                    props: cur.props()?,
+                })
+            } else {
+                None
+            }),
+            OPT_EDGE => Response::OptEdge(if cur.bool_()? {
+                Some(EdgeData {
+                    id: Eid(cur.u64()?),
+                    src: Vid(cur.u64()?),
+                    dst: Vid(cur.u64()?),
+                    label: cur.str_()?,
+                    props: cur.props()?,
+                })
+            } else {
+                None
+            }),
+            LOAD => Response::Load(LoadStats {
+                vertices: cur.u64()?,
+                edges: cur.u64()?,
+            }),
+            FEATURES => Response::Features(EngineFeatures {
+                name: cur.str_()?,
+                system_type: cur.str_()?,
+                storage: cur.str_()?,
+                edge_traversal: cur.str_()?,
+                optimized_adapter: cur.bool_()?,
+                async_writes: cur.bool_()?,
+                attribute_indexes: cur.bool_()?,
+            }),
+            SPACE => {
+                let n = cur.list_len("space components")?;
+                let mut report = SpaceReport::default();
+                for _ in 0..n {
+                    let name = cur.str_()?;
+                    let bytes = cur.u64()?;
+                    report.add(name, bytes);
+                }
+                Response::Space(report)
+            }
+            ERR => Response::Err(wire::get_error(&mut cur)?),
+            op => {
+                return Err(GdbError::Corrupt(format!(
+                    "wire: unknown response op {op:#x}"
+                )))
+            }
+        };
+        cur.finish()?;
+        Ok(rsp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_model::testkit;
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = vec![
+            Request::Hello {
+                magic: MAGIC,
+                version: PROTO_VERSION,
+            },
+            Request::Reset,
+            Request::Prepare {
+                seed: 42,
+                slots: 16,
+            },
+            Request::ExecOp {
+                worker: 3,
+                op_index: 99,
+                timeout_micros: 5_000_000,
+                op: Op::Read(QueryInstance {
+                    id: QueryId::Q32,
+                    depth: Some(3),
+                    k: None,
+                }),
+            },
+            Request::ExecOp {
+                worker: 0,
+                op_index: 0,
+                timeout_micros: 0,
+                op: Op::Write(WriteOp::RemoveOwnEdge),
+            },
+            Request::Neighbors {
+                v: 7,
+                dir: Direction::Both,
+                label: Some("knows".into()),
+                t: 123,
+            },
+            Request::DegreeScan {
+                dir: Direction::In,
+                k: 4,
+                t: 0,
+            },
+            Request::VerticesWithProperty {
+                name: "name".into(),
+                value: Value::Str("ann".into()),
+                t: 1,
+            },
+            Request::Space,
+            Request::Sync,
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn dataset_ships_whole() {
+        let data = testkit::chain_dataset(40);
+        let req = Request::BulkLoad {
+            opts: LoadOptions::default(),
+            data: data.clone(),
+        };
+        let bytes = req.encode();
+        match Request::decode(&bytes).unwrap() {
+            Request::BulkLoad { data: back, .. } => {
+                assert_eq!(back.name, data.name);
+                assert_eq!(back.vertices, data.vertices);
+                assert_eq!(back.edges, data.edges);
+            }
+            other => panic!("wrong request decoded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        use gm_model::{Eid, Vid};
+        let rsps = vec![
+            Response::HelloAck {
+                version: PROTO_VERSION,
+                engine: "linked(v2)".into(),
+            },
+            Response::Unit,
+            Response::Bool(true),
+            Response::U64(7),
+            Response::OptU64(None),
+            Response::OptU64(Some(3)),
+            Response::U64List(vec![1, 2, 3]),
+            Response::StrList(vec!["a".into(), "b".into()]),
+            Response::OptValue(Some(Value::Float(1.5))),
+            Response::OptStr(Some("knows".into())),
+            Response::OptPair(Some((4, 5))),
+            Response::EdgeRefs(vec![EdgeRef {
+                eid: Eid(1),
+                other: Vid(2),
+            }]),
+            Response::OptVertex(Some(VertexData {
+                id: Vid(9),
+                label: "person".into(),
+                props: vec![("name".into(), Value::Str("ann".into()))],
+            })),
+            Response::OptEdge(Some(EdgeData {
+                id: Eid(1),
+                src: Vid(2),
+                dst: Vid(3),
+                label: "knows".into(),
+                props: vec![],
+            })),
+            Response::Load(LoadStats {
+                vertices: 10,
+                edges: 20,
+            }),
+            Response::Space({
+                let mut r = SpaceReport::default();
+                r.add("node records", 4096);
+                r
+            }),
+            Response::Err(GdbError::Poisoned("writer panicked".into())),
+        ];
+        for rsp in rsps {
+            let bytes = rsp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), rsp, "{rsp:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcodes_rejected() {
+        assert!(matches!(
+            Request::decode(&[0x7F]),
+            Err(GdbError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Response::decode(&[0x00]),
+            Err(GdbError::Corrupt(_))
+        ));
+        assert!(matches!(Request::decode(&[]), Err(GdbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Request::Reset.encode();
+        bytes.push(0xAB);
+        assert!(matches!(Request::decode(&bytes), Err(GdbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn mutation_query_number_decodes_but_is_flagged() {
+        // Encoding a mutating QueryInstance inside Op::Read is representable
+        // on the wire; the *server* rejects it (catalog::execute_read would
+        // panic). Make sure decode itself stays total.
+        let req = Request::ExecOp {
+            worker: 0,
+            op_index: 0,
+            timeout_micros: 0,
+            op: Op::Read(QueryInstance::plain(QueryId::Q2)),
+        };
+        let back = Request::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn bad_query_number_rejected() {
+        let mut bytes = Request::ExecOp {
+            worker: 0,
+            op_index: 0,
+            timeout_micros: 0,
+            op: Op::Read(QueryInstance::plain(QueryId::Q8)),
+        }
+        .encode();
+        // Patch the query number (offset: op(1)+worker(4)+op_index(8)+t(8)+tag(1)).
+        bytes[22] = 99;
+        assert!(matches!(Request::decode(&bytes), Err(GdbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn response_kind_names_cover_mismatch_diagnostics() {
+        assert_eq!(Response::Unit.kind(), "Unit");
+        assert_eq!(Response::Err(GdbError::Timeout).kind(), "Err");
+    }
+}

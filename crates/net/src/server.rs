@@ -1,0 +1,500 @@
+//! The std-only TCP engine server.
+//!
+//! One [`Server`] hosts one engine behind the same `RwLock` contract the
+//! in-process driver uses — concurrent connections execute reads under the
+//! shared lock while writes serialize under the exclusive one — with a
+//! thread-per-connection accept loop. Each connection is a plain
+//! read→execute→respond loop, so **pipelined** clients (several requests in
+//! flight on one connection) are handled naturally: responses come back in
+//! request order.
+//!
+//! The server is deliberately tokio-free: the paper's systems all expose a
+//! blocking socket server per client connection, and a thread-per-connection
+//! std server reproduces that deployment shape with no runtime dependency.
+//!
+//! State machine per connection: [`Request::Hello`] first (magic + version
+//! checked, [`Response::HelloAck`] returned), then any mix of primitive
+//! `GraphDb` calls and workload frames. `Reset` → `BulkLoad` → `Prepare` →
+//! `ExecOp…` is the canonical benchmarking sequence (see
+//! [`crate::client::run_remote`]).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+use std::time::Duration;
+
+use gm_core::catalog;
+use gm_core::params::{ResolvedParams, Workload};
+use gm_model::{Dataset, Eid, GdbError, GdbResult, GraphDb, QueryCtx, Vid};
+use gm_workload::{apply_write, Op};
+
+use crate::proto::{Request, Response, MAGIC, PROTO_VERSION};
+use crate::wire;
+
+/// Factory producing fresh, empty engines — what `Reset` swaps in.
+pub type EngineFactory = Box<dyn Fn() -> Box<dyn GraphDb> + Send + Sync>;
+
+/// Everything the connection handlers share.
+struct Hosted {
+    factory: EngineFactory,
+    engine: RwLock<Box<dyn GraphDb>>,
+    /// Dataset retained from the last `BulkLoad`, for `Prepare`.
+    data: Mutex<Option<Dataset>>,
+    /// Workload parameters resolved by `Prepare`, snapshotted per op.
+    params: RwLock<Option<Arc<ResolvedParams>>>,
+    /// Bumped by every `Reset`. Connections stamp their `owned_edges` pool
+    /// with the generation it was filled under and discard it when the
+    /// engine has since been replaced — a stale `Eid` from a discarded
+    /// engine must never delete an edge of the freshly loaded one.
+    generation: AtomicU64,
+}
+
+impl Hosted {
+    fn poisoned(side: &str) -> GdbError {
+        GdbError::Poisoned(format!(
+            "server: engine {side} lock poisoned by a panicking writer"
+        ))
+    }
+
+    fn engine_name(&self) -> GdbResult<String> {
+        Ok(self
+            .engine
+            .read()
+            .map_err(|_| Self::poisoned("read"))?
+            .name())
+    }
+}
+
+/// A bound, not-yet-running engine server.
+pub struct Server {
+    listener: TcpListener,
+    hosted: Arc<Hosted>,
+    stop: Arc<AtomicBool>,
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (use `"127.0.0.1:0"` at bind time to get an
+    /// OS-assigned loopback port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread. Connections
+    /// already open keep working until their clients hang up; they hold only
+    /// an `Arc` to the hosted engine.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.join.join();
+    }
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `"127.0.0.1:7687"` or `"127.0.0.1:0"`), hosting
+    /// engines produced by `factory`. One engine is created immediately so
+    /// the server is usable before any `Reset`.
+    pub fn bind(addr: &str, factory: EngineFactory) -> GdbResult<Server> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| GdbError::Io(format!("binding {addr}: {e}")))?;
+        let engine = factory();
+        Ok(Server {
+            listener,
+            hosted: Arc::new(Hosted {
+                factory,
+                engine: RwLock::new(engine),
+                data: Mutex::new(None),
+                params: RwLock::new(None),
+                generation: AtomicU64::new(0),
+            }),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> GdbResult<SocketAddr> {
+        self.listener
+            .local_addr()
+            .map_err(|e| GdbError::Io(e.to_string()))
+    }
+
+    /// Run the accept loop on the current thread until shutdown (the
+    /// `gm-server` binary's main loop).
+    pub fn run(self) {
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    let hosted = Arc::clone(&self.hosted);
+                    thread::spawn(move || handle_conn(stream, hosted));
+                }
+                Err(e) => eprintln!("[gm-server] accept failed: {e}"),
+            }
+        }
+    }
+
+    /// Run the accept loop on a background thread; returns a handle with
+    /// the bound address and a shutdown switch.
+    pub fn spawn(self) -> GdbResult<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::clone(&self.stop);
+        let join = thread::spawn(move || self.run());
+        Ok(ServerHandle { addr, stop, join })
+    }
+}
+
+/// Deadline context from a wire timeout (0 = unbounded).
+fn ctx_for(timeout_micros: u64) -> QueryCtx {
+    if timeout_micros == 0 {
+        QueryCtx::unbounded()
+    } else {
+        QueryCtx::with_timeout(Duration::from_micros(timeout_micros))
+    }
+}
+
+fn handle_conn(stream: TcpStream, hosted: Arc<Hosted>) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[gm-server] cannot clone stream: {e}");
+            return;
+        }
+    };
+    let mut writer = stream;
+
+    // Handshake first: anything else (or a magic/version mismatch) gets one
+    // error frame and the connection is closed — never misparse an
+    // incompatible peer.
+    match read_request(&mut reader) {
+        Ok(Request::Hello { magic, version }) if magic == MAGIC && version == PROTO_VERSION => {
+            let rsp = match hosted.engine_name() {
+                Ok(engine) => Response::HelloAck {
+                    version: PROTO_VERSION,
+                    engine,
+                },
+                Err(e) => Response::Err(e),
+            };
+            if write_response(&mut writer, &rsp).is_err() {
+                return;
+            }
+        }
+        Ok(Request::Hello { magic, version }) => {
+            let why = format!(
+                "handshake rejected: magic {magic:#010x} version {version} \
+                 (server speaks magic {MAGIC:#010x} version {PROTO_VERSION})"
+            );
+            let _ = write_response(&mut writer, &Response::Err(GdbError::Invalid(why)));
+            return;
+        }
+        Ok(other) => {
+            let _ = write_response(
+                &mut writer,
+                &Response::Err(GdbError::Invalid(format!(
+                    "first frame must be Hello, got {other:?}"
+                ))),
+            );
+            return;
+        }
+        Err(_) => return, // disconnected or garbage before handshake
+    }
+
+    // Deletions in the driver's write mix target edges *this worker*
+    // created; the pool lives with the connection, mirroring the per-worker
+    // pool of the in-process driver. It is stamped with the engine
+    // generation it was filled under so a `Reset` from *any* connection
+    // invalidates it.
+    let mut owned_edges = OwnedEdges {
+        pool: Vec::new(),
+        generation: hosted.generation.load(Ordering::SeqCst),
+    };
+
+    loop {
+        let req = match wire::read_frame(&mut reader) {
+            Ok(payload) => match Request::decode(&payload) {
+                Ok(req) => req,
+                Err(e) => {
+                    // A frame we cannot parse means the stream is no longer
+                    // trustworthy: answer with the decode error and drop the
+                    // connection rather than guessing at alignment.
+                    let _ = write_response(&mut writer, &Response::Err(e));
+                    return;
+                }
+            },
+            Err(_) => return, // client hung up
+        };
+        let rsp = handle_request(&hosted, req, &mut owned_edges);
+        if write_response(&mut writer, &rsp).is_err() {
+            return;
+        }
+    }
+}
+
+fn read_request(reader: &mut TcpStream) -> GdbResult<Request> {
+    Request::decode(&wire::read_frame(reader)?)
+}
+
+fn write_response(writer: &mut TcpStream, rsp: &Response) -> GdbResult<()> {
+    wire::write_frame(writer, &rsp.encode())
+}
+
+/// A connection's pool of self-created edges, valid only for the engine
+/// generation it was filled under.
+struct OwnedEdges {
+    pool: Vec<Eid>,
+    generation: u64,
+}
+
+impl OwnedEdges {
+    /// The pool for the current engine generation — emptied first if the
+    /// engine was replaced since the pool was filled.
+    fn current(&mut self, hosted: &Hosted) -> &mut Vec<Eid> {
+        let generation = hosted.generation.load(Ordering::SeqCst);
+        if generation != self.generation {
+            self.pool.clear();
+            self.generation = generation;
+        }
+        &mut self.pool
+    }
+}
+
+fn handle_request(hosted: &Hosted, req: Request, owned_edges: &mut OwnedEdges) -> Response {
+    match execute_request(hosted, req, owned_edges) {
+        Ok(rsp) => rsp,
+        Err(e) => Response::Err(e),
+    }
+}
+
+fn execute_request(
+    hosted: &Hosted,
+    req: Request,
+    owned_edges: &mut OwnedEdges,
+) -> GdbResult<Response> {
+    let read = || hosted.engine.read().map_err(|_| Hosted::poisoned("read"));
+    let write = || hosted.engine.write().map_err(|_| Hosted::poisoned("write"));
+    Ok(match req {
+        Request::Hello { .. } => {
+            return Err(GdbError::Invalid("Hello after handshake".into()));
+        }
+        Request::Reset => {
+            {
+                let mut db = write()?;
+                *db = (hosted.factory)();
+            }
+            *hosted
+                .data
+                .lock()
+                .map_err(|_| Hosted::poisoned("dataset"))? = None;
+            *hosted
+                .params
+                .write()
+                .map_err(|_| Hosted::poisoned("params"))? = None;
+            hosted.generation.fetch_add(1, Ordering::SeqCst);
+            Response::Unit
+        }
+        Request::BulkLoad { opts, data } => {
+            let stats = write()?.bulk_load(&data, &opts)?;
+            *hosted
+                .data
+                .lock()
+                .map_err(|_| Hosted::poisoned("dataset"))? = Some(data);
+            Response::Load(stats)
+        }
+        Request::Prepare { seed, slots } => {
+            let data = hosted
+                .data
+                .lock()
+                .map_err(|_| Hosted::poisoned("dataset"))?
+                .clone()
+                .ok_or_else(|| {
+                    GdbError::Invalid("Prepare before BulkLoad: no dataset retained".into())
+                })?;
+            let workload = Workload::choose(&data, seed, slots as usize);
+            let params = workload.resolve(read()?.as_ref())?;
+            *hosted
+                .params
+                .write()
+                .map_err(|_| Hosted::poisoned("params"))? = Some(Arc::new(params));
+            Response::Unit
+        }
+        Request::ExecOp {
+            worker,
+            op_index,
+            timeout_micros,
+            op,
+        } => {
+            let params = hosted
+                .params
+                .read()
+                .map_err(|_| Hosted::poisoned("params"))?
+                .clone()
+                .ok_or_else(|| {
+                    GdbError::Invalid("ExecOp before Prepare: no workload parameters".into())
+                })?;
+            let card = match op {
+                Op::Read(inst) if inst.id.is_mutation() => {
+                    return Err(GdbError::Invalid(format!(
+                        "ExecOp read frame carries mutating query Q{}",
+                        inst.id.number()
+                    )));
+                }
+                Op::Read(inst) => {
+                    let ctx = ctx_for(timeout_micros);
+                    let db = read()?;
+                    catalog::execute_read(&inst, db.as_ref(), &params, &ctx)?
+                }
+                Op::Write(wop) => {
+                    let mut db = write()?;
+                    apply_write(
+                        wop,
+                        db.as_mut(),
+                        &params,
+                        worker as usize,
+                        op_index,
+                        owned_edges.current(hosted),
+                    )?
+                }
+            };
+            Response::U64(card)
+        }
+        Request::Features => Response::Features(read()?.features()),
+        Request::ResolveVertex(c) => Response::OptU64(read()?.resolve_vertex(c).map(|v| v.0)),
+        Request::ResolveEdge(c) => Response::OptU64(read()?.resolve_edge(c).map(|e| e.0)),
+        Request::AddVertex { label, props } => {
+            Response::U64(write()?.add_vertex(&label, &props)?.0)
+        }
+        Request::AddEdge {
+            src,
+            dst,
+            label,
+            props,
+        } => Response::U64(write()?.add_edge(Vid(src), Vid(dst), &label, &props)?.0),
+        Request::SetVertexProp { v, name, value } => {
+            write()?.set_vertex_property(Vid(v), &name, value)?;
+            Response::Unit
+        }
+        Request::SetEdgeProp { e, name, value } => {
+            write()?.set_edge_property(Eid(e), &name, value)?;
+            Response::Unit
+        }
+        Request::VertexCount { t } => Response::U64(read()?.vertex_count(&ctx_for(t))?),
+        Request::EdgeCount { t } => Response::U64(read()?.edge_count(&ctx_for(t))?),
+        Request::EdgeLabelSet { t } => Response::StrList(read()?.edge_label_set(&ctx_for(t))?),
+        Request::VerticesWithProperty { name, value, t } => Response::U64List(
+            read()?
+                .vertices_with_property(&name, &value, &ctx_for(t))?
+                .into_iter()
+                .map(|v| v.0)
+                .collect(),
+        ),
+        Request::EdgesWithProperty { name, value, t } => Response::U64List(
+            read()?
+                .edges_with_property(&name, &value, &ctx_for(t))?
+                .into_iter()
+                .map(|e| e.0)
+                .collect(),
+        ),
+        Request::EdgesWithLabel { label, t } => Response::U64List(
+            read()?
+                .edges_with_label(&label, &ctx_for(t))?
+                .into_iter()
+                .map(|e| e.0)
+                .collect(),
+        ),
+        Request::GetVertex(v) => Response::OptVertex(read()?.vertex(Vid(v))?),
+        Request::GetEdge(e) => Response::OptEdge(read()?.edge(Eid(e))?),
+        Request::RemoveVertex(v) => {
+            write()?.remove_vertex(Vid(v))?;
+            Response::Unit
+        }
+        Request::RemoveEdge(e) => {
+            write()?.remove_edge(Eid(e))?;
+            Response::Unit
+        }
+        Request::RemoveVertexProp { v, name } => {
+            Response::OptValue(write()?.remove_vertex_property(Vid(v), &name)?)
+        }
+        Request::RemoveEdgeProp { e, name } => {
+            Response::OptValue(write()?.remove_edge_property(Eid(e), &name)?)
+        }
+        Request::Neighbors { v, dir, label, t } => Response::U64List(
+            read()?
+                .neighbors(Vid(v), dir, label.as_deref(), &ctx_for(t))?
+                .into_iter()
+                .map(|v| v.0)
+                .collect(),
+        ),
+        Request::VertexEdges { v, dir, label, t } => {
+            Response::EdgeRefs(read()?.vertex_edges(Vid(v), dir, label.as_deref(), &ctx_for(t))?)
+        }
+        Request::VertexDegree { v, dir, t } => {
+            Response::U64(read()?.vertex_degree(Vid(v), dir, &ctx_for(t))?)
+        }
+        Request::VertexEdgeLabels { v, dir, t } => {
+            Response::StrList(read()?.vertex_edge_labels(Vid(v), dir, &ctx_for(t))?)
+        }
+        Request::ScanVertices { t } => {
+            let ctx = ctx_for(t);
+            let db = read()?;
+            let mut out = Vec::new();
+            for v in db.scan_vertices(&ctx)? {
+                out.push(v?.0);
+            }
+            Response::U64List(out)
+        }
+        Request::ScanEdges { t } => {
+            let ctx = ctx_for(t);
+            let db = read()?;
+            let mut out = Vec::new();
+            for e in db.scan_edges(&ctx)? {
+                out.push(e?.0);
+            }
+            Response::U64List(out)
+        }
+        Request::VertexProperty { v, name } => {
+            Response::OptValue(read()?.vertex_property(Vid(v), &name)?)
+        }
+        Request::EdgeProperty { e, name } => {
+            Response::OptValue(read()?.edge_property(Eid(e), &name)?)
+        }
+        Request::EdgeEndpoints(e) => {
+            Response::OptPair(read()?.edge_endpoints(Eid(e))?.map(|(s, d)| (s.0, d.0)))
+        }
+        Request::EdgeLabel(e) => Response::OptStr(read()?.edge_label(Eid(e))?),
+        Request::VertexLabel(v) => Response::OptStr(read()?.vertex_label(Vid(v))?),
+        Request::DegreeScan { dir, k, t } => Response::U64List(
+            read()?
+                .degree_scan(dir, k, &ctx_for(t))?
+                .into_iter()
+                .map(|v| v.0)
+                .collect(),
+        ),
+        Request::DistinctNeighborScan { dir, t } => Response::U64List(
+            read()?
+                .distinct_neighbor_scan(dir, &ctx_for(t))?
+                .into_iter()
+                .map(|v| v.0)
+                .collect(),
+        ),
+        Request::CreateVertexIndex { prop } => {
+            write()?.create_vertex_index(&prop)?;
+            Response::Unit
+        }
+        Request::HasVertexIndex { prop } => Response::Bool(read()?.has_vertex_index(&prop)),
+        Request::Space => Response::Space(read()?.space()),
+        Request::Sync => {
+            write()?.sync()?;
+            Response::Unit
+        }
+    })
+}

@@ -1,0 +1,449 @@
+//! Length-prefixed framing and the byte-level codec.
+//!
+//! Every message on a gm-net socket is one **frame**: a 4-byte big-endian
+//! payload length followed by the payload. Inside a payload, fields use the
+//! fixed little-endian / length-prefixed encodings below; [`Value`]s reuse
+//! the tag-prefixed codec the storage engines already serialize records with
+//! (`gm_storage::valcodec`), so the wire format and the on-disk format can
+//! never drift apart.
+//!
+//! Decoding is **total**: truncated or corrupt input is rejected with
+//! [`GdbError::Corrupt`] — never a panic, never an over-allocation (element
+//! counts are validated against the bytes actually present before any
+//! buffer is reserved). The property tests in `tests/prop_wire.rs` fuzz
+//! exactly this contract.
+
+use std::io::{Read, Write};
+
+use gm_model::{GdbError, GdbResult, Props, Value};
+use gm_storage::valcodec;
+
+/// Hard cap on one frame's payload. Large enough for a bulk-loaded dataset
+/// at bench scales, small enough that a corrupt length prefix cannot make
+/// the peer allocate unbounded memory.
+pub const MAX_FRAME: usize = 256 << 20;
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> GdbResult<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(GdbError::Invalid(format!(
+            "frame payload of {} bytes exceeds MAX_FRAME ({MAX_FRAME})",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame's payload. A clean EOF before the first length byte is
+/// reported as `Io("connection closed")`; a length beyond [`MAX_FRAME`] is a
+/// protocol violation ([`GdbError::Corrupt`]).
+pub fn read_frame(r: &mut impl Read) -> GdbResult<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)
+        .map_err(|e| GdbError::Io(format!("reading frame length: {e}")))?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(GdbError::Corrupt(format!(
+            "frame length {len} exceeds MAX_FRAME ({MAX_FRAME})"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| GdbError::Io(format!("reading frame payload: {e}")))?;
+    Ok(payload)
+}
+
+// ----- encoders ------------------------------------------------------------
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a `u16` (LE).
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u32` (LE).
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` (LE).
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `bool` (one byte, 0/1).
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append an optional string (presence byte + string).
+pub fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => put_bool(out, false),
+        Some(s) => {
+            put_bool(out, true);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Append a [`Value`] in the storage codec's tag-prefixed format.
+pub fn put_value(out: &mut Vec<u8>, v: &Value) {
+    valcodec::encode_value(out, v);
+}
+
+/// Append a property list (count + name/value pairs).
+pub fn put_props(out: &mut Vec<u8>, props: &Props) {
+    put_u32(out, props.len() as u32);
+    for (name, value) in props {
+        put_str(out, name);
+        put_value(out, value);
+    }
+}
+
+// ----- decoder -------------------------------------------------------------
+
+/// Bounds-checked cursor over a frame payload. Every accessor fails with
+/// [`GdbError::Corrupt`] instead of panicking when the input is truncated
+/// or malformed.
+pub struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    /// Wrap a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn truncated(what: &str) -> GdbError {
+        GdbError::Corrupt(format!("wire: truncated {what}"))
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> GdbResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| Self::truncated(what))?;
+        let bytes = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> GdbResult<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Read a `u16` (LE).
+    pub fn u16(&mut self) -> GdbResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
+    }
+
+    /// Read a `u32` (LE).
+    pub fn u32(&mut self) -> GdbResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` (LE).
+    pub fn u64(&mut self) -> GdbResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Read a `bool`; any byte other than 0/1 is corrupt.
+    pub fn bool_(&mut self) -> GdbResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(GdbError::Corrupt(format!("wire: invalid bool byte {b}"))),
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str_(&mut self) -> GdbResult<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len, "string body")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| GdbError::Corrupt("wire: string is not UTF-8".into()))
+    }
+
+    /// Read an optional string.
+    pub fn opt_str(&mut self) -> GdbResult<Option<String>> {
+        if self.bool_()? {
+            Ok(Some(self.str_()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read a [`Value`].
+    pub fn value(&mut self) -> GdbResult<Value> {
+        let mut pos = self.pos;
+        let v = valcodec::decode_value(self.buf, &mut pos)
+            .ok_or_else(|| GdbError::Corrupt("wire: malformed value".into()))?;
+        self.pos = pos;
+        Ok(v)
+    }
+
+    /// Read a property list.
+    pub fn props(&mut self) -> GdbResult<Props> {
+        let count = self.list_len("props")?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = self.str_()?;
+            let value = self.value()?;
+            out.push((name, value));
+        }
+        Ok(out)
+    }
+
+    /// Read a list length and validate it against the bytes actually left:
+    /// every element of every wire list encodes to at least one byte, so a
+    /// count beyond `remaining()` can only come from corrupt input — reject
+    /// it *before* any allocation is sized from it.
+    pub fn list_len(&mut self, what: &str) -> GdbResult<usize> {
+        let count = self.u32()? as usize;
+        if count > self.remaining() {
+            return Err(GdbError::Corrupt(format!(
+                "wire: {what} count {count} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+
+    /// Assert the payload is fully consumed (frames carry no trailing junk).
+    pub fn finish(self) -> GdbResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(GdbError::Corrupt(format!(
+                "wire: {} trailing bytes after message",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ----- GdbError round-trip -------------------------------------------------
+
+/// Encode a [`GdbError`] (tag + payload). Every variant round-trips
+/// losslessly so a remote failure surfaces client-side as the *same* error,
+/// not a generic I/O failure.
+pub fn put_error(out: &mut Vec<u8>, e: &GdbError) {
+    match e {
+        GdbError::Timeout => put_u8(out, 0),
+        GdbError::VertexNotFound(id) => {
+            put_u8(out, 1);
+            put_u64(out, *id);
+        }
+        GdbError::EdgeNotFound(id) => {
+            put_u8(out, 2);
+            put_u64(out, *id);
+        }
+        GdbError::Unsupported(s) => {
+            put_u8(out, 3);
+            put_str(out, s);
+        }
+        GdbError::Corrupt(s) => {
+            put_u8(out, 4);
+            put_str(out, s);
+        }
+        GdbError::Invalid(s) => {
+            put_u8(out, 5);
+            put_str(out, s);
+        }
+        GdbError::ResourceExhausted(s) => {
+            put_u8(out, 6);
+            put_str(out, s);
+        }
+        GdbError::Io(s) => {
+            put_u8(out, 7);
+            put_str(out, s);
+        }
+        GdbError::Poisoned(s) => {
+            put_u8(out, 8);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Decode a [`GdbError`].
+pub fn get_error(cur: &mut Cur<'_>) -> GdbResult<GdbError> {
+    Ok(match cur.u8()? {
+        0 => GdbError::Timeout,
+        1 => GdbError::VertexNotFound(cur.u64()?),
+        2 => GdbError::EdgeNotFound(cur.u64()?),
+        3 => GdbError::Unsupported(cur.str_()?),
+        4 => GdbError::Corrupt(cur.str_()?),
+        5 => GdbError::Invalid(cur.str_()?),
+        6 => GdbError::ResourceExhausted(cur.str_()?),
+        7 => GdbError::Io(cur.str_()?),
+        8 => GdbError::Poisoned(cur.str_()?),
+        t => return Err(GdbError::Corrupt(format!("wire: unknown GdbError tag {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut sink = Vec::new();
+        write_frame(&mut sink, b"hello").unwrap();
+        write_frame(&mut sink, b"").unwrap();
+        let mut rd = Cursor::new(sink);
+        assert_eq!(read_frame(&mut rd).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut rd).unwrap(), b"");
+        assert!(matches!(read_frame(&mut rd), Err(GdbError::Io(_))));
+    }
+
+    #[test]
+    fn oversize_frame_length_rejected() {
+        let mut bytes = (u32::MAX).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        let mut rd = Cursor::new(bytes);
+        assert!(matches!(read_frame(&mut rd), Err(GdbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_payload_is_io_not_panic() {
+        // Length says 100, only 3 bytes follow.
+        let mut bytes = 100u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let mut rd = Cursor::new(bytes);
+        assert!(matches!(read_frame(&mut rd), Err(GdbError::Io(_))));
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u16(&mut out, 512);
+        put_u32(&mut out, 70_000);
+        put_u64(&mut out, u64::MAX - 3);
+        put_bool(&mut out, true);
+        put_str(&mut out, "héllo ☃");
+        put_opt_str(&mut out, None);
+        put_opt_str(&mut out, Some("x"));
+        let mut cur = Cur::new(&out);
+        assert_eq!(cur.u8().unwrap(), 7);
+        assert_eq!(cur.u16().unwrap(), 512);
+        assert_eq!(cur.u32().unwrap(), 70_000);
+        assert_eq!(cur.u64().unwrap(), u64::MAX - 3);
+        assert!(cur.bool_().unwrap());
+        assert_eq!(cur.str_().unwrap(), "héllo ☃");
+        assert_eq!(cur.opt_str().unwrap(), None);
+        assert_eq!(cur.opt_str().unwrap(), Some("x".into()));
+        cur.finish().unwrap();
+    }
+
+    #[test]
+    fn value_and_props_round_trip() {
+        let props: Props = vec![
+            ("s".into(), Value::Str("abc".into())),
+            ("i".into(), Value::Int(-42)),
+            ("f".into(), Value::Float(2.5)),
+            ("b".into(), Value::Bool(false)),
+            ("n".into(), Value::Null),
+        ];
+        let mut out = Vec::new();
+        put_props(&mut out, &props);
+        let mut cur = Cur::new(&out);
+        let back = cur.props().unwrap();
+        cur.finish().unwrap();
+        // Compare variant-exactly (Value's PartialEq treats Int(2) ==
+        // Float(2.0); the codec must be stricter than that).
+        assert_eq!(back.len(), props.len());
+        for ((an, av), (bn, bv)) in back.iter().zip(props.iter()) {
+            assert_eq!(an, bn);
+            assert_eq!(av.type_tag(), bv.type_tag());
+            assert_eq!(av, bv);
+        }
+    }
+
+    /// Satellite requirement: every `GdbError` variant must round-trip to
+    /// the same variant — a remote error never collapses into a generic
+    /// I/O error.
+    #[test]
+    fn every_error_variant_round_trips() {
+        let all = vec![
+            GdbError::Timeout,
+            GdbError::VertexNotFound(17),
+            GdbError::EdgeNotFound(u64::MAX),
+            GdbError::Unsupported("no vertex indexes".into()),
+            GdbError::Corrupt("bad page".into()),
+            GdbError::Invalid("empty label".into()),
+            GdbError::ResourceExhausted("bitmap cap".into()),
+            GdbError::Io("disk gone".into()),
+            GdbError::Poisoned("worker 3 panicked".into()),
+        ];
+        for e in &all {
+            let mut out = Vec::new();
+            put_error(&mut out, e);
+            let mut cur = Cur::new(&out);
+            let back = get_error(&mut cur).unwrap();
+            cur.finish().unwrap();
+            assert_eq!(&back, e, "variant must survive the wire");
+            assert_eq!(
+                std::mem::discriminant(&back),
+                std::mem::discriminant(e),
+                "same variant, not just equal payloads"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let mut out = Vec::new();
+        put_str(&mut out, "some payload");
+        put_u64(&mut out, 9);
+        put_props(&mut out, &vec![("k".into(), Value::Int(1))]);
+        for cut in 0..out.len() {
+            let mut cur = Cur::new(&out[..cut]);
+            // Whatever partial reads succeed, nothing may panic and the
+            // final field must fail.
+            let _ = cur.str_().and_then(|_| cur.u64()).and_then(|_| cur.props());
+        }
+    }
+
+    #[test]
+    fn absurd_list_count_rejected_before_allocation() {
+        let mut out = Vec::new();
+        put_u32(&mut out, u32::MAX); // claims 4 billion props
+        let mut cur = Cur::new(&out);
+        assert!(matches!(cur.props(), Err(GdbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 1);
+        put_u8(&mut out, 2);
+        let mut cur = Cur::new(&out);
+        cur.u8().unwrap();
+        assert!(matches!(cur.finish(), Err(GdbError::Corrupt(_))));
+    }
+}

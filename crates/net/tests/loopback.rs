@@ -1,0 +1,336 @@
+//! Loopback integration tests: a real server on `127.0.0.1`, real client
+//! connections, every engine variant.
+//!
+//! The headline guarantee is the cross-engine determinism contract: a
+//! read-only workload driven through the wire produces per-op results
+//! identical to the in-process sequential replay, op for op.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use gm_core::catalog::{QueryId, QueryInstance};
+use gm_core::params::Workload;
+use gm_core::report::{Outcome, RunMode};
+use gm_core::runner::{BenchConfig, Runner};
+use gm_model::api::LoadOptions;
+use gm_model::{testkit, GdbError, GraphDb, QueryCtx, Vid};
+use gm_net::wire;
+use gm_net::{
+    run_remote, Connection, RemoteEngine, Request, Response, Server, ServerHandle, MAGIC,
+    PROTO_VERSION,
+};
+use gm_workload::{run_sequential, MixKind, Pacing, WorkloadConfig};
+use graphmark::registry::EngineKind;
+
+fn spawn_server(kind: EngineKind) -> ServerHandle {
+    Server::bind("127.0.0.1:0", Box::new(move || kind.make()))
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server")
+}
+
+fn cfg(mix: MixKind, threads: u32, ops: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        mix,
+        threads,
+        ops_per_worker: ops,
+        seed: 1234,
+        record_cardinalities: true,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// Acceptance criterion: a read-only workload driven through the wire
+/// produces per-op results identical to the in-process sequential replay on
+/// every engine variant.
+#[test]
+fn remote_read_only_matches_in_process_sequential_on_every_engine() {
+    let data = testkit::chain_dataset(150);
+    for kind in EngineKind::ALL {
+        let server = spawn_server(kind);
+        let addr = server.addr().to_string();
+        let c = cfg(MixKind::ReadOnly, 3, 20);
+        let remote = run_remote(&addr, &data, &c)
+            .unwrap_or_else(|e| panic!("{}: remote run failed: {e}", kind.name()));
+        let factory = move || kind.make();
+        let local = run_sequential(&factory, &data, &c)
+            .unwrap_or_else(|e| panic!("{}: local replay failed: {e}", kind.name()));
+        assert_eq!(
+            remote.cardinality_trace(),
+            local.cardinality_trace(),
+            "{}: network-attached results must match the in-process replay",
+            kind.name()
+        );
+        assert_eq!(remote.errors(), 0, "{}: no op errors", kind.name());
+        assert_eq!(remote.engine, kind.name(), "engine name crosses the wire");
+        server.shutdown();
+    }
+}
+
+/// Mixed read/write workloads complete over the wire too (writes replay
+/// server-side with per-connection owned-edge pools).
+#[test]
+fn remote_mixed_workload_completes() {
+    let data = testkit::chain_dataset(150);
+    let server = spawn_server(EngineKind::LinkedV2);
+    let addr = server.addr().to_string();
+    let c = cfg(MixKind::Mixed, 4, 30);
+    let report = run_remote(&addr, &data, &c).expect("remote mixed run");
+    assert_eq!(report.ops() + report.errors(), 4 * 30);
+    assert_eq!(report.errors(), 0, "no op should fail over loopback");
+    assert!(report.throughput() > 0.0);
+    server.shutdown();
+}
+
+/// Open-loop and bounded-overload pacing work unchanged over the wire: the
+/// driver's shed accounting engages against a loopback server exactly as it
+/// does in-process.
+#[test]
+fn bounded_overload_sheds_over_the_wire() {
+    let data = testkit::chain_dataset(800);
+    let server = spawn_server(EngineKind::LinkedV2);
+    let addr = server.addr().to_string();
+    let c = WorkloadConfig {
+        pacing: Pacing::open_bounded(2_000_000.0, Duration::from_millis(2)),
+        ..cfg(MixKind::ScanHeavy, 2, 600)
+    };
+    let report = run_remote(&addr, &data, &c).expect("remote overload run");
+    assert!(report.shed() > 0, "overload must shed over the wire");
+    assert_eq!(
+        report.ops() + report.errors() + report.shed(),
+        2 * 600,
+        "every scheduled op is completed, errored, or shed"
+    );
+    assert_eq!(report.offered_ops_per_sec, Some(2_000_000.0));
+    server.shutdown();
+}
+
+/// `RemoteEngine` implements `GraphDb` transparently: the sequential
+/// `Runner` and `catalog::execute_read` drive it with client-side query
+/// decomposition, one round trip per primitive.
+///
+/// Read-only instances only: the server hosts a *single* engine, so the
+/// Runner's cached-engine optimization would observe server-side mutations
+/// (in-process it caches a separate never-mutated instance).
+#[test]
+fn remote_engine_drops_into_the_sequential_runner() {
+    let data = testkit::chain_dataset(80);
+    let kind = EngineKind::LinkedV1;
+    let server = spawn_server(kind);
+    let addr = server.addr().to_string();
+
+    let remote_factory = move || -> Box<dyn GraphDb> {
+        let engine = RemoteEngine::connect(&addr).expect("connect");
+        engine.reset().expect("reset");
+        Box::new(engine)
+    };
+    let workload = Workload::choose(&data, 7, 16);
+    let mut runner = Runner::new(&remote_factory, &data, &workload, BenchConfig::default());
+    assert_eq!(runner.engine_name(), kind.name());
+
+    let local_factory = move || kind.make();
+    let mut local_runner = Runner::new(&local_factory, &data, &workload, BenchConfig::default());
+
+    for id in [
+        QueryId::Q8,
+        QueryId::Q9,
+        QueryId::Q14,
+        QueryId::Q23,
+        QueryId::Q27,
+    ] {
+        let inst = QueryInstance::plain(id);
+        let remote = runner.run_instance(&inst, RunMode::Isolation);
+        let local = local_runner.run_instance(&inst, RunMode::Isolation);
+        assert_eq!(remote.outcome, Outcome::Completed, "{id:?}");
+        assert_eq!(
+            remote.cardinality, local.cardinality,
+            "{id:?}: remote runner answer must equal in-process"
+        );
+    }
+    server.shutdown();
+}
+
+/// Error fidelity across the wire: engine errors keep their exact variant
+/// instead of collapsing into a generic I/O error.
+#[test]
+fn remote_errors_keep_their_variant() {
+    let data = testkit::chain_dataset(40);
+    // Linked engine: a missing vertex stays VertexNotFound.
+    let server = spawn_server(EngineKind::LinkedV2);
+    let addr = server.addr().to_string();
+    let mut engine = RemoteEngine::connect(&addr).expect("connect");
+    engine.reset().unwrap();
+    engine.bulk_load(&data, &LoadOptions::default()).unwrap();
+    match engine.remove_vertex(Vid(9_999_999)) {
+        Err(GdbError::VertexNotFound(id)) => assert_eq!(id, 9_999_999),
+        other => panic!("expected VertexNotFound across the wire, got {other:?}"),
+    }
+    match engine.edge_property(gm_model::Eid(9_999_999), "weight") {
+        Err(GdbError::EdgeNotFound(_)) | Ok(None) => {}
+        other => panic!("expected EdgeNotFound or None, got {other:?}"),
+    }
+    server.shutdown();
+
+    // Triple engine: attribute indexes are unsupported — the variant (and
+    // its message) must survive the round trip.
+    let server = spawn_server(EngineKind::Triple);
+    let addr = server.addr().to_string();
+    let mut engine = RemoteEngine::connect(&addr).expect("connect");
+    match engine.create_vertex_index("name") {
+        Err(GdbError::Unsupported(_)) => {}
+        other => panic!("expected Unsupported across the wire, got {other:?}"),
+    }
+    // ExecOp before Prepare is an Invalid protocol-state error.
+    match engine.exec_op(
+        gm_workload::Op::Read(QueryInstance::plain(QueryId::Q8)),
+        0,
+        0,
+        Duration::from_secs(1),
+    ) {
+        Err(GdbError::Invalid(why)) => assert!(why.contains("Prepare"), "{why}"),
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// A cooperative deadline crosses the wire: the remaining client budget is
+/// forwarded, and a server-side timeout comes back as `GdbError::Timeout`.
+#[test]
+fn timeouts_cross_the_wire() {
+    let data = testkit::chain_dataset(3_000);
+    let server = spawn_server(EngineKind::LinkedV2);
+    let addr = server.addr().to_string();
+    let mut engine = RemoteEngine::connect(&addr).expect("connect");
+    engine.reset().unwrap();
+    engine.bulk_load(&data, &LoadOptions::default()).unwrap();
+    // An already-expired context must fail server-side, not hang.
+    let expired = QueryCtx::with_timeout(Duration::ZERO);
+    std::thread::sleep(Duration::from_millis(2));
+    match engine.distinct_neighbor_scan(gm_model::Direction::Both, &expired) {
+        Err(GdbError::Timeout) => {}
+        other => panic!("expected Timeout across the wire, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// A `Reset` from one connection invalidates every other connection's
+/// owned-edges pool: a stale `Eid` from the discarded engine must never
+/// delete an edge of the freshly loaded one.
+#[test]
+fn reset_invalidates_other_connections_owned_edges() {
+    use gm_workload::{Op, WriteOp};
+    let data = testkit::chain_dataset(50);
+    let server = spawn_server(EngineKind::LinkedV2);
+    let addr = server.addr().to_string();
+
+    // Connection A: set up a run and create one owned edge.
+    let mut a = RemoteEngine::connect(&addr).expect("connect A");
+    a.reset().unwrap();
+    a.bulk_load(&data, &LoadOptions::default()).unwrap();
+    a.prepare(1, 16).unwrap();
+    assert_eq!(
+        a.exec_op(Op::Write(WriteOp::AddEdge), 0, 0, Duration::from_secs(1))
+            .unwrap(),
+        1
+    );
+
+    // Connection B: start a brand-new run (reset + reload + prepare).
+    let mut b = RemoteEngine::connect(&addr).expect("connect B");
+    b.reset().unwrap();
+    b.bulk_load(&data, &LoadOptions::default()).unwrap();
+    b.prepare(1, 16).unwrap();
+
+    // A's RemoveOwnEdge must NOT delete anything from the fresh engine: its
+    // pool belongs to the discarded generation, so the op degrades to the
+    // documented AddVertex fallback.
+    a.exec_op(
+        Op::Write(WriteOp::RemoveOwnEdge),
+        0,
+        1,
+        Duration::from_secs(1),
+    )
+    .unwrap();
+    let ctx = QueryCtx::unbounded();
+    assert_eq!(
+        b.edge_count(&ctx).unwrap(),
+        data.edge_count() as u64,
+        "stale pool must not delete fresh edges"
+    );
+    assert_eq!(
+        b.vertex_count(&ctx).unwrap(),
+        data.vertex_count() as u64 + 1,
+        "the op degraded to the AddVertex fallback"
+    );
+    server.shutdown();
+}
+
+/// The server answers pipelined requests in order: several requests written
+/// back to back on one connection, responses read afterwards.
+#[test]
+fn pipelined_requests_answered_in_order() {
+    let data = testkit::chain_dataset(60);
+    let server = spawn_server(EngineKind::Relational);
+    let addr = server.addr().to_string();
+    {
+        let mut setup = RemoteEngine::connect(&addr).expect("connect");
+        setup.reset().unwrap();
+        setup.bulk_load(&data, &LoadOptions::default()).unwrap();
+    }
+    let mut conn = Connection::connect(&addr).expect("connect");
+    // Three requests in flight before any response is read.
+    conn.send(&Request::VertexCount { t: 0 }).unwrap();
+    conn.send(&Request::EdgeCount { t: 0 }).unwrap();
+    conn.send(&Request::HasVertexIndex {
+        prop: "name".into(),
+    })
+    .unwrap();
+    assert_eq!(conn.recv().unwrap(), Response::U64(60));
+    assert_eq!(conn.recv().unwrap(), Response::U64(59));
+    assert!(matches!(conn.recv().unwrap(), Response::Bool(_)));
+    server.shutdown();
+}
+
+/// Handshake discipline: a wrong protocol version (or magic) is refused
+/// with a descriptive error — the server never misparses a peer.
+#[test]
+fn version_and_magic_mismatches_rejected() {
+    let server = spawn_server(EngineKind::LinkedV1);
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("dial");
+    let bad = Request::Hello {
+        magic: MAGIC,
+        version: PROTO_VERSION + 1,
+    };
+    wire::write_frame(&mut stream, &bad.encode()).unwrap();
+    match Response::decode(&wire::read_frame(&mut stream).unwrap()).unwrap() {
+        Response::Err(GdbError::Invalid(why)) => {
+            assert!(why.contains("version"), "{why}");
+        }
+        other => panic!("expected handshake rejection, got {other:?}"),
+    }
+
+    let mut stream = TcpStream::connect(addr).expect("dial");
+    let bad = Request::Hello {
+        magic: 0xDEAD_BEEF,
+        version: PROTO_VERSION,
+    };
+    wire::write_frame(&mut stream, &bad.encode()).unwrap();
+    match Response::decode(&wire::read_frame(&mut stream).unwrap()).unwrap() {
+        Response::Err(GdbError::Invalid(why)) => {
+            assert!(why.contains("magic"), "{why}");
+        }
+        other => panic!("expected handshake rejection, got {other:?}"),
+    }
+
+    // A non-Hello first frame is refused too.
+    let mut stream = TcpStream::connect(addr).expect("dial");
+    wire::write_frame(&mut stream, &Request::Reset.encode()).unwrap();
+    match Response::decode(&wire::read_frame(&mut stream).unwrap()).unwrap() {
+        Response::Err(GdbError::Invalid(why)) => {
+            assert!(why.contains("Hello"), "{why}");
+        }
+        other => panic!("expected handshake rejection, got {other:?}"),
+    }
+    server.shutdown();
+}

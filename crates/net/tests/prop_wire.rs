@@ -1,0 +1,187 @@
+//! Property-based tests of the gm-net wire protocol: arbitrary
+//! `QueryInstance` params and value payloads encode → decode identically,
+//! and truncated/corrupt frames are rejected without panicking.
+
+use gm_core::catalog::{QueryId, QueryInstance};
+use gm_model::api::Direction;
+use gm_model::{Props, Value};
+use gm_net::wire::{self, Cur};
+use gm_net::{Request, Response};
+use gm_workload::{Op, WriteOp};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-zA-Z0-9 _☃-]{0,24}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_props() -> impl Strategy<Value = Props> {
+    prop::collection::vec(("[a-z_]{1,12}", arb_value()), 0..6)
+}
+
+fn arb_instance() -> impl Strategy<Value = QueryInstance> {
+    (
+        0..QueryId::ALL.len(),
+        prop::option::of(any::<u8>()),
+        prop::option::of(any::<u64>()),
+    )
+        .prop_map(|(i, depth, k)| QueryInstance {
+            id: QueryId::ALL[i],
+            depth,
+            k,
+        })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_instance().prop_map(Op::Read),
+        prop_oneof![
+            Just(WriteOp::AddVertex),
+            Just(WriteOp::AddEdge),
+            Just(WriteOp::SetVertexProp),
+            Just(WriteOp::RemoveOwnEdge),
+        ]
+        .prop_map(Op::Write),
+    ]
+}
+
+fn arb_direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![
+        Just(Direction::In),
+        Just(Direction::Out),
+        Just(Direction::Both)
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>(), any::<u64>(), arb_op()).prop_map(
+            |(worker, op_index, timeout_micros, op)| Request::ExecOp {
+                worker,
+                op_index,
+                timeout_micros,
+                op,
+            }
+        ),
+        ("[a-z]{1,8}", arb_props()).prop_map(|(label, props)| Request::AddVertex { label, props }),
+        ("[a-z]{1,8}", arb_value(), any::<u64>())
+            .prop_map(|(name, value, t)| { Request::VerticesWithProperty { name, value, t } }),
+        (
+            any::<u64>(),
+            arb_direction(),
+            prop::option::of("[a-z]{0,8}".prop_map(String::from)),
+            any::<u64>()
+        )
+            .prop_map(|(v, dir, label, t)| Request::Neighbors { v, dir, label, t }),
+        (arb_direction(), any::<u64>(), any::<u64>()).prop_map(|(dir, k, t)| Request::DegreeScan {
+            dir,
+            k,
+            t
+        }),
+        (any::<u64>(), any::<u32>()).prop_map(|(seed, slots)| Request::Prepare { seed, slots }),
+        Just(Request::Reset),
+        Just(Request::Space),
+        Just(Request::Sync),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Unit),
+        any::<bool>().prop_map(Response::Bool),
+        any::<u64>().prop_map(Response::U64),
+        prop::option::of(any::<u64>()).prop_map(Response::OptU64),
+        prop::collection::vec(any::<u64>(), 0..32).prop_map(Response::U64List),
+        prop::collection::vec("[a-z ]{0,12}".prop_map(String::from), 0..8)
+            .prop_map(Response::StrList),
+        prop::option::of(arb_value()).prop_map(Response::OptValue),
+        prop::option::of((any::<u64>(), any::<u64>())).prop_map(Response::OptPair),
+    ]
+}
+
+/// Exact structural equality: `Value`'s `PartialEq` equates `Int(2)` with
+/// `Float(2.0)`, but the codec must preserve the variant too.
+fn same_value(a: &Value, b: &Value) -> bool {
+    a == b && a.type_tag() == b.type_tag()
+}
+
+proptest! {
+    /// Requests round-trip identically through encode → decode.
+    #[test]
+    fn request_round_trip(req in arb_request()) {
+        let bytes = req.encode();
+        let back = Request::decode(&bytes).unwrap();
+        prop_assert_eq!(&back, &req);
+        // For value-carrying requests, check variant-exactness too.
+        if let (
+            Request::VerticesWithProperty { value: a, .. },
+            Request::VerticesWithProperty { value: b, .. },
+        ) = (&req, &back)
+        {
+            prop_assert!(same_value(a, b));
+        }
+    }
+
+    /// Responses round-trip identically.
+    #[test]
+    fn response_round_trip(rsp in arb_response()) {
+        let bytes = rsp.encode();
+        let back = Response::decode(&bytes).unwrap();
+        prop_assert_eq!(&back, &rsp);
+    }
+
+    /// Arbitrary value payloads survive the low-level codec variant-exactly.
+    #[test]
+    fn value_payload_round_trip(props in arb_props()) {
+        let mut out = Vec::new();
+        wire::put_props(&mut out, &props);
+        let mut cur = Cur::new(&out);
+        let back = cur.props().unwrap();
+        cur.finish().unwrap();
+        prop_assert_eq!(back.len(), props.len());
+        for ((an, av), (bn, bv)) in back.iter().zip(props.iter()) {
+            prop_assert_eq!(an, bn);
+            prop_assert!(same_value(av, bv), "{:?} vs {:?}", av, bv);
+        }
+    }
+
+    /// Every proper prefix of a valid request frame is rejected — never
+    /// accepted as some other message, never a panic.
+    #[test]
+    fn truncated_requests_rejected(req in arb_request(), frac in 0.0f64..1.0) {
+        let bytes = req.encode();
+        if !bytes.is_empty() {
+            let cut = ((bytes.len() as f64) * frac) as usize;
+            if cut < bytes.len() {
+                prop_assert!(Request::decode(&bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    /// Decoding arbitrary bytes never panics (it may legitimately succeed
+    /// when the bytes happen to spell a valid message).
+    #[test]
+    fn corrupt_frames_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+        let mut cur = Cur::new(&bytes);
+        let _ = cur.props();
+    }
+
+    /// Single-byte corruption of a valid frame either decodes to *some*
+    /// message or errors — it never panics or over-allocates.
+    #[test]
+    fn bitflips_never_panic(req in arb_request(), pos in any::<u16>(), bit in 0u8..8) {
+        let mut bytes = req.encode();
+        if !bytes.is_empty() {
+            let i = (pos as usize) % bytes.len();
+            bytes[i] ^= 1 << bit;
+            let _ = Request::decode(&bytes);
+        }
+    }
+}

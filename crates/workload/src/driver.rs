@@ -29,6 +29,14 @@
 //! latency histogram (they have no completion), and in a recorded cardinality
 //! trace they appear as [`SHED_CARD`] placeholders so the executed positions
 //! still line up one-to-one with the deterministic op sequence.
+//!
+//! The measured loop is **transport-agnostic**: a [`Backend`] hands every
+//! worker a [`Session`] that executes one op at a time, and
+//! [`run_backend`] drives the same pacing/shedding/histogram machinery over
+//! whatever the sessions talk to. The in-process shared-`RwLock` engine
+//! ([`LocalBackend`]) is one backend; `gm-net`'s per-worker TCP connections
+//! to a remote engine server are another — closed-loop, open-loop, and
+//! bounded-overload pacing all work unchanged over the wire.
 
 use std::sync::RwLock;
 use std::time::{Duration, Instant};
@@ -51,6 +59,38 @@ pub const ERR_CARD: u64 = u64::MAX;
 /// with the deterministic op sequence, so executed positions of an overloaded
 /// read-only run can still be compared against a sequential replay.
 pub const SHED_CARD: u64 = u64::MAX - 1;
+
+/// How many victim/pair slots a driver run pre-draws
+/// ([`Workload::choose`]'s `slots` argument). Remote backends must prepare
+/// their server-side parameters with the same value, or the deterministic op
+/// streams would resolve against different victim pools.
+pub const WORKLOAD_SLOTS: usize = 16;
+
+/// A per-worker execution endpoint: the only thing the measured loop knows
+/// about the engine. One session belongs to exactly one worker thread and is
+/// used for that worker's whole op sequence, so implementations may hold
+/// per-worker state (RNG-free — op choice stays in the driver — but e.g. the
+/// edges this worker created, or a dedicated TCP connection).
+pub trait Session {
+    /// Execute one op and return its result cardinality.
+    ///
+    /// `worker` and `op_index` parameterize writes (worker-unique property
+    /// names, victim rotation) exactly as the shared-lock driver does, so a
+    /// remote server can replay the identical mutation.
+    fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<u64>;
+}
+
+/// A transport over which the driver reaches an engine: in-process behind
+/// the shared `RwLock` ([`LocalBackend`]) or across a socket (`gm-net`).
+/// `open_session` is called on the worker's own thread, so a backend may do
+/// per-worker setup there (e.g. dial one connection per client).
+pub trait Backend: Sync {
+    /// Engine display name for the report.
+    fn engine(&self) -> String;
+
+    /// Open worker `worker`'s session.
+    fn open_session(&self, worker: usize) -> GdbResult<Box<dyn Session + '_>>;
+}
 
 /// How ops are paced.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -283,25 +323,83 @@ impl RunReport {
 }
 
 /// Load `data` into a fresh engine from `factory`, then run the configured
-/// workload with `cfg.threads` concurrent workers.
+/// workload with `cfg.threads` concurrent workers against it in-process.
 pub fn run(
+    factory: &dyn Fn() -> Box<dyn GraphDb>,
+    data: &Dataset,
+    cfg: &WorkloadConfig,
+) -> GdbResult<RunReport> {
+    // Fail fast on a bad config before the expensive load; run_backend
+    // re-validates for callers that enter there directly.
+    validate(cfg)?;
+    let (lock, params, engine) = prepare(factory, data, cfg)?;
+    let backend = LocalBackend::new(engine, &lock, &params, cfg.op_timeout);
+    run_backend(&backend, &data.name, cfg)
+}
+
+/// Execute the *same* per-worker op sequences one worker after another on a
+/// single thread — the sequential reference a concurrent read-only run must
+/// reproduce exactly. Pacing is forced to closed-loop: an open-loop arrival
+/// schedule assumes concurrent workers, so replaying it serially would fold
+/// earlier workers' runtimes into later workers' latencies.
+pub fn run_sequential(
     factory: &dyn Fn() -> Box<dyn GraphDb>,
     data: &Dataset,
     cfg: &WorkloadConfig,
 ) -> GdbResult<RunReport> {
     validate(cfg)?;
     let (lock, params, engine) = prepare(factory, data, cfg)?;
+    let backend = LocalBackend::new(engine, &lock, &params, cfg.op_timeout);
+    run_backend_sequential(&backend, &data.name, cfg)
+}
+
+/// Run the configured workload over an arbitrary [`Backend`] with
+/// `cfg.threads` concurrent workers. Each worker opens its own session on
+/// its own thread, then replays its deterministic op sequence under the
+/// configured pacing. The backend is expected to be fully set up (engine
+/// loaded, parameters resolved) before this is called — setup, including
+/// session opening (a TCP dial + handshake for remote backends), stays
+/// outside the measured region, as §4.2 prescribes: the clock starts, and
+/// the open-loop arrival schedule is anchored, only after every worker has
+/// its session.
+pub fn run_backend(
+    backend: &dyn Backend,
+    dataset: &str,
+    cfg: &WorkloadConfig,
+) -> GdbResult<RunReport> {
+    validate(cfg)?;
+    let engine = backend.engine();
     let mix = cfg.mix.mix();
-    let start = Instant::now();
+    // All workers open their sessions, rendezvous at the barrier, and only
+    // then does the coordinator stamp the shared start instant — so session
+    // setup cost can never leak into wall time, latency samples, or the
+    // arrival schedule (a slow dial would otherwise make the earliest
+    // scheduled arrivals spuriously late, or even shed).
+    let barrier = std::sync::Barrier::new(cfg.threads as usize + 1);
+    let start_cell: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
     let joined: Vec<GdbResult<WorkerStats>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.threads as usize)
             .map(|w| {
-                let lock = &lock;
-                let params = &params;
                 let mix = &mix;
-                s.spawn(move || worker_loop(w, lock, params, mix, cfg, start))
+                let barrier = &barrier;
+                let start_cell = &start_cell;
+                s.spawn(move || {
+                    let session = backend.open_session(w);
+                    // Two barrier rounds, reached even on failure (the
+                    // coordinator and the other workers are waiting): round
+                    // one declares "my session is open", round two releases
+                    // everyone after the coordinator stamped the start.
+                    barrier.wait();
+                    barrier.wait();
+                    let start = *start_cell.get().expect("start stamped before release");
+                    let mut session = session?;
+                    worker_loop(w, session.as_mut(), mix, cfg, start)
+                })
             })
             .collect();
+        barrier.wait(); // round 1: every session is open (or failed)
+        let _ = start_cell.set(Instant::now());
+        barrier.wait(); // round 2: release the workers into the measured region
         handles
             .into_iter()
             .enumerate()
@@ -318,22 +416,24 @@ pub fn run(
             })
             .collect()
     });
-    let wall_nanos = start.elapsed().as_nanos() as u64;
+    let wall_nanos = start_cell
+        .get()
+        .expect("start stamped during the run")
+        .elapsed()
+        .as_nanos() as u64;
     let mut workers = Vec::with_capacity(joined.len());
     for r in joined {
         workers.push(r?);
     }
-    Ok(assemble(engine, data, cfg, wall_nanos, workers))
+    Ok(assemble(engine, dataset, cfg, wall_nanos, workers))
 }
 
-/// Execute the *same* per-worker op sequences one worker after another on a
-/// single thread — the sequential reference a concurrent read-only run must
-/// reproduce exactly. Pacing is forced to closed-loop: an open-loop arrival
-/// schedule assumes concurrent workers, so replaying it serially would fold
-/// earlier workers' runtimes into later workers' latencies.
-pub fn run_sequential(
-    factory: &dyn Fn() -> Box<dyn GraphDb>,
-    data: &Dataset,
+/// Sequential (single-threaded, closed-loop) replay of the same per-worker
+/// op sequences over an arbitrary [`Backend`] — the reference a concurrent
+/// read-only run must reproduce exactly, over any transport.
+pub fn run_backend_sequential(
+    backend: &dyn Backend,
+    dataset: &str,
     cfg: &WorkloadConfig,
 ) -> GdbResult<RunReport> {
     let cfg = WorkloadConfig {
@@ -342,17 +442,107 @@ pub fn run_sequential(
     };
     let cfg = &cfg;
     validate(cfg)?;
-    let (lock, params, engine) = prepare(factory, data, cfg)?;
+    let engine = backend.engine();
     let mix = cfg.mix.mix();
+    // Sessions open before the clock starts, as in the concurrent path.
+    let mut sessions: Vec<Box<dyn Session + '_>> = (0..cfg.threads as usize)
+        .map(|w| backend.open_session(w))
+        .collect::<GdbResult<_>>()?;
     let start = Instant::now();
-    let workers: Vec<WorkerStats> = (0..cfg.threads as usize)
-        .map(|w| worker_loop(w, &lock, &params, &mix, cfg, start))
+    let workers: Vec<WorkerStats> = sessions
+        .iter_mut()
+        .enumerate()
+        .map(|(w, session)| worker_loop(w, session.as_mut(), &mix, cfg, start))
         .collect::<GdbResult<_>>()?;
     let wall_nanos = start.elapsed().as_nanos() as u64;
-    Ok(assemble(engine, data, cfg, wall_nanos, workers))
+    Ok(assemble(engine, dataset, cfg, wall_nanos, workers))
 }
 
-type SharedEngine = RwLock<Box<dyn GraphDb>>;
+/// The shared-engine lock every in-process run uses: concurrent reads under
+/// the shared lock, serialized writes under the exclusive one.
+pub type SharedEngine = RwLock<Box<dyn GraphDb>>;
+
+/// The in-process backend: all workers share one engine behind the
+/// [`SharedEngine`] `RwLock`, with parameters already resolved against it.
+pub struct LocalBackend<'a> {
+    engine: String,
+    lock: &'a SharedEngine,
+    params: &'a ResolvedParams,
+    op_timeout: Duration,
+}
+
+impl<'a> LocalBackend<'a> {
+    /// Wrap a loaded, parameter-resolved shared engine.
+    pub fn new(
+        engine: String,
+        lock: &'a SharedEngine,
+        params: &'a ResolvedParams,
+        op_timeout: Duration,
+    ) -> Self {
+        LocalBackend {
+            engine,
+            lock,
+            params,
+            op_timeout,
+        }
+    }
+}
+
+impl Backend for LocalBackend<'_> {
+    fn engine(&self) -> String {
+        self.engine.clone()
+    }
+
+    fn open_session(&self, _worker: usize) -> GdbResult<Box<dyn Session + '_>> {
+        Ok(Box::new(LocalSession {
+            lock: self.lock,
+            params: self.params,
+            op_timeout: self.op_timeout,
+            owned_edges: Vec::new(),
+        }))
+    }
+}
+
+struct LocalSession<'a> {
+    lock: &'a SharedEngine,
+    params: &'a ResolvedParams,
+    op_timeout: Duration,
+    owned_edges: Vec<Eid>,
+}
+
+impl Session for LocalSession<'_> {
+    fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<u64> {
+        // A poisoned lock means a writer panicked while mutating the engine.
+        // Recovering (`into_inner`) would keep measuring against half-mutated
+        // state; surface a distinct error so the whole run aborts instead.
+        let poisoned = |side: &str| {
+            GdbError::Poisoned(format!(
+                "{side} lock poisoned before op {op_index} of worker {worker}"
+            ))
+        };
+        match op {
+            Op::Read(inst) => {
+                let ctx = QueryCtx::with_timeout(self.op_timeout);
+                let db = self.lock.read().map_err(|_| poisoned("read"))?;
+                catalog::execute_read(&inst, db.as_ref(), self.params, &ctx)
+            }
+            // No deadline on writes: the GraphDb mutation API carries no
+            // QueryCtx (mutations are point operations in the paper's
+            // taxonomy), so `op_timeout` bounds reads only.
+            Op::Write(wop) => {
+                let mut db = self.lock.write().map_err(|_| poisoned("write"))?;
+                apply_write(
+                    wop,
+                    db.as_mut(),
+                    self.params,
+                    worker,
+                    op_index,
+                    &mut self.owned_edges,
+                )
+            }
+        }
+    }
+}
 
 /// Below this remaining wait the pacer spins instead of sleeping:
 /// `thread::sleep` routinely oversleeps by tens of microseconds, which at
@@ -409,14 +599,14 @@ fn prepare(
     db.sync()?;
     // Parameter resolution happens before the measured region, as §4.2
     // prescribes for the sequential runner.
-    let workload = Workload::choose(data, cfg.seed, 16);
+    let workload = Workload::choose(data, cfg.seed, WORKLOAD_SLOTS);
     let params = workload.resolve(db.as_ref())?;
     Ok((RwLock::new(db), params, engine))
 }
 
 fn assemble(
     engine: String,
-    data: &Dataset,
+    dataset: &str,
     cfg: &WorkloadConfig,
     wall_nanos: u64,
     workers: Vec<WorkerStats>,
@@ -427,7 +617,7 @@ fn assemble(
     }
     RunReport {
         engine,
-        dataset: data.name.clone(),
+        dataset: dataset.to_string(),
         mix: cfg.mix.name().to_string(),
         threads: cfg.threads,
         offered_ops_per_sec: cfg.pacing.offered_rate(),
@@ -439,8 +629,7 @@ fn assemble(
 
 fn worker_loop(
     worker: usize,
-    lock: &SharedEngine,
-    params: &ResolvedParams,
+    session: &mut dyn Session,
     mix: &Mix,
     cfg: &WorkloadConfig,
     start: Instant,
@@ -454,7 +643,6 @@ fn worker_loop(
         hist: LatencyHistogram::new(),
         cardinalities: Vec::new(),
     };
-    let mut owned_edges: Vec<Eid> = Vec::new();
     for i in 0..cfg.ops_per_worker {
         // Always draw from the RNG, shed or not, so trace position `i` maps
         // to the same op regardless of which arrivals were shed.
@@ -487,7 +675,7 @@ fn worker_loop(
                 at
             }
         };
-        let result = execute_op(op, lock, params, cfg, worker, i, &mut owned_edges);
+        let result = session.execute(op, worker, i);
         if let Err(GdbError::Poisoned(why)) = result {
             // Another worker panicked inside a write and left the engine
             // half-mutated: abort instead of recovering into corrupt state.
@@ -514,40 +702,14 @@ fn worker_loop(
     Ok(stats)
 }
 
-fn execute_op(
-    op: Op,
-    lock: &SharedEngine,
-    params: &ResolvedParams,
-    cfg: &WorkloadConfig,
-    worker: usize,
-    op_index: u64,
-    owned_edges: &mut Vec<Eid>,
-) -> GdbResult<u64> {
-    // A poisoned lock means a writer panicked while mutating the engine.
-    // Recovering (`into_inner`) would keep measuring against half-mutated
-    // state; surface a distinct error so the whole run aborts instead.
-    let poisoned = |side: &str| {
-        GdbError::Poisoned(format!(
-            "{side} lock poisoned before op {op_index} of worker {worker}"
-        ))
-    };
-    match op {
-        Op::Read(inst) => {
-            let ctx = QueryCtx::with_timeout(cfg.op_timeout);
-            let db = lock.read().map_err(|_| poisoned("read"))?;
-            catalog::execute_read(&inst, db.as_ref(), params, &ctx)
-        }
-        // No deadline on writes: the GraphDb mutation API carries no
-        // QueryCtx (mutations are point operations in the paper's taxonomy),
-        // so `op_timeout` bounds reads only — see WorkloadConfig docs.
-        Op::Write(wop) => {
-            let mut db = lock.write().map_err(|_| poisoned("write"))?;
-            apply_write(wop, db.as_mut(), params, worker, op_index, owned_edges)
-        }
-    }
-}
-
-fn apply_write(
+/// Apply one driver write op — the server side of the concurrency contract.
+///
+/// Public because remote transports (`gm-net`) replay the *identical*
+/// mutation server-side: worker-unique property names, endpoint pools strided
+/// by worker, and deletions restricted to this worker's own earlier edges
+/// (`owned_edges`, one pool per session) all must match the in-process
+/// driver bit for bit for run results to be comparable across transports.
+pub fn apply_write(
     wop: WriteOp,
     db: &mut dyn GraphDb,
     params: &ResolvedParams,

@@ -14,7 +14,10 @@
 //!   the exclusive lock. Open-loop pacing takes an optional backlog bound:
 //!   arrivals that slip further behind schedule than the bound are **shed**
 //!   (counted, not executed), so overload runs terminate in bounded time and
-//!   report offered vs achieved rate honestly;
+//!   report offered vs achieved rate honestly. The measured loop is
+//!   transport-agnostic ([`driver::Backend`] / [`driver::Session`]): the
+//!   in-process shared engine is one backend, `gm-net`'s per-worker socket
+//!   connections to a remote engine server are another;
 //! * [`hist`] — per-worker log2-bucketed latency histograms (p50/p95/p99/
 //!   max) and throughput counters, merged lock-free when the run ends and
 //!   reported through `gm_core::report` / `gm_core::summary` next to the
@@ -31,7 +34,9 @@ pub mod hist;
 pub mod mix;
 
 pub use driver::{
-    run, run_sequential, Pacing, RunReport, WorkerStats, WorkloadConfig, ERR_CARD, SHED_CARD,
+    apply_write, run, run_backend, run_backend_sequential, run_sequential, Backend, LocalBackend,
+    Pacing, RunReport, Session, SharedEngine, WorkerStats, WorkloadConfig, ERR_CARD, SHED_CARD,
+    WORKLOAD_SLOTS,
 };
 pub use hist::{format_nanos, LatencyHistogram};
 pub use mix::{Mix, MixKind, Op, WriteOp};

@@ -5,6 +5,11 @@
 //! ```sh
 //! cargo run --example concurrent_clients
 //! ```
+//!
+//! Everything here runs **in-process**. For the same driver pointed at a
+//! socket server — measuring network-attached latency like the paper's
+//! client/server deployments — see `crates/net/examples/remote_clients.rs`
+//! (`cargo run -p gm-net --example remote_clients`).
 
 use graphmark::core::summary;
 use graphmark::registry::EngineKind;

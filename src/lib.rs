@@ -13,8 +13,15 @@
 //! * [`workload`] — the concurrent multi-client driver (closed/open loop,
 //!   latency histograms, scalability sweeps).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and
-//! `examples/concurrent_clients.rs` for the multi-client driver.
+//! One workspace crate sits *above* this facade and is therefore not
+//! re-exported: `gm-net` (`crates/net`), the socket server front-end
+//! (`gm-server` bin) and remote-engine client for network-attached
+//! benchmarking — it links this crate for the engine registry.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour,
+//! `examples/concurrent_clients.rs` for the multi-client driver, and
+//! `crates/net/examples/remote_clients.rs` for driving engines over a
+//! socket.
 
 pub use gm_core as core;
 pub use gm_datasets as datasets;
