@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use gm_datasets::Scale;
 use gm_workload::MixKind;
+use graphmark::mvcc::SnapshotMode;
 use graphmark::registry::EngineKind;
 
 /// One documented environment knob.
@@ -74,6 +75,12 @@ pub const KNOBS: &[Knob] = &[
         name: "GM_MAX_LATENESS_MS",
         default: "50",
         doc: "fig8/fig9: backlog bound; later arrivals are shed",
+    },
+    Knob {
+        name: "GM_SNAPSHOT_MODE",
+        default: "cow",
+        doc: "fig8/gm-server: MVCC snapshot reads (off = locked only; cow = generic \
+              copy-on-write; native = engine-native where available, cow fallback)",
     },
     Knob {
         name: "GM_SERVER_ADDR",
@@ -207,6 +214,29 @@ pub fn var_scale() -> Scale {
     }
 }
 
+/// The MVCC snapshot mode (`GM_SNAPSHOT_MODE`): `None` disables snapshot
+/// runs (`"off"`), `Some(mode)` selects the implementation. Unset defaults
+/// to `default` (the knob registry documents `"cow"` for fig8).
+pub fn var_snapshot_mode(default: Option<SnapshotMode>) -> Option<SnapshotMode> {
+    snapshot_mode_from(std::env::var("GM_SNAPSHOT_MODE").ok().as_deref(), default)
+}
+
+/// Pure parsing core of [`var_snapshot_mode`] (testable without mutating
+/// the process environment, which other tests in this binary share).
+fn snapshot_mode_from(value: Option<&str>, default: Option<SnapshotMode>) -> Option<SnapshotMode> {
+    match value {
+        None => default,
+        Some(s) if s.trim() == "off" => None,
+        Some(s) => match SnapshotMode::parse(s) {
+            Some(mode) => Some(mode),
+            None => {
+                warn_ignored("GM_SNAPSHOT_MODE", s, "off/cow/native");
+                default
+            }
+        },
+    }
+}
+
 /// The engine filter (`GM_ENGINES`; unset = all variants).
 pub fn var_engines() -> Vec<EngineKind> {
     match std::env::var("GM_ENGINES") {
@@ -265,6 +295,32 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_mode_knob() {
+        // The pure core only: mutating the real GM_SNAPSHOT_MODE here would
+        // race other tests in this process and break under
+        // `GM_SNAPSHOT_MODE=… cargo test`.
+        // Unset: the caller's default wins.
+        assert_eq!(
+            snapshot_mode_from(None, Some(SnapshotMode::Cow)),
+            Some(SnapshotMode::Cow)
+        );
+        assert_eq!(snapshot_mode_from(None, None), None);
+        // Set: "off" disables, names select, garbage warns + keeps default.
+        assert_eq!(
+            snapshot_mode_from(Some("off"), Some(SnapshotMode::Cow)),
+            None
+        );
+        assert_eq!(
+            snapshot_mode_from(Some("native"), Some(SnapshotMode::Cow)),
+            Some(SnapshotMode::Native)
+        );
+        assert_eq!(
+            snapshot_mode_from(Some("bogus"), Some(SnapshotMode::Cow)),
+            Some(SnapshotMode::Cow)
+        );
+    }
+
+    #[test]
     fn knob_registry_covers_the_documented_set() {
         for required in [
             "GM_SCALE",
@@ -272,6 +328,7 @@ mod tests {
             "GM_ENGINES",
             "GM_SERVER_ADDR",
             "GM_NET_CLIENTS",
+            "GM_SNAPSHOT_MODE",
         ] {
             assert!(
                 KNOBS.iter().any(|k| k.name == required),

@@ -5,7 +5,7 @@
 //! calls — the same decomposition a Gremlin adapter performs.
 
 use gm_model::api::Direction;
-use gm_model::{GdbResult, GraphDb, QueryCtx, Value};
+use gm_model::{GdbResult, GraphDb, GraphSnapshot, QueryCtx, Value};
 use gm_traversal::algo;
 
 use crate::params::ResolvedParams;
@@ -300,9 +300,10 @@ impl QueryInstance {
 ///
 /// Mutating queries consume one victim/payload slot from `params` according
 /// to `round` so batch executions touch distinct elements. Read-only
-/// queries delegate to [`execute_read`], which needs only `&dyn GraphDb` —
-/// the split is what lets the concurrent workload driver (`gm-workload`)
-/// run reads under a shared lock while writes take the exclusive one.
+/// queries delegate to [`execute_read`], which needs only a
+/// `&dyn GraphSnapshot` — the split is what lets the concurrent workload
+/// driver (`gm-workload`) run reads against a pinned snapshot (or under a
+/// shared lock) while writes take the exclusive path.
 pub fn execute(
     inst: &QueryInstance,
     db: &mut dyn GraphDb,
@@ -312,7 +313,7 @@ pub fn execute(
 ) -> GdbResult<u64> {
     use QueryId::*;
     if !inst.id.is_mutation() {
-        return execute_read(inst, db, params, ctx);
+        return execute_read(inst, &*db, params, ctx);
     }
     let p = params;
     match inst.id {
@@ -381,14 +382,16 @@ pub fn execute(
     }
 }
 
-/// Execute a **read-only** query instance through `&dyn GraphDb`.
+/// Execute a **read-only** query instance through `&dyn GraphSnapshot`.
 ///
 /// Covers Q1 (a no-op here; the load path measures it), the read queries
 /// Q8–Q15, and the traversals Q22–Q35. Panics on mutating query ids —
-/// callers route those through [`execute`].
+/// callers route those through [`execute`]. Accepting the read-only trait
+/// means the same decomposition runs against a live engine (upcast from
+/// `&dyn GraphDb`), a pinned `gm-mvcc` epoch snapshot, or a remote proxy.
 pub fn execute_read(
     inst: &QueryInstance,
-    db: &dyn GraphDb,
+    db: &dyn GraphSnapshot,
     params: &ResolvedParams,
     ctx: &QueryCtx,
 ) -> GdbResult<u64> {

@@ -13,7 +13,7 @@
 
 use gm_model::api::Direction;
 use gm_model::fxmap::FxHashMap;
-use gm_model::{GdbResult, GraphDb, QueryCtx, Value, Vid};
+use gm_model::{GdbResult, GraphDb, GraphSnapshot, QueryCtx, Value, Vid};
 
 /// The 13 complex queries, in Figure 2 order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -130,7 +130,7 @@ impl ComplexParams {
     }
 
     /// Resolve to internal ids against an engine.
-    pub fn resolve(&self, db: &dyn GraphDb) -> GdbResult<ResolvedComplexParams> {
+    pub fn resolve(&self, db: &dyn GraphSnapshot) -> GdbResult<ResolvedComplexParams> {
         let rv = |c: u64| {
             db.resolve_vertex(c)
                 .ok_or(gm_model::GdbError::VertexNotFound(c))
@@ -313,7 +313,7 @@ pub fn execute(
     }
 }
 
-fn max_degree_vertex(db: &dyn GraphDb, dir: Direction, ctx: &QueryCtx) -> GdbResult<u64> {
+fn max_degree_vertex(db: &dyn GraphSnapshot, dir: Direction, ctx: &QueryCtx) -> GdbResult<u64> {
     let mut best: Option<(u64, Vid)> = None;
     let scan = db.scan_vertices(ctx)?;
     let mut vs = Vec::new();
@@ -339,7 +339,7 @@ fn dedup(mut v: Vec<Vid>) -> Vec<Vid> {
 mod tests {
     use super::*;
     use engine_linked::LinkedGraph;
-    use gm_model::api::LoadOptions;
+    use gm_model::api::{GraphDb, LoadOptions};
     use gm_model::Dataset;
 
     /// A miniature LDBC-shaped world for unit tests.

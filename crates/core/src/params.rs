@@ -7,7 +7,7 @@
 //! **outside the timed region**, as §4.2 prescribes ("the lookup for the
 //! object is performed before the time is measured").
 
-use gm_model::{Dataset, Eid, GdbResult, GraphDb, Props, Value, Vid};
+use gm_model::{Dataset, Eid, GdbResult, GraphSnapshot, Props, Value, Vid};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -238,7 +238,7 @@ impl Workload {
     }
 
     /// Resolve canonical picks to engine-internal ids (untimed).
-    pub fn resolve(&self, db: &dyn GraphDb) -> GdbResult<ResolvedParams> {
+    pub fn resolve(&self, db: &dyn GraphSnapshot) -> GdbResult<ResolvedParams> {
         let rv = |c: u64| {
             db.resolve_vertex(c)
                 .ok_or(gm_model::GdbError::VertexNotFound(c))
@@ -455,7 +455,7 @@ mod tests {
     #[test]
     fn resolves_against_engine() {
         use engine_linked::LinkedGraph;
-        use gm_model::api::LoadOptions;
+        use gm_model::api::{GraphDb, LoadOptions};
         let d = testkit::chain_dataset(60);
         let w = Workload::choose(&d, 3, 4);
         let mut g = LinkedGraph::v1();

@@ -180,16 +180,34 @@ pub struct ScalingRow {
     pub engine: String,
     /// Workload mix name (e.g. `"read-heavy"`).
     pub mix: String,
+    /// Read-path isolation the run used: `"locked"` (shared `RwLock`),
+    /// `"snapshot-cow"` or `"snapshot-native"` (gm-mvcc pinned epochs), or
+    /// `"remote"` (whatever the server hosts). The locked-vs-snapshot
+    /// comparison in `fig8_concurrency` keys on this column.
+    pub isolation: String,
     /// Worker thread count.
     pub threads: u32,
     /// Operations completed.
     pub ops: u64,
+    /// Completed operations that were **reads** (`ops - read_ops` were
+    /// writes). The isolation comparison keys on read throughput: under a
+    /// write-heavy mix total throughput is writer-bound in every mode, but
+    /// snapshot reads never block behind writers, so reads/s keeps scaling
+    /// where the locked read path flattens.
+    pub read_ops: u64,
     /// Operations that returned an error (timeouts included).
     pub errors: u64,
     /// Operations shed by open-loop backpressure: their scheduled arrival
     /// fell further behind than the configured bound, so the driver dropped
     /// them instead of executing against an unbounded backlog.
     pub shed: u64,
+    /// Reads whose serving epoch was **lower** than an epoch the same
+    /// worker had already observed. Always 0 for in-process snapshot runs
+    /// (epochs are monotone per source); non-zero means the engine behind
+    /// the reads was replaced mid-run — e.g. a remote `Reset` raced the
+    /// workload — so correlated read errors are epoch skew, not engine
+    /// bugs. Locked-mode runs carry no epochs and report 0.
+    pub epoch_skew: u64,
     /// Configured open-loop arrival rate (`None` for closed-loop runs, where
     /// the offered rate *is* the achieved rate by construction).
     pub offered_ops_per_sec: Option<f64>,
@@ -214,6 +232,15 @@ impl ScalingRow {
             0.0
         } else {
             self.ops as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// Completed **read** operations per wall-clock second.
+    pub fn read_throughput(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.read_ops as f64 * 1e9 / self.wall_nanos as f64
         }
     }
 
@@ -243,37 +270,41 @@ pub fn format_nanos(nanos: u64) -> String {
     }
 }
 
-/// Render the concurrency sweep: one section per (engine, mix), one line per
-/// thread count, with throughput, speedup over the 1-thread line, and the
-/// latency tail. This is the text analogue of a scalability figure.
+/// Render the concurrency sweep: one section per (engine, mix, isolation),
+/// one line per thread count, with throughput, speedup over the 1-thread
+/// line, and the latency tail. This is the text analogue of a scalability
+/// figure; locked vs snapshot rows of the same (engine, mix) sit next to
+/// each other so the isolation cost reads directly off the table.
 pub fn render_scaling(rows: &[ScalingRow]) -> String {
-    let mut keys: Vec<(String, String)> = rows
+    let mut keys: Vec<(String, String, String)> = rows
         .iter()
-        .map(|r| (r.engine.clone(), r.mix.clone()))
+        .map(|r| (r.engine.clone(), r.mix.clone(), r.isolation.clone()))
         .collect();
     keys.sort();
     keys.dedup();
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:>7} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7}\n",
-        "engine/mix",
+        "{:<36} {:>7} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7} {:>5}\n",
+        "engine/mix@isolation",
         "threads",
         "offered/s",
         "ops/s",
+        "reads/s",
         "speedup",
         "p50",
         "p95",
         "p99",
         "max",
         "errors",
-        "shed"
+        "shed",
+        "skew"
     ));
-    out.push_str(&"-".repeat(125));
+    out.push_str(&"-".repeat(158));
     out.push('\n');
-    for (engine, mix) in &keys {
+    for (engine, mix, isolation) in &keys {
         let mut group: Vec<&ScalingRow> = rows
             .iter()
-            .filter(|r| &r.engine == engine && &r.mix == mix)
+            .filter(|r| &r.engine == engine && &r.mix == mix && &r.isolation == isolation)
             .collect();
         group.sort_by_key(|r| r.threads);
         // Speedup is a closed-loop notion (throughput gained by adding
@@ -295,18 +326,20 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
                 None => "-".to_string(),
             };
             out.push_str(&format!(
-                "{:<22} {:>7} {:>12} {:>12.0} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7}\n",
-                format!("{engine}/{mix}"),
+                "{:<36} {:>7} {:>12} {:>12.0} {:>12.0} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7} {:>5}\n",
+                format!("{engine}/{mix}@{isolation}"),
                 r.threads,
                 offered,
                 r.throughput(),
+                r.read_throughput(),
                 speedup,
                 format_nanos(r.p50_nanos),
                 format_nanos(r.p95_nanos),
                 format_nanos(r.p99_nanos),
                 format_nanos(r.max_nanos),
                 r.errors,
-                r.shed
+                r.shed,
+                r.epoch_skew
             ));
         }
     }
@@ -316,7 +349,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
 /// Render the sweep as CSV (machine-readable companion).
 pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
     let mut out = String::from(
-        "engine,mix,threads,ops,errors,shed,wall_millis,offered_ops_s,throughput_ops_s,p50_us,p95_us,p99_us,max_us\n",
+        "engine,mix,isolation,threads,ops,read_ops,errors,shed,epoch_skew,wall_millis,offered_ops_s,throughput_ops_s,read_ops_s,p50_us,p95_us,p99_us,max_us\n",
     );
     for r in rows {
         let offered = match r.offered_ops_per_sec {
@@ -324,16 +357,20 @@ pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
             None => String::new(),
         };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{:.3},{},{:.1},{:.3},{:.3},{:.3},{:.3}\n",
+            "{},{},{},{},{},{},{},{},{},{:.3},{},{:.1},{:.1},{:.3},{:.3},{:.3},{:.3}\n",
             r.engine,
             r.mix,
+            r.isolation,
             r.threads,
             r.ops,
+            r.read_ops,
             r.errors,
             r.shed,
+            r.epoch_skew,
             r.wall_nanos as f64 / 1e6,
             offered,
             r.throughput(),
+            r.read_throughput(),
             r.p50_nanos as f64 / 1e3,
             r.p95_nanos as f64 / 1e3,
             r.p99_nanos as f64 / 1e3,
@@ -415,10 +452,13 @@ mod tests {
         ScalingRow {
             engine: engine.into(),
             mix: "mixed".into(),
+            isolation: "locked".into(),
             threads,
             ops,
+            read_ops: ops,
             errors: 0,
             shed: 0,
+            epoch_skew: 0,
             offered_ops_per_sec: None,
             wall_nanos: wall_ms * 1_000_000,
             p50_nanos: 1_000,
@@ -436,7 +476,7 @@ mod tests {
         ];
         assert!((rows[0].throughput() - 10_000.0).abs() < 1e-6);
         let text = render_scaling(&rows);
-        assert!(text.contains("linked(v1)/mixed"), "{text}");
+        assert!(text.contains("linked(v1)/mixed@locked"), "{text}");
         assert!(
             text.contains("3.00x"),
             "4 threads at 3x throughput:\n{text}"
@@ -449,7 +489,28 @@ mod tests {
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("linked(v1),mixed,1,1000,0,0,100.000,,"));
+            .starts_with("linked(v1),mixed,locked,1,1000,1000,0,0,0,100.000,,"));
+    }
+
+    #[test]
+    fn scaling_groups_by_isolation_and_reports_skew() {
+        let locked = srow("linked(v1)", 4, 2_000, 100);
+        let mut snap = srow("linked(v1)", 4, 6_000, 100);
+        snap.isolation = "snapshot-cow".into();
+        snap.epoch_skew = 3;
+        let text = render_scaling(&[locked.clone(), snap.clone()]);
+        // Same engine/mix, two isolation sections — the comparison column.
+        assert!(text.contains("linked(v1)/mixed@locked"), "{text}");
+        assert!(text.contains("linked(v1)/mixed@snapshot-cow"), "{text}");
+        assert!(text.contains("skew"), "{text}");
+        let csv = scaling_to_csv(&[locked, snap]);
+        assert!(
+            csv.starts_with("engine,mix,isolation,threads,ops,read_ops,errors,shed,epoch_skew,")
+        );
+        assert!(
+            csv.contains("linked(v1),mixed,snapshot-cow,4,6000,6000,0,0,3,"),
+            "{csv}"
+        );
     }
 
     #[test]
@@ -472,20 +533,22 @@ mod tests {
             .find(|l| l.contains("40000"))
             .expect("overload row rendered");
         let fields: Vec<&str> = over_line.split_whitespace().collect();
-        assert_eq!(fields[4], "-", "open-loop rows get no speedup: {over_line}");
+        assert_eq!(fields[5], "-", "open-loop rows get no speedup: {over_line}");
         let csv = scaling_to_csv(&rows);
         assert!(
-            csv.starts_with("engine,mix,threads,ops,errors,shed,wall_millis,offered_ops_s,"),
+            csv.starts_with(
+                "engine,mix,isolation,threads,ops,read_ops,errors,shed,epoch_skew,wall_millis,offered_ops_s,"
+            ),
             "{csv}"
         );
         // Closed-loop rows leave the offered column empty; open-loop rows
         // carry rate and shed.
         assert!(
-            csv.contains("linked(v1),mixed,1,1000,0,0,100.000,,"),
+            csv.contains("linked(v1),mixed,locked,1,1000,1000,0,0,0,100.000,,"),
             "{csv}"
         );
         assert!(
-            csv.contains("linked(v1),mixed,4,800,10,190,100.000,40000.0,"),
+            csv.contains("linked(v1),mixed,locked,4,800,800,10,190,0,100.000,40000.0,"),
             "{csv}"
         );
     }

@@ -24,8 +24,8 @@
 use std::collections::HashMap;
 
 use gm_model::api::{
-    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, LoadOptions, LoadStats, SpaceReport,
-    VertexData,
+    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, LoadOptions, LoadStats,
+    SpaceReport, VertexData,
 };
 use gm_model::fxmap::FxHashMap;
 use gm_model::interner::Interner;
@@ -42,7 +42,7 @@ use gm_storage::bitmap::Bitmap;
 pub const DEFAULT_MATERIALIZATION_CAP: u64 = 50_000;
 
 /// Per-attribute storage: forward map + one bitmap per distinct value.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct AttrStore {
     by_oid: FxHashMap<u64, Value>,
     by_value: HashMap<Value, Bitmap>,
@@ -94,6 +94,7 @@ impl AttrStore {
 }
 
 /// The Sparksee-class engine. See crate docs for the layout.
+#[derive(Clone)]
 pub struct BitmapGraph {
     vertices: Bitmap,
     edges: Bitmap,
@@ -246,7 +247,7 @@ impl BitmapGraph {
     }
 }
 
-impl GraphDb for BitmapGraph {
+impl GraphSnapshot for BitmapGraph {
     fn name(&self) -> String {
         "bitmap".into()
     }
@@ -263,70 +264,12 @@ impl GraphDb for BitmapGraph {
         }
     }
 
-    fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
-        if !self.vmap.is_empty() {
-            return Err(GdbError::Invalid(
-                "bulk_load requires an empty engine".into(),
-            ));
-        }
-        for v in &data.vertices {
-            let vid = self.add_vertex(&v.label, &v.props)?;
-            self.vmap.push(vid.0);
-        }
-        for e in &data.edges {
-            let label = self.elabels.intern(&e.label);
-            let eid = self.add_edge_raw(
-                self.vmap[e.src as usize],
-                self.vmap[e.dst as usize],
-                label,
-                &e.props,
-            )?;
-            self.emap.push(eid);
-        }
-        Ok(LoadStats {
-            vertices: data.vertices.len() as u64,
-            edges: data.edges.len() as u64,
-        })
-    }
-
     fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
         self.vmap.get(canonical as usize).map(|&v| Vid(v))
     }
 
     fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
         self.emap.get(canonical as usize).map(|&e| Eid(e))
-    }
-
-    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
-        let label_id = self.vlabels.intern(label);
-        let v = self.alloc_oid();
-        self.vertices.insert(v);
-        self.vlabel_bitmap_mut(label_id).insert(v);
-        self.vertex_label_of.insert(v, label_id);
-        for (name, value) in props {
-            let key = self.keys.intern(name);
-            self.vattrs.entry(key).or_default().set(v, value.clone());
-        }
-        Ok(Vid(v))
-    }
-
-    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
-        let label_id = self.elabels.intern(label);
-        Ok(Eid(self.add_edge_raw(src.0, dst.0, label_id, props)?))
-    }
-
-    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
-        self.require_vertex(v.0)?;
-        let key = self.keys.intern(name);
-        self.vattrs.entry(key).or_default().set(v.0, value);
-        Ok(())
-    }
-
-    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
-        self.require_edge(e.0)?;
-        let key = self.keys.intern(name);
-        self.eattrs.entry(key).or_default().set(e.0, value);
-        Ok(())
     }
 
     fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
@@ -475,63 +418,6 @@ impl GraphDb for BitmapGraph {
                 .to_string(),
             props,
         }))
-    }
-
-    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
-        self.require_vertex(v.0)?;
-        let incident = self.incident(v.0, Direction::Both, None);
-        let mut seen = Vec::new();
-        for e in incident {
-            if !seen.contains(&e) {
-                seen.push(e);
-                self.remove_edge(Eid(e))?;
-            }
-        }
-        for attr in self.vattrs.values_mut() {
-            attr.remove(v.0);
-        }
-        if let Some(l) = self.vertex_label_of.remove(&v.0) {
-            self.vlabel_bitmaps[l as usize].remove(v.0);
-        }
-        self.out_edges.remove(&v.0);
-        self.in_edges.remove(&v.0);
-        self.vertices.remove(v.0);
-        Ok(())
-    }
-
-    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
-        self.require_edge(e.0)?;
-        let src = self.edge_src.remove(&e.0).expect("edge src");
-        let dst = self.edge_dst.remove(&e.0).expect("edge dst");
-        let label = self.edge_label.remove(&e.0).expect("edge label");
-        if let Some(bm) = self.out_edges.get_mut(&src) {
-            bm.remove(e.0);
-        }
-        if let Some(bm) = self.in_edges.get_mut(&dst) {
-            bm.remove(e.0);
-        }
-        self.elabel_bitmaps[label as usize].remove(e.0);
-        for attr in self.eattrs.values_mut() {
-            attr.remove(e.0);
-        }
-        self.edges.remove(e.0);
-        Ok(())
-    }
-
-    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
-        self.require_vertex(v.0)?;
-        let Some(key) = self.keys.get(name) else {
-            return Ok(None);
-        };
-        Ok(self.vattrs.get_mut(&key).and_then(|a| a.remove(v.0)))
-    }
-
-    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
-        self.require_edge(e.0)?;
-        let Some(key) = self.keys.get(name) else {
-            return Ok(None);
-        };
-        Ok(self.eattrs.get_mut(&key).and_then(|a| a.remove(e.0)))
     }
 
     fn neighbors(
@@ -702,18 +588,6 @@ impl GraphDb for BitmapGraph {
             .map(String::from))
     }
 
-    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
-        // The value bitmaps already exist; the index declaration is recorded
-        // but the Gremlin adapter's scan path cannot exploit it — exactly
-        // the "Sparksee … not able to take advantage of such indexes"
-        // finding (§6.4, Effect of Indexing).
-        let key = self.keys.intern(prop);
-        if !self.declared_indexes.contains(&key) {
-            self.declared_indexes.push(key);
-        }
-        Ok(())
-    }
-
     fn has_vertex_index(&self, prop: &str) -> bool {
         self.keys
             .get(prop)
@@ -749,6 +623,135 @@ impl GraphDb for BitmapGraph {
             self.vlabels.bytes() + self.elabels.bytes() + self.keys.bytes(),
         );
         r
+    }
+}
+
+impl GraphDb for BitmapGraph {
+    fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
+        if !self.vmap.is_empty() {
+            return Err(GdbError::Invalid(
+                "bulk_load requires an empty engine".into(),
+            ));
+        }
+        for v in &data.vertices {
+            let vid = self.add_vertex(&v.label, &v.props)?;
+            self.vmap.push(vid.0);
+        }
+        for e in &data.edges {
+            let label = self.elabels.intern(&e.label);
+            let eid = self.add_edge_raw(
+                self.vmap[e.src as usize],
+                self.vmap[e.dst as usize],
+                label,
+                &e.props,
+            )?;
+            self.emap.push(eid);
+        }
+        Ok(LoadStats {
+            vertices: data.vertices.len() as u64,
+            edges: data.edges.len() as u64,
+        })
+    }
+
+    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
+        let label_id = self.vlabels.intern(label);
+        let v = self.alloc_oid();
+        self.vertices.insert(v);
+        self.vlabel_bitmap_mut(label_id).insert(v);
+        self.vertex_label_of.insert(v, label_id);
+        for (name, value) in props {
+            let key = self.keys.intern(name);
+            self.vattrs.entry(key).or_default().set(v, value.clone());
+        }
+        Ok(Vid(v))
+    }
+
+    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
+        let label_id = self.elabels.intern(label);
+        Ok(Eid(self.add_edge_raw(src.0, dst.0, label_id, props)?))
+    }
+
+    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
+        self.require_vertex(v.0)?;
+        let key = self.keys.intern(name);
+        self.vattrs.entry(key).or_default().set(v.0, value);
+        Ok(())
+    }
+
+    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
+        self.require_edge(e.0)?;
+        let key = self.keys.intern(name);
+        self.eattrs.entry(key).or_default().set(e.0, value);
+        Ok(())
+    }
+
+    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
+        self.require_vertex(v.0)?;
+        let incident = self.incident(v.0, Direction::Both, None);
+        let mut seen = Vec::new();
+        for e in incident {
+            if !seen.contains(&e) {
+                seen.push(e);
+                self.remove_edge(Eid(e))?;
+            }
+        }
+        for attr in self.vattrs.values_mut() {
+            attr.remove(v.0);
+        }
+        if let Some(l) = self.vertex_label_of.remove(&v.0) {
+            self.vlabel_bitmaps[l as usize].remove(v.0);
+        }
+        self.out_edges.remove(&v.0);
+        self.in_edges.remove(&v.0);
+        self.vertices.remove(v.0);
+        Ok(())
+    }
+
+    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
+        self.require_edge(e.0)?;
+        let src = self.edge_src.remove(&e.0).expect("edge src");
+        let dst = self.edge_dst.remove(&e.0).expect("edge dst");
+        let label = self.edge_label.remove(&e.0).expect("edge label");
+        if let Some(bm) = self.out_edges.get_mut(&src) {
+            bm.remove(e.0);
+        }
+        if let Some(bm) = self.in_edges.get_mut(&dst) {
+            bm.remove(e.0);
+        }
+        self.elabel_bitmaps[label as usize].remove(e.0);
+        for attr in self.eattrs.values_mut() {
+            attr.remove(e.0);
+        }
+        self.edges.remove(e.0);
+        Ok(())
+    }
+
+    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        self.require_vertex(v.0)?;
+        let Some(key) = self.keys.get(name) else {
+            return Ok(None);
+        };
+        Ok(self.vattrs.get_mut(&key).and_then(|a| a.remove(v.0)))
+    }
+
+    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        self.require_edge(e.0)?;
+        let Some(key) = self.keys.get(name) else {
+            return Ok(None);
+        };
+        Ok(self.eattrs.get_mut(&key).and_then(|a| a.remove(e.0)))
+    }
+
+    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
+        // The value bitmaps already exist; the index declaration is recorded
+        // but the Gremlin adapter's scan path cannot exploit it — exactly
+        // the "Sparksee … not able to take advantage of such indexes"
+        // finding (§6.4, Effect of Indexing).
+        let key = self.keys.intern(prop);
+        if !self.declared_indexes.contains(&key) {
+            self.declared_indexes.push(key);
+        }
+        Ok(())
     }
 }
 

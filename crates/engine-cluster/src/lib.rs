@@ -21,8 +21,8 @@
 //!   ([`gm_storage::BPlusTree`]).
 
 use gm_model::api::{
-    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, LoadOptions, LoadStats, SpaceReport,
-    VertexData,
+    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, LoadOptions, LoadStats,
+    SpaceReport, VertexData,
 };
 use gm_model::fxmap::FxHashMap;
 use gm_model::interner::Interner;
@@ -54,6 +54,7 @@ fn rid_pos(r: u64) -> u64 {
 }
 
 /// The OrientDB-class engine. See crate docs for the layout.
+#[derive(Clone)]
 pub struct ClusterGraph {
     vertex_clusters: Vec<PageStore>,
     edge_clusters: Vec<PageStore>,
@@ -326,7 +327,7 @@ fn corrupt(what: &str) -> GdbError {
     GdbError::Corrupt(what.to_string())
 }
 
-impl GraphDb for ClusterGraph {
+impl GraphSnapshot for ClusterGraph {
     fn name(&self) -> String {
         "cluster".into()
     }
@@ -343,131 +344,12 @@ impl GraphDb for ClusterGraph {
         }
     }
 
-    fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
-        if !self.vmap.is_empty() {
-            return Err(GdbError::Invalid(
-                "bulk_load requires an empty engine".into(),
-            ));
-        }
-        // Pass 1: edges first, collecting adjacency per canonical vertex, so
-        // each vertex record is written exactly once (no rewrite storm).
-        let mut out_adj: Vec<Vec<u64>> = vec![Vec::new(); data.vertices.len()];
-        let mut in_adj: Vec<Vec<u64>> = vec![Vec::new(); data.vertices.len()];
-        // Vertices need rids before edges can reference them: allocate
-        // positions deterministically (insertion order per label cluster).
-        self.vmap.reserve(data.vertices.len());
-        let mut pending_vertex_pos: Vec<(u32, u64)> = Vec::with_capacity(data.vertices.len());
-        let mut next_pos_per_cluster: FxHashMap<u32, u64> = FxHashMap::default();
-        for v in &data.vertices {
-            let cluster = self.vertex_cluster_for(&v.label);
-            let pos = next_pos_per_cluster.entry(cluster).or_insert(0);
-            pending_vertex_pos.push((cluster, *pos));
-            self.vmap.push(rid(cluster, *pos));
-            *pos += 1;
-        }
-        self.emap.reserve(data.edges.len());
-        for e in &data.edges {
-            let cluster = self.edge_cluster_for(&e.label);
-            let src = self.vmap[e.src as usize];
-            let dst = self.vmap[e.dst as usize];
-            let buf = self.encode_edge(src, dst, &e.props);
-            let pos = self.edge_clusters[cluster as usize].alloc(&buf);
-            let eid = rid(cluster, pos);
-            self.emap.push(eid);
-            out_adj[e.src as usize].push(eid);
-            in_adj[e.dst as usize].push(eid);
-        }
-        // Pass 2: write vertex records with their full RIDBAGs.
-        for (i, v) in data.vertices.iter().enumerate() {
-            let (cluster, expected_pos) = pending_vertex_pos[i];
-            let buf = self.encode_vertex(&out_adj[i], &in_adj[i], &v.props);
-            let pos = self.vertex_clusters[cluster as usize].alloc(&buf);
-            debug_assert_eq!(pos, expected_pos, "cluster position drift");
-        }
-        Ok(LoadStats {
-            vertices: data.vertices.len() as u64,
-            edges: data.edges.len() as u64,
-        })
-    }
-
     fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
         self.vmap.get(canonical as usize).map(|&v| Vid(v))
     }
 
     fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
         self.emap.get(canonical as usize).map(|&e| Eid(e))
-    }
-
-    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
-        let cluster = self.vertex_cluster_for(label);
-        let buf = self.encode_vertex(&[], &[], props);
-        let pos = self.vertex_clusters[cluster as usize].alloc(&buf);
-        let v = rid(cluster, pos);
-        for (name, value) in props {
-            let key = self.keys.intern(name);
-            self.index_insert(key, value, v);
-        }
-        Ok(Vid(v))
-    }
-
-    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
-        self.vertex_record(src.0)?;
-        self.vertex_record(dst.0)?;
-        let cluster = self.edge_cluster_for(label);
-        let buf = self.encode_edge(src.0, dst.0, props);
-        let pos = self.edge_clusters[cluster as usize].alloc(&buf);
-        let e = rid(cluster, pos);
-        // RIDBAG updates: rewrite both endpoint records (append-only).
-        self.rewrite_vertex(src.0, |out, _, _| out.push(e))?;
-        if dst != src {
-            self.rewrite_vertex(dst.0, |_, inn, _| inn.push(e))?;
-        } else {
-            self.rewrite_vertex(dst.0, |_, inn, _| inn.push(e))?;
-        }
-        Ok(Eid(e))
-    }
-
-    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
-        let key = self.keys.intern(name);
-        let mut old: Option<Value> = None;
-        let val = value.clone();
-        self.rewrite_vertex(v.0, |_, _, props| {
-            if let Some(slot) = props.iter_mut().find(|(k, _)| *k == key) {
-                old = Some(std::mem::replace(&mut slot.1, val));
-            } else {
-                props.push((key, val));
-            }
-        })?;
-        if let Some(old) = old {
-            self.index_remove(key, &old, v.0);
-        }
-        self.index_insert(key, &value, v.0);
-        Ok(())
-    }
-
-    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
-        let (src, dst, mut props) = self.edge_parts(e.0)?;
-        let key = self.keys.intern(name);
-        if let Some(slot) = props.iter_mut().find(|(k, _)| *k == key) {
-            slot.1 = value;
-        } else {
-            props.push((key, value));
-        }
-        let named: Props = props
-            .iter()
-            .map(|(k, val)| {
-                (
-                    self.keys.resolve(*k).expect("known key").to_string(),
-                    val.clone(),
-                )
-            })
-            .collect();
-        let buf = self.encode_edge(src, dst, &named);
-        let cluster = rid_cluster(e.0) as usize;
-        if !self.edge_clusters[cluster].put(rid_pos(e.0), &buf) {
-            return Err(GdbError::EdgeNotFound(e.0));
-        }
-        Ok(())
     }
 
     fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
@@ -622,76 +504,6 @@ impl GraphDb for ClusterGraph {
                     .collect(),
             })),
         }
-    }
-
-    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
-        let rec = self.vertex_record(v.0)?;
-        let (out, inn, mut pos) = Self::decode_adjacency(rec);
-        let props = self.decode_props(rec, &mut pos);
-        let mut incident: Vec<u64> = out;
-        incident.extend(inn);
-        incident.sort_unstable();
-        incident.dedup();
-        for e in incident {
-            self.remove_edge(Eid(e))?;
-        }
-        for (key, value) in &props {
-            self.index_remove(*key, value, v.0);
-        }
-        let cluster = rid_cluster(v.0) as usize;
-        self.vertex_clusters[cluster].free(rid_pos(v.0));
-        Ok(())
-    }
-
-    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
-        let (src, dst, _) = self.edge_parts(e.0)?;
-        let eid = e.0;
-        self.rewrite_vertex(src, |out, _, _| out.retain(|&x| x != eid))?;
-        self.rewrite_vertex(dst, |_, inn, _| inn.retain(|&x| x != eid))?;
-        let cluster = rid_cluster(eid) as usize;
-        self.edge_clusters[cluster].free(rid_pos(eid));
-        Ok(())
-    }
-
-    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
-        let Some(key) = self.keys.get(name) else {
-            self.vertex_record(v.0)?;
-            return Ok(None);
-        };
-        let mut old = None;
-        self.rewrite_vertex(v.0, |_, _, props| {
-            if let Some(p) = props.iter().position(|(k, _)| *k == key) {
-                old = Some(props.remove(p).1);
-            }
-        })?;
-        if let Some(old) = &old {
-            self.index_remove(key, old, v.0);
-        }
-        Ok(old)
-    }
-
-    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
-        let (src, dst, mut props) = self.edge_parts(e.0)?;
-        let Some(key) = self.keys.get(name) else {
-            return Ok(None);
-        };
-        let mut old = None;
-        if let Some(p) = props.iter().position(|(k, _)| *k == key) {
-            old = Some(props.remove(p).1);
-            let named: Props = props
-                .iter()
-                .map(|(k, val)| {
-                    (
-                        self.keys.resolve(*k).expect("known key").to_string(),
-                        val.clone(),
-                    )
-                })
-                .collect();
-            let buf = self.encode_edge(src, dst, &named);
-            let cluster = rid_cluster(e.0) as usize;
-            self.edge_clusters[cluster].put(rid_pos(e.0), &buf);
-        }
-        Ok(old)
     }
 
     fn neighbors(
@@ -862,34 +674,6 @@ impl GraphDb for ClusterGraph {
         Ok(self.vlabels.resolve(rid_cluster(v.0)).map(String::from))
     }
 
-    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
-        let key = self.keys.intern(prop);
-        if self.indexes.contains_key(&key) {
-            return Ok(());
-        }
-        let mut idx: BPlusTree<Value, Vec<u64>> = BPlusTree::new();
-        for (cluster, store) in self.vertex_clusters.iter().enumerate() {
-            for pos in store.iter_ids() {
-                let v = rid(cluster as u32, pos);
-                let props = self.vertex_props(v)?;
-                if let Some((_, value)) = props.into_iter().find(|(k, _)| *k == key) {
-                    match idx.get(&value) {
-                        Some(list) => {
-                            let mut list = list.clone();
-                            list.push(v);
-                            idx.insert(value, list);
-                        }
-                        None => {
-                            idx.insert(value, vec![v]);
-                        }
-                    }
-                }
-            }
-        }
-        self.indexes.insert(key, idx);
-        Ok(())
-    }
-
     fn has_vertex_index(&self, prop: &str) -> bool {
         self.keys
             .get(prop)
@@ -925,6 +709,225 @@ impl GraphDb for ClusterGraph {
             r.add("sb-tree indexes", idx);
         }
         r
+    }
+}
+
+impl GraphDb for ClusterGraph {
+    fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
+        if !self.vmap.is_empty() {
+            return Err(GdbError::Invalid(
+                "bulk_load requires an empty engine".into(),
+            ));
+        }
+        // Pass 1: edges first, collecting adjacency per canonical vertex, so
+        // each vertex record is written exactly once (no rewrite storm).
+        let mut out_adj: Vec<Vec<u64>> = vec![Vec::new(); data.vertices.len()];
+        let mut in_adj: Vec<Vec<u64>> = vec![Vec::new(); data.vertices.len()];
+        // Vertices need rids before edges can reference them: allocate
+        // positions deterministically (insertion order per label cluster).
+        self.vmap.reserve(data.vertices.len());
+        let mut pending_vertex_pos: Vec<(u32, u64)> = Vec::with_capacity(data.vertices.len());
+        let mut next_pos_per_cluster: FxHashMap<u32, u64> = FxHashMap::default();
+        for v in &data.vertices {
+            let cluster = self.vertex_cluster_for(&v.label);
+            let pos = next_pos_per_cluster.entry(cluster).or_insert(0);
+            pending_vertex_pos.push((cluster, *pos));
+            self.vmap.push(rid(cluster, *pos));
+            *pos += 1;
+        }
+        self.emap.reserve(data.edges.len());
+        for e in &data.edges {
+            let cluster = self.edge_cluster_for(&e.label);
+            let src = self.vmap[e.src as usize];
+            let dst = self.vmap[e.dst as usize];
+            let buf = self.encode_edge(src, dst, &e.props);
+            let pos = self.edge_clusters[cluster as usize].alloc(&buf);
+            let eid = rid(cluster, pos);
+            self.emap.push(eid);
+            out_adj[e.src as usize].push(eid);
+            in_adj[e.dst as usize].push(eid);
+        }
+        // Pass 2: write vertex records with their full RIDBAGs.
+        for (i, v) in data.vertices.iter().enumerate() {
+            let (cluster, expected_pos) = pending_vertex_pos[i];
+            let buf = self.encode_vertex(&out_adj[i], &in_adj[i], &v.props);
+            let pos = self.vertex_clusters[cluster as usize].alloc(&buf);
+            debug_assert_eq!(pos, expected_pos, "cluster position drift");
+        }
+        Ok(LoadStats {
+            vertices: data.vertices.len() as u64,
+            edges: data.edges.len() as u64,
+        })
+    }
+
+    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
+        let cluster = self.vertex_cluster_for(label);
+        let buf = self.encode_vertex(&[], &[], props);
+        let pos = self.vertex_clusters[cluster as usize].alloc(&buf);
+        let v = rid(cluster, pos);
+        for (name, value) in props {
+            let key = self.keys.intern(name);
+            self.index_insert(key, value, v);
+        }
+        Ok(Vid(v))
+    }
+
+    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
+        self.vertex_record(src.0)?;
+        self.vertex_record(dst.0)?;
+        let cluster = self.edge_cluster_for(label);
+        let buf = self.encode_edge(src.0, dst.0, props);
+        let pos = self.edge_clusters[cluster as usize].alloc(&buf);
+        let e = rid(cluster, pos);
+        // RIDBAG updates: rewrite both endpoint records (append-only).
+        self.rewrite_vertex(src.0, |out, _, _| out.push(e))?;
+        if dst != src {
+            self.rewrite_vertex(dst.0, |_, inn, _| inn.push(e))?;
+        } else {
+            self.rewrite_vertex(dst.0, |_, inn, _| inn.push(e))?;
+        }
+        Ok(Eid(e))
+    }
+
+    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
+        let key = self.keys.intern(name);
+        let mut old: Option<Value> = None;
+        let val = value.clone();
+        self.rewrite_vertex(v.0, |_, _, props| {
+            if let Some(slot) = props.iter_mut().find(|(k, _)| *k == key) {
+                old = Some(std::mem::replace(&mut slot.1, val));
+            } else {
+                props.push((key, val));
+            }
+        })?;
+        if let Some(old) = old {
+            self.index_remove(key, &old, v.0);
+        }
+        self.index_insert(key, &value, v.0);
+        Ok(())
+    }
+
+    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
+        let (src, dst, mut props) = self.edge_parts(e.0)?;
+        let key = self.keys.intern(name);
+        if let Some(slot) = props.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            props.push((key, value));
+        }
+        let named: Props = props
+            .iter()
+            .map(|(k, val)| {
+                (
+                    self.keys.resolve(*k).expect("known key").to_string(),
+                    val.clone(),
+                )
+            })
+            .collect();
+        let buf = self.encode_edge(src, dst, &named);
+        let cluster = rid_cluster(e.0) as usize;
+        if !self.edge_clusters[cluster].put(rid_pos(e.0), &buf) {
+            return Err(GdbError::EdgeNotFound(e.0));
+        }
+        Ok(())
+    }
+
+    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
+        let rec = self.vertex_record(v.0)?;
+        let (out, inn, mut pos) = Self::decode_adjacency(rec);
+        let props = self.decode_props(rec, &mut pos);
+        let mut incident: Vec<u64> = out;
+        incident.extend(inn);
+        incident.sort_unstable();
+        incident.dedup();
+        for e in incident {
+            self.remove_edge(Eid(e))?;
+        }
+        for (key, value) in &props {
+            self.index_remove(*key, value, v.0);
+        }
+        let cluster = rid_cluster(v.0) as usize;
+        self.vertex_clusters[cluster].free(rid_pos(v.0));
+        Ok(())
+    }
+
+    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
+        let (src, dst, _) = self.edge_parts(e.0)?;
+        let eid = e.0;
+        self.rewrite_vertex(src, |out, _, _| out.retain(|&x| x != eid))?;
+        self.rewrite_vertex(dst, |_, inn, _| inn.retain(|&x| x != eid))?;
+        let cluster = rid_cluster(eid) as usize;
+        self.edge_clusters[cluster].free(rid_pos(eid));
+        Ok(())
+    }
+
+    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        let Some(key) = self.keys.get(name) else {
+            self.vertex_record(v.0)?;
+            return Ok(None);
+        };
+        let mut old = None;
+        self.rewrite_vertex(v.0, |_, _, props| {
+            if let Some(p) = props.iter().position(|(k, _)| *k == key) {
+                old = Some(props.remove(p).1);
+            }
+        })?;
+        if let Some(old) = &old {
+            self.index_remove(key, old, v.0);
+        }
+        Ok(old)
+    }
+
+    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        let (src, dst, mut props) = self.edge_parts(e.0)?;
+        let Some(key) = self.keys.get(name) else {
+            return Ok(None);
+        };
+        let mut old = None;
+        if let Some(p) = props.iter().position(|(k, _)| *k == key) {
+            old = Some(props.remove(p).1);
+            let named: Props = props
+                .iter()
+                .map(|(k, val)| {
+                    (
+                        self.keys.resolve(*k).expect("known key").to_string(),
+                        val.clone(),
+                    )
+                })
+                .collect();
+            let buf = self.encode_edge(src, dst, &named);
+            let cluster = rid_cluster(e.0) as usize;
+            self.edge_clusters[cluster].put(rid_pos(e.0), &buf);
+        }
+        Ok(old)
+    }
+
+    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
+        let key = self.keys.intern(prop);
+        if self.indexes.contains_key(&key) {
+            return Ok(());
+        }
+        let mut idx: BPlusTree<Value, Vec<u64>> = BPlusTree::new();
+        for (cluster, store) in self.vertex_clusters.iter().enumerate() {
+            for pos in store.iter_ids() {
+                let v = rid(cluster as u32, pos);
+                let props = self.vertex_props(v)?;
+                if let Some((_, value)) = props.into_iter().find(|(k, _)| *k == key) {
+                    match idx.get(&value) {
+                        Some(list) => {
+                            let mut list = list.clone();
+                            list.push(v);
+                            idx.insert(value, list);
+                        }
+                        None => {
+                            idx.insert(value, vec![v]);
+                        }
+                    }
+                }
+            }
+        }
+        self.indexes.insert(key, idx);
+        Ok(())
     }
 }
 

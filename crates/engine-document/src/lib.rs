@@ -22,8 +22,8 @@
 use bytes::Bytes;
 
 use gm_model::api::{
-    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, LoadOptions, LoadStats, SpaceReport,
-    VertexData,
+    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, LoadOptions, LoadStats,
+    SpaceReport, VertexData,
 };
 use gm_model::fxmap::FxHashMap;
 use gm_model::interner::Interner;
@@ -41,6 +41,7 @@ const JOURNAL_FLUSH_THRESHOLD: usize = 1024;
 const EDGE_HEADER: usize = 16;
 
 /// The ArangoDB-class engine. See crate docs for the layout.
+#[derive(Clone)]
 pub struct DocumentGraph {
     vdocs: FxHashMap<u64, Bytes>,
     edocs: FxHashMap<u64, Bytes>,
@@ -257,7 +258,7 @@ impl DocumentGraph {
     }
 }
 
-impl GraphDb for DocumentGraph {
+impl GraphSnapshot for DocumentGraph {
     fn name(&self) -> String {
         "document".into()
     }
@@ -274,106 +275,12 @@ impl GraphDb for DocumentGraph {
         }
     }
 
-    fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
-        if !self.vmap.is_empty() {
-            return Err(GdbError::Invalid(
-                "bulk_load requires an empty engine".into(),
-            ));
-        }
-        // Native-script load path (the paper had to bypass Gremlin): write
-        // documents straight into the primary store.
-        for v in &data.vertices {
-            let key = self.alloc_key();
-            let label = self.vlabels.intern(&v.label);
-            let doc = self.encode_vertex_doc(label, &v.props);
-            self.vdocs.insert(key, doc);
-            self.vmap.push(key);
-        }
-        for e in &data.edges {
-            let key = self.alloc_key();
-            let label = self.elabels.intern(&e.label);
-            let from = self.vmap[e.src as usize];
-            let to = self.vmap[e.dst as usize];
-            let doc = self.encode_edge_doc(from, to, label, &e.props);
-            self.edocs.insert(key, doc);
-            self.out_index.insert(from, key);
-            self.in_index.insert(to, key);
-            self.emap.push(key);
-        }
-        Ok(LoadStats {
-            vertices: data.vertices.len() as u64,
-            edges: data.edges.len() as u64,
-        })
-    }
-
     fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
         self.vmap.get(canonical as usize).map(|&v| Vid(v))
     }
 
     fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
         self.emap.get(canonical as usize).map(|&e| Eid(e))
-    }
-
-    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
-        let key = self.alloc_key();
-        let label = self.vlabels.intern(label);
-        let doc = self.encode_vertex_doc(label, props);
-        self.put_vdoc(key, doc);
-        Ok(Vid(key))
-    }
-
-    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
-        if self.get_vdoc(src.0).is_none() {
-            return Err(GdbError::VertexNotFound(src.0));
-        }
-        if self.get_vdoc(dst.0).is_none() {
-            return Err(GdbError::VertexNotFound(dst.0));
-        }
-        let key = self.alloc_key();
-        let label = self.elabels.intern(label);
-        let doc = self.encode_edge_doc(src.0, dst.0, label, props);
-        self.put_edoc(key, doc);
-        // The endpoint hash index is maintained with the write (ArangoDB
-        // builds these automatically).
-        self.out_index.insert(src.0, key);
-        self.in_index.insert(dst.0, key);
-        Ok(Eid(key))
-    }
-
-    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
-        let doc = self
-            .get_vdoc(v.0)
-            .ok_or(GdbError::VertexNotFound(v.0))?
-            .clone();
-        let (label, mut props) = self.decode_vertex_doc(&doc);
-        let key = self.keys.intern(name);
-        if let Some(slot) = props.iter_mut().find(|(k, _)| *k == key) {
-            slot.1 = value;
-        } else {
-            props.push((key, value));
-        }
-        let named = self.resolve_props(props);
-        let doc = self.encode_vertex_doc(label, &named);
-        self.put_vdoc(v.0, doc);
-        Ok(())
-    }
-
-    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
-        let doc = self
-            .get_edoc(e.0)
-            .ok_or(GdbError::EdgeNotFound(e.0))?
-            .clone();
-        let (from, to, label, mut props) = self.decode_edge_doc(&doc);
-        let key = self.keys.intern(name);
-        if let Some(slot) = props.iter_mut().find(|(k, _)| *k == key) {
-            slot.1 = value;
-        } else {
-            props.push((key, value));
-        }
-        let named = self.resolve_props(props);
-        let doc = self.encode_edge_doc(from, to, label, &named);
-        self.put_edoc(e.0, doc);
-        Ok(())
     }
 
     fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
@@ -508,71 +415,6 @@ impl GraphDb for DocumentGraph {
                 }))
             }
         }
-    }
-
-    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
-        if self.get_vdoc(v.0).is_none() {
-            return Err(GdbError::VertexNotFound(v.0));
-        }
-        let mut incident = self.out_index.get(v.0);
-        incident.extend(self.in_index.get(v.0));
-        incident.sort_unstable();
-        incident.dedup();
-        for e in incident {
-            // Edge may already be gone if it was a self-loop handled earlier.
-            if self.get_edoc(e).is_some() {
-                self.remove_edge(Eid(e))?;
-            }
-        }
-        self.del_vdoc(v.0);
-        Ok(())
-    }
-
-    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
-        let doc = self.get_edoc(e.0).ok_or(GdbError::EdgeNotFound(e.0))?;
-        let (from, to) = Self::edge_endpoints_raw(doc);
-        self.out_index.remove(from, e.0);
-        self.in_index.remove(to, e.0);
-        self.del_edoc(e.0);
-        Ok(())
-    }
-
-    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
-        let doc = self
-            .get_vdoc(v.0)
-            .ok_or(GdbError::VertexNotFound(v.0))?
-            .clone();
-        let (label, mut props) = self.decode_vertex_doc(&doc);
-        let Some(key) = self.keys.get(name) else {
-            return Ok(None);
-        };
-        let Some(p) = props.iter().position(|(k, _)| *k == key) else {
-            return Ok(None);
-        };
-        let old = props.remove(p).1;
-        let named = self.resolve_props(props);
-        let doc = self.encode_vertex_doc(label, &named);
-        self.put_vdoc(v.0, doc);
-        Ok(Some(old))
-    }
-
-    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
-        let doc = self
-            .get_edoc(e.0)
-            .ok_or(GdbError::EdgeNotFound(e.0))?
-            .clone();
-        let (from, to, label, mut props) = self.decode_edge_doc(&doc);
-        let Some(key) = self.keys.get(name) else {
-            return Ok(None);
-        };
-        let Some(p) = props.iter().position(|(k, _)| *k == key) else {
-            return Ok(None);
-        };
-        let old = props.remove(p).1;
-        let named = self.resolve_props(props);
-        let doc = self.encode_edge_doc(from, to, label, &named);
-        self.put_edoc(e.0, doc);
-        Ok(Some(old))
     }
 
     fn neighbors(
@@ -729,16 +571,6 @@ impl GraphDb for DocumentGraph {
         }))
     }
 
-    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
-        // Accepted, recorded, never consulted by the Gremlin scan path
-        // (§6.4: "no difference in running times").
-        let key = self.keys.intern(prop);
-        if !self.declared_indexes.contains(&key) {
-            self.declared_indexes.push(key);
-        }
-        Ok(())
-    }
-
     fn has_vertex_index(&self, prop: &str) -> bool {
         self.keys
             .get(prop)
@@ -779,6 +611,177 @@ impl GraphDb for DocumentGraph {
             self.vlabels.bytes() + self.elabels.bytes() + self.keys.bytes(),
         );
         r
+    }
+}
+
+impl GraphDb for DocumentGraph {
+    fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
+        if !self.vmap.is_empty() {
+            return Err(GdbError::Invalid(
+                "bulk_load requires an empty engine".into(),
+            ));
+        }
+        // Native-script load path (the paper had to bypass Gremlin): write
+        // documents straight into the primary store.
+        for v in &data.vertices {
+            let key = self.alloc_key();
+            let label = self.vlabels.intern(&v.label);
+            let doc = self.encode_vertex_doc(label, &v.props);
+            self.vdocs.insert(key, doc);
+            self.vmap.push(key);
+        }
+        for e in &data.edges {
+            let key = self.alloc_key();
+            let label = self.elabels.intern(&e.label);
+            let from = self.vmap[e.src as usize];
+            let to = self.vmap[e.dst as usize];
+            let doc = self.encode_edge_doc(from, to, label, &e.props);
+            self.edocs.insert(key, doc);
+            self.out_index.insert(from, key);
+            self.in_index.insert(to, key);
+            self.emap.push(key);
+        }
+        Ok(LoadStats {
+            vertices: data.vertices.len() as u64,
+            edges: data.edges.len() as u64,
+        })
+    }
+
+    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
+        let key = self.alloc_key();
+        let label = self.vlabels.intern(label);
+        let doc = self.encode_vertex_doc(label, props);
+        self.put_vdoc(key, doc);
+        Ok(Vid(key))
+    }
+
+    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
+        if self.get_vdoc(src.0).is_none() {
+            return Err(GdbError::VertexNotFound(src.0));
+        }
+        if self.get_vdoc(dst.0).is_none() {
+            return Err(GdbError::VertexNotFound(dst.0));
+        }
+        let key = self.alloc_key();
+        let label = self.elabels.intern(label);
+        let doc = self.encode_edge_doc(src.0, dst.0, label, props);
+        self.put_edoc(key, doc);
+        // The endpoint hash index is maintained with the write (ArangoDB
+        // builds these automatically).
+        self.out_index.insert(src.0, key);
+        self.in_index.insert(dst.0, key);
+        Ok(Eid(key))
+    }
+
+    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
+        let doc = self
+            .get_vdoc(v.0)
+            .ok_or(GdbError::VertexNotFound(v.0))?
+            .clone();
+        let (label, mut props) = self.decode_vertex_doc(&doc);
+        let key = self.keys.intern(name);
+        if let Some(slot) = props.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            props.push((key, value));
+        }
+        let named = self.resolve_props(props);
+        let doc = self.encode_vertex_doc(label, &named);
+        self.put_vdoc(v.0, doc);
+        Ok(())
+    }
+
+    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
+        let doc = self
+            .get_edoc(e.0)
+            .ok_or(GdbError::EdgeNotFound(e.0))?
+            .clone();
+        let (from, to, label, mut props) = self.decode_edge_doc(&doc);
+        let key = self.keys.intern(name);
+        if let Some(slot) = props.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            props.push((key, value));
+        }
+        let named = self.resolve_props(props);
+        let doc = self.encode_edge_doc(from, to, label, &named);
+        self.put_edoc(e.0, doc);
+        Ok(())
+    }
+
+    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
+        if self.get_vdoc(v.0).is_none() {
+            return Err(GdbError::VertexNotFound(v.0));
+        }
+        let mut incident = self.out_index.get(v.0);
+        incident.extend(self.in_index.get(v.0));
+        incident.sort_unstable();
+        incident.dedup();
+        for e in incident {
+            // Edge may already be gone if it was a self-loop handled earlier.
+            if self.get_edoc(e).is_some() {
+                self.remove_edge(Eid(e))?;
+            }
+        }
+        self.del_vdoc(v.0);
+        Ok(())
+    }
+
+    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
+        let doc = self.get_edoc(e.0).ok_or(GdbError::EdgeNotFound(e.0))?;
+        let (from, to) = Self::edge_endpoints_raw(doc);
+        self.out_index.remove(from, e.0);
+        self.in_index.remove(to, e.0);
+        self.del_edoc(e.0);
+        Ok(())
+    }
+
+    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        let doc = self
+            .get_vdoc(v.0)
+            .ok_or(GdbError::VertexNotFound(v.0))?
+            .clone();
+        let (label, mut props) = self.decode_vertex_doc(&doc);
+        let Some(key) = self.keys.get(name) else {
+            return Ok(None);
+        };
+        let Some(p) = props.iter().position(|(k, _)| *k == key) else {
+            return Ok(None);
+        };
+        let old = props.remove(p).1;
+        let named = self.resolve_props(props);
+        let doc = self.encode_vertex_doc(label, &named);
+        self.put_vdoc(v.0, doc);
+        Ok(Some(old))
+    }
+
+    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        let doc = self
+            .get_edoc(e.0)
+            .ok_or(GdbError::EdgeNotFound(e.0))?
+            .clone();
+        let (from, to, label, mut props) = self.decode_edge_doc(&doc);
+        let Some(key) = self.keys.get(name) else {
+            return Ok(None);
+        };
+        let Some(p) = props.iter().position(|(k, _)| *k == key) else {
+            return Ok(None);
+        };
+        let old = props.remove(p).1;
+        let named = self.resolve_props(props);
+        let doc = self.encode_edge_doc(from, to, label, &named);
+        self.put_edoc(e.0, doc);
+        Ok(Some(old))
+    }
+
+    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
+        // Accepted, recorded, never consulted by the Gremlin scan path
+        // (§6.4: "no difference in running times").
+        let key = self.keys.intern(prop);
+        if !self.declared_indexes.contains(&key) {
+            self.declared_indexes.push(key);
+        }
+        Ok(())
     }
 
     fn sync(&mut self) -> GdbResult<()> {

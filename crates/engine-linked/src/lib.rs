@@ -22,8 +22,8 @@
 //!   loses on CUD / search-by-id / unfiltered edge walks.
 
 use gm_model::api::{
-    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, LoadOptions, LoadStats, SpaceReport,
-    VertexData,
+    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, LoadOptions, LoadStats,
+    SpaceReport, VertexData,
 };
 use gm_model::fxmap::FxHashMap;
 use gm_model::interner::Interner;
@@ -59,6 +59,7 @@ struct RelGroup {
 }
 
 /// The Neo4j-class engine. See the crate docs for the layout.
+#[derive(Clone)]
 pub struct LinkedGraph {
     variant: Variant,
     nodes: RecordFile,
@@ -527,7 +528,7 @@ impl LinkedGraph {
     }
 }
 
-impl GraphDb for LinkedGraph {
+impl GraphSnapshot for LinkedGraph {
     fn name(&self) -> String {
         match self.variant {
             Variant::V1 => "linked(v1)".into(),
@@ -547,91 +548,12 @@ impl GraphDb for LinkedGraph {
         }
     }
 
-    fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
-        if !self.nodes.is_empty() {
-            return Err(GdbError::Invalid(
-                "bulk_load requires an empty engine".into(),
-            ));
-        }
-        self.vmap.reserve(data.vertices.len());
-        for v in &data.vertices {
-            let vid = self.add_vertex(&v.label, &v.props)?;
-            self.vmap.push(vid.0);
-        }
-        self.emap.reserve(data.edges.len());
-        for e in &data.edges {
-            let src = self.vmap[e.src as usize];
-            let dst = self.vmap[e.dst as usize];
-            let label = self.labels.intern(&e.label);
-            let eid = self.add_edge_internal(src, dst, label, &e.props)?;
-            self.emap.push(eid);
-        }
-        Ok(LoadStats {
-            vertices: data.vertices.len() as u64,
-            edges: data.edges.len() as u64,
-        })
-    }
-
     fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
         self.vmap.get(canonical as usize).map(|&v| Vid(v))
     }
 
     fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
         self.emap.get(canonical as usize).map(|&e| Eid(e))
-    }
-
-    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
-        let label_id = self.labels.intern(label);
-        let mut first_prop = NIL;
-        for (name, value) in props {
-            let key = self.keys.intern(name);
-            first_prop = self.encode_and_alloc_prop(key, value, first_prop);
-        }
-        let mut rec = vec![0u8; NODE_REC];
-        Self::write_u32(&mut rec, 0, label_id);
-        Self::write_u64(&mut rec, 4, first_prop);
-        let v = self.nodes.alloc(&rec);
-        for (name, value) in props {
-            let key = self.keys.intern(name);
-            self.index_insert(key, value, v);
-        }
-        self.wrap_vertex(v);
-        Ok(Vid(v))
-    }
-
-    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
-        let label_id = self.labels.intern(label);
-        let e = self.add_edge_internal(src.0, dst.0, label_id, props)?;
-        self.wrap_edge(e);
-        Ok(Eid(e))
-    }
-
-    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
-        let head = self.first_prop_of_node(v.0)?;
-        let key = self.keys.intern(name);
-        let (new_head, old) = self.set_prop_in_chain(head, key, &value);
-        if new_head != head {
-            self.set_first_prop_of_node(v.0, new_head)?;
-        }
-        if let Some(old) = old {
-            self.index_remove(key, &old, v.0);
-        }
-        self.index_insert(key, &value, v.0);
-        self.wrap_vertex(v.0);
-        Ok(())
-    }
-
-    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
-        let mut rec = self.edge_rec(e.0)?;
-        let head = Self::read_u64(&rec, 52);
-        let key = self.keys.intern(name);
-        let (new_head, _) = self.set_prop_in_chain(head, key, &value);
-        if new_head != head {
-            Self::write_u64(&mut rec, 52, new_head);
-            self.edges.put(e.0, &rec);
-        }
-        self.wrap_edge(e.0);
-        Ok(())
     }
 
     fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
@@ -775,81 +697,6 @@ impl GraphDb for LinkedGraph {
                 }))
             }
         }
-    }
-
-    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
-        if !self.nodes.is_live(v.0) {
-            return Err(GdbError::VertexNotFound(v.0));
-        }
-        self.wrap_vertex(v.0);
-        // Collect incident edges first (walking while mutating is unsound).
-        let ctx = QueryCtx::unbounded();
-        let mut incident = Vec::new();
-        self.walk_edges(v.0, Direction::Both, None, &ctx, |e, _, _| {
-            incident.push(e);
-            true
-        })?;
-        incident.sort_unstable();
-        incident.dedup(); // self-loops appear on both chains
-        for e in incident {
-            self.remove_edge(Eid(e))?;
-        }
-        // Remove properties (and index entries).
-        let head = self.first_prop_of_node(v.0)?;
-        let props = self.collect_props(head);
-        for (name, value) in &props {
-            if let Some(key) = self.keys.get(name) {
-                self.index_remove(key, value, v.0);
-            }
-        }
-        self.free_prop_chain(head);
-        self.groups.remove(&v.0);
-        self.nodes.free(v.0);
-        Ok(())
-    }
-
-    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
-        let rec = self.edge_rec(e.0)?;
-        self.wrap_edge(e.0);
-        let src = Self::read_u64(&rec, 0);
-        let dst = Self::read_u64(&rec, 8);
-        let label = Self::read_u32(&rec, 16);
-        self.unlink_edge(e.0, src, label, true)?;
-        self.unlink_edge(e.0, dst, label, false)?;
-        self.free_prop_chain(Self::read_u64(&rec, 52));
-        self.edges.free(e.0);
-        Ok(())
-    }
-
-    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
-        let head = self.first_prop_of_node(v.0)?;
-        let Some(key) = self.keys.get(name) else {
-            return Ok(None);
-        };
-        let (new_head, old) = self.remove_prop_in_chain(head, key);
-        if new_head != head {
-            self.set_first_prop_of_node(v.0, new_head)?;
-        }
-        if let Some(old) = &old {
-            self.index_remove(key, old, v.0);
-        }
-        self.wrap_vertex(v.0);
-        Ok(old)
-    }
-
-    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
-        let mut rec = self.edge_rec(e.0)?;
-        let head = Self::read_u64(&rec, 52);
-        let Some(key) = self.keys.get(name) else {
-            return Ok(None);
-        };
-        let (new_head, old) = self.remove_prop_in_chain(head, key);
-        if new_head != head {
-            Self::write_u64(&mut rec, 52, new_head);
-            self.edges.put(e.0, &rec);
-        }
-        self.wrap_edge(e.0);
-        Ok(old)
     }
 
     fn neighbors(
@@ -1013,22 +860,6 @@ impl GraphDb for LinkedGraph {
         }
     }
 
-    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
-        let key = self.keys.intern(prop);
-        if self.indexes.contains_key(&key) {
-            return Ok(());
-        }
-        let mut idx: FxHashMap<Value, Vec<u64>> = FxHashMap::default();
-        for v in self.nodes.iter_ids() {
-            let head = Self::read_u64(self.nodes.get(v).expect("live"), 4);
-            if let Some((_, value)) = self.find_prop(head, key) {
-                idx.entry(value).or_default().push(v);
-            }
-        }
-        self.indexes.insert(key, idx);
-        Ok(())
-    }
-
     fn has_vertex_index(&self, prop: &str) -> bool {
         self.keys
             .get(prop)
@@ -1063,6 +894,178 @@ impl GraphDb for LinkedGraph {
             r.add("attribute indexes", idx_bytes);
         }
         r
+    }
+}
+
+impl GraphDb for LinkedGraph {
+    fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
+        if !self.nodes.is_empty() {
+            return Err(GdbError::Invalid(
+                "bulk_load requires an empty engine".into(),
+            ));
+        }
+        self.vmap.reserve(data.vertices.len());
+        for v in &data.vertices {
+            let vid = self.add_vertex(&v.label, &v.props)?;
+            self.vmap.push(vid.0);
+        }
+        self.emap.reserve(data.edges.len());
+        for e in &data.edges {
+            let src = self.vmap[e.src as usize];
+            let dst = self.vmap[e.dst as usize];
+            let label = self.labels.intern(&e.label);
+            let eid = self.add_edge_internal(src, dst, label, &e.props)?;
+            self.emap.push(eid);
+        }
+        Ok(LoadStats {
+            vertices: data.vertices.len() as u64,
+            edges: data.edges.len() as u64,
+        })
+    }
+
+    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
+        let label_id = self.labels.intern(label);
+        let mut first_prop = NIL;
+        for (name, value) in props {
+            let key = self.keys.intern(name);
+            first_prop = self.encode_and_alloc_prop(key, value, first_prop);
+        }
+        let mut rec = vec![0u8; NODE_REC];
+        Self::write_u32(&mut rec, 0, label_id);
+        Self::write_u64(&mut rec, 4, first_prop);
+        let v = self.nodes.alloc(&rec);
+        for (name, value) in props {
+            let key = self.keys.intern(name);
+            self.index_insert(key, value, v);
+        }
+        self.wrap_vertex(v);
+        Ok(Vid(v))
+    }
+
+    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
+        let label_id = self.labels.intern(label);
+        let e = self.add_edge_internal(src.0, dst.0, label_id, props)?;
+        self.wrap_edge(e);
+        Ok(Eid(e))
+    }
+
+    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
+        let head = self.first_prop_of_node(v.0)?;
+        let key = self.keys.intern(name);
+        let (new_head, old) = self.set_prop_in_chain(head, key, &value);
+        if new_head != head {
+            self.set_first_prop_of_node(v.0, new_head)?;
+        }
+        if let Some(old) = old {
+            self.index_remove(key, &old, v.0);
+        }
+        self.index_insert(key, &value, v.0);
+        self.wrap_vertex(v.0);
+        Ok(())
+    }
+
+    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
+        let mut rec = self.edge_rec(e.0)?;
+        let head = Self::read_u64(&rec, 52);
+        let key = self.keys.intern(name);
+        let (new_head, _) = self.set_prop_in_chain(head, key, &value);
+        if new_head != head {
+            Self::write_u64(&mut rec, 52, new_head);
+            self.edges.put(e.0, &rec);
+        }
+        self.wrap_edge(e.0);
+        Ok(())
+    }
+
+    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
+        if !self.nodes.is_live(v.0) {
+            return Err(GdbError::VertexNotFound(v.0));
+        }
+        self.wrap_vertex(v.0);
+        // Collect incident edges first (walking while mutating is unsound).
+        let ctx = QueryCtx::unbounded();
+        let mut incident = Vec::new();
+        self.walk_edges(v.0, Direction::Both, None, &ctx, |e, _, _| {
+            incident.push(e);
+            true
+        })?;
+        incident.sort_unstable();
+        incident.dedup(); // self-loops appear on both chains
+        for e in incident {
+            self.remove_edge(Eid(e))?;
+        }
+        // Remove properties (and index entries).
+        let head = self.first_prop_of_node(v.0)?;
+        let props = self.collect_props(head);
+        for (name, value) in &props {
+            if let Some(key) = self.keys.get(name) {
+                self.index_remove(key, value, v.0);
+            }
+        }
+        self.free_prop_chain(head);
+        self.groups.remove(&v.0);
+        self.nodes.free(v.0);
+        Ok(())
+    }
+
+    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
+        let rec = self.edge_rec(e.0)?;
+        self.wrap_edge(e.0);
+        let src = Self::read_u64(&rec, 0);
+        let dst = Self::read_u64(&rec, 8);
+        let label = Self::read_u32(&rec, 16);
+        self.unlink_edge(e.0, src, label, true)?;
+        self.unlink_edge(e.0, dst, label, false)?;
+        self.free_prop_chain(Self::read_u64(&rec, 52));
+        self.edges.free(e.0);
+        Ok(())
+    }
+
+    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        let head = self.first_prop_of_node(v.0)?;
+        let Some(key) = self.keys.get(name) else {
+            return Ok(None);
+        };
+        let (new_head, old) = self.remove_prop_in_chain(head, key);
+        if new_head != head {
+            self.set_first_prop_of_node(v.0, new_head)?;
+        }
+        if let Some(old) = &old {
+            self.index_remove(key, old, v.0);
+        }
+        self.wrap_vertex(v.0);
+        Ok(old)
+    }
+
+    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        let mut rec = self.edge_rec(e.0)?;
+        let head = Self::read_u64(&rec, 52);
+        let Some(key) = self.keys.get(name) else {
+            return Ok(None);
+        };
+        let (new_head, old) = self.remove_prop_in_chain(head, key);
+        if new_head != head {
+            Self::write_u64(&mut rec, 52, new_head);
+            self.edges.put(e.0, &rec);
+        }
+        self.wrap_edge(e.0);
+        Ok(old)
+    }
+
+    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
+        let key = self.keys.intern(prop);
+        if self.indexes.contains_key(&key) {
+            return Ok(());
+        }
+        let mut idx: FxHashMap<Value, Vec<u64>> = FxHashMap::default();
+        for v in self.nodes.iter_ids() {
+            let head = Self::read_u64(self.nodes.get(v).expect("live"), 4);
+            if let Some((_, value)) = self.find_prop(head, key) {
+                idx.entry(value).or_default().push(v);
+            }
+        }
+        self.indexes.insert(key, idx);
+        Ok(())
     }
 }
 

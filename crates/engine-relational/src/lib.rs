@@ -21,8 +21,8 @@
 //!   notes Sqlg "has a limit on the maximum length of labels").
 
 use gm_model::api::{
-    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, LoadOptions, LoadStats, SpaceReport,
-    VertexData,
+    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, LoadOptions, LoadStats,
+    SpaceReport, VertexData,
 };
 use gm_model::fxmap::FxHashMap;
 use gm_model::interner::Interner;
@@ -49,7 +49,7 @@ fn gid_row(g: u64) -> u64 {
 }
 
 /// A vertex table: one per vertex label.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct VertexTable {
     /// Column key ids in declaration order.
     columns: Vec<u32>,
@@ -112,7 +112,7 @@ impl VertexTable {
 type EdgeRow = (u64, u64, Vec<Option<Value>>);
 
 /// An edge table: one per edge label (a many-to-many join table).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct EdgeTable {
     columns: Vec<u32>,
     /// Rows; `None` = deleted.
@@ -168,6 +168,7 @@ impl EdgeTable {
 }
 
 /// The Sqlg-class engine. See crate docs for the layout.
+#[derive(Clone)]
 pub struct RelationalGraph {
     vtables: Vec<VertexTable>,
     etables: Vec<EdgeTable>,
@@ -301,7 +302,7 @@ impl RelationalGraph {
     }
 }
 
-impl GraphDb for RelationalGraph {
+impl GraphSnapshot for RelationalGraph {
     fn name(&self) -> String {
         "relational".into()
     }
@@ -318,89 +319,12 @@ impl GraphDb for RelationalGraph {
         }
     }
 
-    fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
-        if !self.vmap.is_empty() {
-            return Err(GdbError::Invalid(
-                "bulk_load requires an empty engine".into(),
-            ));
-        }
-        // Declare the full schema first (one ALTER storm avoided), as Sqlg's
-        // COPY-based loader effectively does.
-        for v in &data.vertices {
-            let table = self.vtable_for(&v.label)?;
-            let keys: Vec<u32> = v.props.iter().map(|(n, _)| self.keys.intern(n)).collect();
-            let t = &mut self.vtables[table as usize];
-            for k in keys {
-                t.ensure_column(k);
-            }
-        }
-        for v in &data.vertices {
-            let table = self.vtable_for(&v.label)?;
-            let g = self.insert_vertex_row(table, &v.props)?;
-            self.vmap.push(g);
-        }
-        for e in &data.edges {
-            let table = self.etable_for(&e.label)?;
-            let g = self.insert_edge_row(
-                table,
-                self.vmap[e.src as usize],
-                self.vmap[e.dst as usize],
-                &e.props,
-            )?;
-            self.emap.push(g);
-        }
-        Ok(LoadStats {
-            vertices: data.vertices.len() as u64,
-            edges: data.edges.len() as u64,
-        })
-    }
-
     fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
         self.vmap.get(canonical as usize).map(|&v| Vid(v))
     }
 
     fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
         self.emap.get(canonical as usize).map(|&e| Eid(e))
-    }
-
-    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
-        let table = self.vtable_for(label)?;
-        Ok(Vid(self.insert_vertex_row(table, props)?))
-    }
-
-    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
-        self.vrow(src.0)?;
-        self.vrow(dst.0)?;
-        let table = self.etable_for(label)?;
-        Ok(Eid(self.insert_edge_row(table, src.0, dst.0, props)?))
-    }
-
-    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
-        self.vrow(v.0)?;
-        Self::check_identifier(name)?;
-        let key = self.keys.intern(name);
-        let t = &mut self.vtables[gid_table(v.0) as usize];
-        let pos = t.ensure_column(key);
-        let row = gid_row(v.0);
-        let cells = t.rows[row as usize].as_mut().expect("checked live");
-        let old = cells[pos].replace(value.clone());
-        if let Some(old) = old {
-            t.index_remove(key, &old, row);
-        }
-        t.index_insert(key, &value, row);
-        Ok(())
-    }
-
-    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
-        self.erow(e.0)?;
-        Self::check_identifier(name)?;
-        let key = self.keys.intern(name);
-        let t = &mut self.etables[gid_table(e.0) as usize];
-        let pos = t.ensure_column(key);
-        let row = gid_row(e.0);
-        let cells = &mut t.rows[row as usize].as_mut().expect("checked live").2;
-        cells[pos] = Some(value);
-        Ok(())
     }
 
     fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
@@ -561,84 +485,6 @@ impl GraphDb for RelationalGraph {
                 }))
             }
         }
-    }
-
-    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
-        self.vrow(v.0)?;
-        // Delete incident edges: probe the FK indexes of every edge table.
-        let mut incident: Vec<u64> = Vec::new();
-        for (table, t) in self.etables.iter().enumerate() {
-            for row in t.rows_by_endpoint(v.0, true) {
-                incident.push(gid(table as u32, row));
-            }
-            for row in t.rows_by_endpoint(v.0, false) {
-                incident.push(gid(table as u32, row));
-            }
-        }
-        incident.sort_unstable();
-        incident.dedup();
-        for e in incident {
-            self.remove_edge(Eid(e))?;
-        }
-        let table = gid_table(v.0);
-        let row = gid_row(v.0);
-        let t = &mut self.vtables[table as usize];
-        // Drop index entries for this row.
-        let cells = t.rows[row as usize].take().expect("checked live");
-        t.live -= 1;
-        let columns = t.columns.clone();
-        for (k, cell) in columns.iter().zip(cells) {
-            if let Some(value) = cell {
-                t.index_remove(*k, &value, row);
-            }
-        }
-        Ok(())
-    }
-
-    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
-        self.erow(e.0)?;
-        let table = gid_table(e.0);
-        let row = gid_row(e.0);
-        let t = &mut self.etables[table as usize];
-        let (src, dst, _) = t.rows[row as usize].take().expect("checked live");
-        t.live -= 1;
-        t.src_index.remove(&(src, row));
-        t.dst_index.remove(&(dst, row));
-        Ok(())
-    }
-
-    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
-        self.vrow(v.0)?;
-        let Some(key) = self.resolve_key(name) else {
-            return Ok(None);
-        };
-        let t = &mut self.vtables[gid_table(v.0) as usize];
-        let Some(pos) = t.column_pos(key) else {
-            return Ok(None);
-        };
-        let row = gid_row(v.0);
-        let cells = t.rows[row as usize].as_mut().expect("checked live");
-        let old = cells[pos].take();
-        if let Some(old) = &old {
-            t.index_remove(key, old, row);
-        }
-        Ok(old)
-    }
-
-    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
-        self.erow(e.0)?;
-        let Some(key) = self.resolve_key(name) else {
-            return Ok(None);
-        };
-        let t = &mut self.etables[gid_table(e.0) as usize];
-        let Some(pos) = t.column_pos(key) else {
-            return Ok(None);
-        };
-        let cells = &mut t.rows[gid_row(e.0) as usize]
-            .as_mut()
-            .expect("checked live")
-            .2;
-        Ok(cells[pos].take())
     }
 
     fn neighbors(
@@ -836,28 +682,6 @@ impl GraphDb for RelationalGraph {
         Ok(out)
     }
 
-    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
-        let key = self.keys.intern(prop);
-        for t in self.vtables.iter_mut() {
-            if t.indexes.contains_key(&key) {
-                continue;
-            }
-            let Some(pos) = t.column_pos(key) else {
-                continue;
-            };
-            let mut idx: BPlusTree<(Value, u64), ()> = BPlusTree::new();
-            for (row, cells) in t.rows.iter().enumerate() {
-                if let Some(cells) = cells {
-                    if let Some(value) = &cells[pos] {
-                        idx.insert((value.clone(), row as u64), ());
-                    }
-                }
-            }
-            t.indexes.insert(key, idx);
-        }
-        Ok(())
-    }
-
     fn has_vertex_index(&self, prop: &str) -> bool {
         self.keys
             .get(prop)
@@ -880,6 +704,185 @@ impl GraphDb for RelationalGraph {
             self.vlabels.bytes() + self.elabels.bytes() + self.keys.bytes(),
         );
         r
+    }
+}
+
+impl GraphDb for RelationalGraph {
+    fn bulk_load(&mut self, data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
+        if !self.vmap.is_empty() {
+            return Err(GdbError::Invalid(
+                "bulk_load requires an empty engine".into(),
+            ));
+        }
+        // Declare the full schema first (one ALTER storm avoided), as Sqlg's
+        // COPY-based loader effectively does.
+        for v in &data.vertices {
+            let table = self.vtable_for(&v.label)?;
+            let keys: Vec<u32> = v.props.iter().map(|(n, _)| self.keys.intern(n)).collect();
+            let t = &mut self.vtables[table as usize];
+            for k in keys {
+                t.ensure_column(k);
+            }
+        }
+        for v in &data.vertices {
+            let table = self.vtable_for(&v.label)?;
+            let g = self.insert_vertex_row(table, &v.props)?;
+            self.vmap.push(g);
+        }
+        for e in &data.edges {
+            let table = self.etable_for(&e.label)?;
+            let g = self.insert_edge_row(
+                table,
+                self.vmap[e.src as usize],
+                self.vmap[e.dst as usize],
+                &e.props,
+            )?;
+            self.emap.push(g);
+        }
+        Ok(LoadStats {
+            vertices: data.vertices.len() as u64,
+            edges: data.edges.len() as u64,
+        })
+    }
+
+    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
+        let table = self.vtable_for(label)?;
+        Ok(Vid(self.insert_vertex_row(table, props)?))
+    }
+
+    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
+        self.vrow(src.0)?;
+        self.vrow(dst.0)?;
+        let table = self.etable_for(label)?;
+        Ok(Eid(self.insert_edge_row(table, src.0, dst.0, props)?))
+    }
+
+    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
+        self.vrow(v.0)?;
+        Self::check_identifier(name)?;
+        let key = self.keys.intern(name);
+        let t = &mut self.vtables[gid_table(v.0) as usize];
+        let pos = t.ensure_column(key);
+        let row = gid_row(v.0);
+        let cells = t.rows[row as usize].as_mut().expect("checked live");
+        let old = cells[pos].replace(value.clone());
+        if let Some(old) = old {
+            t.index_remove(key, &old, row);
+        }
+        t.index_insert(key, &value, row);
+        Ok(())
+    }
+
+    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
+        self.erow(e.0)?;
+        Self::check_identifier(name)?;
+        let key = self.keys.intern(name);
+        let t = &mut self.etables[gid_table(e.0) as usize];
+        let pos = t.ensure_column(key);
+        let row = gid_row(e.0);
+        let cells = &mut t.rows[row as usize].as_mut().expect("checked live").2;
+        cells[pos] = Some(value);
+        Ok(())
+    }
+
+    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
+        self.vrow(v.0)?;
+        // Delete incident edges: probe the FK indexes of every edge table.
+        let mut incident: Vec<u64> = Vec::new();
+        for (table, t) in self.etables.iter().enumerate() {
+            for row in t.rows_by_endpoint(v.0, true) {
+                incident.push(gid(table as u32, row));
+            }
+            for row in t.rows_by_endpoint(v.0, false) {
+                incident.push(gid(table as u32, row));
+            }
+        }
+        incident.sort_unstable();
+        incident.dedup();
+        for e in incident {
+            self.remove_edge(Eid(e))?;
+        }
+        let table = gid_table(v.0);
+        let row = gid_row(v.0);
+        let t = &mut self.vtables[table as usize];
+        // Drop index entries for this row.
+        let cells = t.rows[row as usize].take().expect("checked live");
+        t.live -= 1;
+        let columns = t.columns.clone();
+        for (k, cell) in columns.iter().zip(cells) {
+            if let Some(value) = cell {
+                t.index_remove(*k, &value, row);
+            }
+        }
+        Ok(())
+    }
+
+    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
+        self.erow(e.0)?;
+        let table = gid_table(e.0);
+        let row = gid_row(e.0);
+        let t = &mut self.etables[table as usize];
+        let (src, dst, _) = t.rows[row as usize].take().expect("checked live");
+        t.live -= 1;
+        t.src_index.remove(&(src, row));
+        t.dst_index.remove(&(dst, row));
+        Ok(())
+    }
+
+    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        self.vrow(v.0)?;
+        let Some(key) = self.resolve_key(name) else {
+            return Ok(None);
+        };
+        let t = &mut self.vtables[gid_table(v.0) as usize];
+        let Some(pos) = t.column_pos(key) else {
+            return Ok(None);
+        };
+        let row = gid_row(v.0);
+        let cells = t.rows[row as usize].as_mut().expect("checked live");
+        let old = cells[pos].take();
+        if let Some(old) = &old {
+            t.index_remove(key, old, row);
+        }
+        Ok(old)
+    }
+
+    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        self.erow(e.0)?;
+        let Some(key) = self.resolve_key(name) else {
+            return Ok(None);
+        };
+        let t = &mut self.etables[gid_table(e.0) as usize];
+        let Some(pos) = t.column_pos(key) else {
+            return Ok(None);
+        };
+        let cells = &mut t.rows[gid_row(e.0) as usize]
+            .as_mut()
+            .expect("checked live")
+            .2;
+        Ok(cells[pos].take())
+    }
+
+    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
+        let key = self.keys.intern(prop);
+        for t in self.vtables.iter_mut() {
+            if t.indexes.contains_key(&key) {
+                continue;
+            }
+            let Some(pos) = t.column_pos(key) else {
+                continue;
+            };
+            let mut idx: BPlusTree<(Value, u64), ()> = BPlusTree::new();
+            for (row, cells) in t.rows.iter().enumerate() {
+                if let Some(cells) = cells {
+                    if let Some(value) = &cells[pos] {
+                        idx.insert((value.clone(), row as u64), ());
+                    }
+                }
+            }
+            t.indexes.insert(key, idx);
+        }
+        Ok(())
     }
 }
 

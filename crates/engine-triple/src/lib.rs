@@ -22,8 +22,8 @@
 use std::collections::HashMap;
 
 use gm_model::api::{
-    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, LoadOptions, LoadStats, SpaceReport,
-    VertexData,
+    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, LoadOptions, LoadStats,
+    SpaceReport, VertexData,
 };
 use gm_model::fxmap::FxHashMap;
 use gm_model::value::{Props, Value};
@@ -58,6 +58,7 @@ enum Term {
 type Triple = (u64, u64, u64);
 
 /// The BlazeGraph-class engine. See crate docs for the layout.
+#[derive(Clone)]
 pub struct TripleGraph {
     terms: Vec<Term>,
     literals: HashMap<Value, u64>,
@@ -265,7 +266,7 @@ impl TripleGraph {
     }
 }
 
-impl GraphDb for TripleGraph {
+impl GraphSnapshot for TripleGraph {
     fn name(&self) -> String {
         "triple".into()
     }
@@ -282,121 +283,12 @@ impl GraphDb for TripleGraph {
         }
     }
 
-    fn bulk_load(&mut self, data: &Dataset, opts: &LoadOptions) -> GdbResult<LoadStats> {
-        if !self.vmap.is_empty() {
-            return Err(GdbError::Invalid(
-                "bulk_load requires an empty engine".into(),
-            ));
-        }
-        if opts.bulk {
-            // Bulk path: dictionary-encode everything first, then build each
-            // index from pre-sorted statements (append-mostly inserts).
-            let mut stmts: Vec<Triple> = Vec::new();
-            for v in &data.vertices {
-                let term = self.new_vertex_term();
-                self.vmap.push(term);
-                let label_term = self.literal(&Value::Str(v.label.clone()));
-                stmts.push((term, P_TYPE, label_term));
-                for (name, value) in &v.props {
-                    let p = self.pred(name);
-                    let o = self.literal(value);
-                    stmts.push((term, p, o));
-                }
-            }
-            for e in &data.edges {
-                let term = self.new_edge_term();
-                self.emap.push(term);
-                let label_term = self.literal(&Value::Str(e.label.clone()));
-                stmts.push((term, P_SRC, self.vmap[e.src as usize]));
-                stmts.push((term, P_DST, self.vmap[e.dst as usize]));
-                stmts.push((term, P_LBL, label_term));
-                for (name, value) in &e.props {
-                    let p = self.pred(name);
-                    let o = self.literal(value);
-                    stmts.push((term, p, o));
-                }
-            }
-            stmts.sort_unstable();
-            stmts.dedup();
-            for &(s, p, o) in &stmts {
-                self.spo.insert((s, p, o), ());
-            }
-            let mut pos_stmts: Vec<Triple> = stmts.iter().map(|&(s, p, o)| (p, o, s)).collect();
-            pos_stmts.sort_unstable();
-            for &k in &pos_stmts {
-                self.pos.insert(k, ());
-            }
-            let mut osp_stmts: Vec<Triple> = stmts.iter().map(|&(s, p, o)| (o, s, p)).collect();
-            osp_stmts.sort_unstable();
-            for &k in &osp_stmts {
-                self.osp.insert(k, ());
-            }
-            // Metadata once, at the end.
-            for &(_, p, _) in &stmts {
-                *self.pred_stats.entry(p).or_insert(0) += 1;
-            }
-            self.statements = stmts.len() as u64;
-        } else {
-            // Default path: statement-at-a-time, metadata after each item.
-            for v in &data.vertices {
-                let term = self.add_vertex_stmts(&v.label, &v.props);
-                self.vmap.push(term);
-            }
-            for e in &data.edges {
-                let term = self.add_edge_stmts(
-                    self.vmap[e.src as usize],
-                    self.vmap[e.dst as usize],
-                    &e.label,
-                    &e.props,
-                );
-                self.emap.push(term);
-            }
-        }
-        Ok(LoadStats {
-            vertices: data.vertices.len() as u64,
-            edges: data.edges.len() as u64,
-        })
-    }
-
     fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
         self.vmap.get(canonical as usize).map(|&v| Vid(v))
     }
 
     fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
         self.emap.get(canonical as usize).map(|&e| Eid(e))
-    }
-
-    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
-        Ok(Vid(self.add_vertex_stmts(label, props)))
-    }
-
-    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
-        self.require_vertex(src.0)?;
-        self.require_vertex(dst.0)?;
-        Ok(Eid(self.add_edge_stmts(src.0, dst.0, label, props)))
-    }
-
-    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
-        self.require_vertex(v.0)?;
-        let p = self.pred(name);
-        // Retract the old statement (if any), assert the new one.
-        if let Some(o) = self.object_of(v.0, p) {
-            self.retract_stmt(v.0, p, o);
-        }
-        let o = self.literal(&value);
-        self.assert_stmt(v.0, p, o);
-        Ok(())
-    }
-
-    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
-        self.require_edge(e.0)?;
-        let p = self.pred(name);
-        if let Some(o) = self.object_of(e.0, p) {
-            self.retract_stmt(e.0, p, o);
-        }
-        let o = self.literal(&value);
-        self.assert_stmt(e.0, p, o);
-        Ok(())
     }
 
     fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
@@ -528,66 +420,6 @@ impl GraphDb for TripleGraph {
             label,
             props: self.props_of(e.0),
         }))
-    }
-
-    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
-        self.require_vertex(v.0)?;
-        // Incident edges via POS on src/dst.
-        let mut incident: Vec<u64> = self
-            .pos_range(P_SRC, Some(v.0))
-            .into_iter()
-            .map(|(_, _, s)| s)
-            .collect();
-        incident.extend(
-            self.pos_range(P_DST, Some(v.0))
-                .into_iter()
-                .map(|(_, _, s)| s),
-        );
-        incident.sort_unstable();
-        incident.dedup();
-        for e in incident {
-            self.remove_edge(Eid(e))?;
-        }
-        for (s, p, o) in self.spo_range(v.0, None) {
-            self.retract_stmt(s, p, o);
-        }
-        Ok(())
-    }
-
-    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
-        self.require_edge(e.0)?;
-        for (s, p, o) in self.spo_range(e.0, None) {
-            self.retract_stmt(s, p, o);
-        }
-        Ok(())
-    }
-
-    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
-        self.require_vertex(v.0)?;
-        let Some(&p) = self.preds.get(name) else {
-            return Ok(None);
-        };
-        if let Some(o) = self.object_of(v.0, p) {
-            let old = self.literal_value(o).cloned();
-            self.retract_stmt(v.0, p, o);
-            Ok(old)
-        } else {
-            Ok(None)
-        }
-    }
-
-    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
-        self.require_edge(e.0)?;
-        let Some(&p) = self.preds.get(name) else {
-            return Ok(None);
-        };
-        if let Some(o) = self.object_of(e.0, p) {
-            let old = self.literal_value(o).cloned();
-            self.retract_stmt(e.0, p, o);
-            Ok(old)
-        } else {
-            Ok(None)
-        }
     }
 
     fn neighbors(
@@ -763,12 +595,6 @@ impl GraphDb for TripleGraph {
             .and_then(|val| val.as_str().map(String::from)))
     }
 
-    fn create_vertex_index(&mut self, _prop: &str) -> GdbResult<()> {
-        Err(GdbError::Unsupported(
-            "BlazeGraph-class engine has no user-controllable attribute indexes".into(),
-        ))
-    }
-
     fn has_vertex_index(&self, _prop: &str) -> bool {
         false
     }
@@ -795,6 +621,183 @@ impl GraphDb for TripleGraph {
         let extents = raw.div_ceil(JOURNAL_EXTENT).max(1) * JOURNAL_EXTENT;
         r.add("journal (fixed extents)", extents);
         r
+    }
+}
+
+impl GraphDb for TripleGraph {
+    fn bulk_load(&mut self, data: &Dataset, opts: &LoadOptions) -> GdbResult<LoadStats> {
+        if !self.vmap.is_empty() {
+            return Err(GdbError::Invalid(
+                "bulk_load requires an empty engine".into(),
+            ));
+        }
+        if opts.bulk {
+            // Bulk path: dictionary-encode everything first, then build each
+            // index from pre-sorted statements (append-mostly inserts).
+            let mut stmts: Vec<Triple> = Vec::new();
+            for v in &data.vertices {
+                let term = self.new_vertex_term();
+                self.vmap.push(term);
+                let label_term = self.literal(&Value::Str(v.label.clone()));
+                stmts.push((term, P_TYPE, label_term));
+                for (name, value) in &v.props {
+                    let p = self.pred(name);
+                    let o = self.literal(value);
+                    stmts.push((term, p, o));
+                }
+            }
+            for e in &data.edges {
+                let term = self.new_edge_term();
+                self.emap.push(term);
+                let label_term = self.literal(&Value::Str(e.label.clone()));
+                stmts.push((term, P_SRC, self.vmap[e.src as usize]));
+                stmts.push((term, P_DST, self.vmap[e.dst as usize]));
+                stmts.push((term, P_LBL, label_term));
+                for (name, value) in &e.props {
+                    let p = self.pred(name);
+                    let o = self.literal(value);
+                    stmts.push((term, p, o));
+                }
+            }
+            stmts.sort_unstable();
+            stmts.dedup();
+            for &(s, p, o) in &stmts {
+                self.spo.insert((s, p, o), ());
+            }
+            let mut pos_stmts: Vec<Triple> = stmts.iter().map(|&(s, p, o)| (p, o, s)).collect();
+            pos_stmts.sort_unstable();
+            for &k in &pos_stmts {
+                self.pos.insert(k, ());
+            }
+            let mut osp_stmts: Vec<Triple> = stmts.iter().map(|&(s, p, o)| (o, s, p)).collect();
+            osp_stmts.sort_unstable();
+            for &k in &osp_stmts {
+                self.osp.insert(k, ());
+            }
+            // Metadata once, at the end.
+            for &(_, p, _) in &stmts {
+                *self.pred_stats.entry(p).or_insert(0) += 1;
+            }
+            self.statements = stmts.len() as u64;
+        } else {
+            // Default path: statement-at-a-time, metadata after each item.
+            for v in &data.vertices {
+                let term = self.add_vertex_stmts(&v.label, &v.props);
+                self.vmap.push(term);
+            }
+            for e in &data.edges {
+                let term = self.add_edge_stmts(
+                    self.vmap[e.src as usize],
+                    self.vmap[e.dst as usize],
+                    &e.label,
+                    &e.props,
+                );
+                self.emap.push(term);
+            }
+        }
+        Ok(LoadStats {
+            vertices: data.vertices.len() as u64,
+            edges: data.edges.len() as u64,
+        })
+    }
+
+    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
+        Ok(Vid(self.add_vertex_stmts(label, props)))
+    }
+
+    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
+        self.require_vertex(src.0)?;
+        self.require_vertex(dst.0)?;
+        Ok(Eid(self.add_edge_stmts(src.0, dst.0, label, props)))
+    }
+
+    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
+        self.require_vertex(v.0)?;
+        let p = self.pred(name);
+        // Retract the old statement (if any), assert the new one.
+        if let Some(o) = self.object_of(v.0, p) {
+            self.retract_stmt(v.0, p, o);
+        }
+        let o = self.literal(&value);
+        self.assert_stmt(v.0, p, o);
+        Ok(())
+    }
+
+    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
+        self.require_edge(e.0)?;
+        let p = self.pred(name);
+        if let Some(o) = self.object_of(e.0, p) {
+            self.retract_stmt(e.0, p, o);
+        }
+        let o = self.literal(&value);
+        self.assert_stmt(e.0, p, o);
+        Ok(())
+    }
+
+    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
+        self.require_vertex(v.0)?;
+        // Incident edges via POS on src/dst.
+        let mut incident: Vec<u64> = self
+            .pos_range(P_SRC, Some(v.0))
+            .into_iter()
+            .map(|(_, _, s)| s)
+            .collect();
+        incident.extend(
+            self.pos_range(P_DST, Some(v.0))
+                .into_iter()
+                .map(|(_, _, s)| s),
+        );
+        incident.sort_unstable();
+        incident.dedup();
+        for e in incident {
+            self.remove_edge(Eid(e))?;
+        }
+        for (s, p, o) in self.spo_range(v.0, None) {
+            self.retract_stmt(s, p, o);
+        }
+        Ok(())
+    }
+
+    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
+        self.require_edge(e.0)?;
+        for (s, p, o) in self.spo_range(e.0, None) {
+            self.retract_stmt(s, p, o);
+        }
+        Ok(())
+    }
+
+    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        self.require_vertex(v.0)?;
+        let Some(&p) = self.preds.get(name) else {
+            return Ok(None);
+        };
+        if let Some(o) = self.object_of(v.0, p) {
+            let old = self.literal_value(o).cloned();
+            self.retract_stmt(v.0, p, o);
+            Ok(old)
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        self.require_edge(e.0)?;
+        let Some(&p) = self.preds.get(name) else {
+            return Ok(None);
+        };
+        if let Some(o) = self.object_of(e.0, p) {
+            let old = self.literal_value(o).cloned();
+            self.retract_stmt(e.0, p, o);
+            Ok(old)
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn create_vertex_index(&mut self, _prop: &str) -> GdbResult<()> {
+        Err(GdbError::Unsupported(
+            "BlazeGraph-class engine has no user-controllable attribute indexes".into(),
+        ))
     }
 }
 

@@ -148,29 +148,42 @@ pub struct EngineFeatures {
     pub attribute_indexes: bool,
 }
 
-/// The common engine interface.
+/// The **read-only half** of the engine interface — everything a consistent
+/// view of the graph can answer without mutating it.
 ///
-/// Mutating operations take `&mut self`; queries take `&self` plus a
-/// [`QueryCtx`] that carries the cooperative deadline. Implementations must
-/// call [`QueryCtx::tick`] at least once per element touched during scans and
-/// traversals so timeouts observe the same granularity across engines.
+/// Every query in this trait takes `&self` (plus, for scans and traversals, a
+/// [`QueryCtx`] carrying the cooperative deadline; implementations must call
+/// [`QueryCtx::tick`] at least once per element touched so timeouts observe
+/// the same granularity across engines).
 ///
-/// Engines are `Send + Sync`: all interior state is owned (no `Rc`/`Cell`),
-/// so the concurrent workload driver (`gm-workload`) can share one engine
-/// across client threads behind an `RwLock` — concurrent reads through
-/// `&self`, serialized writes through `&mut self`. The type system enforces
-/// the read/write split because every mutating method takes `&mut self`.
-pub trait GraphDb: Send + Sync {
+/// Three kinds of values implement it:
+///
+/// * live engines — every [`GraphDb`] is a `GraphSnapshot` of "now"
+///   (`GraphDb: GraphSnapshot`), so `&dyn GraphDb` upcasts wherever a
+///   read-only view is expected;
+/// * pinned snapshots — `gm-mvcc` hands out immutable epoch views that
+///   answer reads while writers keep mutating the live engine;
+/// * remote proxies — `gm-net`'s client forwards each read over a socket.
+///
+/// `catalog::execute_read`, the traversal algorithms, and the workload
+/// driver's read path are all written against this trait, which is what lets
+/// a scan run against a stable epoch instead of holding the engine's read
+/// lock for its whole duration.
+pub trait GraphSnapshot: Send + Sync {
     /// Variant-qualified engine name (e.g. `"linked(v2)"`).
     fn name(&self) -> String;
 
     /// Static feature description (Table 1).
     fn features(&self) -> EngineFeatures;
 
-    // ----- Load (Q1) --------------------------------------------------
-
-    /// Ingest a canonical dataset into an **empty** engine.
-    fn bulk_load(&mut self, data: &Dataset, opts: &LoadOptions) -> GdbResult<LoadStats>;
+    /// The epoch (graph version) this view observes. Live engines report 0
+    /// ("unversioned: reads see whatever writes have landed"); pinned
+    /// `gm-mvcc` snapshots report their publish epoch, which is strictly
+    /// monotone per source and lets harnesses tag every read sample with the
+    /// graph version that produced it.
+    fn epoch(&self) -> u64 {
+        0
+    }
 
     /// Map a canonical vertex id to this engine's internal id.
     ///
@@ -180,20 +193,6 @@ pub trait GraphDb: Send + Sync {
 
     /// Map a canonical edge id to this engine's internal id.
     fn resolve_edge(&self, canonical: u64) -> Option<Eid>;
-
-    // ----- Create (Q2–Q7) ---------------------------------------------
-
-    /// Q2: add a vertex with properties; returns the internal id.
-    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid>;
-
-    /// Q3/Q4: add an edge (with properties for Q4).
-    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid>;
-
-    /// Q5/Q16: insert or update a vertex property.
-    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()>;
-
-    /// Q6/Q17: insert or update an edge property.
-    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()>;
 
     // ----- Read (Q8–Q15) ----------------------------------------------
 
@@ -226,20 +225,6 @@ pub trait GraphDb: Send + Sync {
 
     /// Q15: the edge with internal id `e`, fully materialized.
     fn edge(&self, e: Eid) -> GdbResult<Option<EdgeData>>;
-
-    // ----- Update / Delete (Q16–Q21) ------------------------------------
-
-    /// Q18: delete a vertex together with its incident edges and properties.
-    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()>;
-
-    /// Q19: delete an edge and its properties.
-    fn remove_edge(&mut self, e: Eid) -> GdbResult<()>;
-
-    /// Q20: remove a vertex property; returns the previous value if present.
-    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>>;
-
-    /// Q21: remove an edge property; returns the previous value if present.
-    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>>;
 
     // ----- Traversal primitives (Q22–Q35 build on these) ----------------
 
@@ -347,10 +332,6 @@ pub trait GraphDb: Send + Sync {
 
     // ----- Attribute indexes (Figure 4c) ---------------------------------
 
-    /// Build a user-controlled index on a vertex property. Engines without
-    /// this capability return [`GdbError::Unsupported`](crate::GdbError).
-    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()>;
-
     /// Whether a vertex index on `prop` exists.
     fn has_vertex_index(&self, prop: &str) -> bool;
 
@@ -358,6 +339,58 @@ pub trait GraphDb: Send + Sync {
 
     /// Structure-by-structure space report.
     fn space(&self) -> SpaceReport;
+}
+
+/// The common engine interface: the read-only half ([`GraphSnapshot`]) plus
+/// every mutating operation.
+///
+/// Mutating operations take `&mut self`; queries take `&self` and live on
+/// the supertrait. Engines are `Send + Sync` (inherited from
+/// `GraphSnapshot`): all interior state is owned (no `Rc`/`Cell`), so the
+/// concurrent workload driver (`gm-workload`) can share one engine across
+/// client threads behind an `RwLock` — concurrent reads through `&self`,
+/// serialized writes through `&mut self`. The type system enforces the
+/// read/write split twice over: every mutating method takes `&mut self`,
+/// and a pinned `&dyn GraphSnapshot` cannot name a mutation at all.
+pub trait GraphDb: GraphSnapshot {
+    // ----- Load (Q1) --------------------------------------------------
+
+    /// Ingest a canonical dataset into an **empty** engine.
+    fn bulk_load(&mut self, data: &Dataset, opts: &LoadOptions) -> GdbResult<LoadStats>;
+
+    // ----- Create (Q2–Q7) ---------------------------------------------
+
+    /// Q2: add a vertex with properties; returns the internal id.
+    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid>;
+
+    /// Q3/Q4: add an edge (with properties for Q4).
+    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid>;
+
+    /// Q5/Q16: insert or update a vertex property.
+    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()>;
+
+    /// Q6/Q17: insert or update an edge property.
+    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()>;
+
+    // ----- Update / Delete (Q16–Q21) ------------------------------------
+
+    /// Q18: delete a vertex together with its incident edges and properties.
+    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()>;
+
+    /// Q19: delete an edge and its properties.
+    fn remove_edge(&mut self, e: Eid) -> GdbResult<()>;
+
+    /// Q20: remove a vertex property; returns the previous value if present.
+    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>>;
+
+    /// Q21: remove an edge property; returns the previous value if present.
+    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>>;
+
+    // ----- Attribute indexes (Figure 4c) ---------------------------------
+
+    /// Build a user-controlled index on a vertex property. Engines without
+    /// this capability return [`GdbError::Unsupported`](crate::GdbError).
+    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()>;
 
     /// Flush any asynchronous write buffers (document engine journal).
     /// Engines with synchronous writes implement this as a no-op. The

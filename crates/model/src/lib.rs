@@ -34,8 +34,8 @@ pub mod testkit;
 pub mod value;
 
 pub use api::{
-    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, LoadOptions, LoadStats, SpaceReport,
-    VertexData,
+    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, LoadOptions, LoadStats,
+    SpaceReport, VertexData,
 };
 pub use ctx::QueryCtx;
 pub use dataset::{Dataset, DsEdge, DsVertex};

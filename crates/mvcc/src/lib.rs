@@ -1,0 +1,729 @@
+//! # gm-mvcc — epoch-based snapshot isolation for graphmark engines
+//!
+//! The workload driver's original concurrency contract puts one `RwLock`
+//! around the whole engine: scans hold the shared lock for their full
+//! duration (blocking every writer), and write-heavy mixes collapse to one
+//! effective writer. This crate adds the alternative the ROADMAP's "MVCC
+//! snapshots" item calls for: **readers pin an immutable epoch and run
+//! lock-free; writers keep mutating the live engine**.
+//!
+//! * [`SnapshotSource`] — anything that can hand out pinned, immutable
+//!   [`GraphSnapshot`] views of a graph and apply mutations between them.
+//!   The epoch counter is strictly monotone per source: a snapshot's
+//!   [`GraphSnapshot::epoch`] names the graph version it observes, so every
+//!   read sample can be tagged with the version that produced it.
+//! * [`CowCell`] — the generic adapter: wraps **any** `GraphDb + Clone`
+//!   engine with copy-on-write epochs. Writers clone the published graph on
+//!   their *first* write of an epoch and mutate the private copy; pinning a
+//!   snapshot publishes the pending copy by move (no clone on the read
+//!   path). Cost model: one whole-graph clone per epoch that contains at
+//!   least one write — honest but expensive for engines whose `Clone` is a
+//!   deep copy.
+//! * [`FreezeCell`] — the native-path adapter for engines whose `Clone` is
+//!   *structurally cheap* (engine-columnar after its append-only segment
+//!   refactor: `Arc`-shared LSM runs and closed [`SegVec`] segments, so a
+//!   clone copies only the open tails and small overlay sets). Writers
+//!   mutate the live engine in place — no copy-on-write at all — and
+//!   pinning freezes a view whose cost is bounded by the open-segment size,
+//!   not the graph size.
+//!
+//! Both cells serialize writers behind one mutex (the paper's systems are
+//! single-writer too); the point of snapshot isolation here is that a scan
+//! never holds that mutex — it pins an `Arc` and gets out of the way.
+//! (`SegVec` lives in `gm_storage::segvec`.)
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use gm_model::api::{
+    Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, SpaceReport, VertexData,
+};
+use gm_model::{Eid, GdbError, GdbResult, QueryCtx, Value, Vid};
+
+/// Which snapshot implementation a harness should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnapshotMode {
+    /// Generic [`CowCell`] copy-on-write epochs for every engine.
+    Cow,
+    /// Engine-native snapshots where an engine provides them (the columnar
+    /// engine's freeze path); engines without a native path fall back to
+    /// [`CowCell`].
+    Native,
+}
+
+impl SnapshotMode {
+    /// Stable knob value (`GM_SNAPSHOT_MODE`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SnapshotMode::Cow => "cow",
+            SnapshotMode::Native => "native",
+        }
+    }
+
+    /// Parse a knob value; `"off"`/unknown return `None`.
+    pub fn parse(s: &str) -> Option<SnapshotMode> {
+        match s.trim() {
+            "cow" => Some(SnapshotMode::Cow),
+            "native" => Some(SnapshotMode::Native),
+            _ => None,
+        }
+    }
+}
+
+/// A mutation batch executed against the live engine of a source.
+pub type WriteFn<'a> = dyn FnMut(&mut dyn GraphDb) -> GdbResult<u64> + 'a;
+
+/// Factory producing fresh, empty snapshot sources — the snapshot-mode
+/// analogue of the engine factory (`gm-net`'s `Reset` swaps one in).
+pub type SourceFactory = Box<dyn Fn() -> Box<dyn SnapshotSource> + Send + Sync>;
+
+/// Anything that can pin immutable epoch views of a graph while applying
+/// mutations between them.
+///
+/// The contract every implementation upholds:
+///
+/// * **Pinned views are immutable.** Once [`SnapshotSource::snapshot`]
+///   returns, no later write is visible through that view.
+/// * **Epochs are monotone.** Each pin observes an epoch ≥ every earlier
+///   pin's epoch, and a pin taken after a write observes a *strictly*
+///   greater epoch than any pin taken before it.
+/// * **Writes are serialized** (single-writer, like the shared `RwLock`
+///   contract), but a pinned reader never blocks a writer and a writer
+///   never blocks reads against an already-pinned view — only the brief
+///   pin operation itself synchronizes with writers.
+pub trait SnapshotSource: Send + Sync {
+    /// Engine display name (matches `GraphSnapshot::name`).
+    fn engine(&self) -> String;
+
+    /// Implementation kind for reports: `"cow"` or `"native"`.
+    fn kind(&self) -> &'static str;
+
+    /// Epoch of the most recently published snapshot (0 before any pin).
+    fn current_epoch(&self) -> u64;
+
+    /// Pin the current graph version: publishes any pending writes and
+    /// returns an immutable view of the result (strict read-your-writes:
+    /// every write that completed before this call is visible).
+    fn snapshot(&self) -> GdbResult<Box<dyn GraphSnapshot>>;
+
+    /// Pin a **recently published** epoch: like [`SnapshotSource::snapshot`]
+    /// except that pending writes younger than `max_staleness` need not be
+    /// published — the pin may return the previous epoch instead of paying
+    /// a publish (for [`CowCell`] a publish forces the *next* write to
+    /// clone the whole graph; for [`FreezeCell`] it is the clone itself).
+    ///
+    /// This is group commit for epochs: under a pin-per-read workload racing
+    /// writers, publishes are rate-limited to one per `max_staleness`, so
+    /// the read path degenerates to a mutex-protected `Arc` clone and read
+    /// throughput scales with threads instead of serializing behind clones.
+    /// Reads may observe a view at most `max_staleness` older than "now" —
+    /// still a single consistent epoch, never a torn one. Once pending
+    /// writes age past the bound, the next pin publishes them, so a pin
+    /// taken quiescently (no writes for `max_staleness`) is exact.
+    ///
+    /// The default implementation is the strict pin.
+    fn snapshot_recent(&self, max_staleness: Duration) -> GdbResult<Box<dyn GraphSnapshot>> {
+        let _ = max_staleness;
+        self.snapshot()
+    }
+
+    /// Run one mutation batch against the live engine. A **successful**
+    /// batch is atomic with respect to snapshots: no pin can observe a
+    /// proper prefix of it, because the whole batch runs under the writer
+    /// mutex and publish points sit between batches. A batch that returns
+    /// `Err` partway offers the same (weaker) guarantee as the shared-lock
+    /// contract it replaces: mutations applied before the failure remain
+    /// applied and become visible at the next publish — multi-part writes
+    /// that need all-or-nothing semantics must validate before mutating.
+    fn with_write(&self, f: &mut WriteFn<'_>) -> GdbResult<u64>;
+}
+
+/// An immutable epoch view: an `Arc` of the engine as it stood when the
+/// epoch was published, tagged with the epoch number. Delegates the whole
+/// read API — including [`GraphSnapshot::degree_scan`]-style overridable
+/// scans, so per-engine physical strategies survive the pin. Doubles as
+/// the published-side cell state: cloning bumps the `Arc`, so pinning is
+/// exactly `Box::new(published.clone())`.
+struct SnapView<E> {
+    epoch: u64,
+    graph: Arc<E>,
+}
+
+impl<E> Clone for SnapView<E> {
+    fn clone(&self) -> Self {
+        SnapView {
+            epoch: self.epoch,
+            graph: Arc::clone(&self.graph),
+        }
+    }
+}
+
+impl<E: GraphDb + 'static> GraphSnapshot for SnapView<E> {
+    fn name(&self) -> String {
+        self.graph.name()
+    }
+
+    fn features(&self) -> EngineFeatures {
+        self.graph.features()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
+        self.graph.resolve_vertex(canonical)
+    }
+
+    fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
+        self.graph.resolve_edge(canonical)
+    }
+
+    fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
+        self.graph.vertex_count(ctx)
+    }
+
+    fn edge_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
+        self.graph.edge_count(ctx)
+    }
+
+    fn edge_label_set(&self, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
+        self.graph.edge_label_set(ctx)
+    }
+
+    fn vertices_with_property(
+        &self,
+        name: &str,
+        value: &Value,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Vid>> {
+        self.graph.vertices_with_property(name, value, ctx)
+    }
+
+    fn edges_with_property(
+        &self,
+        name: &str,
+        value: &Value,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Eid>> {
+        self.graph.edges_with_property(name, value, ctx)
+    }
+
+    fn edges_with_label(&self, label: &str, ctx: &QueryCtx) -> GdbResult<Vec<Eid>> {
+        self.graph.edges_with_label(label, ctx)
+    }
+
+    fn vertex(&self, v: Vid) -> GdbResult<Option<VertexData>> {
+        self.graph.vertex(v)
+    }
+
+    fn edge(&self, e: Eid) -> GdbResult<Option<EdgeData>> {
+        self.graph.edge(e)
+    }
+
+    fn neighbors(
+        &self,
+        v: Vid,
+        dir: Direction,
+        label: Option<&str>,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Vid>> {
+        self.graph.neighbors(v, dir, label, ctx)
+    }
+
+    fn vertex_edges(
+        &self,
+        v: Vid,
+        dir: Direction,
+        label: Option<&str>,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<EdgeRef>> {
+        self.graph.vertex_edges(v, dir, label, ctx)
+    }
+
+    fn vertex_degree(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<u64> {
+        self.graph.vertex_degree(v, dir, ctx)
+    }
+
+    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
+        self.graph.vertex_edge_labels(v, dir, ctx)
+    }
+
+    fn scan_vertices<'a>(
+        &'a self,
+        ctx: &'a QueryCtx,
+    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Vid>> + 'a>> {
+        self.graph.scan_vertices(ctx)
+    }
+
+    fn scan_edges<'a>(
+        &'a self,
+        ctx: &'a QueryCtx,
+    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Eid>> + 'a>> {
+        self.graph.scan_edges(ctx)
+    }
+
+    fn vertex_property(&self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        self.graph.vertex_property(v, name)
+    }
+
+    fn edge_property(&self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        self.graph.edge_property(e, name)
+    }
+
+    fn edge_endpoints(&self, e: Eid) -> GdbResult<Option<(Vid, Vid)>> {
+        self.graph.edge_endpoints(e)
+    }
+
+    fn edge_label(&self, e: Eid) -> GdbResult<Option<String>> {
+        self.graph.edge_label(e)
+    }
+
+    fn vertex_label(&self, v: Vid) -> GdbResult<Option<String>> {
+        self.graph.vertex_label(v)
+    }
+
+    fn degree_scan(&self, dir: Direction, k: u64, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        self.graph.degree_scan(dir, k, ctx)
+    }
+
+    fn distinct_neighbor_scan(&self, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        self.graph.distinct_neighbor_scan(dir, ctx)
+    }
+
+    fn has_vertex_index(&self, prop: &str) -> bool {
+        self.graph.has_vertex_index(prop)
+    }
+
+    fn space(&self) -> SpaceReport {
+        self.graph.space()
+    }
+}
+
+fn poisoned(which: &str) -> GdbError {
+    GdbError::Poisoned(format!(
+        "snapshot source {which} mutex poisoned by a panicking writer"
+    ))
+}
+
+// ----- shared cell plumbing ------------------------------------------------
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// The published (immutable) side of a cell is a [`SnapView`] behind an
+/// `RwLock`, so the pin fast path is a **shared** read — concurrent pins
+/// clone the `Arc` without ever contending an exclusive lock, which is
+/// what lets read throughput scale with threads (an exclusive mutex on the
+/// pin path degenerates into futex handoff storms under pin-per-read
+/// workloads).
+///
+/// Lock-free dirtiness clock: microseconds-since-`origin` of the first
+/// unpublished write (0 = clean). Lets the pin fast path decide "is a
+/// publish due?" without touching the writer mutex.
+struct DirtyClock {
+    origin: Instant,
+    dirty_at: AtomicU64,
+}
+
+impl DirtyClock {
+    fn new() -> Self {
+        DirtyClock {
+            origin: Instant::now(),
+            dirty_at: AtomicU64::new(0),
+        }
+    }
+
+    fn mark_dirty(&self) {
+        let micros = self.origin.elapsed().as_micros().max(1) as u64;
+        self.dirty_at.store(micros, Ordering::SeqCst);
+    }
+
+    fn clear(&self) {
+        self.dirty_at.store(0, Ordering::SeqCst);
+    }
+
+    fn is_dirty(&self) -> bool {
+        self.dirty_at.load(Ordering::SeqCst) != 0
+    }
+
+    /// Dirty for at least `bound`?
+    fn dirty_past(&self, bound: Duration) -> bool {
+        let at = self.dirty_at.load(Ordering::SeqCst);
+        at != 0
+            && self
+                .origin
+                .elapsed()
+                .saturating_sub(Duration::from_micros(at))
+                >= bound
+    }
+}
+
+// ----- CowCell --------------------------------------------------------------
+
+/// Generic copy-on-write snapshot source over any cloneable engine.
+///
+/// See the crate docs for the cost model. The interesting property for the
+/// workload driver: **scans never block writers** — a pinned reader works on
+/// its `Arc` while writers mutate the working copy — and the pin fast path
+/// is a shared-lock `Arc` clone, so pins don't even serialize against each
+/// other; only a *due publish* takes the writer mutex.
+pub struct CowCell<E: GraphDb + Clone> {
+    engine: String,
+    /// The writers' private copy for the pending epoch: cloned from the
+    /// published graph on the first write of the epoch, published (by move)
+    /// at the next due pin. `None` = no writes since the last publish.
+    working: Mutex<Option<E>>,
+    published: RwLock<SnapView<E>>,
+    dirty: DirtyClock,
+}
+
+impl<E: GraphDb + Clone + 'static> CowCell<E> {
+    /// Wrap an engine (typically freshly constructed and still empty; load
+    /// it through [`SnapshotSource::with_write`]).
+    pub fn new(engine: E) -> Self {
+        CowCell {
+            engine: engine.name(),
+            working: Mutex::new(None),
+            published: RwLock::new(SnapView {
+                epoch: 0,
+                graph: Arc::new(engine),
+            }),
+            dirty: DirtyClock::new(),
+        }
+    }
+
+    fn publish_pending(&self) -> GdbResult<()> {
+        let mut working = self.working.lock().map_err(|_| poisoned("cow writer"))?;
+        if let Some(pending) = working.take() {
+            let mut published = self
+                .published
+                .write()
+                .map_err(|_| poisoned("cow published"))?;
+            published.epoch += 1;
+            published.graph = Arc::new(pending);
+            self.dirty.clear();
+        }
+        Ok(())
+    }
+
+    fn pinned(&self) -> GdbResult<Box<dyn GraphSnapshot>> {
+        Ok(Box::new(
+            self.published
+                .read()
+                .map_err(|_| poisoned("cow published"))?
+                .clone(),
+        ))
+    }
+}
+
+impl<E: GraphDb + Clone + 'static> SnapshotSource for CowCell<E> {
+    fn engine(&self) -> String {
+        self.engine.clone()
+    }
+
+    fn kind(&self) -> &'static str {
+        "cow"
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.published.read().map(|p| p.epoch).unwrap_or(0)
+    }
+
+    fn snapshot(&self) -> GdbResult<Box<dyn GraphSnapshot>> {
+        if self.dirty.is_dirty() {
+            self.publish_pending()?;
+        }
+        self.pinned()
+    }
+
+    fn snapshot_recent(&self, max_staleness: Duration) -> GdbResult<Box<dyn GraphSnapshot>> {
+        // Group commit: only publish once the pending epoch has aged past
+        // the staleness bound. A publish forces the next write to re-clone
+        // the whole graph, so rate-limiting publishes bounds the clone rate
+        // no matter how hot the pin-per-read path runs.
+        if self.dirty.dirty_past(max_staleness) {
+            self.publish_pending()?;
+        }
+        self.pinned()
+    }
+
+    fn with_write(&self, f: &mut WriteFn<'_>) -> GdbResult<u64> {
+        let mut working = self.working.lock().map_err(|_| poisoned("cow writer"))?;
+        // Clone-on-first-write per epoch: later writes of the same epoch
+        // reuse the private copy. The dirty mark lands before the mutation
+        // so a strict pin racing this write either misses it entirely (the
+        // write has not completed) or publishes it.
+        if working.is_none() {
+            let base = Arc::clone(
+                &self
+                    .published
+                    .read()
+                    .map_err(|_| poisoned("cow published"))?
+                    .graph,
+            );
+            self.dirty.mark_dirty();
+            *working = Some((*base).clone());
+        }
+        f(working.as_mut().expect("just inserted"))
+    }
+}
+
+// ----- FreezeCell -----------------------------------------------------------
+
+/// Freeze-on-pin snapshot source for engines whose `Clone` is structurally
+/// cheap (shared immutable segments, small mutable tails).
+///
+/// Unlike [`CowCell`] there is **no copy-on-write**: writers mutate the live
+/// engine directly and pay nothing; a *due* pin that follows a write
+/// freezes a new view, whose cost is the engine's (cheap) clone. Safe
+/// because a cheap-clone engine shares only *immutable* structure between
+/// the clone and the live graph — closed `SegVec` segments and flushed LSM
+/// runs are never mutated in place, so the frozen view cannot observe later
+/// writes. The pin fast path is the same shared-lock `Arc` clone as
+/// [`CowCell`]'s.
+pub struct FreezeCell<E: GraphDb + Clone> {
+    engine: String,
+    /// The live engine; writers mutate it **in place**.
+    live: Mutex<E>,
+    /// The most recent frozen view; may lag `live` by the writes recorded
+    /// in the dirty clock.
+    published: RwLock<SnapView<E>>,
+    dirty: DirtyClock,
+}
+
+impl<E: GraphDb + Clone + 'static> FreezeCell<E> {
+    /// Wrap an engine whose clones share structure with the original.
+    pub fn new(engine: E) -> Self {
+        let frozen = Arc::new(engine.clone());
+        FreezeCell {
+            engine: engine.name(),
+            live: Mutex::new(engine),
+            published: RwLock::new(SnapView {
+                epoch: 0,
+                graph: frozen,
+            }),
+            dirty: DirtyClock::new(),
+        }
+    }
+
+    fn refreeze(&self) -> GdbResult<()> {
+        let live = self.live.lock().map_err(|_| poisoned("freeze writer"))?;
+        if !self.dirty.is_dirty() {
+            return Ok(()); // another pin refroze while we waited
+        }
+        let frozen = Arc::new(live.clone());
+        let mut published = self
+            .published
+            .write()
+            .map_err(|_| poisoned("freeze published"))?;
+        published.epoch += 1;
+        published.graph = frozen;
+        self.dirty.clear();
+        Ok(())
+    }
+
+    fn pinned(&self) -> GdbResult<Box<dyn GraphSnapshot>> {
+        Ok(Box::new(
+            self.published
+                .read()
+                .map_err(|_| poisoned("freeze published"))?
+                .clone(),
+        ))
+    }
+}
+
+impl<E: GraphDb + Clone + 'static> SnapshotSource for FreezeCell<E> {
+    fn engine(&self) -> String {
+        self.engine.clone()
+    }
+
+    fn kind(&self) -> &'static str {
+        "native"
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.published.read().map(|p| p.epoch).unwrap_or(0)
+    }
+
+    fn snapshot(&self) -> GdbResult<Box<dyn GraphSnapshot>> {
+        if self.dirty.is_dirty() {
+            self.refreeze()?;
+        }
+        self.pinned()
+    }
+
+    fn snapshot_recent(&self, max_staleness: Duration) -> GdbResult<Box<dyn GraphSnapshot>> {
+        // Group commit: refreeze only once the live engine has been dirty
+        // for at least the staleness bound, so the (cheap but not free)
+        // freeze clone is rate-limited under pin-per-read workloads.
+        if self.dirty.dirty_past(max_staleness) {
+            self.refreeze()?;
+        }
+        self.pinned()
+    }
+
+    fn with_write(&self, f: &mut WriteFn<'_>) -> GdbResult<u64> {
+        let mut live = self.live.lock().map_err(|_| poisoned("freeze writer"))?;
+        // Stamp only the *first* write after a freeze: the staleness bound
+        // measures the oldest unpublished write, so a continuous write
+        // stream cannot starve publishes by forever refreshing the stamp.
+        if !self.dirty.is_dirty() {
+            self.dirty.mark_dirty();
+        }
+        f(&mut *live)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine_linked::LinkedGraph;
+    use gm_model::api::LoadOptions;
+    use gm_model::testkit;
+
+    fn loaded_cell(n: u64) -> CowCell<LinkedGraph> {
+        let cell = CowCell::new(LinkedGraph::v1());
+        let data = testkit::chain_dataset(n);
+        cell.with_write(&mut |db| {
+            db.bulk_load(&data, &LoadOptions::default())?;
+            Ok(0)
+        })
+        .unwrap();
+        cell
+    }
+
+    #[test]
+    fn pinned_snapshot_is_immutable() {
+        let cell = loaded_cell(50);
+        let ctx = QueryCtx::unbounded();
+        let snap = cell.snapshot().unwrap();
+        assert_eq!(snap.vertex_count(&ctx).unwrap(), 50);
+        for _ in 0..10 {
+            cell.with_write(&mut |db| db.add_vertex("n", &vec![]).map(|_| 1))
+                .unwrap();
+        }
+        // The pinned view still answers from its epoch.
+        assert_eq!(snap.vertex_count(&ctx).unwrap(), 50);
+        // A fresh pin sees the writes, at a strictly greater epoch.
+        let snap2 = cell.snapshot().unwrap();
+        assert_eq!(snap2.vertex_count(&ctx).unwrap(), 60);
+        assert!(snap2.epoch() > snap.epoch());
+    }
+
+    #[test]
+    fn epochs_advance_only_on_writes() {
+        let cell = loaded_cell(10);
+        let a = cell.snapshot().unwrap();
+        let b = cell.snapshot().unwrap();
+        assert_eq!(a.epoch(), b.epoch(), "read-only pins share the epoch");
+        cell.with_write(&mut |db| db.add_vertex("n", &vec![]).map(|_| 1))
+            .unwrap();
+        assert_eq!(
+            cell.current_epoch(),
+            a.epoch(),
+            "epoch advances at publish, not at write"
+        );
+        let c = cell.snapshot().unwrap();
+        assert_eq!(c.epoch(), a.epoch() + 1);
+        assert_eq!(cell.current_epoch(), c.epoch());
+    }
+
+    #[test]
+    fn write_batches_are_atomic_under_pins() {
+        let cell = loaded_cell(10);
+        let ctx = QueryCtx::unbounded();
+        // One batch adds a vertex and two edges; no pin can see a prefix.
+        cell.with_write(&mut |db| {
+            let v = db.add_vertex("hub", &vec![])?;
+            let a = db.resolve_vertex(0).unwrap();
+            db.add_edge(v, a, "spoke", &vec![])?;
+            db.add_edge(a, v, "spoke", &vec![])?;
+            Ok(3)
+        })
+        .unwrap();
+        let snap = cell.snapshot().unwrap();
+        assert_eq!(snap.vertex_count(&ctx).unwrap(), 11);
+        assert_eq!(snap.edge_count(&ctx).unwrap(), 9 + 2);
+    }
+
+    #[test]
+    fn freeze_cell_matches_cow_semantics() {
+        let cow = loaded_cell(30);
+        let frz = FreezeCell::new(LinkedGraph::v1());
+        let data = testkit::chain_dataset(30);
+        frz.with_write(&mut |db| {
+            db.bulk_load(&data, &LoadOptions::default())?;
+            Ok(0)
+        })
+        .unwrap();
+        let ctx = QueryCtx::unbounded();
+        let (sc, sf) = (cow.snapshot().unwrap(), frz.snapshot().unwrap());
+        assert_eq!(
+            sc.vertex_count(&ctx).unwrap(),
+            sf.vertex_count(&ctx).unwrap()
+        );
+        assert_eq!(sc.epoch(), sf.epoch());
+        // Writes after the pin are invisible to both pinned views.
+        for cell in [&cow as &dyn SnapshotSource, &frz] {
+            cell.with_write(&mut |db| db.add_vertex("n", &vec![]).map(|_| 1))
+                .unwrap();
+        }
+        assert_eq!(sc.vertex_count(&ctx).unwrap(), 30);
+        assert_eq!(sf.vertex_count(&ctx).unwrap(), 30);
+        assert_eq!(frz.snapshot().unwrap().vertex_count(&ctx).unwrap(), 31);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let cell = loaded_cell(100);
+        let ctx = QueryCtx::unbounded();
+        std::thread::scope(|s| {
+            let writer = s.spawn(|| {
+                for _ in 0..200 {
+                    cell.with_write(&mut |db| db.add_vertex("w", &vec![]).map(|_| 1))
+                        .unwrap();
+                }
+            });
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut last = 0u64;
+                    for _ in 0..50 {
+                        let snap = cell.snapshot().unwrap();
+                        let n = snap.vertex_count(&QueryCtx::unbounded()).unwrap();
+                        assert!((100..=300).contains(&n), "count {n} out of range");
+                        assert!(snap.epoch() >= last, "epochs must be monotone");
+                        last = snap.epoch();
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        let end = cell.snapshot().unwrap();
+        assert_eq!(end.vertex_count(&ctx).unwrap(), 300);
+    }
+
+    #[test]
+    fn snapshot_mode_parses() {
+        assert_eq!(SnapshotMode::parse("cow"), Some(SnapshotMode::Cow));
+        assert_eq!(SnapshotMode::parse(" native "), Some(SnapshotMode::Native));
+        assert_eq!(SnapshotMode::parse("off"), None);
+        assert_eq!(SnapshotMode::parse("bogus"), None);
+        assert_eq!(SnapshotMode::Cow.name(), "cow");
+        assert_eq!(SnapshotMode::Native.name(), "native");
+    }
+
+    #[test]
+    fn poisoned_writer_surfaces_as_poisoned_error() {
+        let cell = loaded_cell(10);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cell.with_write(&mut |_| panic!("deliberate writer panic"));
+        }));
+        assert!(result.is_err());
+        match cell.snapshot() {
+            Err(GdbError::Poisoned(why)) => assert!(why.contains("poisoned"), "{why}"),
+            Err(e) => panic!("expected Poisoned after writer panic, got {e}"),
+            Ok(_) => panic!("snapshot must fail after a writer panic"),
+        }
+    }
+}

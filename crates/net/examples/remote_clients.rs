@@ -12,7 +12,7 @@
 
 use gm_net::{run_remote, RemoteEngine, Server};
 use graphmark::core::summary;
-use graphmark::model::{GraphDb, QueryCtx};
+use graphmark::model::{GraphSnapshot, QueryCtx};
 use graphmark::registry::EngineKind;
 use graphmark::workload::{run, MixKind, WorkloadConfig};
 

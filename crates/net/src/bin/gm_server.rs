@@ -6,6 +6,9 @@
 //!
 //! # pick engine and address (engine names as in `GM_ENGINES`)
 //! GM_SERVER_ADDR=127.0.0.1:7687 cargo run --release -p gm-net --bin gm-server -- 'linked(v2)'
+//!
+//! # serve reads from pinned MVCC snapshots instead of the shared lock
+//! GM_SNAPSHOT_MODE=cow cargo run --release -p gm-net --bin gm-server -- 'columnar(v10)'
 //! ```
 //!
 //! The server hosts **one** engine instance. Clients drive it with the
@@ -13,7 +16,15 @@
 //! `run_remote` / the `fig9_network` bench binary for whole workloads
 //! (which reset, load and prepare the engine themselves). The process runs
 //! until killed.
+//!
+//! With `GM_SNAPSHOT_MODE=cow` (generic copy-on-write) or `native` (the
+//! columnar engine's segment-sharing freeze path, `cow` fallback
+//! elsewhere), every read request executes against a pinned epoch — remote
+//! scans never block remote writers — and `ExecOp` responses carry the
+//! serving epoch. Unset or `off` keeps the original shared-`RwLock`
+//! hosting.
 
+use graphmark::mvcc::SnapshotMode;
 use graphmark::registry::EngineKind;
 
 use gm_net::Server;
@@ -27,6 +38,7 @@ fn main() {
             eprintln!("    {:<15} ({})", kind.name(), kind.emulates());
         }
         eprintln!("  env: GM_SERVER_ADDR (default 127.0.0.1:7687)");
+        eprintln!("       GM_SNAPSHOT_MODE (off|cow|native; default off = shared lock)");
         std::process::exit(0);
     }
 
@@ -42,17 +54,42 @@ fn main() {
         },
     };
 
+    let mode = match std::env::var("GM_SNAPSHOT_MODE") {
+        Err(_) => None,
+        Ok(s) if s.trim() == "off" || s.trim().is_empty() => None,
+        Ok(s) => match SnapshotMode::parse(&s) {
+            Some(mode) => Some(mode),
+            None => {
+                eprintln!("[gm-server] unknown GM_SNAPSHOT_MODE {s:?} (want off|cow|native)");
+                std::process::exit(2);
+            }
+        },
+    };
+
     let addr = std::env::var("GM_SERVER_ADDR").unwrap_or_else(|_| "127.0.0.1:7687".to_string());
-    let server = match Server::bind(&addr, Box::new(move || kind.make())) {
+    let bound = match mode {
+        None => Server::bind(&addr, Box::new(move || kind.make())),
+        Some(mode) => {
+            Server::bind_snapshot(&addr, Box::new(move || kind.make_snapshot_source(mode)))
+        }
+    };
+    let server = match bound {
         Ok(server) => server,
         Err(e) => {
             eprintln!("[gm-server] {e}");
             std::process::exit(1);
         }
     };
+    // Report the *actual* source kind: `native` falls back to the generic
+    // cow cell for engines without a native path, and the banner must not
+    // claim a freeze path the operator is not measuring.
+    let isolation = match mode {
+        None => "locked".to_string(),
+        Some(mode) => format!("snapshot-{}", kind.make_snapshot_source(mode).kind()),
+    };
     match server.local_addr() {
         Ok(bound) => eprintln!(
-            "[gm-server] hosting {} ({}) on {bound} — protocol v{}",
+            "[gm-server] hosting {} ({}) on {bound} — protocol v{}, {isolation} reads",
             kind.name(),
             kind.emulates(),
             gm_net::PROTO_VERSION

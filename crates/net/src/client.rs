@@ -21,9 +21,11 @@ use std::time::Duration;
 use gm_model::api::{
     Direction, EdgeData, EdgeRef, EngineFeatures, LoadOptions, LoadStats, SpaceReport, VertexData,
 };
-use gm_model::{Dataset, Eid, GdbError, GdbResult, GraphDb, Props, QueryCtx, Value, Vid};
+use gm_model::{
+    Dataset, Eid, GdbError, GdbResult, GraphDb, GraphSnapshot, Props, QueryCtx, Value, Vid,
+};
 use gm_workload::{
-    run_backend, run_backend_sequential, Backend, Op, RunReport, Session, WorkloadConfig,
+    run_backend, run_backend_sequential, Backend, Op, OpResult, RunReport, Session, WorkloadConfig,
     WORKLOAD_SLOTS,
 };
 
@@ -146,18 +148,22 @@ impl RemoteEngine {
         expect_unit(self.call(&Request::Prepare { seed, slots })?)
     }
 
-    /// Execute one whole driver op server-side in a single round trip.
+    /// Execute one whole driver op server-side in a single round trip. The
+    /// returned [`OpResult`] carries the serving epoch when the server hosts
+    /// a snapshot source.
     pub fn exec_op(
         &self,
         op: Op,
         worker: usize,
         op_index: u64,
         timeout: Duration,
-    ) -> GdbResult<u64> {
-        expect_u64(self.call(&Request::ExecOp {
+    ) -> GdbResult<OpResult> {
+        expect_exec_done(self.call(&Request::ExecOp {
             worker: worker as u32,
             op_index,
             timeout_micros: timeout.as_micros().min(u64::MAX as u128) as u64,
+            // Trait-level callers are sequential clients: read-your-writes.
+            strict: true,
             op,
         })?)
     }
@@ -181,6 +187,16 @@ fn expect_u64(rsp: Response) -> GdbResult<u64> {
     match rsp {
         Response::U64(v) => Ok(v),
         other => Err(protocol_mismatch("U64", &other)),
+    }
+}
+
+fn expect_exec_done(rsp: Response) -> GdbResult<OpResult> {
+    match rsp {
+        Response::ExecDone { card, epoch } => Ok(OpResult {
+            cardinality: card,
+            epoch,
+        }),
+        other => Err(protocol_mismatch("ExecDone", &other)),
     }
 }
 
@@ -212,7 +228,7 @@ fn expect_opt_value(rsp: Response) -> GdbResult<Option<Value>> {
     }
 }
 
-impl GraphDb for RemoteEngine {
+impl GraphSnapshot for RemoteEngine {
     fn name(&self) -> String {
         self.name.clone()
     }
@@ -232,16 +248,6 @@ impl GraphDb for RemoteEngine {
         }
     }
 
-    fn bulk_load(&mut self, data: &Dataset, opts: &LoadOptions) -> GdbResult<LoadStats> {
-        match self.call(&Request::BulkLoad {
-            opts: opts.clone(),
-            data: data.clone(),
-        })? {
-            Response::Load(stats) => Ok(stats),
-            other => Err(protocol_mismatch("Load", &other)),
-        }
-    }
-
     fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
         expect_opt_u64(self.call(&Request::ResolveVertex(canonical)).ok()?)
             .ok()?
@@ -252,40 +258,6 @@ impl GraphDb for RemoteEngine {
         expect_opt_u64(self.call(&Request::ResolveEdge(canonical)).ok()?)
             .ok()?
             .map(Eid)
-    }
-
-    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
-        expect_u64(self.call(&Request::AddVertex {
-            label: label.to_string(),
-            props: props.clone(),
-        })?)
-        .map(Vid)
-    }
-
-    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
-        expect_u64(self.call(&Request::AddEdge {
-            src: src.0,
-            dst: dst.0,
-            label: label.to_string(),
-            props: props.clone(),
-        })?)
-        .map(Eid)
-    }
-
-    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
-        expect_unit(self.call(&Request::SetVertexProp {
-            v: v.0,
-            name: name.to_string(),
-            value,
-        })?)
-    }
-
-    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
-        expect_unit(self.call(&Request::SetEdgeProp {
-            e: e.0,
-            name: name.to_string(),
-            value,
-        })?)
     }
 
     fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
@@ -354,28 +326,6 @@ impl GraphDb for RemoteEngine {
             Response::OptEdge(e) => Ok(e),
             other => Err(protocol_mismatch("OptEdge", &other)),
         }
-    }
-
-    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
-        expect_unit(self.call(&Request::RemoveVertex(v.0))?)
-    }
-
-    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
-        expect_unit(self.call(&Request::RemoveEdge(e.0))?)
-    }
-
-    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
-        expect_opt_value(self.call(&Request::RemoveVertexProp {
-            v: v.0,
-            name: name.to_string(),
-        })?)
-    }
-
-    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
-        expect_opt_value(self.call(&Request::RemoveEdgeProp {
-            e: e.0,
-            name: name.to_string(),
-        })?)
     }
 
     fn neighbors(
@@ -507,12 +457,6 @@ impl GraphDb for RemoteEngine {
         )
     }
 
-    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
-        expect_unit(self.call(&Request::CreateVertexIndex {
-            prop: prop.to_string(),
-        })?)
-    }
-
     fn has_vertex_index(&self, prop: &str) -> bool {
         matches!(
             self.call(&Request::HasVertexIndex {
@@ -527,6 +471,80 @@ impl GraphDb for RemoteEngine {
             Ok(Response::Space(report)) => report,
             _ => SpaceReport::default(),
         }
+    }
+}
+
+impl GraphDb for RemoteEngine {
+    fn bulk_load(&mut self, data: &Dataset, opts: &LoadOptions) -> GdbResult<LoadStats> {
+        match self.call(&Request::BulkLoad {
+            opts: opts.clone(),
+            data: data.clone(),
+        })? {
+            Response::Load(stats) => Ok(stats),
+            other => Err(protocol_mismatch("Load", &other)),
+        }
+    }
+
+    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
+        expect_u64(self.call(&Request::AddVertex {
+            label: label.to_string(),
+            props: props.clone(),
+        })?)
+        .map(Vid)
+    }
+
+    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
+        expect_u64(self.call(&Request::AddEdge {
+            src: src.0,
+            dst: dst.0,
+            label: label.to_string(),
+            props: props.clone(),
+        })?)
+        .map(Eid)
+    }
+
+    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
+        expect_unit(self.call(&Request::SetVertexProp {
+            v: v.0,
+            name: name.to_string(),
+            value,
+        })?)
+    }
+
+    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
+        expect_unit(self.call(&Request::SetEdgeProp {
+            e: e.0,
+            name: name.to_string(),
+            value,
+        })?)
+    }
+
+    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
+        expect_unit(self.call(&Request::RemoveVertex(v.0))?)
+    }
+
+    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
+        expect_unit(self.call(&Request::RemoveEdge(e.0))?)
+    }
+
+    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        expect_opt_value(self.call(&Request::RemoveVertexProp {
+            v: v.0,
+            name: name.to_string(),
+        })?)
+    }
+
+    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        expect_opt_value(self.call(&Request::RemoveEdgeProp {
+            e: e.0,
+            name: name.to_string(),
+        })?)
+    }
+
+    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
+        expect_unit(self.call(&Request::CreateVertexIndex {
+            prop: prop.to_string(),
+        })?)
     }
 
     fn sync(&mut self) -> GdbResult<()> {
@@ -546,6 +564,10 @@ pub struct RemoteBackend {
     addr: String,
     engine: String,
     op_timeout: Duration,
+    /// Request strict (read-your-writes) pins from a snapshot-hosted
+    /// server. Sequential replays need this for deterministic traces;
+    /// concurrent runs leave it off for the scalable pin fast path.
+    strict_reads: bool,
 }
 
 impl RemoteBackend {
@@ -555,7 +577,14 @@ impl RemoteBackend {
             addr: addr.into(),
             engine: engine.into(),
             op_timeout,
+            strict_reads: false,
         }
+    }
+
+    /// Request strict pins for every read (see [`RemoteBackend::new`]).
+    pub fn with_strict_reads(mut self) -> Self {
+        self.strict_reads = true;
+        self
     }
 }
 
@@ -564,10 +593,18 @@ impl Backend for RemoteBackend {
         self.engine.clone()
     }
 
+    fn isolation(&self) -> String {
+        // The server decides locked vs snapshot hosting; the client only
+        // knows the ops crossed a wire. Epoch-tagged responses (and the
+        // epoch-skew counter) reveal the rest.
+        "remote".into()
+    }
+
     fn open_session(&self, _worker: usize) -> GdbResult<Box<dyn Session + '_>> {
         Ok(Box::new(RemoteSession {
             conn: Connection::connect(&self.addr)?,
             op_timeout: self.op_timeout,
+            strict_reads: self.strict_reads,
         }))
     }
 }
@@ -575,17 +612,19 @@ impl Backend for RemoteBackend {
 struct RemoteSession {
     conn: Connection,
     op_timeout: Duration,
+    strict_reads: bool,
 }
 
 impl Session for RemoteSession {
-    fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<u64> {
+    fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<OpResult> {
         let rsp = self.conn.call(&Request::ExecOp {
             worker: worker as u32,
             op_index,
             timeout_micros: self.op_timeout.as_micros().min(u64::MAX as u128) as u64,
+            strict: self.strict_reads,
             op,
         })?;
-        expect_u64(rsp)
+        expect_exec_done(rsp)
     }
 }
 
@@ -609,7 +648,9 @@ pub fn run_remote_sequential(
     data: &Dataset,
     cfg: &WorkloadConfig,
 ) -> GdbResult<RunReport> {
-    let backend = setup_remote(addr, data, cfg)?;
+    // Strict pins so a snapshot-hosted server serves each worker its own
+    // earlier writes — the sequential trace must be deterministic.
+    let backend = setup_remote(addr, data, cfg)?.with_strict_reads();
     run_backend_sequential(&backend, &data.name, cfg)
 }
 

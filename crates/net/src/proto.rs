@@ -31,7 +31,11 @@ pub const MAGIC: u32 = 0x474D_4E54;
 
 /// Protocol version; bumped on any frame-format change. The server refuses
 /// mismatched clients at handshake instead of misparsing their frames.
-pub const PROTO_VERSION: u16 = 1;
+///
+/// v2: `ExecOp` answers with [`Response::ExecDone`] (cardinality **plus the
+/// serving epoch** when the server hosts a snapshot source) instead of a
+/// bare `U64`.
+pub const PROTO_VERSION: u16 = 2;
 
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +76,13 @@ pub enum Request {
         op_index: u64,
         /// Read deadline in microseconds (0 = unbounded).
         timeout_micros: u64,
+        /// Strict read pin: a snapshot-hosted server must serve this read
+        /// from a read-your-writes pin (`snapshot()`) instead of the
+        /// group-committed `snapshot_recent` cadence. Sequential replays
+        /// set this so their traces stay deterministic; concurrent drivers
+        /// leave it unset for the scalable pin fast path. Ignored by
+        /// locked-mode servers and for writes.
+        strict: bool,
         /// The op itself.
         op: Op,
     },
@@ -298,6 +309,17 @@ pub enum Response {
     Bool(bool),
     /// A u64 (counts, cardinalities, degrees).
     U64(u64),
+    /// An `ExecOp` completion: result cardinality plus the epoch of the
+    /// snapshot that served a read (`None` when the server executes under
+    /// the shared lock, and for writes — they produce the next epoch, they
+    /// don't observe one). The epoch is what lets a remote client assert
+    /// that a scan's rows decode against exactly one graph version.
+    ExecDone {
+        /// Result cardinality.
+        card: u64,
+        /// Serving epoch for snapshot-backed reads.
+        epoch: Option<u64>,
+    },
     /// An optional u64 (id resolution).
     OptU64(Option<u64>),
     /// A list of ids (vertex or edge scans, filters).
@@ -334,6 +356,7 @@ impl Response {
             Response::Unit => "Unit",
             Response::Bool(_) => "Bool",
             Response::U64(_) => "U64",
+            Response::ExecDone { .. } => "ExecDone",
             Response::OptU64(_) => "OptU64",
             Response::U64List(_) => "U64List",
             Response::StrList(_) => "StrList",
@@ -588,12 +611,14 @@ impl Request {
                 worker,
                 op_index,
                 timeout_micros,
+                strict,
                 op,
             } => {
                 wire::put_u8(&mut out, EXEC_OP);
                 wire::put_u32(&mut out, *worker);
                 wire::put_u64(&mut out, *op_index);
                 wire::put_u64(&mut out, *timeout_micros);
+                wire::put_bool(&mut out, *strict);
                 put_op(&mut out, op);
             }
             Request::Features => wire::put_u8(&mut out, FEATURES),
@@ -799,6 +824,7 @@ impl Request {
                 worker: cur.u32()?,
                 op_index: cur.u64()?,
                 timeout_micros: cur.u64()?,
+                strict: cur.bool_()?,
                 op: get_op(&mut cur)?,
             },
             FEATURES => Request::Features,
@@ -931,6 +957,7 @@ mod rsp_op {
     pub const LOAD: u8 = 0x8D;
     pub const FEATURES: u8 = 0x8E;
     pub const SPACE: u8 = 0x8F;
+    pub const EXEC_DONE: u8 = 0x90;
     pub const ERR: u8 = 0xFF;
 }
 
@@ -953,6 +980,17 @@ impl Response {
             Response::U64(v) => {
                 wire::put_u8(&mut out, U64);
                 wire::put_u64(&mut out, *v);
+            }
+            Response::ExecDone { card, epoch } => {
+                wire::put_u8(&mut out, EXEC_DONE);
+                wire::put_u64(&mut out, *card);
+                match epoch {
+                    None => wire::put_bool(&mut out, false),
+                    Some(e) => {
+                        wire::put_bool(&mut out, true);
+                        wire::put_u64(&mut out, *e);
+                    }
+                }
             }
             Response::OptU64(v) => {
                 wire::put_u8(&mut out, OPT_U64);
@@ -1075,6 +1113,10 @@ impl Response {
             UNIT => Response::Unit,
             BOOL => Response::Bool(cur.bool_()?),
             U64 => Response::U64(cur.u64()?),
+            EXEC_DONE => Response::ExecDone {
+                card: cur.u64()?,
+                epoch: if cur.bool_()? { Some(cur.u64()?) } else { None },
+            },
             OPT_U64 => Response::OptU64(if cur.bool_()? { Some(cur.u64()?) } else { None }),
             U64_LIST => Response::U64List(get_u64_list(&mut cur)?),
             STR_LIST => Response::StrList(get_str_list(&mut cur)?),
@@ -1176,6 +1218,7 @@ mod tests {
                 worker: 3,
                 op_index: 99,
                 timeout_micros: 5_000_000,
+                strict: false,
                 op: Op::Read(QueryInstance {
                     id: QueryId::Q32,
                     depth: Some(3),
@@ -1186,6 +1229,7 @@ mod tests {
                 worker: 0,
                 op_index: 0,
                 timeout_micros: 0,
+                strict: true,
                 op: Op::Write(WriteOp::RemoveOwnEdge),
             },
             Request::Neighbors {
@@ -1242,6 +1286,14 @@ mod tests {
             Response::Unit,
             Response::Bool(true),
             Response::U64(7),
+            Response::ExecDone {
+                card: 12,
+                epoch: Some(9),
+            },
+            Response::ExecDone {
+                card: 0,
+                epoch: None,
+            },
             Response::OptU64(None),
             Response::OptU64(Some(3)),
             Response::U64List(vec![1, 2, 3]),
@@ -1311,6 +1363,7 @@ mod tests {
             worker: 0,
             op_index: 0,
             timeout_micros: 0,
+            strict: false,
             op: Op::Read(QueryInstance::plain(QueryId::Q2)),
         };
         let back = Request::decode(&req.encode()).unwrap();
@@ -1323,11 +1376,13 @@ mod tests {
             worker: 0,
             op_index: 0,
             timeout_micros: 0,
+            strict: false,
             op: Op::Read(QueryInstance::plain(QueryId::Q8)),
         }
         .encode();
-        // Patch the query number (offset: op(1)+worker(4)+op_index(8)+t(8)+tag(1)).
-        bytes[22] = 99;
+        // Patch the query number
+        // (offset: op(1)+worker(4)+op_index(8)+t(8)+strict(1)+tag(1)).
+        bytes[23] = 99;
         assert!(matches!(Request::decode(&bytes), Err(GdbError::Corrupt(_))));
     }
 

@@ -20,13 +20,14 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use std::thread;
 use std::time::Duration;
 
 use gm_core::catalog;
 use gm_core::params::{ResolvedParams, Workload};
-use gm_model::{Dataset, Eid, GdbError, GdbResult, GraphDb, QueryCtx, Vid};
+use gm_model::{Dataset, Eid, GdbError, GdbResult, GraphDb, GraphSnapshot, QueryCtx, Vid};
+use gm_mvcc::{SnapshotSource, SourceFactory};
 use gm_workload::{apply_write, Op};
 
 use crate::proto::{Request, Response, MAGIC, PROTO_VERSION};
@@ -35,10 +36,54 @@ use crate::wire;
 /// Factory producing fresh, empty engines — what `Reset` swaps in.
 pub type EngineFactory = Box<dyn Fn() -> Box<dyn GraphDb> + Send + Sync>;
 
+/// The two hosting modes a server can run in.
+///
+/// * `Locked` — the original contract: one engine behind an `RwLock`, reads
+///   under the shared lock (a long remote scan blocks every remote writer).
+/// * `Snapshot` — a `gm-mvcc` [`SnapshotSource`]: every read request pins an
+///   immutable epoch and executes against it, so remote scans never block
+///   remote writers, and `ExecOp` responses carry the serving epoch.
+enum HostedEngine {
+    Locked {
+        factory: EngineFactory,
+        engine: RwLock<Box<dyn GraphDb>>,
+    },
+    Snapshot {
+        factory: SourceFactory,
+        source: RwLock<Box<dyn SnapshotSource>>,
+    },
+}
+
+/// A read execution view: either the shared-lock guard or a pinned epoch.
+enum ReadView<'a> {
+    Guard(RwLockReadGuard<'a, Box<dyn GraphDb>>),
+    Snap(Box<dyn GraphSnapshot>),
+}
+
+impl ReadView<'_> {
+    /// The read-only engine surface to execute against.
+    fn snap(&self) -> &dyn GraphSnapshot {
+        match self {
+            ReadView::Guard(guard) => {
+                let db: &dyn GraphDb = &***guard;
+                db
+            }
+            ReadView::Snap(snap) => snap.as_ref(),
+        }
+    }
+
+    /// Serving epoch: `Some` only for pinned snapshot views.
+    fn epoch(&self) -> Option<u64> {
+        match self {
+            ReadView::Guard(_) => None,
+            ReadView::Snap(snap) => Some(snap.epoch()),
+        }
+    }
+}
+
 /// Everything the connection handlers share.
 struct Hosted {
-    factory: EngineFactory,
-    engine: RwLock<Box<dyn GraphDb>>,
+    engine: HostedEngine,
     /// Dataset retained from the last `BulkLoad`, for `Prepare`.
     data: Mutex<Option<Dataset>>,
     /// Workload parameters resolved by `Prepare`, snapshotted per op.
@@ -58,11 +103,81 @@ impl Hosted {
     }
 
     fn engine_name(&self) -> GdbResult<String> {
-        Ok(self
-            .engine
-            .read()
-            .map_err(|_| Self::poisoned("read"))?
-            .name())
+        Ok(self.read_view()?.snap().name())
+    }
+
+    /// A read view of the hosted engine: the shared-lock guard in locked
+    /// mode, a freshly pinned (strict, read-your-writes) epoch in snapshot
+    /// mode. Used by the primitive `GraphDb` frames, where a client issuing
+    /// `add_vertex` then `vertex_count` on one connection must see its own
+    /// write.
+    fn read_view(&self) -> GdbResult<ReadView<'_>> {
+        match &self.engine {
+            HostedEngine::Locked { engine, .. } => Ok(ReadView::Guard(
+                engine.read().map_err(|_| Self::poisoned("read"))?,
+            )),
+            HostedEngine::Snapshot { source, .. } => Ok(ReadView::Snap(
+                source
+                    .read()
+                    .map_err(|_| Self::poisoned("source read"))?
+                    .snapshot()?,
+            )),
+        }
+    }
+
+    /// Like [`Hosted::read_view`], but in snapshot mode the pin tolerates
+    /// bounded staleness (`gm-workload`'s pin cadence), so the `ExecOp` hot
+    /// path never serializes behind per-request epoch publishes.
+    fn read_view_recent(&self) -> GdbResult<ReadView<'_>> {
+        match &self.engine {
+            HostedEngine::Locked { .. } => self.read_view(),
+            HostedEngine::Snapshot { source, .. } => Ok(ReadView::Snap(
+                source
+                    .read()
+                    .map_err(|_| Self::poisoned("source read"))?
+                    .snapshot_recent(gm_workload::SNAPSHOT_PIN_STALENESS)?,
+            )),
+        }
+    }
+
+    /// Run one mutation against the hosted engine (exclusive lock in locked
+    /// mode, the source's write path in snapshot mode).
+    fn with_engine_write<R>(
+        &self,
+        f: impl FnOnce(&mut dyn GraphDb) -> GdbResult<R>,
+    ) -> GdbResult<R> {
+        match &self.engine {
+            HostedEngine::Locked { engine, .. } => {
+                let mut db = engine.write().map_err(|_| Self::poisoned("write"))?;
+                f(db.as_mut())
+            }
+            HostedEngine::Snapshot { source, .. } => {
+                let source = source.read().map_err(|_| Self::poisoned("source read"))?;
+                let mut once = Some(f);
+                let mut out: Option<R> = None;
+                source.with_write(&mut |db| {
+                    let f = once.take().expect("write closure runs once");
+                    out = Some(f(db)?);
+                    Ok(0)
+                })?;
+                Ok(out.expect("write closure ran"))
+            }
+        }
+    }
+
+    /// Replace the hosted engine with a fresh one from its factory.
+    fn reset_engine(&self) -> GdbResult<()> {
+        match &self.engine {
+            HostedEngine::Locked { factory, engine } => {
+                let mut db = engine.write().map_err(|_| Self::poisoned("write"))?;
+                *db = factory();
+            }
+            HostedEngine::Snapshot { factory, source } => {
+                let mut src = source.write().map_err(|_| Self::poisoned("source write"))?;
+                *src = factory();
+            }
+        }
+        Ok(())
     }
 }
 
@@ -100,17 +215,41 @@ impl ServerHandle {
 
 impl Server {
     /// Bind to `addr` (e.g. `"127.0.0.1:7687"` or `"127.0.0.1:0"`), hosting
-    /// engines produced by `factory`. One engine is created immediately so
-    /// the server is usable before any `Reset`.
+    /// engines produced by `factory` behind the shared `RwLock` (reads block
+    /// writes and vice versa). One engine is created immediately so the
+    /// server is usable before any `Reset`.
     pub fn bind(addr: &str, factory: EngineFactory) -> GdbResult<Server> {
+        let engine = factory();
+        Self::bind_hosted(
+            addr,
+            HostedEngine::Locked {
+                factory,
+                engine: RwLock::new(engine),
+            },
+        )
+    }
+
+    /// Bind to `addr` hosting a `gm-mvcc` snapshot source: read requests pin
+    /// an immutable epoch (remote scans never block remote writers) and
+    /// `ExecOp` responses carry the serving epoch.
+    pub fn bind_snapshot(addr: &str, factory: SourceFactory) -> GdbResult<Server> {
+        let source = factory();
+        Self::bind_hosted(
+            addr,
+            HostedEngine::Snapshot {
+                factory,
+                source: RwLock::new(source),
+            },
+        )
+    }
+
+    fn bind_hosted(addr: &str, engine: HostedEngine) -> GdbResult<Server> {
         let listener =
             TcpListener::bind(addr).map_err(|e| GdbError::Io(format!("binding {addr}: {e}")))?;
-        let engine = factory();
         Ok(Server {
             listener,
             hosted: Arc::new(Hosted {
-                factory,
-                engine: RwLock::new(engine),
+                engine,
                 data: Mutex::new(None),
                 params: RwLock::new(None),
                 generation: AtomicU64::new(0),
@@ -280,17 +419,16 @@ fn execute_request(
     req: Request,
     owned_edges: &mut OwnedEdges,
 ) -> GdbResult<Response> {
-    let read = || hosted.engine.read().map_err(|_| Hosted::poisoned("read"));
-    let write = || hosted.engine.write().map_err(|_| Hosted::poisoned("write"));
+    // Locked mode: `read()` is the shared-lock guard. Snapshot mode: every
+    // `read()` pins a fresh immutable epoch, so a long scan here cannot
+    // block a concurrent writer on another connection.
+    let read = || hosted.read_view();
     Ok(match req {
         Request::Hello { .. } => {
             return Err(GdbError::Invalid("Hello after handshake".into()));
         }
         Request::Reset => {
-            {
-                let mut db = write()?;
-                *db = (hosted.factory)();
-            }
+            hosted.reset_engine()?;
             *hosted
                 .data
                 .lock()
@@ -303,7 +441,7 @@ fn execute_request(
             Response::Unit
         }
         Request::BulkLoad { opts, data } => {
-            let stats = write()?.bulk_load(&data, &opts)?;
+            let stats = hosted.with_engine_write(|db| db.bulk_load(&data, &opts))?;
             *hosted
                 .data
                 .lock()
@@ -320,7 +458,7 @@ fn execute_request(
                     GdbError::Invalid("Prepare before BulkLoad: no dataset retained".into())
                 })?;
             let workload = Workload::choose(&data, seed, slots as usize);
-            let params = workload.resolve(read()?.as_ref())?;
+            let params = workload.resolve(read()?.snap())?;
             *hosted
                 .params
                 .write()
@@ -331,6 +469,7 @@ fn execute_request(
             worker,
             op_index,
             timeout_micros,
+            strict,
             op,
         } => {
             let params = hosted
@@ -341,7 +480,7 @@ fn execute_request(
                 .ok_or_else(|| {
                     GdbError::Invalid("ExecOp before Prepare: no workload parameters".into())
                 })?;
-            let card = match op {
+            match op {
                 Op::Read(inst) if inst.id.is_mutation() => {
                     return Err(GdbError::Invalid(format!(
                         "ExecOp read frame carries mutating query Q{}",
@@ -350,48 +489,76 @@ fn execute_request(
                 }
                 Op::Read(inst) => {
                     let ctx = ctx_for(timeout_micros);
-                    let db = read()?;
-                    catalog::execute_read(&inst, db.as_ref(), &params, &ctx)?
+                    // Strict pins (sequential replays) must read their own
+                    // earlier writes; concurrent drivers take the
+                    // group-committed fast path.
+                    let view = if strict {
+                        hosted.read_view()?
+                    } else {
+                        hosted.read_view_recent()?
+                    };
+                    let card = catalog::execute_read(&inst, view.snap(), &params, &ctx)?;
+                    Response::ExecDone {
+                        card,
+                        epoch: view.epoch(),
+                    }
                 }
                 Op::Write(wop) => {
-                    let mut db = write()?;
-                    apply_write(
-                        wop,
-                        db.as_mut(),
-                        &params,
-                        worker as usize,
-                        op_index,
-                        owned_edges.current(hosted),
-                    )?
+                    // The generation check of `current()` must happen while
+                    // holding the engine write path: a `Reset` interleaving
+                    // between the check and the write would otherwise apply
+                    // a pre-reset edge pool to the fresh engine (and stale
+                    // eids alias live edges once ids restart at 0).
+                    let card = hosted.with_engine_write(|db| {
+                        apply_write(
+                            wop,
+                            db,
+                            &params,
+                            worker as usize,
+                            op_index,
+                            owned_edges.current(hosted),
+                        )
+                    })?;
+                    Response::ExecDone { card, epoch: None }
                 }
-            };
-            Response::U64(card)
+            }
         }
-        Request::Features => Response::Features(read()?.features()),
-        Request::ResolveVertex(c) => Response::OptU64(read()?.resolve_vertex(c).map(|v| v.0)),
-        Request::ResolveEdge(c) => Response::OptU64(read()?.resolve_edge(c).map(|e| e.0)),
-        Request::AddVertex { label, props } => {
-            Response::U64(write()?.add_vertex(&label, &props)?.0)
+        Request::Features => Response::Features(read()?.snap().features()),
+        Request::ResolveVertex(c) => {
+            Response::OptU64(read()?.snap().resolve_vertex(c).map(|v| v.0))
         }
+        Request::ResolveEdge(c) => Response::OptU64(read()?.snap().resolve_edge(c).map(|e| e.0)),
+        Request::AddVertex { label, props } => Response::U64(
+            hosted
+                .with_engine_write(|db| db.add_vertex(&label, &props))?
+                .0,
+        ),
         Request::AddEdge {
             src,
             dst,
             label,
             props,
-        } => Response::U64(write()?.add_edge(Vid(src), Vid(dst), &label, &props)?.0),
+        } => Response::U64(
+            hosted
+                .with_engine_write(|db| db.add_edge(Vid(src), Vid(dst), &label, &props))?
+                .0,
+        ),
         Request::SetVertexProp { v, name, value } => {
-            write()?.set_vertex_property(Vid(v), &name, value)?;
+            hosted.with_engine_write(|db| db.set_vertex_property(Vid(v), &name, value))?;
             Response::Unit
         }
         Request::SetEdgeProp { e, name, value } => {
-            write()?.set_edge_property(Eid(e), &name, value)?;
+            hosted.with_engine_write(|db| db.set_edge_property(Eid(e), &name, value))?;
             Response::Unit
         }
-        Request::VertexCount { t } => Response::U64(read()?.vertex_count(&ctx_for(t))?),
-        Request::EdgeCount { t } => Response::U64(read()?.edge_count(&ctx_for(t))?),
-        Request::EdgeLabelSet { t } => Response::StrList(read()?.edge_label_set(&ctx_for(t))?),
+        Request::VertexCount { t } => Response::U64(read()?.snap().vertex_count(&ctx_for(t))?),
+        Request::EdgeCount { t } => Response::U64(read()?.snap().edge_count(&ctx_for(t))?),
+        Request::EdgeLabelSet { t } => {
+            Response::StrList(read()?.snap().edge_label_set(&ctx_for(t))?)
+        }
         Request::VerticesWithProperty { name, value, t } => Response::U64List(
             read()?
+                .snap()
                 .vertices_with_property(&name, &value, &ctx_for(t))?
                 .into_iter()
                 .map(|v| v.0)
@@ -399,6 +566,7 @@ fn execute_request(
         ),
         Request::EdgesWithProperty { name, value, t } => Response::U64List(
             read()?
+                .snap()
                 .edges_with_property(&name, &value, &ctx_for(t))?
                 .into_iter()
                 .map(|e| e.0)
@@ -406,74 +574,84 @@ fn execute_request(
         ),
         Request::EdgesWithLabel { label, t } => Response::U64List(
             read()?
+                .snap()
                 .edges_with_label(&label, &ctx_for(t))?
                 .into_iter()
                 .map(|e| e.0)
                 .collect(),
         ),
-        Request::GetVertex(v) => Response::OptVertex(read()?.vertex(Vid(v))?),
-        Request::GetEdge(e) => Response::OptEdge(read()?.edge(Eid(e))?),
+        Request::GetVertex(v) => Response::OptVertex(read()?.snap().vertex(Vid(v))?),
+        Request::GetEdge(e) => Response::OptEdge(read()?.snap().edge(Eid(e))?),
         Request::RemoveVertex(v) => {
-            write()?.remove_vertex(Vid(v))?;
+            hosted.with_engine_write(|db| db.remove_vertex(Vid(v)))?;
             Response::Unit
         }
         Request::RemoveEdge(e) => {
-            write()?.remove_edge(Eid(e))?;
+            hosted.with_engine_write(|db| db.remove_edge(Eid(e)))?;
             Response::Unit
         }
-        Request::RemoveVertexProp { v, name } => {
-            Response::OptValue(write()?.remove_vertex_property(Vid(v), &name)?)
-        }
-        Request::RemoveEdgeProp { e, name } => {
-            Response::OptValue(write()?.remove_edge_property(Eid(e), &name)?)
-        }
+        Request::RemoveVertexProp { v, name } => Response::OptValue(
+            hosted.with_engine_write(|db| db.remove_vertex_property(Vid(v), &name))?,
+        ),
+        Request::RemoveEdgeProp { e, name } => Response::OptValue(
+            hosted.with_engine_write(|db| db.remove_edge_property(Eid(e), &name))?,
+        ),
         Request::Neighbors { v, dir, label, t } => Response::U64List(
             read()?
+                .snap()
                 .neighbors(Vid(v), dir, label.as_deref(), &ctx_for(t))?
                 .into_iter()
                 .map(|v| v.0)
                 .collect(),
         ),
-        Request::VertexEdges { v, dir, label, t } => {
-            Response::EdgeRefs(read()?.vertex_edges(Vid(v), dir, label.as_deref(), &ctx_for(t))?)
-        }
+        Request::VertexEdges { v, dir, label, t } => Response::EdgeRefs(
+            read()?
+                .snap()
+                .vertex_edges(Vid(v), dir, label.as_deref(), &ctx_for(t))?,
+        ),
         Request::VertexDegree { v, dir, t } => {
-            Response::U64(read()?.vertex_degree(Vid(v), dir, &ctx_for(t))?)
+            Response::U64(read()?.snap().vertex_degree(Vid(v), dir, &ctx_for(t))?)
         }
-        Request::VertexEdgeLabels { v, dir, t } => {
-            Response::StrList(read()?.vertex_edge_labels(Vid(v), dir, &ctx_for(t))?)
-        }
+        Request::VertexEdgeLabels { v, dir, t } => Response::StrList(
+            read()?
+                .snap()
+                .vertex_edge_labels(Vid(v), dir, &ctx_for(t))?,
+        ),
         Request::ScanVertices { t } => {
             let ctx = ctx_for(t);
-            let db = read()?;
+            let view = read()?;
             let mut out = Vec::new();
-            for v in db.scan_vertices(&ctx)? {
+            for v in view.snap().scan_vertices(&ctx)? {
                 out.push(v?.0);
             }
             Response::U64List(out)
         }
         Request::ScanEdges { t } => {
             let ctx = ctx_for(t);
-            let db = read()?;
+            let view = read()?;
             let mut out = Vec::new();
-            for e in db.scan_edges(&ctx)? {
+            for e in view.snap().scan_edges(&ctx)? {
                 out.push(e?.0);
             }
             Response::U64List(out)
         }
         Request::VertexProperty { v, name } => {
-            Response::OptValue(read()?.vertex_property(Vid(v), &name)?)
+            Response::OptValue(read()?.snap().vertex_property(Vid(v), &name)?)
         }
         Request::EdgeProperty { e, name } => {
-            Response::OptValue(read()?.edge_property(Eid(e), &name)?)
+            Response::OptValue(read()?.snap().edge_property(Eid(e), &name)?)
         }
-        Request::EdgeEndpoints(e) => {
-            Response::OptPair(read()?.edge_endpoints(Eid(e))?.map(|(s, d)| (s.0, d.0)))
-        }
-        Request::EdgeLabel(e) => Response::OptStr(read()?.edge_label(Eid(e))?),
-        Request::VertexLabel(v) => Response::OptStr(read()?.vertex_label(Vid(v))?),
+        Request::EdgeEndpoints(e) => Response::OptPair(
+            read()?
+                .snap()
+                .edge_endpoints(Eid(e))?
+                .map(|(s, d)| (s.0, d.0)),
+        ),
+        Request::EdgeLabel(e) => Response::OptStr(read()?.snap().edge_label(Eid(e))?),
+        Request::VertexLabel(v) => Response::OptStr(read()?.snap().vertex_label(Vid(v))?),
         Request::DegreeScan { dir, k, t } => Response::U64List(
             read()?
+                .snap()
                 .degree_scan(dir, k, &ctx_for(t))?
                 .into_iter()
                 .map(|v| v.0)
@@ -481,19 +659,20 @@ fn execute_request(
         ),
         Request::DistinctNeighborScan { dir, t } => Response::U64List(
             read()?
+                .snap()
                 .distinct_neighbor_scan(dir, &ctx_for(t))?
                 .into_iter()
                 .map(|v| v.0)
                 .collect(),
         ),
         Request::CreateVertexIndex { prop } => {
-            write()?.create_vertex_index(&prop)?;
+            hosted.with_engine_write(|db| db.create_vertex_index(&prop))?;
             Response::Unit
         }
-        Request::HasVertexIndex { prop } => Response::Bool(read()?.has_vertex_index(&prop)),
-        Request::Space => Response::Space(read()?.space()),
+        Request::HasVertexIndex { prop } => Response::Bool(read()?.snap().has_vertex_index(&prop)),
+        Request::Space => Response::Space(read()?.snap().space()),
         Request::Sync => {
-            write()?.sync()?;
+            hosted.with_engine_write(|db| db.sync())?;
             Response::Unit
         }
     })

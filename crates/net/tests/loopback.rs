@@ -13,7 +13,7 @@ use gm_core::params::Workload;
 use gm_core::report::{Outcome, RunMode};
 use gm_core::runner::{BenchConfig, Runner};
 use gm_model::api::LoadOptions;
-use gm_model::{testkit, GdbError, GraphDb, QueryCtx, Vid};
+use gm_model::{testkit, GdbError, GraphDb, GraphSnapshot, QueryCtx, Vid};
 use gm_net::wire;
 use gm_net::{
     run_remote, Connection, RemoteEngine, Request, Response, Server, ServerHandle, MAGIC,
@@ -230,7 +230,8 @@ fn reset_invalidates_other_connections_owned_edges() {
     a.prepare(1, 16).unwrap();
     assert_eq!(
         a.exec_op(Op::Write(WriteOp::AddEdge), 0, 0, Duration::from_secs(1))
-            .unwrap(),
+            .unwrap()
+            .cardinality,
         1
     );
 
@@ -332,5 +333,177 @@ fn version_and_magic_mismatches_rejected() {
         }
         other => panic!("expected handshake rejection, got {other:?}"),
     }
+    server.shutdown();
+}
+
+/// Snapshot-mode hosting (satellite of the gm-mvcc PR): a server built over
+/// a `SnapshotSource` serves every read from a pinned epoch, and the v2
+/// `ExecOp` response carries that serving epoch. With a concurrent remote
+/// writer hammering the engine, a remote scan client asserts the epoch
+/// contract end to end:
+///
+/// * every read response decodes against exactly **one** epoch (responses
+///   with equal epochs agree exactly — no torn reads across the wire);
+/// * epochs are monotone per connection (so `epoch_skew` stays 0);
+/// * counts are monotone in epoch, and the final epoch sees every write.
+#[test]
+fn snapshot_server_tags_reads_with_one_epoch_under_concurrent_writers() {
+    use gm_workload::{Op, WriteOp, WORKLOAD_SLOTS};
+    use graphmark::mvcc::SnapshotMode;
+
+    let data = testkit::chain_dataset(120);
+    let kind = EngineKind::LinkedV2;
+    let server = Server::bind_snapshot(
+        "127.0.0.1:0",
+        Box::new(move || kind.make_snapshot_source(SnapshotMode::Cow)),
+    )
+    .expect("bind snapshot loopback")
+    .spawn()
+    .expect("spawn snapshot server");
+    let addr = server.addr().to_string();
+
+    let ctl = RemoteEngine::connect(&addr).expect("connect control");
+    ctl.reset().unwrap();
+    {
+        // bulk_load takes &mut; scope a second connection for setup.
+        let mut loader = RemoteEngine::connect(&addr).expect("connect loader");
+        loader.bulk_load(&data, &LoadOptions::default()).unwrap();
+    }
+    ctl.prepare(7, WORKLOAD_SLOTS as u32).unwrap();
+
+    const WRITES: u64 = 120;
+    const READS: u64 = 150;
+    let initial = data.vertex_count() as u64;
+
+    let samples = std::thread::scope(|s| {
+        let addr_w = addr.clone();
+        let writer = s.spawn(move || {
+            let w = RemoteEngine::connect(&addr_w).expect("connect writer");
+            for i in 0..WRITES {
+                w.exec_op(Op::Write(WriteOp::AddVertex), 0, i, Duration::from_secs(5))
+                    .expect("remote write");
+            }
+        });
+        let addr_r = addr.clone();
+        let reader = s.spawn(move || {
+            let r = RemoteEngine::connect(&addr_r).expect("connect reader");
+            let mut samples: Vec<(u64, u64)> = Vec::new();
+            for i in 0..READS {
+                let res = r
+                    .exec_op(
+                        Op::Read(QueryInstance::plain(QueryId::Q8)),
+                        1,
+                        i,
+                        Duration::from_secs(5),
+                    )
+                    .expect("remote read");
+                let epoch = res
+                    .epoch
+                    .expect("snapshot server must tag reads with the serving epoch");
+                samples.push((epoch, res.cardinality));
+            }
+            samples
+        });
+        writer.join().expect("writer thread");
+        reader.join().expect("reader thread")
+    });
+
+    // Monotone epochs per connection: a later read never serves an older
+    // graph version (this is exactly what the driver's epoch_skew counts).
+    for pair in samples.windows(2) {
+        assert!(
+            pair[1].0 >= pair[0].0,
+            "epochs must be monotone per connection: {:?} then {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+    // One epoch = one graph version: reads claiming the same epoch agree
+    // exactly, no matter how the writer interleaved.
+    let mut by_epoch: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for (epoch, count) in &samples {
+        if let Some(prev) = by_epoch.insert(*epoch, *count) {
+            assert_eq!(
+                prev, *count,
+                "two reads of epoch {epoch} disagreed ({prev} vs {count})"
+            );
+        }
+    }
+    // Counts are monotone in epoch (writers only add), within bounds.
+    let mut last = 0u64;
+    for (epoch, count) in &by_epoch {
+        assert!(
+            *count >= last && *count >= initial && *count <= initial + WRITES,
+            "epoch {epoch} count {count} out of range"
+        );
+        last = *count;
+    }
+    // A final pin observes every write: the server's ExecOp reads tolerate
+    // bounded staleness (gm-workload's pin cadence), so let the pending
+    // epoch age past the bound before asserting exactness.
+    std::thread::sleep(Duration::from_millis(5));
+    let final_count = ctl
+        .exec_op(
+            Op::Read(QueryInstance::plain(QueryId::Q8)),
+            1,
+            READS,
+            Duration::from_secs(5),
+        )
+        .expect("final read");
+    assert_eq!(final_count.cardinality, initial + WRITES);
+    assert!(final_count.epoch.is_some());
+
+    server.shutdown();
+}
+
+/// A snapshot-hosted server still satisfies the determinism contract: a
+/// read-only remote workload matches the in-process sequential replay op
+/// for op, and a locked-mode server answers `ExecOp` reads with no epoch.
+#[test]
+fn snapshot_server_read_only_matches_replay_and_locked_has_no_epoch() {
+    use gm_workload::Op;
+    use graphmark::mvcc::SnapshotMode;
+
+    let data = testkit::chain_dataset(150);
+    let kind = EngineKind::ColumnarV10;
+    let server = Server::bind_snapshot(
+        "127.0.0.1:0",
+        Box::new(move || kind.make_snapshot_source(SnapshotMode::Native)),
+    )
+    .expect("bind native snapshot loopback")
+    .spawn()
+    .expect("spawn");
+    let addr = server.addr().to_string();
+    let c = cfg(MixKind::ReadOnly, 3, 20);
+    let remote = run_remote(&addr, &data, &c).expect("remote snapshot run");
+    let factory = move || kind.make();
+    let local = run_sequential(&factory, &data, &c).expect("local replay");
+    assert_eq!(
+        remote.cardinality_trace(),
+        local.cardinality_trace(),
+        "snapshot-served results must match the in-process replay"
+    );
+    assert_eq!(remote.epoch_skew(), 0, "in-order epochs never skew");
+    server.shutdown();
+
+    // Locked-mode servers keep answering ExecOp — with no epoch tag.
+    let server = spawn_server(EngineKind::LinkedV2);
+    let addr = server.addr().to_string();
+    let ctl = RemoteEngine::connect(&addr).expect("connect");
+    ctl.reset().unwrap();
+    {
+        let mut loader = RemoteEngine::connect(&addr).expect("loader");
+        loader.bulk_load(&data, &LoadOptions::default()).unwrap();
+    }
+    ctl.prepare(7, gm_workload::WORKLOAD_SLOTS as u32).unwrap();
+    let res = ctl
+        .exec_op(
+            Op::Read(QueryInstance::plain(QueryId::Q8)),
+            0,
+            0,
+            Duration::from_secs(5),
+        )
+        .expect("locked read");
+    assert_eq!(res.epoch, None, "locked mode carries no epochs");
     server.shutdown();
 }

@@ -18,6 +18,8 @@
 //! * [`pagestore`] — append-only record store with logical→physical
 //!   indirection;
 //! * [`hashidx`] — open-addressing multimap for id→id indexes;
+//! * [`segvec`] — append-only segmented vector whose clones share closed
+//!   segments (the columnar engine's cheap-snapshot watermark column);
 //! * [`codec`] — varint / zigzag / delta encoding helpers.
 
 pub mod bitmap;
@@ -27,6 +29,7 @@ pub mod hashidx;
 pub mod lsm;
 pub mod pagestore;
 pub mod records;
+pub mod segvec;
 pub mod valcodec;
 
 pub use bitmap::Bitmap;
@@ -35,3 +38,4 @@ pub use hashidx::HashIndex;
 pub use lsm::LsmTable;
 pub use pagestore::PageStore;
 pub use records::RecordFile;
+pub use segvec::SegVec;

@@ -14,6 +14,7 @@
 //!   folds them together.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Key-value entry; `None` is a tombstone.
 type MemEntry = Option<Vec<u8>>;
@@ -77,10 +78,17 @@ pub struct LsmStats {
 }
 
 /// The LSM table.
+///
+/// Runs are `Arc`-shared: once flushed they are immutable, so a `Clone` of
+/// the whole table copies only the memtable (bounded by
+/// [`LsmConfig::memtable_limit`]) and one `Arc` per run — the property the
+/// columnar engine's snapshot path relies on. Compaction *replaces* the run
+/// list with a freshly merged run; clones holding the old `Arc`s keep
+/// reading the pre-compaction runs unchanged.
 #[derive(Debug, Clone)]
 pub struct LsmTable {
     mem: BTreeMap<Vec<u8>, MemEntry>,
-    runs: Vec<Run>, // oldest first
+    runs: Vec<Arc<Run>>, // oldest first
     config: LsmConfig,
     stats: LsmStats,
 }
@@ -190,32 +198,74 @@ impl LsmTable {
         let entries: Vec<(Vec<u8>, MemEntry)> = std::mem::take(&mut self.mem).into_iter().collect();
         let bytes = run_bytes(&entries);
         self.stats.tombstones += entries.iter().filter(|(_, v)| v.is_none()).count() as u64;
-        self.runs.push(Run { entries, bytes });
+        self.runs.push(Arc::new(Run { entries, bytes }));
         self.stats.flushes += 1;
         if self.runs.len() > self.config.max_runs {
-            self.compact();
+            self.compact_tail();
         }
     }
 
     /// Merge all runs into one, dropping shadowed versions and tombstones.
     pub fn compact(&mut self) {
-        if self.runs.len() <= 1 {
+        self.merge_suffix(0);
+    }
+
+    /// Tiered overflow compaction: merge only the **newest half** of the
+    /// runs into one and leave the older base runs untouched.
+    ///
+    /// The full [`LsmTable::compact`] rewrites the entire store — including
+    /// the big bulk-loaded base run — every time the run count overflows,
+    /// which at small memtable sizes makes automatic compaction O(store)
+    /// per few thousand writes (and the columnar engine's snapshot path
+    /// tunes the memtable small precisely to keep freezes cheap). Tiering
+    /// bounds automatic compaction work to the recently flushed tail; the
+    /// base is rewritten only by an explicit `compact()` call.
+    pub fn compact_tail(&mut self) {
+        self.merge_suffix(self.config.max_runs / 2);
+    }
+
+    /// Merge the runs from index `keep` onward into one run. Tombstones are
+    /// dropped only when the merge reaches the bottom level (`keep == 0`);
+    /// higher merges must retain them because they may still shadow live
+    /// entries in the base runs below.
+    fn merge_suffix(&mut self, keep: usize) {
+        if self.runs.len() <= keep.max(1) {
             return;
         }
+        let tail = self.runs.split_off(keep);
         let mut merged: BTreeMap<Vec<u8>, MemEntry> = BTreeMap::new();
-        for run in self.runs.drain(..) {
-            // Later (newer) runs overwrite earlier entries.
-            for (k, v) in run.entries {
-                merged.insert(k, v);
+        for run in tail {
+            // Later (newer) runs overwrite earlier entries. Snapshot clones
+            // may still hold the old runs' `Arc`s, so merge by reference
+            // (or by move when this table is the last owner).
+            match Arc::try_unwrap(run) {
+                Ok(run) => {
+                    for (k, v) in run.entries {
+                        merged.insert(k, v);
+                    }
+                }
+                Err(shared) => {
+                    for (k, v) in &shared.entries {
+                        merged.insert(k.clone(), v.clone());
+                    }
+                }
             }
         }
         // Tombstones at the bottom level can be dropped entirely.
-        let entries: Vec<(Vec<u8>, MemEntry)> =
-            merged.into_iter().filter(|(_, v)| v.is_some()).collect();
+        let entries: Vec<(Vec<u8>, MemEntry)> = if keep == 0 {
+            merged.into_iter().filter(|(_, v)| v.is_some()).collect()
+        } else {
+            merged.into_iter().collect()
+        };
         let bytes = run_bytes(&entries);
-        self.stats.tombstones = 0;
-        self.runs.push(Run { entries, bytes });
+        self.runs.push(Arc::new(Run { entries, bytes }));
         self.stats.compactions += 1;
+        // Recount live tombstones (cheap: a scan, no allocation).
+        self.stats.tombstones = self
+            .runs
+            .iter()
+            .map(|r| r.entries.iter().filter(|(_, v)| v.is_none()).count() as u64)
+            .sum();
     }
 
     /// Number of immutable runs currently on "disk".

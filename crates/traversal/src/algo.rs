@@ -7,7 +7,7 @@
 
 use gm_model::api::Direction;
 use gm_model::fxmap::FxHashMap;
-use gm_model::{GdbResult, GraphDb, QueryCtx, Vid};
+use gm_model::{GdbResult, GraphSnapshot, QueryCtx, Vid};
 
 /// Result of a shortest-path query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,7 +27,7 @@ impl PathResult {
 /// `both()` edges, up to `max_depth` hops, optionally restricted to edges
 /// with `label`. The start vertex is not included (Gremlin's `except(vs)`).
 pub fn bfs(
-    db: &dyn GraphDb,
+    db: &dyn GraphSnapshot,
     start: Vid,
     max_depth: usize,
     label: Option<&str>,
@@ -61,7 +61,7 @@ pub fn bfs(
 /// exists. The paper's Gremlin formulation explores breadth-first and keeps
 /// the traversal path; we reconstruct it from BFS parents.
 pub fn shortest_path(
-    db: &dyn GraphDb,
+    db: &dyn GraphSnapshot,
     from: Vid,
     to: Vid,
     label: Option<&str>,
@@ -105,7 +105,7 @@ pub fn shortest_path(
 
 /// Eccentricity-style probe used by the dataset statistics module and a few
 /// complex queries: the maximum BFS depth reachable from `start`.
-pub fn bfs_depth(db: &dyn GraphDb, start: Vid, ctx: &QueryCtx) -> GdbResult<usize> {
+pub fn bfs_depth(db: &dyn GraphSnapshot, start: Vid, ctx: &QueryCtx) -> GdbResult<usize> {
     let mut visited: FxHashMap<u64, ()> = FxHashMap::default();
     visited.insert(start.0, ());
     let mut frontier = vec![start];
@@ -132,7 +132,7 @@ pub fn bfs_depth(db: &dyn GraphDb, start: Vid, ctx: &QueryCtx) -> GdbResult<usiz
 mod tests {
     use super::*;
     use engine_linked::LinkedGraph;
-    use gm_model::api::LoadOptions;
+    use gm_model::api::{GraphDb, LoadOptions};
     use gm_model::testkit;
     use gm_model::GdbError;
 

@@ -1,7 +1,7 @@
 //! The step machine: build and run Gremlin-style traversals.
 
 use gm_model::api::Direction;
-use gm_model::{Eid, GdbError, GdbResult, GraphDb, QueryCtx, Value, Vid};
+use gm_model::{Eid, GdbError, GdbResult, GraphSnapshot, QueryCtx, Value, Vid};
 
 /// A traverser: the unit flowing between steps.
 #[derive(Debug, Clone, PartialEq)]
@@ -222,7 +222,7 @@ impl Traversal {
     ///
     /// Every step materializes its output before the next step runs — the
     /// per-step evaluation model of non-optimizing Gremlin adapters.
-    pub fn run(&self, db: &dyn GraphDb, ctx: &QueryCtx) -> GdbResult<Vec<Elem>> {
+    pub fn run(&self, db: &dyn GraphSnapshot, ctx: &QueryCtx) -> GdbResult<Vec<Elem>> {
         let mut stream: Vec<Elem> = Vec::new();
         let mut started = false;
         for (i, step) in self.steps.iter().enumerate() {
@@ -425,7 +425,7 @@ impl Traversal {
     }
 
     /// Run and return the single integer a `count()` traversal yields.
-    pub fn run_count(&self, db: &dyn GraphDb, ctx: &QueryCtx) -> GdbResult<i64> {
+    pub fn run_count(&self, db: &dyn GraphSnapshot, ctx: &QueryCtx) -> GdbResult<i64> {
         let out = self.run(db, ctx)?;
         match out.as_slice() {
             [Elem::Val(Value::Int(n))] => Ok(*n),
@@ -438,7 +438,7 @@ impl Traversal {
 mod tests {
     use super::*;
     use engine_linked::LinkedGraph;
-    use gm_model::api::LoadOptions;
+    use gm_model::api::{GraphDb, LoadOptions};
     use gm_model::testkit;
 
     fn engine() -> LinkedGraph {

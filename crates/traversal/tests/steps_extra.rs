@@ -2,7 +2,7 @@
 //! filters on edges, id steps, and step composition corner cases.
 
 use engine_linked::LinkedGraph;
-use gm_model::api::{GraphDb, LoadOptions};
+use gm_model::api::{GraphDb, GraphSnapshot, LoadOptions};
 use gm_model::{testkit, QueryCtx, Value};
 use gm_traversal::steps::{Elem, Step, Traversal};
 

@@ -47,6 +47,7 @@ use gm_core::report::{Measurement, Outcome, RunMode};
 use gm_core::summary::ScalingRow;
 use gm_model::api::LoadOptions;
 use gm_model::{Dataset, Eid, GdbError, GdbResult, GraphDb, QueryCtx, Value};
+use gm_mvcc::SnapshotSource;
 
 use crate::hist::LatencyHistogram;
 use crate::mix::{Mix, MixKind, Op, WriteOp};
@@ -60,11 +61,47 @@ pub const ERR_CARD: u64 = u64::MAX;
 /// read-only run can still be compared against a sequential replay.
 pub const SHED_CARD: u64 = u64::MAX - 1;
 
+/// How stale a snapshot-mode read may be: the driver pins epochs with
+/// [`SnapshotSource::snapshot_recent`] at this bound, so epoch publishes
+/// (whole-graph clones for `CowCell`, freeze clones for `FreezeCell`) are
+/// rate-limited to at most one per this interval no matter how hot the
+/// pin-per-read path runs. Reads still observe exactly one consistent
+/// epoch — just one that may lag concurrent writers by up to this much,
+/// which is precisely how real MVCC stores expose the latest *committed*
+/// version rather than chasing in-flight writes.
+pub const SNAPSHOT_PIN_STALENESS: Duration = Duration::from_micros(250);
+
 /// How many victim/pair slots a driver run pre-draws
 /// ([`Workload::choose`]'s `slots` argument). Remote backends must prepare
 /// their server-side parameters with the same value, or the deterministic op
 /// streams would resolve against different victim pools.
 pub const WORKLOAD_SLOTS: usize = 16;
+
+/// What one executed op produced: its result cardinality plus, when the
+/// backend serves reads from pinned MVCC snapshots, the **epoch** of the
+/// graph version that answered. Epochs let the driver tag every latency
+/// sample with its graph version and detect non-monotone views (a read
+/// racing an engine `Reset` reports a *lower* epoch than the worker already
+/// observed — see [`WorkerStats::epoch_skew`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpResult {
+    /// Result cardinality (rows/elements produced).
+    pub cardinality: u64,
+    /// Serving epoch for snapshot-backed reads; `None` for locked-mode
+    /// reads (no epochs) and for writes (they produce the next epoch, they
+    /// don't observe one).
+    pub epoch: Option<u64>,
+}
+
+impl OpResult {
+    /// An epoch-less result (locked mode, writes).
+    pub fn plain(cardinality: u64) -> OpResult {
+        OpResult {
+            cardinality,
+            epoch: None,
+        }
+    }
+}
 
 /// A per-worker execution endpoint: the only thing the measured loop knows
 /// about the engine. One session belongs to exactly one worker thread and is
@@ -72,21 +109,29 @@ pub const WORKLOAD_SLOTS: usize = 16;
 /// per-worker state (RNG-free — op choice stays in the driver — but e.g. the
 /// edges this worker created, or a dedicated TCP connection).
 pub trait Session {
-    /// Execute one op and return its result cardinality.
+    /// Execute one op and return its [`OpResult`].
     ///
     /// `worker` and `op_index` parameterize writes (worker-unique property
     /// names, victim rotation) exactly as the shared-lock driver does, so a
     /// remote server can replay the identical mutation.
-    fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<u64>;
+    fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<OpResult>;
 }
 
 /// A transport over which the driver reaches an engine: in-process behind
-/// the shared `RwLock` ([`LocalBackend`]) or across a socket (`gm-net`).
+/// the shared `RwLock` ([`LocalBackend`]), in-process against pinned MVCC
+/// snapshots ([`SnapshotBackend`]), or across a socket (`gm-net`).
 /// `open_session` is called on the worker's own thread, so a backend may do
 /// per-worker setup there (e.g. dial one connection per client).
 pub trait Backend: Sync {
     /// Engine display name for the report.
     fn engine(&self) -> String;
+
+    /// Read-path isolation label for the report (`"locked"` unless the
+    /// backend overrides it — snapshot backends report
+    /// `"snapshot-cow"`/`"snapshot-native"`, remote ones `"remote"`).
+    fn isolation(&self) -> String {
+        "locked".into()
+    }
 
     /// Open worker `worker`'s session.
     fn open_session(&self, worker: usize) -> GdbResult<Box<dyn Session + '_>>;
@@ -179,12 +224,22 @@ pub struct WorkerStats {
     pub worker: usize,
     /// Ops that completed.
     pub ops: u64,
+    /// Completed ops that were reads (the isolation comparison's metric:
+    /// snapshot reads never block behind writers, so reads/s keeps scaling
+    /// where the locked read path flattens under write-heavy mixes).
+    pub read_ops: u64,
     /// Ops that returned an error (timeouts included).
     pub errors: u64,
     /// Ops shed by open-loop backpressure (scheduled arrival fell further
     /// behind than [`Pacing::Open::max_lateness`]); never executed, never in
     /// the histogram. Always 0 for closed-loop or unbounded open-loop runs.
     pub shed: u64,
+    /// Ops whose serving epoch was **lower** than an epoch this worker had
+    /// already observed — the signature of a read racing an engine
+    /// replacement (a remote `Reset` restarts epochs at 0), as opposed to a
+    /// genuine engine error. Always 0 for in-process snapshot runs (epochs
+    /// are monotone per source) and for locked runs (no epochs at all).
+    pub epoch_skew: u64,
     /// This worker's latency histogram.
     pub hist: LatencyHistogram,
     /// Result cardinalities in issue order (empty unless
@@ -201,6 +256,8 @@ pub struct RunReport {
     pub dataset: String,
     /// Mix name.
     pub mix: String,
+    /// Read-path isolation label ([`Backend::isolation`]).
+    pub isolation: String,
     /// Worker count.
     pub threads: u32,
     /// Configured open-loop arrival rate (`None` for closed-loop runs):
@@ -221,6 +278,11 @@ impl RunReport {
         self.workers.iter().map(|w| w.ops).sum()
     }
 
+    /// Total completed read ops.
+    pub fn read_ops(&self) -> u64 {
+        self.workers.iter().map(|w| w.read_ops).sum()
+    }
+
     /// Total errored ops.
     pub fn errors(&self) -> u64 {
         self.workers.iter().map(|w| w.errors).sum()
@@ -229,6 +291,12 @@ impl RunReport {
     /// Total ops shed by open-loop backpressure.
     pub fn shed(&self) -> u64 {
         self.workers.iter().map(|w| w.shed).sum()
+    }
+
+    /// Total reads that observed a non-monotone epoch (see
+    /// [`WorkerStats::epoch_skew`]).
+    pub fn epoch_skew(&self) -> u64 {
+        self.workers.iter().map(|w| w.epoch_skew).sum()
     }
 
     /// Completed ops per wall-clock second (the achieved rate).
@@ -251,10 +319,13 @@ impl RunReport {
         ScalingRow {
             engine: self.engine.clone(),
             mix: self.mix.clone(),
+            isolation: self.isolation.clone(),
             threads: self.threads,
             ops: self.ops(),
+            read_ops: self.read_ops(),
             errors: self.errors(),
             shed: self.shed(),
+            epoch_skew: self.epoch_skew(),
             offered_ops_per_sec: self.offered_ops_per_sec,
             wall_nanos: self.wall_nanos,
             p50_nanos: self.hist.p50(),
@@ -296,9 +367,17 @@ impl RunReport {
         } else {
             Outcome::Failed(problems.join("; "))
         };
+        // Non-locked isolation is part of the label so a locked and a
+        // snapshot run of the same (mix, threads) never collide in the
+        // report matrix; locked keeps the historical label shape.
+        let iso = if self.isolation == "locked" {
+            String::new()
+        } else {
+            format!("[{}]", self.isolation)
+        };
         let query = match self.offered_ops_per_sec {
-            Some(rate) => format!("WL:{}@t{}@{rate:.0}/s", self.mix, self.threads),
-            None => format!("WL:{}@t{}", self.mix, self.threads),
+            Some(rate) => format!("WL:{}@t{}@{rate:.0}/s{iso}", self.mix, self.threads),
+            None => format!("WL:{}@t{}{iso}", self.mix, self.threads),
         };
         Measurement {
             engine: self.engine.clone(),
@@ -351,6 +430,60 @@ pub fn run_sequential(
     let (lock, params, engine) = prepare(factory, data, cfg)?;
     let backend = LocalBackend::new(engine, &lock, &params, cfg.op_timeout);
     run_backend_sequential(&backend, &data.name, cfg)
+}
+
+/// Load `data` into a fresh snapshot source from `factory`, then run the
+/// configured workload with `cfg.threads` concurrent workers whose **reads
+/// pin MVCC epochs** instead of taking the engine's read lock — the
+/// snapshot-mode counterpart of [`run`], differing only in the read path so
+/// the two reports compare isolation cost directly.
+pub fn run_snapshot(
+    factory: &dyn Fn() -> Box<dyn SnapshotSource>,
+    data: &Dataset,
+    cfg: &WorkloadConfig,
+) -> GdbResult<RunReport> {
+    validate(cfg)?;
+    let (source, params) = prepare_snapshot(factory, data, cfg)?;
+    let backend = SnapshotBackend::new(source.as_ref(), &params, cfg.op_timeout);
+    run_backend(&backend, &data.name, cfg)
+}
+
+/// Sequential (single-threaded, closed-loop) replay of [`run_snapshot`]'s
+/// op sequences — the reference a concurrent snapshot-mode read-only run
+/// must reproduce exactly.
+pub fn run_snapshot_sequential(
+    factory: &dyn Fn() -> Box<dyn SnapshotSource>,
+    data: &Dataset,
+    cfg: &WorkloadConfig,
+) -> GdbResult<RunReport> {
+    validate(cfg)?;
+    let (source, params) = prepare_snapshot(factory, data, cfg)?;
+    // Strict pins: a sequential replay must be deterministic (independent
+    // of wall-clock publish cadence) and read its own earlier writes.
+    let backend = SnapshotBackend::new(source.as_ref(), &params, cfg.op_timeout)
+        .with_pin_staleness(Duration::ZERO);
+    run_backend_sequential(&backend, &data.name, cfg)
+}
+
+/// Build a loaded, parameter-resolved snapshot source: bulk-load through
+/// the write path, then resolve workload parameters against a pinned
+/// snapshot — all outside the measured region, as §4.2 prescribes.
+pub fn prepare_snapshot(
+    factory: &dyn Fn() -> Box<dyn SnapshotSource>,
+    data: &Dataset,
+    cfg: &WorkloadConfig,
+) -> GdbResult<(Box<dyn SnapshotSource>, ResolvedParams)> {
+    let source = factory();
+    source.with_write(&mut |db| {
+        db.bulk_load(data, &LoadOptions::default())?;
+        db.sync()?;
+        Ok(0)
+    })?;
+    let workload = Workload::choose(data, cfg.seed, WORKLOAD_SLOTS);
+    let snap = source.snapshot()?;
+    let params = workload.resolve(snap.as_ref())?;
+    drop(snap);
+    Ok((source, params))
 }
 
 /// Run the configured workload over an arbitrary [`Backend`] with
@@ -425,7 +558,14 @@ pub fn run_backend(
     for r in joined {
         workers.push(r?);
     }
-    Ok(assemble(engine, dataset, cfg, wall_nanos, workers))
+    Ok(assemble(
+        engine,
+        backend.isolation(),
+        dataset,
+        cfg,
+        wall_nanos,
+        workers,
+    ))
 }
 
 /// Sequential (single-threaded, closed-loop) replay of the same per-worker
@@ -455,7 +595,14 @@ pub fn run_backend_sequential(
         .map(|(w, session)| worker_loop(w, session.as_mut(), &mix, cfg, start))
         .collect::<GdbResult<_>>()?;
     let wall_nanos = start.elapsed().as_nanos() as u64;
-    Ok(assemble(engine, dataset, cfg, wall_nanos, workers))
+    Ok(assemble(
+        engine,
+        backend.isolation(),
+        dataset,
+        cfg,
+        wall_nanos,
+        workers,
+    ))
 }
 
 /// The shared-engine lock every in-process run uses: concurrent reads under
@@ -511,7 +658,7 @@ struct LocalSession<'a> {
 }
 
 impl Session for LocalSession<'_> {
-    fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<u64> {
+    fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<OpResult> {
         // A poisoned lock means a writer panicked while mutating the engine.
         // Recovering (`into_inner`) would keep measuring against half-mutated
         // state; surface a distinct error so the whole run aborts instead.
@@ -524,7 +671,7 @@ impl Session for LocalSession<'_> {
             Op::Read(inst) => {
                 let ctx = QueryCtx::with_timeout(self.op_timeout);
                 let db = self.lock.read().map_err(|_| poisoned("read"))?;
-                catalog::execute_read(&inst, db.as_ref(), self.params, &ctx)
+                catalog::execute_read(&inst, db.as_ref(), self.params, &ctx).map(OpResult::plain)
             }
             // No deadline on writes: the GraphDb mutation API carries no
             // QueryCtx (mutations are point operations in the paper's
@@ -539,6 +686,101 @@ impl Session for LocalSession<'_> {
                     op_index,
                     &mut self.owned_edges,
                 )
+                .map(OpResult::plain)
+            }
+        }
+    }
+}
+
+/// The in-process **snapshot-isolation** backend: every read op pins a
+/// fresh epoch from a [`SnapshotSource`] and executes against it lock-free
+/// (a scan can no longer block a writer, and a writer can no longer block a
+/// running scan — only the brief pin synchronizes); writes go through
+/// [`SnapshotSource::with_write`]. Each `OpResult` carries the serving
+/// epoch, so the driver's epoch-skew accounting works end to end.
+pub struct SnapshotBackend<'a> {
+    source: &'a dyn SnapshotSource,
+    params: &'a ResolvedParams,
+    op_timeout: Duration,
+    /// Pin staleness bound: [`SNAPSHOT_PIN_STALENESS`] for concurrent runs
+    /// (group-committed publishes), [`Duration::ZERO`] for sequential
+    /// replays, where every pin must be strict so a worker reads its own
+    /// earlier writes and the trace stays wall-clock-independent.
+    pin_staleness: Duration,
+}
+
+impl<'a> SnapshotBackend<'a> {
+    /// Wrap a loaded, parameter-resolved snapshot source (group-committed
+    /// pins at [`SNAPSHOT_PIN_STALENESS`]).
+    pub fn new(
+        source: &'a dyn SnapshotSource,
+        params: &'a ResolvedParams,
+        op_timeout: Duration,
+    ) -> Self {
+        SnapshotBackend {
+            source,
+            params,
+            op_timeout,
+            pin_staleness: SNAPSHOT_PIN_STALENESS,
+        }
+    }
+
+    /// Override the pin staleness bound (`Duration::ZERO` = strict
+    /// read-your-writes pins).
+    pub fn with_pin_staleness(mut self, pin_staleness: Duration) -> Self {
+        self.pin_staleness = pin_staleness;
+        self
+    }
+}
+
+impl Backend for SnapshotBackend<'_> {
+    fn engine(&self) -> String {
+        self.source.engine()
+    }
+
+    fn isolation(&self) -> String {
+        format!("snapshot-{}", self.source.kind())
+    }
+
+    fn open_session(&self, _worker: usize) -> GdbResult<Box<dyn Session + '_>> {
+        Ok(Box::new(SnapshotSession {
+            source: self.source,
+            params: self.params,
+            op_timeout: self.op_timeout,
+            pin_staleness: self.pin_staleness,
+            owned_edges: Vec::new(),
+        }))
+    }
+}
+
+struct SnapshotSession<'a> {
+    source: &'a dyn SnapshotSource,
+    params: &'a ResolvedParams,
+    op_timeout: Duration,
+    pin_staleness: Duration,
+    owned_edges: Vec<Eid>,
+}
+
+impl Session for SnapshotSession<'_> {
+    fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<OpResult> {
+        match op {
+            Op::Read(inst) => {
+                let ctx = QueryCtx::with_timeout(self.op_timeout);
+                let snap = self.source.snapshot_recent(self.pin_staleness)?;
+                let cardinality = catalog::execute_read(&inst, snap.as_ref(), self.params, &ctx)?;
+                Ok(OpResult {
+                    cardinality,
+                    epoch: Some(snap.epoch()),
+                })
+            }
+            Op::Write(wop) => {
+                let params = self.params;
+                let owned_edges = &mut self.owned_edges;
+                self.source
+                    .with_write(&mut |db| {
+                        apply_write(wop, db, params, worker, op_index, owned_edges)
+                    })
+                    .map(OpResult::plain)
             }
         }
     }
@@ -606,6 +848,7 @@ fn prepare(
 
 fn assemble(
     engine: String,
+    isolation: String,
     dataset: &str,
     cfg: &WorkloadConfig,
     wall_nanos: u64,
@@ -619,6 +862,7 @@ fn assemble(
         engine,
         dataset: dataset.to_string(),
         mix: cfg.mix.name().to_string(),
+        isolation,
         threads: cfg.threads,
         offered_ops_per_sec: cfg.pacing.offered_rate(),
         wall_nanos,
@@ -638,11 +882,17 @@ fn worker_loop(
     let mut stats = WorkerStats {
         worker,
         ops: 0,
+        read_ops: 0,
         errors: 0,
         shed: 0,
+        epoch_skew: 0,
         hist: LatencyHistogram::new(),
         cardinalities: Vec::new(),
     };
+    // Highest serving epoch this worker has observed; a later read serving
+    // a *lower* epoch is skew (the engine behind the session was replaced,
+    // e.g. a remote Reset raced the run).
+    let mut max_epoch: Option<u64> = None;
     for i in 0..cfg.ops_per_worker {
         // Always draw from the RNG, shed or not, so trace position `i` maps
         // to the same op regardless of which arrivals were shed.
@@ -685,10 +935,19 @@ fn worker_loop(
             .hist
             .record(issue_at.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         match result {
-            Ok(card) => {
+            Ok(res) => {
                 stats.ops += 1;
+                if matches!(op, Op::Read(_)) {
+                    stats.read_ops += 1;
+                }
+                if let Some(epoch) = res.epoch {
+                    if max_epoch.is_some_and(|m| epoch < m) {
+                        stats.epoch_skew += 1;
+                    }
+                    max_epoch = Some(max_epoch.map_or(epoch, |m| m.max(epoch)));
+                }
                 if cfg.record_cardinalities {
-                    stats.cardinalities.push(card);
+                    stats.cardinalities.push(res.cardinality);
                 }
             }
             Err(_) => {
@@ -769,7 +1028,8 @@ pub fn apply_write(
 mod tests {
     use super::*;
     use engine_linked::LinkedGraph;
-    use gm_model::testkit;
+    use gm_model::{testkit, GraphSnapshot};
+    use gm_mvcc::SnapshotSource;
 
     fn factory() -> Box<dyn GraphDb> {
         Box::new(LinkedGraph::v1())
@@ -847,6 +1107,51 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_read_only_matches_locked_and_sequential() {
+        use gm_mvcc::CowCell;
+        let data = testkit::chain_dataset(300);
+        let cfg = small_cfg(MixKind::ReadOnly, 4);
+        let snap_factory =
+            || -> Box<dyn SnapshotSource> { Box::new(CowCell::new(LinkedGraph::v1())) };
+        let snap = run_snapshot(&snap_factory, &data, &cfg).unwrap();
+        let locked = run(&factory, &data, &cfg).unwrap();
+        let seq = run_sequential(&factory, &data, &cfg).unwrap();
+        // Same results through all three read paths — the isolation
+        // mechanism must never change what a read returns.
+        assert_eq!(snap.cardinality_trace(), seq.cardinality_trace());
+        assert_eq!(snap.cardinality_trace(), locked.cardinality_trace());
+        assert_eq!(snap.isolation, "snapshot-cow");
+        assert_eq!(locked.isolation, "locked");
+        assert_eq!(snap.epoch_skew(), 0, "monotone epochs never skew");
+        assert_eq!(snap.errors(), 0);
+    }
+
+    #[test]
+    fn snapshot_write_heavy_completes_and_labels_the_measurement() {
+        use gm_mvcc::CowCell;
+        let data = testkit::chain_dataset(150);
+        let cfg = small_cfg(MixKind::WriteHeavy, 3);
+        let snap_factory =
+            || -> Box<dyn SnapshotSource> { Box::new(CowCell::new(LinkedGraph::v1())) };
+        let report = run_snapshot(&snap_factory, &data, &cfg).unwrap();
+        assert_eq!(report.errors(), 0, "no op should fail under snapshots");
+        assert_eq!(report.ops(), 3 * 60);
+        assert_eq!(report.epoch_skew(), 0);
+        let row = report.scaling_row();
+        assert_eq!(row.isolation, "snapshot-cow");
+        assert_eq!(row.epoch_skew, 0);
+        // The measurement label distinguishes snapshot from locked runs so
+        // they never collide in the report matrix.
+        let m = report.to_measurement();
+        assert!(m.query.ends_with("[snapshot-cow]"), "{}", m.query);
+        // The sequential snapshot replay agrees with the concurrent run on
+        // the read-only prefix semantics (write-heavy traces differ by
+        // interleaving, so just check it runs clean).
+        let seq = run_snapshot_sequential(&snap_factory, &data, &cfg).unwrap();
+        assert_eq!(seq.errors(), 0);
+    }
+
+    #[test]
     fn measurement_row_shape() {
         let data = testkit::chain_dataset(100);
         let report = run(&factory, &data, &small_cfg(MixKind::ReadHeavy, 2)).unwrap();
@@ -867,14 +1172,17 @@ mod tests {
             engine: "linked(v1)".into(),
             dataset: "d".into(),
             mix: "mixed".into(),
+            isolation: "locked".into(),
             threads: 1,
             offered_ops_per_sec: None,
             wall_nanos: 1_000_000,
             workers: vec![WorkerStats {
                 worker: 0,
                 ops,
+                read_ops: ops,
                 errors,
                 shed,
+                epoch_skew: 0,
                 hist: hist.clone(),
                 cardinalities: Vec::new(),
             }],
@@ -999,52 +1307,18 @@ mod tests {
         }
     }
 
-    impl GraphDb for PanicOnWrite {
+    impl GraphSnapshot for PanicOnWrite {
         fn name(&self) -> String {
             self.inner.name()
         }
         fn features(&self) -> gm_model::EngineFeatures {
             self.inner.features()
         }
-        fn bulk_load(
-            &mut self,
-            data: &Dataset,
-            opts: &LoadOptions,
-        ) -> GdbResult<gm_model::LoadStats> {
-            self.inner.bulk_load(data, opts)
-        }
         fn resolve_vertex(&self, canonical: u64) -> Option<gm_model::Vid> {
             self.inner.resolve_vertex(canonical)
         }
         fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
             self.inner.resolve_edge(canonical)
-        }
-        fn add_vertex(&mut self, label: &str, props: &gm_model::Props) -> GdbResult<gm_model::Vid> {
-            self.tick();
-            self.inner.add_vertex(label, props)
-        }
-        fn add_edge(
-            &mut self,
-            src: gm_model::Vid,
-            dst: gm_model::Vid,
-            label: &str,
-            props: &gm_model::Props,
-        ) -> GdbResult<Eid> {
-            self.tick();
-            self.inner.add_edge(src, dst, label, props)
-        }
-        fn set_vertex_property(
-            &mut self,
-            v: gm_model::Vid,
-            name: &str,
-            value: Value,
-        ) -> GdbResult<()> {
-            self.tick();
-            self.inner.set_vertex_property(v, name, value)
-        }
-        fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
-            self.tick();
-            self.inner.set_edge_property(e, name, value)
         }
         fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
             self.inner.vertex_count(ctx)
@@ -1079,26 +1353,6 @@ mod tests {
         }
         fn edge(&self, e: Eid) -> GdbResult<Option<gm_model::EdgeData>> {
             self.inner.edge(e)
-        }
-        fn remove_vertex(&mut self, v: gm_model::Vid) -> GdbResult<()> {
-            self.tick();
-            self.inner.remove_vertex(v)
-        }
-        fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
-            self.tick();
-            self.inner.remove_edge(e)
-        }
-        fn remove_vertex_property(
-            &mut self,
-            v: gm_model::Vid,
-            name: &str,
-        ) -> GdbResult<Option<Value>> {
-            self.tick();
-            self.inner.remove_vertex_property(v, name)
-        }
-        fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
-            self.tick();
-            self.inner.remove_edge_property(e, name)
         }
         fn neighbors(
             &self,
@@ -1161,14 +1415,71 @@ mod tests {
         fn vertex_label(&self, v: gm_model::Vid) -> GdbResult<Option<String>> {
             self.inner.vertex_label(v)
         }
-        fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
-            self.inner.create_vertex_index(prop)
-        }
         fn has_vertex_index(&self, prop: &str) -> bool {
             self.inner.has_vertex_index(prop)
         }
         fn space(&self) -> gm_model::SpaceReport {
             self.inner.space()
+        }
+    }
+
+    impl GraphDb for PanicOnWrite {
+        fn bulk_load(
+            &mut self,
+            data: &Dataset,
+            opts: &LoadOptions,
+        ) -> GdbResult<gm_model::LoadStats> {
+            self.inner.bulk_load(data, opts)
+        }
+        fn add_vertex(&mut self, label: &str, props: &gm_model::Props) -> GdbResult<gm_model::Vid> {
+            self.tick();
+            self.inner.add_vertex(label, props)
+        }
+        fn add_edge(
+            &mut self,
+            src: gm_model::Vid,
+            dst: gm_model::Vid,
+            label: &str,
+            props: &gm_model::Props,
+        ) -> GdbResult<Eid> {
+            self.tick();
+            self.inner.add_edge(src, dst, label, props)
+        }
+        fn set_vertex_property(
+            &mut self,
+            v: gm_model::Vid,
+            name: &str,
+            value: Value,
+        ) -> GdbResult<()> {
+            self.tick();
+            self.inner.set_vertex_property(v, name, value)
+        }
+        fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
+            self.tick();
+            self.inner.set_edge_property(e, name, value)
+        }
+        fn remove_vertex(&mut self, v: gm_model::Vid) -> GdbResult<()> {
+            self.tick();
+            self.inner.remove_vertex(v)
+        }
+        fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
+            self.tick();
+            self.inner.remove_edge(e)
+        }
+        fn remove_vertex_property(
+            &mut self,
+            v: gm_model::Vid,
+            name: &str,
+        ) -> GdbResult<Option<Value>> {
+            self.tick();
+            self.inner.remove_vertex_property(v, name)
+        }
+        fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+            self.tick();
+            self.inner.remove_edge_property(e, name)
+        }
+        fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
+            self.inner.create_vertex_index(prop)
         }
         fn sync(&mut self) -> GdbResult<()> {
             self.inner.sync()

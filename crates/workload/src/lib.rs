@@ -34,9 +34,10 @@ pub mod hist;
 pub mod mix;
 
 pub use driver::{
-    apply_write, run, run_backend, run_backend_sequential, run_sequential, Backend, LocalBackend,
-    Pacing, RunReport, Session, SharedEngine, WorkerStats, WorkloadConfig, ERR_CARD, SHED_CARD,
-    WORKLOAD_SLOTS,
+    apply_write, prepare_snapshot, run, run_backend, run_backend_sequential, run_sequential,
+    run_snapshot, run_snapshot_sequential, Backend, LocalBackend, OpResult, Pacing, RunReport,
+    Session, SharedEngine, SnapshotBackend, WorkerStats, WorkloadConfig, ERR_CARD, SHED_CARD,
+    SNAPSHOT_PIN_STALENESS, WORKLOAD_SLOTS,
 };
 pub use hist::{format_nanos, LatencyHistogram};
 pub use mix::{Mix, MixKind, Op, WriteOp};

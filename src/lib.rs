@@ -26,6 +26,7 @@
 pub use gm_core as core;
 pub use gm_datasets as datasets;
 pub use gm_model as model;
+pub use gm_mvcc as mvcc;
 pub use gm_storage as storage;
 pub use gm_traversal as traversal;
 pub use gm_workload as workload;
@@ -47,6 +48,7 @@ pub mod engines {
 /// versions the paper tests).
 pub mod registry {
     use gm_model::GraphDb;
+    use gm_mvcc::{CowCell, SnapshotMode, SnapshotSource};
 
     /// One engine variant under test.
     #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -133,6 +135,50 @@ pub mod registry {
         /// Parse a display name back to a kind.
         pub fn parse(name: &str) -> Option<EngineKind> {
             EngineKind::ALL.iter().copied().find(|k| k.name() == name)
+        }
+
+        /// Instantiate a fresh, empty MVCC snapshot source for this engine.
+        ///
+        /// `SnapshotMode::Cow` wraps the engine in the generic copy-on-write
+        /// [`CowCell`]; `SnapshotMode::Native` uses the engine's own cheap
+        /// snapshot path where one exists (the columnar variants' freeze
+        /// cell over `Arc`-shared segments) and falls back to `CowCell`
+        /// elsewhere.
+        pub fn make_snapshot_source(&self, mode: SnapshotMode) -> Box<dyn SnapshotSource> {
+            if mode == SnapshotMode::Native {
+                match self {
+                    EngineKind::ColumnarV05 => {
+                        return Box::new(engine_columnar::native_cell(
+                            engine_columnar::Variant::V05,
+                        ))
+                    }
+                    EngineKind::ColumnarV10 => {
+                        return Box::new(engine_columnar::native_cell(
+                            engine_columnar::Variant::V10,
+                        ))
+                    }
+                    _ => {}
+                }
+            }
+            match self {
+                EngineKind::LinkedV1 => Box::new(CowCell::new(engine_linked::LinkedGraph::v1())),
+                EngineKind::LinkedV2 => Box::new(CowCell::new(engine_linked::LinkedGraph::v2())),
+                EngineKind::Cluster => Box::new(CowCell::new(engine_cluster::ClusterGraph::new())),
+                EngineKind::Bitmap => Box::new(CowCell::new(engine_bitmap::BitmapGraph::new())),
+                EngineKind::Document => {
+                    Box::new(CowCell::new(engine_document::DocumentGraph::new()))
+                }
+                EngineKind::Triple => Box::new(CowCell::new(engine_triple::TripleGraph::new())),
+                EngineKind::Relational => {
+                    Box::new(CowCell::new(engine_relational::RelationalGraph::new()))
+                }
+                EngineKind::ColumnarV05 => {
+                    Box::new(CowCell::new(engine_columnar::ColumnarGraph::v05()))
+                }
+                EngineKind::ColumnarV10 => {
+                    Box::new(CowCell::new(engine_columnar::ColumnarGraph::v10()))
+                }
+            }
         }
     }
 }
