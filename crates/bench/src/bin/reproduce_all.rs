@@ -27,10 +27,12 @@ const SEQUENCE: &[&str] = &[
     "fig1_timeouts",
     "fig7_overall",
     "table4",
-    // Beyond the paper: the multi-client concurrency sweep (gm-workload)
-    // and the network-attached comparison (gm-net).
+    // Beyond the paper: the multi-client concurrency sweep (gm-workload),
+    // the network-attached comparison (gm-net), and the sharded-locks
+    // comparison (gm-shard).
     "fig8_concurrency",
     "fig9_network",
+    "fig10_sharding",
 ];
 
 fn main() {

@@ -79,8 +79,13 @@ pub const KNOBS: &[Knob] = &[
     Knob {
         name: "GM_SNAPSHOT_MODE",
         default: "cow",
-        doc: "fig8/gm-server: MVCC snapshot reads (off = locked only; cow = generic \
+        doc: "fig8/fig10/gm-server: MVCC snapshot reads (off = locked only; cow = generic \
               copy-on-write; native = engine-native where available, cow fallback)",
+    },
+    Knob {
+        name: "GM_SHARDS",
+        default: "1,2,4",
+        doc: "fig10: shard counts to sweep; gm-server: shard count to host (single value)",
     },
     Knob {
         name: "GM_SERVER_ADDR",

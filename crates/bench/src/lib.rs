@@ -3,16 +3,19 @@
 //! One binary per paper artifact (see DESIGN.md §4): `table1`, `table3`,
 //! `fig1_space`, `fig1_timeouts`, `fig2_complex`, `fig3_load`, `fig3_cud`,
 //! `fig4_read`, `fig5_traverse`, `fig6_bfs`, `fig7_paths`, `fig7_overall`,
-//! `table4`, and `reproduce_all`. Criterion micro-benches live in
-//! `benches/`.
+//! `table4`, and `reproduce_all` — plus the beyond-the-paper sweeps
+//! `fig8_concurrency` (multi-client scaling), `fig9_network`
+//! (network-attached), and `fig10_sharding` (per-partition locks vs one
+//! big lock). Criterion micro-benches live in `benches/`.
 //!
 //! All binaries honour the `GM_*` environment knobs; the typed parsers and
 //! the authoritative registry (names, defaults, docs) live in [`config`] —
 //! `reproduce_all` prints the full table. Core set: `GM_SCALE`
 //! (`tiny`/`small`/`medium`/`a/b`), `GM_SEED`, `GM_TIMEOUT_SECS`,
-//! `GM_BATCH`, `GM_ENGINES`; the concurrency/network sweeps add
+//! `GM_BATCH`, `GM_ENGINES`; the concurrency/network/sharding sweeps add
 //! `GM_THREADS`, `GM_MIXES`, `GM_WL_OPS`, `GM_OVERLOAD_FACTORS`,
-//! `GM_MAX_LATENESS_MS`, `GM_SERVER_ADDR`, and `GM_NET_CLIENTS`.
+//! `GM_MAX_LATENESS_MS`, `GM_SERVER_ADDR`, `GM_NET_CLIENTS`, and
+//! `GM_SHARDS`.
 
 use std::time::Duration;
 

@@ -201,13 +201,23 @@ pub struct ScalingRow {
     /// fell further behind than the configured bound, so the driver dropped
     /// them instead of executing against an unbounded backlog.
     pub shed: u64,
-    /// Reads whose serving epoch was **lower** than an epoch the same
-    /// worker had already observed. Always 0 for in-process snapshot runs
-    /// (epochs are monotone per source); non-zero means the engine behind
-    /// the reads was replaced mid-run — e.g. a remote `Reset` raced the
-    /// workload — so correlated read errors are epoch skew, not engine
-    /// bugs. Locked-mode runs carry no epochs and report 0.
+    /// Reads whose serving epoch was **lower** than the epoch the same
+    /// worker's previous read observed — counted once per drop (the worker
+    /// adopts the restarted epoch regime afterwards, so one `Reset` is one
+    /// skew event per worker, not one per remaining read). Always 0 for
+    /// in-process snapshot runs (epochs are monotone per source); non-zero
+    /// means the engine behind the reads was replaced mid-run — e.g. a
+    /// remote `Reset` raced the workload — so correlated read errors are
+    /// epoch skew, not engine bugs. Locked-mode runs carry no epochs and
+    /// report 0.
     pub epoch_skew: u64,
+    /// Total nanoseconds completed ops spent **waiting to acquire engine
+    /// locks** (queueing, not hold time): the shared `RwLock`, MVCC cell
+    /// mutexes, or `gm-shard`'s per-partition locks. The per-partition vs
+    /// single-lock comparison (`fig10_sharding`) keys on this column — it
+    /// is how "writers to different shards don't serialize" becomes a
+    /// measured number instead of a claim.
+    pub lock_wait_nanos: u64,
     /// Configured open-loop arrival rate (`None` for closed-loop runs, where
     /// the offered rate *is* the achieved rate by construction).
     pub offered_ops_per_sec: Option<f64>,
@@ -254,6 +264,12 @@ impl ScalingRow {
             self.shed as f64 / total as f64
         }
     }
+
+    /// Mean lock wait per completed op, in nanoseconds (0 when no op
+    /// completed).
+    pub fn lock_wait_per_op(&self) -> u64 {
+        self.lock_wait_nanos.checked_div(self.ops).unwrap_or(0)
+    }
 }
 
 /// Human-friendly nanosecond formatting, shared by every latency renderer
@@ -284,7 +300,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
     keys.dedup();
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<36} {:>7} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7} {:>5}\n",
+        "{:<36} {:>7} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5}\n",
         "engine/mix@isolation",
         "threads",
         "offered/s",
@@ -295,11 +311,12 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
         "p95",
         "p99",
         "max",
+        "lockw/op",
         "errors",
         "shed",
         "skew"
     ));
-    out.push_str(&"-".repeat(158));
+    out.push_str(&"-".repeat(168));
     out.push('\n');
     for (engine, mix, isolation) in &keys {
         let mut group: Vec<&ScalingRow> = rows
@@ -326,7 +343,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
                 None => "-".to_string(),
             };
             out.push_str(&format!(
-                "{:<36} {:>7} {:>12} {:>12.0} {:>12.0} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7} {:>5}\n",
+                "{:<36} {:>7} {:>12} {:>12.0} {:>12.0} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5}\n",
                 format!("{engine}/{mix}@{isolation}"),
                 r.threads,
                 offered,
@@ -337,6 +354,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
                 format_nanos(r.p95_nanos),
                 format_nanos(r.p99_nanos),
                 format_nanos(r.max_nanos),
+                format_nanos(r.lock_wait_per_op()),
                 r.errors,
                 r.shed,
                 r.epoch_skew
@@ -349,7 +367,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
 /// Render the sweep as CSV (machine-readable companion).
 pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
     let mut out = String::from(
-        "engine,mix,isolation,threads,ops,read_ops,errors,shed,epoch_skew,wall_millis,offered_ops_s,throughput_ops_s,read_ops_s,p50_us,p95_us,p99_us,max_us\n",
+        "engine,mix,isolation,threads,ops,read_ops,errors,shed,epoch_skew,lock_wait_ms,wall_millis,offered_ops_s,throughput_ops_s,read_ops_s,p50_us,p95_us,p99_us,max_us\n",
     );
     for r in rows {
         let offered = match r.offered_ops_per_sec {
@@ -357,7 +375,7 @@ pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
             None => String::new(),
         };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{:.3},{},{:.1},{:.1},{:.3},{:.3},{:.3},{:.3}\n",
+            "{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{:.1},{:.1},{:.3},{:.3},{:.3},{:.3}\n",
             r.engine,
             r.mix,
             r.isolation,
@@ -367,6 +385,7 @@ pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
             r.errors,
             r.shed,
             r.epoch_skew,
+            r.lock_wait_nanos as f64 / 1e6,
             r.wall_nanos as f64 / 1e6,
             offered,
             r.throughput(),
@@ -459,6 +478,7 @@ mod tests {
             errors: 0,
             shed: 0,
             epoch_skew: 0,
+            lock_wait_nanos: 0,
             offered_ops_per_sec: None,
             wall_nanos: wall_ms * 1_000_000,
             p50_nanos: 1_000,
@@ -489,7 +509,27 @@ mod tests {
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("linked(v1),mixed,locked,1,1000,1000,0,0,0,100.000,,"));
+            .starts_with("linked(v1),mixed,locked,1,1000,1000,0,0,0,0.000,100.000,,"));
+    }
+
+    #[test]
+    fn scaling_reports_lock_wait() {
+        let mut contended = srow("linked(v1)", 4, 1_000, 100);
+        contended.lock_wait_nanos = 2_000_000; // 2 ms over 1000 ops = 2 µs/op
+        assert_eq!(contended.lock_wait_per_op(), 2_000);
+        let text = render_scaling(&[contended.clone()]);
+        assert!(text.contains("lockw/op"), "{text}");
+        assert!(text.contains("2.0µs"), "per-op lock wait rendered:\n{text}");
+        let csv = scaling_to_csv(&[contended]);
+        assert!(csv.contains(",lock_wait_ms,"), "{csv}");
+        assert!(
+            csv.contains("linked(v1),mixed,locked,4,1000,1000,0,0,0,2.000,100.000,,"),
+            "{csv}"
+        );
+        // No completed ops: the per-op average degrades to zero, not a panic.
+        let mut empty = srow("x", 1, 0, 1);
+        empty.lock_wait_nanos = 5;
+        assert_eq!(empty.lock_wait_per_op(), 0);
     }
 
     #[test]
@@ -537,18 +577,18 @@ mod tests {
         let csv = scaling_to_csv(&rows);
         assert!(
             csv.starts_with(
-                "engine,mix,isolation,threads,ops,read_ops,errors,shed,epoch_skew,wall_millis,offered_ops_s,"
+                "engine,mix,isolation,threads,ops,read_ops,errors,shed,epoch_skew,lock_wait_ms,wall_millis,offered_ops_s,"
             ),
             "{csv}"
         );
         // Closed-loop rows leave the offered column empty; open-loop rows
         // carry rate and shed.
         assert!(
-            csv.contains("linked(v1),mixed,locked,1,1000,1000,0,0,0,100.000,,"),
+            csv.contains("linked(v1),mixed,locked,1,1000,1000,0,0,0,0.000,100.000,,"),
             "{csv}"
         );
         assert!(
-            csv.contains("linked(v1),mixed,locked,4,800,800,10,190,0,100.000,40000.0,"),
+            csv.contains("linked(v1),mixed,locked,4,800,800,10,190,0,0.000,100.000,40000.0,"),
             "{csv}"
         );
     }

@@ -30,12 +30,13 @@ pub mod graphson;
 pub mod ids;
 pub mod interner;
 pub mod json;
+pub mod lockwait;
 pub mod testkit;
 pub mod value;
 
 pub use api::{
     Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, LoadOptions, LoadStats,
-    SpaceReport, VertexData,
+    SharedGraph, SpaceReport, VertexData,
 };
 pub use ctx::QueryCtx;
 pub use dataset::{Dataset, DsEdge, DsVertex};

@@ -1,0 +1,87 @@
+//! Per-thread lock-wait accounting.
+//!
+//! The concurrency harness wants to know *why* a workload stops scaling:
+//! time spent executing ops, or time spent queueing on engine locks. Lock
+//! acquisitions happen at several layers — the driver's shared `RwLock`,
+//! the MVCC cells' writer mutexes and publish locks, and `gm-shard`'s
+//! per-partition locks — so the accounting lives here, at the bottom of the
+//! stack, as a thread-local accumulator every layer can add to.
+//!
+//! Protocol: a measured session calls [`reset`] before executing one op and
+//! [`take`] after it; every lock acquisition on the op's path runs through
+//! [`timed`] (or calls [`add`] with a measured wait). Because each workload
+//! worker runs its ops on its own thread, the taken value attributes waits
+//! exactly to the op that paid them. Code outside a measured region may
+//! still accumulate waits; they are discarded by the next `reset`.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static WAITED_NANOS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Add `nanos` of measured lock wait to this thread's accumulator.
+pub fn add(nanos: u64) {
+    WAITED_NANOS.with(|w| w.set(w.get().saturating_add(nanos)));
+}
+
+/// Zero this thread's accumulator (start of a measured op).
+pub fn reset() {
+    WAITED_NANOS.with(|w| w.set(0));
+}
+
+/// Return and zero this thread's accumulator (end of a measured op).
+pub fn take() -> u64 {
+    WAITED_NANOS.with(|w| w.replace(0))
+}
+
+/// Run a lock acquisition, adding its duration to the accumulator. Wrap
+/// only the *acquisition* (e.g. `lockwait::timed(|| lock.read())`), never
+/// the critical section itself — the metric is queueing, not hold time.
+pub fn timed<R>(acquire: impl FnOnce() -> R) -> R {
+    let t = Instant::now();
+    let out = acquire();
+    add(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_takes() {
+        reset();
+        add(5);
+        add(7);
+        assert_eq!(take(), 12);
+        assert_eq!(take(), 0, "take drains the accumulator");
+    }
+
+    #[test]
+    fn timed_adds_elapsed() {
+        reset();
+        let x = timed(|| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            42
+        });
+        assert_eq!(x, 42);
+        assert!(take() >= 1_000_000, "at least the slept time is recorded");
+    }
+
+    #[test]
+    fn threads_are_independent() {
+        reset();
+        add(3);
+        let other = std::thread::spawn(|| {
+            reset();
+            add(9);
+            take()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 9);
+        assert_eq!(take(), 3, "another thread's waits never leak over");
+    }
+}

@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 use gm_model::api::{
     Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, SpaceReport, VertexData,
 };
-use gm_model::{Eid, GdbError, GdbResult, QueryCtx, Value, Vid};
+use gm_model::{lockwait, Eid, GdbError, GdbResult, QueryCtx, Value, Vid};
 
 /// Which snapshot implementation a harness should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -394,11 +394,10 @@ impl<E: GraphDb + Clone + 'static> CowCell<E> {
     }
 
     fn publish_pending(&self) -> GdbResult<()> {
-        let mut working = self.working.lock().map_err(|_| poisoned("cow writer"))?;
+        let mut working =
+            lockwait::timed(|| self.working.lock()).map_err(|_| poisoned("cow writer"))?;
         if let Some(pending) = working.take() {
-            let mut published = self
-                .published
-                .write()
+            let mut published = lockwait::timed(|| self.published.write())
                 .map_err(|_| poisoned("cow published"))?;
             published.epoch += 1;
             published.graph = Arc::new(pending);
@@ -409,8 +408,7 @@ impl<E: GraphDb + Clone + 'static> CowCell<E> {
 
     fn pinned(&self) -> GdbResult<Box<dyn GraphSnapshot>> {
         Ok(Box::new(
-            self.published
-                .read()
+            lockwait::timed(|| self.published.read())
                 .map_err(|_| poisoned("cow published"))?
                 .clone(),
         ))
@@ -449,16 +447,15 @@ impl<E: GraphDb + Clone + 'static> SnapshotSource for CowCell<E> {
     }
 
     fn with_write(&self, f: &mut WriteFn<'_>) -> GdbResult<u64> {
-        let mut working = self.working.lock().map_err(|_| poisoned("cow writer"))?;
+        let mut working =
+            lockwait::timed(|| self.working.lock()).map_err(|_| poisoned("cow writer"))?;
         // Clone-on-first-write per epoch: later writes of the same epoch
         // reuse the private copy. The dirty mark lands before the mutation
         // so a strict pin racing this write either misses it entirely (the
         // write has not completed) or publishes it.
         if working.is_none() {
             let base = Arc::clone(
-                &self
-                    .published
-                    .read()
+                &lockwait::timed(|| self.published.read())
                     .map_err(|_| poisoned("cow published"))?
                     .graph,
             );
@@ -508,15 +505,13 @@ impl<E: GraphDb + Clone + 'static> FreezeCell<E> {
     }
 
     fn refreeze(&self) -> GdbResult<()> {
-        let live = self.live.lock().map_err(|_| poisoned("freeze writer"))?;
+        let live = lockwait::timed(|| self.live.lock()).map_err(|_| poisoned("freeze writer"))?;
         if !self.dirty.is_dirty() {
             return Ok(()); // another pin refroze while we waited
         }
         let frozen = Arc::new(live.clone());
-        let mut published = self
-            .published
-            .write()
-            .map_err(|_| poisoned("freeze published"))?;
+        let mut published =
+            lockwait::timed(|| self.published.write()).map_err(|_| poisoned("freeze published"))?;
         published.epoch += 1;
         published.graph = frozen;
         self.dirty.clear();
@@ -525,8 +520,7 @@ impl<E: GraphDb + Clone + 'static> FreezeCell<E> {
 
     fn pinned(&self) -> GdbResult<Box<dyn GraphSnapshot>> {
         Ok(Box::new(
-            self.published
-                .read()
+            lockwait::timed(|| self.published.read())
                 .map_err(|_| poisoned("freeze published"))?
                 .clone(),
         ))
@@ -564,7 +558,8 @@ impl<E: GraphDb + Clone + 'static> SnapshotSource for FreezeCell<E> {
     }
 
     fn with_write(&self, f: &mut WriteFn<'_>) -> GdbResult<u64> {
-        let mut live = self.live.lock().map_err(|_| poisoned("freeze writer"))?;
+        let mut live =
+            lockwait::timed(|| self.live.lock()).map_err(|_| poisoned("freeze writer"))?;
         // Stamp only the *first* write after a freeze: the staleness bound
         // measures the oldest unpublished write, so a continuous write
         // stream cannot starve publishes by forever refreshing the stamp.

@@ -23,10 +23,18 @@
 //! scans never block remote writers — and `ExecOp` responses carry the
 //! serving epoch. Unset or `off` keeps the original shared-`RwLock`
 //! hosting.
+//!
+//! With `GM_SHARDS=N` (N > 1) the server hosts a hash-partitioned
+//! `gm-shard` composite of N engines instead of a single instance — one
+//! server, many shards. In locked mode the composite's per-partition locks
+//! are the only synchronization on the op path (concurrent remote writers
+//! on different shards do not serialize); in snapshot mode each shard gets
+//! its own MVCC cell and reads pin composite epochs.
 
 use graphmark::mvcc::SnapshotMode;
 use graphmark::registry::EngineKind;
 
+use gm_model::SharedGraph;
 use gm_net::Server;
 
 fn main() {
@@ -39,6 +47,7 @@ fn main() {
         }
         eprintln!("  env: GM_SERVER_ADDR (default 127.0.0.1:7687)");
         eprintln!("       GM_SNAPSHOT_MODE (off|cow|native; default off = shared lock)");
+        eprintln!("       GM_SHARDS (default 1; >1 hosts a gm-shard composite)");
         std::process::exit(0);
     }
 
@@ -66,12 +75,34 @@ fn main() {
         },
     };
 
+    let shards: usize = match std::env::var("GM_SHARDS") {
+        Err(_) => 1,
+        Ok(s) => match s.trim().parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("[gm-server] invalid GM_SHARDS {s:?} (want a positive integer)");
+                std::process::exit(2);
+            }
+        },
+    };
+
     let addr = std::env::var("GM_SERVER_ADDR").unwrap_or_else(|_| "127.0.0.1:7687".to_string());
-    let bound = match mode {
-        None => Server::bind(&addr, Box::new(move || kind.make())),
-        Some(mode) => {
+    let bound = match (mode, shards) {
+        (None, 1) => Server::bind(&addr, Box::new(move || kind.make())),
+        (None, n) => Server::bind_sharded(
+            &addr,
+            Box::new(move || Box::new(kind.make_sharded(n)) as Box<dyn SharedGraph>),
+        ),
+        (Some(mode), 1) => {
             Server::bind_snapshot(&addr, Box::new(move || kind.make_snapshot_source(mode)))
         }
+        (Some(mode), n) => Server::bind_snapshot(
+            &addr,
+            Box::new(move || {
+                Box::new(kind.make_sharded_source(n, mode))
+                    as Box<dyn graphmark::mvcc::SnapshotSource>
+            }),
+        ),
     };
     let server = match bound {
         Ok(server) => server,
@@ -83,18 +114,27 @@ fn main() {
     // Report the *actual* source kind: `native` falls back to the generic
     // cow cell for engines without a native path, and the banner must not
     // claim a freeze path the operator is not measuring.
-    let isolation = match mode {
-        None => "locked".to_string(),
-        Some(mode) => format!("snapshot-{}", kind.make_snapshot_source(mode).kind()),
+    let isolation = match (mode, shards) {
+        (None, 1) => "locked".to_string(),
+        (None, _) => "sharded-locked".to_string(),
+        (Some(mode), 1) => format!("snapshot-{}", kind.make_snapshot_source(mode).kind()),
+        (Some(mode), n) => {
+            use graphmark::mvcc::SnapshotSource as _;
+            format!("snapshot-{}", kind.make_sharded_source(n, mode).kind())
+        }
+    };
+    let hosted = if shards == 1 {
+        kind.name().to_string()
+    } else {
+        format!("{}/s{shards}", kind.name())
     };
     match server.local_addr() {
         Ok(bound) => eprintln!(
-            "[gm-server] hosting {} ({}) on {bound} — protocol v{}, {isolation} reads",
-            kind.name(),
+            "[gm-server] hosting {hosted} ({}) on {bound} — protocol v{}, {isolation} reads",
             kind.emulates(),
             gm_net::PROTO_VERSION
         ),
-        Err(e) => eprintln!("[gm-server] hosting {} ({e})", kind.name()),
+        Err(e) => eprintln!("[gm-server] hosting {hosted} ({e})"),
     }
     server.run();
 }

@@ -192,9 +192,14 @@ fn expect_u64(rsp: Response) -> GdbResult<u64> {
 
 fn expect_exec_done(rsp: Response) -> GdbResult<OpResult> {
     match rsp {
-        Response::ExecDone { card, epoch } => Ok(OpResult {
+        Response::ExecDone {
+            card,
+            epoch,
+            lock_wait,
+        } => Ok(OpResult {
             cardinality: card,
             epoch,
+            lock_wait_nanos: lock_wait,
         }),
         other => Err(protocol_mismatch("ExecDone", &other)),
     }

@@ -38,4 +38,4 @@ pub mod wire;
 
 pub use client::{run_remote, run_remote_sequential, Connection, RemoteBackend, RemoteEngine};
 pub use proto::{Request, Response, MAGIC, PROTO_VERSION};
-pub use server::{EngineFactory, Server, ServerHandle};
+pub use server::{EngineFactory, Server, ServerHandle, SharedFactory};

@@ -35,7 +35,12 @@ pub const MAGIC: u32 = 0x474D_4E54;
 /// v2: `ExecOp` answers with [`Response::ExecDone`] (cardinality **plus the
 /// serving epoch** when the server hosts a snapshot source) instead of a
 /// bare `U64`.
-pub const PROTO_VERSION: u16 = 2;
+///
+/// v3: `ExecDone` additionally carries the op's server-side **lock wait**
+/// (nanoseconds spent acquiring engine locks), so remote runs feed the
+/// driver's lock-wait accounting — the per-shard vs single-lock comparison
+/// works across the wire.
+pub const PROTO_VERSION: u16 = 3;
 
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -319,6 +324,10 @@ pub enum Response {
         card: u64,
         /// Serving epoch for snapshot-backed reads.
         epoch: Option<u64>,
+        /// Nanoseconds the op spent waiting on engine locks server-side
+        /// (v3; the server's whole execution path reports through
+        /// `gm_model::lockwait`).
+        lock_wait: u64,
     },
     /// An optional u64 (id resolution).
     OptU64(Option<u64>),
@@ -981,9 +990,14 @@ impl Response {
                 wire::put_u8(&mut out, U64);
                 wire::put_u64(&mut out, *v);
             }
-            Response::ExecDone { card, epoch } => {
+            Response::ExecDone {
+                card,
+                epoch,
+                lock_wait,
+            } => {
                 wire::put_u8(&mut out, EXEC_DONE);
                 wire::put_u64(&mut out, *card);
+                wire::put_u64(&mut out, *lock_wait);
                 match epoch {
                     None => wire::put_bool(&mut out, false),
                     Some(e) => {
@@ -1115,6 +1129,7 @@ impl Response {
             U64 => Response::U64(cur.u64()?),
             EXEC_DONE => Response::ExecDone {
                 card: cur.u64()?,
+                lock_wait: cur.u64()?,
                 epoch: if cur.bool_()? { Some(cur.u64()?) } else { None },
             },
             OPT_U64 => Response::OptU64(if cur.bool_()? { Some(cur.u64()?) } else { None }),
@@ -1289,10 +1304,12 @@ mod tests {
             Response::ExecDone {
                 card: 12,
                 epoch: Some(9),
+                lock_wait: 1_250,
             },
             Response::ExecDone {
                 card: 0,
                 epoch: None,
+                lock_wait: 0,
             },
             Response::OptU64(None),
             Response::OptU64(Some(3)),

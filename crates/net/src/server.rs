@@ -26,7 +26,9 @@ use std::time::Duration;
 
 use gm_core::catalog;
 use gm_core::params::{ResolvedParams, Workload};
-use gm_model::{Dataset, Eid, GdbError, GdbResult, GraphDb, GraphSnapshot, QueryCtx, Vid};
+use gm_model::{
+    lockwait, Dataset, Eid, GdbError, GdbResult, GraphDb, GraphSnapshot, QueryCtx, SharedGraph, Vid,
+};
 use gm_mvcc::{SnapshotSource, SourceFactory};
 use gm_workload::{apply_write, Op};
 
@@ -36,6 +38,10 @@ use crate::wire;
 /// Factory producing fresh, empty engines — what `Reset` swaps in.
 pub type EngineFactory = Box<dyn Fn() -> Box<dyn GraphDb> + Send + Sync>;
 
+/// Factory producing fresh, empty internally-synchronized graphs
+/// ([`SharedGraph`], e.g. `gm-shard`'s per-partition-locked composite).
+pub type SharedFactory = Box<dyn Fn() -> Box<dyn SharedGraph> + Send + Sync>;
+
 /// The two hosting modes a server can run in.
 ///
 /// * `Locked` — the original contract: one engine behind an `RwLock`, reads
@@ -43,6 +49,12 @@ pub type EngineFactory = Box<dyn Fn() -> Box<dyn GraphDb> + Send + Sync>;
 /// * `Snapshot` — a `gm-mvcc` [`SnapshotSource`]: every read request pins an
 ///   immutable epoch and executes against it, so remote scans never block
 ///   remote writers, and `ExecOp` responses carry the serving epoch.
+/// * `Shared` — an internally-synchronized [`SharedGraph`] (`gm-shard`'s
+///   per-partition-locked composite): reads *and* writes take only the
+///   outer lock's **shared** side (the exclusive side exists solely for
+///   `Reset`'s engine swap), so concurrent remote writers landing on
+///   different shards do not serialize in the server — the composite's own
+///   per-shard locks are the only synchronization on the op path.
 enum HostedEngine {
     Locked {
         factory: EngineFactory,
@@ -52,12 +64,18 @@ enum HostedEngine {
         factory: SourceFactory,
         source: RwLock<Box<dyn SnapshotSource>>,
     },
+    Shared {
+        factory: SharedFactory,
+        graph: RwLock<Box<dyn SharedGraph>>,
+    },
 }
 
-/// A read execution view: either the shared-lock guard or a pinned epoch.
+/// A read execution view: the shared-lock guard, a pinned epoch, or a
+/// swap-guard over an internally-synchronized graph.
 enum ReadView<'a> {
     Guard(RwLockReadGuard<'a, Box<dyn GraphDb>>),
     Snap(Box<dyn GraphSnapshot>),
+    Shared(RwLockReadGuard<'a, Box<dyn SharedGraph>>),
 }
 
 impl ReadView<'_> {
@@ -69,13 +87,17 @@ impl ReadView<'_> {
                 db
             }
             ReadView::Snap(snap) => snap.as_ref(),
+            ReadView::Shared(guard) => {
+                let g: &dyn SharedGraph = &***guard;
+                g
+            }
         }
     }
 
     /// Serving epoch: `Some` only for pinned snapshot views.
     fn epoch(&self) -> Option<u64> {
         match self {
-            ReadView::Guard(_) => None,
+            ReadView::Guard(_) | ReadView::Shared(_) => None,
             ReadView::Snap(snap) => Some(snap.epoch()),
         }
     }
@@ -114,13 +136,15 @@ impl Hosted {
     fn read_view(&self) -> GdbResult<ReadView<'_>> {
         match &self.engine {
             HostedEngine::Locked { engine, .. } => Ok(ReadView::Guard(
-                engine.read().map_err(|_| Self::poisoned("read"))?,
+                lockwait::timed(|| engine.read()).map_err(|_| Self::poisoned("read"))?,
             )),
             HostedEngine::Snapshot { source, .. } => Ok(ReadView::Snap(
-                source
-                    .read()
+                lockwait::timed(|| source.read())
                     .map_err(|_| Self::poisoned("source read"))?
                     .snapshot()?,
+            )),
+            HostedEngine::Shared { graph, .. } => Ok(ReadView::Shared(
+                lockwait::timed(|| graph.read()).map_err(|_| Self::poisoned("shared read"))?,
             )),
         }
     }
@@ -130,10 +154,9 @@ impl Hosted {
     /// path never serializes behind per-request epoch publishes.
     fn read_view_recent(&self) -> GdbResult<ReadView<'_>> {
         match &self.engine {
-            HostedEngine::Locked { .. } => self.read_view(),
+            HostedEngine::Locked { .. } | HostedEngine::Shared { .. } => self.read_view(),
             HostedEngine::Snapshot { source, .. } => Ok(ReadView::Snap(
-                source
-                    .read()
+                lockwait::timed(|| source.read())
                     .map_err(|_| Self::poisoned("source read"))?
                     .snapshot_recent(gm_workload::SNAPSHOT_PIN_STALENESS)?,
             )),
@@ -148,14 +171,31 @@ impl Hosted {
     ) -> GdbResult<R> {
         match &self.engine {
             HostedEngine::Locked { engine, .. } => {
-                let mut db = engine.write().map_err(|_| Self::poisoned("write"))?;
+                let mut db =
+                    lockwait::timed(|| engine.write()).map_err(|_| Self::poisoned("write"))?;
                 f(db.as_mut())
             }
             HostedEngine::Snapshot { source, .. } => {
-                let source = source.read().map_err(|_| Self::poisoned("source read"))?;
+                let source =
+                    lockwait::timed(|| source.read()).map_err(|_| Self::poisoned("source read"))?;
                 let mut once = Some(f);
                 let mut out: Option<R> = None;
                 source.with_write(&mut |db| {
+                    let f = once.take().expect("write closure runs once");
+                    out = Some(f(db)?);
+                    Ok(0)
+                })?;
+                Ok(out.expect("write closure ran"))
+            }
+            // The graph synchronizes internally (per-shard locks): writes
+            // take only the *shared* side of the swap lock, so two remote
+            // writers landing on different shards run in parallel.
+            HostedEngine::Shared { graph, .. } => {
+                let graph =
+                    lockwait::timed(|| graph.read()).map_err(|_| Self::poisoned("shared read"))?;
+                let mut once = Some(f);
+                let mut out: Option<R> = None;
+                graph.with_write(&mut |db| {
                     let f = once.take().expect("write closure runs once");
                     out = Some(f(db)?);
                     Ok(0)
@@ -175,6 +215,10 @@ impl Hosted {
             HostedEngine::Snapshot { factory, source } => {
                 let mut src = source.write().map_err(|_| Self::poisoned("source write"))?;
                 *src = factory();
+            }
+            HostedEngine::Shared { factory, graph } => {
+                let mut g = graph.write().map_err(|_| Self::poisoned("shared write"))?;
+                *g = factory();
             }
         }
         Ok(())
@@ -239,6 +283,22 @@ impl Server {
             HostedEngine::Snapshot {
                 factory,
                 source: RwLock::new(source),
+            },
+        )
+    }
+
+    /// Bind to `addr` hosting an internally-synchronized [`SharedGraph`]
+    /// (e.g. `gm-shard`'s per-partition-locked composite): both reads and
+    /// writes take only the shared side of the outer swap lock, so the
+    /// hosted graph's own locks are the only synchronization on the op
+    /// path — one server, many shards.
+    pub fn bind_sharded(addr: &str, factory: SharedFactory) -> GdbResult<Server> {
+        let graph = factory();
+        Self::bind_hosted(
+            addr,
+            HostedEngine::Shared {
+                factory,
+                graph: RwLock::new(graph),
             },
         )
     }
@@ -488,6 +548,10 @@ fn execute_request(
                     )));
                 }
                 Op::Read(inst) => {
+                    // The connection thread owns this op end to end, so the
+                    // thread-local lock-wait accumulator attributes every
+                    // engine-lock acquisition below to exactly this op.
+                    lockwait::reset();
                     let ctx = ctx_for(timeout_micros);
                     // Strict pins (sequential replays) must read their own
                     // earlier writes; concurrent drivers take the
@@ -501,9 +565,11 @@ fn execute_request(
                     Response::ExecDone {
                         card,
                         epoch: view.epoch(),
+                        lock_wait: lockwait::take(),
                     }
                 }
                 Op::Write(wop) => {
+                    lockwait::reset();
                     // The generation check of `current()` must happen while
                     // holding the engine write path: a `Reset` interleaving
                     // between the check and the write would otherwise apply
@@ -519,7 +585,11 @@ fn execute_request(
                             owned_edges.current(hosted),
                         )
                     })?;
-                    Response::ExecDone { card, epoch: None }
+                    Response::ExecDone {
+                        card,
+                        epoch: None,
+                        lock_wait: lockwait::take(),
+                    }
                 }
             }
         }

@@ -1,0 +1,550 @@
+//! The composite read path: route single-vertex questions, scatter-gather
+//! the rest.
+//!
+//! All read logic lives in [`Parts`], a borrowed bundle of one read view
+//! per shard plus the routing [`Meta`]. Two very different owners drive it
+//! through the same code:
+//!
+//! * `ShardedGraph` (locked mode) materializes a `Parts` under its
+//!   per-shard read guards — every read observes one consistent cross-shard
+//!   state, exactly like the single engine-wide `RwLock` it replaces, while
+//!   writers to different shards still run in parallel;
+//! * [`ShardedView`] (snapshot mode) owns one pinned epoch per shard plus a
+//!   cloned `Meta`, so reads run lock-free against immutable state.
+//!
+//! Routing rules (see `route` for why they are exhaustive):
+//!
+//! * `out()`-direction work touches only the vertex's owner shard — all
+//!   out-edges are stored there;
+//! * `in()`/`both()` gather over the vertex's **presence set**: its owner
+//!   plus every shard holding a ghost of it — precisely the shards that
+//!   can store edges pointing at it;
+//! * whole-graph scans and counts visit every shard, filtering ghosts;
+//! * edge questions route by the shard digit of the composite edge id.
+
+use gm_model::api::{
+    Direction, EdgeData, EdgeRef, EngineFeatures, GraphSnapshot, SpaceReport, VertexData,
+};
+use gm_model::{Eid, GdbResult, QueryCtx, Value, Vid};
+
+use crate::route::{decode_eid, decode_vid, encode_eid, Meta};
+
+/// Borrowed composite read state: read views for the shards an op touches
+/// + routing meta.
+///
+/// The slice is indexed by shard; `None` means the owner did not acquire
+/// that shard for this op (locked mode locks only what the op needs —
+/// point reads touch one shard, presence gathers a few, whole-graph scans
+/// all). Indexing an unacquired shard is an internal routing bug and
+/// panics.
+pub(crate) struct Parts<'a> {
+    /// Composite display name (for `name()`/`features()`).
+    pub name: &'a str,
+    /// Read views, indexed by shard; `None` = not acquired for this op.
+    pub shards: &'a [Option<&'a dyn GraphSnapshot>],
+    /// Routing metadata consistent with the views.
+    pub meta: &'a Meta,
+}
+
+impl Parts<'_> {
+    fn n(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, s: usize) -> &dyn GraphSnapshot {
+        self.shards[s].expect("routing bug: shard view not acquired for this op")
+    }
+
+    /// Shards where composite vertex `v` has a local id, with that id:
+    /// the owner first, then every shard ghosting it.
+    fn presence(&self, v: Vid) -> Vec<(usize, Vid)> {
+        let mut out = Vec::with_capacity(2);
+        let (local, owner) = decode_vid(v, self.n());
+        out.push((owner, local));
+        for (s, ghosts) in self.meta.ghosts.iter().enumerate() {
+            if s != owner {
+                if let Some(g) = ghosts.get(&v.0) {
+                    out.push((s, *g));
+                }
+            }
+        }
+        out
+    }
+
+    pub fn features(&self) -> EngineFeatures {
+        let mut f = self.shard(0).features();
+        f.name = self.name.to_string();
+        f.storage = format!(
+            "{} × {} hash-partitioned shards (cut edges ghosted at source)",
+            f.storage,
+            self.n()
+        );
+        f
+    }
+
+    pub fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
+        self.meta.vertex_resolve.get(&canonical).map(|v| Vid(*v))
+    }
+
+    pub fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
+        self.meta.edge_resolve.get(&canonical).map(|e| Eid(*e))
+    }
+
+    pub fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
+        let mut total = 0u64;
+        for s in 0..self.n() {
+            total += self.shard(s).vertex_count(ctx)? - self.meta.ghost_count(s);
+        }
+        Ok(total)
+    }
+
+    pub fn edge_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
+        let mut total = 0u64;
+        for s in 0..self.n() {
+            total += self.shard(s).edge_count(ctx)?;
+        }
+        Ok(total)
+    }
+
+    pub fn edge_label_set(&self, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
+        let mut labels = Vec::new();
+        for s in 0..self.n() {
+            labels.extend(self.shard(s).edge_label_set(ctx)?);
+        }
+        labels.sort_unstable();
+        labels.dedup();
+        Ok(labels)
+    }
+
+    pub fn vertices_with_property(
+        &self,
+        name: &str,
+        value: &Value,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Vid>> {
+        // Ghosts carry no properties, so they can never match; translation
+        // through `to_composite` is still applied for uniformity.
+        let mut out = Vec::new();
+        for s in 0..self.n() {
+            out.extend(
+                self.shard(s)
+                    .vertices_with_property(name, value, ctx)?
+                    .into_iter()
+                    .map(|v| self.meta.to_composite(s, v)),
+            );
+        }
+        Ok(out)
+    }
+
+    pub fn edges_with_property(
+        &self,
+        name: &str,
+        value: &Value,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Eid>> {
+        let mut out = Vec::new();
+        for s in 0..self.n() {
+            out.extend(
+                self.shard(s)
+                    .edges_with_property(name, value, ctx)?
+                    .into_iter()
+                    .map(|e| encode_eid(e, s, self.n())),
+            );
+        }
+        Ok(out)
+    }
+
+    pub fn edges_with_label(&self, label: &str, ctx: &QueryCtx) -> GdbResult<Vec<Eid>> {
+        let mut out = Vec::new();
+        for s in 0..self.n() {
+            out.extend(
+                self.shard(s)
+                    .edges_with_label(label, ctx)?
+                    .into_iter()
+                    .map(|e| encode_eid(e, s, self.n())),
+            );
+        }
+        Ok(out)
+    }
+
+    pub fn vertex(&self, v: Vid) -> GdbResult<Option<VertexData>> {
+        let (local, owner) = decode_vid(v, self.n());
+        Ok(self.shard(owner).vertex(local)?.map(|data| VertexData {
+            id: v,
+            label: data.label,
+            props: data.props,
+        }))
+    }
+
+    pub fn edge(&self, e: Eid) -> GdbResult<Option<EdgeData>> {
+        let (local, s) = decode_eid(e, self.n());
+        Ok(self.shard(s).edge(local)?.map(|data| EdgeData {
+            id: e,
+            src: self.meta.to_composite(s, data.src),
+            dst: self.meta.to_composite(s, data.dst),
+            label: data.label,
+            props: data.props,
+        }))
+    }
+
+    pub fn neighbors(
+        &self,
+        v: Vid,
+        dir: Direction,
+        label: Option<&str>,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Vid>> {
+        let mut out = Vec::new();
+        match dir {
+            // All out-edges live on the owner; their far ends may be ghosts.
+            Direction::Out => {
+                let (local, owner) = decode_vid(v, self.n());
+                out.extend(
+                    self.shard(owner)
+                        .neighbors(local, dir, label, ctx)?
+                        .into_iter()
+                        .map(|u| self.meta.to_composite(owner, u)),
+                );
+            }
+            // In-edges live on their sources' shards: gather over the
+            // presence set. `Both` on the owner yields out + same-shard in;
+            // on ghost shards a ghost has only in-edges, so the union is
+            // exactly the unsharded answer, each edge contributing once.
+            Direction::In | Direction::Both => {
+                for (s, local) in self.presence(v) {
+                    out.extend(
+                        self.shard(s)
+                            .neighbors(local, dir, label, ctx)?
+                            .into_iter()
+                            .map(|u| self.meta.to_composite(s, u)),
+                    );
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn vertex_edges(
+        &self,
+        v: Vid,
+        dir: Direction,
+        label: Option<&str>,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<EdgeRef>> {
+        let map = |s: usize, refs: Vec<EdgeRef>| -> Vec<EdgeRef> {
+            refs.into_iter()
+                .map(|r| EdgeRef {
+                    eid: encode_eid(r.eid, s, self.n()),
+                    other: self.meta.to_composite(s, r.other),
+                })
+                .collect()
+        };
+        let mut out = Vec::new();
+        match dir {
+            Direction::Out => {
+                let (local, owner) = decode_vid(v, self.n());
+                out.extend(map(
+                    owner,
+                    self.shard(owner).vertex_edges(local, dir, label, ctx)?,
+                ));
+            }
+            Direction::In | Direction::Both => {
+                for (s, local) in self.presence(v) {
+                    out.extend(map(s, self.shard(s).vertex_edges(local, dir, label, ctx)?));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn vertex_degree(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<u64> {
+        match dir {
+            Direction::Out => {
+                let (local, owner) = decode_vid(v, self.n());
+                self.shard(owner).vertex_degree(local, dir, ctx)
+            }
+            Direction::In | Direction::Both => {
+                let mut total = 0u64;
+                for (s, local) in self.presence(v) {
+                    total += self.shard(s).vertex_degree(local, dir, ctx)?;
+                }
+                Ok(total)
+            }
+        }
+    }
+
+    pub fn vertex_edge_labels(
+        &self,
+        v: Vid,
+        dir: Direction,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<String>> {
+        let mut labels = Vec::new();
+        match dir {
+            Direction::Out => {
+                let (local, owner) = decode_vid(v, self.n());
+                labels.extend(self.shard(owner).vertex_edge_labels(local, dir, ctx)?);
+            }
+            Direction::In | Direction::Both => {
+                for (s, local) in self.presence(v) {
+                    labels.extend(self.shard(s).vertex_edge_labels(local, dir, ctx)?);
+                }
+            }
+        }
+        // Each shard dedupes locally; the cross-shard union must too.
+        labels.sort_unstable();
+        labels.dedup();
+        Ok(labels)
+    }
+
+    /// Materialized vertex scan: ghosts filtered, ids composite. A mid-scan
+    /// inner error (deadline) is preserved at its position.
+    pub fn scan_vertices(&self, ctx: &QueryCtx) -> GdbResult<Vec<GdbResult<Vid>>> {
+        let mut out = Vec::new();
+        for s in 0..self.n() {
+            for item in self.shard(s).scan_vertices(ctx)? {
+                match item {
+                    Ok(local) => {
+                        if !self.meta.rev[s].contains_key(&local.0) {
+                            out.push(Ok(self.meta.to_composite(s, local)));
+                        }
+                    }
+                    Err(e) => {
+                        out.push(Err(e));
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materialized edge scan (every edge is stored on exactly one shard).
+    pub fn scan_edges(&self, ctx: &QueryCtx) -> GdbResult<Vec<GdbResult<Eid>>> {
+        let mut out = Vec::new();
+        for s in 0..self.n() {
+            for item in self.shard(s).scan_edges(ctx)? {
+                match item {
+                    Ok(local) => out.push(Ok(encode_eid(local, s, self.n()))),
+                    Err(e) => {
+                        out.push(Err(e));
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn vertex_property(&self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        let (local, owner) = decode_vid(v, self.n());
+        self.shard(owner).vertex_property(local, name)
+    }
+
+    pub fn edge_property(&self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        let (local, s) = decode_eid(e, self.n());
+        self.shard(s).edge_property(local, name)
+    }
+
+    pub fn edge_endpoints(&self, e: Eid) -> GdbResult<Option<(Vid, Vid)>> {
+        let (local, s) = decode_eid(e, self.n());
+        Ok(self.shard(s).edge_endpoints(local)?.map(|(src, dst)| {
+            (
+                self.meta.to_composite(s, src),
+                self.meta.to_composite(s, dst),
+            )
+        }))
+    }
+
+    pub fn edge_label(&self, e: Eid) -> GdbResult<Option<String>> {
+        let (local, s) = decode_eid(e, self.n());
+        self.shard(s).edge_label(local)
+    }
+
+    pub fn vertex_label(&self, v: Vid) -> GdbResult<Option<String>> {
+        let (local, owner) = decode_vid(v, self.n());
+        self.shard(owner).vertex_label(local)
+    }
+
+    pub fn has_vertex_index(&self, prop: &str) -> bool {
+        (0..self.n()).all(|s| self.shard(s).has_vertex_index(prop))
+    }
+
+    pub fn space(&self) -> SpaceReport {
+        // Sum same-named components across shards so the report shape stays
+        // that of one engine, then account the routing maps.
+        let mut by_name: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
+        for s in 0..self.n() {
+            for (component, bytes) in self.shard(s).space().components {
+                *by_name.entry(component).or_insert(0) += bytes;
+            }
+        }
+        let mut report = SpaceReport::default();
+        for (component, bytes) in by_name {
+            report.add(component, bytes);
+        }
+        report.add("shard routing maps", self.meta.approx_bytes());
+        report
+    }
+}
+
+/// An immutable composite epoch view: one pinned snapshot per shard plus a
+/// cloned [`Meta`], produced by `ShardedSource`. The composite epoch is the
+/// **minimum** over the shard epochs — the newest graph version every shard
+/// is guaranteed to have published — which is monotone because each shard's
+/// epochs are.
+pub struct ShardedView {
+    pub(crate) name: String,
+    pub(crate) shards: Vec<Box<dyn GraphSnapshot>>,
+    pub(crate) meta: Meta,
+    pub(crate) epoch: u64,
+}
+
+impl ShardedView {
+    fn with_parts<R>(&self, f: impl FnOnce(&Parts<'_>) -> R) -> R {
+        let refs: Vec<Option<&dyn GraphSnapshot>> =
+            self.shards.iter().map(|b| Some(b.as_ref())).collect();
+        f(&Parts {
+            name: &self.name,
+            shards: &refs,
+            meta: &self.meta,
+        })
+    }
+}
+
+impl GraphSnapshot for ShardedView {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn features(&self) -> EngineFeatures {
+        self.with_parts(|p| p.features())
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
+        self.with_parts(|p| p.resolve_vertex(canonical))
+    }
+
+    fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
+        self.with_parts(|p| p.resolve_edge(canonical))
+    }
+
+    fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
+        self.with_parts(|p| p.vertex_count(ctx))
+    }
+
+    fn edge_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
+        self.with_parts(|p| p.edge_count(ctx))
+    }
+
+    fn edge_label_set(&self, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
+        self.with_parts(|p| p.edge_label_set(ctx))
+    }
+
+    fn vertices_with_property(
+        &self,
+        name: &str,
+        value: &Value,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Vid>> {
+        self.with_parts(|p| p.vertices_with_property(name, value, ctx))
+    }
+
+    fn edges_with_property(
+        &self,
+        name: &str,
+        value: &Value,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Eid>> {
+        self.with_parts(|p| p.edges_with_property(name, value, ctx))
+    }
+
+    fn edges_with_label(&self, label: &str, ctx: &QueryCtx) -> GdbResult<Vec<Eid>> {
+        self.with_parts(|p| p.edges_with_label(label, ctx))
+    }
+
+    fn vertex(&self, v: Vid) -> GdbResult<Option<VertexData>> {
+        self.with_parts(|p| p.vertex(v))
+    }
+
+    fn edge(&self, e: Eid) -> GdbResult<Option<EdgeData>> {
+        self.with_parts(|p| p.edge(e))
+    }
+
+    fn neighbors(
+        &self,
+        v: Vid,
+        dir: Direction,
+        label: Option<&str>,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Vid>> {
+        self.with_parts(|p| p.neighbors(v, dir, label, ctx))
+    }
+
+    fn vertex_edges(
+        &self,
+        v: Vid,
+        dir: Direction,
+        label: Option<&str>,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<EdgeRef>> {
+        self.with_parts(|p| p.vertex_edges(v, dir, label, ctx))
+    }
+
+    fn vertex_degree(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<u64> {
+        self.with_parts(|p| p.vertex_degree(v, dir, ctx))
+    }
+
+    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
+        self.with_parts(|p| p.vertex_edge_labels(v, dir, ctx))
+    }
+
+    fn scan_vertices<'a>(
+        &'a self,
+        ctx: &'a QueryCtx,
+    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Vid>> + 'a>> {
+        let items = self.with_parts(|p| p.scan_vertices(ctx))?;
+        Ok(Box::new(items.into_iter()))
+    }
+
+    fn scan_edges<'a>(
+        &'a self,
+        ctx: &'a QueryCtx,
+    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Eid>> + 'a>> {
+        let items = self.with_parts(|p| p.scan_edges(ctx))?;
+        Ok(Box::new(items.into_iter()))
+    }
+
+    fn vertex_property(&self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        self.with_parts(|p| p.vertex_property(v, name))
+    }
+
+    fn edge_property(&self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        self.with_parts(|p| p.edge_property(e, name))
+    }
+
+    fn edge_endpoints(&self, e: Eid) -> GdbResult<Option<(Vid, Vid)>> {
+        self.with_parts(|p| p.edge_endpoints(e))
+    }
+
+    fn edge_label(&self, e: Eid) -> GdbResult<Option<String>> {
+        self.with_parts(|p| p.edge_label(e))
+    }
+
+    fn vertex_label(&self, v: Vid) -> GdbResult<Option<String>> {
+        self.with_parts(|p| p.vertex_label(v))
+    }
+
+    fn has_vertex_index(&self, prop: &str) -> bool {
+        self.with_parts(|p| p.has_vertex_index(prop))
+    }
+
+    fn space(&self) -> SpaceReport {
+        self.with_parts(|p| p.space())
+    }
+}

@@ -91,15 +91,30 @@ pub struct OpResult {
     /// reads (no epochs) and for writes (they produce the next epoch, they
     /// don't observe one).
     pub epoch: Option<u64>,
+    /// Nanoseconds this op spent **waiting to acquire engine locks** (the
+    /// shared `RwLock`, an MVCC cell's writer mutex or publish lock, or
+    /// `gm-shard`'s per-partition locks — whatever the backend's path runs
+    /// through `gm_model::lockwait`). Queueing, not hold time: the single
+    /// number that separates "the engine is slow" from "the op serialized
+    /// behind other clients", which is exactly what the sharded-vs-single
+    /// lock comparison measures.
+    pub lock_wait_nanos: u64,
 }
 
 impl OpResult {
-    /// An epoch-less result (locked mode, writes).
+    /// An epoch-less result (locked mode, writes) with no recorded wait.
     pub fn plain(cardinality: u64) -> OpResult {
         OpResult {
             cardinality,
             epoch: None,
+            lock_wait_nanos: 0,
         }
+    }
+
+    /// Attach a measured lock wait.
+    pub fn with_lock_wait(mut self, nanos: u64) -> OpResult {
+        self.lock_wait_nanos = nanos;
+        self
     }
 }
 
@@ -234,12 +249,19 @@ pub struct WorkerStats {
     /// behind than [`Pacing::Open::max_lateness`]); never executed, never in
     /// the histogram. Always 0 for closed-loop or unbounded open-loop runs.
     pub shed: u64,
-    /// Ops whose serving epoch was **lower** than an epoch this worker had
-    /// already observed — the signature of a read racing an engine
+    /// Ops whose serving epoch was **lower** than the epoch the worker's
+    /// previous read observed — the signature of a read racing an engine
     /// replacement (a remote `Reset` restarts epochs at 0), as opposed to a
-    /// genuine engine error. Always 0 for in-process snapshot runs (epochs
-    /// are monotone per source) and for locked runs (no epochs at all).
+    /// genuine engine error. Counted **once per op** against the epoch the
+    /// op actually followed: after a drop the worker adopts the restarted
+    /// regime, so one reset is one skew event, not one per remaining read.
+    /// Always 0 for in-process snapshot runs (epochs are monotone per
+    /// source) and for locked runs (no epochs at all).
     pub epoch_skew: u64,
+    /// Total nanoseconds this worker's completed ops spent waiting on
+    /// engine locks (see [`OpResult::lock_wait_nanos`]). Errored ops do not
+    /// contribute (their result — and its wait — is discarded with them).
+    pub lock_wait_nanos: u64,
     /// This worker's latency histogram.
     pub hist: LatencyHistogram,
     /// Result cardinalities in issue order (empty unless
@@ -299,6 +321,11 @@ impl RunReport {
         self.workers.iter().map(|w| w.epoch_skew).sum()
     }
 
+    /// Total nanoseconds completed ops spent waiting on engine locks.
+    pub fn lock_wait_nanos(&self) -> u64 {
+        self.workers.iter().map(|w| w.lock_wait_nanos).sum()
+    }
+
     /// Completed ops per wall-clock second (the achieved rate).
     pub fn throughput(&self) -> f64 {
         self.scaling_row().throughput()
@@ -326,6 +353,7 @@ impl RunReport {
             errors: self.errors(),
             shed: self.shed(),
             epoch_skew: self.epoch_skew(),
+            lock_wait_nanos: self.lock_wait_nanos(),
             offered_ops_per_sec: self.offered_ops_per_sec,
             wall_nanos: self.wall_nanos,
             p50_nanos: self.hist.p50(),
@@ -670,14 +698,19 @@ impl Session for LocalSession<'_> {
         match op {
             Op::Read(inst) => {
                 let ctx = QueryCtx::with_timeout(self.op_timeout);
+                let t = Instant::now();
                 let db = self.lock.read().map_err(|_| poisoned("read"))?;
-                catalog::execute_read(&inst, db.as_ref(), self.params, &ctx).map(OpResult::plain)
+                let wait = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                catalog::execute_read(&inst, db.as_ref(), self.params, &ctx)
+                    .map(|card| OpResult::plain(card).with_lock_wait(wait))
             }
             // No deadline on writes: the GraphDb mutation API carries no
             // QueryCtx (mutations are point operations in the paper's
             // taxonomy), so `op_timeout` bounds reads only.
             Op::Write(wop) => {
+                let t = Instant::now();
                 let mut db = self.lock.write().map_err(|_| poisoned("write"))?;
+                let wait = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 apply_write(
                     wop,
                     db.as_mut(),
@@ -686,7 +719,7 @@ impl Session for LocalSession<'_> {
                     op_index,
                     &mut self.owned_edges,
                 )
-                .map(OpResult::plain)
+                .map(|card| OpResult::plain(card).with_lock_wait(wait))
             }
         }
     }
@@ -763,6 +796,10 @@ struct SnapshotSession<'a> {
 
 impl Session for SnapshotSession<'_> {
     fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<OpResult> {
+        // The waits on this path happen inside the snapshot source (pin
+        // locks, the writer mutex), which reports them through the
+        // thread-local `lockwait` accumulator.
+        gm_model::lockwait::reset();
         match op {
             Op::Read(inst) => {
                 let ctx = QueryCtx::with_timeout(self.op_timeout);
@@ -771,6 +808,7 @@ impl Session for SnapshotSession<'_> {
                 Ok(OpResult {
                     cardinality,
                     epoch: Some(snap.epoch()),
+                    lock_wait_nanos: gm_model::lockwait::take(),
                 })
             }
             Op::Write(wop) => {
@@ -780,7 +818,7 @@ impl Session for SnapshotSession<'_> {
                     .with_write(&mut |db| {
                         apply_write(wop, db, params, worker, op_index, owned_edges)
                     })
-                    .map(OpResult::plain)
+                    .map(|card| OpResult::plain(card).with_lock_wait(gm_model::lockwait::take()))
             }
         }
     }
@@ -886,6 +924,7 @@ fn worker_loop(
         errors: 0,
         shed: 0,
         epoch_skew: 0,
+        lock_wait_nanos: 0,
         hist: LatencyHistogram::new(),
         cardinalities: Vec::new(),
     };
@@ -937,6 +976,7 @@ fn worker_loop(
         match result {
             Ok(res) => {
                 stats.ops += 1;
+                stats.lock_wait_nanos += res.lock_wait_nanos;
                 if matches!(op, Op::Read(_)) {
                     stats.read_ops += 1;
                 }
@@ -944,7 +984,16 @@ fn worker_loop(
                     if max_epoch.is_some_and(|m| epoch < m) {
                         stats.epoch_skew += 1;
                     }
-                    max_epoch = Some(max_epoch.map_or(epoch, |m| m.max(epoch)));
+                    // Adopt the observed epoch as the new reference, even
+                    // when it is *lower*: a drop means the engine behind
+                    // the session was replaced (a `Reset` restarted epochs
+                    // at 0), and each op is charged at most one skew
+                    // against the regime it actually raced. Keeping the old
+                    // high-water mark instead would re-count the same reset
+                    // on every later read — a strict pin that retried after
+                    // racing a reset used to inflate skew for the whole
+                    // rest of the run.
+                    max_epoch = Some(epoch);
                 }
                 if cfg.record_cardinalities {
                     stats.cardinalities.push(res.cardinality);
@@ -1183,6 +1232,7 @@ mod tests {
                 errors,
                 shed,
                 epoch_skew: 0,
+                lock_wait_nanos: 0,
                 hist: hist.clone(),
                 cardinalities: Vec::new(),
             }],
@@ -1288,6 +1338,108 @@ mod tests {
             }
         }
         assert_eq!(executed, report.ops() + report.errors());
+    }
+
+    /// A backend whose sessions serve a scripted epoch sequence — the test
+    /// double for reads racing an engine `Reset` (epochs restart at 0).
+    struct ScriptedEpochs {
+        epochs: Vec<u64>,
+    }
+
+    struct ScriptedSession<'a> {
+        epochs: &'a [u64],
+        at: usize,
+    }
+
+    impl Backend for ScriptedEpochs {
+        fn engine(&self) -> String {
+            "scripted".into()
+        }
+
+        fn isolation(&self) -> String {
+            "snapshot-scripted".into()
+        }
+
+        fn open_session(&self, _worker: usize) -> GdbResult<Box<dyn Session + '_>> {
+            Ok(Box::new(ScriptedSession {
+                epochs: &self.epochs,
+                at: 0,
+            }))
+        }
+    }
+
+    impl Session for ScriptedSession<'_> {
+        fn execute(&mut self, _op: Op, _worker: usize, _op_index: u64) -> GdbResult<OpResult> {
+            let epoch = self.epochs[self.at % self.epochs.len()];
+            self.at += 1;
+            Ok(OpResult {
+                cardinality: 1,
+                epoch: Some(epoch),
+                lock_wait_nanos: 3,
+            })
+        }
+    }
+
+    /// Regression (epoch-skew double count): a strict pin that retries after
+    /// racing a `Reset` observes the restarted epoch regime once — but the
+    /// old accounting kept the pre-reset high-water mark, so every later
+    /// read of the (monotone!) restarted sequence was re-counted as skew.
+    /// One reset must cost exactly one skew event per worker.
+    #[test]
+    fn epoch_skew_counts_a_reset_once_not_per_remaining_op() {
+        // Epochs 5,6 then a reset: 0,1,2,3. Only the 6→0 drop is skew; the
+        // restarted sequence is monotone and must not keep counting.
+        let backend = ScriptedEpochs {
+            epochs: vec![5, 6, 0, 1, 2, 3],
+        };
+        let cfg = WorkloadConfig {
+            mix: MixKind::ReadOnly,
+            threads: 1,
+            ops_per_worker: 6,
+            ..WorkloadConfig::default()
+        };
+        let report = run_backend(&backend, "scripted", &cfg).unwrap();
+        assert_eq!(
+            report.epoch_skew(),
+            1,
+            "one reset is one skew event, not one per remaining read"
+        );
+        // A second reset costs a second event — drops are still detected.
+        let backend = ScriptedEpochs {
+            epochs: vec![5, 0, 1, 0, 1, 2],
+        };
+        let report = run_backend(&backend, "scripted", &cfg).unwrap();
+        assert_eq!(report.epoch_skew(), 2, "each distinct drop counts once");
+        // Lock-wait plumbing rides the same OpResult: 6 ops × 3 ns.
+        assert_eq!(report.lock_wait_nanos(), 18);
+        assert_eq!(report.scaling_row().lock_wait_nanos, 18);
+    }
+
+    /// Lock-wait accounting on the real locked backend: a write-heavy
+    /// multi-worker run records acquisition waits and threads them through
+    /// `WorkerStats` into the scaling row.
+    #[test]
+    fn locked_backend_records_lock_waits() {
+        let data = testkit::chain_dataset(150);
+        let report = run(&factory, &data, &small_cfg(MixKind::WriteHeavy, 4)).unwrap();
+        assert_eq!(
+            report.lock_wait_nanos(),
+            report
+                .workers
+                .iter()
+                .map(|w| w.lock_wait_nanos)
+                .sum::<u64>()
+        );
+        assert_eq!(
+            report.scaling_row().lock_wait_nanos,
+            report.lock_wait_nanos()
+        );
+        // Four workers contending one RwLock: acquisition time is measured
+        // (it can be small, but a 240-op contended run never totals zero).
+        assert!(
+            report.lock_wait_nanos() > 0,
+            "contended run must record some lock wait"
+        );
     }
 
     /// A `GraphDb` whose writes panic after a countdown, leaving the shared

@@ -27,6 +27,7 @@ pub use gm_core as core;
 pub use gm_datasets as datasets;
 pub use gm_model as model;
 pub use gm_mvcc as mvcc;
+pub use gm_shard as shard;
 pub use gm_storage as storage;
 pub use gm_traversal as traversal;
 pub use gm_workload as workload;
@@ -49,6 +50,7 @@ pub mod engines {
 pub mod registry {
     use gm_model::GraphDb;
     use gm_mvcc::{CowCell, SnapshotMode, SnapshotSource};
+    use gm_shard::{ShardedDyn, ShardedGraph, ShardedSource};
 
     /// One engine variant under test.
     #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -179,6 +181,23 @@ pub mod registry {
                     Box::new(CowCell::new(engine_columnar::ColumnarGraph::v10()))
                 }
             }
+        }
+
+        /// Instantiate a fresh hash-partitioned composite of `shards` inner
+        /// engines of this kind, each behind its own lock (`gm-shard`).
+        /// With `shards == 1` the composite is bit-compatible with
+        /// [`EngineKind::make`]'s engine — the sharding equivalence suite's
+        /// baseline.
+        pub fn make_sharded(&self, shards: usize) -> ShardedDyn {
+            ShardedGraph::from_factory(shards, || self.make())
+        }
+
+        /// Instantiate a fresh snapshot-mode sharded composite: one MVCC
+        /// cell (per [`EngineKind::make_snapshot_source`]) per shard, so
+        /// writers to different shards never share a writer mutex and reads
+        /// pin composite epochs (min over shard epochs).
+        pub fn make_sharded_source(&self, shards: usize, mode: SnapshotMode) -> ShardedSource {
+            ShardedSource::from_factory(shards, || self.make_snapshot_source(mode))
         }
     }
 }
