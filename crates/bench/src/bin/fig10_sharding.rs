@@ -91,6 +91,7 @@ fn log_row(r: &RunReport) {
 }
 
 fn main() {
+    config::apply_obs_mode();
     if std::env::args().any(|a| a == "--smoke") {
         smoke();
         return;

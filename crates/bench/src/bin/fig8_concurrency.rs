@@ -115,6 +115,7 @@ fn sweep_smoke() -> Sweep {
 }
 
 fn main() {
+    config::apply_obs_mode();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let sweep = if smoke {
         sweep_smoke()

@@ -97,6 +97,7 @@ impl ServerSlot {
 }
 
 fn main() {
+    config::apply_obs_mode();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let sweep = if smoke {
         sweep_smoke()

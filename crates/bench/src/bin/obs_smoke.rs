@@ -1,0 +1,144 @@
+//! Observability smoke — the CI gate for the gm-obs layer.
+//!
+//! Two claims, both cheap enough to check on every push:
+//!
+//! 1. **`GM_OBS=phases` is honest.** A snapshot-mode workload populates the
+//!    per-phase columns (engine exec, snapshot pin, clone/publish), and on
+//!    a scan-heavy run — where per-op driver overhead is negligible against
+//!    the instrumented regions — the phase sum lands within 20% of the
+//!    end-to-end latency sum: the spans cover the op, and self-time
+//!    attribution never double-counts a nanosecond.
+//! 2. **`GM_OBS=off` costs nothing.** The same workload with observability
+//!    off reports zero for every span-fed phase column, and its best-of-3
+//!    throughput is no worse than 95% of the phases-mode best — the off
+//!    path resolves no metrics handles and reads no clocks.
+//!
+//! The binary drives the modes itself via `gm_obs::set_mode` (both run in
+//! one process), so `GM_OBS` in the environment is ignored here.
+
+use gm_core::summary;
+use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_obs::ObsMode;
+use gm_workload::{run_snapshot, MixKind, RunReport, WorkloadConfig};
+use graphmark::mvcc::{SnapshotMode, SnapshotSource};
+use graphmark::registry::EngineKind;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("[obs_smoke] FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn run_once(data: &gm_model::Dataset, mix: MixKind, ops: u64) -> RunReport {
+    let kind = EngineKind::LinkedV2;
+    let cfg = WorkloadConfig {
+        mix,
+        threads: 2,
+        ops_per_worker: ops,
+        seed: 42,
+        ..WorkloadConfig::default()
+    };
+    let factory =
+        move || -> Box<dyn SnapshotSource> { kind.make_snapshot_source(SnapshotMode::Cow) };
+    run_snapshot(&factory, data, &cfg).unwrap_or_else(|e| fail(&format!("{mix:?} run: {e}")))
+}
+
+fn main() {
+    let data = datasets::generate(DatasetId::Yeast, Scale::tiny(), 42);
+    eprintln!(
+        "[obs_smoke] dataset {} |V|={} |E|={}",
+        data.name,
+        data.vertex_count(),
+        data.edge_count()
+    );
+
+    // --- phases mode: the columns are populated -------------------------
+    gm_obs::set_mode(ObsMode::Phases);
+    let mixed = run_once(&data, MixKind::Mixed, 300);
+    let row = mixed.scaling_row();
+    if row.engine_exec_nanos == 0 {
+        fail("phases mode: engine_exec column is zero");
+    }
+    if row.snapshot_pin_nanos == 0 {
+        fail("phases mode: snapshot_pin column is zero on a snapshot run");
+    }
+    if row.clone_publish_nanos == 0 {
+        fail("phases mode: clone_publish column is zero on a mixed (writing) cow run");
+    }
+    let csv = summary::scaling_to_csv(std::slice::from_ref(&row));
+    for col in [
+        "lock_wait",
+        "engine_exec",
+        "snapshot_pin",
+        "clone_publish",
+        "wire",
+    ] {
+        if !csv.contains(col) {
+            fail(&format!("CSV export is missing the {col} phase column"));
+        }
+    }
+    eprintln!(
+        "[obs_smoke] phases: exec {}ns pin {}ns clone {}ns over {} ops — columns populated",
+        row.engine_exec_nanos, row.snapshot_pin_nanos, row.clone_publish_nanos, row.ops
+    );
+
+    // --- phases mode: the split is honest -------------------------------
+    // Scan-heavy ops spend nearly all their time inside the instrumented
+    // regions, so the phase sum must land within 20% of the end-to-end
+    // latency sum — and self-time attribution must keep it from exceeding
+    // the wall clock (10% slack for timer granularity).
+    let scans = run_once(&data, MixKind::ScanHeavy, 150);
+    let phase_sum = scans.phase_nanos().total() as f64;
+    let wall = scans.hist.sum_nanos() as f64;
+    let ratio = phase_sum / wall.max(1.0);
+    eprintln!(
+        "[obs_smoke] phases: phase sum {:.2}ms vs end-to-end {:.2}ms (ratio {ratio:.3})",
+        phase_sum / 1e6,
+        wall / 1e6
+    );
+    if ratio < 0.80 {
+        fail(&format!(
+            "phase sum covers only {:.0}% of end-to-end latency (want ≥80%)",
+            ratio * 100.0
+        ));
+    }
+    if ratio > 1.10 {
+        fail(&format!(
+            "phase sum exceeds end-to-end latency by {:.0}% — phases double-counted",
+            (ratio - 1.0) * 100.0
+        ));
+    }
+
+    // --- off mode: columns empty, throughput unharmed -------------------
+    let best = |label: &str| -> f64 {
+        (0..3)
+            .map(|i| {
+                let r = run_once(&data, MixKind::Mixed, 300);
+                eprintln!("[obs_smoke] {label} run {i}: {:>9.0} ops/s", r.throughput());
+                r.throughput()
+            })
+            .fold(0.0, f64::max)
+    };
+    let phases_tput = best("phases");
+    gm_obs::set_mode(ObsMode::Off);
+    let off = run_once(&data, MixKind::Mixed, 300);
+    let off_row = off.scaling_row();
+    if off_row.engine_exec_nanos != 0
+        || off_row.snapshot_pin_nanos != 0
+        || off_row.clone_publish_nanos != 0
+        || off_row.wire_encode_nanos != 0
+        || off_row.wire_io_nanos != 0
+    {
+        fail("off mode: span-fed phase columns must stay zero");
+    }
+    let off_tput = best("off");
+    if off_tput < 0.95 * phases_tput {
+        fail(&format!(
+            "off-mode throughput {off_tput:.0} ops/s fell below 95% of phases-mode \
+             {phases_tput:.0} ops/s — the off path must cost nothing"
+        ));
+    }
+    eprintln!(
+        "[obs_smoke] off: columns empty, best {off_tput:.0} ops/s vs phases best \
+         {phases_tput:.0} ops/s — PASS"
+    );
+}

@@ -102,6 +102,17 @@ pub const KNOBS: &[Knob] = &[
         default: "./data",
         doc: "export_datasets: output directory (positional arg wins)",
     },
+    Knob {
+        name: "GM_OBS",
+        default: "phases",
+        doc: "observability mode (off = legacy lock-wait only; counters = gm-obs registry; \
+              phases = counters + per-op phase spans in the fig8/fig9/fig10 tables and CSV)",
+    },
+    Knob {
+        name: "GM_STATS_INTERVAL_MS",
+        default: "0",
+        doc: "gm-server: log a one-line registry stats snapshot every N ms (0 = off)",
+    },
 ];
 
 /// Render the knob table (for `reproduce_all`'s header).
@@ -242,6 +253,26 @@ fn snapshot_mode_from(value: Option<&str>, default: Option<SnapshotMode>) -> Opt
     }
 }
 
+/// Apply the observability mode knob (`GM_OBS`) to the process-global
+/// gm-obs state. Every harness binary calls this first thing in `main`,
+/// before any metrics handle is resolved — handles cache the mode at
+/// construction.
+pub fn apply_obs_mode() {
+    gm_obs::set_mode(obs_mode_from(std::env::var("GM_OBS").ok().as_deref()));
+}
+
+/// Pure parsing core of [`apply_obs_mode`]: unset keeps the default
+/// (`phases`); garbage warns and keeps the default.
+fn obs_mode_from(value: Option<&str>) -> gm_obs::ObsMode {
+    match value {
+        None => gm_obs::ObsMode::Phases,
+        Some(s) => gm_obs::ObsMode::parse(s).unwrap_or_else(|| {
+            warn_ignored("GM_OBS", s, "off/counters/phases");
+            gm_obs::ObsMode::Phases
+        }),
+    }
+}
+
 /// The engine filter (`GM_ENGINES`; unset = all variants).
 pub fn var_engines() -> Vec<EngineKind> {
     match std::env::var("GM_ENGINES") {
@@ -326,6 +357,18 @@ mod tests {
     }
 
     #[test]
+    fn obs_mode_knob() {
+        use gm_obs::ObsMode;
+        // Pure core only — the real GM_OBS is process-global state shared
+        // with other tests.
+        assert_eq!(obs_mode_from(None), ObsMode::Phases);
+        assert_eq!(obs_mode_from(Some("off")), ObsMode::Off);
+        assert_eq!(obs_mode_from(Some("counters")), ObsMode::Counters);
+        assert_eq!(obs_mode_from(Some("phases")), ObsMode::Phases);
+        assert_eq!(obs_mode_from(Some("bogus")), ObsMode::Phases);
+    }
+
+    #[test]
     fn knob_registry_covers_the_documented_set() {
         for required in [
             "GM_SCALE",
@@ -334,6 +377,8 @@ mod tests {
             "GM_SERVER_ADDR",
             "GM_NET_CLIENTS",
             "GM_SNAPSHOT_MODE",
+            "GM_OBS",
+            "GM_STATS_INTERVAL_MS",
         ] {
             assert!(
                 KNOBS.iter().any(|k| k.name == required),

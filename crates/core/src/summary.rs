@@ -218,6 +218,25 @@ pub struct ScalingRow {
     /// is how "writers to different shards don't serialize" becomes a
     /// measured number instead of a claim.
     pub lock_wait_nanos: u64,
+    /// Total nanoseconds completed ops spent **executing** against the
+    /// engine (the `engine_exec` phase: query evaluation itself, excluding
+    /// nested lock waits and snapshot machinery). Populated when the run
+    /// was observed under `GM_OBS=phases`; 0 otherwise.
+    pub engine_exec_nanos: u64,
+    /// Total nanoseconds spent **pinning** MVCC snapshot epochs (the
+    /// `snapshot_pin` phase). 0 for locked-mode runs and under `GM_OBS=off`.
+    pub snapshot_pin_nanos: u64,
+    /// Total nanoseconds spent **cloning/freezing** the live engine to
+    /// publish an epoch (the `clone_publish` phase — the cost of
+    /// copy-on-write isolation, paid by the writer that triggers it).
+    pub clone_publish_nanos: u64,
+    /// Total nanoseconds spent **serializing** request/response frames
+    /// (the `wire_encode` phase; client-side for remote runs).
+    pub wire_encode_nanos: u64,
+    /// Total nanoseconds spent in **socket round trips** (the `wire_io`
+    /// phase). For remote runs this is client-observed wire time minus the
+    /// server-reported execution phases shipped back in `ExecDone`.
+    pub wire_io_nanos: u64,
     /// Configured open-loop arrival rate (`None` for closed-loop runs, where
     /// the offered rate *is* the achieved rate by construction).
     pub offered_ops_per_sec: Option<f64>,
@@ -270,6 +289,41 @@ impl ScalingRow {
     pub fn lock_wait_per_op(&self) -> u64 {
         self.lock_wait_nanos.checked_div(self.ops).unwrap_or(0)
     }
+
+    /// Mean engine-execution time per completed op, in nanoseconds.
+    pub fn exec_per_op(&self) -> u64 {
+        self.engine_exec_nanos.checked_div(self.ops).unwrap_or(0)
+    }
+
+    /// Mean snapshot machinery time per completed op (pin + clone/publish),
+    /// in nanoseconds.
+    pub fn snapshot_per_op(&self) -> u64 {
+        self.snapshot_pin_nanos
+            .saturating_add(self.clone_publish_nanos)
+            .checked_div(self.ops)
+            .unwrap_or(0)
+    }
+
+    /// Mean wire time per completed op (encode + socket I/O), in
+    /// nanoseconds. 0 for in-process runs.
+    pub fn wire_per_op(&self) -> u64 {
+        self.wire_encode_nanos
+            .saturating_add(self.wire_io_nanos)
+            .checked_div(self.ops)
+            .unwrap_or(0)
+    }
+
+    /// Sum of every attributed phase (lock wait, engine exec, snapshot
+    /// pin/clone, wire), in nanoseconds — what the observability smoke
+    /// compares against the end-to-end latency sum.
+    pub fn phase_total_nanos(&self) -> u64 {
+        self.lock_wait_nanos
+            .saturating_add(self.engine_exec_nanos)
+            .saturating_add(self.snapshot_pin_nanos)
+            .saturating_add(self.clone_publish_nanos)
+            .saturating_add(self.wire_encode_nanos)
+            .saturating_add(self.wire_io_nanos)
+    }
 }
 
 /// Human-friendly nanosecond formatting, shared by every latency renderer
@@ -300,7 +354,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
     keys.dedup();
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<36} {:>7} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5}\n",
+        "{:<36} {:>7} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5} {:>9} {:>9} {:>9}\n",
         "engine/mix@isolation",
         "threads",
         "offered/s",
@@ -314,9 +368,12 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
         "lockw/op",
         "errors",
         "shed",
-        "skew"
+        "skew",
+        "exec/op",
+        "snap/op",
+        "wire/op"
     ));
-    out.push_str(&"-".repeat(168));
+    out.push_str(&"-".repeat(198));
     out.push('\n');
     for (engine, mix, isolation) in &keys {
         let mut group: Vec<&ScalingRow> = rows
@@ -343,7 +400,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
                 None => "-".to_string(),
             };
             out.push_str(&format!(
-                "{:<36} {:>7} {:>12} {:>12.0} {:>12.0} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5}\n",
+                "{:<36} {:>7} {:>12} {:>12.0} {:>12.0} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5} {:>9} {:>9} {:>9}\n",
                 format!("{engine}/{mix}@{isolation}"),
                 r.threads,
                 offered,
@@ -357,7 +414,10 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
                 format_nanos(r.lock_wait_per_op()),
                 r.errors,
                 r.shed,
-                r.epoch_skew
+                r.epoch_skew,
+                format_nanos(r.exec_per_op()),
+                format_nanos(r.snapshot_per_op()),
+                format_nanos(r.wire_per_op())
             ));
         }
     }
@@ -366,8 +426,10 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
 
 /// Render the sweep as CSV (machine-readable companion).
 pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
+    // The phase columns ride at the end so older consumers keyed on column
+    // prefixes keep parsing.
     let mut out = String::from(
-        "engine,mix,isolation,threads,ops,read_ops,errors,shed,epoch_skew,lock_wait_ms,wall_millis,offered_ops_s,throughput_ops_s,read_ops_s,p50_us,p95_us,p99_us,max_us\n",
+        "engine,mix,isolation,threads,ops,read_ops,errors,shed,epoch_skew,lock_wait_ms,wall_millis,offered_ops_s,throughput_ops_s,read_ops_s,p50_us,p95_us,p99_us,max_us,engine_exec_ms,snapshot_pin_ms,clone_publish_ms,wire_encode_ms,wire_io_ms\n",
     );
     for r in rows {
         let offered = match r.offered_ops_per_sec {
@@ -375,7 +437,7 @@ pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
             None => String::new(),
         };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{:.1},{:.1},{:.3},{:.3},{:.3},{:.3}\n",
+            "{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{:.1},{:.1},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
             r.engine,
             r.mix,
             r.isolation,
@@ -394,6 +456,11 @@ pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
             r.p95_nanos as f64 / 1e3,
             r.p99_nanos as f64 / 1e3,
             r.max_nanos as f64 / 1e3,
+            r.engine_exec_nanos as f64 / 1e6,
+            r.snapshot_pin_nanos as f64 / 1e6,
+            r.clone_publish_nanos as f64 / 1e6,
+            r.wire_encode_nanos as f64 / 1e6,
+            r.wire_io_nanos as f64 / 1e6,
         ));
     }
     out
@@ -479,6 +546,11 @@ mod tests {
             shed: 0,
             epoch_skew: 0,
             lock_wait_nanos: 0,
+            engine_exec_nanos: 0,
+            snapshot_pin_nanos: 0,
+            clone_publish_nanos: 0,
+            wire_encode_nanos: 0,
+            wire_io_nanos: 0,
             offered_ops_per_sec: None,
             wall_nanos: wall_ms * 1_000_000,
             p50_nanos: 1_000,
@@ -530,6 +602,42 @@ mod tests {
         let mut empty = srow("x", 1, 0, 1);
         empty.lock_wait_nanos = 5;
         assert_eq!(empty.lock_wait_per_op(), 0);
+    }
+
+    #[test]
+    fn scaling_reports_phase_breakdown() {
+        let mut row = srow("linked(v1)", 4, 1_000, 100);
+        row.lock_wait_nanos = 1_000_000;
+        row.engine_exec_nanos = 4_000_000; // 4 µs/op
+        row.snapshot_pin_nanos = 1_000_000;
+        row.clone_publish_nanos = 1_000_000; // pin+clone = 2 µs/op
+        row.wire_encode_nanos = 2_000_000;
+        row.wire_io_nanos = 1_000_000; // wire = 3 µs/op
+        assert_eq!(row.exec_per_op(), 4_000);
+        assert_eq!(row.snapshot_per_op(), 2_000);
+        assert_eq!(row.wire_per_op(), 3_000);
+        assert_eq!(row.phase_total_nanos(), 10_000_000);
+        let text = render_scaling(&[row.clone()]);
+        for col in ["exec/op", "snap/op", "wire/op"] {
+            assert!(text.contains(col), "missing column {col}:\n{text}");
+        }
+        assert!(text.contains("4.0µs"), "exec/op rendered:\n{text}");
+        assert!(text.contains("3.0µs"), "wire/op rendered:\n{text}");
+        let csv = scaling_to_csv(&[row]);
+        let header = csv.lines().next().unwrap();
+        assert!(
+            header.ends_with(
+                "engine_exec_ms,snapshot_pin_ms,clone_publish_ms,wire_encode_ms,wire_io_ms"
+            ),
+            "phase columns ride at the end: {header}"
+        );
+        assert!(
+            csv.lines()
+                .nth(1)
+                .unwrap()
+                .ends_with("4.000,1.000,1.000,2.000,1.000"),
+            "{csv}"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Per-thread lock-wait accounting.
+//! Per-thread lock-wait accounting (shim over the `gm-obs` phase spans).
 //!
 //! The concurrency harness wants to know *why* a workload stops scaling:
 //! time spent executing ops, or time spent queueing on engine locks. Lock
@@ -7,43 +7,48 @@
 //! per-partition locks — so the accounting lives here, at the bottom of the
 //! stack, as a thread-local accumulator every layer can add to.
 //!
-//! Protocol: a measured session calls [`reset`] before executing one op and
-//! [`take`] after it; every lock acquisition on the op's path runs through
-//! [`timed`] (or calls [`add`] with a measured wait). Because each workload
-//! worker runs its ops on its own thread, the taken value attributes waits
-//! exactly to the op that paid them. Code outside a measured region may
-//! still accumulate waits; they are discarded by the next `reset`.
+//! Since the gm-obs PR this module is a thin compatibility shim: the
+//! accumulator is `gm_obs::phase`'s `lock_wait` slot, one of six per-op
+//! phases. Existing call sites keep their API; new code should use the
+//! phase spans directly. Lock-wait stays live in **every** `GM_OBS` mode —
+//! it predates the knob and the fig8/fig10 lock-wait columns must not
+//! change meaning under `GM_OBS=off`.
+//!
+//! Protocol: a measured session calls [`gm_obs::phase::reset_op`] (or the
+//! narrower [`reset`]) before executing one op and [`take`] after it; every
+//! lock acquisition on the op's path runs through [`timed`] (or calls
+//! [`add`] with a measured wait). Because each workload worker runs its ops
+//! on its own thread, the taken value attributes waits exactly to the op
+//! that paid them. Resetting happens on op *entry*, so residue left behind
+//! by a panicking or aborted op can never leak into the next op scheduled
+//! on the same thread.
 
-use std::cell::Cell;
-use std::time::Instant;
-
-thread_local! {
-    static WAITED_NANOS: Cell<u64> = const { Cell::new(0) };
-}
+use gm_obs::phase::{self, Phase};
 
 /// Add `nanos` of measured lock wait to this thread's accumulator.
 pub fn add(nanos: u64) {
-    WAITED_NANOS.with(|w| w.set(w.get().saturating_add(nanos)));
+    phase::add(Phase::LockWait, nanos);
 }
 
-/// Zero this thread's accumulator (start of a measured op).
+/// Zero this thread's lock-wait accumulator (start of a measured op).
+/// Measured sessions should prefer [`gm_obs::phase::reset_op`], which also
+/// clears the other phase slots and any stale span frames.
 pub fn reset() {
-    WAITED_NANOS.with(|w| w.set(0));
+    phase::reset(Phase::LockWait);
 }
 
 /// Return and zero this thread's accumulator (end of a measured op).
 pub fn take() -> u64 {
-    WAITED_NANOS.with(|w| w.replace(0))
+    phase::take(Phase::LockWait)
 }
 
 /// Run a lock acquisition, adding its duration to the accumulator. Wrap
 /// only the *acquisition* (e.g. `lockwait::timed(|| lock.read())`), never
 /// the critical section itself — the metric is queueing, not hold time.
+/// Under `GM_OBS=phases` the wait participates in the span stack, so an
+/// enclosing `engine_exec` span reports self time without the wait.
 pub fn timed<R>(acquire: impl FnOnce() -> R) -> R {
-    let t = Instant::now();
-    let out = acquire();
-    add(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-    out
+    phase::timed(Phase::LockWait, acquire)
 }
 
 #[cfg(test)]
@@ -83,5 +88,15 @@ mod tests {
         .unwrap();
         assert_eq!(other, 9);
         assert_eq!(take(), 3, "another thread's waits never leak over");
+    }
+
+    #[test]
+    fn reset_op_clears_residue_from_an_aborted_op() {
+        // Regression for the staleness bug: an op that accumulates wait and
+        // then unwinds (panic / poisoned-lock abort) without `take`-ing
+        // leaves residue behind. The next op's entry reset must discard it.
+        add(1_000_000);
+        gm_obs::phase::reset_op();
+        assert_eq!(take(), 0, "stale wait must not leak into the next op");
     }
 }

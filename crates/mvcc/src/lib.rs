@@ -32,6 +32,7 @@
 //! never holds that mutex — it pins an `Arc` and gets out of the way.
 //! (`SegVec` lives in `gm_storage::segvec`.)
 
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -39,6 +40,7 @@ use gm_model::api::{
     Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, SpaceReport, VertexData,
 };
 use gm_model::{lockwait, Eid, GdbError, GdbResult, QueryCtx, Value, Vid};
+use gm_obs::{phase, Counter, Gauge, Histo, Phase};
 
 /// Which snapshot implementation a harness should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -147,6 +149,11 @@ pub trait SnapshotSource: Send + Sync {
 struct SnapView<E> {
     epoch: u64,
     graph: Arc<E>,
+    /// Live-pin bookkeeping handle; `None` on the published (cell-owned)
+    /// view and whenever `GM_OBS=off`. Shared by clones of a pinned view:
+    /// the snapshot counts as one pin however often it is cloned, released
+    /// when the last clone drops.
+    pin: Option<Arc<PinGuard>>,
 }
 
 impl<E> Clone for SnapView<E> {
@@ -154,6 +161,7 @@ impl<E> Clone for SnapView<E> {
         SnapView {
             epoch: self.epoch,
             graph: Arc::clone(&self.graph),
+            pin: self.pin.clone(),
         }
     }
 }
@@ -306,6 +314,169 @@ fn poisoned(which: &str) -> GdbError {
     ))
 }
 
+// ----- observability -------------------------------------------------------
+
+/// Live-pin bookkeeping for one cell: which epochs are still held by
+/// outstanding [`GraphSnapshot`] views, since when, and how many bytes each
+/// retains. This is the "snapshot GC" view — epochs a writer can no longer
+/// reclaim because a reader still holds them. Tracking takes a short mutex
+/// on pin/unpin, so it only runs under `GM_OBS=counters|phases`; with
+/// `GM_OBS=off` the pin path stays an `Arc` clone.
+///
+/// Byte accounting is per retained epoch and deliberately ignores structural
+/// sharing between epochs (cheap-clone engines share closed segments), so
+/// the gauge is an upper bound on what live pins keep alive.
+struct PinTable {
+    origin: Instant,
+    epochs: Mutex<BTreeMap<u64, EpochPins>>,
+    live_pins: Gauge,
+    retained_epochs: Gauge,
+    oldest_pin_age_us: Gauge,
+    retained_bytes: Gauge,
+}
+
+struct EpochPins {
+    pins: u64,
+    bytes: u64,
+    first_pin_micros: u64,
+}
+
+impl PinTable {
+    fn new(g: &gm_obs::Registry, kind: &str) -> PinTable {
+        PinTable {
+            origin: Instant::now(),
+            epochs: Mutex::new(BTreeMap::new()),
+            live_pins: g.gauge(&format!("mvcc.{kind}.live_pins")),
+            retained_epochs: g.gauge(&format!("mvcc.{kind}.retained_epochs")),
+            oldest_pin_age_us: g.gauge(&format!("mvcc.{kind}.oldest_pin_age_us")),
+            retained_bytes: g.gauge(&format!("mvcc.{kind}.retained_bytes")),
+        }
+    }
+
+    fn pin(self: &Arc<Self>, epoch: u64, bytes: u64) -> Arc<PinGuard> {
+        let now = self.origin.elapsed().as_micros() as u64;
+        let mut map = self.epochs.lock().expect("pin table lock");
+        let entry = map.entry(epoch).or_insert(EpochPins {
+            pins: 0,
+            bytes,
+            first_pin_micros: now,
+        });
+        entry.pins += 1;
+        self.refresh(&map, now);
+        drop(map);
+        Arc::new(PinGuard {
+            table: Arc::clone(self),
+            epoch,
+        })
+    }
+
+    fn unpin(&self, epoch: u64) {
+        let now = self.origin.elapsed().as_micros() as u64;
+        let mut map = self.epochs.lock().expect("pin table lock");
+        if let Some(entry) = map.get_mut(&epoch) {
+            entry.pins -= 1;
+            if entry.pins == 0 {
+                map.remove(&epoch);
+            }
+        }
+        self.refresh(&map, now);
+    }
+
+    /// Recompute the gauges from the table (caller holds the lock). Gauges
+    /// are event-driven: they hold the state as of the last pin/unpin, which
+    /// under any live workload is effectively current.
+    fn refresh(&self, map: &BTreeMap<u64, EpochPins>, now_micros: u64) {
+        self.live_pins
+            .set(map.values().map(|e| e.pins).sum::<u64>() as i64);
+        self.retained_epochs.set(map.len() as i64);
+        self.retained_bytes
+            .set(map.values().map(|e| e.bytes).sum::<u64>() as i64);
+        let oldest = map
+            .values()
+            .map(|e| now_micros.saturating_sub(e.first_pin_micros))
+            .max()
+            .unwrap_or(0);
+        self.oldest_pin_age_us.set(oldest as i64);
+    }
+}
+
+/// Drop guard carried by a pinned view; the last clone of a snapshot
+/// releases the epoch in the cell's [`PinTable`].
+struct PinGuard {
+    table: Arc<PinTable>,
+    epoch: u64,
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        self.table.unpin(self.epoch);
+    }
+}
+
+/// Registry handles for one snapshot cell, resolved once at construction so
+/// the hot path never touches the registry's name map. Only built when
+/// `GM_OBS` is `counters` or `phases` at cell-construction time; cells of
+/// the same kind share metric names and therefore aggregate.
+struct CellMetrics {
+    pins: Counter,
+    /// Pins that deliberately returned a stale epoch (group commit deferred
+    /// the publish) — the epoch-lag side of `snapshot_recent`.
+    stale_pins: Counter,
+    publishes: Counter,
+    /// Duration of the whole-graph (cow) / open-tail (native) clone.
+    clone_nanos: Histo,
+    /// Writes batched into each publish — the epoch group-commit size.
+    commit_batch: Histo,
+    /// Epoch of the most recently published snapshot.
+    epoch: Gauge,
+    pin_table: Arc<PinTable>,
+    /// Writes since the last publish (drained into `commit_batch`).
+    pending_writes: AtomicU64,
+    /// `space()` total of the currently published graph, attached to pins.
+    published_bytes: AtomicU64,
+}
+
+impl CellMetrics {
+    fn new(kind: &str) -> Option<CellMetrics> {
+        if !gm_obs::counters_on() {
+            return None;
+        }
+        let g = gm_obs::global();
+        Some(CellMetrics {
+            pins: g.counter(&format!("mvcc.{kind}.pins")),
+            stale_pins: g.counter(&format!("mvcc.{kind}.stale_pins")),
+            publishes: g.counter(&format!("mvcc.{kind}.publishes")),
+            clone_nanos: g.histogram(&format!("mvcc.{kind}.clone_nanos")),
+            commit_batch: g.histogram(&format!("mvcc.{kind}.commit_batch")),
+            epoch: g.gauge(&format!("mvcc.{kind}.epoch")),
+            pin_table: Arc::new(PinTable::new(g, kind)),
+            pending_writes: AtomicU64::new(0),
+            published_bytes: AtomicU64::new(0),
+        })
+    }
+
+    fn on_write(&self) {
+        self.pending_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a publish: the new epoch, how many writes it batched, and the
+    /// published graph's space total (what a pin of this epoch retains).
+    fn on_publish(&self, epoch: u64, graph: &dyn GraphSnapshot) {
+        self.publishes.inc();
+        self.epoch.set(epoch as i64);
+        self.commit_batch
+            .record(self.pending_writes.swap(0, Ordering::Relaxed));
+        self.published_bytes
+            .store(graph.space().total(), Ordering::Relaxed);
+    }
+
+    fn on_pin(&self, epoch: u64) -> Arc<PinGuard> {
+        self.pins.inc();
+        self.pin_table
+            .pin(epoch, self.published_bytes.load(Ordering::Relaxed))
+    }
+}
+
 // ----- shared cell plumbing ------------------------------------------------
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -376,6 +547,7 @@ pub struct CowCell<E: GraphDb + Clone> {
     working: Mutex<Option<E>>,
     published: RwLock<SnapView<E>>,
     dirty: DirtyClock,
+    metrics: Option<CellMetrics>,
 }
 
 impl<E: GraphDb + Clone + 'static> CowCell<E> {
@@ -388,12 +560,15 @@ impl<E: GraphDb + Clone + 'static> CowCell<E> {
             published: RwLock::new(SnapView {
                 epoch: 0,
                 graph: Arc::new(engine),
+                pin: None,
             }),
             dirty: DirtyClock::new(),
+            metrics: CellMetrics::new("cow"),
         }
     }
 
     fn publish_pending(&self) -> GdbResult<()> {
+        let _span = phase::span(Phase::ClonePublish);
         let mut working =
             lockwait::timed(|| self.working.lock()).map_err(|_| poisoned("cow writer"))?;
         if let Some(pending) = working.take() {
@@ -402,16 +577,21 @@ impl<E: GraphDb + Clone + 'static> CowCell<E> {
             published.epoch += 1;
             published.graph = Arc::new(pending);
             self.dirty.clear();
+            if let Some(m) = &self.metrics {
+                m.on_publish(published.epoch, &*published.graph);
+            }
         }
         Ok(())
     }
 
     fn pinned(&self) -> GdbResult<Box<dyn GraphSnapshot>> {
-        Ok(Box::new(
-            lockwait::timed(|| self.published.read())
-                .map_err(|_| poisoned("cow published"))?
-                .clone(),
-        ))
+        let mut view = lockwait::timed(|| self.published.read())
+            .map_err(|_| poisoned("cow published"))?
+            .clone();
+        if let Some(m) = &self.metrics {
+            view.pin = Some(m.on_pin(view.epoch));
+        }
+        Ok(Box::new(view))
     }
 }
 
@@ -442,6 +622,10 @@ impl<E: GraphDb + Clone + 'static> SnapshotSource for CowCell<E> {
         // no matter how hot the pin-per-read path runs.
         if self.dirty.dirty_past(max_staleness) {
             self.publish_pending()?;
+        } else if self.dirty.is_dirty() {
+            if let Some(m) = &self.metrics {
+                m.stale_pins.inc();
+            }
         }
         self.pinned()
     }
@@ -460,7 +644,15 @@ impl<E: GraphDb + Clone + 'static> SnapshotSource for CowCell<E> {
                     .graph,
             );
             self.dirty.mark_dirty();
+            let _span = phase::span(Phase::ClonePublish);
+            let t0 = self.metrics.as_ref().map(|_| Instant::now());
             *working = Some((*base).clone());
+            if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+                m.clone_nanos.record(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.on_write();
         }
         f(working.as_mut().expect("just inserted"))
     }
@@ -487,6 +679,7 @@ pub struct FreezeCell<E: GraphDb + Clone> {
     /// in the dirty clock.
     published: RwLock<SnapView<E>>,
     dirty: DirtyClock,
+    metrics: Option<CellMetrics>,
 }
 
 impl<E: GraphDb + Clone + 'static> FreezeCell<E> {
@@ -499,31 +692,43 @@ impl<E: GraphDb + Clone + 'static> FreezeCell<E> {
             published: RwLock::new(SnapView {
                 epoch: 0,
                 graph: frozen,
+                pin: None,
             }),
             dirty: DirtyClock::new(),
+            metrics: CellMetrics::new("native"),
         }
     }
 
     fn refreeze(&self) -> GdbResult<()> {
+        let _span = phase::span(Phase::ClonePublish);
         let live = lockwait::timed(|| self.live.lock()).map_err(|_| poisoned("freeze writer"))?;
         if !self.dirty.is_dirty() {
             return Ok(()); // another pin refroze while we waited
         }
+        let t0 = self.metrics.as_ref().map(|_| Instant::now());
         let frozen = Arc::new(live.clone());
+        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+            m.clone_nanos.record(t0.elapsed().as_nanos() as u64);
+        }
         let mut published =
             lockwait::timed(|| self.published.write()).map_err(|_| poisoned("freeze published"))?;
         published.epoch += 1;
         published.graph = frozen;
         self.dirty.clear();
+        if let Some(m) = &self.metrics {
+            m.on_publish(published.epoch, &*published.graph);
+        }
         Ok(())
     }
 
     fn pinned(&self) -> GdbResult<Box<dyn GraphSnapshot>> {
-        Ok(Box::new(
-            lockwait::timed(|| self.published.read())
-                .map_err(|_| poisoned("freeze published"))?
-                .clone(),
-        ))
+        let mut view = lockwait::timed(|| self.published.read())
+            .map_err(|_| poisoned("freeze published"))?
+            .clone();
+        if let Some(m) = &self.metrics {
+            view.pin = Some(m.on_pin(view.epoch));
+        }
+        Ok(Box::new(view))
     }
 }
 
@@ -553,6 +758,10 @@ impl<E: GraphDb + Clone + 'static> SnapshotSource for FreezeCell<E> {
         // freeze clone is rate-limited under pin-per-read workloads.
         if self.dirty.dirty_past(max_staleness) {
             self.refreeze()?;
+        } else if self.dirty.is_dirty() {
+            if let Some(m) = &self.metrics {
+                m.stale_pins.inc();
+            }
         }
         self.pinned()
     }
@@ -565,6 +774,9 @@ impl<E: GraphDb + Clone + 'static> SnapshotSource for FreezeCell<E> {
         // stream cannot starve publishes by forever refreshing the stamp.
         if !self.dirty.is_dirty() {
             self.dirty.mark_dirty();
+        }
+        if let Some(m) = &self.metrics {
+            m.on_write();
         }
         f(&mut *live)
     }
@@ -706,6 +918,67 @@ mod tests {
         assert_eq!(SnapshotMode::parse("bogus"), None);
         assert_eq!(SnapshotMode::Cow.name(), "cow");
         assert_eq!(SnapshotMode::Native.name(), "native");
+    }
+
+    /// The snapshot-GC pin table: live pins, retained epochs, retained
+    /// bytes, and oldest-pin age tracked through pin/unpin against a
+    /// private registry (the global one is shared across parallel tests).
+    #[test]
+    fn pin_table_tracks_retained_epochs_and_bytes() {
+        let reg = gm_obs::Registry::new();
+        let table = Arc::new(PinTable::new(&reg, "test"));
+        let a = table.pin(3, 1_000);
+        let b = table.pin(3, 1_000);
+        let c = table.pin(4, 1_400);
+        assert_eq!(reg.gauge("mvcc.test.live_pins").get(), 3);
+        assert_eq!(reg.gauge("mvcc.test.retained_epochs").get(), 2);
+        assert_eq!(reg.gauge("mvcc.test.retained_bytes").get(), 2_400);
+        drop(a);
+        assert_eq!(
+            reg.gauge("mvcc.test.live_pins").get(),
+            2,
+            "epoch 3 still pinned once"
+        );
+        assert_eq!(reg.gauge("mvcc.test.retained_epochs").get(), 2);
+        drop(b);
+        assert_eq!(
+            reg.gauge("mvcc.test.retained_epochs").get(),
+            1,
+            "epoch 3 released"
+        );
+        assert_eq!(reg.gauge("mvcc.test.retained_bytes").get(), 1_400);
+        drop(c);
+        assert_eq!(reg.gauge("mvcc.test.live_pins").get(), 0);
+        assert_eq!(reg.gauge("mvcc.test.retained_epochs").get(), 0);
+        assert_eq!(reg.gauge("mvcc.test.retained_bytes").get(), 0);
+        assert_eq!(reg.gauge("mvcc.test.oldest_pin_age_us").get(), 0);
+    }
+
+    /// Cells export pin/publish counters into the global registry (default
+    /// mode is `phases`, so counters are live). Counters are monotone and
+    /// shared across tests, so assert on before/after deltas.
+    #[test]
+    fn cells_export_pin_and_publish_counters() {
+        let snap_before = gm_obs::global().snapshot();
+        let cell = loaded_cell(20);
+        let s1 = cell.snapshot().unwrap();
+        let s2 = cell.snapshot().unwrap();
+        cell.with_write(&mut |db| db.add_vertex("n", &vec![]).map(|_| 1))
+            .unwrap();
+        let s3 = cell.snapshot().unwrap();
+        drop((s1, s2, s3));
+        let snap_after = gm_obs::global().snapshot();
+        assert!(
+            snap_after.counter("mvcc.cow.pins") >= snap_before.counter("mvcc.cow.pins") + 3,
+            "three pins must be counted"
+        );
+        assert!(
+            snap_after.counter("mvcc.cow.publishes")
+                >= snap_before.counter("mvcc.cow.publishes") + 2,
+            "bulk load + added vertex both published"
+        );
+        let clones = snap_after.hist("mvcc.cow.clone_nanos").unwrap();
+        assert!(clones.count >= 1, "clone-on-first-write must be timed");
     }
 
     #[test]

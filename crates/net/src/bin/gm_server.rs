@@ -31,11 +31,88 @@
 //! on different shards do not serialize); in snapshot mode each shard gets
 //! its own MVCC cell and reads pin composite epochs.
 
+use std::time::{Duration, Instant};
+
 use graphmark::mvcc::SnapshotMode;
 use graphmark::registry::EngineKind;
 
 use gm_model::SharedGraph;
 use gm_net::Server;
+use gm_obs::{ObsMode, RegistrySnapshot};
+
+/// One line of live server stats: interval throughput and p99 from the
+/// `net.*` metrics, snapshot-GC pressure from the `mvcc.*` gauges, and
+/// shard balance (max/min interval ops across `shard.{i}.ops`).
+fn stats_line(prev: &RegistrySnapshot, cur: &RegistrySnapshot, dt: f64) -> String {
+    let ops = cur
+        .counter("net.ops")
+        .saturating_sub(prev.counter("net.ops"));
+    // Interval p99: the cumulative histogram counters are monotone, so the
+    // element-wise delta is the interval's own histogram.
+    let p99 = match cur.hist("net.op_nanos") {
+        None => 0,
+        Some(h) => {
+            let mut d = h.clone();
+            if let Some(p) = prev.hist("net.op_nanos") {
+                for (a, b) in d.counts.iter_mut().zip(p.counts.iter()) {
+                    *a -= b;
+                }
+                d.count -= p.count;
+                d.sum = d.sum.saturating_sub(p.sum);
+            }
+            d.p99()
+        }
+    };
+    let mut line = format!(
+        "ops/s {:.0}  p99 {:.1}ms",
+        ops as f64 / dt,
+        p99 as f64 / 1e6
+    );
+    for kind in ["cow", "native"] {
+        let retained = cur.gauge(&format!("mvcc.{kind}.retained_epochs"));
+        if retained > 0 {
+            line.push_str(&format!(
+                "  {kind}: {retained} epochs pinned, oldest {:.1}ms",
+                cur.gauge(&format!("mvcc.{kind}.oldest_pin_age_us")) as f64 / 1e3
+            ));
+        }
+    }
+    let mut per_shard: Vec<u64> = cur
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("shard.") && n.ends_with(".ops"))
+        .map(|(n, v)| v.saturating_sub(prev.counter(n)))
+        .collect();
+    if per_shard.len() > 1 {
+        per_shard.sort_unstable();
+        line.push_str(&format!(
+            "  shards: min/max ops {}/{}",
+            per_shard.first().unwrap(),
+            per_shard.last().unwrap()
+        ));
+    }
+    line
+}
+
+/// Summarize snapshot-GC state for the shutdown banner.
+fn gc_summary(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for kind in ["cow", "native"] {
+        let pins = snap.counter(&format!("mvcc.{kind}.pins"));
+        if pins == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "\n[gm-server]   {kind}: {pins} pins ({} stale), {} publishes, \
+             {} epochs / {} bytes still retained by live pins",
+            snap.counter(&format!("mvcc.{kind}.stale_pins")),
+            snap.counter(&format!("mvcc.{kind}.publishes")),
+            snap.gauge(&format!("mvcc.{kind}.retained_epochs")),
+            snap.gauge(&format!("mvcc.{kind}.retained_bytes")),
+        ));
+    }
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,8 +125,31 @@ fn main() {
         eprintln!("  env: GM_SERVER_ADDR (default 127.0.0.1:7687)");
         eprintln!("       GM_SNAPSHOT_MODE (off|cow|native; default off = shared lock)");
         eprintln!("       GM_SHARDS (default 1; >1 hosts a gm-shard composite)");
+        eprintln!("       GM_OBS (off|counters|phases; default phases)");
+        eprintln!("       GM_STATS_INTERVAL_MS (default 0 = no periodic stats line)");
         std::process::exit(0);
     }
+
+    if let Ok(s) = std::env::var("GM_OBS") {
+        match ObsMode::parse(&s) {
+            Some(mode) => gm_obs::set_mode(mode),
+            None => {
+                eprintln!("[gm-server] unknown GM_OBS {s:?} (want off|counters|phases)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let stats_interval: u64 = match std::env::var("GM_STATS_INTERVAL_MS") {
+        Err(_) => 0,
+        Ok(s) => match s.trim().parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("[gm-server] invalid GM_STATS_INTERVAL_MS {s:?} (want milliseconds)");
+                std::process::exit(2);
+            }
+        },
+    };
 
     let kind = match args.first() {
         None => EngineKind::LinkedV2,
@@ -130,11 +230,45 @@ fn main() {
     };
     match server.local_addr() {
         Ok(bound) => eprintln!(
-            "[gm-server] hosting {hosted} ({}) on {bound} — protocol v{}, {isolation} reads",
+            "[gm-server] hosting {hosted} ({}) on {bound} — protocol v{}, {isolation} reads, \
+             obs {}",
             kind.emulates(),
-            gm_net::PROTO_VERSION
+            gm_net::PROTO_VERSION,
+            gm_obs::mode().name()
         ),
         Err(e) => eprintln!("[gm-server] hosting {hosted} ({e})"),
     }
+
+    if stats_interval > 0 {
+        if gm_obs::counters_on() {
+            let interval = Duration::from_millis(stats_interval);
+            std::thread::spawn(move || {
+                let mut prev = gm_obs::global().snapshot();
+                let mut prev_at = Instant::now();
+                loop {
+                    std::thread::sleep(interval);
+                    let cur = gm_obs::global().snapshot();
+                    let dt = prev_at.elapsed().as_secs_f64().max(1e-9);
+                    eprintln!("[gm-server] {}", stats_line(&prev, &cur, dt));
+                    prev = cur;
+                    prev_at = Instant::now();
+                }
+            });
+        } else {
+            eprintln!("[gm-server] GM_STATS_INTERVAL_MS set but GM_OBS=off: no stats to log");
+        }
+    }
+
     server.run();
+
+    // Graceful shutdown (stop flag tripped): leave a final accounting of
+    // what the registry saw — op totals and the snapshot-GC gauges.
+    let snap = gm_obs::global().snapshot();
+    if !snap.is_empty() {
+        eprintln!(
+            "[gm-server] final: {} ops served{}",
+            snap.counter("net.ops"),
+            gc_summary(&snap)
+        );
+    }
 }

@@ -16,7 +16,9 @@
 
 use std::net::TcpStream;
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use gm_obs::{Phase, PhaseNanos, RegistrySnapshot};
 
 use gm_model::api::{
     Direction, EdgeData, EdgeRef, EngineFeatures, LoadOptions, LoadStats, SpaceReport, VertexData,
@@ -87,6 +89,16 @@ impl Connection {
         match self.recv()? {
             Response::Err(e) => Err(e),
             rsp => Ok(rsp),
+        }
+    }
+
+    /// Fetch a point-in-time snapshot of the server's metrics registry
+    /// (counters, gauges, histograms). Empty when the server runs
+    /// `GM_OBS=off`.
+    pub fn get_stats(&mut self) -> GdbResult<RegistrySnapshot> {
+        match self.call(&Request::GetStats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(protocol_mismatch("Stats", &other)),
         }
     }
 }
@@ -168,6 +180,15 @@ impl RemoteEngine {
         })?)
     }
 
+    /// Fetch the server's live metrics registry snapshot (see
+    /// [`Connection::get_stats`]).
+    pub fn stats(&self) -> GdbResult<RegistrySnapshot> {
+        self.conn
+            .lock()
+            .map_err(|_| GdbError::Poisoned("remote connection mutex poisoned".into()))?
+            .get_stats()
+    }
+
     fn call(&self, req: &Request) -> GdbResult<Response> {
         self.conn
             .lock()
@@ -190,17 +211,31 @@ fn expect_u64(rsp: Response) -> GdbResult<u64> {
     }
 }
 
+/// Build an [`OpResult`] from an `ExecDone` frame: the server-measured
+/// phases (lock wait, engine exec, snapshot pin, clone/publish) land in
+/// their own slots; the wire phases stay zero until the caller fills them
+/// from its own clock.
 fn expect_exec_done(rsp: Response) -> GdbResult<OpResult> {
     match rsp {
         Response::ExecDone {
             card,
-            epoch,
             lock_wait,
-        } => Ok(OpResult {
-            cardinality: card,
+            exec_nanos,
+            pin_nanos,
+            clone_nanos,
             epoch,
-            lock_wait_nanos: lock_wait,
-        }),
+        } => {
+            let mut phases = PhaseNanos::zero();
+            phases.set(Phase::LockWait, lock_wait);
+            phases.set(Phase::EngineExec, exec_nanos);
+            phases.set(Phase::SnapshotPin, pin_nanos);
+            phases.set(Phase::ClonePublish, clone_nanos);
+            Ok(OpResult {
+                cardinality: card,
+                epoch,
+                phases,
+            })
+        }
         other => Err(protocol_mismatch("ExecDone", &other)),
     }
 }
@@ -622,14 +657,40 @@ struct RemoteSession {
 
 impl Session for RemoteSession {
     fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<OpResult> {
-        let rsp = self.conn.call(&Request::ExecOp {
+        let req = Request::ExecOp {
             worker: worker as u32,
             op_index,
             timeout_micros: self.op_timeout.as_micros().min(u64::MAX as u128) as u64,
             strict: self.strict_reads,
             op,
-        })?;
-        expect_exec_done(rsp)
+        };
+        // Under `GM_OBS=phases`, split the round trip client-side: frame
+        // encode/decode is `wire_encode`; the socket round trip minus the
+        // server's own reported time is `wire_io`. Otherwise skip every
+        // clock read — the fast path stays as it was.
+        let timing = gm_obs::phases_on();
+        let t_enc = timing.then(Instant::now);
+        let payload = req.encode();
+        let enc = t_enc.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let t_io = timing.then(Instant::now);
+        wire::write_frame(&mut self.conn.stream, &payload)?;
+        let frame = wire::read_frame(&mut self.conn.stream)?;
+        let io = t_io.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let t_dec = timing.then(Instant::now);
+        let rsp = match Response::decode(&frame)? {
+            Response::Err(e) => return Err(e),
+            rsp => rsp,
+        };
+        let dec = t_dec.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let mut out = expect_exec_done(rsp)?;
+        if timing {
+            // Server-attributed time (lock wait + exec + pin + clone) rode
+            // inside the socket round trip; only the remainder is the wire.
+            let server = out.phases.total();
+            out.phases.set(Phase::WireEncode, enc.saturating_add(dec));
+            out.phases.set(Phase::WireIo, io.saturating_sub(server));
+        }
+        Ok(out)
     }
 }
 

@@ -22,6 +22,7 @@
 use gm_core::catalog::{QueryId, QueryInstance};
 use gm_model::api::{Direction, EdgeRef, EngineFeatures, LoadOptions, LoadStats, SpaceReport};
 use gm_model::{Dataset, DsEdge, DsVertex, EdgeData, GdbError, GdbResult, Value, VertexData};
+use gm_obs::{HistSnapshot, RegistrySnapshot, BUCKETS};
 use gm_workload::{Op, WriteOp};
 
 use crate::wire::{self, Cur};
@@ -40,7 +41,13 @@ pub const MAGIC: u32 = 0x474D_4E54;
 /// (nanoseconds spent acquiring engine locks), so remote runs feed the
 /// driver's lock-wait accounting — the per-shard vs single-lock comparison
 /// works across the wire.
-pub const PROTO_VERSION: u16 = 3;
+///
+/// v4: `ExecDone` carries the full server-side phase breakdown (engine
+/// execution, snapshot pin, clone/publish nanoseconds next to the lock
+/// wait), so fig9 can split a remote op's latency into wire time vs server
+/// time; and [`Request::GetStats`] / [`Response::Stats`] expose the
+/// server's `gm-obs` metrics registry over the connection.
+pub const PROTO_VERSION: u16 = 4;
 
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +98,10 @@ pub enum Request {
         /// The op itself.
         op: Op,
     },
+    /// Snapshot the server's `gm-obs` metrics registry (v4). Always
+    /// answered with [`Response::Stats`]; the snapshot is empty when the
+    /// server runs with `GM_OBS=off`.
+    GetStats,
     /// `GraphDb::features`.
     Features,
     /// `GraphDb::resolve_vertex`.
@@ -328,6 +339,12 @@ pub enum Response {
         /// (v3; the server's whole execution path reports through
         /// `gm_model::lockwait`).
         lock_wait: u64,
+        /// Server-side engine execution nanoseconds (v4).
+        exec_nanos: u64,
+        /// Server-side snapshot-pin nanoseconds (v4).
+        pin_nanos: u64,
+        /// Server-side clone/publish nanoseconds (v4).
+        clone_nanos: u64,
     },
     /// An optional u64 (id resolution).
     OptU64(Option<u64>),
@@ -353,6 +370,9 @@ pub enum Response {
     Features(EngineFeatures),
     /// Space report.
     Space(SpaceReport),
+    /// The server's metrics-registry snapshot (v4, answers
+    /// [`Request::GetStats`]).
+    Stats(RegistrySnapshot),
     /// The request failed with this engine error (round-tripped losslessly).
     Err(GdbError),
 }
@@ -378,6 +398,7 @@ impl Response {
             Response::Load(_) => "Load",
             Response::Features(_) => "Features",
             Response::Space(_) => "Space",
+            Response::Stats(_) => "Stats",
             Response::Err(_) => "Err",
         }
     }
@@ -547,6 +568,75 @@ fn get_str_list(cur: &mut Cur<'_>) -> GdbResult<Vec<String>> {
     Ok(out)
 }
 
+/// Log2 histograms ship sparsely: the populated bucket prefix, then the
+/// scalar fields. Bucket counts above the highest populated index are zero
+/// by construction, so nothing is lost.
+fn put_hist(out: &mut Vec<u8>, h: &HistSnapshot) {
+    let top = h.counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+    wire::put_u8(out, top as u8);
+    for &c in &h.counts[..top] {
+        wire::put_u64(out, c);
+    }
+    wire::put_u64(out, h.count);
+    wire::put_u64(out, h.sum);
+    wire::put_u64(out, h.min);
+    wire::put_u64(out, h.max);
+}
+
+fn get_hist(cur: &mut Cur<'_>) -> GdbResult<HistSnapshot> {
+    let top = cur.u8()? as usize;
+    if top > BUCKETS {
+        return Err(GdbError::Corrupt(format!(
+            "wire: histogram bucket prefix {top} exceeds {BUCKETS}"
+        )));
+    }
+    let mut h = HistSnapshot::default();
+    for slot in h.counts.iter_mut().take(top) {
+        *slot = cur.u64()?;
+    }
+    h.count = cur.u64()?;
+    h.sum = cur.u64()?;
+    h.min = cur.u64()?;
+    h.max = cur.u64()?;
+    Ok(h)
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &RegistrySnapshot) {
+    wire::put_u32(out, s.counters.len() as u32);
+    for (name, v) in &s.counters {
+        wire::put_str(out, name);
+        wire::put_u64(out, *v);
+    }
+    wire::put_u32(out, s.gauges.len() as u32);
+    for (name, v) in &s.gauges {
+        wire::put_str(out, name);
+        // Gauges are i64; two's-complement through u64 is lossless.
+        wire::put_u64(out, *v as u64);
+    }
+    wire::put_u32(out, s.hists.len() as u32);
+    for (name, h) in &s.hists {
+        wire::put_str(out, name);
+        put_hist(out, h);
+    }
+}
+
+fn get_stats(cur: &mut Cur<'_>) -> GdbResult<RegistrySnapshot> {
+    let mut s = RegistrySnapshot::default();
+    let nc = cur.list_len("stats counters")?;
+    for _ in 0..nc {
+        s.counters.push((cur.str_()?, cur.u64()?));
+    }
+    let ng = cur.list_len("stats gauges")?;
+    for _ in 0..ng {
+        s.gauges.push((cur.str_()?, cur.u64()? as i64));
+    }
+    let nh = cur.list_len("stats histograms")?;
+    for _ in 0..nh {
+        s.hists.push((cur.str_()?, get_hist(cur)?));
+    }
+    Ok(s)
+}
+
 // ----- request codec -------------------------------------------------------
 
 mod req_op {
@@ -555,6 +645,7 @@ mod req_op {
     pub const BULK_LOAD: u8 = 0x03;
     pub const PREPARE: u8 = 0x04;
     pub const EXEC_OP: u8 = 0x05;
+    pub const GET_STATS: u8 = 0x06;
     pub const FEATURES: u8 = 0x10;
     pub const RESOLVE_VERTEX: u8 = 0x11;
     pub const RESOLVE_EDGE: u8 = 0x12;
@@ -630,6 +721,7 @@ impl Request {
                 wire::put_bool(&mut out, *strict);
                 put_op(&mut out, op);
             }
+            Request::GetStats => wire::put_u8(&mut out, GET_STATS),
             Request::Features => wire::put_u8(&mut out, FEATURES),
             Request::ResolveVertex(c) => {
                 wire::put_u8(&mut out, RESOLVE_VERTEX);
@@ -836,6 +928,7 @@ impl Request {
                 strict: cur.bool_()?,
                 op: get_op(&mut cur)?,
             },
+            GET_STATS => Request::GetStats,
             FEATURES => Request::Features,
             RESOLVE_VERTEX => Request::ResolveVertex(cur.u64()?),
             RESOLVE_EDGE => Request::ResolveEdge(cur.u64()?),
@@ -967,6 +1060,7 @@ mod rsp_op {
     pub const FEATURES: u8 = 0x8E;
     pub const SPACE: u8 = 0x8F;
     pub const EXEC_DONE: u8 = 0x90;
+    pub const STATS: u8 = 0x91;
     pub const ERR: u8 = 0xFF;
 }
 
@@ -994,10 +1088,16 @@ impl Response {
                 card,
                 epoch,
                 lock_wait,
+                exec_nanos,
+                pin_nanos,
+                clone_nanos,
             } => {
                 wire::put_u8(&mut out, EXEC_DONE);
                 wire::put_u64(&mut out, *card);
                 wire::put_u64(&mut out, *lock_wait);
+                wire::put_u64(&mut out, *exec_nanos);
+                wire::put_u64(&mut out, *pin_nanos);
+                wire::put_u64(&mut out, *clone_nanos);
                 match epoch {
                     None => wire::put_bool(&mut out, false),
                     Some(e) => {
@@ -1106,6 +1206,10 @@ impl Response {
                     wire::put_u64(&mut out, *bytes);
                 }
             }
+            Response::Stats(s) => {
+                wire::put_u8(&mut out, STATS);
+                put_stats(&mut out, s);
+            }
             Response::Err(e) => {
                 wire::put_u8(&mut out, ERR);
                 wire::put_error(&mut out, e);
@@ -1130,6 +1234,9 @@ impl Response {
             EXEC_DONE => Response::ExecDone {
                 card: cur.u64()?,
                 lock_wait: cur.u64()?,
+                exec_nanos: cur.u64()?,
+                pin_nanos: cur.u64()?,
+                clone_nanos: cur.u64()?,
                 epoch: if cur.bool_()? { Some(cur.u64()?) } else { None },
             },
             OPT_U64 => Response::OptU64(if cur.bool_()? { Some(cur.u64()?) } else { None }),
@@ -1200,6 +1307,7 @@ impl Response {
                 }
                 Response::Space(report)
             }
+            STATS => Response::Stats(get_stats(&mut cur)?),
             ERR => Response::Err(wire::get_error(&mut cur)?),
             op => {
                 return Err(GdbError::Corrupt(format!(
@@ -1265,6 +1373,7 @@ mod tests {
             },
             Request::Space,
             Request::Sync,
+            Request::GetStats,
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -1305,11 +1414,17 @@ mod tests {
                 card: 12,
                 epoch: Some(9),
                 lock_wait: 1_250,
+                exec_nanos: 48_000,
+                pin_nanos: 700,
+                clone_nanos: 3_000,
             },
             Response::ExecDone {
                 card: 0,
                 epoch: None,
                 lock_wait: 0,
+                exec_nanos: 0,
+                pin_nanos: 0,
+                clone_nanos: 0,
             },
             Response::OptU64(None),
             Response::OptU64(Some(3)),
@@ -1342,6 +1457,19 @@ mod tests {
                 let mut r = SpaceReport::default();
                 r.add("node records", 4096);
                 r
+            }),
+            Response::Stats(RegistrySnapshot::default()),
+            Response::Stats({
+                let r = gm_obs::Registry::new();
+                r.counter("net.ops").add(41);
+                r.counter("shard.0.ops").add(7);
+                r.gauge("mvcc.cow.epoch").set(12);
+                r.gauge("negative").set(-9);
+                let h = r.histogram("op_nanos");
+                h.record(0);
+                h.record(1_000);
+                h.record(u64::MAX);
+                r.snapshot()
             }),
             Response::Err(GdbError::Poisoned("writer panicked".into())),
         ];

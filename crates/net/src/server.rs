@@ -20,9 +20,9 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gm_core::catalog;
 use gm_core::params::{ResolvedParams, Workload};
@@ -30,6 +30,7 @@ use gm_model::{
     lockwait, Dataset, Eid, GdbError, GdbResult, GraphDb, GraphSnapshot, QueryCtx, SharedGraph, Vid,
 };
 use gm_mvcc::{SnapshotSource, SourceFactory};
+use gm_obs::{phase, Counter, Histo, Phase};
 use gm_workload::{apply_write, Op};
 
 use crate::proto::{Request, Response, MAGIC, PROTO_VERSION};
@@ -352,6 +353,29 @@ impl Server {
     }
 }
 
+/// Server-side op metrics (`net.ops` counter, `net.op_nanos` latency
+/// histogram), resolved once against the global registry. `None` under
+/// `GM_OBS=off` so the hot path pays nothing.
+struct NetMetrics {
+    ops: Counter,
+    op_nanos: Histo,
+}
+
+fn net_metrics() -> Option<&'static NetMetrics> {
+    static METRICS: OnceLock<Option<NetMetrics>> = OnceLock::new();
+    METRICS
+        .get_or_init(|| {
+            gm_obs::counters_on().then(|| {
+                let g = gm_obs::global();
+                NetMetrics {
+                    ops: g.counter("net.ops"),
+                    op_nanos: g.histogram("net.op_nanos"),
+                }
+            })
+        })
+        .as_ref()
+}
+
 /// Deadline context from a wire timeout (0 = unbounded).
 fn ctx_for(timeout_micros: u64) -> QueryCtx {
     if timeout_micros == 0 {
@@ -549,50 +573,83 @@ fn execute_request(
                 }
                 Op::Read(inst) => {
                     // The connection thread owns this op end to end, so the
-                    // thread-local lock-wait accumulator attributes every
-                    // engine-lock acquisition below to exactly this op.
-                    lockwait::reset();
+                    // thread-local phase accumulators attribute every
+                    // engine-lock acquisition and span below to exactly
+                    // this op.
+                    phase::reset_op();
+                    let t0 = net_metrics().map(|m| {
+                        m.ops.inc();
+                        Instant::now()
+                    });
                     let ctx = ctx_for(timeout_micros);
                     // Strict pins (sequential replays) must read their own
                     // earlier writes; concurrent drivers take the
                     // group-committed fast path.
-                    let view = if strict {
-                        hosted.read_view()?
-                    } else {
-                        hosted.read_view_recent()?
+                    let view = {
+                        let _pin = phase::span(Phase::SnapshotPin);
+                        if strict {
+                            hosted.read_view()?
+                        } else {
+                            hosted.read_view_recent()?
+                        }
                     };
-                    let card = catalog::execute_read(&inst, view.snap(), &params, &ctx)?;
+                    let card = {
+                        let _exec = phase::span(Phase::EngineExec);
+                        catalog::execute_read(&inst, view.snap(), &params, &ctx)?
+                    };
+                    let phases = phase::take_all();
+                    if let (Some(m), Some(t0)) = (net_metrics(), t0) {
+                        m.op_nanos.record(t0.elapsed().as_nanos() as u64);
+                    }
                     Response::ExecDone {
                         card,
+                        lock_wait: phases.get(Phase::LockWait),
+                        exec_nanos: phases.get(Phase::EngineExec),
+                        pin_nanos: phases.get(Phase::SnapshotPin),
+                        clone_nanos: phases.get(Phase::ClonePublish),
                         epoch: view.epoch(),
-                        lock_wait: lockwait::take(),
                     }
                 }
                 Op::Write(wop) => {
-                    lockwait::reset();
+                    phase::reset_op();
+                    let t0 = net_metrics().map(|m| {
+                        m.ops.inc();
+                        Instant::now()
+                    });
                     // The generation check of `current()` must happen while
                     // holding the engine write path: a `Reset` interleaving
                     // between the check and the write would otherwise apply
                     // a pre-reset edge pool to the fresh engine (and stale
                     // eids alias live edges once ids restart at 0).
-                    let card = hosted.with_engine_write(|db| {
-                        apply_write(
-                            wop,
-                            db,
-                            &params,
-                            worker as usize,
-                            op_index,
-                            owned_edges.current(hosted),
-                        )
-                    })?;
+                    let card = {
+                        let _exec = phase::span(Phase::EngineExec);
+                        hosted.with_engine_write(|db| {
+                            apply_write(
+                                wop,
+                                db,
+                                &params,
+                                worker as usize,
+                                op_index,
+                                owned_edges.current(hosted),
+                            )
+                        })?
+                    };
+                    let phases = phase::take_all();
+                    if let (Some(m), Some(t0)) = (net_metrics(), t0) {
+                        m.op_nanos.record(t0.elapsed().as_nanos() as u64);
+                    }
                     Response::ExecDone {
                         card,
+                        lock_wait: phases.get(Phase::LockWait),
+                        exec_nanos: phases.get(Phase::EngineExec),
+                        pin_nanos: phases.get(Phase::SnapshotPin),
+                        clone_nanos: phases.get(Phase::ClonePublish),
                         epoch: None,
-                        lock_wait: lockwait::take(),
                     }
                 }
             }
         }
+        Request::GetStats => Response::Stats(gm_obs::global().snapshot()),
         Request::Features => Response::Features(read()?.snap().features()),
         Request::ResolveVertex(c) => {
             Response::OptU64(read()?.snap().resolve_vertex(c).map(|v| v.0))

@@ -603,3 +603,48 @@ fn snapshot_server_read_only_matches_replay_and_locked_has_no_epoch() {
     assert_eq!(res.epoch, None, "locked mode carries no epochs");
     server.shutdown();
 }
+
+/// `GetStats` returns a well-formed snapshot of the server's live metrics
+/// registry: the server-side `net.ops` counter advances by at least the
+/// number of `ExecOp` frames a workload shipped, and the remote run's
+/// report splits client latency into wire time and server-reported
+/// execution time (the v4 `ExecDone` phase breakdown).
+#[test]
+fn get_stats_round_trips_from_a_live_server() {
+    fn counter(s: &gm_obs::RegistrySnapshot, name: &str) -> u64 {
+        s.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    let data = testkit::chain_dataset(150);
+    let server = spawn_server(EngineKind::LinkedV2);
+    let addr = server.addr().to_string();
+    let mut conn = Connection::connect(&addr).expect("connect");
+    let before = counter(&conn.get_stats().expect("stats before run"), "net.ops");
+
+    let c = cfg(MixKind::ReadOnly, 2, 15);
+    let report = run_remote(&addr, &data, &c).expect("remote run");
+    assert_eq!(report.errors(), 0);
+
+    let after = counter(&conn.get_stats().expect("stats after run"), "net.ops");
+    assert!(
+        after >= before + 2 * 15,
+        "server-side net.ops must count every ExecOp frame: before={before} after={after}"
+    );
+
+    // Default mode is `phases`: the client attributes frame codec time and
+    // the socket round trip (minus server-reported time) to the wire
+    // phases, so the report's latency split is populated.
+    let phases = report.phase_nanos();
+    assert!(
+        phases.wire() > 0,
+        "remote runs must attribute wire time: {phases:?}"
+    );
+    assert!(
+        phases.get(gm_workload::Phase::EngineExec) > 0,
+        "server-side exec time must cross the wire: {phases:?}"
+    );
+    server.shutdown();
+}

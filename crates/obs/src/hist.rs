@@ -1,0 +1,288 @@
+//! Atomic log2 histograms and their plain-data snapshots.
+//!
+//! Bucketing is identical to `gm_workload::LatencyHistogram` (bucket *i*
+//! for `i >= 1` holds `[2^i, 2^(i+1))`, bucket 0 spans `[0, 2)`), so a
+//! registry histogram and a driver histogram of the same signal agree
+//! bucket-for-bucket. The difference is the write side: registry
+//! histograms are recorded into by many threads at once, so every field is
+//! an atomic updated with relaxed ordering — recording is lock-free and a
+//! concurrent [`snapshot`](AtomicHistogram::snapshot) may be torn *across*
+//! fields (count vs sum) but never within one, which is the usual and
+//! acceptable contract for monitoring data.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of power-of-two buckets (covers all of `u64`).
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a value (same rule as the workload histogram).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    63 - v.max(1).leading_zeros() as usize
+}
+
+/// Inclusive lower bound of bucket `i`: 0 for bucket 0 (it spans `[0, 2)`),
+/// `2^i` otherwise.
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Width of bucket `i`: 2 for bucket 0, `2^i` otherwise.
+pub fn bucket_width(i: usize) -> u64 {
+    if i == 0 {
+        2
+    } else {
+        1u64 << i
+    }
+}
+
+/// A log2 histogram whose every field is atomic: record from any thread,
+/// snapshot from any thread, no locks anywhere.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (relaxed atomics; sum saturates).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_of(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        // fetch_add would wrap; monitoring sums must saturate like the
+        // driver histogram's. A rare lost race under-counts the sum by one
+        // observation, which monitoring tolerates.
+        let _ = self
+            .sum
+            .fetch_update(Relaxed, Relaxed, |s| Some(s.saturating_add(v)));
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Copy the current contents into a plain-data snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].load(Relaxed)),
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            min: self.min.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+
+    /// Reset every field to the empty state (used between stats intervals).
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+/// A plain-data histogram: what snapshots, merges, and crosses the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts (index = log2 bucket).
+    pub counts: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Fold another snapshot into this one (pure addition: associative and
+    /// commutative, the property the registry merge tests pin down).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min_observed(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, interpolated inside the hit
+    /// bucket and clamped to the observed extrema — the same estimator as
+    /// the workload histogram's.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let into = (target - seen - 1) as f64 / c as f64;
+                let est = bucket_floor(i) as f64 + into * bucket_width(i) as f64;
+                return (est as u64).clamp(self.min_observed(), self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_matches_workload_rule() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(i)), i);
+        }
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_width(0), 2);
+        assert_eq!(bucket_width(10), 1024);
+    }
+
+    #[test]
+    fn record_snapshot_reset() {
+        let h = AtomicHistogram::new();
+        for v in [10u64, 20, 30, 4000, 5_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 5_004_060);
+        assert_eq!(s.min_observed(), 10);
+        assert_eq!(s.max, 5_000_000);
+        assert_eq!(s.mean(), 1_000_812);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s, HistSnapshot::default());
+        assert_eq!(s.min_observed(), 0);
+    }
+
+    #[test]
+    fn quantiles_ordered_and_clamped() {
+        let h = AtomicHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 100);
+        }
+        let s = h.snapshot();
+        assert!(s.p50() <= s.quantile(0.95));
+        assert!(s.quantile(0.95) <= s.p99());
+        assert!(s.p99() <= s.max);
+        assert_eq!(s.quantile(0.0), s.min_observed());
+        assert_eq!(s.quantile(1.0), s.max);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a = AtomicHistogram::new();
+        let b = AtomicHistogram::new();
+        let all = AtomicHistogram::new();
+        for i in 0..500u64 {
+            let v = i * 37 + 5;
+            if i % 2 == 0 { &a } else { &b }.record(v);
+            all.record(v);
+        }
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        assert_eq!(sa, all.snapshot());
+    }
+
+    #[test]
+    fn concurrent_records_lose_nothing() {
+        let h = std::sync::Arc::new(AtomicHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i % 7);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 40_000);
+        assert_eq!(h.snapshot().counts.iter().sum::<u64>(), 40_000);
+    }
+}

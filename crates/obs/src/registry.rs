@@ -1,0 +1,377 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Registration (name → handle) takes a short `RwLock` write once per
+//! name; after that every update is a single relaxed atomic op on a cached
+//! [`Counter`]/[`Gauge`]/[`Histo`] handle — the hot path is lock-free.
+//! [`Registry::snapshot`] reads everything into a [`RegistrySnapshot`]:
+//! plain sorted data that merges by pure addition (associative and
+//! commutative), crosses the gm-net wire as the `GetStats` payload, and
+//! renders as Prometheus-style text.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::hist::{bucket_floor, bucket_width, AtomicHistogram, HistSnapshot, BUCKETS};
+
+/// A monotone counter handle (cheap to clone, lock-free to update).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can go up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Relaxed);
+    }
+
+    /// Raise the gauge to at least `v` (monotone max).
+    pub fn fetch_max(&self, v: i64) {
+        self.0.fetch_max(v, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A histogram handle (atomic log2 buckets, see [`crate::hist`]).
+#[derive(Debug, Clone, Default)]
+pub struct Histo(Arc<AtomicHistogram>);
+
+impl Histo {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.record(v);
+    }
+
+    /// Snapshot this histogram alone.
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.0.snapshot()
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    hists: RwLock<BTreeMap<String, Histo>>,
+}
+
+fn get_or_insert<T: Clone + Default>(map: &RwLock<BTreeMap<String, T>>, name: &str) -> T {
+    if let Some(h) = map.read().expect("registry lock").get(name) {
+        return h.clone();
+    }
+    map.write()
+        .expect("registry lock")
+        .entry(name.to_string())
+        .or_default()
+        .clone()
+}
+
+impl Registry {
+    /// An empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// Get or register the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histo {
+        get_or_insert(&self.hists, name)
+    }
+
+    /// Copy every metric into a plain-data snapshot (sorted by name).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            hists: self
+                .hists
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry every subsystem exports into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Plain-data view of a registry: sorted name/value lists. This is what
+/// merges across processes and what `GetStats` ships over the wire.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegistrySnapshot {
+    /// Monotone counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, sorted by name.
+    pub hists: Vec<(String, HistSnapshot)>,
+}
+
+/// Merge two sorted name/value lists with a per-value combiner.
+fn merge_sorted<V: Clone>(
+    a: &mut Vec<(String, V)>,
+    b: &[(String, V)],
+    combine: impl Fn(&mut V, &V),
+) {
+    let mut out: Vec<(String, V)> = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let mut v = a[i].1.clone();
+                combine(&mut v, &b[j].1);
+                out.push((a[i].0.clone(), v));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    *a = out;
+}
+
+impl RegistrySnapshot {
+    /// Fold another snapshot into this one: counters and gauges add,
+    /// histograms merge bucket-wise. Pure addition end to end, so merging
+    /// is associative and commutative (pinned by the proptest suite).
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        merge_sorted(&mut self.counters, &other.counters, |a, b| {
+            *a = a.saturating_add(*b)
+        });
+        merge_sorted(&mut self.gauges, &other.gauges, |a, b| {
+            *a = a.saturating_add(*b)
+        });
+        merge_sorted(&mut self.hists, &other.hists, |a, b| a.merge(b));
+    }
+
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// A gauge's value (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// A histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// True when nothing was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Render as Prometheus-style exposition text: `# TYPE` lines,
+    /// sanitized `gm_`-prefixed names, cumulative `_bucket{le=...}` series
+    /// for histograms.
+    pub fn render_prometheus(&self) -> String {
+        fn sane(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 3);
+            out.push_str("gm_");
+            for ch in name.chars() {
+                out.push(if ch.is_ascii_alphanumeric() { ch } else { '_' });
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sane(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = sane(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.hists {
+            let n = sane(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let top = h
+                .counts
+                .iter()
+                .rposition(|&c| c > 0)
+                .map_or(0, |i| i + 1)
+                .min(BUCKETS - 1);
+            let mut cumulative = 0u64;
+            for (i, &c) in h.counts.iter().enumerate().take(top) {
+                cumulative += c;
+                let le = bucket_floor(i) + bucket_width(i);
+                out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{n}_bucket{{le=\"+Inf\"}} {}\n{n}_sum {}\n{n}_count {}\n",
+                h.count, h.sum, h.count
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_cached_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("ops");
+        let b = r.counter("ops");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("ops").get(), 3);
+        let g = r.gauge("lag");
+        g.set(-4);
+        r.gauge("lag").add(1);
+        assert_eq!(g.get(), -3);
+        g.fetch_max(10);
+        assert_eq!(g.get(), 10);
+        r.histogram("lat").record(100);
+        assert_eq!(r.histogram("lat").snapshot().count, 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let r = Registry::new();
+        r.counter("zeta").add(5);
+        r.counter("alpha").add(2);
+        r.gauge("mid").set(7);
+        r.histogram("h").record(42);
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].0, "alpha");
+        assert_eq!(s.counters[1].0, "zeta");
+        assert_eq!(s.counter("zeta"), 5);
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.gauge("mid"), 7);
+        assert_eq!(s.hist("h").unwrap().count, 1);
+        assert!(s.hist("absent").is_none());
+        assert!(!s.is_empty());
+        assert!(RegistrySnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn merge_unions_names_and_adds_values() {
+        let ra = Registry::new();
+        ra.counter("shared").add(10);
+        ra.counter("only_a").add(1);
+        ra.gauge("g").set(5);
+        ra.histogram("h").record(8);
+        let rb = Registry::new();
+        rb.counter("shared").add(32);
+        rb.counter("only_b").add(2);
+        rb.gauge("g").set(-3);
+        rb.histogram("h").record(16);
+        let mut s = ra.snapshot();
+        s.merge(&rb.snapshot());
+        assert_eq!(s.counter("shared"), 42);
+        assert_eq!(s.counter("only_a"), 1);
+        assert_eq!(s.counter("only_b"), 2);
+        assert_eq!(s.gauge("g"), 2);
+        let h = s.hist("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 8);
+        assert_eq!(h.max, 16);
+        let names: Vec<&str> = s.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["only_a", "only_b", "shared"], "sorted union");
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let r = Registry::new();
+        r.counter("net.ops").add(3);
+        r.gauge("mvcc.live-pins").set(2);
+        r.histogram("op_nanos").record(1000);
+        r.histogram("op_nanos").record(3000);
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE gm_net_ops counter"), "{text}");
+        assert!(text.contains("gm_net_ops 3"), "{text}");
+        assert!(text.contains("# TYPE gm_mvcc_live_pins gauge"), "{text}");
+        assert!(text.contains("# TYPE gm_op_nanos histogram"), "{text}");
+        assert!(text.contains("gm_op_nanos_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("gm_op_nanos_sum 4000"), "{text}");
+        assert!(text.contains("gm_op_nanos_count 2"), "{text}");
+    }
+
+    #[test]
+    fn global_registry_is_one_instance() {
+        global().counter("test.global.marker").inc();
+        assert!(global().snapshot().counter("test.global.marker") >= 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the registry's two structural claims:
+//!
+//! 1. **Snapshot merge is associative and commutative** — fleets and
+//!    per-shard registries can be folded in any grouping/order and report
+//!    the same totals.
+//! 2. **Concurrent increments never lose counts** — N threads hammering
+//!    the same counter/histogram handles account for every update.
+
+use gm_obs::{Registry, RegistrySnapshot};
+use proptest::prelude::*;
+
+/// One randomly-populated registry snapshot: a few counters, gauges, and
+/// histogram observations drawn from a tiny name pool so merges collide.
+fn arb_snapshot() -> impl Strategy<Value = RegistrySnapshot> {
+    fn name() -> impl Strategy<Value = &'static str> {
+        prop_oneof![
+            Just("ops"),
+            Just("errors"),
+            Just("shard0.ops"),
+            Just("shard1.ops"),
+            Just("epoch_lag"),
+        ]
+    }
+    let counters = prop::collection::vec((name(), 0u64..1_000_000), 0..6);
+    let gauges = prop::collection::vec((name(), -1_000i64..1_000), 0..4);
+    let hist_obs = prop::collection::vec(
+        (name(), prop::collection::vec(0u64..1u64 << 40, 0..12)),
+        0..3,
+    );
+    (counters, gauges, hist_obs).prop_map(|(cs, gs, hs)| {
+        let r = Registry::new();
+        for (n, v) in cs {
+            r.counter(n).add(v);
+        }
+        for (n, v) in gs {
+            r.gauge(n).add(v);
+        }
+        for (n, obs) in hs {
+            let h = r.histogram(n);
+            for v in obs {
+                h.record(v);
+            }
+        }
+        r.snapshot()
+    })
+}
+
+fn merged(parts: &[&RegistrySnapshot]) -> RegistrySnapshot {
+    let mut out = RegistrySnapshot::default();
+    for p in parts {
+        out.merge(p);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // Every permutation agrees.
+        prop_assert_eq!(&left, &merged(&[&c, &a, &b]));
+        prop_assert_eq!(&left, &merged(&[&b, &c, &a]));
+        // Identity.
+        let mut with_zero = left.clone();
+        with_zero.merge(&RegistrySnapshot::default());
+        prop_assert_eq!(&left, &with_zero);
+    }
+
+    #[test]
+    fn concurrent_increments_never_lose_counts(
+        per_thread in prop::collection::vec(1u64..2_000, 2..5),
+    ) {
+        let r = std::sync::Arc::new(Registry::new());
+        let expected: u64 = per_thread.iter().sum();
+        let threads: Vec<_> = per_thread
+            .iter()
+            .map(|&n| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    let c = r.counter("hits");
+                    let h = r.histogram("lat");
+                    for i in 0..n {
+                        c.inc();
+                        h.record(i % 1024);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = r.snapshot();
+        prop_assert_eq!(s.counter("hits"), expected);
+        let h = s.hist("lat").unwrap();
+        prop_assert_eq!(h.count, expected);
+        prop_assert_eq!(h.counts.iter().sum::<u64>(), expected);
+    }
+}

@@ -46,6 +46,7 @@ use gm_model::{lockwait, Dataset, Eid, GdbError, GdbResult, Props, QueryCtx, Val
 use crate::route::{
     build_meta, decode_eid, decode_vid, encode_eid, encode_vid, partition, Meta, GHOST_LABEL,
 };
+use crate::source::ShardMetrics;
 use crate::view::Parts;
 
 fn poisoned(what: &str) -> GdbError {
@@ -78,6 +79,7 @@ pub struct ShardedGraph<E: GraphDb + 'static> {
     /// anyway, and before any canonical resolution (the setup-path reader
     /// of those maps).
     pending_purges: Mutex<Vec<Eid>>,
+    metrics: Option<ShardMetrics>,
 }
 
 impl<E: GraphDb + 'static> ShardedGraph<E> {
@@ -94,6 +96,7 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
             meta: RwLock::new(Meta::new(shards)),
             spread: AtomicU64::new(0),
             pending_purges: Mutex::new(Vec::new()),
+            metrics: ShardMetrics::new(shards),
         }
     }
 
@@ -105,10 +108,16 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
     // ----- lock plumbing --------------------------------------------------
 
     fn rlock(&self, s: usize) -> GdbResult<RwLockReadGuard<'_, E>> {
+        if let Some(m) = &self.metrics {
+            m.note_op(s);
+        }
         lockwait::timed(|| self.shards[s].read()).map_err(|_| poisoned("shard read"))
     }
 
     fn wlock(&self, s: usize) -> GdbResult<RwLockWriteGuard<'_, E>> {
+        if let Some(m) = &self.metrics {
+            m.note_op(s);
+        }
         lockwait::timed(|| self.shards[s].write()).map_err(|_| poisoned("shard write"))
     }
 
@@ -288,6 +297,9 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
                         let ghost = g.add_vertex(GHOST_LABEL, &Vec::new())?;
                         meta.ghosts[s].insert(dst.0, ghost);
                         meta.rev[s].insert(ghost.0, dst.0);
+                        if let Some(m) = &self.metrics {
+                            m.ghost_creations.inc();
+                        }
                         let local = g.add_edge(local_src, ghost, label, props)?;
                         return Ok(encode_eid(local, s, n));
                     }

@@ -103,6 +103,10 @@ pub struct Meta {
     pub edge_resolve: FxHashMap<u64, u64>,
     /// Composite eid → global canonical id (purged on edge removal).
     pub edge_canon: FxHashMap<u64, u64>,
+    /// `shard.ghost_translations` registry counter, resolved once per meta
+    /// (clones share the underlying atomic). `None` under `GM_OBS=off`, so
+    /// the translation hot path pays nothing when observability is off.
+    ghost_translations: Option<gm_obs::Counter>,
 }
 
 impl Meta {
@@ -116,6 +120,8 @@ impl Meta {
             vertex_canon: FxHashMap::default(),
             edge_resolve: FxHashMap::default(),
             edge_canon: FxHashMap::default(),
+            ghost_translations: gm_obs::counters_on()
+                .then(|| gm_obs::global().counter("shard.ghost_translations")),
         }
     }
 
@@ -124,7 +130,12 @@ impl Meta {
     /// vertices through the id arithmetic.
     pub fn to_composite(&self, shard: usize, local: Vid) -> Vid {
         match self.rev[shard].get(&local.0) {
-            Some(composite) => Vid(*composite),
+            Some(composite) => {
+                if let Some(c) = &self.ghost_translations {
+                    c.inc();
+                }
+                Vid(*composite)
+            }
             None => encode_vid(local, shard, self.shards),
         }
     }

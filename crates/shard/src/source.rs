@@ -40,6 +40,7 @@ use gm_model::api::{
 };
 use gm_model::{lockwait, Dataset, Eid, GdbError, GdbResult, Props, QueryCtx, Value, Vid};
 use gm_mvcc::SnapshotSource;
+use gm_obs::Counter;
 
 use crate::route::{
     build_meta, decode_eid, decode_vid, encode_eid, encode_vid, partition, Meta, GHOST_LABEL,
@@ -60,6 +61,40 @@ fn poisoned(what: &str) -> GdbError {
 /// How one shard cell is pinned (strict `snapshot` or `snapshot_recent`).
 type PinFn<'a> = dyn Fn(&dyn SnapshotSource) -> GdbResult<Box<dyn GraphSnapshot>> + 'a;
 
+/// Registry handles for one composite, resolved at construction and `None`
+/// under `GM_OBS=off`. The per-shard op counters (`shard.{i}.ops`) count
+/// writes routed to each partition — the balance figure the server's
+/// periodic stats line reports; composites of the same shard count share
+/// names and aggregate.
+pub(crate) struct ShardMetrics {
+    pub(crate) shard_ops: Vec<Counter>,
+    pub(crate) pins: Counter,
+    /// Composite pins that had to retry (or wait out) a topology change.
+    pub(crate) seqlock_retries: Counter,
+    pub(crate) ghost_creations: Counter,
+}
+
+impl ShardMetrics {
+    pub(crate) fn new(shards: usize) -> Option<ShardMetrics> {
+        if !gm_obs::counters_on() {
+            return None;
+        }
+        let g = gm_obs::global();
+        Some(ShardMetrics {
+            shard_ops: (0..shards)
+                .map(|i| g.counter(&format!("shard.{i}.ops")))
+                .collect(),
+            pins: g.counter("shard.pins"),
+            seqlock_retries: g.counter("shard.seqlock_retries"),
+            ghost_creations: g.counter("shard.ghost_creations"),
+        })
+    }
+
+    pub(crate) fn note_op(&self, s: usize) {
+        self.shard_ops[s].inc();
+    }
+}
+
 /// `N` snapshot cells + routing meta behind one [`SnapshotSource`].
 pub struct ShardedSource {
     name: String,
@@ -72,6 +107,7 @@ pub struct ShardedSource {
     topo: AtomicU64,
     /// Round-robin placement counter for dynamically added vertices.
     spread: AtomicU64,
+    metrics: Option<ShardMetrics>,
 }
 
 impl ShardedSource {
@@ -93,6 +129,7 @@ impl ShardedSource {
             meta: RwLock::new(Meta::new(shards)),
             topo: AtomicU64::new(0),
             spread: AtomicU64::new(0),
+            metrics: ShardMetrics::new(shards),
         }
     }
 
@@ -111,6 +148,9 @@ impl ShardedSource {
                 // writer lock, so parking on the reader side sleeps until
                 // it finishes instead of burning a core (a bulk load can
                 // hold the seqlock odd for seconds).
+                if let Some(m) = &self.metrics {
+                    m.seqlock_retries.inc();
+                }
                 drop(self.meta.read().map_err(|_| poisoned("meta read"))?);
                 std::thread::yield_now();
                 continue;
@@ -124,6 +164,9 @@ impl ShardedSource {
                 .clone();
             if self.topo.load(Ordering::SeqCst) == before {
                 let epoch = shards.iter().map(|s| s.epoch()).min().unwrap_or(0);
+                if let Some(m) = &self.metrics {
+                    m.pins.inc();
+                }
                 return Ok(ShardedView {
                     name: self.name.clone(),
                     shards,
@@ -133,6 +176,9 @@ impl ShardedSource {
             }
             // A topology change landed mid-pin: re-pin against the new
             // state (each retry re-pins, so epochs only move forward).
+            if let Some(m) = &self.metrics {
+                m.seqlock_retries.inc();
+            }
         }
     }
 
@@ -241,6 +287,13 @@ impl SourceWriter<'_> {
 
     fn n(&self) -> usize {
         self.src.shard_count()
+    }
+
+    /// Count a write routed to shard `s` (no-op under `GM_OBS=off`).
+    fn note_op(&self, s: usize) {
+        if let Some(m) = &self.src.metrics {
+            m.note_op(s);
+        }
     }
 }
 
@@ -423,6 +476,7 @@ impl GraphDb for SourceWriter<'_> {
     fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
         let n = self.n();
         let s = (self.src.spread.fetch_add(1, Ordering::Relaxed) % n as u64) as usize;
+        self.note_op(s);
         let local = cell_write(self.src.cells[s].as_ref(), |db| db.add_vertex(label, props))?;
         Ok(encode_vid(local, s, n))
     }
@@ -430,6 +484,7 @@ impl GraphDb for SourceWriter<'_> {
     fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
         let n = self.n();
         let (local_src, s) = decode_vid(src, n);
+        self.note_op(s);
         let (local_dst_owner, dst_shard) = decode_vid(dst, n);
         let local_dst = if dst_shard == s {
             local_dst_owner
@@ -468,6 +523,9 @@ impl GraphDb for SourceWriter<'_> {
                             })?;
                             guard.meta.ghosts[s].insert(dst.0, ghost);
                             guard.meta.rev[s].insert(ghost.0, dst.0);
+                            if let Some(m) = &self.src.metrics {
+                                m.ghost_creations.inc();
+                            }
                             // The new ghost must be published before the
                             // guard releases (see `publish_cell`).
                             self.src.publish_cell(s)?;
@@ -485,6 +543,7 @@ impl GraphDb for SourceWriter<'_> {
 
     fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
         let (local, owner) = decode_vid(v, self.n());
+        self.note_op(owner);
         cell_write(self.src.cells[owner].as_ref(), |db| {
             db.set_vertex_property(local, name, value)
         })
@@ -492,6 +551,7 @@ impl GraphDb for SourceWriter<'_> {
 
     fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
         let (local, s) = decode_eid(e, self.n());
+        self.note_op(s);
         cell_write(self.src.cells[s].as_ref(), |db| {
             db.set_edge_property(local, name, value)
         })
@@ -500,6 +560,7 @@ impl GraphDb for SourceWriter<'_> {
     fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
         let n = self.n();
         let (local, owner) = decode_vid(v, n);
+        self.note_op(owner);
         // Whole-vertex removal spans shards: exclude pins for its duration.
         let mut guard = self.src.topo_write()?;
         let ctx = QueryCtx::unbounded();
@@ -548,6 +609,7 @@ impl GraphDb for SourceWriter<'_> {
 
     fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
         let (local, s) = decode_eid(e, self.n());
+        self.note_op(s);
         cell_write(self.src.cells[s].as_ref(), |db| db.remove_edge(local))?;
         // Resolution-map purge without the seqlock: a pin may briefly keep
         // resolving the dead canonical id (and find the edge gone) — the
@@ -560,6 +622,7 @@ impl GraphDb for SourceWriter<'_> {
 
     fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
         let (local, owner) = decode_vid(v, self.n());
+        self.note_op(owner);
         cell_write(self.src.cells[owner].as_ref(), |db| {
             db.remove_vertex_property(local, name)
         })
@@ -567,6 +630,7 @@ impl GraphDb for SourceWriter<'_> {
 
     fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
         let (local, s) = decode_eid(e, self.n());
+        self.note_op(s);
         cell_write(self.src.cells[s].as_ref(), |db| {
             db.remove_edge_property(local, name)
         })

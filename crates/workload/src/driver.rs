@@ -48,6 +48,7 @@ use gm_core::summary::ScalingRow;
 use gm_model::api::LoadOptions;
 use gm_model::{Dataset, Eid, GdbError, GdbResult, GraphDb, QueryCtx, Value};
 use gm_mvcc::SnapshotSource;
+use gm_obs::phase::{self, Phase, PhaseNanos};
 
 use crate::hist::LatencyHistogram;
 use crate::mix::{Mix, MixKind, Op, WriteOp};
@@ -91,6 +92,37 @@ pub struct OpResult {
     /// reads (no epochs) and for writes (they produce the next epoch, they
     /// don't observe one).
     pub epoch: Option<u64>,
+    /// Where this op's time went, split into the gm-obs phases: lock wait
+    /// (queueing on engine locks, always recorded), and — under
+    /// `GM_OBS=phases` — engine execution, snapshot pin, clone/publish, and
+    /// (for remote backends) wire encode and socket I/O. Self-time
+    /// attribution: nested spans subtract from their parent, so the vector
+    /// sums to at most the op's end-to-end latency.
+    pub phases: PhaseNanos,
+}
+
+impl OpResult {
+    /// An epoch-less result (locked mode, writes) with no recorded phases.
+    pub fn plain(cardinality: u64) -> OpResult {
+        OpResult {
+            cardinality,
+            epoch: None,
+            phases: PhaseNanos::zero(),
+        }
+    }
+
+    /// Attach a measured lock wait.
+    pub fn with_lock_wait(mut self, nanos: u64) -> OpResult {
+        self.phases.set(Phase::LockWait, nanos);
+        self
+    }
+
+    /// Attach the whole per-op phase vector.
+    pub fn with_phases(mut self, phases: PhaseNanos) -> OpResult {
+        self.phases = phases;
+        self
+    }
+
     /// Nanoseconds this op spent **waiting to acquire engine locks** (the
     /// shared `RwLock`, an MVCC cell's writer mutex or publish lock, or
     /// `gm-shard`'s per-partition locks — whatever the backend's path runs
@@ -98,23 +130,8 @@ pub struct OpResult {
     /// number that separates "the engine is slow" from "the op serialized
     /// behind other clients", which is exactly what the sharded-vs-single
     /// lock comparison measures.
-    pub lock_wait_nanos: u64,
-}
-
-impl OpResult {
-    /// An epoch-less result (locked mode, writes) with no recorded wait.
-    pub fn plain(cardinality: u64) -> OpResult {
-        OpResult {
-            cardinality,
-            epoch: None,
-            lock_wait_nanos: 0,
-        }
-    }
-
-    /// Attach a measured lock wait.
-    pub fn with_lock_wait(mut self, nanos: u64) -> OpResult {
-        self.lock_wait_nanos = nanos;
-        self
+    pub fn lock_wait_nanos(&self) -> u64 {
+        self.phases.get(Phase::LockWait)
     }
 }
 
@@ -258,10 +275,12 @@ pub struct WorkerStats {
     /// Always 0 for in-process snapshot runs (epochs are monotone per
     /// source) and for locked runs (no epochs at all).
     pub epoch_skew: u64,
-    /// Total nanoseconds this worker's completed ops spent waiting on
-    /// engine locks (see [`OpResult::lock_wait_nanos`]). Errored ops do not
-    /// contribute (their result — and its wait — is discarded with them).
-    pub lock_wait_nanos: u64,
+    /// Per-phase nanosecond totals over this worker's completed ops: lock
+    /// wait (always recorded), plus engine exec, snapshot pin,
+    /// clone/publish, and wire phases under `GM_OBS=phases` (see
+    /// [`OpResult::phases`]). Errored ops do not contribute (their result —
+    /// and its phase vector — is discarded with them).
+    pub phases: PhaseNanos,
     /// This worker's latency histogram.
     pub hist: LatencyHistogram,
     /// Result cardinalities in issue order (empty unless
@@ -323,7 +342,19 @@ impl RunReport {
 
     /// Total nanoseconds completed ops spent waiting on engine locks.
     pub fn lock_wait_nanos(&self) -> u64 {
-        self.workers.iter().map(|w| w.lock_wait_nanos).sum()
+        self.workers
+            .iter()
+            .map(|w| w.phases.get(Phase::LockWait))
+            .sum()
+    }
+
+    /// Per-phase nanosecond totals over all workers' completed ops.
+    pub fn phase_nanos(&self) -> PhaseNanos {
+        let mut total = PhaseNanos::zero();
+        for w in &self.workers {
+            total.accumulate(&w.phases);
+        }
+        total
     }
 
     /// Completed ops per wall-clock second (the achieved rate).
@@ -343,6 +374,7 @@ impl RunReport {
 
     /// The row this run contributes to the concurrency figure.
     pub fn scaling_row(&self) -> ScalingRow {
+        let phases = self.phase_nanos();
         ScalingRow {
             engine: self.engine.clone(),
             mix: self.mix.clone(),
@@ -353,7 +385,12 @@ impl RunReport {
             errors: self.errors(),
             shed: self.shed(),
             epoch_skew: self.epoch_skew(),
-            lock_wait_nanos: self.lock_wait_nanos(),
+            lock_wait_nanos: phases.get(Phase::LockWait),
+            engine_exec_nanos: phases.get(Phase::EngineExec),
+            snapshot_pin_nanos: phases.get(Phase::SnapshotPin),
+            clone_publish_nanos: phases.get(Phase::ClonePublish),
+            wire_encode_nanos: phases.get(Phase::WireEncode),
+            wire_io_nanos: phases.get(Phase::WireIo),
             offered_ops_per_sec: self.offered_ops_per_sec,
             wall_nanos: self.wall_nanos,
             p50_nanos: self.hist.p50(),
@@ -695,31 +732,39 @@ impl Session for LocalSession<'_> {
                 "{side} lock poisoned before op {op_index} of worker {worker}"
             ))
         };
+        // Reset all per-op phase state on *entry*: an earlier op that
+        // panicked or aborted on a poisoned lock unwound without taking its
+        // accumulators, and that residue must not be attributed to this op.
+        phase::reset_op();
         match op {
             Op::Read(inst) => {
                 let ctx = QueryCtx::with_timeout(self.op_timeout);
-                let t = Instant::now();
-                let db = self.lock.read().map_err(|_| poisoned("read"))?;
-                let wait = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                catalog::execute_read(&inst, db.as_ref(), self.params, &ctx)
-                    .map(|card| OpResult::plain(card).with_lock_wait(wait))
+                let db =
+                    gm_model::lockwait::timed(|| self.lock.read()).map_err(|_| poisoned("read"))?;
+                let card = {
+                    let _exec = phase::span(Phase::EngineExec);
+                    catalog::execute_read(&inst, db.as_ref(), self.params, &ctx)?
+                };
+                Ok(OpResult::plain(card).with_phases(phase::take_all()))
             }
             // No deadline on writes: the GraphDb mutation API carries no
             // QueryCtx (mutations are point operations in the paper's
             // taxonomy), so `op_timeout` bounds reads only.
             Op::Write(wop) => {
-                let t = Instant::now();
-                let mut db = self.lock.write().map_err(|_| poisoned("write"))?;
-                let wait = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                apply_write(
-                    wop,
-                    db.as_mut(),
-                    self.params,
-                    worker,
-                    op_index,
-                    &mut self.owned_edges,
-                )
-                .map(|card| OpResult::plain(card).with_lock_wait(wait))
+                let mut db = gm_model::lockwait::timed(|| self.lock.write())
+                    .map_err(|_| poisoned("write"))?;
+                let card = {
+                    let _exec = phase::span(Phase::EngineExec);
+                    apply_write(
+                        wop,
+                        db.as_mut(),
+                        self.params,
+                        worker,
+                        op_index,
+                        &mut self.owned_edges,
+                    )?
+                };
+                Ok(OpResult::plain(card).with_phases(phase::take_all()))
             }
         }
     }
@@ -798,27 +843,37 @@ impl Session for SnapshotSession<'_> {
     fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<OpResult> {
         // The waits on this path happen inside the snapshot source (pin
         // locks, the writer mutex), which reports them through the
-        // thread-local `lockwait` accumulator.
-        gm_model::lockwait::reset();
+        // thread-local `lockwait` accumulator; the source also opens
+        // `clone_publish` spans when it pays an epoch clone. Reset on entry
+        // so nothing from an aborted predecessor leaks into this op.
+        phase::reset_op();
         match op {
             Op::Read(inst) => {
                 let ctx = QueryCtx::with_timeout(self.op_timeout);
-                let snap = self.source.snapshot_recent(self.pin_staleness)?;
-                let cardinality = catalog::execute_read(&inst, snap.as_ref(), self.params, &ctx)?;
+                let snap = {
+                    let _pin = phase::span(Phase::SnapshotPin);
+                    self.source.snapshot_recent(self.pin_staleness)?
+                };
+                let cardinality = {
+                    let _exec = phase::span(Phase::EngineExec);
+                    catalog::execute_read(&inst, snap.as_ref(), self.params, &ctx)?
+                };
                 Ok(OpResult {
                     cardinality,
                     epoch: Some(snap.epoch()),
-                    lock_wait_nanos: gm_model::lockwait::take(),
+                    phases: phase::take_all(),
                 })
             }
             Op::Write(wop) => {
                 let params = self.params;
                 let owned_edges = &mut self.owned_edges;
-                self.source
-                    .with_write(&mut |db| {
+                let card = {
+                    let _exec = phase::span(Phase::EngineExec);
+                    self.source.with_write(&mut |db| {
                         apply_write(wop, db, params, worker, op_index, owned_edges)
-                    })
-                    .map(|card| OpResult::plain(card).with_lock_wait(gm_model::lockwait::take()))
+                    })?
+                };
+                Ok(OpResult::plain(card).with_phases(phase::take_all()))
             }
         }
     }
@@ -924,7 +979,7 @@ fn worker_loop(
         errors: 0,
         shed: 0,
         epoch_skew: 0,
-        lock_wait_nanos: 0,
+        phases: PhaseNanos::zero(),
         hist: LatencyHistogram::new(),
         cardinalities: Vec::new(),
     };
@@ -976,7 +1031,7 @@ fn worker_loop(
         match result {
             Ok(res) => {
                 stats.ops += 1;
-                stats.lock_wait_nanos += res.lock_wait_nanos;
+                stats.phases.accumulate(&res.phases);
                 if matches!(op, Op::Read(_)) {
                     stats.read_ops += 1;
                 }
@@ -1232,7 +1287,7 @@ mod tests {
                 errors,
                 shed,
                 epoch_skew: 0,
-                lock_wait_nanos: 0,
+                phases: PhaseNanos::zero(),
                 hist: hist.clone(),
                 cardinalities: Vec::new(),
             }],
@@ -1375,8 +1430,9 @@ mod tests {
             Ok(OpResult {
                 cardinality: 1,
                 epoch: Some(epoch),
-                lock_wait_nanos: 3,
-            })
+                phases: PhaseNanos::zero(),
+            }
+            .with_lock_wait(3))
         }
     }
 
@@ -1427,7 +1483,7 @@ mod tests {
             report
                 .workers
                 .iter()
-                .map(|w| w.lock_wait_nanos)
+                .map(|w| w.phases.get(Phase::LockWait))
                 .sum::<u64>()
         );
         assert_eq!(

@@ -39,5 +39,6 @@ pub use driver::{
     Session, SharedEngine, SnapshotBackend, WorkerStats, WorkloadConfig, ERR_CARD, SHED_CARD,
     SNAPSHOT_PIN_STALENESS, WORKLOAD_SLOTS,
 };
+pub use gm_obs::{Phase, PhaseNanos};
 pub use hist::{format_nanos, LatencyHistogram};
 pub use mix::{Mix, MixKind, Op, WriteOp};
