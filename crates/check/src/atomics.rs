@@ -1,0 +1,84 @@
+//! Atomic-ordering audit.
+//!
+//! `Ordering::Relaxed` is correct for *counters nobody synchronizes on* —
+//! metrics, round-robin spread counters, cooperative-cancellation flags —
+//! and subtly wrong for anything that publishes data another thread then
+//! reads without a lock. The workspace keeps the distinction auditable:
+//!
+//! * `crates/obs` (the metrics crate) and `crates/vendor` (offline
+//!   stand-ins) are allowlisted wholesale — metrics are the canonical
+//!   relaxed use, and vendor code follows upstream idiom;
+//! * everywhere else, each `Ordering::Relaxed` must carry a justification
+//!   marker on the same line or the line directly above:
+//!   `// gm-check: relaxed(reason)`.
+//!
+//! An unmarked relaxed load/store is a diagnostic: either the ordering is
+//! wrong (use `Acquire`/`Release`/`SeqCst`) or the justification belongs
+//! in the source where the next reader can see it.
+
+use crate::{Diag, SourceFile};
+
+const LINT: &str = "atomic-ordering";
+
+/// Path fragments exempt from the marker requirement.
+const ALLOWLIST: &[&str] = &["crates/obs/", "crates/vendor/"];
+
+pub fn check(files: &[SourceFile]) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    for f in files {
+        if ALLOWLIST.iter().any(|a| f.path.contains(a)) {
+            continue;
+        }
+        for (idx, l) in f.lines.iter().enumerate() {
+            if l.in_test || !l.code.contains("Ordering::Relaxed") {
+                continue;
+            }
+            // `use std::sync::atomic::Ordering::Relaxed` style imports are
+            // not acquisitions; the use sites they enable still match.
+            if l.code.trim_start().starts_with("use ") {
+                continue;
+            }
+            if !marked(&f.lines, idx) {
+                diags.push(Diag {
+                    file: f.path.clone(),
+                    line: l.no,
+                    lint: LINT,
+                    msg: "Ordering::Relaxed outside the metrics allowlist needs a \
+                          justification: `// gm-check: relaxed(why no ordering is needed)` \
+                          on this line or the line above"
+                        .into(),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// A marker covers its statement: same line, the line above, or — for a
+/// rustfmt-wrapped statement — directly above the statement's first line
+/// (walk up through continuation lines, which contain no `;`/`{`/`}`).
+fn marked(lines: &[crate::lexer::CleanLine], idx: usize) -> bool {
+    if has_marker(lines[idx].comment.as_deref()) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 && idx - j < 4 {
+        let prev = &lines[j - 1];
+        if has_marker(prev.comment.as_deref()) {
+            return true;
+        }
+        let t = prev.code.trim();
+        if t.is_empty() || t.contains(';') || t.contains('{') || t.contains('}') {
+            return false;
+        }
+        j -= 1;
+    }
+    false
+}
+
+fn has_marker(comment: Option<&str>) -> bool {
+    comment.is_some_and(|c| {
+        c.strip_prefix("gm-check: relaxed(")
+            .is_some_and(|r| !r.trim_end_matches(')').trim().is_empty())
+    })
+}

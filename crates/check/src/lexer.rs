@@ -1,0 +1,280 @@
+//! A line-oriented lexical pass over one Rust source file.
+//!
+//! The lints in this crate are textual by design — no `syn`, no dependency
+//! on nightly internals — but raw text matching would trip over patterns
+//! inside string literals and comments (`"never .unwrap() here"`), so every
+//! lint consumes [`CleanLine`]s instead of raw lines:
+//!
+//! * `code` is the line with comment text removed and the *contents* of
+//!   string/char literals blanked (the quotes survive, so offsets and
+//!   syntactic shape are preserved);
+//! * `comment` is the body of a plain `//` line comment, if any (doc
+//!   comments are deliberately **not** reported here — `// gm-check:` and
+//!   `// gm-lock:` waivers must be plain comments, not rustdoc);
+//! * `depth` is the brace-nesting depth at the **start** of the line, and
+//!   `depth_after` at its end — the scope model the lock-order lint uses;
+//! * `in_test` marks lines inside a `#[cfg(test)]`-gated item, which every
+//!   lint skips (tests unwrap freely, and deliberately provoke the runtime
+//!   deadlock detector).
+//!
+//! The scanner understands `//` and `/* */` comments (nested, as Rust's
+//! are), ordinary string literals with escapes, raw strings up to a few `#`
+//! levels, char literals, and the lifetime-vs-char-literal ambiguity
+//! (`'a>` vs `'a'`).
+
+/// One source line after lexical cleaning. See the module docs.
+pub struct CleanLine {
+    /// 1-based line number.
+    pub no: usize,
+    /// Code text: comments stripped, literal contents blanked.
+    pub code: String,
+    /// Body of a plain `//` comment on this line (trimmed), if present.
+    pub comment: Option<String>,
+    /// Brace depth at the start of the line.
+    pub depth: usize,
+    /// Brace depth after the line's last token.
+    pub depth_after: usize,
+    /// Inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// Scanner state that has to survive line breaks.
+enum Mode {
+    Code,
+    /// Inside `/* */`, with the current nesting level.
+    Block(usize),
+    /// Inside a normal `"…"` string.
+    Str,
+    /// Inside a raw string with `n` trailing hashes.
+    RawStr(usize),
+}
+
+/// Clean one file into per-line lexical facts.
+pub fn clean(src: &str) -> Vec<CleanLine> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    let mut depth = 0usize;
+    // `#[cfg(test)]` handling: after seeing the attribute we wait for the
+    // `{` that opens the gated item and record the depth it opened at; all
+    // lines until that brace closes are test code.
+    let mut pending_test_attr = false;
+    let mut test_depth: Option<usize> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let start_depth = depth;
+        let started_in_test = test_depth.is_some();
+        // Accumulate code as bytes — source lines may contain multi-byte
+        // UTF-8 (string contents are blanked, but `'✓'`-style char
+        // literals and identifiers must not break byte-wise scanning.)
+        let mut code: Vec<u8> = Vec::with_capacity(raw.len());
+        let mut comment: Option<String> = None;
+        let bytes = raw.as_bytes();
+        let mut i = 0usize;
+
+        while i < bytes.len() {
+            match mode {
+                Mode::Block(ref mut lvl) => {
+                    if bytes[i..].starts_with(b"/*") {
+                        *lvl += 1;
+                        i += 2;
+                    } else if bytes[i..].starts_with(b"*/") {
+                        *lvl -= 1;
+                        if *lvl == 0 {
+                            mode = Mode::Code;
+                        }
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::Str => match bytes[i] {
+                    b'\\' => i += 2, // escape: skip the escaped byte too
+                    b'"' => {
+                        code.push(b'"');
+                        mode = Mode::Code;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                Mode::RawStr(hashes) => {
+                    let closes = bytes[i] == b'"'
+                        && bytes.len() >= i + 1 + hashes
+                        && bytes[i + 1..i + 1 + hashes].iter().all(|&b| b == b'#');
+                    if closes {
+                        code.push(b'"');
+                        mode = Mode::Code;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    let rest = &bytes[i..];
+                    if rest.starts_with(b"//") {
+                        // Plain line comment → capture body; doc comments
+                        // (`///`, `//!`) are documentation, not waivers.
+                        if !rest.starts_with(b"///") && !rest.starts_with(b"//!") {
+                            comment = Some(String::from_utf8_lossy(&rest[2..]).trim().to_string());
+                        }
+                        break;
+                    } else if rest.starts_with(b"/*") {
+                        mode = Mode::Block(1);
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        code.push(b'"');
+                        mode = Mode::Str;
+                        i += 1;
+                    } else if bytes[i] == b'r' && {
+                        let hashes = bytes[i + 1..].iter().take_while(|&&b| b == b'#').count();
+                        bytes.get(i + 1 + hashes) == Some(&b'"')
+                    } {
+                        let hashes = bytes[i + 1..].iter().take_while(|&&b| b == b'#').count();
+                        code.push(b'"');
+                        mode = Mode::RawStr(hashes);
+                        i += 2 + hashes;
+                    } else if bytes[i] == b'\'' {
+                        // Char literal vs lifetime. `'\…'`, `'x'` or a
+                        // multi-byte `'✓'` is a char (one scalar, then the
+                        // closing quote); `'a>`/`'static`/`<'a, 'b>` are
+                        // lifetimes — their next byte is never a closing
+                        // quote one scalar later.
+                        if bytes.get(i + 1) == Some(&b'\\') {
+                            // Escaped char literal: scan to the closing quote.
+                            code.push(b'\'');
+                            code.push(b'\'');
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != b'\'' {
+                                j += 1;
+                            }
+                            i = j + 1;
+                        } else {
+                            let scalar_len = match bytes.get(i + 1) {
+                                Some(&b) if b < 0x80 => 1,
+                                Some(&b) if b < 0xE0 => 2,
+                                Some(&b) if b < 0xF0 => 3,
+                                Some(_) => 4,
+                                None => 0,
+                            };
+                            if scalar_len > 0 && bytes.get(i + 1 + scalar_len) == Some(&b'\'') {
+                                code.push(b'\'');
+                                code.push(b'\'');
+                                i += scalar_len + 2;
+                            } else {
+                                code.push(b'\'');
+                                i += 1;
+                            }
+                        }
+                    } else {
+                        let c = bytes[i];
+                        if c == b'{' {
+                            depth += 1;
+                        } else if c == b'}' {
+                            depth = depth.saturating_sub(1);
+                        }
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let code = String::from_utf8_lossy(&code).into_owned();
+
+        // cfg(test) tracking, on the cleaned code only.
+        if test_depth.is_none() {
+            if code.contains("#[cfg(test)]") {
+                pending_test_attr = true;
+            } else if pending_test_attr && code.contains('{') {
+                // The gated item opened on this line; it closes when depth
+                // returns below the depth its `{` produced.
+                test_depth = Some(start_depth + 1);
+                pending_test_attr = false;
+            }
+        }
+        let in_test = started_in_test || test_depth.is_some();
+        if let Some(td) = test_depth {
+            if depth < td {
+                test_depth = None;
+            }
+        }
+
+        out.push(CleanLine {
+            no: idx + 1,
+            code,
+            comment,
+            depth: start_depth,
+            depth_after: depth,
+            in_test,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let a = \"x.unwrap()\"; // gm-check: allow-panic(demo)\nlet b = 1;";
+        let lines = clean(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert_eq!(
+            lines[0].comment.as_deref(),
+            Some("gm-check: allow-panic(demo)")
+        );
+        assert!(lines[1].comment.is_none());
+    }
+
+    #[test]
+    fn doc_comments_are_not_waiver_comments() {
+        let lines = clean("/// gm-lock: meta\nfn f() {}\n");
+        assert!(lines[0].comment.is_none());
+    }
+
+    #[test]
+    fn depth_tracks_braces_outside_literals() {
+        let src = "fn f() {\n    let s = \"}}}{\";\n    { let x = 1; }\n}\n";
+        let lines = clean(src);
+        assert_eq!(lines[0].depth, 0);
+        assert_eq!(lines[1].depth, 1);
+        assert_eq!(lines[1].depth_after, 1, "braces inside strings are inert");
+        assert_eq!(lines[2].depth_after, 1);
+        assert_eq!(lines[3].depth_after, 0);
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lines = clean(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test, "test region ends with its brace");
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_line() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lines = clean(src);
+        assert!(lines[0].code.contains("str"));
+        assert_eq!(lines[0].depth_after, 0);
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let src = "let c = '{'; let d = '\\n';";
+        let lines = clean(src);
+        assert_eq!(
+            lines[0].depth_after, 0,
+            "brace inside char literal is inert"
+        );
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"body } .unwrap() \"#; let t = 2;";
+        let lines = clean(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("let t"));
+        assert_eq!(lines[0].depth_after, 0);
+    }
+}

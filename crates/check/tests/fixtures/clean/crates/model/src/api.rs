@@ -1,0 +1,19 @@
+// Clean fixture: every pattern the lints police, written the sanctioned
+// way — the checker must report nothing here.
+pub trait GraphSnapshot {
+    fn name(&self) -> String;
+    fn epoch(&self) -> u64 {
+        0
+    }
+}
+
+pub trait GraphDb: GraphSnapshot {
+    fn add_vertex(&mut self) -> u64;
+    fn sync(&mut self) -> Result<(), ()> {
+        Ok(())
+    }
+}
+
+impl<T: GraphSnapshot + ?Sized> GraphSnapshot for Box<T> {
+    crate::forward_graph_snapshot!(target = |s| (**s));
+}

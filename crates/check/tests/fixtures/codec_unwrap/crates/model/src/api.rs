@@ -1,0 +1,9 @@
+// Minimal trait file for the delegation lint's ground truth; the seeded
+// violations in this fixture live in the storage codec.
+pub trait GraphSnapshot {
+    fn name(&self) -> String;
+}
+
+pub trait GraphDb: GraphSnapshot {
+    fn add_vertex(&mut self) -> u64;
+}

@@ -1,0 +1,22 @@
+// Seeded violations: a decode path that panics on truncated input instead
+// of returning Corrupt — one unwrap, one unchecked index.
+pub fn decode_value(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let tag = buf[*pos];
+    *pos += 1;
+    let bytes: [u8; 8] = buf[*pos..*pos + 8].try_into().unwrap();
+    *pos += 8;
+    if tag == 1 {
+        Some(u64::from_le_bytes(bytes))
+    } else {
+        None
+    }
+}
+
+// A waived line must NOT be reported: the bound was checked above.
+pub fn peek(buf: &[u8]) -> Option<u8> {
+    if buf.is_empty() {
+        return None;
+    }
+    // gm-check: allow-panic(guarded by the is_empty check above)
+    Some(buf[0])
+}

@@ -1,0 +1,10 @@
+// Minimal trait file so the delegation lint has its ground truth; no
+// defaulted methods, no impls — the only seeded violation in this fixture
+// is the lock-order inversion in crates/shard.
+pub trait GraphSnapshot {
+    fn name(&self) -> String;
+}
+
+pub trait GraphDb: GraphSnapshot {
+    fn add_vertex(&mut self) -> u64;
+}

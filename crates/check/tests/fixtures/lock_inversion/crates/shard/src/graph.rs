@@ -1,0 +1,19 @@
+// Seeded violation: the meta lock is acquired while a shard lock is still
+// held — the inverse of the workspace order (meta before shards).
+pub fn remove_vertex(g: &Graph) {
+    // gm-lock: shard
+    let mut shard = g.shard_write(0);
+    // gm-lock: meta
+    let mut meta = g.meta_write();
+    meta.forget(&mut shard);
+}
+
+// Correctly ordered sibling, so the fixture also proves the lint does not
+// flag the documented order.
+pub fn add_vertex(g: &Graph) {
+    // gm-lock: meta
+    let meta = g.meta_read();
+    // gm-lock: shard
+    let mut shard = g.shard_write(meta.place());
+    shard.push();
+}

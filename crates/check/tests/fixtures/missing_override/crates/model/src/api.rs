@@ -1,0 +1,15 @@
+// Mini trait surface for the delegation fixture: one required method, one
+// defaulted method that a forwarding impl can silently drop.
+pub trait GraphSnapshot {
+    fn name(&self) -> String;
+    fn epoch(&self) -> u64 {
+        0
+    }
+}
+
+pub trait GraphDb: GraphSnapshot {
+    fn add_vertex(&mut self) -> u64;
+    fn sync(&mut self) -> Result<(), ()> {
+        Ok(())
+    }
+}

@@ -1,0 +1,21 @@
+// Seeded violation: this forwarding impl overrides `name` (required — the
+// compiler would force that anyway) but inherits the defaulted `epoch`,
+// so every snapshot it serves reports epoch 0.
+pub struct Wrapper {
+    inner: Inner,
+}
+
+impl GraphSnapshot for Wrapper {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+}
+
+impl GraphDb for Wrapper {
+    fn add_vertex(&mut self) -> u64 {
+        self.inner.add_vertex()
+    }
+    fn sync(&mut self) -> Result<(), ()> {
+        self.inner.sync()
+    }
+}

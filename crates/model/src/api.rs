@@ -430,159 +430,18 @@ pub trait SharedGraph: GraphSnapshot {
 // driver; composites like `gm-shard`'s `ShardedGraph<E>` are generic over
 // `E: GraphDb` and want to accept registry engines directly. Delegating the
 // traits through `Box` makes `Box<dyn GraphDb>: GraphDb` (and likewise for
-// `GraphSnapshot`), so `ShardedGraph<Box<dyn GraphDb>>` just works. Every
-// method — including the overridable scans — forwards to the boxed value, so
-// per-engine physical strategies survive the indirection.
+// `GraphSnapshot`), so `ShardedGraph<Box<dyn GraphDb>>` just works. The
+// `forward_*` macros generate every method — including the overridable
+// scans — as a forward to the boxed value, so per-engine physical
+// strategies survive the indirection and a newly added trait method can
+// never silently fall back to its default here.
 
 impl<T: GraphSnapshot + ?Sized> GraphSnapshot for Box<T> {
-    fn name(&self) -> String {
-        (**self).name()
-    }
-    fn features(&self) -> EngineFeatures {
-        (**self).features()
-    }
-    fn epoch(&self) -> u64 {
-        (**self).epoch()
-    }
-    fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
-        (**self).resolve_vertex(canonical)
-    }
-    fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
-        (**self).resolve_edge(canonical)
-    }
-    fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
-        (**self).vertex_count(ctx)
-    }
-    fn edge_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
-        (**self).edge_count(ctx)
-    }
-    fn edge_label_set(&self, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
-        (**self).edge_label_set(ctx)
-    }
-    fn vertices_with_property(
-        &self,
-        name: &str,
-        value: &Value,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<Vid>> {
-        (**self).vertices_with_property(name, value, ctx)
-    }
-    fn edges_with_property(
-        &self,
-        name: &str,
-        value: &Value,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<Eid>> {
-        (**self).edges_with_property(name, value, ctx)
-    }
-    fn edges_with_label(&self, label: &str, ctx: &QueryCtx) -> GdbResult<Vec<Eid>> {
-        (**self).edges_with_label(label, ctx)
-    }
-    fn vertex(&self, v: Vid) -> GdbResult<Option<VertexData>> {
-        (**self).vertex(v)
-    }
-    fn edge(&self, e: Eid) -> GdbResult<Option<EdgeData>> {
-        (**self).edge(e)
-    }
-    fn neighbors(
-        &self,
-        v: Vid,
-        dir: Direction,
-        label: Option<&str>,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<Vid>> {
-        (**self).neighbors(v, dir, label, ctx)
-    }
-    fn vertex_edges(
-        &self,
-        v: Vid,
-        dir: Direction,
-        label: Option<&str>,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<EdgeRef>> {
-        (**self).vertex_edges(v, dir, label, ctx)
-    }
-    fn vertex_degree(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<u64> {
-        (**self).vertex_degree(v, dir, ctx)
-    }
-    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
-        (**self).vertex_edge_labels(v, dir, ctx)
-    }
-    fn scan_vertices<'a>(
-        &'a self,
-        ctx: &'a QueryCtx,
-    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Vid>> + 'a>> {
-        (**self).scan_vertices(ctx)
-    }
-    fn scan_edges<'a>(
-        &'a self,
-        ctx: &'a QueryCtx,
-    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Eid>> + 'a>> {
-        (**self).scan_edges(ctx)
-    }
-    fn vertex_property(&self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
-        (**self).vertex_property(v, name)
-    }
-    fn edge_property(&self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
-        (**self).edge_property(e, name)
-    }
-    fn edge_endpoints(&self, e: Eid) -> GdbResult<Option<(Vid, Vid)>> {
-        (**self).edge_endpoints(e)
-    }
-    fn edge_label(&self, e: Eid) -> GdbResult<Option<String>> {
-        (**self).edge_label(e)
-    }
-    fn vertex_label(&self, v: Vid) -> GdbResult<Option<String>> {
-        (**self).vertex_label(v)
-    }
-    fn degree_scan(&self, dir: Direction, k: u64, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
-        (**self).degree_scan(dir, k, ctx)
-    }
-    fn distinct_neighbor_scan(&self, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
-        (**self).distinct_neighbor_scan(dir, ctx)
-    }
-    fn has_vertex_index(&self, prop: &str) -> bool {
-        (**self).has_vertex_index(prop)
-    }
-    fn space(&self) -> SpaceReport {
-        (**self).space()
-    }
+    crate::forward_graph_snapshot!(target = |s| (**s));
 }
 
 impl<T: GraphDb + ?Sized> GraphDb for Box<T> {
-    fn bulk_load(&mut self, data: &Dataset, opts: &LoadOptions) -> GdbResult<LoadStats> {
-        (**self).bulk_load(data, opts)
-    }
-    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
-        (**self).add_vertex(label, props)
-    }
-    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
-        (**self).add_edge(src, dst, label, props)
-    }
-    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
-        (**self).set_vertex_property(v, name, value)
-    }
-    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
-        (**self).set_edge_property(e, name, value)
-    }
-    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
-        (**self).remove_vertex(v)
-    }
-    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
-        (**self).remove_edge(e)
-    }
-    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
-        (**self).remove_vertex_property(v, name)
-    }
-    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
-        (**self).remove_edge_property(e, name)
-    }
-    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
-        (**self).create_vertex_index(prop)
-    }
-    fn sync(&mut self) -> GdbResult<()> {
-        (**self).sync()
-    }
+    crate::forward_graph_db!(target = |s| (**s));
 }
 
 /// A timeout helper used by the runner: the paper's per-query budget.

@@ -67,10 +67,13 @@ impl QueryCtx {
     /// deadline has passed. Engines call this in every scan/traversal loop.
     #[inline]
     pub fn tick(&self) -> GdbResult<()> {
+        // gm-check: relaxed(cancellation flag: a late observation only delays the timeout by ticks)
         if self.expired.load(Ordering::Relaxed) {
             return Err(GdbError::Timeout);
         }
+        // gm-check: relaxed(work counter: single-query hot path, approximate totals are fine)
         let t = self.ticks.load(Ordering::Relaxed).wrapping_add(1);
+        // gm-check: relaxed(work counter: single-query hot path, approximate totals are fine)
         self.ticks.store(t, Ordering::Relaxed);
         if t.is_multiple_of(TICKS_PER_CLOCK_CHECK) {
             self.check_clock()?;
@@ -81,11 +84,14 @@ impl QueryCtx {
     /// Record `n` units of work at once (bulk operations).
     #[inline]
     pub fn tick_n(&self, n: u64) -> GdbResult<()> {
+        // gm-check: relaxed(cancellation flag: a late observation only delays the timeout by ticks)
         if self.expired.load(Ordering::Relaxed) {
             return Err(GdbError::Timeout);
         }
+        // gm-check: relaxed(work counter: single-query hot path, approximate totals are fine)
         let before = self.ticks.load(Ordering::Relaxed);
         let after = before.wrapping_add(n);
+        // gm-check: relaxed(work counter: single-query hot path, approximate totals are fine)
         self.ticks.store(after, Ordering::Relaxed);
         if before / TICKS_PER_CLOCK_CHECK != after / TICKS_PER_CLOCK_CHECK {
             self.check_clock()?;
@@ -97,6 +103,7 @@ impl QueryCtx {
     pub fn check_clock(&self) -> GdbResult<()> {
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
+                // gm-check: relaxed(cancellation flag: readers tolerate a few extra ticks)
                 self.expired.store(true, Ordering::Relaxed);
                 return Err(GdbError::Timeout);
             }
@@ -107,11 +114,13 @@ impl QueryCtx {
     /// Total units of work recorded so far — a rough, engine-reported
     /// "elements touched" figure that reports can show next to latencies.
     pub fn work(&self) -> u64 {
+        // gm-check: relaxed(work counter: approximate report figure)
         self.ticks.load(Ordering::Relaxed)
     }
 
     /// Whether this context has already observed its deadline expiring.
     pub fn is_expired(&self) -> bool {
+        // gm-check: relaxed(cancellation flag: a stale false only delays the timeout by ticks)
         self.expired.load(Ordering::Relaxed)
     }
 

@@ -25,11 +25,13 @@ pub mod api;
 pub mod ctx;
 pub mod dataset;
 pub mod error;
+pub mod forward;
 pub mod fxmap;
 pub mod graphson;
 pub mod ids;
 pub mod interner;
 pub mod json;
+pub mod lockorder;
 pub mod lockwait;
 pub mod testkit;
 pub mod value;

@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 use gm_model::api::{
     Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, SpaceReport, VertexData,
 };
+use gm_model::lockorder::{self, LockRank};
 use gm_model::{lockwait, Eid, GdbError, GdbResult, QueryCtx, Value, Vid};
 use gm_obs::{phase, Counter, Gauge, Histo, Phase};
 
@@ -355,6 +356,8 @@ impl PinTable {
 
     fn pin(self: &Arc<Self>, epoch: u64, bytes: u64) -> Arc<PinGuard> {
         let now = self.origin.elapsed().as_micros() as u64;
+        // gm-lock: leaf
+        let _t = lockorder::acquire(LockRank::Leaf, "gm-mvcc/lib.rs pin table pin");
         let mut map = self.epochs.lock().expect("pin table lock");
         let entry = map.entry(epoch).or_insert(EpochPins {
             pins: 0,
@@ -372,6 +375,8 @@ impl PinTable {
 
     fn unpin(&self, epoch: u64) {
         let now = self.origin.elapsed().as_micros() as u64;
+        // gm-lock: leaf
+        let _t = lockorder::acquire(LockRank::Leaf, "gm-mvcc/lib.rs pin table unpin");
         let mut map = self.epochs.lock().expect("pin table lock");
         if let Some(entry) = map.get_mut(&epoch) {
             entry.pins -= 1;
@@ -456,6 +461,7 @@ impl CellMetrics {
     }
 
     fn on_write(&self) {
+        // gm-check: relaxed(metrics counter: drained by swap at publish, no ordering consumer)
         self.pending_writes.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -464,14 +470,17 @@ impl CellMetrics {
     fn on_publish(&self, epoch: u64, graph: &dyn GraphSnapshot) {
         self.publishes.inc();
         self.epoch.set(epoch as i64);
+        // gm-check: relaxed(metrics counter: publish runs under the writer mutex, no racing consumer)
         self.commit_batch
             .record(self.pending_writes.swap(0, Ordering::Relaxed));
+        // gm-check: relaxed(metrics gauge: pins read a best-effort size estimate, staleness is fine)
         self.published_bytes
             .store(graph.space().total(), Ordering::Relaxed);
     }
 
     fn on_pin(&self, epoch: u64) -> Arc<PinGuard> {
         self.pins.inc();
+        // gm-check: relaxed(metrics gauge: best-effort size estimate attached to the pin)
         self.pin_table
             .pin(epoch, self.published_bytes.load(Ordering::Relaxed))
     }
@@ -569,9 +578,14 @@ impl<E: GraphDb + Clone + 'static> CowCell<E> {
 
     fn publish_pending(&self) -> GdbResult<()> {
         let _span = phase::span(Phase::ClonePublish);
+        // gm-lock: cell-writer
+        let _tw = lockorder::acquire(LockRank::CellWriter, "gm-mvcc/lib.rs cow publish");
         let mut working =
             lockwait::timed(|| self.working.lock()).map_err(|_| poisoned("cow writer"))?;
         if let Some(pending) = working.take() {
+            // gm-lock: cell-published
+            let _tp =
+                lockorder::acquire(LockRank::CellPublished, "gm-mvcc/lib.rs cow publish swap");
             let mut published = lockwait::timed(|| self.published.write())
                 .map_err(|_| poisoned("cow published"))?;
             published.epoch += 1;
@@ -585,9 +599,13 @@ impl<E: GraphDb + Clone + 'static> CowCell<E> {
     }
 
     fn pinned(&self) -> GdbResult<Box<dyn GraphSnapshot>> {
-        let mut view = lockwait::timed(|| self.published.read())
-            .map_err(|_| poisoned("cow published"))?
-            .clone();
+        let mut view = {
+            // gm-lock: cell-published
+            let _t = lockorder::acquire(LockRank::CellPublished, "gm-mvcc/lib.rs cow pin");
+            lockwait::timed(|| self.published.read())
+                .map_err(|_| poisoned("cow published"))?
+                .clone()
+        };
         if let Some(m) = &self.metrics {
             view.pin = Some(m.on_pin(view.epoch));
         }
@@ -605,6 +623,8 @@ impl<E: GraphDb + Clone + 'static> SnapshotSource for CowCell<E> {
     }
 
     fn current_epoch(&self) -> u64 {
+        // gm-lock: cell-published transient
+        let _t = lockorder::acquire(LockRank::CellPublished, "gm-mvcc/lib.rs cow epoch probe");
         self.published.read().map(|p| p.epoch).unwrap_or(0)
     }
 
@@ -631,6 +651,8 @@ impl<E: GraphDb + Clone + 'static> SnapshotSource for CowCell<E> {
     }
 
     fn with_write(&self, f: &mut WriteFn<'_>) -> GdbResult<u64> {
+        // gm-lock: cell-writer
+        let _tw = lockorder::acquire(LockRank::CellWriter, "gm-mvcc/lib.rs cow write");
         let mut working =
             lockwait::timed(|| self.working.lock()).map_err(|_| poisoned("cow writer"))?;
         // Clone-on-first-write per epoch: later writes of the same epoch
@@ -638,11 +660,16 @@ impl<E: GraphDb + Clone + 'static> SnapshotSource for CowCell<E> {
         // so a strict pin racing this write either misses it entirely (the
         // write has not completed) or publishes it.
         if working.is_none() {
-            let base = Arc::clone(
-                &lockwait::timed(|| self.published.read())
-                    .map_err(|_| poisoned("cow published"))?
-                    .graph,
-            );
+            let base = {
+                // gm-lock: cell-published transient
+                let _tp =
+                    lockorder::acquire(LockRank::CellPublished, "gm-mvcc/lib.rs cow write base");
+                Arc::clone(
+                    &lockwait::timed(|| self.published.read())
+                        .map_err(|_| poisoned("cow published"))?
+                        .graph,
+                )
+            };
             self.dirty.mark_dirty();
             let _span = phase::span(Phase::ClonePublish);
             let t0 = self.metrics.as_ref().map(|_| Instant::now());
@@ -701,6 +728,8 @@ impl<E: GraphDb + Clone + 'static> FreezeCell<E> {
 
     fn refreeze(&self) -> GdbResult<()> {
         let _span = phase::span(Phase::ClonePublish);
+        // gm-lock: cell-writer
+        let _tw = lockorder::acquire(LockRank::CellWriter, "gm-mvcc/lib.rs freeze refreeze");
         let live = lockwait::timed(|| self.live.lock()).map_err(|_| poisoned("freeze writer"))?;
         if !self.dirty.is_dirty() {
             return Ok(()); // another pin refroze while we waited
@@ -710,6 +739,11 @@ impl<E: GraphDb + Clone + 'static> FreezeCell<E> {
         if let (Some(m), Some(t0)) = (&self.metrics, t0) {
             m.clone_nanos.record(t0.elapsed().as_nanos() as u64);
         }
+        // gm-lock: cell-published
+        let _tp = lockorder::acquire(
+            LockRank::CellPublished,
+            "gm-mvcc/lib.rs freeze publish swap",
+        );
         let mut published =
             lockwait::timed(|| self.published.write()).map_err(|_| poisoned("freeze published"))?;
         published.epoch += 1;
@@ -722,9 +756,13 @@ impl<E: GraphDb + Clone + 'static> FreezeCell<E> {
     }
 
     fn pinned(&self) -> GdbResult<Box<dyn GraphSnapshot>> {
-        let mut view = lockwait::timed(|| self.published.read())
-            .map_err(|_| poisoned("freeze published"))?
-            .clone();
+        let mut view = {
+            // gm-lock: cell-published
+            let _t = lockorder::acquire(LockRank::CellPublished, "gm-mvcc/lib.rs freeze pin");
+            lockwait::timed(|| self.published.read())
+                .map_err(|_| poisoned("freeze published"))?
+                .clone()
+        };
         if let Some(m) = &self.metrics {
             view.pin = Some(m.on_pin(view.epoch));
         }
@@ -742,6 +780,8 @@ impl<E: GraphDb + Clone + 'static> SnapshotSource for FreezeCell<E> {
     }
 
     fn current_epoch(&self) -> u64 {
+        // gm-lock: cell-published transient
+        let _t = lockorder::acquire(LockRank::CellPublished, "gm-mvcc/lib.rs freeze epoch probe");
         self.published.read().map(|p| p.epoch).unwrap_or(0)
     }
 
@@ -767,6 +807,8 @@ impl<E: GraphDb + Clone + 'static> SnapshotSource for FreezeCell<E> {
     }
 
     fn with_write(&self, f: &mut WriteFn<'_>) -> GdbResult<u64> {
+        // gm-lock: cell-writer
+        let _tw = lockorder::acquire(LockRank::CellWriter, "gm-mvcc/lib.rs freeze write");
         let mut live =
             lockwait::timed(|| self.live.lock()).map_err(|_| poisoned("freeze writer"))?;
         // Stamp only the *first* write after a freeze: the staleness bound

@@ -269,6 +269,7 @@ fn expect_opt_value(rsp: Response) -> GdbResult<Option<Value>> {
 }
 
 impl GraphSnapshot for RemoteEngine {
+    // gm-check: allow-default(epoch: epochs ride on ExecOp responses; trait-level remote reads are unversioned)
     fn name(&self) -> String {
         self.name.clone()
     }

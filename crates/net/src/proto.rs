@@ -574,6 +574,7 @@ fn get_str_list(cur: &mut Cur<'_>) -> GdbResult<Vec<String>> {
 fn put_hist(out: &mut Vec<u8>, h: &HistSnapshot) {
     let top = h.counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
     wire::put_u8(out, top as u8);
+    // gm-check: allow-panic(encode path over trusted data; top = rposition + 1 is ≤ len by construction)
     for &c in &h.counts[..top] {
         wire::put_u64(out, c);
     }

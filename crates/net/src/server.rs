@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use gm_core::catalog;
 use gm_core::params::{ResolvedParams, Workload};
+use gm_model::lockorder::{self, LockRank, Ranked};
 use gm_model::{
     lockwait, Dataset, Eid, GdbError, GdbResult, GraphDb, GraphSnapshot, QueryCtx, SharedGraph, Vid,
 };
@@ -74,9 +75,9 @@ enum HostedEngine {
 /// A read execution view: the shared-lock guard, a pinned epoch, or a
 /// swap-guard over an internally-synchronized graph.
 enum ReadView<'a> {
-    Guard(RwLockReadGuard<'a, Box<dyn GraphDb>>),
+    Guard(Ranked<RwLockReadGuard<'a, Box<dyn GraphDb>>>),
     Snap(Box<dyn GraphSnapshot>),
-    Shared(RwLockReadGuard<'a, Box<dyn SharedGraph>>),
+    Shared(Ranked<RwLockReadGuard<'a, Box<dyn SharedGraph>>>),
 }
 
 impl ReadView<'_> {
@@ -136,17 +137,31 @@ impl Hosted {
     /// write.
     fn read_view(&self) -> GdbResult<ReadView<'_>> {
         match &self.engine {
-            HostedEngine::Locked { engine, .. } => Ok(ReadView::Guard(
-                lockwait::timed(|| engine.read()).map_err(|_| Self::poisoned("read"))?,
-            )),
-            HostedEngine::Snapshot { source, .. } => Ok(ReadView::Snap(
-                lockwait::timed(|| source.read())
-                    .map_err(|_| Self::poisoned("source read"))?
-                    .snapshot()?,
-            )),
-            HostedEngine::Shared { graph, .. } => Ok(ReadView::Shared(
-                lockwait::timed(|| graph.read()).map_err(|_| Self::poisoned("shared read"))?,
-            )),
+            HostedEngine::Locked { engine, .. } => {
+                // gm-lock: driver
+                let t = lockorder::acquire(LockRank::Driver, "gm-net/server.rs engine read");
+                Ok(ReadView::Guard(Ranked::new(
+                    lockwait::timed(|| engine.read()).map_err(|_| Self::poisoned("read"))?,
+                    t,
+                )))
+            }
+            HostedEngine::Snapshot { source, .. } => {
+                // gm-lock: driver transient
+                let _t = lockorder::acquire(LockRank::Driver, "gm-net/server.rs source read pin");
+                Ok(ReadView::Snap(
+                    lockwait::timed(|| source.read())
+                        .map_err(|_| Self::poisoned("source read"))?
+                        .snapshot()?,
+                ))
+            }
+            HostedEngine::Shared { graph, .. } => {
+                // gm-lock: driver
+                let t = lockorder::acquire(LockRank::Driver, "gm-net/server.rs shared read");
+                Ok(ReadView::Shared(Ranked::new(
+                    lockwait::timed(|| graph.read()).map_err(|_| Self::poisoned("shared read"))?,
+                    t,
+                )))
+            }
         }
     }
 
@@ -156,11 +171,15 @@ impl Hosted {
     fn read_view_recent(&self) -> GdbResult<ReadView<'_>> {
         match &self.engine {
             HostedEngine::Locked { .. } | HostedEngine::Shared { .. } => self.read_view(),
-            HostedEngine::Snapshot { source, .. } => Ok(ReadView::Snap(
-                lockwait::timed(|| source.read())
-                    .map_err(|_| Self::poisoned("source read"))?
-                    .snapshot_recent(gm_workload::SNAPSHOT_PIN_STALENESS)?,
-            )),
+            HostedEngine::Snapshot { source, .. } => {
+                // gm-lock: driver transient
+                let _t = lockorder::acquire(LockRank::Driver, "gm-net/server.rs source recent pin");
+                Ok(ReadView::Snap(
+                    lockwait::timed(|| source.read())
+                        .map_err(|_| Self::poisoned("source read"))?
+                        .snapshot_recent(gm_workload::SNAPSHOT_PIN_STALENESS)?,
+                ))
+            }
         }
     }
 
@@ -172,11 +191,15 @@ impl Hosted {
     ) -> GdbResult<R> {
         match &self.engine {
             HostedEngine::Locked { engine, .. } => {
+                // gm-lock: driver
+                let _t = lockorder::acquire(LockRank::Driver, "gm-net/server.rs engine write");
                 let mut db =
                     lockwait::timed(|| engine.write()).map_err(|_| Self::poisoned("write"))?;
                 f(db.as_mut())
             }
             HostedEngine::Snapshot { source, .. } => {
+                // gm-lock: driver
+                let _t = lockorder::acquire(LockRank::Driver, "gm-net/server.rs source write");
                 let source =
                     lockwait::timed(|| source.read()).map_err(|_| Self::poisoned("source read"))?;
                 let mut once = Some(f);
@@ -192,6 +215,8 @@ impl Hosted {
             // take only the *shared* side of the swap lock, so two remote
             // writers landing on different shards run in parallel.
             HostedEngine::Shared { graph, .. } => {
+                // gm-lock: driver
+                let _t = lockorder::acquire(LockRank::Driver, "gm-net/server.rs shared write");
                 let graph =
                     lockwait::timed(|| graph.read()).map_err(|_| Self::poisoned("shared read"))?;
                 let mut once = Some(f);
@@ -210,14 +235,20 @@ impl Hosted {
     fn reset_engine(&self) -> GdbResult<()> {
         match &self.engine {
             HostedEngine::Locked { factory, engine } => {
+                // gm-lock: driver
+                let _t = lockorder::acquire(LockRank::Driver, "gm-net/server.rs engine reset");
                 let mut db = engine.write().map_err(|_| Self::poisoned("write"))?;
                 *db = factory();
             }
             HostedEngine::Snapshot { factory, source } => {
+                // gm-lock: driver
+                let _t = lockorder::acquire(LockRank::Driver, "gm-net/server.rs source reset");
                 let mut src = source.write().map_err(|_| Self::poisoned("source write"))?;
                 *src = factory();
             }
             HostedEngine::Shared { factory, graph } => {
+                // gm-lock: driver
+                let _t = lockorder::acquire(LockRank::Driver, "gm-net/server.rs shared reset");
                 let mut g = graph.write().map_err(|_| Self::poisoned("shared write"))?;
                 *g = factory();
             }

@@ -145,29 +145,41 @@ impl<'a> Cur<'a> {
             .checked_add(n)
             .filter(|&e| e <= self.buf.len())
             .ok_or_else(|| Self::truncated(what))?;
+        // gm-check: allow-panic(slice range is the checked_add-validated [pos, end] window)
         let bytes = &self.buf[self.pos..end];
         self.pos = end;
         Ok(bytes)
     }
 
+    /// [`Cur::take`] with a compile-time length, for the fixed-width scalar
+    /// decoders: the array conversion is checked by construction instead of
+    /// leaning on `try_into().unwrap()` at every call site.
+    fn take_n<const N: usize>(&mut self, what: &str) -> GdbResult<[u8; N]> {
+        let bytes = self.take(N, what)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(bytes);
+        Ok(out)
+    }
+
     /// Read a `u8`.
     pub fn u8(&mut self) -> GdbResult<u8> {
-        Ok(self.take(1, "u8")?[0])
+        let [b] = self.take_n::<1>("u8")?;
+        Ok(b)
     }
 
     /// Read a `u16` (LE).
     pub fn u16(&mut self) -> GdbResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_n("u16")?))
     }
 
     /// Read a `u32` (LE).
     pub fn u32(&mut self) -> GdbResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_n("u32")?))
     }
 
     /// Read a `u64` (LE).
     pub fn u64(&mut self) -> GdbResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_n("u64")?))
     }
 
     /// Read a `bool`; any byte other than 0/1 is corrupt.

@@ -41,6 +41,7 @@ use gm_model::api::{
     Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, LoadOptions, LoadStats,
     SharedGraph, SpaceReport, VertexData,
 };
+use gm_model::lockorder::{self, LockRank, Ranked};
 use gm_model::{lockwait, Dataset, Eid, GdbError, GdbResult, Props, QueryCtx, Value, Vid};
 
 use crate::route::{
@@ -107,33 +108,74 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
 
     // ----- lock plumbing --------------------------------------------------
 
-    fn rlock(&self, s: usize) -> GdbResult<RwLockReadGuard<'_, E>> {
+    fn rlock(&self, s: usize) -> GdbResult<Ranked<RwLockReadGuard<'_, E>>> {
         if let Some(m) = &self.metrics {
             m.note_op(s);
         }
-        lockwait::timed(|| self.shards[s].read()).map_err(|_| poisoned("shard read"))
+        // gm-lock: shard
+        let t = lockorder::acquire(LockRank::Shard(s as u32), "gm-shard/graph.rs shard read");
+        lockwait::timed(|| self.shards[s].read())
+            .map(|g| Ranked::new(g, t))
+            .map_err(|_| poisoned("shard read"))
     }
 
-    fn wlock(&self, s: usize) -> GdbResult<RwLockWriteGuard<'_, E>> {
+    fn wlock(&self, s: usize) -> GdbResult<Ranked<RwLockWriteGuard<'_, E>>> {
         if let Some(m) = &self.metrics {
             m.note_op(s);
         }
-        lockwait::timed(|| self.shards[s].write()).map_err(|_| poisoned("shard write"))
+        // gm-lock: shard
+        let t = lockorder::acquire(LockRank::Shard(s as u32), "gm-shard/graph.rs shard write");
+        lockwait::timed(|| self.shards[s].write())
+            .map(|g| Ranked::new(g, t))
+            .map_err(|_| poisoned("shard write"))
     }
 
-    fn wlock_all(&self) -> GdbResult<Vec<RwLockWriteGuard<'_, E>>> {
+    fn wlock_all(&self) -> GdbResult<Vec<Ranked<RwLockWriteGuard<'_, E>>>> {
         self.shards
             .iter()
-            .map(|l| lockwait::timed(|| l.write()).map_err(|_| poisoned("shard write")))
+            .enumerate()
+            .map(|(s, l)| {
+                // gm-lock: shard
+                let t = lockorder::acquire(
+                    LockRank::Shard(s as u32),
+                    "gm-shard/graph.rs all-shards write",
+                );
+                lockwait::timed(|| l.write())
+                    .map(|g| Ranked::new(g, t))
+                    .map_err(|_| poisoned("shard write"))
+            })
             .collect()
     }
 
-    fn meta_read(&self) -> GdbResult<RwLockReadGuard<'_, Meta>> {
-        lockwait::timed(|| self.meta.read()).map_err(|_| poisoned("meta read"))
+    fn meta_read(&self) -> GdbResult<Ranked<RwLockReadGuard<'_, Meta>>> {
+        // gm-lock: meta
+        let t = lockorder::acquire(LockRank::Meta, "gm-shard/graph.rs meta read");
+        lockwait::timed(|| self.meta.read())
+            .map(|g| Ranked::new(g, t))
+            .map_err(|_| poisoned("meta read"))
     }
 
-    fn meta_write(&self) -> GdbResult<RwLockWriteGuard<'_, Meta>> {
-        lockwait::timed(|| self.meta.write()).map_err(|_| poisoned("meta write"))
+    fn meta_write(&self) -> GdbResult<Ranked<RwLockWriteGuard<'_, Meta>>> {
+        // gm-lock: meta
+        let t = lockorder::acquire(LockRank::Meta, "gm-shard/graph.rs meta write");
+        lockwait::timed(|| self.meta.write())
+            .map(|g| Ranked::new(g, t))
+            .map_err(|_| poisoned("meta write"))
+    }
+
+    /// The purge queue's mutex, rank-tracked. Innermost (leaf) rank: it is
+    /// taken either with nothing else held (the deferred-push and probe
+    /// paths) or inside the full meta + shard guard set (vertex removal).
+    fn purge_lock(
+        &self,
+        site: &'static str,
+    ) -> GdbResult<Ranked<std::sync::MutexGuard<'_, Vec<Eid>>>> {
+        // gm-lock: leaf
+        let t = lockorder::acquire(LockRank::Leaf, site);
+        self.pending_purges
+            .lock()
+            .map(|g| Ranked::new(g, t))
+            .map_err(|_| poisoned("purge queue"))
     }
 
     /// Apply deferred resolution-map purges. Cheap when the queue is empty
@@ -141,10 +183,8 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
     /// writer guard pass it in, everyone else lets this acquire one only
     /// when there is work.
     fn drain_purges(&self, held: Option<&mut Meta>) -> GdbResult<()> {
-        let mut pending = self
-            .pending_purges
-            .lock()
-            .map_err(|_| poisoned("purge queue"))?;
+        // gm-lock: leaf transient
+        let mut pending = self.purge_lock("gm-shard/graph.rs purge queue probe")?;
         if pending.is_empty() {
             return Ok(());
         }
@@ -156,11 +196,10 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
             }
             None => {
                 drop(pending); // meta before the queue: re-take in order
+                               // gm-lock: meta
                 let mut meta = self.meta_write()?;
-                let mut pending = self
-                    .pending_purges
-                    .lock()
-                    .map_err(|_| poisoned("purge queue"))?;
+                // gm-lock: leaf
+                let mut pending = self.purge_lock("gm-shard/graph.rs purge queue drain")?;
                 for e in pending.drain(..) {
                     meta.purge_edge(e);
                 }
@@ -178,9 +217,11 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
         select: impl FnOnce(&Meta) -> ShardSel,
         f: impl FnOnce(&Parts<'_>) -> R,
     ) -> GdbResult<R> {
+        // gm-lock: meta
         let meta = self.meta_read()?;
         let mut refs: Vec<Option<&dyn GraphSnapshot>> = vec![None; self.shards.len()];
-        let mut guards: Vec<(usize, RwLockReadGuard<'_, E>)> = Vec::new();
+        let mut guards: Vec<(usize, Ranked<RwLockReadGuard<'_, E>>)> = Vec::new();
+        // gm-lock: shard
         match select(&meta) {
             ShardSel::One(s) => guards.push((s, self.rlock(s)?)),
             ShardSel::Some(mut which) => {
@@ -243,7 +284,9 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
 
     pub(crate) fn sh_add_vertex(&self, label: &str, props: &Props) -> GdbResult<Vid> {
         let n = self.shard_count();
+        // gm-check: relaxed(round-robin placement counter: any interleaving is a valid placement)
         let s = (self.spread.fetch_add(1, Ordering::Relaxed) % n as u64) as usize;
+        // gm-lock: shard
         let mut g = self.wlock(s)?;
         let local = g.add_vertex(label, props)?;
         Ok(encode_vid(local, s, n))
@@ -262,6 +305,7 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
         if dst_shard == s {
             // Same-shard edge: one write guard, the inner engine validates
             // both endpoints itself.
+            // gm-lock: shard
             let mut g = self.wlock(s)?;
             let local = g.add_edge(local_src, local_dst_owner, label, props)?;
             return Ok(encode_eid(local, s, n));
@@ -270,6 +314,7 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
         // endpoint existed when the ghost was created (vertex removal
         // deletes its ghosts), so the steady state pays one meta read plus
         // the source shard's write guard — no cross-shard validation lock.
+        // gm-lock: meta transient
         let known_ghost = self.meta_read()?.ghosts[s].get(&dst.0).copied();
         let local_dst = match known_ghost {
             Some(ghost) => ghost,
@@ -280,6 +325,7 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
                 // is the same weakening every cross-partition system
                 // accepts.
                 {
+                    // gm-lock: shard
                     let owner = self.rlock(dst_shard)?;
                     if owner.vertex(local_dst_owner)?.is_none() {
                         return Err(GdbError::VertexNotFound(dst.0));
@@ -289,10 +335,12 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
                 // ghost vertex and its meta entry are created while holding
                 // meta.write → shard.write, so no read can observe the edge
                 // before the translation exists.
+                // gm-lock: meta
                 let mut meta = self.meta_write()?;
                 match meta.ghosts[s].get(&dst.0).copied() {
                     Some(ghost) => ghost, // raced another writer: reuse
                     None => {
+                        // gm-lock: shard
                         let mut g = self.wlock(s)?;
                         let ghost = g.add_vertex(GHOST_LABEL, &Vec::new())?;
                         meta.ghosts[s].insert(dst.0, ghost);
@@ -306,6 +354,7 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
                 }
             }
         };
+        // gm-lock: shard
         let mut g = self.wlock(s)?;
         let local = g.add_edge(local_src, local_dst, label, props)?;
         Ok(encode_eid(local, s, n))
@@ -313,17 +362,21 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
 
     pub(crate) fn sh_set_vertex_property(&self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
         let (local, owner) = decode_vid(v, self.shard_count());
+        // gm-lock: shard
         self.wlock(owner)?.set_vertex_property(local, name, value)
     }
 
     pub(crate) fn sh_set_edge_property(&self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
         let (local, s) = decode_eid(e, self.shard_count());
+        // gm-lock: shard
         self.wlock(s)?.set_edge_property(local, name, value)
     }
 
     pub(crate) fn sh_remove_vertex(&self, v: Vid) -> GdbResult<()> {
         let n = self.shard_count();
+        // gm-lock: meta
         let mut meta = self.meta_write()?;
+        // gm-lock: shard
         let mut guards = self.wlock_all()?;
         let (local, owner) = decode_vid(v, n);
         // Collect the incident edges before anything is removed, so the
@@ -363,15 +416,15 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
 
     pub(crate) fn sh_remove_edge(&self, e: Eid) -> GdbResult<()> {
         let (local, s) = decode_eid(e, self.shard_count());
+        // gm-lock: shard transient
         self.wlock(s)?.remove_edge(local)?;
         // An orphaned ghost (its last in-edge gone) is retained: it stays
         // invisible to every read and will be reused by the next cut edge
         // to the same destination. The resolution-map purge is deferred
         // (see `pending_purges`); canonical resolution drains the queue
         // before answering.
-        self.pending_purges
-            .lock()
-            .map_err(|_| poisoned("purge queue"))?
+        // gm-lock: leaf
+        self.purge_lock("gm-shard/graph.rs purge queue push")?
             .push(e);
         Ok(())
     }
@@ -389,6 +442,7 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
     pub(crate) fn sh_create_vertex_index(&self, prop: &str) -> GdbResult<()> {
         // Homogeneous shards: either all support indexes or none does, so a
         // first-shard failure leaves no partial state behind.
+        // gm-lock: shard
         for g in self.wlock_all()?.iter_mut() {
             g.create_vertex_index(prop)?;
         }
@@ -396,6 +450,7 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
     }
 
     pub(crate) fn sh_sync(&self) -> GdbResult<()> {
+        // gm-lock: shard
         for g in self.wlock_all()?.iter_mut() {
             g.sync()?;
         }
@@ -404,7 +459,9 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
 
     pub(crate) fn sh_bulk_load(&self, data: &Dataset, opts: &LoadOptions) -> GdbResult<LoadStats> {
         let n = self.shard_count();
+        // gm-lock: meta
         let mut meta = self.meta_write()?;
+        // gm-lock: shard
         let mut guards = self.wlock_all()?;
         let parts = partition(data, n)?;
         for (s, sub) in parts.subs.iter().enumerate() {
@@ -412,9 +469,8 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
         }
         let views: Vec<&dyn GraphSnapshot> = guards.iter().map(|g| &**g as _).collect();
         *meta = build_meta(&parts, &views)?;
-        self.pending_purges
-            .lock()
-            .map_err(|_| poisoned("purge queue"))?
+        // gm-lock: leaf
+        self.purge_lock("gm-shard/graph.rs purge queue clear")?
             .clear();
         Ok(LoadStats {
             vertices: data.vertex_count() as u64,
@@ -424,6 +480,8 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
 }
 
 impl<E: GraphDb + 'static> GraphSnapshot for ShardedGraph<E> {
+    // gm-check: allow-default(epoch: the locked composite is unversioned — reads observe whatever writes have landed, exactly like the engine-wide RwLock it replaces)
+
     fn name(&self) -> String {
         self.name.clone()
     }
@@ -614,6 +672,19 @@ impl<E: GraphDb + 'static> GraphSnapshot for ShardedGraph<E> {
         self.rlock(owner)?.vertex_label(local)
     }
 
+    fn degree_scan(&self, dir: Direction, k: u64, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        // One acquisition of every shard guard for the whole filter. The
+        // trait default would re-lock per `vertex_degree` probe — thousands
+        // of acquisition rounds per scan — and could interleave with
+        // writers mid-filter; this is the silent-default skew the gm-check
+        // delegation lint exists to catch.
+        self.with_all(|p| p.degree_scan(dir, k, ctx))?
+    }
+
+    fn distinct_neighbor_scan(&self, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        self.with_all(|p| p.distinct_neighbor_scan(dir, ctx))?
+    }
+
     fn has_vertex_index(&self, prop: &str) -> bool {
         self.with_all(|p| p.has_vertex_index(prop)).unwrap_or(false)
     }
@@ -624,49 +695,11 @@ impl<E: GraphDb + 'static> GraphSnapshot for ShardedGraph<E> {
 }
 
 impl<E: GraphDb + 'static> GraphDb for ShardedGraph<E> {
-    fn bulk_load(&mut self, data: &Dataset, opts: &LoadOptions) -> GdbResult<LoadStats> {
-        self.sh_bulk_load(data, opts)
-    }
-
-    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
-        self.sh_add_vertex(label, props)
-    }
-
-    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
-        self.sh_add_edge(src, dst, label, props)
-    }
-
-    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
-        self.sh_set_vertex_property(v, name, value)
-    }
-
-    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
-        self.sh_set_edge_property(e, name, value)
-    }
-
-    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
-        self.sh_remove_vertex(v)
-    }
-
-    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
-        self.sh_remove_edge(e)
-    }
-
-    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
-        self.sh_remove_vertex_property(v, name)
-    }
-
-    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
-        self.sh_remove_edge_property(e, name)
-    }
-
-    fn create_vertex_index(&mut self, prop: &str) -> GdbResult<()> {
-        self.sh_create_vertex_index(prop)
-    }
-
-    fn sync(&mut self) -> GdbResult<()> {
-        self.sh_sync()
-    }
+    // Exclusive access routes through the same shared-reference write path
+    // concurrent writers use: a throwaway `SharedWriter` per call costs
+    // nothing (it is one reference) and keeps exactly one implementation of
+    // every mutation.
+    gm_model::forward_graph_db!(target = |s| SharedWriter::new(s));
 }
 
 impl<E: GraphDb + 'static> SharedGraph for ShardedGraph<E> {
@@ -693,133 +726,11 @@ impl<'a, E: GraphDb + 'static> SharedWriter<'a, E> {
 }
 
 impl<E: GraphDb + 'static> GraphSnapshot for SharedWriter<'_, E> {
-    fn name(&self) -> String {
-        self.graph.name()
-    }
-
-    fn features(&self) -> EngineFeatures {
-        self.graph.features()
-    }
-
-    fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
-        self.graph.resolve_vertex(canonical)
-    }
-
-    fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
-        self.graph.resolve_edge(canonical)
-    }
-
-    fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
-        self.graph.vertex_count(ctx)
-    }
-
-    fn edge_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
-        self.graph.edge_count(ctx)
-    }
-
-    fn edge_label_set(&self, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
-        self.graph.edge_label_set(ctx)
-    }
-
-    fn vertices_with_property(
-        &self,
-        name: &str,
-        value: &Value,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<Vid>> {
-        self.graph.vertices_with_property(name, value, ctx)
-    }
-
-    fn edges_with_property(
-        &self,
-        name: &str,
-        value: &Value,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<Eid>> {
-        self.graph.edges_with_property(name, value, ctx)
-    }
-
-    fn edges_with_label(&self, label: &str, ctx: &QueryCtx) -> GdbResult<Vec<Eid>> {
-        self.graph.edges_with_label(label, ctx)
-    }
-
-    fn vertex(&self, v: Vid) -> GdbResult<Option<VertexData>> {
-        self.graph.vertex(v)
-    }
-
-    fn edge(&self, e: Eid) -> GdbResult<Option<EdgeData>> {
-        self.graph.edge(e)
-    }
-
-    fn neighbors(
-        &self,
-        v: Vid,
-        dir: Direction,
-        label: Option<&str>,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<Vid>> {
-        self.graph.neighbors(v, dir, label, ctx)
-    }
-
-    fn vertex_edges(
-        &self,
-        v: Vid,
-        dir: Direction,
-        label: Option<&str>,
-        ctx: &QueryCtx,
-    ) -> GdbResult<Vec<EdgeRef>> {
-        self.graph.vertex_edges(v, dir, label, ctx)
-    }
-
-    fn vertex_degree(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<u64> {
-        self.graph.vertex_degree(v, dir, ctx)
-    }
-
-    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
-        self.graph.vertex_edge_labels(v, dir, ctx)
-    }
-
-    fn scan_vertices<'a>(
-        &'a self,
-        ctx: &'a QueryCtx,
-    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Vid>> + 'a>> {
-        self.graph.scan_vertices(ctx)
-    }
-
-    fn scan_edges<'a>(
-        &'a self,
-        ctx: &'a QueryCtx,
-    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Eid>> + 'a>> {
-        self.graph.scan_edges(ctx)
-    }
-
-    fn vertex_property(&self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
-        self.graph.vertex_property(v, name)
-    }
-
-    fn edge_property(&self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
-        self.graph.edge_property(e, name)
-    }
-
-    fn edge_endpoints(&self, e: Eid) -> GdbResult<Option<(Vid, Vid)>> {
-        self.graph.edge_endpoints(e)
-    }
-
-    fn edge_label(&self, e: Eid) -> GdbResult<Option<String>> {
-        self.graph.edge_label(e)
-    }
-
-    fn vertex_label(&self, v: Vid) -> GdbResult<Option<String>> {
-        self.graph.vertex_label(v)
-    }
-
-    fn has_vertex_index(&self, prop: &str) -> bool {
-        self.graph.has_vertex_index(prop)
-    }
-
-    fn space(&self) -> SpaceReport {
-        self.graph.space()
-    }
+    // Complete by construction — including `epoch` and the bulk-scan
+    // overrides, which the hand-written predecessor of this impl silently
+    // dropped (reads through a writer handle fell back to the trait's
+    // per-vertex default decomposition).
+    gm_model::forward_graph_snapshot!(target = |s| s.graph);
 }
 
 impl<E: GraphDb + 'static> GraphDb for SharedWriter<'_, E> {

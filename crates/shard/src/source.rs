@@ -38,6 +38,7 @@ use gm_model::api::{
     Direction, EdgeData, EdgeRef, EngineFeatures, GraphDb, GraphSnapshot, LoadOptions, LoadStats,
     SpaceReport, VertexData,
 };
+use gm_model::lockorder::{self, LockRank, LockToken};
 use gm_model::{lockwait, Dataset, Eid, GdbError, GdbResult, Props, QueryCtx, Value, Vid};
 use gm_mvcc::SnapshotSource;
 use gm_obs::Counter;
@@ -151,7 +152,11 @@ impl ShardedSource {
                 if let Some(m) = &self.metrics {
                     m.seqlock_retries.inc();
                 }
-                drop(self.meta.read().map_err(|_| poisoned("meta read"))?);
+                {
+                    // gm-lock: meta transient
+                    let _t = lockorder::acquire(LockRank::Meta, "gm-shard/source.rs seqlock park");
+                    drop(self.meta.read().map_err(|_| poisoned("meta read"))?);
+                }
                 std::thread::yield_now();
                 continue;
             }
@@ -159,9 +164,13 @@ impl ShardedSource {
             for cell in &self.cells {
                 shards.push(pin(cell.as_ref())?);
             }
-            let meta = lockwait::timed(|| self.meta.read())
-                .map_err(|_| poisoned("meta read"))?
-                .clone();
+            let meta = {
+                // gm-lock: meta
+                let _t = lockorder::acquire(LockRank::Meta, "gm-shard/source.rs pin meta clone");
+                lockwait::timed(|| self.meta.read())
+                    .map_err(|_| poisoned("meta read"))?
+                    .clone()
+            };
             if self.topo.load(Ordering::SeqCst) == before {
                 let epoch = shards.iter().map(|s| s.epoch()).min().unwrap_or(0);
                 if let Some(m) = &self.metrics {
@@ -199,11 +208,14 @@ impl ShardedSource {
     /// The guard flips the seqlock back even on drop — panic included, so a
     /// failing topology write can never wedge every future pin.
     fn topo_write(&self) -> GdbResult<TopoGuard<'_>> {
+        // gm-lock: meta
+        let token = lockorder::acquire(LockRank::Meta, "gm-shard/source.rs topology write");
         let meta = lockwait::timed(|| self.meta.write()).map_err(|_| poisoned("meta write"))?;
         self.topo.fetch_add(1, Ordering::SeqCst);
         Ok(TopoGuard {
             meta,
             topo: &self.topo,
+            _token: token,
         })
     }
 }
@@ -212,6 +224,8 @@ impl ShardedSource {
 struct TopoGuard<'a> {
     meta: RwLockWriteGuard<'a, Meta>,
     topo: &'a AtomicU64,
+    /// Rank-stack entry for the meta writer lock; released with the guard.
+    _token: LockToken,
 }
 
 impl Drop for TopoGuard<'_> {
@@ -300,6 +314,14 @@ impl SourceWriter<'_> {
 impl GraphSnapshot for SourceWriter<'_> {
     fn name(&self) -> String {
         self.src.name.clone()
+    }
+
+    fn epoch(&self) -> u64 {
+        // Reads through the writer handle pin a fresh strict view per call,
+        // so the epoch they observe is the composite's current one — not
+        // the trait's "unversioned" 0 default this impl used to fall back
+        // to silently.
+        self.src.current_epoch()
     }
 
     fn features(&self) -> EngineFeatures {
@@ -394,6 +416,16 @@ impl GraphSnapshot for SourceWriter<'_> {
         self.view()?.vertex_edge_labels(v, dir, ctx)
     }
 
+    fn degree_scan(&self, dir: Direction, k: u64, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        // One pinned view for the whole filter: the default decomposition
+        // would pin a fresh composite view per `vertex_degree` probe.
+        self.view()?.degree_scan(dir, k, ctx)
+    }
+
+    fn distinct_neighbor_scan(&self, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        self.view()?.distinct_neighbor_scan(dir, ctx)
+    }
+
     fn scan_vertices<'a>(
         &'a self,
         ctx: &'a QueryCtx,
@@ -475,6 +507,7 @@ impl GraphDb for SourceWriter<'_> {
 
     fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
         let n = self.n();
+        // gm-check: relaxed(round-robin placement counter: any interleaving is a valid placement)
         let s = (self.src.spread.fetch_add(1, Ordering::Relaxed) % n as u64) as usize;
         self.note_op(s);
         let local = cell_write(self.src.cells[s].as_ref(), |db| db.add_vertex(label, props))?;
@@ -504,6 +537,8 @@ impl GraphDb for SourceWriter<'_> {
                 return Err(GdbError::VertexNotFound(dst.0));
             }
             let existing = {
+                // gm-lock: meta
+                let _t = lockorder::acquire(LockRank::Meta, "gm-shard/source.rs ghost lookup");
                 let meta =
                     lockwait::timed(|| self.src.meta.read()).map_err(|_| poisoned("meta read"))?;
                 meta.ghosts[s].get(&dst.0).copied()
@@ -614,9 +649,13 @@ impl GraphDb for SourceWriter<'_> {
         // Resolution-map purge without the seqlock: a pin may briefly keep
         // resolving the dead canonical id (and find the edge gone) — the
         // same answer an unsharded engine racing the removal gives.
-        lockwait::timed(|| self.src.meta.write())
-            .map_err(|_| poisoned("meta write"))?
-            .purge_edge(e);
+        {
+            // gm-lock: meta
+            let _t = lockorder::acquire(LockRank::Meta, "gm-shard/source.rs purge meta write");
+            lockwait::timed(|| self.src.meta.write())
+                .map_err(|_| poisoned("meta write"))?
+                .purge_edge(e);
+        }
         Ok(())
     }
 

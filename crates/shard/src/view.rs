@@ -297,6 +297,39 @@ impl Parts<'_> {
         Ok(labels)
     }
 
+    /// Q28–Q30 over the composite: evaluate the degree filter against one
+    /// consistent cross-shard state. Routing through `vertex_degree` keeps
+    /// the ghost arithmetic (presence-set gather for `In`/`Both`) in one
+    /// place; the point is that the whole filter runs under a single
+    /// acquisition of the shard views rather than re-acquiring per vertex,
+    /// which is what the trait's default decomposition would do.
+    pub fn degree_scan(&self, dir: Direction, k: u64, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        let mut out = Vec::new();
+        for v in self.scan_vertices(ctx)? {
+            let v = v?;
+            if self.vertex_degree(v, dir, ctx)? >= k {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Q31 over the composite: one-hop neighbor union, deduped across
+    /// shards, against one consistent cross-shard state.
+    pub fn distinct_neighbor_scan(&self, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        let mut sources = Vec::new();
+        for v in self.scan_vertices(ctx)? {
+            sources.push(v?);
+        }
+        let mut out = Vec::new();
+        for v in sources {
+            out.extend(self.neighbors(v, dir, None, ctx)?);
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
     /// Materialized vertex scan: ghosts filtered, ids composite. A mid-scan
     /// inner error (deadline) is preserved at its position.
     pub fn scan_vertices(&self, ctx: &QueryCtx) -> GdbResult<Vec<GdbResult<Vid>>> {
@@ -502,6 +535,14 @@ impl GraphSnapshot for ShardedView {
 
     fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
         self.with_parts(|p| p.vertex_edge_labels(v, dir, ctx))
+    }
+
+    fn degree_scan(&self, dir: Direction, k: u64, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        self.with_parts(|p| p.degree_scan(dir, k, ctx))
+    }
+
+    fn distinct_neighbor_scan(&self, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        self.with_parts(|p| p.distinct_neighbor_scan(dir, ctx))
     }
 
     fn scan_vertices<'a>(

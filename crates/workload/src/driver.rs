@@ -739,6 +739,11 @@ impl Session for LocalSession<'_> {
         match op {
             Op::Read(inst) => {
                 let ctx = QueryCtx::with_timeout(self.op_timeout);
+                // gm-lock: driver
+                let _t = gm_model::lockorder::acquire(
+                    gm_model::lockorder::LockRank::Driver,
+                    "gm-workload/driver.rs engine read",
+                );
                 let db =
                     gm_model::lockwait::timed(|| self.lock.read()).map_err(|_| poisoned("read"))?;
                 let card = {
@@ -751,6 +756,11 @@ impl Session for LocalSession<'_> {
             // QueryCtx (mutations are point operations in the paper's
             // taxonomy), so `op_timeout` bounds reads only.
             Op::Write(wop) => {
+                // gm-lock: driver
+                let _t = gm_model::lockorder::acquire(
+                    gm_model::lockorder::LockRank::Driver,
+                    "gm-workload/driver.rs engine write",
+                );
                 let mut db = gm_model::lockwait::timed(|| self.lock.write())
                     .map_err(|_| poisoned("write"))?;
                 let card = {
