@@ -41,6 +41,7 @@
 use gm_bench::{config, Env};
 use gm_core::summary::{self, ScalingRow};
 use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_obs::trace;
 use gm_workload::{run, run_snapshot, MixKind, RunReport, WorkloadConfig};
 use graphmark::model::{GdbResult, GraphDb};
 use graphmark::mvcc::{SnapshotMode, SnapshotSource};
@@ -92,6 +93,7 @@ fn log_row(r: &RunReport) {
 
 fn main() {
     config::apply_obs_mode();
+    config::apply_trace_mode();
     if std::env::args().any(|a| a == "--smoke") {
         smoke();
         return;
@@ -178,6 +180,24 @@ fn main() {
     print!("{}", summary::render_scaling(&rows));
     println!("\n--- csv ---");
     print!("{}", summary::scaling_to_csv(&rows));
+
+    if trace::enabled() {
+        let ring = trace::global_ring();
+        let stamped = rows.iter().filter(|r| r.p99_exemplar != 0).count();
+        let resolved = rows
+            .iter()
+            .filter(|r| r.p99_exemplar != 0 && ring.find(r.p99_exemplar).is_some())
+            .count();
+        eprintln!(
+            "[fig10] trace: {resolved}/{stamped} p99 exemplars resolve in the flight recorder"
+        );
+    }
+    if let Some(base) = config::trace_dump_path() {
+        match trace::dump_to(&base, &trace::global_ring().snapshot()) {
+            Ok(()) => eprintln!("[fig10] traces dumped to {base}.txt and {base}.json"),
+            Err(e) => eprintln!("[fig10] GM_TRACE_DUMP to {base} failed: {e}"),
+        }
+    }
 }
 
 /// The CI gate: on a tiny fixed configuration, a 4-shard write-heavy run

@@ -53,6 +53,7 @@ use gm_bench::{config, Env};
 use gm_core::report::{Report, RunMode};
 use gm_core::summary::{self, ScalingRow};
 use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_obs::trace;
 use gm_workload::{run, run_snapshot, MixKind, Pacing, WorkloadConfig};
 use graphmark::mvcc::{SnapshotMode, SnapshotSource};
 use graphmark::registry::EngineKind;
@@ -114,8 +115,40 @@ fn sweep_smoke() -> Sweep {
     }
 }
 
+/// Report how many of the sweep's `p99_exemplar` ids resolve against the
+/// flight recorder, and fail a smoke run on any dangling id: the driver
+/// promises it only stamps an exemplar whose record landed in the ring.
+fn check_exemplars(rows: &[ScalingRow], smoke: bool) {
+    if !trace::enabled() {
+        return;
+    }
+    let ring = trace::global_ring();
+    let stamped: Vec<u64> = rows
+        .iter()
+        .map(|r| r.p99_exemplar)
+        .filter(|&id| id != 0)
+        .collect();
+    let dangling = stamped
+        .iter()
+        .filter(|&&id| ring.find(id).is_none())
+        .count();
+    eprintln!(
+        "[fig8] trace: {}/{} p99 exemplars resolve in the flight recorder",
+        stamped.len() - dangling,
+        stamped.len()
+    );
+    if smoke && (dangling > 0 || stamped.is_empty()) {
+        eprintln!(
+            "[fig8] smoke FAILED: {dangling} dangling p99 exemplars of {} stamped",
+            stamped.len()
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     config::apply_obs_mode();
+    config::apply_trace_mode();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let sweep = if smoke {
         sweep_smoke()
@@ -261,6 +294,14 @@ fn main() {
     print!("{}", report.render_matrix(RunMode::Batch));
     println!("\n--- csv ---");
     print!("{}", summary::scaling_to_csv(&rows));
+
+    check_exemplars(&rows, smoke);
+    if let Some(base) = config::trace_dump_path() {
+        match trace::dump_to(&base, &trace::global_ring().snapshot()) {
+            Ok(()) => eprintln!("[fig8] traces dumped to {base}.txt and {base}.json"),
+            Err(e) => eprintln!("[fig8] GM_TRACE_DUMP to {base} failed: {e}"),
+        }
+    }
 
     if smoke {
         match sweep.snapshot {

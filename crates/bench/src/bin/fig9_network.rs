@@ -31,6 +31,7 @@ use gm_bench::{config, Env};
 use gm_core::summary::{self, ScalingRow};
 use gm_datasets::{self as datasets, DatasetId, Scale};
 use gm_net::{run_remote, Connection, Server, ServerHandle};
+use gm_obs::trace;
 use gm_workload::{run, MixKind, Pacing, RunReport, WorkloadConfig};
 use graphmark::registry::EngineKind;
 
@@ -98,6 +99,7 @@ impl ServerSlot {
 
 fn main() {
     config::apply_obs_mode();
+    config::apply_trace_mode();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let sweep = if smoke {
         sweep_smoke()
@@ -150,11 +152,54 @@ fn main() {
     let mut rows: Vec<ScalingRow> = Vec::new();
     let mut total_errors = 0u64;
     let mut failures = 0u32;
+    let mut unresolved_exemplars = 0u32;
+    let mut exemplar_rows = 0u32;
+    let mut stitched_traces = 0u32;
 
     let mut push = |report: RunReport, net: bool, rows: &mut Vec<ScalingRow>| -> f64 {
         let mut row = report.scaling_row();
         if net {
             row.engine.push_str("@net");
+        }
+        // Resolve the row's p99 exemplar against the flight recorder *now*,
+        // while the run's records are freshest in the ring: every reported
+        // exemplar must name a retrievable trace record.
+        if row.p99_exemplar != 0 {
+            exemplar_rows += 1;
+            match trace::global_ring().find(row.p99_exemplar) {
+                Some(rec) => eprintln!(
+                    "[fig9]     p99 exemplar {:#018x}: {} worker {} op {} took {}",
+                    rec.id,
+                    trace::op_code_label(rec.op_code),
+                    rec.worker,
+                    rec.op_index,
+                    summary::format_nanos(rec.total_nanos),
+                ),
+                None => {
+                    eprintln!(
+                        "[fig9]     p99 exemplar {:#018x} NOT in the flight recorder",
+                        row.p99_exemplar
+                    );
+                    unresolved_exemplars += 1;
+                }
+            }
+        }
+        // Stitched cross-process traces: network-attached closed-loop runs
+        // ship the server's phase spans back under the client's trace id, so
+        // a client record's phase self-times should account for (nearly all
+        // of) its end-to-end latency. Open-loop latency includes schedule
+        // queueing, which no phase attributes — skip those rows.
+        if net && report.offered_ops_per_sec.is_none() {
+            stitched_traces += trace::global_ring()
+                .snapshot()
+                .iter()
+                .filter(|r| {
+                    r.origin == trace::TraceOrigin::Client
+                        && r.phases.wire() > 0
+                        && r.phases.total() >= r.total_nanos.saturating_mul(4) / 5
+                        && r.phases.total() <= r.total_nanos
+                })
+                .count() as u32;
         }
         eprintln!(
             "[fig9]   {:<20} {:<11} c={:<2} {:>9.0} ops/s  p50 {:>9} p99 {:>9}{}",
@@ -285,6 +330,13 @@ fn main() {
     println!("\n--- csv ---");
     print!("{}", summary::scaling_to_csv(&rows));
 
+    if let Some(base) = config::trace_dump_path() {
+        match trace::dump_to(&base, &trace::global_ring().snapshot()) {
+            Ok(()) => eprintln!("[fig9] traces dumped to {base}.txt and {base}.json"),
+            Err(e) => eprintln!("[fig9] GM_TRACE_DUMP to {base} failed: {e}"),
+        }
+    }
+
     if smoke {
         if failures > 0 || total_errors > 0 {
             eprintln!(
@@ -293,6 +345,23 @@ fn main() {
             );
             std::process::exit(1);
         }
-        eprintln!("[fig9] smoke: loopback sweep clean — wire path sound");
+        if unresolved_exemplars > 0 || (trace::enabled() && exemplar_rows == 0) {
+            eprintln!(
+                "[fig9] smoke FAILED: {unresolved_exemplars} of {exemplar_rows} p99 exemplars \
+                 did not resolve to a flight-recorder record"
+            );
+            std::process::exit(1);
+        }
+        if trace::enabled() && stitched_traces == 0 {
+            eprintln!(
+                "[fig9] smoke FAILED: no stitched cross-process trace (no client record's \
+                 phase self-times covered >=80% of its end-to-end latency)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[fig9] smoke: loopback sweep clean — wire path sound \
+             ({exemplar_rows} exemplars resolved, {stitched_traces} stitched traces)"
+        );
     }
 }

@@ -1,0 +1,181 @@
+//! Trace smoke — the CI gate for the gm-trace flight recorder.
+//!
+//! Three claims, all cheap enough to check on every push:
+//!
+//! 1. **Attribution is honest.** A synthetic backend injects a ~2 ms
+//!    `EngineExec` delay into 4% of its ops (every `op_index % 50 == 7`).
+//!    The run's `p99_exemplar` must resolve in the flight recorder to one
+//!    of those injected ops, retained as a tail record whose phase vector
+//!    attributes ≥80% of the end-to-end latency to the injected phase —
+//!    the recorder finds the op a tail investigation would need.
+//! 2. **Ids are replay-stable.** The record retrieved through the exemplar
+//!    carries the (worker, op_index) that [`gm_obs::trace::derive_id`]
+//!    maps back to the same id, so a printed id alone identifies the op.
+//! 3. **`GM_TRACE=off` costs nothing.** With tracing off, `derive_id`
+//!    returns 0 (no mixing, no clock reads), a full run adds nothing to
+//!    the ring, and best-of-3 throughput on a delay-free workload is no
+//!    worse than 95% of tail-mode best.
+//!
+//! The binary drives the modes itself via `gm_obs::trace::set_mode` (both
+//! run in one process), so `GM_TRACE` in the environment is ignored here.
+
+use std::time::{Duration, Instant};
+
+use gm_model::GdbResult;
+use gm_obs::trace::{self, TraceMode, TraceOrigin};
+use gm_obs::{phase, Phase};
+use gm_workload::{
+    run_backend, Backend, MixKind, Op, OpResult, RunReport, Session, WorkloadConfig,
+};
+
+const SEED: u64 = 42;
+const THREADS: u32 = 2;
+const OPS: u64 = 400;
+/// Ops whose `op_index % VICTIM_MOD == VICTIM_REM` get the injected delay:
+/// 4% of the run, comfortably wider than the p99 cut so the p99 exemplar
+/// must land inside the injected population.
+const VICTIM_MOD: u64 = 50;
+const VICTIM_REM: u64 = 7;
+const DELAY: Duration = Duration::from_millis(2);
+
+fn fail(msg: &str) -> ! {
+    eprintln!("[trace_smoke] FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// A backend whose "engine" is a spin-wait: fast no-op for most ops, a
+/// [`DELAY`]-long `EngineExec` span for the victim ops. No real graph —
+/// the smoke measures the recorder, not an engine.
+struct DelayBackend {
+    inject: bool,
+}
+
+struct DelaySession<'a> {
+    b: &'a DelayBackend,
+}
+
+impl Backend for DelayBackend {
+    fn engine(&self) -> String {
+        "delay-injector".into()
+    }
+
+    fn open_session(&self, _worker: usize) -> GdbResult<Box<dyn Session + '_>> {
+        Ok(Box::new(DelaySession { b: self }))
+    }
+}
+
+impl Session for DelaySession<'_> {
+    fn execute(&mut self, _op: Op, _worker: usize, op_index: u64) -> GdbResult<OpResult> {
+        phase::reset_op();
+        if self.b.inject && op_index % VICTIM_MOD == VICTIM_REM {
+            let _span = phase::span_always(Phase::EngineExec);
+            let start = Instant::now();
+            while start.elapsed() < DELAY {
+                std::hint::spin_loop();
+            }
+        }
+        Ok(OpResult::plain(1).with_phases(phase::take_all()))
+    }
+}
+
+fn run_once(inject: bool, ops: u64) -> RunReport {
+    let backend = DelayBackend { inject };
+    let cfg = WorkloadConfig {
+        mix: MixKind::ReadHeavy,
+        threads: THREADS,
+        ops_per_worker: ops,
+        seed: SEED,
+        ..WorkloadConfig::default()
+    };
+    run_backend(&backend, "synthetic", &cfg).unwrap_or_else(|e| fail(&format!("run: {e}")))
+}
+
+fn main() {
+    // --- tail mode: the injected delay surfaces as the p99 exemplar ------
+    trace::set_mode(TraceMode::Tail);
+    let report = run_once(true, OPS);
+    let row = report.scaling_row();
+    if row.p99_exemplar == 0 {
+        fail("tail mode: no p99 exemplar was stamped");
+    }
+    let rec = trace::global_ring()
+        .find(row.p99_exemplar)
+        .unwrap_or_else(|| {
+            fail(&format!(
+                "p99 exemplar {:#018x} does not resolve in the flight recorder",
+                row.p99_exemplar
+            ))
+        });
+    if !rec.tail {
+        fail("the p99 exemplar's record is not tagged as a tail record");
+    }
+    if rec.origin != TraceOrigin::Client {
+        fail("an in-process run must record client-origin traces");
+    }
+    if rec.op_index % VICTIM_MOD != VICTIM_REM {
+        fail(&format!(
+            "p99 exemplar resolved to op (worker {}, index {}) — not an injected-delay op",
+            rec.worker, rec.op_index
+        ));
+    }
+    if trace::derive_id(SEED, rec.worker, rec.op_index) != rec.id {
+        fail("record's (worker, op_index) does not re-derive its own trace id");
+    }
+    let exec = rec.phases.get(Phase::EngineExec);
+    if exec < rec.total_nanos.saturating_mul(4) / 5 {
+        fail(&format!(
+            "injected phase covers only {exec} of {} ns end-to-end (want ≥80%)",
+            rec.total_nanos
+        ));
+    }
+    eprintln!(
+        "[trace_smoke] tail: exemplar {:#018x} → (worker {}, op {}) exec {:.2}ms of {:.2}ms \
+         e2e — attribution honest",
+        rec.id,
+        rec.worker,
+        rec.op_index,
+        exec as f64 / 1e6,
+        rec.total_nanos as f64 / 1e6
+    );
+
+    // --- off mode: no ids, no records, no cost ---------------------------
+    let best = |label: &str| -> f64 {
+        (0..3)
+            .map(|i| {
+                let r = run_once(false, 20_000);
+                eprintln!(
+                    "[trace_smoke] {label} run {i}: {:>9.0} ops/s",
+                    r.throughput()
+                );
+                r.throughput()
+            })
+            .fold(0.0, f64::max)
+    };
+    let tail_tput = best("tail");
+    trace::set_mode(TraceMode::Off);
+    if trace::derive_id(SEED, 0, 0) != 0 {
+        fail("off mode: derive_id must return 0 (the no-trace id)");
+    }
+    let before = trace::global_ring().snapshot().len();
+    let off_report = run_once(true, OPS);
+    if off_report.scaling_row().p99_exemplar != 0 {
+        fail("off mode: a p99 exemplar was stamped");
+    }
+    let after = trace::global_ring().snapshot().len();
+    if after != before {
+        fail(&format!(
+            "off mode: the ring grew from {before} to {after} records"
+        ));
+    }
+    let off_tput = best("off");
+    if off_tput < 0.95 * tail_tput {
+        fail(&format!(
+            "off-mode throughput {off_tput:.0} ops/s fell below 95% of tail-mode \
+             {tail_tput:.0} ops/s — the off path must cost nothing"
+        ));
+    }
+    eprintln!(
+        "[trace_smoke] off: zero ids, ring unchanged, best {off_tput:.0} ops/s vs tail best \
+         {tail_tput:.0} ops/s — PASS"
+    );
+}

@@ -113,6 +113,24 @@ pub const KNOBS: &[Knob] = &[
         default: "0",
         doc: "gm-server: log a one-line registry stats snapshot every N ms (0 = off)",
     },
+    Knob {
+        name: "GM_TRACE",
+        default: "tail",
+        doc: "per-op trace flight recorder (off = record nothing, zero overhead; tail = \
+              tail-biased retention via a moving latency threshold; all = record every op)",
+    },
+    Knob {
+        name: "GM_TRACE_CAP",
+        default: "4096",
+        doc: "flight-recorder ring capacity in records (clamped to [16, 1M]; takes effect \
+              before the first record)",
+    },
+    Knob {
+        name: "GM_TRACE_DUMP",
+        default: "(none)",
+        doc: "base path to dump retained traces on exit (<base>.txt aligned table + \
+              <base>.json Chrome trace_event)",
+    },
 ];
 
 /// Render the knob table (for `reproduce_all`'s header).
@@ -273,6 +291,37 @@ fn obs_mode_from(value: Option<&str>) -> gm_obs::ObsMode {
     }
 }
 
+/// Apply the trace knobs (`GM_TRACE`, `GM_TRACE_CAP`) to the process-global
+/// gm-obs trace state. Harness binaries call this right after
+/// [`apply_obs_mode`]: the capacity must land before the first record
+/// allocates the ring, and the mode gates every `derive_id` call after it.
+pub fn apply_trace_mode() {
+    gm_obs::trace::set_capacity(var_u64("GM_TRACE_CAP", 4096) as usize);
+    gm_obs::trace::set_mode(trace_mode_from(std::env::var("GM_TRACE").ok().as_deref()));
+}
+
+/// Pure parsing core of [`apply_trace_mode`]: unset keeps the default
+/// (`tail`); garbage warns and keeps the default.
+fn trace_mode_from(value: Option<&str>) -> gm_obs::TraceMode {
+    match value {
+        None => gm_obs::TraceMode::Tail,
+        Some(s) => gm_obs::TraceMode::parse(s).unwrap_or_else(|| {
+            warn_ignored("GM_TRACE", s, "off/tail/all");
+            gm_obs::TraceMode::Tail
+        }),
+    }
+}
+
+/// The trace dump base path (`GM_TRACE_DUMP`): `None` when unset or blank.
+/// Binaries that honour it write `<base>.txt` and `<base>.json` on exit via
+/// `gm_obs::trace::dump_to`.
+pub fn trace_dump_path() -> Option<String> {
+    std::env::var("GM_TRACE_DUMP")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+}
+
 /// The engine filter (`GM_ENGINES`; unset = all variants).
 pub fn var_engines() -> Vec<EngineKind> {
     match std::env::var("GM_ENGINES") {
@@ -369,6 +418,18 @@ mod tests {
     }
 
     #[test]
+    fn trace_mode_knob() {
+        use gm_obs::TraceMode;
+        // Pure core only — the real GM_TRACE is process-global state shared
+        // with other tests.
+        assert_eq!(trace_mode_from(None), TraceMode::Tail);
+        assert_eq!(trace_mode_from(Some("off")), TraceMode::Off);
+        assert_eq!(trace_mode_from(Some("tail")), TraceMode::Tail);
+        assert_eq!(trace_mode_from(Some("all")), TraceMode::All);
+        assert_eq!(trace_mode_from(Some("bogus")), TraceMode::Tail);
+    }
+
+    #[test]
     fn knob_registry_covers_the_documented_set() {
         for required in [
             "GM_SCALE",
@@ -379,6 +440,9 @@ mod tests {
             "GM_SNAPSHOT_MODE",
             "GM_OBS",
             "GM_STATS_INTERVAL_MS",
+            "GM_TRACE",
+            "GM_TRACE_CAP",
+            "GM_TRACE_DUMP",
         ] {
             assert!(
                 KNOBS.iter().any(|k| k.name == required),

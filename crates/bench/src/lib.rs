@@ -15,7 +15,10 @@
 //! `GM_BATCH`, `GM_ENGINES`; the concurrency/network/sharding sweeps add
 //! `GM_THREADS`, `GM_MIXES`, `GM_WL_OPS`, `GM_OVERLOAD_FACTORS`,
 //! `GM_MAX_LATENESS_MS`, `GM_SERVER_ADDR`, `GM_NET_CLIENTS`, and
-//! `GM_SHARDS`.
+//! `GM_SHARDS`. Observability is controlled by `GM_OBS` (metrics/phases)
+//! and `GM_TRACE`/`GM_TRACE_CAP`/`GM_TRACE_DUMP` (the per-op trace flight
+//! recorder behind the sweeps' `p99_exemplar` column; `trace_smoke` gates
+//! its attribution and off-mode overhead).
 
 use std::time::Duration;
 

@@ -14,6 +14,9 @@
 //!   decode paths (wire + storage codecs).
 //! * [`atomics`] — every `Ordering::Relaxed` outside the metrics crate
 //!   carries a written justification.
+//! * [`spans`] — no discarded `phase::span` guards (`let _ = …` or a bare
+//!   statement drops the RAII guard immediately, recording a ~0ns span
+//!   that silently falsifies every phase breakdown).
 //!
 //! The checker parses the workspace's own sources with a lightweight
 //! line lexer ([`lexer`]) — no `syn`, no proc-macro machinery — so it
@@ -24,6 +27,7 @@ pub mod delegation;
 pub mod lexer;
 pub mod lockorder;
 pub mod panics;
+pub mod spans;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -70,6 +74,7 @@ pub fn run(files: &[SourceFile]) -> Vec<Diag> {
     diags.extend(lockorder::check(files));
     diags.extend(panics::check(files));
     diags.extend(atomics::check(files));
+    diags.extend(spans::check(files));
     diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     diags
 }

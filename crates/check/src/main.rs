@@ -51,7 +51,8 @@ fn main() -> ExitCode {
     }
     if diags.is_empty() {
         eprintln!(
-            "gm-check: {} files clean (delegation, lock-order, panic-freedom, atomic-ordering)",
+            "gm-check: {} files clean (delegation, lock-order, panic-freedom, atomic-ordering, \
+             span-discipline)",
             files.len()
         );
         ExitCode::SUCCESS

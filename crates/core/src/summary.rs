@@ -250,6 +250,12 @@ pub struct ScalingRow {
     pub p99_nanos: u64,
     /// Worst observed per-op latency.
     pub max_nanos: u64,
+    /// Trace id of a flight-recorder-captured op from the p99 latency
+    /// bucket's neighborhood (the p99's own histogram bucket, or the nearest
+    /// bucket above it) — the handle that turns the aggregate p99 into one
+    /// concrete retrievable trace record. 0 when tracing was off or no tail
+    /// op was captured.
+    pub p99_exemplar: u64,
 }
 
 impl ScalingRow {
@@ -354,7 +360,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
     keys.dedup();
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<36} {:>7} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5} {:>9} {:>9} {:>9}\n",
+        "{:<36} {:>7} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5} {:>9} {:>9} {:>9} {:>18}\n",
         "engine/mix@isolation",
         "threads",
         "offered/s",
@@ -371,9 +377,10 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
         "skew",
         "exec/op",
         "snap/op",
-        "wire/op"
+        "wire/op",
+        "p99_exemplar"
     ));
-    out.push_str(&"-".repeat(198));
+    out.push_str(&"-".repeat(217));
     out.push('\n');
     for (engine, mix, isolation) in &keys {
         let mut group: Vec<&ScalingRow> = rows
@@ -399,8 +406,13 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
                 Some(rate) => format!("{rate:.0}"),
                 None => "-".to_string(),
             };
+            let exemplar = if r.p99_exemplar == 0 {
+                "-".to_string()
+            } else {
+                format!("{:#018x}", r.p99_exemplar)
+            };
             out.push_str(&format!(
-                "{:<36} {:>7} {:>12} {:>12.0} {:>12.0} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5} {:>9} {:>9} {:>9}\n",
+                "{:<36} {:>7} {:>12} {:>12.0} {:>12.0} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5} {:>9} {:>9} {:>9} {:>18}\n",
                 format!("{engine}/{mix}@{isolation}"),
                 r.threads,
                 offered,
@@ -417,7 +429,8 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
                 r.epoch_skew,
                 format_nanos(r.exec_per_op()),
                 format_nanos(r.snapshot_per_op()),
-                format_nanos(r.wire_per_op())
+                format_nanos(r.wire_per_op()),
+                exemplar
             ));
         }
     }
@@ -429,15 +442,20 @@ pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
     // The phase columns ride at the end so older consumers keyed on column
     // prefixes keep parsing.
     let mut out = String::from(
-        "engine,mix,isolation,threads,ops,read_ops,errors,shed,epoch_skew,lock_wait_ms,wall_millis,offered_ops_s,throughput_ops_s,read_ops_s,p50_us,p95_us,p99_us,max_us,engine_exec_ms,snapshot_pin_ms,clone_publish_ms,wire_encode_ms,wire_io_ms\n",
+        "engine,mix,isolation,threads,ops,read_ops,errors,shed,epoch_skew,lock_wait_ms,wall_millis,offered_ops_s,throughput_ops_s,read_ops_s,p50_us,p95_us,p99_us,max_us,engine_exec_ms,snapshot_pin_ms,clone_publish_ms,wire_encode_ms,wire_io_ms,p99_exemplar\n",
     );
     for r in rows {
         let offered = match r.offered_ops_per_sec {
             Some(rate) => format!("{rate:.1}"),
             None => String::new(),
         };
+        let exemplar = if r.p99_exemplar == 0 {
+            String::new()
+        } else {
+            format!("{:#x}", r.p99_exemplar)
+        };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{:.1},{:.1},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+            "{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{:.1},{:.1},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{}\n",
             r.engine,
             r.mix,
             r.isolation,
@@ -461,6 +479,7 @@ pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
             r.clone_publish_nanos as f64 / 1e6,
             r.wire_encode_nanos as f64 / 1e6,
             r.wire_io_nanos as f64 / 1e6,
+            exemplar,
         ));
     }
     out
@@ -557,6 +576,7 @@ mod tests {
             p95_nanos: 20_000,
             p99_nanos: 90_000,
             max_nanos: 15_000_000,
+            p99_exemplar: 0,
         }
     }
 
@@ -627,17 +647,41 @@ mod tests {
         let header = csv.lines().next().unwrap();
         assert!(
             header.ends_with(
-                "engine_exec_ms,snapshot_pin_ms,clone_publish_ms,wire_encode_ms,wire_io_ms"
+                "engine_exec_ms,snapshot_pin_ms,clone_publish_ms,wire_encode_ms,wire_io_ms,p99_exemplar"
             ),
-            "phase columns ride at the end: {header}"
+            "phase and exemplar columns ride at the end: {header}"
         );
         assert!(
             csv.lines()
                 .nth(1)
                 .unwrap()
-                .ends_with("4.000,1.000,1.000,2.000,1.000"),
+                .ends_with("4.000,1.000,1.000,2.000,1.000,"),
             "{csv}"
         );
+    }
+
+    #[test]
+    fn scaling_reports_p99_exemplar() {
+        let mut traced = srow("linked(v1)", 4, 1_000, 100);
+        traced.p99_exemplar = 0x1234_ABCD;
+        let untraced = srow("linked(v1)", 1, 1_000, 100);
+        let text = render_scaling(&[untraced.clone(), traced.clone()]);
+        assert!(text.contains("p99_exemplar"), "{text}");
+        assert!(
+            text.contains("0x000000001234abcd"),
+            "exemplar rendered as a full-width trace id:\n{text}"
+        );
+        // The untraced row renders a dash, not a zero id.
+        assert!(
+            text.lines()
+                .any(|l| l.contains("mixed@locked") && l.trim_end().ends_with('-')),
+            "untraced row ends in a dash:\n{text}"
+        );
+        let csv = scaling_to_csv(&[untraced, traced]);
+        assert!(csv.lines().next().unwrap().ends_with(",p99_exemplar"));
+        assert!(csv.contains(",0x1234abcd\n"), "{csv}");
+        // Untraced rows leave the column empty.
+        assert!(csv.lines().nth(1).unwrap().ends_with("0.000,"), "{csv}");
     }
 
     #[test]

@@ -38,7 +38,7 @@ use graphmark::registry::EngineKind;
 
 use gm_model::SharedGraph;
 use gm_net::Server;
-use gm_obs::{ObsMode, RegistrySnapshot};
+use gm_obs::{trace, ObsMode, RegistrySnapshot};
 
 /// One line of live server stats: interval throughput and p99 from the
 /// `net.*` metrics, snapshot-GC pressure from the `mvcc.*` gauges, and
@@ -127,6 +127,9 @@ fn main() {
         eprintln!("       GM_SHARDS (default 1; >1 hosts a gm-shard composite)");
         eprintln!("       GM_OBS (off|counters|phases; default phases)");
         eprintln!("       GM_STATS_INTERVAL_MS (default 0 = no periodic stats line)");
+        eprintln!("       GM_TRACE (off|tail|all; default tail = tail-biased flight recorder)");
+        eprintln!("       GM_TRACE_CAP (flight-recorder capacity, default 4096)");
+        eprintln!("       GM_TRACE_DUMP (path base: dump <base>.txt/<base>.json on shutdown)");
         std::process::exit(0);
     }
 
@@ -135,6 +138,27 @@ fn main() {
             Some(mode) => gm_obs::set_mode(mode),
             None => {
                 eprintln!("[gm-server] unknown GM_OBS {s:?} (want off|counters|phases)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // gm-net must not depend on gm-bench, so the trace knobs are parsed
+    // here directly (same names, same defaults as `gm_bench::config`).
+    if let Ok(s) = std::env::var("GM_TRACE_CAP") {
+        match s.trim().parse::<usize>() {
+            Ok(cap) => trace::set_capacity(cap),
+            Err(_) => {
+                eprintln!("[gm-server] invalid GM_TRACE_CAP {s:?} (want a record count)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Ok(s) = std::env::var("GM_TRACE") {
+        match trace::TraceMode::parse(&s) {
+            Some(mode) => trace::set_mode(mode),
+            None => {
+                eprintln!("[gm-server] unknown GM_TRACE {s:?} (want off|tail|all)");
                 std::process::exit(2);
             }
         }
@@ -231,10 +255,11 @@ fn main() {
     match server.local_addr() {
         Ok(bound) => eprintln!(
             "[gm-server] hosting {hosted} ({}) on {bound} — protocol v{}, {isolation} reads, \
-             obs {}",
+             obs {}, trace {}",
             kind.emulates(),
             gm_net::PROTO_VERSION,
-            gm_obs::mode().name()
+            gm_obs::mode().name(),
+            trace::mode().name()
         ),
         Err(e) => eprintln!("[gm-server] hosting {hosted} ({e})"),
     }
@@ -261,8 +286,17 @@ fn main() {
 
     server.run();
 
-    // Graceful shutdown (stop flag tripped): leave a final accounting of
-    // what the registry saw — op totals and the snapshot-GC gauges.
+    // Graceful shutdown (stop flag tripped): dump the flight recorder if
+    // asked, then leave a final accounting of what the registry saw.
+    if let Ok(base) = std::env::var("GM_TRACE_DUMP") {
+        let base = base.trim();
+        if !base.is_empty() {
+            match trace::dump_to(base, &trace::global_ring().snapshot()) {
+                Ok(()) => eprintln!("[gm-server] traces dumped to {base}.txt and {base}.json"),
+                Err(e) => eprintln!("[gm-server] GM_TRACE_DUMP to {base} failed: {e}"),
+            }
+        }
+    }
     let snap = gm_obs::global().snapshot();
     if !snap.is_empty() {
         eprintln!(

@@ -18,7 +18,7 @@ use std::net::TcpStream;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use gm_obs::{Phase, PhaseNanos, RegistrySnapshot};
+use gm_obs::{trace, Phase, PhaseNanos, RegistrySnapshot, TraceRecord};
 
 use gm_model::api::{
     Direction, EdgeData, EdgeRef, EngineFeatures, LoadOptions, LoadStats, SpaceReport, VertexData,
@@ -101,6 +101,15 @@ impl Connection {
             other => Err(protocol_mismatch("Stats", &other)),
         }
     }
+
+    /// Fetch a copy of the server's trace flight recorder (oldest record
+    /// first). Empty when the server runs `GM_TRACE=off`.
+    pub fn get_traces(&mut self) -> GdbResult<Vec<TraceRecord>> {
+        match self.call(&Request::GetTraces)? {
+            Response::Traces(rs) => Ok(rs),
+            other => Err(protocol_mismatch("Traces", &other)),
+        }
+    }
 }
 
 fn protocol_mismatch(expected: &str, got: &Response) -> GdbError {
@@ -173,6 +182,7 @@ impl RemoteEngine {
         expect_exec_done(self.call(&Request::ExecOp {
             worker: worker as u32,
             op_index,
+            trace_id: trace::current(),
             timeout_micros: timeout.as_micros().min(u64::MAX as u128) as u64,
             // Trait-level callers are sequential clients: read-your-writes.
             strict: true,
@@ -661,6 +671,10 @@ impl Session for RemoteSession {
         let req = Request::ExecOp {
             worker: worker as u32,
             op_index,
+            // The driver stamped this op's id into the thread-local before
+            // calling execute; forwarding it lets the server record its
+            // phase tree under the same id (0 = untraced, server skips).
+            trace_id: trace::current(),
             timeout_micros: self.op_timeout.as_micros().min(u64::MAX as u128) as u64,
             strict: self.strict_reads,
             op,

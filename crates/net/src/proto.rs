@@ -22,7 +22,9 @@
 use gm_core::catalog::{QueryId, QueryInstance};
 use gm_model::api::{Direction, EdgeRef, EngineFeatures, LoadOptions, LoadStats, SpaceReport};
 use gm_model::{Dataset, DsEdge, DsVertex, EdgeData, GdbError, GdbResult, Value, VertexData};
-use gm_obs::{HistSnapshot, RegistrySnapshot, BUCKETS};
+use gm_obs::{
+    HistSnapshot, PhaseNanos, RegistrySnapshot, TraceOrigin, TraceRecord, BUCKETS, PHASES,
+};
 use gm_workload::{Op, WriteOp};
 
 use crate::wire::{self, Cur};
@@ -47,7 +49,15 @@ pub const MAGIC: u32 = 0x474D_4E54;
 /// wait), so fig9 can split a remote op's latency into wire time vs server
 /// time; and [`Request::GetStats`] / [`Response::Stats`] expose the
 /// server's `gm-obs` metrics registry over the connection.
-pub const PROTO_VERSION: u16 = 4;
+///
+/// v5: `ExecOp` carries the client's deterministic **trace id** so the
+/// server records its phase tree under the same id (the client stitches one
+/// cross-process trace per op from the phases `ExecDone` already ships);
+/// [`Request::GetTraces`] / [`Response::Traces`] drain the server's flight
+/// recorder over the connection; and the `GetStats` snapshot gains a
+/// monotonic `captured_at_us` uptime stamp so two snapshots diff into true
+/// interval rates client-side.
+pub const PROTO_VERSION: u16 = 5;
 
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +96,10 @@ pub enum Request {
         worker: u32,
         /// Op index within the worker's sequence.
         op_index: u64,
+        /// The client's deterministic trace id for this op (v5; 0 = not
+        /// traced). The server records its phase tree under this id so the
+        /// client can stitch one cross-process trace per op.
+        trace_id: u64,
         /// Read deadline in microseconds (0 = unbounded).
         timeout_micros: u64,
         /// Strict read pin: a snapshot-hosted server must serve this read
@@ -102,6 +116,10 @@ pub enum Request {
     /// answered with [`Response::Stats`]; the snapshot is empty when the
     /// server runs with `GM_OBS=off`.
     GetStats,
+    /// Drain a copy of the server's trace flight recorder (v5). Always
+    /// answered with [`Response::Traces`]; the list is empty when the
+    /// server runs with `GM_TRACE=off`.
+    GetTraces,
     /// `GraphDb::features`.
     Features,
     /// `GraphDb::resolve_vertex`.
@@ -373,6 +391,9 @@ pub enum Response {
     /// The server's metrics-registry snapshot (v4, answers
     /// [`Request::GetStats`]).
     Stats(RegistrySnapshot),
+    /// A copy of the server's trace flight recorder, oldest first (v5,
+    /// answers [`Request::GetTraces`]).
+    Traces(Vec<TraceRecord>),
     /// The request failed with this engine error (round-tripped losslessly).
     Err(GdbError),
 }
@@ -399,6 +420,7 @@ impl Response {
             Response::Features(_) => "Features",
             Response::Space(_) => "Space",
             Response::Stats(_) => "Stats",
+            Response::Traces(_) => "Traces",
             Response::Err(_) => "Err",
         }
     }
@@ -603,6 +625,7 @@ fn get_hist(cur: &mut Cur<'_>) -> GdbResult<HistSnapshot> {
 }
 
 fn put_stats(out: &mut Vec<u8>, s: &RegistrySnapshot) {
+    wire::put_u64(out, s.captured_at_us);
     wire::put_u32(out, s.counters.len() as u32);
     for (name, v) in &s.counters {
         wire::put_str(out, name);
@@ -622,7 +645,10 @@ fn put_stats(out: &mut Vec<u8>, s: &RegistrySnapshot) {
 }
 
 fn get_stats(cur: &mut Cur<'_>) -> GdbResult<RegistrySnapshot> {
-    let mut s = RegistrySnapshot::default();
+    let mut s = RegistrySnapshot {
+        captured_at_us: cur.u64()?,
+        ..RegistrySnapshot::default()
+    };
     let nc = cur.list_len("stats counters")?;
     for _ in 0..nc {
         s.counters.push((cur.str_()?, cur.u64()?));
@@ -638,6 +664,56 @@ fn get_stats(cur: &mut Cur<'_>) -> GdbResult<RegistrySnapshot> {
     Ok(s)
 }
 
+fn put_trace_record(out: &mut Vec<u8>, r: &TraceRecord) {
+    wire::put_u64(out, r.id);
+    wire::put_u32(out, r.worker);
+    wire::put_u64(out, r.op_index);
+    wire::put_u16(out, r.op_code);
+    wire::put_u64(out, r.start_us);
+    wire::put_u64(out, r.total_nanos);
+    wire::put_u8(out, PHASES as u8);
+    for &nanos in &r.phases.0 {
+        wire::put_u64(out, nanos);
+    }
+    wire::put_u8(out, r.origin as u8);
+    wire::put_bool(out, r.tail);
+}
+
+fn get_trace_record(cur: &mut Cur<'_>) -> GdbResult<TraceRecord> {
+    let id = cur.u64()?;
+    let worker = cur.u32()?;
+    let op_index = cur.u64()?;
+    let op_code = cur.u16()?;
+    let start_us = cur.u64()?;
+    let total_nanos = cur.u64()?;
+    let np = cur.u8()? as usize;
+    if np != PHASES {
+        return Err(GdbError::Corrupt(format!(
+            "wire: trace record has {np} phases, expected {PHASES}"
+        )));
+    }
+    let mut phases = PhaseNanos::zero();
+    for slot in phases.0.iter_mut() {
+        *slot = cur.u64()?;
+    }
+    let origin = match cur.u8()? {
+        0 => TraceOrigin::Client,
+        1 => TraceOrigin::Server,
+        o => return Err(GdbError::Corrupt(format!("wire: unknown trace origin {o}"))),
+    };
+    Ok(TraceRecord {
+        id,
+        worker,
+        op_index,
+        op_code,
+        start_us,
+        total_nanos,
+        phases,
+        origin,
+        tail: cur.bool_()?,
+    })
+}
+
 // ----- request codec -------------------------------------------------------
 
 mod req_op {
@@ -647,6 +723,7 @@ mod req_op {
     pub const PREPARE: u8 = 0x04;
     pub const EXEC_OP: u8 = 0x05;
     pub const GET_STATS: u8 = 0x06;
+    pub const GET_TRACES: u8 = 0x07;
     pub const FEATURES: u8 = 0x10;
     pub const RESOLVE_VERTEX: u8 = 0x11;
     pub const RESOLVE_EDGE: u8 = 0x12;
@@ -711,6 +788,7 @@ impl Request {
             Request::ExecOp {
                 worker,
                 op_index,
+                trace_id,
                 timeout_micros,
                 strict,
                 op,
@@ -718,11 +796,13 @@ impl Request {
                 wire::put_u8(&mut out, EXEC_OP);
                 wire::put_u32(&mut out, *worker);
                 wire::put_u64(&mut out, *op_index);
+                wire::put_u64(&mut out, *trace_id);
                 wire::put_u64(&mut out, *timeout_micros);
                 wire::put_bool(&mut out, *strict);
                 put_op(&mut out, op);
             }
             Request::GetStats => wire::put_u8(&mut out, GET_STATS),
+            Request::GetTraces => wire::put_u8(&mut out, GET_TRACES),
             Request::Features => wire::put_u8(&mut out, FEATURES),
             Request::ResolveVertex(c) => {
                 wire::put_u8(&mut out, RESOLVE_VERTEX);
@@ -925,11 +1005,13 @@ impl Request {
             EXEC_OP => Request::ExecOp {
                 worker: cur.u32()?,
                 op_index: cur.u64()?,
+                trace_id: cur.u64()?,
                 timeout_micros: cur.u64()?,
                 strict: cur.bool_()?,
                 op: get_op(&mut cur)?,
             },
             GET_STATS => Request::GetStats,
+            GET_TRACES => Request::GetTraces,
             FEATURES => Request::Features,
             RESOLVE_VERTEX => Request::ResolveVertex(cur.u64()?),
             RESOLVE_EDGE => Request::ResolveEdge(cur.u64()?),
@@ -1062,6 +1144,7 @@ mod rsp_op {
     pub const SPACE: u8 = 0x8F;
     pub const EXEC_DONE: u8 = 0x90;
     pub const STATS: u8 = 0x91;
+    pub const TRACES: u8 = 0x92;
     pub const ERR: u8 = 0xFF;
 }
 
@@ -1211,6 +1294,13 @@ impl Response {
                 wire::put_u8(&mut out, STATS);
                 put_stats(&mut out, s);
             }
+            Response::Traces(rs) => {
+                wire::put_u8(&mut out, TRACES);
+                wire::put_u32(&mut out, rs.len() as u32);
+                for r in rs {
+                    put_trace_record(&mut out, r);
+                }
+            }
             Response::Err(e) => {
                 wire::put_u8(&mut out, ERR);
                 wire::put_error(&mut out, e);
@@ -1309,6 +1399,14 @@ impl Response {
                 Response::Space(report)
             }
             STATS => Response::Stats(get_stats(&mut cur)?),
+            TRACES => {
+                let n = cur.list_len("trace records")?;
+                let mut rs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rs.push(get_trace_record(&mut cur)?);
+                }
+                Response::Traces(rs)
+            }
             ERR => Response::Err(wire::get_error(&mut cur)?),
             op => {
                 return Err(GdbError::Corrupt(format!(
@@ -1341,6 +1439,7 @@ mod tests {
             Request::ExecOp {
                 worker: 3,
                 op_index: 99,
+                trace_id: 0xDEAD_BEEF_CAFE_0001,
                 timeout_micros: 5_000_000,
                 strict: false,
                 op: Op::Read(QueryInstance {
@@ -1352,6 +1451,7 @@ mod tests {
             Request::ExecOp {
                 worker: 0,
                 op_index: 0,
+                trace_id: 0,
                 timeout_micros: 0,
                 strict: true,
                 op: Op::Write(WriteOp::RemoveOwnEdge),
@@ -1375,6 +1475,7 @@ mod tests {
             Request::Space,
             Request::Sync,
             Request::GetStats,
+            Request::GetTraces,
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -1460,6 +1561,36 @@ mod tests {
                 r
             }),
             Response::Stats(RegistrySnapshot::default()),
+            Response::Traces(vec![]),
+            Response::Traces(vec![
+                TraceRecord {
+                    id: 0x0123_4567_89AB_CDEF,
+                    worker: 5,
+                    op_index: 1_000,
+                    op_code: 23,
+                    start_us: 987_654,
+                    total_nanos: 1_234_567,
+                    phases: {
+                        let mut p = PhaseNanos::zero();
+                        p.set(gm_obs::Phase::EngineExec, 900_000);
+                        p.set(gm_obs::Phase::WireIo, 300_000);
+                        p
+                    },
+                    origin: TraceOrigin::Client,
+                    tail: true,
+                },
+                TraceRecord {
+                    id: 1,
+                    worker: 0,
+                    op_index: 0,
+                    op_code: 201,
+                    start_us: 0,
+                    total_nanos: u64::MAX,
+                    phases: PhaseNanos::zero(),
+                    origin: TraceOrigin::Server,
+                    tail: false,
+                },
+            ]),
             Response::Stats({
                 let r = gm_obs::Registry::new();
                 r.counter("net.ops").add(41);
@@ -1508,6 +1639,7 @@ mod tests {
         let req = Request::ExecOp {
             worker: 0,
             op_index: 0,
+            trace_id: 0,
             timeout_micros: 0,
             strict: false,
             op: Op::Read(QueryInstance::plain(QueryId::Q2)),
@@ -1521,15 +1653,42 @@ mod tests {
         let mut bytes = Request::ExecOp {
             worker: 0,
             op_index: 0,
+            trace_id: 0,
             timeout_micros: 0,
             strict: false,
             op: Op::Read(QueryInstance::plain(QueryId::Q8)),
         }
         .encode();
         // Patch the query number
-        // (offset: op(1)+worker(4)+op_index(8)+t(8)+strict(1)+tag(1)).
-        bytes[23] = 99;
+        // (offset: op(1)+worker(4)+op_index(8)+trace(8)+t(8)+strict(1)+tag(1)).
+        bytes[31] = 99;
         assert!(matches!(Request::decode(&bytes), Err(GdbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn corrupt_trace_records_rejected() {
+        let rsp = Response::Traces(vec![TraceRecord {
+            id: 7,
+            worker: 1,
+            op_index: 2,
+            op_code: 8,
+            start_us: 3,
+            total_nanos: 4,
+            phases: PhaseNanos::zero(),
+            origin: TraceOrigin::Client,
+            tail: false,
+        }]);
+        let good = rsp.encode();
+        assert_eq!(Response::decode(&good).unwrap(), rsp);
+        // Patch the phase count (offset: op(1)+len(4)+id(8)+worker(4)+
+        // op_index(8)+op_code(2)+start(8)+total(8)).
+        let mut bad = good.clone();
+        bad[43] = PHASES as u8 + 1;
+        assert!(matches!(Response::decode(&bad), Err(GdbError::Corrupt(_))));
+        // Patch the origin byte (phase count + PHASES u64s later).
+        let mut bad = good.clone();
+        bad[44 + PHASES * 8] = 9;
+        assert!(matches!(Response::decode(&bad), Err(GdbError::Corrupt(_))));
     }
 
     #[test]

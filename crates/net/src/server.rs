@@ -31,7 +31,7 @@ use gm_model::{
     lockwait, Dataset, Eid, GdbError, GdbResult, GraphDb, GraphSnapshot, QueryCtx, SharedGraph, Vid,
 };
 use gm_mvcc::{SnapshotSource, SourceFactory};
-use gm_obs::{phase, Counter, Histo, Phase};
+use gm_obs::{phase, trace, Counter, Histo, Phase};
 use gm_workload::{apply_write, Op};
 
 use crate::proto::{Request, Response, MAGIC, PROTO_VERSION};
@@ -392,6 +392,10 @@ struct NetMetrics {
     op_nanos: Histo,
 }
 
+/// The server's tail gate: one latency population per process (every op
+/// the server executes), feeding the global flight recorder.
+static SERVER_GATE: trace::TailGate = trace::TailGate::new();
+
 fn net_metrics() -> Option<&'static NetMetrics> {
     static METRICS: OnceLock<Option<NetMetrics>> = OnceLock::new();
     METRICS
@@ -583,6 +587,7 @@ fn execute_request(
         Request::ExecOp {
             worker,
             op_index,
+            trace_id,
             timeout_micros,
             strict,
             op,
@@ -595,6 +600,14 @@ fn execute_request(
                 .ok_or_else(|| {
                     GdbError::Invalid("ExecOp before Prepare: no workload parameters".into())
                 })?;
+            // Adopt the *client's* trace id: the server-side record lands
+            // under the same name the client prints, so one id stitches
+            // both halves of a remote op. Off-path: with `GM_TRACE=off` or
+            // an untraced op (id 0), `t_trace` stays `None` and no clock
+            // is read for tracing.
+            trace::begin_op(trace_id);
+            let op_code = op.trace_code();
+            let t_trace = (trace_id != 0 && trace::enabled()).then(Instant::now);
             match op {
                 Op::Read(inst) if inst.id.is_mutation() => {
                     return Err(GdbError::Invalid(format!(
@@ -631,6 +644,18 @@ fn execute_request(
                     let phases = phase::take_all();
                     if let (Some(m), Some(t0)) = (net_metrics(), t0) {
                         m.op_nanos.record(t0.elapsed().as_nanos() as u64);
+                    }
+                    if let Some(t) = t_trace {
+                        trace::record_op(
+                            &SERVER_GATE,
+                            trace_id,
+                            worker,
+                            op_index,
+                            op_code,
+                            trace::TraceOrigin::Server,
+                            t.elapsed().as_nanos() as u64,
+                            phases,
+                        );
                     }
                     Response::ExecDone {
                         card,
@@ -669,6 +694,18 @@ fn execute_request(
                     if let (Some(m), Some(t0)) = (net_metrics(), t0) {
                         m.op_nanos.record(t0.elapsed().as_nanos() as u64);
                     }
+                    if let Some(t) = t_trace {
+                        trace::record_op(
+                            &SERVER_GATE,
+                            trace_id,
+                            worker,
+                            op_index,
+                            op_code,
+                            trace::TraceOrigin::Server,
+                            t.elapsed().as_nanos() as u64,
+                            phases,
+                        );
+                    }
                     Response::ExecDone {
                         card,
                         lock_wait: phases.get(Phase::LockWait),
@@ -681,6 +718,11 @@ fn execute_request(
             }
         }
         Request::GetStats => Response::Stats(gm_obs::global().snapshot()),
+        Request::GetTraces => Response::Traces(if trace::enabled() {
+            trace::global_ring().snapshot()
+        } else {
+            Vec::new()
+        }),
         Request::Features => Response::Features(read()?.snap().features()),
         Request::ResolveVertex(c) => {
             Response::OptU64(read()?.snap().resolve_vertex(c).map(|v| v.0))

@@ -648,3 +648,82 @@ fn get_stats_round_trips_from_a_live_server() {
     );
     server.shutdown();
 }
+
+/// PROTO v5 satellite: every `GetStats` snapshot carries the server's
+/// monotonic capture stamp, so two snapshots bound the interval between
+/// them without comparing wall clocks across processes.
+#[test]
+fn stats_snapshots_carry_a_monotone_capture_stamp() {
+    let server = spawn_server(EngineKind::LinkedV1);
+    let addr = server.addr().to_string();
+    let mut conn = Connection::connect(&addr).expect("connect");
+    let a = conn.get_stats().expect("first stats");
+    std::thread::sleep(Duration::from_millis(3));
+    let b = conn.get_stats().expect("second stats");
+    assert!(
+        b.captured_at_us >= a.captured_at_us + 2_000,
+        "a later snapshot must carry a later stamp covering the sleep: \
+         {} then {}",
+        a.captured_at_us,
+        b.captured_at_us
+    );
+    server.shutdown();
+}
+
+/// PROTO v5 tentpole: the server records `ExecOp` spans in its flight
+/// recorder under the **client's** trace id, and `GetTraces` ships them
+/// back — so the client can stitch one cross-process trace out of its own
+/// end-to-end measurement and the server's phase-attributed span.
+#[test]
+fn server_records_exec_traces_under_the_client_trace_id() {
+    use gm_obs::trace;
+    use gm_workload::Op;
+
+    let data = testkit::chain_dataset(80);
+    let server = spawn_server(EngineKind::LinkedV2);
+    let addr = server.addr().to_string();
+    let mut engine = RemoteEngine::connect(&addr).expect("connect");
+    engine.reset().unwrap();
+    engine.bulk_load(&data, &LoadOptions::default()).unwrap();
+    engine
+        .prepare(7, gm_workload::WORKLOAD_SLOTS as u32)
+        .unwrap();
+
+    // An id with the low 7 bits clear is retained by the tail gate's
+    // deterministic sampling arm, so this test does not depend on how other
+    // tests in this process have warmed the shared gate's tail threshold.
+    let id = 0x5EED_0080u64;
+    assert_eq!(id & 0x7F, 0);
+    trace::begin_op(id);
+    let t0 = std::time::Instant::now();
+    engine
+        .exec_op(
+            Op::Read(QueryInstance::plain(QueryId::Q8)),
+            3,
+            17,
+            Duration::from_secs(5),
+        )
+        .expect("remote read");
+    let e2e = t0.elapsed().as_nanos() as u64;
+
+    let mut conn = Connection::connect(&addr).expect("connect");
+    let records = conn.get_traces().expect("get traces");
+    let rec = records
+        .iter()
+        .find(|r| r.id == id)
+        .expect("the server must record the span under the client's trace id");
+    assert_eq!(rec.origin, trace::TraceOrigin::Server);
+    assert_eq!(rec.worker, 3);
+    assert_eq!(rec.op_index, 17);
+    assert_eq!(rec.op_code, 8, "Q8's trace code crosses the wire");
+    assert!(
+        rec.total_nanos <= e2e,
+        "the server span ({}) nests inside the client's end-to-end time ({e2e})",
+        rec.total_nanos
+    );
+    assert!(
+        rec.phases.total() <= rec.total_nanos,
+        "self-time phases never exceed the span they attribute"
+    );
+    server.shutdown();
+}

@@ -64,18 +64,20 @@ fn arb_request() -> impl Strategy<Value = Request> {
             any::<u32>(),
             any::<u64>(),
             any::<u64>(),
+            any::<u64>(),
             any::<bool>(),
             arb_op()
         )
-            .prop_map(
-                |(worker, op_index, timeout_micros, strict, op)| Request::ExecOp {
+            .prop_map(|(worker, op_index, trace_id, timeout_micros, strict, op)| {
+                Request::ExecOp {
                     worker,
                     op_index,
+                    trace_id,
                     timeout_micros,
                     strict,
                     op,
                 }
-            ),
+            }),
         ("[a-z]{1,8}", arb_props()).prop_map(|(label, props)| Request::AddVertex { label, props }),
         ("[a-z]{1,8}", arb_value(), any::<u64>())
             .prop_map(|(name, value, t)| { Request::VerticesWithProperty { name, value, t } }),

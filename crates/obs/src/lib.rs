@@ -22,6 +22,12 @@
 //! * [`hist`] — the shared-write sibling of `gm_workload`'s
 //!   `LatencyHistogram`: identical power-of-two bucketing, but atomic, so
 //!   many threads can record into one registry histogram without locks.
+//! * [`trace`] — per-op tracing: deterministic trace ids (seed + worker +
+//!   op index, replay-stable), a fixed-capacity lock-free flight recorder
+//!   with tail-biased retention, and renderers (aligned table + Chrome
+//!   `trace_event` JSON). Gated by its own [`TraceMode`] knob (`GM_TRACE`,
+//!   `off|tail|all`) — orthogonal to [`ObsMode`], with the same off-path
+//!   guarantee (one relaxed load + branch per probe when `off`).
 //!
 //! ## Modes
 //!
@@ -43,10 +49,12 @@ use std::sync::atomic::{AtomicU8, Ordering};
 pub mod hist;
 pub mod phase;
 pub mod registry;
+pub mod trace;
 
 pub use hist::{AtomicHistogram, HistSnapshot, BUCKETS};
 pub use phase::{Phase, PhaseNanos, SpanGuard, PHASES};
 pub use registry::{global, Counter, Gauge, Histo, Registry, RegistrySnapshot};
+pub use trace::{TailGate, TraceMode, TraceOrigin, TraceRecord, TraceRing};
 
 /// How much the observability layer records (see the crate docs table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

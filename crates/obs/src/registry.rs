@@ -122,9 +122,11 @@ impl Registry {
         get_or_insert(&self.hists, name)
     }
 
-    /// Copy every metric into a plain-data snapshot (sorted by name).
+    /// Copy every metric into a plain-data snapshot (sorted by name),
+    /// stamped with the process-uptime capture time.
     pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot {
+            captured_at_us: crate::trace::uptime_us(),
             counters: self
                 .counters
                 .read()
@@ -160,6 +162,14 @@ pub fn global() -> &'static Registry {
 /// merges across processes and what `GetStats` ships over the wire.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RegistrySnapshot {
+    /// Monotonic capture stamp: microseconds of process uptime
+    /// ([`crate::trace::uptime_us`]) at snapshot time, 0 when unknown
+    /// (e.g. a default-constructed accumulator). Two snapshots of the same
+    /// process diff into a true interval — monotonic clock, no wall-time
+    /// steps — so clients can turn counter deltas into rates. Merging
+    /// takes the max (latest capture wins), which keeps merge associative
+    /// and commutative with 0 as identity.
+    pub captured_at_us: u64,
     /// Monotone counters, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Gauges, sorted by name.
@@ -205,6 +215,7 @@ impl RegistrySnapshot {
     /// histograms merge bucket-wise. Pure addition end to end, so merging
     /// is associative and commutative (pinned by the proptest suite).
     pub fn merge(&mut self, other: &RegistrySnapshot) {
+        self.captured_at_us = self.captured_at_us.max(other.captured_at_us);
         merge_sorted(&mut self.counters, &other.counters, |a, b| {
             *a = a.saturating_add(*b)
         });
@@ -367,6 +378,23 @@ mod tests {
         assert!(text.contains("gm_op_nanos_bucket{le=\"+Inf\"} 2"), "{text}");
         assert!(text.contains("gm_op_nanos_sum 4000"), "{text}");
         assert!(text.contains("gm_op_nanos_count 2"), "{text}");
+    }
+
+    #[test]
+    fn snapshots_carry_a_monotonic_capture_stamp() {
+        let r = Registry::new();
+        r.counter("ops").inc();
+        let first = r.snapshot();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let second = r.snapshot();
+        assert!(second.captured_at_us > first.captured_at_us);
+        assert!(second.captured_at_us - first.captured_at_us >= 2_000);
+        // Merging keeps the latest stamp; default (0) is the identity.
+        let mut acc = RegistrySnapshot::default();
+        assert_eq!(acc.captured_at_us, 0);
+        acc.merge(&second);
+        acc.merge(&first);
+        assert_eq!(acc.captured_at_us, second.captured_at_us);
     }
 
     #[test]

@@ -49,6 +49,7 @@ use gm_model::api::LoadOptions;
 use gm_model::{Dataset, Eid, GdbError, GdbResult, GraphDb, QueryCtx, Value};
 use gm_mvcc::SnapshotSource;
 use gm_obs::phase::{self, Phase, PhaseNanos};
+use gm_obs::trace::{self, TailGate};
 
 use crate::hist::LatencyHistogram;
 use crate::mix::{Mix, MixKind, Op, WriteOp};
@@ -397,6 +398,7 @@ impl RunReport {
             p95_nanos: self.hist.p95(),
             p99_nanos: self.hist.p99(),
             max_nanos: self.hist.max_nanos(),
+            p99_exemplar: self.hist.p99_exemplar(),
         }
     }
 
@@ -575,12 +577,17 @@ pub fn run_backend(
     // scheduled arrivals spuriously late, or even shed).
     let barrier = std::sync::Barrier::new(cfg.threads as usize + 1);
     let start_cell: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    // One tail gate per run, shared by every worker: the moving tail
+    // threshold adapts to the run's own latency regime, and sharing it means
+    // "tail" means the same thing across workers.
+    let gate = TailGate::new();
     let joined: Vec<GdbResult<WorkerStats>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.threads as usize)
             .map(|w| {
                 let mix = &mix;
                 let barrier = &barrier;
                 let start_cell = &start_cell;
+                let gate = &gate;
                 s.spawn(move || {
                     let session = backend.open_session(w);
                     // Two barrier rounds, reached even on failure (the
@@ -591,7 +598,7 @@ pub fn run_backend(
                     barrier.wait();
                     let start = *start_cell.get().expect("start stamped before release");
                     let mut session = session?;
-                    worker_loop(w, session.as_mut(), mix, cfg, start)
+                    worker_loop(w, session.as_mut(), mix, cfg, start, gate)
                 })
             })
             .collect();
@@ -653,11 +660,12 @@ pub fn run_backend_sequential(
     let mut sessions: Vec<Box<dyn Session + '_>> = (0..cfg.threads as usize)
         .map(|w| backend.open_session(w))
         .collect::<GdbResult<_>>()?;
+    let gate = TailGate::new();
     let start = Instant::now();
     let workers: Vec<WorkerStats> = sessions
         .iter_mut()
         .enumerate()
-        .map(|(w, session)| worker_loop(w, session.as_mut(), &mix, cfg, start))
+        .map(|(w, session)| worker_loop(w, session.as_mut(), &mix, cfg, start, &gate))
         .collect::<GdbResult<_>>()?;
     let wall_nanos = start.elapsed().as_nanos() as u64;
     Ok(assemble(
@@ -980,6 +988,7 @@ fn worker_loop(
     mix: &Mix,
     cfg: &WorkloadConfig,
     start: Instant,
+    gate: &TailGate,
 ) -> GdbResult<WorkerStats> {
     let mut rng = Mix::worker_rng(cfg.seed, worker);
     let mut stats = WorkerStats {
@@ -1029,15 +1038,41 @@ fn worker_loop(
                 at
             }
         };
+        // Trace identity for this op: deterministic in (seed, worker, index),
+        // so a replayed run names the same ops; 0 when `GM_TRACE=off`, which
+        // also keeps the thread-local and the downstream record calls
+        // untouched (the off path adds no clock reads and no allocation).
+        let t_id = trace::derive_id(cfg.seed, worker as u32, i);
+        if t_id != 0 {
+            trace::begin_op(t_id);
+        }
         let result = session.execute(op, worker, i);
         if let Err(GdbError::Poisoned(why)) = result {
             // Another worker panicked inside a write and left the engine
             // half-mutated: abort instead of recovering into corrupt state.
             return Err(GdbError::Poisoned(why));
         }
+        let nanos = issue_at.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let recorded = t_id != 0
+            && trace::record_op(
+                gate,
+                t_id,
+                worker as u32,
+                i,
+                op.trace_code(),
+                trace::TraceOrigin::Client,
+                nanos,
+                match &result {
+                    Ok(res) => res.phases,
+                    Err(_) => PhaseNanos::zero(),
+                },
+            );
+        // Only an id whose record actually landed in the flight recorder may
+        // become an exemplar — that is the guarantee that every reported
+        // `p99_exemplar` resolves to a retrievable trace record.
         stats
             .hist
-            .record(issue_at.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            .record_traced(nanos, if recorded { t_id } else { 0 });
         match result {
             Ok(res) => {
                 stats.ops += 1;

@@ -18,9 +18,16 @@
 pub const BUCKETS: usize = 64;
 
 /// A fixed-size log2 latency histogram over nanoseconds.
+///
+/// Next to each bucket count the histogram can retain an **exemplar**: the
+/// trace id of the most recent op that landed in that bucket *and* was
+/// captured by the trace flight recorder ([`gm_obs::trace`]). Exemplars turn
+/// an aggregate quantile back into a concrete op — `p99_exemplar()` names a
+/// retrievable trace record from the p99's bucket neighborhood.
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     counts: [u64; BUCKETS],
+    exemplars: [u64; BUCKETS],
     count: u64,
     sum: u64,
     min: u64,
@@ -38,6 +45,7 @@ impl LatencyHistogram {
     pub fn new() -> Self {
         LatencyHistogram {
             counts: [0; BUCKETS],
+            exemplars: [0; BUCKETS],
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -82,10 +90,33 @@ impl LatencyHistogram {
         self.max = self.max.max(nanos);
     }
 
+    /// Record one latency observation together with its trace exemplar.
+    ///
+    /// `trace_id` is the flight-recorder id of this op, or 0 when the op was
+    /// not captured (tracing off, or the record lost the ring slot race). The
+    /// caller passes a nonzero id **only for ops whose trace record actually
+    /// landed in the ring**, which is what keeps every reported exemplar
+    /// resolvable back to a retrievable record.
+    #[inline]
+    pub fn record_traced(&mut self, nanos: u64, trace_id: u64) {
+        self.record(nanos);
+        if trace_id != 0 {
+            self.exemplars[Self::bucket_of(nanos)] = trace_id;
+        }
+    }
+
     /// Fold another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
+        }
+        // Exemplars are "any representative wins": a nonzero incoming
+        // exemplar replaces ours, since merge order follows worker order and
+        // any captured op from the bucket serves equally as its exemplar.
+        for (a, b) in self.exemplars.iter_mut().zip(other.exemplars.iter()) {
+            if *b != 0 {
+                *a = *b;
+            }
         }
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
@@ -153,6 +184,34 @@ impl LatencyHistogram {
             seen += c;
         }
         self.max
+    }
+
+    /// The trace exemplar nearest the p99: the retained trace id from the
+    /// p99's own bucket, or — when that bucket holds none — from the closest
+    /// bucket above it (a *worse* op, never a flattering faster one). Returns
+    /// 0 when no exemplar is available at or above the p99 bucket.
+    pub fn p99_exemplar(&self) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((0.99 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut hit = BUCKETS - 1;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                hit = i;
+                break;
+            }
+            seen += c;
+        }
+        self.exemplars[hit..]
+            .iter()
+            .copied()
+            .find(|&id| id != 0)
+            .unwrap_or(0)
     }
 
     /// Median.
@@ -308,6 +367,52 @@ mod tests {
         assert_eq!(a.max_nanos(), all.max_nanos());
         assert_eq!(a.buckets(), all.buckets());
         assert_eq!(a.p99(), all.p99());
+    }
+
+    #[test]
+    fn exemplars_resolve_the_p99_neighborhood() {
+        let mut h = LatencyHistogram::new();
+        // 990 fast ops (bucket of 1000ns), no exemplars — below the sampling
+        // radar — then 10 slow ops, two of them captured with trace ids.
+        for _ in 0..990 {
+            h.record_traced(1_000, 0);
+        }
+        for i in 0..10u64 {
+            let id = if i == 3 { 0xAAAA } else { 0 };
+            h.record_traced(4_000_000, id);
+        }
+        // p99 rank 990 falls in the fast bucket, which has no exemplar; the
+        // nearest-above rule surfaces the slow bucket's captured op.
+        assert_eq!(h.p99_exemplar(), 0xAAAA);
+        // A later captured op in the same bucket replaces the earlier one.
+        h.record_traced(4_100_000, 0xBBBB);
+        assert_eq!(h.p99_exemplar(), 0xBBBB);
+        // No exemplars anywhere -> 0.
+        let mut bare = LatencyHistogram::new();
+        bare.record_traced(500, 0);
+        assert_eq!(bare.p99_exemplar(), 0);
+        assert_eq!(LatencyHistogram::new().p99_exemplar(), 0);
+    }
+
+    #[test]
+    fn merge_carries_exemplars() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_traced(2_000_000, 0x1111);
+        b.record_traced(2_000_000, 0x2222);
+        b.record_traced(130, 0x3333);
+        a.merge(&b);
+        // b's nonzero exemplar wins the shared bucket; b's exclusive bucket
+        // arrives intact.
+        assert_eq!(h_exemplar(&a, 2_000_000), 0x2222);
+        assert_eq!(h_exemplar(&a, 130), 0x3333);
+        // Merging an exemplar-free histogram erases nothing.
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(h_exemplar(&a, 130), 0x3333);
+    }
+
+    fn h_exemplar(h: &LatencyHistogram, nanos: u64) -> u64 {
+        h.exemplars[LatencyHistogram::bucket_of(nanos)]
     }
 
     #[test]

@@ -47,6 +47,17 @@ impl Op {
         matches!(self, Op::Write(_))
     }
 
+    /// Compact trace-record op code: the query number for reads, `200 +
+    /// write-op index` for writes (rendered back by
+    /// `gm_obs::trace::op_code_label` as `Q23` / `W1`). Fits the fixed-size
+    /// trace record, where the string label cannot.
+    pub fn trace_code(&self) -> u16 {
+        match self {
+            Op::Read(inst) => inst.id.number() as u16,
+            Op::Write(w) => 200 + *w as u16,
+        }
+    }
+
     /// Short display label (`"Q23"`, `"W:add_edge"`).
     pub fn label(&self) -> String {
         match self {
@@ -315,5 +326,21 @@ mod tests {
         assert_eq!(read(QueryId::Q23).label(), "Q23");
         assert_eq!(Op::Write(WriteOp::AddEdge).label(), "W:add_edge");
         assert_eq!(read_depth(QueryId::Q32, 2).label(), "Q32(d=2)");
+    }
+
+    #[test]
+    fn trace_codes_are_stable_and_distinct() {
+        assert_eq!(read(QueryId::Q23).trace_code(), 23);
+        assert_eq!(Op::Write(WriteOp::AddVertex).trace_code(), 200);
+        assert_eq!(Op::Write(WriteOp::RemoveOwnEdge).trace_code(), 203);
+        let mut codes: Vec<u16> = MixKind::Mixed
+            .mix()
+            .entries()
+            .iter()
+            .map(|(_, op)| op.trace_code())
+            .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), MixKind::Mixed.mix().entries().len());
     }
 }
