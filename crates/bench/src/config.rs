@@ -93,6 +93,25 @@ pub const KNOBS: &[Knob] = &[
         doc: "fig9/gm-server: engine server address; fig9 spawns a loopback server per engine when unset",
     },
     Knob {
+        name: "GM_FLEET",
+        default: "0",
+        doc: "fig10: spawn an N-process-equivalent loopback fleet (N shard servers, one per \
+              identity) and run the @fleet rows against it (0 = off)",
+    },
+    Knob {
+        name: "GM_FLEET_ADDRS",
+        default: "(none)",
+        doc: "fig10: comma-separated shard-server addresses, in shard order, of an \
+              already-running fleet; overrides GM_FLEET (each server must announce the \
+              matching --shard-id/--fleet-size identity)",
+    },
+    Knob {
+        name: "GM_FLEET_BATCH",
+        default: "16",
+        doc: "fleet client: queued single-shard writes per connection before an ExecBatch \
+              frame ships (reads flush their shard's queue first)",
+    },
+    Knob {
         name: "GM_NET_CLIENTS",
         default: "1,2,4",
         doc: "fig9: client-connection counts to sweep",
@@ -437,6 +456,9 @@ mod tests {
             "GM_ENGINES",
             "GM_SERVER_ADDR",
             "GM_NET_CLIENTS",
+            "GM_FLEET",
+            "GM_FLEET_ADDRS",
+            "GM_FLEET_BATCH",
             "GM_SNAPSHOT_MODE",
             "GM_OBS",
             "GM_STATS_INTERVAL_MS",

@@ -24,6 +24,7 @@ const LINT: &str = "panic-freedom";
 pub const AUDITED: &[&str] = &[
     "crates/net/src/wire.rs",
     "crates/net/src/proto.rs",
+    "crates/net/src/fleet.rs",
     "crates/storage/src/valcodec.rs",
     "crates/storage/src/codec.rs",
 ];

@@ -115,13 +115,16 @@ fn gc_summary(snap: &RegistrySnapshot) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: gm-server [engine-name]");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: gm-server [engine-name] [--shard-id N --fleet-size N]");
         eprintln!("  engine-name: one of:");
         for kind in EngineKind::ALL {
             eprintln!("    {:<15} ({})", kind.name(), kind.emulates());
         }
+        eprintln!("  --shard-id N --fleet-size N: announce a fleet shard identity in the");
+        eprintln!("       HelloAck so a gm-net Fleet coordinator can verify its routing");
+        eprintln!("       table (both flags required together; id < size)");
         eprintln!("  env: GM_SERVER_ADDR (default 127.0.0.1:7687)");
         eprintln!("       GM_SNAPSHOT_MODE (off|cow|native; default off = shared lock)");
         eprintln!("       GM_SHARDS (default 1; >1 hosts a gm-shard composite)");
@@ -132,6 +135,43 @@ fn main() {
         eprintln!("       GM_TRACE_DUMP (path base: dump <base>.txt/<base>.json on shutdown)");
         std::process::exit(0);
     }
+
+    // Split flags from the positional engine name. `--shard-id`/`--fleet-size`
+    // declare this process one shard of a fleet; the identity is echoed in
+    // every HelloAck so the coordinator can catch a miswired address table.
+    let mut args: Vec<String> = Vec::new();
+    let mut shard_id: Option<u32> = None;
+    let mut fleet_size: Option<u32> = None;
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        let slot = match a.as_str() {
+            "--shard-id" => &mut shard_id,
+            "--fleet-size" => &mut fleet_size,
+            _ => {
+                args.push(a);
+                continue;
+            }
+        };
+        *slot = match it.next().map(|v| v.trim().parse::<u32>()) {
+            Some(Ok(n)) => Some(n),
+            _ => {
+                eprintln!("[gm-server] {a} wants a small integer argument");
+                std::process::exit(2);
+            }
+        };
+    }
+    let fleet = match (shard_id, fleet_size) {
+        (None, None) => None,
+        (Some(id), Some(size)) if id < size => Some((id, size)),
+        (Some(id), Some(size)) => {
+            eprintln!("[gm-server] --shard-id {id} must be < --fleet-size {size}");
+            std::process::exit(2);
+        }
+        _ => {
+            eprintln!("[gm-server] --shard-id and --fleet-size must be given together");
+            std::process::exit(2);
+        }
+    };
 
     if let Ok(s) = std::env::var("GM_OBS") {
         match ObsMode::parse(&s) {
@@ -229,7 +269,10 @@ fn main() {
         ),
     };
     let server = match bound {
-        Ok(server) => server,
+        Ok(server) => match fleet {
+            Some((id, size)) => server.with_shard_identity(id, size),
+            None => server,
+        },
         Err(e) => {
             eprintln!("[gm-server] {e}");
             std::process::exit(1);
@@ -247,11 +290,14 @@ fn main() {
             format!("snapshot-{}", kind.make_sharded_source(n, mode).kind())
         }
     };
-    let hosted = if shards == 1 {
+    let mut hosted = if shards == 1 {
         kind.name().to_string()
     } else {
         format!("{}/s{shards}", kind.name())
     };
+    if let Some((id, size)) = fleet {
+        hosted.push_str(&format!(" [shard {id}/{size}]"));
+    }
     match server.local_addr() {
         Ok(bound) => eprintln!(
             "[gm-server] hosting {hosted} ({}) on {bound} — protocol v{}, {isolation} reads, \

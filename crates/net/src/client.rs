@@ -15,7 +15,8 @@
 //! the way real drivers execute Gremlin server-side.
 
 use std::net::TcpStream;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gm_obs::{trace, Phase, PhaseNanos, RegistrySnapshot, TraceRecord};
@@ -38,6 +39,12 @@ use crate::wire;
 pub struct Connection {
     stream: TcpStream,
     engine: String,
+    /// Fleet identity from the handshake (`None` for standalone servers).
+    shard: Option<(u32, u32)>,
+    /// Optional shared frame counter: every frame [`Connection::send`]
+    /// writes bumps it, which is how the fleet coordinator proves its
+    /// batched dispatch issues fewer wire exchanges than ops.
+    frames: Option<Arc<AtomicU64>>,
 }
 
 impl Connection {
@@ -49,14 +56,21 @@ impl Connection {
         let mut conn = Connection {
             stream,
             engine: String::new(),
+            shard: None,
+            frames: None,
         };
         conn.send(&Request::Hello {
             magic: MAGIC,
             version: PROTO_VERSION,
         })?;
         match conn.recv()? {
-            Response::HelloAck { version, engine } if version == PROTO_VERSION => {
+            Response::HelloAck {
+                version,
+                engine,
+                shard,
+            } if version == PROTO_VERSION => {
                 conn.engine = engine;
+                conn.shard = shard;
                 Ok(conn)
             }
             Response::HelloAck { version, .. } => Err(GdbError::Invalid(format!(
@@ -72,8 +86,24 @@ impl Connection {
         &self.engine
     }
 
+    /// The server's fleet identity `(shard_id, fleet_size)` from the
+    /// handshake, `None` for standalone servers.
+    pub fn shard_identity(&self) -> Option<(u32, u32)> {
+        self.shard
+    }
+
+    /// Count every frame this connection sends into `ctr` (shared with the
+    /// other connections of a fleet, typically).
+    pub fn count_frames_into(&mut self, ctr: Arc<AtomicU64>) {
+        self.frames = Some(ctr);
+    }
+
     /// Send one request without waiting for its response (pipelining).
     pub fn send(&mut self, req: &Request) -> GdbResult<()> {
+        if let Some(ctr) = &self.frames {
+            // gm-check: relaxed(pure event count, no ordering relied upon)
+            ctr.fetch_add(1, Ordering::Relaxed);
+        }
         wire::write_frame(&mut self.stream, &req.encode())
     }
 
@@ -89,6 +119,32 @@ impl Connection {
         match self.recv()? {
             Response::Err(e) => Err(e),
             rsp => Ok(rsp),
+        }
+    }
+
+    /// Execute many requests in one frame and one round trip (v6). The
+    /// envelope always succeeds at the wire level; per-entry failures come
+    /// back as [`Response::Err`] entries, in request order.
+    pub fn call_batch(&mut self, reqs: Vec<Request>) -> GdbResult<Vec<Response>> {
+        let n = reqs.len();
+        self.send(&Request::ExecBatch(reqs))?;
+        match self.recv()? {
+            Response::BatchDone(rsps) if rsps.len() == n => Ok(rsps),
+            Response::BatchDone(rsps) => Err(GdbError::Corrupt(format!(
+                "batch of {n} answered with {} responses",
+                rsps.len()
+            ))),
+            Response::Err(e) => Err(e),
+            other => Err(protocol_mismatch("BatchDone", &other)),
+        }
+    }
+
+    /// Probe the server's serving epoch (v6): the epoch a read would pin
+    /// right now, `0` under locked hosting.
+    pub fn epoch(&mut self) -> GdbResult<u64> {
+        match self.call(&Request::Epoch)? {
+            Response::U64(e) => Ok(e),
+            other => Err(protocol_mismatch("U64", &other)),
         }
     }
 
@@ -148,12 +204,23 @@ pub struct RemoteEngine {
 impl RemoteEngine {
     /// Dial a server.
     pub fn connect(addr: &str) -> GdbResult<RemoteEngine> {
-        let conn = Connection::connect(addr)?;
+        Ok(Self::from_connection(Connection::connect(addr)?))
+    }
+
+    /// Wrap an already-handshaken connection (the fleet coordinator dials
+    /// and verifies identities itself, then hands the sockets here).
+    pub fn from_connection(conn: Connection) -> RemoteEngine {
         let name = conn.engine_name().to_string();
-        Ok(RemoteEngine {
+        RemoteEngine {
             conn: Mutex::new(conn),
             name,
-        })
+        }
+    }
+
+    /// The underlying connection (crate-internal: the fleet's batch flush
+    /// and epoch probes need the raw framed socket).
+    pub(crate) fn connection(&self) -> &Mutex<Connection> {
+        &self.conn
     }
 
     /// Swap the server's engine for a fresh one (and forget any retained

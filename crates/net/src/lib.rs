@@ -31,11 +31,19 @@
 //! to the in-process sequential replay — enforced for every engine by
 //! `tests/loopback.rs`.
 
+//!
+//! * [`fleet`] — [`fleet::Fleet`] coordinates N shard servers as one
+//!   composite graph: hash-routed single-shard ops, ghost-corrected
+//!   scatter-gather reads, and client-side write batching over pipelined
+//!   per-worker connections ([`fleet::run_fleet`]).
+
 pub mod client;
+pub mod fleet;
 pub mod proto;
 pub mod server;
 pub mod wire;
 
 pub use client::{run_remote, run_remote_sequential, Connection, RemoteBackend, RemoteEngine};
+pub use fleet::{run_fleet, run_fleet_sequential, Fleet, FleetBackend, FLEET};
 pub use proto::{Request, Response, MAGIC, PROTO_VERSION};
 pub use server::{EngineFactory, Server, ServerHandle, SharedFactory};

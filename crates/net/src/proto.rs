@@ -57,7 +57,16 @@ pub const MAGIC: u32 = 0x474D_4E54;
 /// recorder over the connection; and the `GetStats` snapshot gains a
 /// monotonic `captured_at_us` uptime stamp so two snapshots diff into true
 /// interval rates client-side.
-pub const PROTO_VERSION: u16 = 5;
+///
+/// v6: [`Request::ExecBatch`] ships many requests in one length-prefixed
+/// frame and is answered by one [`Response::BatchDone`] carrying one
+/// response per entry — the fleet coordinator's write path flushes a whole
+/// deferred batch in a single round trip; [`Request::Epoch`] probes the
+/// serving epoch without pinning work to it (the fleet-wide epoch is the
+/// min over per-shard probes); and [`Response::HelloAck`] carries the
+/// server's optional **shard identity** (`shard id` / `fleet size`) so a
+/// fleet client can verify it dialed the shard it routed to.
+pub const PROTO_VERSION: u16 = 6;
 
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -325,6 +334,19 @@ pub enum Request {
     Space,
     /// `GraphDb::sync`.
     Sync,
+    /// Many requests in one frame (v6): the server executes the entries
+    /// strictly in order and answers with a single [`Response::BatchDone`]
+    /// carrying one response per entry. Per-entry failures ride inside the
+    /// batch as [`Response::Err`] entries, so one bad op cannot desync the
+    /// stream. Entries may be any request except [`Request::Hello`] and a
+    /// nested `ExecBatch` — the decoder rejects both, which also bounds
+    /// decode recursion at one level.
+    ExecBatch(Vec<Request>),
+    /// Probe the serving epoch (v6): answered with [`Response::U64`] — the
+    /// snapshot epoch a read would pin right now, `0` under locked hosting.
+    /// The fleet coordinator min-reduces this across shards, mirroring
+    /// `ShardedSource`.
+    Epoch,
 }
 
 /// A server→client message. [`Response::Err`] may answer any request.
@@ -336,6 +358,9 @@ pub enum Response {
         version: u16,
         /// Hosted engine's display name.
         engine: String,
+        /// Fleet identity when the server runs as one shard of a fleet
+        /// (v6): `(shard_id, fleet_size)`. `None` for standalone servers.
+        shard: Option<(u32, u32)>,
     },
     /// Success with no payload.
     Unit,
@@ -394,6 +419,10 @@ pub enum Response {
     /// A copy of the server's trace flight recorder, oldest first (v5,
     /// answers [`Request::GetTraces`]).
     Traces(Vec<TraceRecord>),
+    /// Answers [`Request::ExecBatch`] (v6): one response per entry, in
+    /// order. Per-entry failures are [`Response::Err`] entries here, not a
+    /// top-level error.
+    BatchDone(Vec<Response>),
     /// The request failed with this engine error (round-tripped losslessly).
     Err(GdbError),
 }
@@ -421,6 +450,7 @@ impl Response {
             Response::Space(_) => "Space",
             Response::Stats(_) => "Stats",
             Response::Traces(_) => "Traces",
+            Response::BatchDone(_) => "BatchDone",
             Response::Err(_) => "Err",
         }
     }
@@ -724,6 +754,7 @@ mod req_op {
     pub const EXEC_OP: u8 = 0x05;
     pub const GET_STATS: u8 = 0x06;
     pub const GET_TRACES: u8 = 0x07;
+    pub const EXEC_BATCH: u8 = 0x08;
     pub const FEATURES: u8 = 0x10;
     pub const RESOLVE_VERTEX: u8 = 0x11;
     pub const RESOLVE_EDGE: u8 = 0x12;
@@ -760,6 +791,7 @@ mod req_op {
     pub const HAS_VERTEX_INDEX: u8 = 0x31;
     pub const SPACE: u8 = 0x32;
     pub const SYNC: u8 = 0x33;
+    pub const EPOCH: u8 = 0x34;
 }
 
 impl Request {
@@ -973,6 +1005,16 @@ impl Request {
             }
             Request::Space => wire::put_u8(&mut out, SPACE),
             Request::Sync => wire::put_u8(&mut out, SYNC),
+            Request::ExecBatch(reqs) => {
+                wire::put_u8(&mut out, EXEC_BATCH);
+                wire::put_u32(&mut out, reqs.len() as u32);
+                for r in reqs {
+                    let sub = r.encode();
+                    wire::put_u32(&mut out, sub.len() as u32);
+                    out.extend_from_slice(&sub);
+                }
+            }
+            Request::Epoch => wire::put_u8(&mut out, EPOCH),
         }
         out
     }
@@ -1112,6 +1154,29 @@ impl Request {
             HAS_VERTEX_INDEX => Request::HasVertexIndex { prop: cur.str_()? },
             SPACE => Request::Space,
             SYNC => Request::Sync,
+            EXEC_BATCH => {
+                let n = cur.list_len("batch entries")?;
+                let mut reqs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let len = cur.u32()? as usize;
+                    let sub = cur.bytes(len, "batch entry")?;
+                    // Reject nesting *before* recursing: a nested batch
+                    // would make decode depth attacker-controlled, and a
+                    // Hello mid-stream would re-run the handshake.
+                    match sub.first() {
+                        Some(&EXEC_BATCH) => {
+                            return Err(GdbError::Corrupt("wire: nested ExecBatch entry".into()))
+                        }
+                        Some(&HELLO) => {
+                            return Err(GdbError::Corrupt("wire: Hello inside ExecBatch".into()))
+                        }
+                        _ => {}
+                    }
+                    reqs.push(Request::decode(sub)?);
+                }
+                Request::ExecBatch(reqs)
+            }
+            EPOCH => Request::Epoch,
             op => {
                 return Err(GdbError::Corrupt(format!(
                     "wire: unknown request op {op:#x}"
@@ -1145,6 +1210,7 @@ mod rsp_op {
     pub const EXEC_DONE: u8 = 0x90;
     pub const STATS: u8 = 0x91;
     pub const TRACES: u8 = 0x92;
+    pub const BATCH_DONE: u8 = 0x93;
     pub const ERR: u8 = 0xFF;
 }
 
@@ -1154,10 +1220,22 @@ impl Response {
         use rsp_op::*;
         let mut out = Vec::new();
         match self {
-            Response::HelloAck { version, engine } => {
+            Response::HelloAck {
+                version,
+                engine,
+                shard,
+            } => {
                 wire::put_u8(&mut out, HELLO_ACK);
                 wire::put_u16(&mut out, *version);
                 wire::put_str(&mut out, engine);
+                match shard {
+                    None => wire::put_bool(&mut out, false),
+                    Some((id, fleet)) => {
+                        wire::put_bool(&mut out, true);
+                        wire::put_u32(&mut out, *id);
+                        wire::put_u32(&mut out, *fleet);
+                    }
+                }
             }
             Response::Unit => wire::put_u8(&mut out, UNIT),
             Response::Bool(b) => {
@@ -1301,6 +1379,15 @@ impl Response {
                     put_trace_record(&mut out, r);
                 }
             }
+            Response::BatchDone(rsps) => {
+                wire::put_u8(&mut out, BATCH_DONE);
+                wire::put_u32(&mut out, rsps.len() as u32);
+                for r in rsps {
+                    let sub = r.encode();
+                    wire::put_u32(&mut out, sub.len() as u32);
+                    out.extend_from_slice(&sub);
+                }
+            }
             Response::Err(e) => {
                 wire::put_u8(&mut out, ERR);
                 wire::put_error(&mut out, e);
@@ -1318,6 +1405,11 @@ impl Response {
             HELLO_ACK => Response::HelloAck {
                 version: cur.u16()?,
                 engine: cur.str_()?,
+                shard: if cur.bool_()? {
+                    Some((cur.u32()?, cur.u32()?))
+                } else {
+                    None
+                },
             },
             UNIT => Response::Unit,
             BOOL => Response::Bool(cur.bool_()?),
@@ -1407,6 +1499,20 @@ impl Response {
                 }
                 Response::Traces(rs)
             }
+            BATCH_DONE => {
+                let n = cur.list_len("batch responses")?;
+                let mut rsps = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let len = cur.u32()? as usize;
+                    let sub = cur.bytes(len, "batch response")?;
+                    // Same nesting bound as the request side.
+                    if sub.first() == Some(&BATCH_DONE) {
+                        return Err(GdbError::Corrupt("wire: nested BatchDone entry".into()));
+                    }
+                    rsps.push(Response::decode(sub)?);
+                }
+                Response::BatchDone(rsps)
+            }
             ERR => Response::Err(wire::get_error(&mut cur)?),
             op => {
                 return Err(GdbError::Corrupt(format!(
@@ -1476,6 +1582,22 @@ mod tests {
             Request::Sync,
             Request::GetStats,
             Request::GetTraces,
+            Request::Epoch,
+            Request::ExecBatch(vec![]),
+            Request::ExecBatch(vec![
+                Request::AddVertex {
+                    label: "wl_vertex".into(),
+                    props: vec![("wl_worker".into(), Value::Int(2))],
+                },
+                Request::AddEdge {
+                    src: 11,
+                    dst: 42,
+                    label: "wl_edge".into(),
+                    props: vec![],
+                },
+                Request::RemoveEdge(9),
+                Request::Epoch,
+            ]),
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -1508,7 +1630,19 @@ mod tests {
             Response::HelloAck {
                 version: PROTO_VERSION,
                 engine: "linked(v2)".into(),
+                shard: None,
             },
+            Response::HelloAck {
+                version: PROTO_VERSION,
+                engine: "triple".into(),
+                shard: Some((2, 4)),
+            },
+            Response::BatchDone(vec![]),
+            Response::BatchDone(vec![
+                Response::U64(1),
+                Response::Err(GdbError::VertexNotFound(7)),
+                Response::Unit,
+            ]),
             Response::Unit,
             Response::Bool(true),
             Response::U64(7),
@@ -1695,5 +1829,50 @@ mod tests {
     fn response_kind_names_cover_mismatch_diagnostics() {
         assert_eq!(Response::Unit.kind(), "Unit");
         assert_eq!(Response::Err(GdbError::Timeout).kind(), "Err");
+        assert_eq!(Response::BatchDone(vec![]).kind(), "BatchDone");
+    }
+
+    #[test]
+    fn nested_batches_rejected() {
+        // A batch inside a batch is representable by hand-crafting bytes but
+        // must be refused: decode recursion depth stays at one.
+        let inner = Request::ExecBatch(vec![Request::Reset]).encode();
+        let mut bytes = vec![0x08];
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&(inner.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&inner);
+        assert!(matches!(Request::decode(&bytes), Err(GdbError::Corrupt(_))));
+
+        let hello = Request::Hello {
+            magic: MAGIC,
+            version: PROTO_VERSION,
+        }
+        .encode();
+        let mut bytes = vec![0x08];
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&(hello.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&hello);
+        assert!(matches!(Request::decode(&bytes), Err(GdbError::Corrupt(_))));
+
+        let inner = Response::BatchDone(vec![Response::Unit]).encode();
+        let mut bytes = vec![0x93];
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&(inner.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&inner);
+        assert!(matches!(
+            Response::decode(&bytes),
+            Err(GdbError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_batch_rejected() {
+        let bytes = Request::ExecBatch(vec![Request::Reset, Request::Sync]).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Request::decode(&bytes[..cut]).is_err(),
+                "prefix of len {cut} accepted"
+            );
+        }
     }
 }

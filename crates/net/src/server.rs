@@ -117,6 +117,9 @@ struct Hosted {
     /// engine has since been replaced — a stale `Eid` from a discarded
     /// engine must never delete an edge of the freshly loaded one.
     generation: AtomicU64,
+    /// Fleet identity `(shard_id, fleet_size)` echoed in every `HelloAck`
+    /// so a fleet client can verify it dialed the shard it routed to.
+    shard: Option<(u32, u32)>,
 }
 
 impl Hosted {
@@ -345,9 +348,21 @@ impl Server {
                 data: Mutex::new(None),
                 params: RwLock::new(None),
                 generation: AtomicU64::new(0),
+                shard: None,
             }),
             stop: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Declare this server one shard of a fleet: `HelloAck` then carries
+    /// `(shard_id, fleet_size)` so a fleet client can verify its routing
+    /// table against the process it actually dialed. Call before
+    /// [`Server::run`]/[`Server::spawn`] — identity is fixed once serving.
+    pub fn with_shard_identity(mut self, shard_id: u32, fleet_size: u32) -> Server {
+        if let Some(hosted) = Arc::get_mut(&mut self.hosted) {
+            hosted.shard = Some((shard_id, fleet_size));
+        }
+        self
     }
 
     /// The bound address.
@@ -440,6 +455,7 @@ fn handle_conn(stream: TcpStream, hosted: Arc<Hosted>) {
                 Ok(engine) => Response::HelloAck {
                     version: PROTO_VERSION,
                     engine,
+                    shard: hosted.shard,
                 },
                 Err(e) => Response::Err(e),
             };
@@ -875,5 +891,21 @@ fn execute_request(
             hosted.with_engine_write(|db| db.sync())?;
             Response::Unit
         }
+        // One frame, many ops (v6): executed strictly in order, one
+        // response per entry. A failing entry becomes a `Response::Err`
+        // *inside* the batch — the envelope itself always succeeds, so one
+        // bad op cannot desync a pipelined stream. The wire decoder rejects
+        // nested batches, so the recursion below is one level deep.
+        Request::ExecBatch(reqs) => {
+            let mut rsps = Vec::with_capacity(reqs.len());
+            for sub in reqs {
+                rsps.push(handle_request(hosted, sub, owned_edges));
+            }
+            Response::BatchDone(rsps)
+        }
+        // Epoch probe (v6): what a read would pin right now. Locked and
+        // shared hosting have no epochs — report 0, which min-reduces
+        // harmlessly fleet-side.
+        Request::Epoch => Response::U64(read()?.epoch().unwrap_or(0)),
     })
 }

@@ -208,6 +208,12 @@ impl<'a> Cur<'a> {
         }
     }
 
+    /// Read `n` raw bytes (length-prefixed sub-frames, e.g. `ExecBatch`
+    /// entries).
+    pub fn bytes(&mut self, n: usize, what: &str) -> GdbResult<&'a [u8]> {
+        self.take(n, what)
+    }
+
     /// Read a [`Value`].
     pub fn value(&mut self) -> GdbResult<Value> {
         let mut pos = self.pos;

@@ -1,0 +1,183 @@
+//! Fleet integration tests over loopback: N in-process shard servers,
+//! one `Fleet` coordinator, real sockets.
+//!
+//! The headline guarantee is cross-process replay equality: a write-heavy
+//! workload driven through a 4-server fleet produces per-op results
+//! identical to the in-process `ShardedGraph` sequential replay — while
+//! spending **fewer wire round trips than ops** thanks to batched,
+//! pipelined dispatch.
+
+use gm_model::testkit;
+use gm_net::{run_fleet, run_fleet_sequential, Fleet, Server, ServerHandle};
+use gm_workload::{MixKind, WorkloadConfig};
+use graphmark::registry::EngineKind;
+use graphmark::shard::run_sharded_sequential;
+
+/// Spawn `n` single-engine shard servers, each announcing its fleet
+/// identity, and return (handles, address table).
+fn spawn_fleet(kind: EngineKind, n: usize) -> (Vec<ServerHandle>, Vec<String>) {
+    let mut handles = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for s in 0..n {
+        let handle = Server::bind("127.0.0.1:0", Box::new(move || kind.make()))
+            .expect("bind shard server")
+            .with_shard_identity(s as u32, n as u32)
+            .spawn()
+            .expect("spawn shard server");
+        addrs.push(handle.addr().to_string());
+        handles.push(handle);
+    }
+    (handles, addrs)
+}
+
+fn cfg(mix: MixKind, threads: u32, ops: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        mix,
+        threads,
+        ops_per_worker: ops,
+        seed: 1234,
+        record_cardinalities: true,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// Acceptance criterion of the fleet PR: a 4-process fleet completes the
+/// write-heavy mix with per-op results identical to the in-process sharded
+/// replay, and batched dispatch spends fewer wire round trips than ops.
+#[test]
+fn fleet_write_heavy_matches_in_process_sharded_replay() {
+    let data = testkit::chain_dataset(150);
+    let kind = EngineKind::LinkedV2;
+    let (handles, addrs) = spawn_fleet(kind, 4);
+
+    let fleet = Fleet::connect(addrs).expect("connect fleet");
+    assert_eq!(fleet.shard_count(), 4);
+    assert_eq!(fleet.name(), "linked(v2)/f4");
+
+    let c = cfg(MixKind::WriteHeavy, 3, 40);
+    let epoch_before = fleet.epoch().expect("fleet epoch");
+    let trips_before = fleet.round_trips();
+    let remote = run_fleet_sequential(&fleet, &data, &c).expect("fleet run");
+    let measured_trips = fleet.round_trips() - trips_before;
+
+    let factory = move || kind.make();
+    let local = run_sharded_sequential(&factory, 4, &data, &c).expect("local sharded replay");
+
+    assert_eq!(
+        remote.cardinality_trace(),
+        local.cardinality_trace(),
+        "fleet results must match the in-process sharded replay op for op"
+    );
+    assert_eq!(remote.errors(), 0, "no op errors across the fleet");
+    assert_eq!(fleet.routing_errors(), 0, "no routing errors");
+    assert!(
+        fleet.batched_ops() > 0,
+        "write-heavy dispatch must use ExecBatch frames"
+    );
+    // round_trips counts frames measured from Fleet::connect, and the
+    // measured window still includes setup (load + meta probes + param
+    // resolution); the run itself must stay under one frame per op, so the
+    // whole window staying under ops + setup slack proves it a fortiori.
+    let total_ops = 3 * 40u64;
+    assert!(
+        measured_trips > 0,
+        "the frame counter must observe the run's traffic"
+    );
+    let run_trips = measured_trips.saturating_sub(setup_frames(&fleet, &data, &c));
+    assert!(
+        run_trips < total_ops,
+        "batched dispatch must spend fewer wire round trips ({run_trips}) than ops ({total_ops})"
+    );
+    // Locked hosting is unversioned: the fleet epoch holds at 0, which is
+    // still (trivially) monotone.
+    let epoch_after = fleet.epoch().expect("fleet epoch");
+    assert!(epoch_after >= epoch_before, "fleet epoch must be monotone");
+
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+/// Measure how many frames one `Fleet::setup` costs, so the test above can
+/// subtract the setup traffic and gate the *run* alone.
+fn setup_frames(fleet: &Fleet, data: &gm_model::Dataset, c: &WorkloadConfig) -> u64 {
+    let before = fleet.round_trips();
+    fleet.setup(data, c).expect("setup for frame measurement");
+    fleet.round_trips() - before
+}
+
+/// The concurrent fleet driver completes cleanly too: per-worker
+/// connections, all pacing machinery unchanged.
+#[test]
+fn fleet_concurrent_write_heavy_completes() {
+    let data = testkit::chain_dataset(150);
+    let (handles, addrs) = spawn_fleet(EngineKind::LinkedV2, 3);
+    let fleet = Fleet::connect(addrs).expect("connect fleet");
+    let c = cfg(MixKind::WriteHeavy, 4, 30);
+    let report = run_fleet(&fleet, &data, &c).expect("concurrent fleet run");
+    assert_eq!(report.ops() + report.errors(), 4 * 30);
+    assert_eq!(report.errors(), 0, "no op should fail over loopback");
+    assert_eq!(fleet.routing_errors(), 0);
+    assert_eq!(report.engine, "linked(v2)/f3");
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+/// Read-only fleet runs close the loop with the unsharded replay as well:
+/// scatter-gather reads with ghost correction return exactly what one
+/// engine would.
+#[test]
+fn fleet_read_only_matches_unsharded_replay() {
+    use gm_workload::run_sequential;
+
+    let data = testkit::chain_dataset(150);
+    let kind = EngineKind::ColumnarV10;
+    let (handles, addrs) = spawn_fleet(kind, 4);
+    let fleet = Fleet::connect(addrs).expect("connect fleet");
+    let c = cfg(MixKind::ReadOnly, 3, 20);
+    let remote = run_fleet_sequential(&fleet, &data, &c).expect("fleet run");
+    let factory = move || kind.make();
+    let local = run_sequential(&factory, &data, &c).expect("local replay");
+    assert_eq!(
+        remote.cardinality_trace(),
+        local.cardinality_trace(),
+        "ghost-corrected scatter-gather must match the single-engine replay"
+    );
+    assert_eq!(remote.errors(), 0);
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+/// Routing-table verification: dialing a server whose announced identity
+/// does not match its position in the address table is refused at connect
+/// time, before any op can be misrouted.
+#[test]
+fn fleet_refuses_a_miswired_address_table() {
+    let (handles, mut addrs) = spawn_fleet(EngineKind::LinkedV1, 2);
+    addrs.swap(0, 1); // shard 1's server now sits in slot 0
+    match Fleet::connect(addrs) {
+        Err(gm_model::GdbError::Invalid(why)) => {
+            assert!(why.contains("shard identity"), "{why}");
+        }
+        Err(other) => panic!("a miswired fleet must fail with Invalid, got {other:?}"),
+        Ok(_) => panic!("a miswired fleet must be refused"),
+    }
+    // A server with no identity at all is refused too.
+    let plain = Server::bind("127.0.0.1:0", Box::new(|| EngineKind::LinkedV1.make()))
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    match Fleet::connect(vec![plain.addr().to_string()]) {
+        Err(gm_model::GdbError::Invalid(why)) => {
+            assert!(why.contains("None"), "{why}");
+        }
+        Err(other) => panic!("an identity-less server must fail with Invalid, got {other:?}"),
+        Ok(_) => panic!("an identity-less server must be refused"),
+    }
+    plain.shutdown();
+    for h in handles {
+        h.shutdown();
+    }
+}

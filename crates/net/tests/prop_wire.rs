@@ -97,7 +97,14 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Reset),
         Just(Request::Space),
         Just(Request::Sync),
+        Just(Request::Epoch),
     ]
+}
+
+/// A v6 batch frame: any mix of (non-batch) requests. Nesting is rejected
+/// by construction server-side, so the generator stays flat like the wire.
+fn arb_batch() -> impl Strategy<Value = Request> {
+    prop::collection::vec(arb_request(), 0..12).prop_map(Request::ExecBatch)
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
@@ -157,6 +164,49 @@ proptest! {
         for ((an, av), (bn, bv)) in back.iter().zip(props.iter()) {
             prop_assert_eq!(an, bn);
             prop_assert!(same_value(av, bv), "{:?} vs {:?}", av, bv);
+        }
+    }
+
+    /// v6 `ExecBatch` frames round-trip identically: every entry survives
+    /// in order, whatever mix of ops the client queued.
+    #[test]
+    fn exec_batch_round_trip(batch in arb_batch()) {
+        let bytes = batch.encode();
+        let back = Request::decode(&bytes).unwrap();
+        prop_assert_eq!(&back, &batch);
+    }
+
+    /// `BatchDone` envelopes round-trip too, including entries that carry
+    /// errors (a rejected op must not corrupt its successors' decode).
+    #[test]
+    fn batch_done_round_trip(rsps in prop::collection::vec(arb_response(), 0..12)) {
+        let rsp = Response::BatchDone(rsps);
+        let bytes = rsp.encode();
+        let back = Response::decode(&bytes).unwrap();
+        prop_assert_eq!(&back, &rsp);
+    }
+
+    /// Every proper prefix of a valid batch frame is rejected — truncation
+    /// mid-entry never yields a shorter valid batch.
+    #[test]
+    fn truncated_batches_rejected(batch in arb_batch(), frac in 0.0f64..1.0) {
+        let bytes = batch.encode();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(Request::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Single-byte corruption of a batch frame either decodes to some
+    /// message or errors — never a panic, never an over-allocation (the
+    /// nested-batch rejection keeps decode depth bounded too).
+    #[test]
+    fn corrupted_batches_never_panic(batch in arb_batch(), pos in any::<u16>(), bit in 0u8..8) {
+        let mut bytes = batch.encode();
+        if !bytes.is_empty() {
+            let i = (pos as usize) % bytes.len();
+            bytes[i] ^= 1 << bit;
+            let _ = Request::decode(&bytes);
         }
     }
 

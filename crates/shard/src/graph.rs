@@ -56,6 +56,12 @@ fn poisoned(what: &str) -> GdbError {
     ))
 }
 
+/// Purge-queue depth at which an edge removal eagerly drains instead of
+/// deferring further. Removal-heavy mixes that never resolve canonicals
+/// (and never create ghosts) would otherwise grow the queue without bound;
+/// one meta write per `PURGE_DRAIN_THRESHOLD` removals amortizes to noise.
+const PURGE_DRAIN_THRESHOLD: usize = 1024;
+
 /// Which shard read guards an op needs.
 enum ShardSel {
     One(usize),
@@ -205,7 +211,23 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
                 }
             }
         }
+        self.note_pending(0);
         Ok(())
+    }
+
+    /// Publish the purge-queue depth to the `shard.pending_purges` gauge.
+    fn note_pending(&self, len: usize) {
+        if let Some(m) = &self.metrics {
+            m.pending_purges.set(len as i64);
+        }
+    }
+
+    /// Current depth of the deferred purge queue (diagnostics and tests;
+    /// the `shard.pending_purges` gauge mirrors this under `GM_OBS`).
+    pub fn pending_purge_depth(&self) -> usize {
+        self.purge_lock("gm-shard/graph.rs purge queue depth")
+            .map(|g| g.len())
+            .unwrap_or(0)
     }
 
     /// Run a read holding exactly the shards `select` names (meta guard
@@ -337,6 +359,12 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
                 // before the translation exists.
                 // gm-lock: meta
                 let mut meta = self.meta_write()?;
+                // Opportunistic purge drain: this is the only write path
+                // that takes the meta writer lock under a read-dominated
+                // mix, so piggyback the deferred resolution-map cleanup
+                // here instead of letting the queue grow unbounded until
+                // the next canonical resolution.
+                self.drain_purges(Some(&mut meta))?;
                 match meta.ghosts[s].get(&dst.0).copied() {
                     Some(ghost) => ghost, // raced another writer: reuse
                     None => {
@@ -422,10 +450,19 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
         // invisible to every read and will be reused by the next cut edge
         // to the same destination. The resolution-map purge is deferred
         // (see `pending_purges`); canonical resolution drains the queue
-        // before answering.
-        // gm-lock: leaf
-        self.purge_lock("gm-shard/graph.rs purge queue push")?
-            .push(e);
+        // before answering, ghost creation drains it opportunistically,
+        // and a depth cap below bounds it on removal-heavy mixes that
+        // never hit either path.
+        let depth = {
+            // gm-lock: leaf
+            let mut pending = self.purge_lock("gm-shard/graph.rs purge queue push")?;
+            pending.push(e);
+            pending.len()
+        };
+        self.note_pending(depth);
+        if depth >= PURGE_DRAIN_THRESHOLD {
+            self.drain_purges(None)?;
+        }
         Ok(())
     }
 
@@ -472,6 +509,7 @@ impl<E: GraphDb + 'static> ShardedGraph<E> {
         // gm-lock: leaf
         self.purge_lock("gm-shard/graph.rs purge queue clear")?
             .clear();
+        self.note_pending(0);
         Ok(LoadStats {
             vertices: data.vertex_count() as u64,
             edges: data.edge_count() as u64,

@@ -54,7 +54,7 @@ pub use route::{
     decode_eid, decode_vid, encode_eid, encode_vid, shard_of_canonical, Meta, GHOST_LABEL,
 };
 pub use source::ShardedSource;
-pub use view::ShardedView;
+pub use view::{Parts, ShardedView};
 
 /// A `ShardedGraph` over boxed registry engines — the form the harness
 /// binaries use (`EngineKind::make()` returns `Box<dyn GraphDb>`, which
@@ -182,6 +182,44 @@ mod tests {
         assert_eq!(g.vertex_count(&ctx).unwrap(), 21);
         assert_eq!(g.edge_count(&ctx).unwrap(), 20);
         assert_eq!(g.vertex(hub).unwrap(), None);
+    }
+
+    /// Regression: deferred resolution-map purges must not sit in the
+    /// queue forever on read-dominated mixes. Ghost creation is the only
+    /// write that takes the meta writer lock there, so it drains the
+    /// queue opportunistically; removal-heavy mixes are bounded by the
+    /// depth cap.
+    #[test]
+    fn deferred_purges_drain_on_ghost_creation() {
+        let mut g = loaded(2, 20);
+        let e = g.resolve_edge(5).unwrap();
+        g.remove_edge(e).unwrap();
+        assert_eq!(g.pending_purge_depth(), 1, "removal defers the purge");
+        // Two fresh vertices land on different shards (round-robin), so
+        // the edge between them creates a ghost under the meta writer
+        // lock — which must piggyback the queued purge.
+        let a = g.add_vertex("a", &vec![]).unwrap();
+        let b = g.add_vertex("b", &vec![]).unwrap();
+        g.add_edge(a, b, "cut", &vec![]).unwrap();
+        assert_eq!(g.pending_purge_depth(), 0, "ghost creation drains");
+        assert_eq!(g.resolve_edge(5), None, "purge actually landed");
+    }
+
+    #[test]
+    fn deferred_purges_drain_at_depth_cap() {
+        let mut g = loaded(2, 1200);
+        let eids: Vec<_> = (0..1024)
+            .map(|c| g.resolve_edge(c).expect("resolve edge"))
+            .collect();
+        for (i, e) in eids.iter().enumerate() {
+            g.remove_edge(*e).unwrap();
+            let depth = g.pending_purge_depth();
+            if i < 1023 {
+                assert_eq!(depth, i + 1, "queue grows until the cap");
+            } else {
+                assert_eq!(depth, 0, "cap triggers a full drain");
+            }
+        }
     }
 
     #[test]

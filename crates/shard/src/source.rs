@@ -41,7 +41,7 @@ use gm_model::api::{
 use gm_model::lockorder::{self, LockRank, LockToken};
 use gm_model::{lockwait, Dataset, Eid, GdbError, GdbResult, Props, QueryCtx, Value, Vid};
 use gm_mvcc::SnapshotSource;
-use gm_obs::Counter;
+use gm_obs::{Counter, Gauge};
 
 use crate::route::{
     build_meta, decode_eid, decode_vid, encode_eid, encode_vid, partition, Meta, GHOST_LABEL,
@@ -73,6 +73,9 @@ pub(crate) struct ShardMetrics {
     /// Composite pins that had to retry (or wait out) a topology change.
     pub(crate) seqlock_retries: Counter,
     pub(crate) ghost_creations: Counter,
+    /// Depth of the deferred resolution-map purge queue (locked composite
+    /// only; snapshot composites purge eagerly under their topology guard).
+    pub(crate) pending_purges: Gauge,
 }
 
 impl ShardMetrics {
@@ -88,6 +91,7 @@ impl ShardMetrics {
             pins: g.counter("shard.pins"),
             seqlock_retries: g.counter("shard.seqlock_retries"),
             ghost_creations: g.counter("shard.ghost_creations"),
+            pending_purges: g.gauge("shard.pending_purges"),
         })
     }
 

@@ -37,7 +37,11 @@ use crate::route::{decode_eid, decode_vid, encode_eid, Meta};
 /// point reads touch one shard, presence gathers a few, whole-graph scans
 /// all). Indexing an unacquired shard is an internal routing bug and
 /// panics.
-pub(crate) struct Parts<'a> {
+///
+/// `Parts` is public so composite read frontends outside this crate
+/// (e.g. `gm-net`'s fleet coordinator) can reuse the ghost-corrected
+/// merge logic over their own shard views.
+pub struct Parts<'a> {
     /// Composite display name (for `name()`/`features()`).
     pub name: &'a str,
     /// Read views, indexed by shard; `None` = not acquired for this op.

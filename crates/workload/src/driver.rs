@@ -148,6 +148,14 @@ pub trait Session {
     /// names, victim rotation) exactly as the shared-lock driver does, so a
     /// remote server can replay the identical mutation.
     fn execute(&mut self, op: Op, worker: usize, op_index: u64) -> GdbResult<OpResult>;
+
+    /// Called once after the worker's last op, before its stats are
+    /// returned. Sessions that buffer work (e.g. a fleet session batching
+    /// writes per shard) flush here so every queued mutation lands inside
+    /// the measured run; the default is a no-op.
+    fn finish(&mut self) -> GdbResult<()> {
+        Ok(())
+    }
 }
 
 /// A transport over which the driver reaches an engine: in-process behind
@@ -1107,6 +1115,7 @@ fn worker_loop(
             }
         }
     }
+    session.finish()?;
     Ok(stats)
 }
 
