@@ -150,6 +150,18 @@ pub const KNOBS: &[Knob] = &[
         doc: "base path to dump retained traces on exit (<base>.txt aligned table + \
               <base>.json Chrome trace_event)",
     },
+    Knob {
+        name: "GM_TXN_OPS",
+        default: "8",
+        doc: "fig11_transactions: writes buffered per transaction before commit \
+              (0 = autocommit, no transactional rows)",
+    },
+    Knob {
+        name: "GM_TXN_LOG_CAP",
+        default: "1024",
+        doc: "commit-log retention window for first-committer-wins validation; \
+              transactions older than the window conflict conservatively",
+    },
 ];
 
 /// Render the knob table (for `reproduce_all`'s header).
@@ -465,6 +477,8 @@ mod tests {
             "GM_TRACE",
             "GM_TRACE_CAP",
             "GM_TRACE_DUMP",
+            "GM_TXN_OPS",
+            "GM_TXN_LOG_CAP",
         ] {
             assert!(
                 KNOBS.iter().any(|k| k.name == required),

@@ -211,6 +211,13 @@ pub struct ScalingRow {
     /// epoch skew, not engine bugs. Locked-mode runs carry no epochs and
     /// report 0.
     pub epoch_skew: u64,
+    /// Write transactions whose commit lost first-committer-wins validation
+    /// (`GdbError::TxnConflict`): the whole buffered write set was discarded
+    /// and the session moved on. Only transactional sessions
+    /// (`GM_TXN_OPS > 0`) produce these; a conflicted commit is *not* an op
+    /// error — the ops executed, the commit lost a race — so it is counted
+    /// here instead of in [`ScalingRow::errors`].
+    pub txn_conflicts: u64,
     /// Total nanoseconds completed ops spent **waiting to acquire engine
     /// locks** (queueing, not hold time): the shared `RwLock`, MVCC cell
     /// mutexes, or `gm-shard`'s per-partition locks. The per-partition vs
@@ -360,7 +367,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
     keys.dedup();
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<36} {:>7} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5} {:>9} {:>9} {:>9} {:>18}\n",
+        "{:<36} {:>7} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5} {:>5} {:>9} {:>9} {:>9} {:>18}\n",
         "engine/mix@isolation",
         "threads",
         "offered/s",
@@ -375,12 +382,13 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
         "errors",
         "shed",
         "skew",
+        "txnc",
         "exec/op",
         "snap/op",
         "wire/op",
         "p99_exemplar"
     ));
-    out.push_str(&"-".repeat(217));
+    out.push_str(&"-".repeat(223));
     out.push('\n');
     for (engine, mix, isolation) in &keys {
         let mut group: Vec<&ScalingRow> = rows
@@ -412,7 +420,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
                 format!("{:#018x}", r.p99_exemplar)
             };
             out.push_str(&format!(
-                "{:<36} {:>7} {:>12} {:>12.0} {:>12.0} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5} {:>9} {:>9} {:>9} {:>18}\n",
+                "{:<36} {:>7} {:>12} {:>12.0} {:>12.0} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7} {:>5} {:>5} {:>9} {:>9} {:>9} {:>18}\n",
                 format!("{engine}/{mix}@{isolation}"),
                 r.threads,
                 offered,
@@ -427,6 +435,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
                 r.errors,
                 r.shed,
                 r.epoch_skew,
+                r.txn_conflicts,
                 format_nanos(r.exec_per_op()),
                 format_nanos(r.snapshot_per_op()),
                 format_nanos(r.wire_per_op()),
@@ -439,10 +448,10 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
 
 /// Render the sweep as CSV (machine-readable companion).
 pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
-    // The phase columns ride at the end so older consumers keyed on column
-    // prefixes keep parsing.
+    // New columns ride at the end (phases, then the exemplar, then txn
+    // conflicts) so older consumers keyed on column prefixes keep parsing.
     let mut out = String::from(
-        "engine,mix,isolation,threads,ops,read_ops,errors,shed,epoch_skew,lock_wait_ms,wall_millis,offered_ops_s,throughput_ops_s,read_ops_s,p50_us,p95_us,p99_us,max_us,engine_exec_ms,snapshot_pin_ms,clone_publish_ms,wire_encode_ms,wire_io_ms,p99_exemplar\n",
+        "engine,mix,isolation,threads,ops,read_ops,errors,shed,epoch_skew,lock_wait_ms,wall_millis,offered_ops_s,throughput_ops_s,read_ops_s,p50_us,p95_us,p99_us,max_us,engine_exec_ms,snapshot_pin_ms,clone_publish_ms,wire_encode_ms,wire_io_ms,p99_exemplar,txn_conflicts\n",
     );
     for r in rows {
         let offered = match r.offered_ops_per_sec {
@@ -455,7 +464,7 @@ pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
             format!("{:#x}", r.p99_exemplar)
         };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{:.1},{:.1},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{}\n",
+            "{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{:.1},{:.1},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{}\n",
             r.engine,
             r.mix,
             r.isolation,
@@ -480,6 +489,7 @@ pub fn scaling_to_csv(rows: &[ScalingRow]) -> String {
             r.wire_encode_nanos as f64 / 1e6,
             r.wire_io_nanos as f64 / 1e6,
             exemplar,
+            r.txn_conflicts,
         ));
     }
     out
@@ -564,6 +574,7 @@ mod tests {
             errors: 0,
             shed: 0,
             epoch_skew: 0,
+            txn_conflicts: 0,
             lock_wait_nanos: 0,
             engine_exec_nanos: 0,
             snapshot_pin_nanos: 0,
@@ -647,15 +658,15 @@ mod tests {
         let header = csv.lines().next().unwrap();
         assert!(
             header.ends_with(
-                "engine_exec_ms,snapshot_pin_ms,clone_publish_ms,wire_encode_ms,wire_io_ms,p99_exemplar"
+                "engine_exec_ms,snapshot_pin_ms,clone_publish_ms,wire_encode_ms,wire_io_ms,p99_exemplar,txn_conflicts"
             ),
-            "phase and exemplar columns ride at the end: {header}"
+            "phase, exemplar, and txn columns ride at the end: {header}"
         );
         assert!(
             csv.lines()
                 .nth(1)
                 .unwrap()
-                .ends_with("4.000,1.000,1.000,2.000,1.000,"),
+                .ends_with("4.000,1.000,1.000,2.000,1.000,,0"),
             "{csv}"
         );
     }
@@ -678,10 +689,27 @@ mod tests {
             "untraced row ends in a dash:\n{text}"
         );
         let csv = scaling_to_csv(&[untraced, traced]);
-        assert!(csv.lines().next().unwrap().ends_with(",p99_exemplar"));
-        assert!(csv.contains(",0x1234abcd\n"), "{csv}");
-        // Untraced rows leave the column empty.
-        assert!(csv.lines().nth(1).unwrap().ends_with("0.000,"), "{csv}");
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with(",p99_exemplar,txn_conflicts"));
+        assert!(csv.contains(",0x1234abcd,0\n"), "{csv}");
+        // Untraced rows leave the exemplar column empty.
+        assert!(csv.lines().nth(1).unwrap().ends_with("0.000,,0"), "{csv}");
+    }
+
+    #[test]
+    fn scaling_reports_txn_conflicts() {
+        let mut row = srow("linked(v1)", 4, 1_000, 100);
+        row.isolation = "snapshot-cow+txn".into();
+        row.txn_conflicts = 7;
+        let text = render_scaling(&[row.clone()]);
+        assert!(text.contains("txnc"), "{text}");
+        assert!(text.contains("linked(v1)/mixed@snapshot-cow+txn"), "{text}");
+        let csv = scaling_to_csv(&[row]);
+        assert!(csv.lines().next().unwrap().ends_with(",txn_conflicts"));
+        assert!(csv.lines().nth(1).unwrap().ends_with(",7"), "{csv}");
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub enum GdbError {
     /// signal that the run must abort rather than keep measuring against
     /// unreliable state.
     Poisoned(String),
+    /// A write transaction lost the first-committer-wins race: another
+    /// commit published a conflicting write set after this transaction
+    /// pinned its read epoch. The transaction's buffered writes were
+    /// discarded; the caller may retry against a fresh epoch.
+    TxnConflict(String),
 }
 
 impl fmt::Display for GdbError {
@@ -54,6 +59,7 @@ impl fmt::Display for GdbError {
             GdbError::Poisoned(what) => {
                 write!(f, "engine lock poisoned by a panicking writer: {what}")
             }
+            GdbError::TxnConflict(what) => write!(f, "transaction conflict: {what}"),
         }
     }
 }
@@ -81,6 +87,9 @@ mod tests {
         assert!(GdbError::Poisoned("worker 3".into())
             .to_string()
             .contains("poisoned"));
+        assert!(GdbError::TxnConflict("vertex v9".into())
+            .to_string()
+            .contains("conflict"));
     }
 
     #[test]

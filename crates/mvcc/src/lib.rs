@@ -43,6 +43,9 @@ use gm_model::lockorder::{self, LockRank};
 use gm_model::{lockwait, Eid, GdbError, GdbResult, QueryCtx, Value, Vid};
 use gm_obs::{phase, Counter, Gauge, Histo, Phase};
 
+mod txn;
+pub use txn::{KeyRecorder, TxnKey, TxnLog, WriteTxn, TXN_ID_TAG, TXN_LOG_CAP_DEFAULT};
+
 /// Which snapshot implementation a harness should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SnapshotMode {
@@ -138,7 +141,43 @@ pub trait SnapshotSource: Send + Sync {
     /// contract it replaces: mutations applied before the failure remain
     /// applied and become visible at the next publish — multi-part writes
     /// that need all-or-nothing semantics must validate before mutating.
+    ///
+    /// Sources that support transactions wrap the engine in a
+    /// [`KeyRecorder`] and append the touched keys to their [`TxnLog`] on
+    /// success, so autocommit batches participate in first-committer-wins
+    /// validation.
     fn with_write(&self, f: &mut WriteFn<'_>) -> GdbResult<u64>;
+
+    /// The commit log backing transaction conflict detection, if this
+    /// source keeps one. `None` (the default) means [`WriteTxn::commit`]
+    /// cannot validate first-committer-wins against this source and
+    /// publishes unvalidated — every source in this workspace keeps a log.
+    fn txn_log(&self) -> Option<&TxnLog> {
+        None
+    }
+
+    /// Validate a transaction's write set (first-committer-wins against
+    /// commits recorded after `start_seq`) and, only if clean, apply `f` —
+    /// both under the writer lock, so no other commit can land in between.
+    /// The applied keys reach the log through the source's `with_write`
+    /// recording; a [`GdbError::TxnConflict`] guarantees `f` never ran.
+    ///
+    /// The default runs everything inside one [`SnapshotSource::with_write`]
+    /// batch, which is atomic under pins for single-cell sources; sources
+    /// whose batches span cells (the sharded composite) override this with
+    /// a staged commit.
+    fn txn_commit(&self, start_seq: u64, keys: &[TxnKey], f: &mut WriteFn<'_>) -> GdbResult<u64> {
+        let mut first = true;
+        self.with_write(&mut |db| {
+            if first {
+                first = false;
+                if let Some(log) = self.txn_log() {
+                    log.validate(start_seq, keys)?;
+                }
+            }
+            f(db)
+        })
+    }
 }
 
 /// An immutable epoch view: an `Arc` of the engine as it stood when the
@@ -358,7 +397,11 @@ impl PinTable {
         let now = self.origin.elapsed().as_micros() as u64;
         // gm-lock: leaf
         let _t = lockorder::acquire(LockRank::Leaf, "gm-mvcc/lib.rs pin table pin");
-        let mut map = self.epochs.lock().expect("pin table lock");
+        // The table holds only bookkeeping gauges: a pinner that panicked
+        // while holding the lock leaves the counters merely stale, never the
+        // graph state wrong — so recover the guard instead of letting one
+        // panic poison every later reader's pin path.
+        let mut map = self.epochs.lock().unwrap_or_else(|p| p.into_inner());
         let entry = map.entry(epoch).or_insert(EpochPins {
             pins: 0,
             bytes,
@@ -377,7 +420,8 @@ impl PinTable {
         let now = self.origin.elapsed().as_micros() as u64;
         // gm-lock: leaf
         let _t = lockorder::acquire(LockRank::Leaf, "gm-mvcc/lib.rs pin table unpin");
-        let mut map = self.epochs.lock().expect("pin table lock");
+        // Bookkeeping-only state: recover a poisoned guard (see `pin`).
+        let mut map = self.epochs.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(entry) = map.get_mut(&epoch) {
             entry.pins -= 1;
             if entry.pins == 0 {
@@ -557,6 +601,7 @@ pub struct CowCell<E: GraphDb + Clone> {
     published: RwLock<SnapView<E>>,
     dirty: DirtyClock,
     metrics: Option<CellMetrics>,
+    txn_log: TxnLog,
 }
 
 impl<E: GraphDb + Clone + 'static> CowCell<E> {
@@ -573,6 +618,7 @@ impl<E: GraphDb + Clone + 'static> CowCell<E> {
             }),
             dirty: DirtyClock::new(),
             metrics: CellMetrics::new("cow"),
+            txn_log: TxnLog::new(),
         }
     }
 
@@ -681,7 +727,20 @@ impl<E: GraphDb + Clone + 'static> SnapshotSource for CowCell<E> {
         if let Some(m) = &self.metrics {
             m.on_write();
         }
-        f(working.as_mut().expect("just inserted"))
+        // Record the touched write-set keys for txn conflict detection;
+        // append only when the whole batch succeeded (failed batches are
+        // the existing weaker contract and never validate as commits).
+        let engine: &mut dyn GraphDb = working.as_mut().expect("just inserted");
+        let mut rec = KeyRecorder::new(engine);
+        let out = f(&mut rec);
+        if out.is_ok() {
+            self.txn_log.append(rec.take_keys());
+        }
+        out
+    }
+
+    fn txn_log(&self) -> Option<&TxnLog> {
+        Some(&self.txn_log)
     }
 }
 
@@ -707,6 +766,7 @@ pub struct FreezeCell<E: GraphDb + Clone> {
     published: RwLock<SnapView<E>>,
     dirty: DirtyClock,
     metrics: Option<CellMetrics>,
+    txn_log: TxnLog,
 }
 
 impl<E: GraphDb + Clone + 'static> FreezeCell<E> {
@@ -723,6 +783,7 @@ impl<E: GraphDb + Clone + 'static> FreezeCell<E> {
             }),
             dirty: DirtyClock::new(),
             metrics: CellMetrics::new("native"),
+            txn_log: TxnLog::new(),
         }
     }
 
@@ -820,7 +881,17 @@ impl<E: GraphDb + Clone + 'static> SnapshotSource for FreezeCell<E> {
         if let Some(m) = &self.metrics {
             m.on_write();
         }
-        f(&mut *live)
+        // See `CowCell::with_write`: record keys, append on success.
+        let mut rec = KeyRecorder::new(&mut *live);
+        let out = f(&mut rec);
+        if out.is_ok() {
+            self.txn_log.append(rec.take_keys());
+        }
+        out
+    }
+
+    fn txn_log(&self) -> Option<&TxnLog> {
+        Some(&self.txn_log)
     }
 }
 
@@ -1021,6 +1092,35 @@ mod tests {
         );
         let clones = snap_after.hist("mvcc.cow.clone_nanos").unwrap();
         assert!(clones.count >= 1, "clone-on-first-write must be timed");
+    }
+
+    /// Regression: a panic while holding the pin-table mutex must not crash
+    /// every later pinner — the table is bookkeeping only, so the poisoned
+    /// guard is recovered instead of propagated.
+    #[test]
+    fn poisoned_pin_table_keeps_serving_pins() {
+        let reg = gm_obs::Registry::new();
+        let table = Arc::new(PinTable::new(&reg, "poisontest"));
+        let t2 = Arc::clone(&table);
+        // Poison the mutex: panic while the guard is held.
+        let _ = std::thread::spawn(move || {
+            let _guard = t2.epochs.lock().unwrap();
+            panic!("deliberate panic with pin table lock held");
+        })
+        .join();
+        assert!(
+            table.epochs.lock().is_err(),
+            "mutex must actually be poisoned"
+        );
+        // Pin and unpin must still work and keep the gauges coherent.
+        let a = table.pin(1, 100);
+        let b = table.pin(2, 200);
+        assert_eq!(reg.gauge("mvcc.poisontest.live_pins").get(), 2);
+        assert_eq!(reg.gauge("mvcc.poisontest.retained_epochs").get(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(reg.gauge("mvcc.poisontest.live_pins").get(), 0);
+        assert_eq!(reg.gauge("mvcc.poisontest.retained_epochs").get(), 0);
     }
 
     #[test]

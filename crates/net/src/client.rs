@@ -104,7 +104,7 @@ impl Connection {
             // gm-check: relaxed(pure event count, no ordering relied upon)
             ctr.fetch_add(1, Ordering::Relaxed);
         }
-        wire::write_frame(&mut self.stream, &req.encode())
+        wire::write_frame(&mut self.stream, &req.encode()?)
     }
 
     /// Receive the next response in order.
@@ -164,6 +164,38 @@ impl Connection {
         match self.call(&Request::GetTraces)? {
             Response::Traces(rs) => Ok(rs),
             other => Err(protocol_mismatch("Traces", &other)),
+        }
+    }
+
+    /// Open an epoch-pinned write transaction on this connection (v7);
+    /// returns the pinned read epoch. Subsequent write primitives buffer
+    /// server-side and reads answer from the transaction's read-your-writes
+    /// overlay until [`Connection::txn_commit`] / [`Connection::txn_abort`].
+    /// Requires snapshot hosting.
+    pub fn txn_begin(&mut self) -> GdbResult<u64> {
+        match self.call(&Request::TxnBegin)? {
+            Response::TxnBegun { epoch } => Ok(epoch),
+            other => Err(protocol_mismatch("TxnBegun", &other)),
+        }
+    }
+
+    /// Validate and atomically publish the connection's open transaction;
+    /// returns `(replayed ops, serving epoch)`. A first-committer-wins
+    /// loss surfaces as [`GdbError::TxnConflict`] with the write set
+    /// discarded — restart the transaction against a fresh epoch to retry.
+    pub fn txn_commit(&mut self) -> GdbResult<(u64, u64)> {
+        match self.call(&Request::TxnCommit)? {
+            Response::TxnCommitted { ops, epoch } => Ok((ops, epoch)),
+            other => Err(protocol_mismatch("TxnCommitted", &other)),
+        }
+    }
+
+    /// Discard the connection's open transaction; returns the number of
+    /// buffered ops thrown away.
+    pub fn txn_abort(&mut self) -> GdbResult<u64> {
+        match self.call(&Request::TxnAbort)? {
+            Response::TxnAborted { ops } => Ok(ops),
+            other => Err(protocol_mismatch("TxnAborted", &other)),
         }
     }
 }
@@ -752,7 +784,7 @@ impl Session for RemoteSession {
         // clock read — the fast path stays as it was.
         let timing = gm_obs::phases_on();
         let t_enc = timing.then(Instant::now);
-        let payload = req.encode();
+        let payload = req.encode()?;
         let enc = t_enc.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let t_io = timing.then(Instant::now);
         wire::write_frame(&mut self.conn.stream, &payload)?;

@@ -66,7 +66,18 @@ pub const MAGIC: u32 = 0x474D_4E54;
 /// min over per-shard probes); and [`Response::HelloAck`] carries the
 /// server's optional **shard identity** (`shard id` / `fleet size`) so a
 /// fleet client can verify it dialed the shard it routed to.
-pub const PROTO_VERSION: u16 = 6;
+///
+/// v7: write transactions. [`Request::TxnBegin`] opens an epoch-pinned
+/// write transaction on the connection (answered by [`Response::TxnBegun`]
+/// with the pinned epoch); subsequent write primitives buffer into it and
+/// reads answer from its read-your-writes overlay; [`Request::TxnCommit`]
+/// validates first-committer-wins and publishes the whole write set
+/// atomically ([`Response::TxnCommitted`]), [`Request::TxnAbort`] discards
+/// it ([`Response::TxnAborted`]). Conflicts round-trip as the distinct
+/// [`GdbError::TxnConflict`] error (wire tag 9). Encoding also became
+/// fallible end to end: payloads that cannot fit the u32 length prefix
+/// surface as `FrameTooLarge` protocol errors instead of truncating.
+pub const PROTO_VERSION: u16 = 7;
 
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -347,6 +358,18 @@ pub enum Request {
     /// The fleet coordinator min-reduces this across shards, mirroring
     /// `ShardedSource`.
     Epoch,
+    /// Open an epoch-pinned write transaction on this connection (v7).
+    /// Answered with [`Response::TxnBegun`]. Only snapshot-hosted servers
+    /// support transactions; at most one may be open per connection.
+    TxnBegin,
+    /// Validate and atomically publish the connection's open transaction
+    /// (v7). Answered with [`Response::TxnCommitted`], or
+    /// [`Response::Err`]`(TxnConflict)` when another commit won the
+    /// first-committer-wins race (the write set is discarded either way).
+    TxnCommit,
+    /// Discard the connection's open transaction without publishing (v7).
+    /// Answered with [`Response::TxnAborted`].
+    TxnAbort,
 }
 
 /// A server→client message. [`Response::Err`] may answer any request.
@@ -423,6 +446,24 @@ pub enum Response {
     /// order. Per-entry failures are [`Response::Err`] entries here, not a
     /// top-level error.
     BatchDone(Vec<Response>),
+    /// Answers [`Request::TxnBegin`] (v7) with the epoch the transaction's
+    /// reads are pinned to.
+    TxnBegun {
+        /// The pinned read epoch.
+        epoch: u64,
+    },
+    /// Answers [`Request::TxnCommit`] (v7).
+    TxnCommitted {
+        /// Number of buffered write ops the commit replayed.
+        ops: u64,
+        /// The serving epoch after publication.
+        epoch: u64,
+    },
+    /// Answers [`Request::TxnAbort`] (v7).
+    TxnAborted {
+        /// Number of buffered write ops discarded.
+        ops: u64,
+    },
     /// The request failed with this engine error (round-tripped losslessly).
     Err(GdbError),
 }
@@ -451,6 +492,9 @@ impl Response {
             Response::Stats(_) => "Stats",
             Response::Traces(_) => "Traces",
             Response::BatchDone(_) => "BatchDone",
+            Response::TxnBegun { .. } => "TxnBegun",
+            Response::TxnCommitted { .. } => "TxnCommitted",
+            Response::TxnAborted { .. } => "TxnAborted",
             Response::Err(_) => "Err",
         }
     }
@@ -541,20 +585,21 @@ fn get_op(cur: &mut Cur<'_>) -> GdbResult<Op> {
     }
 }
 
-fn put_dataset(out: &mut Vec<u8>, data: &Dataset) {
-    wire::put_str(out, &data.name);
+fn put_dataset(out: &mut Vec<u8>, data: &Dataset) -> GdbResult<()> {
+    wire::put_str(out, &data.name)?;
     wire::put_u32(out, data.vertices.len() as u32);
     for v in &data.vertices {
-        wire::put_str(out, &v.label);
-        wire::put_props(out, &v.props);
+        wire::put_str(out, &v.label)?;
+        wire::put_props(out, &v.props)?;
     }
     wire::put_u32(out, data.edges.len() as u32);
     for e in &data.edges {
         wire::put_u64(out, e.src);
         wire::put_u64(out, e.dst);
-        wire::put_str(out, &e.label);
-        wire::put_props(out, &e.props);
+        wire::put_str(out, &e.label)?;
+        wire::put_props(out, &e.props)?;
     }
+    Ok(())
 }
 
 fn get_dataset(cur: &mut Cur<'_>) -> GdbResult<Dataset> {
@@ -604,11 +649,12 @@ fn get_u64_list(cur: &mut Cur<'_>) -> GdbResult<Vec<u64>> {
     Ok(out)
 }
 
-fn put_str_list(out: &mut Vec<u8>, xs: &[String]) {
+fn put_str_list(out: &mut Vec<u8>, xs: &[String]) -> GdbResult<()> {
     wire::put_u32(out, xs.len() as u32);
     for x in xs {
-        wire::put_str(out, x);
+        wire::put_str(out, x)?;
     }
+    Ok(())
 }
 
 fn get_str_list(cur: &mut Cur<'_>) -> GdbResult<Vec<String>> {
@@ -654,24 +700,25 @@ fn get_hist(cur: &mut Cur<'_>) -> GdbResult<HistSnapshot> {
     Ok(h)
 }
 
-fn put_stats(out: &mut Vec<u8>, s: &RegistrySnapshot) {
+fn put_stats(out: &mut Vec<u8>, s: &RegistrySnapshot) -> GdbResult<()> {
     wire::put_u64(out, s.captured_at_us);
     wire::put_u32(out, s.counters.len() as u32);
     for (name, v) in &s.counters {
-        wire::put_str(out, name);
+        wire::put_str(out, name)?;
         wire::put_u64(out, *v);
     }
     wire::put_u32(out, s.gauges.len() as u32);
     for (name, v) in &s.gauges {
-        wire::put_str(out, name);
+        wire::put_str(out, name)?;
         // Gauges are i64; two's-complement through u64 is lossless.
         wire::put_u64(out, *v as u64);
     }
     wire::put_u32(out, s.hists.len() as u32);
     for (name, h) in &s.hists {
-        wire::put_str(out, name);
+        wire::put_str(out, name)?;
         put_hist(out, h);
     }
+    Ok(())
 }
 
 fn get_stats(cur: &mut Cur<'_>) -> GdbResult<RegistrySnapshot> {
@@ -792,11 +839,15 @@ mod req_op {
     pub const SPACE: u8 = 0x32;
     pub const SYNC: u8 = 0x33;
     pub const EPOCH: u8 = 0x34;
+    pub const TXN_BEGIN: u8 = 0x35;
+    pub const TXN_COMMIT: u8 = 0x36;
+    pub const TXN_ABORT: u8 = 0x37;
 }
 
 impl Request {
-    /// Encode into a frame payload.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode into a frame payload. Fails with a `FrameTooLarge` protocol
+    /// error when any field cannot fit its u32 length prefix.
+    pub fn encode(&self) -> GdbResult<Vec<u8>> {
         use req_op::*;
         let mut out = Vec::new();
         match self {
@@ -810,7 +861,7 @@ impl Request {
                 wire::put_u8(&mut out, BULK_LOAD);
                 wire::put_bool(&mut out, opts.bulk);
                 wire::put_bool(&mut out, opts.index_during_load);
-                put_dataset(&mut out, data);
+                put_dataset(&mut out, data)?;
             }
             Request::Prepare { seed, slots } => {
                 wire::put_u8(&mut out, PREPARE);
@@ -846,8 +897,8 @@ impl Request {
             }
             Request::AddVertex { label, props } => {
                 wire::put_u8(&mut out, ADD_VERTEX);
-                wire::put_str(&mut out, label);
-                wire::put_props(&mut out, props);
+                wire::put_str(&mut out, label)?;
+                wire::put_props(&mut out, props)?;
             }
             Request::AddEdge {
                 src,
@@ -858,19 +909,19 @@ impl Request {
                 wire::put_u8(&mut out, ADD_EDGE);
                 wire::put_u64(&mut out, *src);
                 wire::put_u64(&mut out, *dst);
-                wire::put_str(&mut out, label);
-                wire::put_props(&mut out, props);
+                wire::put_str(&mut out, label)?;
+                wire::put_props(&mut out, props)?;
             }
             Request::SetVertexProp { v, name, value } => {
                 wire::put_u8(&mut out, SET_VERTEX_PROP);
                 wire::put_u64(&mut out, *v);
-                wire::put_str(&mut out, name);
+                wire::put_str(&mut out, name)?;
                 wire::put_value(&mut out, value);
             }
             Request::SetEdgeProp { e, name, value } => {
                 wire::put_u8(&mut out, SET_EDGE_PROP);
                 wire::put_u64(&mut out, *e);
-                wire::put_str(&mut out, name);
+                wire::put_str(&mut out, name)?;
                 wire::put_value(&mut out, value);
             }
             Request::VertexCount { t } => {
@@ -887,19 +938,19 @@ impl Request {
             }
             Request::VerticesWithProperty { name, value, t } => {
                 wire::put_u8(&mut out, VERTICES_WITH_PROPERTY);
-                wire::put_str(&mut out, name);
+                wire::put_str(&mut out, name)?;
                 wire::put_value(&mut out, value);
                 wire::put_u64(&mut out, *t);
             }
             Request::EdgesWithProperty { name, value, t } => {
                 wire::put_u8(&mut out, EDGES_WITH_PROPERTY);
-                wire::put_str(&mut out, name);
+                wire::put_str(&mut out, name)?;
                 wire::put_value(&mut out, value);
                 wire::put_u64(&mut out, *t);
             }
             Request::EdgesWithLabel { label, t } => {
                 wire::put_u8(&mut out, EDGES_WITH_LABEL);
-                wire::put_str(&mut out, label);
+                wire::put_str(&mut out, label)?;
                 wire::put_u64(&mut out, *t);
             }
             Request::GetVertex(v) => {
@@ -921,25 +972,25 @@ impl Request {
             Request::RemoveVertexProp { v, name } => {
                 wire::put_u8(&mut out, REMOVE_VERTEX_PROP);
                 wire::put_u64(&mut out, *v);
-                wire::put_str(&mut out, name);
+                wire::put_str(&mut out, name)?;
             }
             Request::RemoveEdgeProp { e, name } => {
                 wire::put_u8(&mut out, REMOVE_EDGE_PROP);
                 wire::put_u64(&mut out, *e);
-                wire::put_str(&mut out, name);
+                wire::put_str(&mut out, name)?;
             }
             Request::Neighbors { v, dir, label, t } => {
                 wire::put_u8(&mut out, NEIGHBORS);
                 wire::put_u64(&mut out, *v);
                 put_direction(&mut out, *dir);
-                wire::put_opt_str(&mut out, label.as_deref());
+                wire::put_opt_str(&mut out, label.as_deref())?;
                 wire::put_u64(&mut out, *t);
             }
             Request::VertexEdges { v, dir, label, t } => {
                 wire::put_u8(&mut out, VERTEX_EDGES);
                 wire::put_u64(&mut out, *v);
                 put_direction(&mut out, *dir);
-                wire::put_opt_str(&mut out, label.as_deref());
+                wire::put_opt_str(&mut out, label.as_deref())?;
                 wire::put_u64(&mut out, *t);
             }
             Request::VertexDegree { v, dir, t } => {
@@ -965,12 +1016,12 @@ impl Request {
             Request::VertexProperty { v, name } => {
                 wire::put_u8(&mut out, VERTEX_PROPERTY);
                 wire::put_u64(&mut out, *v);
-                wire::put_str(&mut out, name);
+                wire::put_str(&mut out, name)?;
             }
             Request::EdgeProperty { e, name } => {
                 wire::put_u8(&mut out, EDGE_PROPERTY);
                 wire::put_u64(&mut out, *e);
-                wire::put_str(&mut out, name);
+                wire::put_str(&mut out, name)?;
             }
             Request::EdgeEndpoints(e) => {
                 wire::put_u8(&mut out, EDGE_ENDPOINTS);
@@ -997,11 +1048,11 @@ impl Request {
             }
             Request::CreateVertexIndex { prop } => {
                 wire::put_u8(&mut out, CREATE_VERTEX_INDEX);
-                wire::put_str(&mut out, prop);
+                wire::put_str(&mut out, prop)?;
             }
             Request::HasVertexIndex { prop } => {
                 wire::put_u8(&mut out, HAS_VERTEX_INDEX);
-                wire::put_str(&mut out, prop);
+                wire::put_str(&mut out, prop)?;
             }
             Request::Space => wire::put_u8(&mut out, SPACE),
             Request::Sync => wire::put_u8(&mut out, SYNC),
@@ -1009,14 +1060,19 @@ impl Request {
                 wire::put_u8(&mut out, EXEC_BATCH);
                 wire::put_u32(&mut out, reqs.len() as u32);
                 for r in reqs {
-                    let sub = r.encode();
-                    wire::put_u32(&mut out, sub.len() as u32);
+                    let sub = r.encode()?;
+                    let len = u32::try_from(sub.len())
+                        .map_err(|_| wire::frame_too_large("batch entry", sub.len()))?;
+                    wire::put_u32(&mut out, len);
                     out.extend_from_slice(&sub);
                 }
             }
             Request::Epoch => wire::put_u8(&mut out, EPOCH),
+            Request::TxnBegin => wire::put_u8(&mut out, TXN_BEGIN),
+            Request::TxnCommit => wire::put_u8(&mut out, TXN_COMMIT),
+            Request::TxnAbort => wire::put_u8(&mut out, TXN_ABORT),
         }
-        out
+        Ok(out)
     }
 
     /// Decode a frame payload. Rejects unknown opcodes, malformed fields
@@ -1177,6 +1233,9 @@ impl Request {
                 Request::ExecBatch(reqs)
             }
             EPOCH => Request::Epoch,
+            TXN_BEGIN => Request::TxnBegin,
+            TXN_COMMIT => Request::TxnCommit,
+            TXN_ABORT => Request::TxnAbort,
             op => {
                 return Err(GdbError::Corrupt(format!(
                     "wire: unknown request op {op:#x}"
@@ -1211,12 +1270,16 @@ mod rsp_op {
     pub const STATS: u8 = 0x91;
     pub const TRACES: u8 = 0x92;
     pub const BATCH_DONE: u8 = 0x93;
+    pub const TXN_BEGUN: u8 = 0x94;
+    pub const TXN_COMMITTED: u8 = 0x95;
+    pub const TXN_ABORTED: u8 = 0x96;
     pub const ERR: u8 = 0xFF;
 }
 
 impl Response {
-    /// Encode into a frame payload.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode into a frame payload. Fails with a `FrameTooLarge` protocol
+    /// error when any field cannot fit its u32 length prefix.
+    pub fn encode(&self) -> GdbResult<Vec<u8>> {
         use rsp_op::*;
         let mut out = Vec::new();
         match self {
@@ -1227,7 +1290,7 @@ impl Response {
             } => {
                 wire::put_u8(&mut out, HELLO_ACK);
                 wire::put_u16(&mut out, *version);
-                wire::put_str(&mut out, engine);
+                wire::put_str(&mut out, engine)?;
                 match shard {
                     None => wire::put_bool(&mut out, false),
                     Some((id, fleet)) => {
@@ -1284,7 +1347,7 @@ impl Response {
             }
             Response::StrList(xs) => {
                 wire::put_u8(&mut out, STR_LIST);
-                put_str_list(&mut out, xs);
+                put_str_list(&mut out, xs)?;
             }
             Response::OptValue(v) => {
                 wire::put_u8(&mut out, OPT_VALUE);
@@ -1298,7 +1361,7 @@ impl Response {
             }
             Response::OptStr(s) => {
                 wire::put_u8(&mut out, OPT_STR);
-                wire::put_opt_str(&mut out, s.as_deref());
+                wire::put_opt_str(&mut out, s.as_deref())?;
             }
             Response::OptPair(p) => {
                 wire::put_u8(&mut out, OPT_PAIR);
@@ -1326,8 +1389,8 @@ impl Response {
                     Some(v) => {
                         wire::put_bool(&mut out, true);
                         wire::put_u64(&mut out, v.id.0);
-                        wire::put_str(&mut out, &v.label);
-                        wire::put_props(&mut out, &v.props);
+                        wire::put_str(&mut out, &v.label)?;
+                        wire::put_props(&mut out, &v.props)?;
                     }
                 }
             }
@@ -1340,8 +1403,8 @@ impl Response {
                         wire::put_u64(&mut out, e.id.0);
                         wire::put_u64(&mut out, e.src.0);
                         wire::put_u64(&mut out, e.dst.0);
-                        wire::put_str(&mut out, &e.label);
-                        wire::put_props(&mut out, &e.props);
+                        wire::put_str(&mut out, &e.label)?;
+                        wire::put_props(&mut out, &e.props)?;
                     }
                 }
             }
@@ -1352,10 +1415,10 @@ impl Response {
             }
             Response::Features(f) => {
                 wire::put_u8(&mut out, FEATURES);
-                wire::put_str(&mut out, &f.name);
-                wire::put_str(&mut out, &f.system_type);
-                wire::put_str(&mut out, &f.storage);
-                wire::put_str(&mut out, &f.edge_traversal);
+                wire::put_str(&mut out, &f.name)?;
+                wire::put_str(&mut out, &f.system_type)?;
+                wire::put_str(&mut out, &f.storage)?;
+                wire::put_str(&mut out, &f.edge_traversal)?;
                 wire::put_bool(&mut out, f.optimized_adapter);
                 wire::put_bool(&mut out, f.async_writes);
                 wire::put_bool(&mut out, f.attribute_indexes);
@@ -1364,13 +1427,13 @@ impl Response {
                 wire::put_u8(&mut out, SPACE);
                 wire::put_u32(&mut out, report.components.len() as u32);
                 for (name, bytes) in &report.components {
-                    wire::put_str(&mut out, name);
+                    wire::put_str(&mut out, name)?;
                     wire::put_u64(&mut out, *bytes);
                 }
             }
             Response::Stats(s) => {
                 wire::put_u8(&mut out, STATS);
-                put_stats(&mut out, s);
+                put_stats(&mut out, s)?;
             }
             Response::Traces(rs) => {
                 wire::put_u8(&mut out, TRACES);
@@ -1383,17 +1446,32 @@ impl Response {
                 wire::put_u8(&mut out, BATCH_DONE);
                 wire::put_u32(&mut out, rsps.len() as u32);
                 for r in rsps {
-                    let sub = r.encode();
-                    wire::put_u32(&mut out, sub.len() as u32);
+                    let sub = r.encode()?;
+                    let len = u32::try_from(sub.len())
+                        .map_err(|_| wire::frame_too_large("batch response", sub.len()))?;
+                    wire::put_u32(&mut out, len);
                     out.extend_from_slice(&sub);
                 }
             }
+            Response::TxnBegun { epoch } => {
+                wire::put_u8(&mut out, TXN_BEGUN);
+                wire::put_u64(&mut out, *epoch);
+            }
+            Response::TxnCommitted { ops, epoch } => {
+                wire::put_u8(&mut out, TXN_COMMITTED);
+                wire::put_u64(&mut out, *ops);
+                wire::put_u64(&mut out, *epoch);
+            }
+            Response::TxnAborted { ops } => {
+                wire::put_u8(&mut out, TXN_ABORTED);
+                wire::put_u64(&mut out, *ops);
+            }
             Response::Err(e) => {
                 wire::put_u8(&mut out, ERR);
-                wire::put_error(&mut out, e);
+                wire::put_error(&mut out, e)?;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Decode a frame payload.
@@ -1513,6 +1591,12 @@ impl Response {
                 }
                 Response::BatchDone(rsps)
             }
+            TXN_BEGUN => Response::TxnBegun { epoch: cur.u64()? },
+            TXN_COMMITTED => Response::TxnCommitted {
+                ops: cur.u64()?,
+                epoch: cur.u64()?,
+            },
+            TXN_ABORTED => Response::TxnAborted { ops: cur.u64()? },
             ERR => Response::Err(wire::get_error(&mut cur)?),
             op => {
                 return Err(GdbError::Corrupt(format!(
@@ -1583,6 +1667,9 @@ mod tests {
             Request::GetStats,
             Request::GetTraces,
             Request::Epoch,
+            Request::TxnBegin,
+            Request::TxnCommit,
+            Request::TxnAbort,
             Request::ExecBatch(vec![]),
             Request::ExecBatch(vec![
                 Request::AddVertex {
@@ -1600,7 +1687,7 @@ mod tests {
             ]),
         ];
         for req in reqs {
-            let bytes = req.encode();
+            let bytes = req.encode().unwrap();
             assert_eq!(Request::decode(&bytes).unwrap(), req, "{req:?}");
         }
     }
@@ -1612,7 +1699,7 @@ mod tests {
             opts: LoadOptions::default(),
             data: data.clone(),
         };
-        let bytes = req.encode();
+        let bytes = req.encode().unwrap();
         match Request::decode(&bytes).unwrap() {
             Request::BulkLoad { data: back, .. } => {
                 assert_eq!(back.name, data.name);
@@ -1737,10 +1824,14 @@ mod tests {
                 h.record(u64::MAX);
                 r.snapshot()
             }),
+            Response::TxnBegun { epoch: 42 },
+            Response::TxnCommitted { ops: 9, epoch: 43 },
+            Response::TxnAborted { ops: 3 },
+            Response::Err(GdbError::TxnConflict("vertex v7".into())),
             Response::Err(GdbError::Poisoned("writer panicked".into())),
         ];
         for rsp in rsps {
-            let bytes = rsp.encode();
+            let bytes = rsp.encode().unwrap();
             assert_eq!(Response::decode(&bytes).unwrap(), rsp, "{rsp:?}");
         }
     }
@@ -1760,7 +1851,7 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        let mut bytes = Request::Reset.encode();
+        let mut bytes = Request::Reset.encode().unwrap();
         bytes.push(0xAB);
         assert!(matches!(Request::decode(&bytes), Err(GdbError::Corrupt(_))));
     }
@@ -1778,7 +1869,7 @@ mod tests {
             strict: false,
             op: Op::Read(QueryInstance::plain(QueryId::Q2)),
         };
-        let back = Request::decode(&req.encode()).unwrap();
+        let back = Request::decode(&req.encode().unwrap()).unwrap();
         assert_eq!(back, req);
     }
 
@@ -1792,7 +1883,8 @@ mod tests {
             strict: false,
             op: Op::Read(QueryInstance::plain(QueryId::Q8)),
         }
-        .encode();
+        .encode()
+        .unwrap();
         // Patch the query number
         // (offset: op(1)+worker(4)+op_index(8)+trace(8)+t(8)+strict(1)+tag(1)).
         bytes[31] = 99;
@@ -1812,7 +1904,7 @@ mod tests {
             origin: TraceOrigin::Client,
             tail: false,
         }]);
-        let good = rsp.encode();
+        let good = rsp.encode().unwrap();
         assert_eq!(Response::decode(&good).unwrap(), rsp);
         // Patch the phase count (offset: op(1)+len(4)+id(8)+worker(4)+
         // op_index(8)+op_code(2)+start(8)+total(8)).
@@ -1836,7 +1928,7 @@ mod tests {
     fn nested_batches_rejected() {
         // A batch inside a batch is representable by hand-crafting bytes but
         // must be refused: decode recursion depth stays at one.
-        let inner = Request::ExecBatch(vec![Request::Reset]).encode();
+        let inner = Request::ExecBatch(vec![Request::Reset]).encode().unwrap();
         let mut bytes = vec![0x08];
         bytes.extend_from_slice(&1u32.to_be_bytes());
         bytes.extend_from_slice(&(inner.len() as u32).to_be_bytes());
@@ -1847,14 +1939,15 @@ mod tests {
             magic: MAGIC,
             version: PROTO_VERSION,
         }
-        .encode();
+        .encode()
+        .unwrap();
         let mut bytes = vec![0x08];
         bytes.extend_from_slice(&1u32.to_be_bytes());
         bytes.extend_from_slice(&(hello.len() as u32).to_be_bytes());
         bytes.extend_from_slice(&hello);
         assert!(matches!(Request::decode(&bytes), Err(GdbError::Corrupt(_))));
 
-        let inner = Response::BatchDone(vec![Response::Unit]).encode();
+        let inner = Response::BatchDone(vec![Response::Unit]).encode().unwrap();
         let mut bytes = vec![0x93];
         bytes.extend_from_slice(&1u32.to_be_bytes());
         bytes.extend_from_slice(&(inner.len() as u32).to_be_bytes());
@@ -1867,7 +1960,9 @@ mod tests {
 
     #[test]
     fn truncated_batch_rejected() {
-        let bytes = Request::ExecBatch(vec![Request::Reset, Request::Sync]).encode();
+        let bytes = Request::ExecBatch(vec![Request::Reset, Request::Sync])
+            .encode()
+            .unwrap();
         for cut in 0..bytes.len() {
             assert!(
                 Request::decode(&bytes[..cut]).is_err(),

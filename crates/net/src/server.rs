@@ -30,7 +30,7 @@ use gm_model::lockorder::{self, LockRank, Ranked};
 use gm_model::{
     lockwait, Dataset, Eid, GdbError, GdbResult, GraphDb, GraphSnapshot, QueryCtx, SharedGraph, Vid,
 };
-use gm_mvcc::{SnapshotSource, SourceFactory};
+use gm_mvcc::{SnapshotSource, SourceFactory, WriteTxn};
 use gm_obs::{phase, trace, Counter, Histo, Phase};
 use gm_workload::{apply_write, Op};
 
@@ -492,6 +492,9 @@ fn handle_conn(stream: TcpStream, hosted: Arc<Hosted>) {
         pool: Vec::new(),
         generation: hosted.generation.load(Ordering::SeqCst),
     };
+    // At most one open write transaction per connection (v7); dropped with
+    // the connection, which discards an uncommitted write set.
+    let mut txn: Option<ConnTxn> = None;
 
     loop {
         let req = match wire::read_frame(&mut reader) {
@@ -507,7 +510,7 @@ fn handle_conn(stream: TcpStream, hosted: Arc<Hosted>) {
             },
             Err(_) => return, // client hung up
         };
-        let rsp = handle_request(&hosted, req, &mut owned_edges);
+        let rsp = handle_request(&hosted, req, &mut owned_edges, &mut txn);
         if write_response(&mut writer, &rsp).is_err() {
             return;
         }
@@ -519,7 +522,13 @@ fn read_request(reader: &mut TcpStream) -> GdbResult<Request> {
 }
 
 fn write_response(writer: &mut TcpStream, rsp: &Response) -> GdbResult<()> {
-    wire::write_frame(writer, &rsp.encode())
+    let payload = match rsp.encode() {
+        Ok(payload) => payload,
+        // The response itself cannot be framed (FrameTooLarge): answer with
+        // the protocol error instead so the stream stays aligned.
+        Err(e) => Response::Err(e).encode()?,
+    };
+    wire::write_frame(writer, &payload)
 }
 
 /// A connection's pool of self-created edges, valid only for the engine
@@ -542,18 +551,266 @@ impl OwnedEdges {
     }
 }
 
-fn handle_request(hosted: &Hosted, req: Request, owned_edges: &mut OwnedEdges) -> Response {
-    match execute_request(hosted, req, owned_edges) {
+/// A connection's open write transaction, stamped with the engine
+/// generation it began under — a `Reset` from any connection invalidates
+/// it (committing a write set buffered against a discarded engine would
+/// replay stale ids into the fresh one).
+struct ConnTxn {
+    txn: WriteTxn,
+    generation: u64,
+}
+
+fn handle_request(
+    hosted: &Hosted,
+    req: Request,
+    owned_edges: &mut OwnedEdges,
+    txn: &mut Option<ConnTxn>,
+) -> Response {
+    match execute_request(hosted, req, owned_edges, txn) {
         Ok(rsp) => rsp,
         Err(e) => Response::Err(e),
     }
+}
+
+/// Open an epoch-pinned write transaction on this connection (v7). Only
+/// snapshot hosting has the MVCC machinery for it.
+fn txn_begin(hosted: &Hosted, txn: &mut Option<ConnTxn>) -> GdbResult<Response> {
+    if txn.is_some() {
+        return Err(GdbError::Invalid(
+            "TxnBegin with a transaction already open on this connection".into(),
+        ));
+    }
+    match &hosted.engine {
+        HostedEngine::Snapshot { source, .. } => {
+            // gm-lock: driver transient
+            let _t = lockorder::acquire(LockRank::Driver, "gm-net/server.rs txn begin");
+            let source =
+                lockwait::timed(|| source.read()).map_err(|_| Hosted::poisoned("source read"))?;
+            let opened = WriteTxn::begin(&**source)?;
+            let epoch = opened.base_epoch();
+            *txn = Some(ConnTxn {
+                txn: opened,
+                generation: hosted.generation.load(Ordering::SeqCst),
+            });
+            Ok(Response::TxnBegun { epoch })
+        }
+        _ => Err(GdbError::Unsupported(
+            "write transactions require snapshot hosting".into(),
+        )),
+    }
+}
+
+/// Validate and publish the connection's open transaction (v7). The write
+/// set is consumed either way — a conflicting transaction cannot be
+/// retried, only restarted against a fresh epoch.
+fn txn_commit(hosted: &Hosted, txn: &mut Option<ConnTxn>) -> GdbResult<Response> {
+    let state = txn.take().ok_or_else(|| {
+        GdbError::Invalid("TxnCommit without an open transaction on this connection".into())
+    })?;
+    if state.generation != hosted.generation.load(Ordering::SeqCst) {
+        return Err(GdbError::TxnConflict(
+            "the hosted engine was reset after this transaction began".into(),
+        ));
+    }
+    match &hosted.engine {
+        HostedEngine::Snapshot { source, .. } => {
+            // gm-lock: driver transient
+            let _t = lockorder::acquire(LockRank::Driver, "gm-net/server.rs txn commit");
+            let source =
+                lockwait::timed(|| source.read()).map_err(|_| Hosted::poisoned("source read"))?;
+            let ops = state.txn.commit(&**source)?;
+            Ok(Response::TxnCommitted {
+                ops,
+                epoch: source.current_epoch(),
+            })
+        }
+        _ => Err(GdbError::Unsupported(
+            "write transactions require snapshot hosting".into(),
+        )),
+    }
+}
+
+fn txn_abort(txn: &mut Option<ConnTxn>) -> GdbResult<Response> {
+    let state = txn.take().ok_or_else(|| {
+        GdbError::Invalid("TxnAbort without an open transaction on this connection".into())
+    })?;
+    Ok(Response::TxnAborted {
+        ops: state.txn.abort(),
+    })
+}
+
+/// Execute one primitive frame against the connection's open transaction:
+/// writes buffer into its write set, reads answer from its epoch-pinned
+/// read-your-writes overlay. Frames that would bypass the transaction
+/// (workload execution, dataset/engine lifecycle, index builds) are
+/// rejected until it commits or aborts.
+fn execute_txn_request(txn: &mut WriteTxn, req: Request) -> GdbResult<Response> {
+    Ok(match req {
+        Request::Hello { .. } => {
+            return Err(GdbError::Invalid("Hello after handshake".into()));
+        }
+        Request::Reset
+        | Request::BulkLoad { .. }
+        | Request::Prepare { .. }
+        | Request::ExecOp { .. }
+        | Request::CreateVertexIndex { .. } => {
+            return Err(GdbError::Invalid(
+                "request not allowed inside an open transaction; commit or abort first".into(),
+            ));
+        }
+        Request::TxnBegin | Request::TxnCommit | Request::TxnAbort | Request::ExecBatch(_) => {
+            return Err(GdbError::Invalid(
+                "transaction control frame routed into the buffered path".into(),
+            ));
+        }
+        // Server-global introspection is transaction-agnostic.
+        Request::GetStats => Response::Stats(gm_obs::global().snapshot()),
+        Request::GetTraces => Response::Traces(if trace::enabled() {
+            trace::global_ring().snapshot()
+        } else {
+            Vec::new()
+        }),
+        // Writes buffer into the transaction (ids for entities created here
+        // are placeholders, valid inside this transaction until commit).
+        Request::AddVertex { label, props } => Response::U64(txn.add_vertex(&label, &props)?.0),
+        Request::AddEdge {
+            src,
+            dst,
+            label,
+            props,
+        } => Response::U64(txn.add_edge(Vid(src), Vid(dst), &label, &props)?.0),
+        Request::SetVertexProp { v, name, value } => {
+            txn.set_vertex_property(Vid(v), &name, value)?;
+            Response::Unit
+        }
+        Request::SetEdgeProp { e, name, value } => {
+            txn.set_edge_property(Eid(e), &name, value)?;
+            Response::Unit
+        }
+        Request::RemoveVertex(v) => {
+            txn.remove_vertex(Vid(v))?;
+            Response::Unit
+        }
+        Request::RemoveEdge(e) => {
+            txn.remove_edge(Eid(e))?;
+            Response::Unit
+        }
+        Request::RemoveVertexProp { v, name } => {
+            Response::OptValue(txn.remove_vertex_property(Vid(v), &name)?)
+        }
+        Request::RemoveEdgeProp { e, name } => {
+            Response::OptValue(txn.remove_edge_property(Eid(e), &name)?)
+        }
+        Request::Sync => {
+            txn.sync()?;
+            Response::Unit
+        }
+        // Reads answer from the read-your-writes overlay over the pinned
+        // base epoch.
+        Request::Features => Response::Features(txn.features()),
+        Request::ResolveVertex(c) => Response::OptU64(txn.resolve_vertex(c).map(|v| v.0)),
+        Request::ResolveEdge(c) => Response::OptU64(txn.resolve_edge(c).map(|e| e.0)),
+        Request::VertexCount { t } => Response::U64(txn.vertex_count(&ctx_for(t))?),
+        Request::EdgeCount { t } => Response::U64(txn.edge_count(&ctx_for(t))?),
+        Request::EdgeLabelSet { t } => Response::StrList(txn.edge_label_set(&ctx_for(t))?),
+        Request::VerticesWithProperty { name, value, t } => Response::U64List(
+            txn.vertices_with_property(&name, &value, &ctx_for(t))?
+                .into_iter()
+                .map(|v| v.0)
+                .collect(),
+        ),
+        Request::EdgesWithProperty { name, value, t } => Response::U64List(
+            txn.edges_with_property(&name, &value, &ctx_for(t))?
+                .into_iter()
+                .map(|e| e.0)
+                .collect(),
+        ),
+        Request::EdgesWithLabel { label, t } => Response::U64List(
+            txn.edges_with_label(&label, &ctx_for(t))?
+                .into_iter()
+                .map(|e| e.0)
+                .collect(),
+        ),
+        Request::GetVertex(v) => Response::OptVertex(txn.vertex(Vid(v))?),
+        Request::GetEdge(e) => Response::OptEdge(txn.edge(Eid(e))?),
+        Request::Neighbors { v, dir, label, t } => Response::U64List(
+            txn.neighbors(Vid(v), dir, label.as_deref(), &ctx_for(t))?
+                .into_iter()
+                .map(|v| v.0)
+                .collect(),
+        ),
+        Request::VertexEdges { v, dir, label, t } => {
+            Response::EdgeRefs(txn.vertex_edges(Vid(v), dir, label.as_deref(), &ctx_for(t))?)
+        }
+        Request::VertexDegree { v, dir, t } => {
+            Response::U64(txn.vertex_degree(Vid(v), dir, &ctx_for(t))?)
+        }
+        Request::VertexEdgeLabels { v, dir, t } => {
+            Response::StrList(txn.vertex_edge_labels(Vid(v), dir, &ctx_for(t))?)
+        }
+        Request::ScanVertices { t } => {
+            let ctx = ctx_for(t);
+            let mut out = Vec::new();
+            for v in txn.scan_vertices(&ctx)? {
+                out.push(v?.0);
+            }
+            Response::U64List(out)
+        }
+        Request::ScanEdges { t } => {
+            let ctx = ctx_for(t);
+            let mut out = Vec::new();
+            for e in txn.scan_edges(&ctx)? {
+                out.push(e?.0);
+            }
+            Response::U64List(out)
+        }
+        Request::VertexProperty { v, name } => {
+            Response::OptValue(txn.vertex_property(Vid(v), &name)?)
+        }
+        Request::EdgeProperty { e, name } => Response::OptValue(txn.edge_property(Eid(e), &name)?),
+        Request::EdgeEndpoints(e) => {
+            Response::OptPair(txn.edge_endpoints(Eid(e))?.map(|(s, d)| (s.0, d.0)))
+        }
+        Request::EdgeLabel(e) => Response::OptStr(txn.edge_label(Eid(e))?),
+        Request::VertexLabel(v) => Response::OptStr(txn.vertex_label(Vid(v))?),
+        Request::DegreeScan { dir, k, t } => Response::U64List(
+            txn.degree_scan(dir, k, &ctx_for(t))?
+                .into_iter()
+                .map(|v| v.0)
+                .collect(),
+        ),
+        Request::DistinctNeighborScan { dir, t } => Response::U64List(
+            txn.distinct_neighbor_scan(dir, &ctx_for(t))?
+                .into_iter()
+                .map(|v| v.0)
+                .collect(),
+        ),
+        Request::HasVertexIndex { prop } => Response::Bool(txn.has_vertex_index(&prop)),
+        Request::Space => Response::Space(txn.space()),
+        Request::Epoch => Response::U64(txn.base_epoch()),
+    })
 }
 
 fn execute_request(
     hosted: &Hosted,
     req: Request,
     owned_edges: &mut OwnedEdges,
+    txn: &mut Option<ConnTxn>,
 ) -> GdbResult<Response> {
+    // Transaction control frames first, then the buffered path while a
+    // transaction is open — everything except `ExecBatch`, whose entries
+    // recurse through `handle_request` and land here individually.
+    match &req {
+        Request::TxnBegin => return txn_begin(hosted, txn),
+        Request::TxnCommit => return txn_commit(hosted, txn),
+        Request::TxnAbort => return txn_abort(txn),
+        _ => {}
+    }
+    if !matches!(req, Request::ExecBatch(_)) {
+        if let Some(state) = txn.as_mut() {
+            return execute_txn_request(&mut state.txn, req);
+        }
+    }
     // Locked mode: `read()` is the shared-lock guard. Snapshot mode: every
     // `read()` pins a fresh immutable epoch, so a long scan here cannot
     // block a concurrent writer on another connection.
@@ -561,6 +818,11 @@ fn execute_request(
     Ok(match req {
         Request::Hello { .. } => {
             return Err(GdbError::Invalid("Hello after handshake".into()));
+        }
+        Request::TxnBegin | Request::TxnCommit | Request::TxnAbort => {
+            return Err(GdbError::Invalid(
+                "transaction control frame re-entered the primitive path".into(),
+            ));
         }
         Request::Reset => {
             hosted.reset_engine()?;
@@ -899,7 +1161,7 @@ fn execute_request(
         Request::ExecBatch(reqs) => {
             let mut rsps = Vec::with_capacity(reqs.len());
             for sub in reqs {
-                rsps.push(handle_request(hosted, sub, owned_edges));
+                rsps.push(handle_request(hosted, sub, owned_edges, txn));
             }
             Response::BatchDone(rsps)
         }

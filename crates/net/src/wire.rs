@@ -23,6 +23,16 @@ use gm_storage::valcodec;
 /// the peer allocate unbounded memory.
 pub const MAX_FRAME: usize = 256 << 20;
 
+/// The protocol error for a payload, string, or list whose length cannot be
+/// represented in its u32 wire prefix. Truncating with `as u32` instead
+/// would silently desync the stream: the peer would read a frame boundary
+/// in the middle of the payload.
+pub fn frame_too_large(what: &str, len: usize) -> GdbError {
+    GdbError::Invalid(format!(
+        "FrameTooLarge: {what} of {len} bytes does not fit a u32 length prefix"
+    ))
+}
+
 /// Write one frame (length prefix + payload).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> GdbResult<()> {
     if payload.len() > MAX_FRAME {
@@ -31,7 +41,9 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> GdbResult<()> {
             payload.len()
         )));
     }
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    let len = u32::try_from(payload.len())
+        .map_err(|_| frame_too_large("frame payload", payload.len()))?;
+    w.write_all(&len.to_be_bytes())?;
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
@@ -83,21 +95,26 @@ pub fn put_bool(out: &mut Vec<u8>, v: bool) {
     out.push(v as u8);
 }
 
-/// Append a length-prefixed UTF-8 string.
-pub fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
+/// Append a length-prefixed UTF-8 string. Fails with a `FrameTooLarge`
+/// protocol error (instead of truncating the prefix) when the string cannot
+/// fit its u32 length.
+pub fn put_str(out: &mut Vec<u8>, s: &str) -> GdbResult<()> {
+    let len = u32::try_from(s.len()).map_err(|_| frame_too_large("string", s.len()))?;
+    put_u32(out, len);
     out.extend_from_slice(s.as_bytes());
+    Ok(())
 }
 
 /// Append an optional string (presence byte + string).
-pub fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+pub fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) -> GdbResult<()> {
     match s {
         None => put_bool(out, false),
         Some(s) => {
             put_bool(out, true);
-            put_str(out, s);
+            put_str(out, s)?;
         }
     }
+    Ok(())
 }
 
 /// Append a [`Value`] in the storage codec's tag-prefixed format.
@@ -106,12 +123,14 @@ pub fn put_value(out: &mut Vec<u8>, v: &Value) {
 }
 
 /// Append a property list (count + name/value pairs).
-pub fn put_props(out: &mut Vec<u8>, props: &Props) {
-    put_u32(out, props.len() as u32);
+pub fn put_props(out: &mut Vec<u8>, props: &Props) -> GdbResult<()> {
+    let count = u32::try_from(props.len()).map_err(|_| frame_too_large("props", props.len()))?;
+    put_u32(out, count);
     for (name, value) in props {
-        put_str(out, name);
+        put_str(out, name)?;
         put_value(out, value);
     }
+    Ok(())
 }
 
 // ----- decoder -------------------------------------------------------------
@@ -268,7 +287,7 @@ impl<'a> Cur<'a> {
 /// Encode a [`GdbError`] (tag + payload). Every variant round-trips
 /// losslessly so a remote failure surfaces client-side as the *same* error,
 /// not a generic I/O failure.
-pub fn put_error(out: &mut Vec<u8>, e: &GdbError) {
+pub fn put_error(out: &mut Vec<u8>, e: &GdbError) -> GdbResult<()> {
     match e {
         GdbError::Timeout => put_u8(out, 0),
         GdbError::VertexNotFound(id) => {
@@ -281,29 +300,34 @@ pub fn put_error(out: &mut Vec<u8>, e: &GdbError) {
         }
         GdbError::Unsupported(s) => {
             put_u8(out, 3);
-            put_str(out, s);
+            put_str(out, s)?;
         }
         GdbError::Corrupt(s) => {
             put_u8(out, 4);
-            put_str(out, s);
+            put_str(out, s)?;
         }
         GdbError::Invalid(s) => {
             put_u8(out, 5);
-            put_str(out, s);
+            put_str(out, s)?;
         }
         GdbError::ResourceExhausted(s) => {
             put_u8(out, 6);
-            put_str(out, s);
+            put_str(out, s)?;
         }
         GdbError::Io(s) => {
             put_u8(out, 7);
-            put_str(out, s);
+            put_str(out, s)?;
         }
         GdbError::Poisoned(s) => {
             put_u8(out, 8);
-            put_str(out, s);
+            put_str(out, s)?;
+        }
+        GdbError::TxnConflict(s) => {
+            put_u8(out, 9);
+            put_str(out, s)?;
         }
     }
+    Ok(())
 }
 
 /// Decode a [`GdbError`].
@@ -318,6 +342,7 @@ pub fn get_error(cur: &mut Cur<'_>) -> GdbResult<GdbError> {
         6 => GdbError::ResourceExhausted(cur.str_()?),
         7 => GdbError::Io(cur.str_()?),
         8 => GdbError::Poisoned(cur.str_()?),
+        9 => GdbError::TxnConflict(cur.str_()?),
         t => return Err(GdbError::Corrupt(format!("wire: unknown GdbError tag {t}"))),
     })
 }
@@ -363,9 +388,9 @@ mod tests {
         put_u32(&mut out, 70_000);
         put_u64(&mut out, u64::MAX - 3);
         put_bool(&mut out, true);
-        put_str(&mut out, "héllo ☃");
-        put_opt_str(&mut out, None);
-        put_opt_str(&mut out, Some("x"));
+        put_str(&mut out, "héllo ☃").unwrap();
+        put_opt_str(&mut out, None).unwrap();
+        put_opt_str(&mut out, Some("x")).unwrap();
         let mut cur = Cur::new(&out);
         assert_eq!(cur.u8().unwrap(), 7);
         assert_eq!(cur.u16().unwrap(), 512);
@@ -388,7 +413,7 @@ mod tests {
             ("n".into(), Value::Null),
         ];
         let mut out = Vec::new();
-        put_props(&mut out, &props);
+        put_props(&mut out, &props).unwrap();
         let mut cur = Cur::new(&out);
         let back = cur.props().unwrap();
         cur.finish().unwrap();
@@ -417,10 +442,11 @@ mod tests {
             GdbError::ResourceExhausted("bitmap cap".into()),
             GdbError::Io("disk gone".into()),
             GdbError::Poisoned("worker 3 panicked".into()),
+            GdbError::TxnConflict("vertex v7 written since epoch 4".into()),
         ];
         for e in &all {
             let mut out = Vec::new();
-            put_error(&mut out, e);
+            put_error(&mut out, e).unwrap();
             let mut cur = Cur::new(&out);
             let back = get_error(&mut cur).unwrap();
             cur.finish().unwrap();
@@ -433,12 +459,33 @@ mod tests {
         }
     }
 
+    /// Satellite requirement: a string whose length cannot fit the u32
+    /// prefix fails with the `FrameTooLarge` protocol error instead of
+    /// silently truncating the prefix and desyncing the stream. (Allocating
+    /// a real >4 GiB string is not viable in a unit test; the checked
+    /// conversion is exercised through the helper the encoders share.)
+    #[test]
+    fn oversize_length_is_frame_too_large() {
+        let e = frame_too_large("string", u32::MAX as usize + 1);
+        match e {
+            GdbError::Invalid(why) => {
+                assert!(why.contains("FrameTooLarge"), "{why}");
+                assert!(why.contains("4294967296"), "{why}");
+            }
+            other => panic!("expected Invalid(FrameTooLarge), got {other}"),
+        }
+        // In-range lengths must keep succeeding.
+        let mut out = Vec::new();
+        put_str(&mut out, "fits").unwrap();
+        put_props(&mut out, &vec![("k".into(), Value::Int(1))]).unwrap();
+    }
+
     #[test]
     fn truncation_never_panics() {
         let mut out = Vec::new();
-        put_str(&mut out, "some payload");
+        put_str(&mut out, "some payload").unwrap();
         put_u64(&mut out, 9);
-        put_props(&mut out, &vec![("k".into(), Value::Int(1))]);
+        put_props(&mut out, &vec![("k".into(), Value::Int(1))]).unwrap();
         for cut in 0..out.len() {
             let mut cur = Cur::new(&out[..cut]);
             // Whatever partial reads succeed, nothing may panic and the

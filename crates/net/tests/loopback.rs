@@ -303,7 +303,7 @@ fn version_and_magic_mismatches_rejected() {
         magic: MAGIC,
         version: PROTO_VERSION + 1,
     };
-    wire::write_frame(&mut stream, &bad.encode()).unwrap();
+    wire::write_frame(&mut stream, &bad.encode().unwrap()).unwrap();
     match Response::decode(&wire::read_frame(&mut stream).unwrap()).unwrap() {
         Response::Err(GdbError::Invalid(why)) => {
             assert!(why.contains("version"), "{why}");
@@ -316,7 +316,7 @@ fn version_and_magic_mismatches_rejected() {
         magic: 0xDEAD_BEEF,
         version: PROTO_VERSION,
     };
-    wire::write_frame(&mut stream, &bad.encode()).unwrap();
+    wire::write_frame(&mut stream, &bad.encode().unwrap()).unwrap();
     match Response::decode(&wire::read_frame(&mut stream).unwrap()).unwrap() {
         Response::Err(GdbError::Invalid(why)) => {
             assert!(why.contains("magic"), "{why}");
@@ -326,7 +326,7 @@ fn version_and_magic_mismatches_rejected() {
 
     // A non-Hello first frame is refused too.
     let mut stream = TcpStream::connect(addr).expect("dial");
-    wire::write_frame(&mut stream, &Request::Reset.encode()).unwrap();
+    wire::write_frame(&mut stream, &Request::Reset.encode().unwrap()).unwrap();
     match Response::decode(&wire::read_frame(&mut stream).unwrap()).unwrap() {
         Response::Err(GdbError::Invalid(why)) => {
             assert!(why.contains("Hello"), "{why}");
@@ -735,6 +735,205 @@ fn server_records_exec_traces_under_the_client_trace_id() {
     assert!(
         rec.phases.total() <= rec.total_nanos,
         "self-time phases never exceed the span they attribute"
+    );
+    server.shutdown();
+}
+
+/// PROTO v7 tentpole: an epoch-pinned write transaction over the wire.
+/// Writes after `TxnBegin` buffer server-side (invisible to other
+/// connections), reads on the transaction's connection see the
+/// read-your-writes overlay, and `TxnCommit` publishes everything
+/// atomically. A conflicting transaction on a second connection loses
+/// first-committer-wins with the distinct `TxnConflict` variant.
+#[test]
+fn wire_transactions_buffer_commit_atomically_and_conflict_distinctly() {
+    use graphmark::mvcc::SnapshotMode;
+
+    let data = testkit::chain_dataset(50);
+    let kind = EngineKind::LinkedV2;
+    let server = Server::bind_snapshot(
+        "127.0.0.1:0",
+        Box::new(move || kind.make_snapshot_source(SnapshotMode::Cow)),
+    )
+    .expect("bind snapshot loopback")
+    .spawn()
+    .expect("spawn snapshot server");
+    let addr = server.addr().to_string();
+
+    {
+        let mut loader = RemoteEngine::connect(&addr).expect("loader");
+        loader.bulk_load(&data, &LoadOptions::default()).unwrap();
+    }
+
+    let mut a = Connection::connect(&addr).expect("connect A");
+    let mut b = Connection::connect(&addr).expect("connect B");
+
+    let epoch = a.txn_begin().expect("begin");
+    // Buffer two writes: a fresh vertex and a property on an existing one.
+    let created = match a
+        .call(&Request::AddVertex {
+            label: "txn".into(),
+            props: vec![],
+        })
+        .unwrap()
+    {
+        Response::U64(v) => v,
+        other => panic!("expected U64, got {other:?}"),
+    };
+    a.call(&Request::SetVertexProp {
+        v: 7,
+        name: "who".into(),
+        value: gm_model::Value::Str("a".into()),
+    })
+    .unwrap();
+
+    // RYOW on A's connection: the buffered vertex is visible…
+    assert_eq!(
+        a.call(&Request::VertexCount { t: 0 }).unwrap(),
+        Response::U64(51)
+    );
+    assert_eq!(
+        a.call(&Request::GetVertex(created)).unwrap().kind(),
+        "OptVertex"
+    );
+    assert_eq!(
+        a.call(&Request::Epoch).unwrap(),
+        Response::U64(epoch),
+        "reads inside the txn stay pinned to the begin epoch"
+    );
+    // …and invisible to B until commit.
+    assert_eq!(
+        b.call(&Request::VertexCount { t: 0 }).unwrap(),
+        Response::U64(50),
+        "uncommitted writes must not leak across connections"
+    );
+
+    // B opens a conflicting transaction against the same pre-commit epoch.
+    b.txn_begin().expect("begin B");
+    b.call(&Request::SetVertexProp {
+        v: 7,
+        name: "who".into(),
+        value: gm_model::Value::Str("b".into()),
+    })
+    .unwrap();
+
+    // A commits first and wins; the published count includes its vertex.
+    let (ops, _epoch_after) = a.txn_commit().expect("commit A");
+    assert_eq!(ops, 2, "both buffered writes replayed");
+    assert_eq!(
+        a.call(&Request::VertexCount { t: 0 }).unwrap(),
+        Response::U64(51)
+    );
+
+    // B's commit lost the race: the distinct variant crosses the wire and
+    // its write set is discarded.
+    match b.txn_commit() {
+        Err(GdbError::TxnConflict(why)) => assert!(why.contains("v7"), "{why}"),
+        other => panic!("expected TxnConflict across the wire, got {other:?}"),
+    }
+    match b.call(&Request::VertexProperty {
+        v: 7,
+        name: "who".into(),
+    }) {
+        Ok(Response::OptValue(Some(gm_model::Value::Str(s)))) => assert_eq!(s, "a"),
+        other => panic!("winner's property must survive, got {other:?}"),
+    }
+
+    // Commit/abort without an open transaction are protocol-state errors,
+    // and the connection stays usable after them.
+    match b.txn_commit() {
+        Err(GdbError::Invalid(why)) => assert!(why.contains("open transaction"), "{why}"),
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    assert_eq!(
+        b.call(&Request::VertexCount { t: 0 }).unwrap(),
+        Response::U64(51)
+    );
+
+    // Abort discards: a new transaction's buffered write disappears.
+    a.txn_begin().expect("begin again");
+    a.call(&Request::AddVertex {
+        label: "discard".into(),
+        props: vec![],
+    })
+    .unwrap();
+    assert_eq!(a.txn_abort().expect("abort"), 1);
+    assert_eq!(
+        a.call(&Request::VertexCount { t: 0 }).unwrap(),
+        Response::U64(51)
+    );
+
+    // Structural frames are refused while a transaction is open.
+    a.txn_begin().expect("begin for structural check");
+    match a.call(&Request::Reset) {
+        Err(GdbError::Invalid(why)) => assert!(why.contains("transaction"), "{why}"),
+        other => panic!("expected Invalid for Reset inside txn, got {other:?}"),
+    }
+    a.txn_abort().expect("abort structural check");
+
+    // Locked-mode hosting refuses transactions outright.
+    let locked = spawn_server(EngineKind::LinkedV2);
+    let locked_addr = locked.addr().to_string();
+    let mut c = Connection::connect(&locked_addr).expect("connect locked");
+    match c.txn_begin() {
+        Err(GdbError::Unsupported(why)) => assert!(why.contains("snapshot"), "{why}"),
+        other => panic!("expected Unsupported under locked hosting, got {other:?}"),
+    }
+    locked.shutdown();
+    server.shutdown();
+}
+
+/// A failing entry inside an `ExecBatch` (here: `RemoveVertex` of a vertex
+/// that does not exist) must surface as an inline per-entry error with the
+/// same `GdbError` variant the in-process engine returns — without aborting
+/// the rest of the batch or the connection. This is the contract the fleet
+/// coordinator's deferred write path relies on.
+#[test]
+fn batch_entry_errors_stay_inline_and_keep_the_variant() {
+    let data = testkit::chain_dataset(30);
+    let server = spawn_server(EngineKind::LinkedV2);
+    let addr = server.addr().to_string();
+    {
+        let mut loader = RemoteEngine::connect(&addr).expect("loader");
+        loader.bulk_load(&data, &LoadOptions::default()).unwrap();
+    }
+
+    // The in-process variant for the same failure, as the oracle.
+    let mut oracle = EngineKind::LinkedV2.make();
+    oracle.bulk_load(&data, &LoadOptions::default()).unwrap();
+    let expected = oracle.remove_vertex(Vid(9_999_999)).unwrap_err();
+    assert!(matches!(expected, GdbError::VertexNotFound(9_999_999)));
+
+    let mut conn = Connection::connect(&addr).expect("connect");
+    let rsps = conn
+        .call_batch(vec![
+            Request::AddVertex {
+                label: "pre".into(),
+                props: vec![],
+            },
+            Request::RemoveVertex(9_999_999),
+            Request::VertexCount { t: 0 },
+        ])
+        .expect("the batch envelope itself must succeed");
+    assert_eq!(rsps.len(), 3);
+    assert!(matches!(rsps[0], Response::U64(_)), "{:?}", rsps[0]);
+    match &rsps[1] {
+        Response::Err(e) => assert_eq!(
+            e, &expected,
+            "wire batch error must keep the in-process variant"
+        ),
+        other => panic!("expected inline Err entry, got {other:?}"),
+    }
+    assert_eq!(
+        rsps[2],
+        Response::U64(31),
+        "entries after the failure still execute"
+    );
+
+    // The connection survives the failed entry.
+    assert_eq!(
+        conn.call(&Request::VertexCount { t: 0 }).unwrap(),
+        Response::U64(31)
     );
     server.shutdown();
 }

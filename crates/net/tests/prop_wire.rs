@@ -131,7 +131,7 @@ proptest! {
     /// Requests round-trip identically through encode → decode.
     #[test]
     fn request_round_trip(req in arb_request()) {
-        let bytes = req.encode();
+        let bytes = req.encode().unwrap();
         let back = Request::decode(&bytes).unwrap();
         prop_assert_eq!(&back, &req);
         // For value-carrying requests, check variant-exactness too.
@@ -147,7 +147,7 @@ proptest! {
     /// Responses round-trip identically.
     #[test]
     fn response_round_trip(rsp in arb_response()) {
-        let bytes = rsp.encode();
+        let bytes = rsp.encode().unwrap();
         let back = Response::decode(&bytes).unwrap();
         prop_assert_eq!(&back, &rsp);
     }
@@ -156,7 +156,7 @@ proptest! {
     #[test]
     fn value_payload_round_trip(props in arb_props()) {
         let mut out = Vec::new();
-        wire::put_props(&mut out, &props);
+        wire::put_props(&mut out, &props).unwrap();
         let mut cur = Cur::new(&out);
         let back = cur.props().unwrap();
         cur.finish().unwrap();
@@ -171,7 +171,7 @@ proptest! {
     /// in order, whatever mix of ops the client queued.
     #[test]
     fn exec_batch_round_trip(batch in arb_batch()) {
-        let bytes = batch.encode();
+        let bytes = batch.encode().unwrap();
         let back = Request::decode(&bytes).unwrap();
         prop_assert_eq!(&back, &batch);
     }
@@ -181,7 +181,7 @@ proptest! {
     #[test]
     fn batch_done_round_trip(rsps in prop::collection::vec(arb_response(), 0..12)) {
         let rsp = Response::BatchDone(rsps);
-        let bytes = rsp.encode();
+        let bytes = rsp.encode().unwrap();
         let back = Response::decode(&bytes).unwrap();
         prop_assert_eq!(&back, &rsp);
     }
@@ -190,7 +190,7 @@ proptest! {
     /// mid-entry never yields a shorter valid batch.
     #[test]
     fn truncated_batches_rejected(batch in arb_batch(), frac in 0.0f64..1.0) {
-        let bytes = batch.encode();
+        let bytes = batch.encode().unwrap();
         let cut = ((bytes.len() as f64) * frac) as usize;
         if cut < bytes.len() {
             prop_assert!(Request::decode(&bytes[..cut]).is_err());
@@ -202,7 +202,7 @@ proptest! {
     /// nested-batch rejection keeps decode depth bounded too).
     #[test]
     fn corrupted_batches_never_panic(batch in arb_batch(), pos in any::<u16>(), bit in 0u8..8) {
-        let mut bytes = batch.encode();
+        let mut bytes = batch.encode().unwrap();
         if !bytes.is_empty() {
             let i = (pos as usize) % bytes.len();
             bytes[i] ^= 1 << bit;
@@ -214,7 +214,7 @@ proptest! {
     /// accepted as some other message, never a panic.
     #[test]
     fn truncated_requests_rejected(req in arb_request(), frac in 0.0f64..1.0) {
-        let bytes = req.encode();
+        let bytes = req.encode().unwrap();
         if !bytes.is_empty() {
             let cut = ((bytes.len() as f64) * frac) as usize;
             if cut < bytes.len() {
@@ -237,7 +237,7 @@ proptest! {
     /// message or errors — it never panics or over-allocates.
     #[test]
     fn bitflips_never_panic(req in arb_request(), pos in any::<u16>(), bit in 0u8..8) {
-        let mut bytes = req.encode();
+        let mut bytes = req.encode().unwrap();
         if !bytes.is_empty() {
             let i = (pos as usize) % bytes.len();
             bytes[i] ^= 1 << bit;

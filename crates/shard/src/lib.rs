@@ -326,6 +326,155 @@ mod tests {
         );
     }
 
+    fn txn_source(shards: usize, n: u64) -> ShardedSource {
+        let src = ShardedSource::from_factory(shards, || {
+            Box::new(CowCell::new(LinkedGraph::v1())) as Box<dyn SnapshotSource>
+        });
+        src.with_write(&mut |db| {
+            db.bulk_load(&testkit::chain_dataset(n), &LoadOptions::default())?;
+            Ok(0)
+        })
+        .unwrap();
+        src
+    }
+
+    /// The tentpole contract: a transaction whose write set spans shards
+    /// publishes all-or-nothing. Pins taken before the commit see none of
+    /// it; pins taken after see all of it.
+    #[test]
+    fn cross_shard_txn_commits_atomically() {
+        use gm_mvcc::WriteTxn;
+        let src = txn_source(3, 30);
+        let ctx = QueryCtx::unbounded();
+        let before = src.snapshot().unwrap();
+
+        let mut txn = WriteTxn::begin(&src).unwrap();
+        // Touch every shard: one property per chain vertex 0..6 (the hash
+        // placement spreads consecutive canonicals across the 3 shards),
+        // plus two fresh vertices and a cut edge between them.
+        for canonical in 0..6u64 {
+            let v = txn.resolve_vertex(canonical).unwrap();
+            txn.set_vertex_property(v, "touched", Value::Int(1))
+                .unwrap();
+        }
+        let a = txn.add_vertex("a", &vec![]).unwrap();
+        let b = txn.add_vertex("b", &vec![]).unwrap();
+        txn.add_edge(a, b, "cut", &vec![]).unwrap();
+        assert_eq!(
+            before.vertex_count(&ctx).unwrap(),
+            30,
+            "nothing visible before commit"
+        );
+        txn.commit(&src).unwrap();
+
+        assert_eq!(
+            before.vertex_count(&ctx).unwrap(),
+            30,
+            "pre-commit pin is immutable"
+        );
+        let after = src.snapshot().unwrap();
+        assert_eq!(after.vertex_count(&ctx).unwrap(), 32);
+        for canonical in 0..6u64 {
+            let v = after.resolve_vertex(canonical).unwrap();
+            assert_eq!(
+                after.vertex_property(v, "touched").unwrap(),
+                Some(Value::Int(1)),
+                "chain vertex {canonical}"
+            );
+        }
+    }
+
+    /// First-committer-wins across shards: two transactions pinned at the
+    /// same epoch writing the same vertex — the second commit fails with
+    /// `TxnConflict` and publishes nothing.
+    #[test]
+    fn conflicting_cross_shard_commits_fail_distinctly() {
+        use gm_model::GdbError;
+        use gm_mvcc::WriteTxn;
+        let src = txn_source(2, 20);
+        let ctx = QueryCtx::unbounded();
+
+        let mut t1 = WriteTxn::begin(&src).unwrap();
+        let mut t2 = WriteTxn::begin(&src).unwrap();
+        let v1 = t1.resolve_vertex(7).unwrap();
+        let v2 = t2.resolve_vertex(7).unwrap();
+        t1.set_vertex_property(v1, "who", Value::Str("t1".into()))
+            .unwrap();
+        t2.set_vertex_property(v2, "who", Value::Str("t2".into()))
+            .unwrap();
+        t2.add_vertex("loser-extra", &vec![]).unwrap();
+        t1.commit(&src).unwrap();
+        let err = t2.commit(&src).unwrap_err();
+        assert!(
+            matches!(err, GdbError::TxnConflict(_)),
+            "expected TxnConflict, got {err:?}"
+        );
+
+        let after = src.snapshot().unwrap();
+        let v = after.resolve_vertex(7).unwrap();
+        assert_eq!(
+            after.vertex_property(v, "who").unwrap(),
+            Some(Value::Str("t1".into())),
+            "winner's write survives"
+        );
+        assert_eq!(
+            after.vertex_count(&ctx).unwrap(),
+            20,
+            "loser's whole write set is discarded"
+        );
+    }
+
+    /// A pinner racing transactional commits must never observe a torn
+    /// write set: each txn adds exactly 3 vertices, so every pinned count
+    /// is `base + 3k`.
+    #[test]
+    fn concurrent_pinner_never_sees_a_torn_commit() {
+        use gm_mvcc::WriteTxn;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let src = txn_source(4, 16);
+        let ctx = QueryCtx::unbounded();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let src = &src;
+            let done = &done;
+            let pinner = s.spawn(move || {
+                let mut torn = 0u32;
+                while !done.load(Ordering::Acquire) {
+                    let pin = src.snapshot().unwrap();
+                    let count = pin.vertex_count(&QueryCtx::unbounded()).unwrap();
+                    if !(count - 16).is_multiple_of(3) {
+                        torn += 1;
+                    }
+                }
+                torn
+            });
+            for _ in 0..40 {
+                let mut txn = WriteTxn::begin(src).unwrap();
+                let a = txn.add_vertex("a", &vec![]).unwrap();
+                let b = txn.add_vertex("b", &vec![]).unwrap();
+                txn.add_vertex("c", &vec![]).unwrap();
+                txn.add_edge(a, b, "pair", &vec![]).unwrap();
+                txn.commit(src).unwrap();
+            }
+            done.store(true, Ordering::Release);
+            assert_eq!(pinner.join().unwrap(), 0, "no pin saw a partial txn");
+        });
+        assert_eq!(src.snapshot().unwrap().vertex_count(&ctx).unwrap(), 136);
+    }
+
+    /// Structural operations are rejected inside a staged commit rather
+    /// than silently bypassing the write set.
+    #[test]
+    fn txn_replay_rejects_structural_ops_on_sharded_source() {
+        use gm_model::GdbError;
+        let src = txn_source(2, 10);
+        let seq = src.txn_log().expect("composite log").seq();
+        let err = src
+            .txn_commit(seq, &[], &mut |db| db.create_vertex_index("x").map(|_| 0))
+            .unwrap_err();
+        assert!(matches!(err, GdbError::Unsupported(_)), "{err:?}");
+    }
+
     #[test]
     fn one_shard_is_bit_compatible_with_the_inner_engine() {
         let ctx = QueryCtx::unbounded();

@@ -30,6 +30,7 @@
 //! measured region); the correctness-critical ghost maps only ever change
 //! under the seqlock.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{RwLock, RwLockWriteGuard};
 use std::time::Duration;
@@ -40,7 +41,7 @@ use gm_model::api::{
 };
 use gm_model::lockorder::{self, LockRank, LockToken};
 use gm_model::{lockwait, Dataset, Eid, GdbError, GdbResult, Props, QueryCtx, Value, Vid};
-use gm_mvcc::SnapshotSource;
+use gm_mvcc::{KeyRecorder, SnapshotSource, TxnKey, TxnLog};
 use gm_obs::{Counter, Gauge};
 
 use crate::route::{
@@ -113,6 +114,9 @@ pub struct ShardedSource {
     /// Round-robin placement counter for dynamically added vertices.
     spread: AtomicU64,
     metrics: Option<ShardMetrics>,
+    /// Commit log for txn conflict detection, in **composite** id space
+    /// (the per-cell logs record shard-local ids and are unused here).
+    txn_log: TxnLog,
 }
 
 impl ShardedSource {
@@ -135,6 +139,7 @@ impl ShardedSource {
             topo: AtomicU64::new(0),
             spread: AtomicU64::new(0),
             metrics: ShardMetrics::new(shards),
+            txn_log: TxnLog::new(),
         }
     }
 
@@ -267,9 +272,58 @@ impl SnapshotSource for ShardedSource {
 
     fn with_write(&self, f: &mut gm_mvcc::WriteFn<'_>) -> GdbResult<u64> {
         // No composite-wide lock here: the routing handle's mutations enter
-        // only the cells they touch.
+        // only the cells they touch. The recorder derives composite-id
+        // write-set keys for txn conflict detection, appended on success.
         let mut writer = SourceWriter { src: self };
-        f(&mut writer)
+        let mut rec = KeyRecorder::new(&mut writer);
+        let out = f(&mut rec);
+        if out.is_ok() {
+            self.txn_log.append(rec.take_keys());
+        }
+        out
+    }
+
+    fn txn_log(&self) -> Option<&TxnLog> {
+        Some(&self.txn_log)
+    }
+
+    /// Cross-shard staged commit: the whole validate → replay → publish
+    /// sequence runs under one topology guard (meta writer lock + seqlock
+    /// odd), so composite pins park for its duration and the first
+    /// unparked pin observes either **all** of the write set (every
+    /// mutated cell is published before the seqlock flips even) or none
+    /// of it (a conflict aborts before any mutation). Transaction commits
+    /// serialize on the meta writer lock, so validation cannot race
+    /// another commit's log append. The composite epoch bump is one
+    /// event: every touched cell's epoch advances inside the guard.
+    fn txn_commit(
+        &self,
+        start_seq: u64,
+        keys: &[TxnKey],
+        f: &mut gm_mvcc::WriteFn<'_>,
+    ) -> GdbResult<u64> {
+        let mut guard = self.topo_write()?;
+        self.txn_log.validate(start_seq, keys)?;
+        // The staged writer mutates routing meta through the already-held
+        // guard — `SourceWriter` would re-enter `topo_write` (ghost
+        // creation, vertex removal) and deadlock on the non-reentrant
+        // meta lock.
+        let mut writer = StagedWriter {
+            src: self,
+            meta: &mut guard.meta,
+            touched: BTreeSet::new(),
+        };
+        let out = f(&mut writer)?;
+        let touched = writer.touched;
+        // Publish every mutated cell before the guard releases the
+        // seqlock (see `publish_cell`): parked pins must never pair the
+        // new meta with a pre-commit cell view, or see a torn subset.
+        for s in touched {
+            self.publish_cell(s)?;
+        }
+        self.txn_log.append(keys.to_vec());
+        drop(guard);
+        Ok(out)
     }
 }
 
@@ -689,6 +743,385 @@ impl GraphDb for SourceWriter<'_> {
     fn sync(&mut self) -> GdbResult<()> {
         for cell in &self.src.cells {
             cell_write(cell.as_ref(), |db| db.sync())?;
+        }
+        Ok(())
+    }
+}
+
+/// The routing handle for a staged transaction commit
+/// ([`ShardedSource::txn_commit`]). Unlike [`SourceWriter`] it runs with
+/// the topology guard **already held**: routing meta is mutated through
+/// the guard's `&mut Meta` (never by re-entering `topo_write`, which would
+/// deadlock on the non-reentrant meta lock), and every cell it mutates is
+/// recorded so the commit can publish exactly those before the seqlock
+/// flips even.
+///
+/// Reads build a composite view from strict per-cell pins plus a clone of
+/// the held meta — **not** [`ShardedSource::pin_view`], which would park
+/// forever on this commit's own odd seqlock. Commit replay never reads
+/// (the write set was buffered against the txn's pinned base), so this
+/// path only exists to satisfy the `GraphDb: GraphSnapshot` surface.
+struct StagedWriter<'a, 'm> {
+    src: &'a ShardedSource,
+    meta: &'m mut Meta,
+    /// Shards whose cells this commit mutated.
+    touched: BTreeSet<usize>,
+}
+
+impl StagedWriter<'_, '_> {
+    fn view(&self) -> GdbResult<ShardedView> {
+        let shards: Vec<Box<dyn GraphSnapshot>> = self
+            .src
+            .cells
+            .iter()
+            .map(|c| c.snapshot())
+            .collect::<GdbResult<_>>()?;
+        let epoch = shards.iter().map(|s| s.epoch()).min().unwrap_or(0);
+        Ok(ShardedView {
+            name: self.src.name.clone(),
+            shards,
+            meta: self.meta.clone(),
+            epoch,
+        })
+    }
+
+    fn n(&self) -> usize {
+        self.src.shard_count()
+    }
+
+    fn note_op(&self, s: usize) {
+        if let Some(m) = &self.src.metrics {
+            m.note_op(s);
+        }
+    }
+}
+
+impl GraphSnapshot for StagedWriter<'_, '_> {
+    fn name(&self) -> String {
+        self.src.name.clone()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.src.current_epoch()
+    }
+
+    fn features(&self) -> EngineFeatures {
+        self.view()
+            .map(|v| v.features())
+            .unwrap_or_else(|_| EngineFeatures {
+                name: self.src.name.clone(),
+                system_type: "Sharded composite".into(),
+                storage: "unavailable".into(),
+                edge_traversal: "scatter-gather".into(),
+                optimized_adapter: false,
+                async_writes: false,
+                attribute_indexes: false,
+            })
+    }
+
+    fn resolve_vertex(&self, canonical: u64) -> Option<Vid> {
+        self.view().ok()?.resolve_vertex(canonical)
+    }
+
+    fn resolve_edge(&self, canonical: u64) -> Option<Eid> {
+        self.view().ok()?.resolve_edge(canonical)
+    }
+
+    fn vertex_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
+        self.view()?.vertex_count(ctx)
+    }
+
+    fn edge_count(&self, ctx: &QueryCtx) -> GdbResult<u64> {
+        self.view()?.edge_count(ctx)
+    }
+
+    fn edge_label_set(&self, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
+        self.view()?.edge_label_set(ctx)
+    }
+
+    fn vertices_with_property(
+        &self,
+        name: &str,
+        value: &Value,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Vid>> {
+        self.view()?.vertices_with_property(name, value, ctx)
+    }
+
+    fn edges_with_property(
+        &self,
+        name: &str,
+        value: &Value,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Eid>> {
+        self.view()?.edges_with_property(name, value, ctx)
+    }
+
+    fn edges_with_label(&self, label: &str, ctx: &QueryCtx) -> GdbResult<Vec<Eid>> {
+        self.view()?.edges_with_label(label, ctx)
+    }
+
+    fn vertex(&self, v: Vid) -> GdbResult<Option<VertexData>> {
+        self.view()?.vertex(v)
+    }
+
+    fn edge(&self, e: Eid) -> GdbResult<Option<EdgeData>> {
+        self.view()?.edge(e)
+    }
+
+    fn neighbors(
+        &self,
+        v: Vid,
+        dir: Direction,
+        label: Option<&str>,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<Vid>> {
+        self.view()?.neighbors(v, dir, label, ctx)
+    }
+
+    fn vertex_edges(
+        &self,
+        v: Vid,
+        dir: Direction,
+        label: Option<&str>,
+        ctx: &QueryCtx,
+    ) -> GdbResult<Vec<EdgeRef>> {
+        self.view()?.vertex_edges(v, dir, label, ctx)
+    }
+
+    fn vertex_degree(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<u64> {
+        self.view()?.vertex_degree(v, dir, ctx)
+    }
+
+    fn vertex_edge_labels(&self, v: Vid, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<String>> {
+        self.view()?.vertex_edge_labels(v, dir, ctx)
+    }
+
+    fn degree_scan(&self, dir: Direction, k: u64, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        self.view()?.degree_scan(dir, k, ctx)
+    }
+
+    fn distinct_neighbor_scan(&self, dir: Direction, ctx: &QueryCtx) -> GdbResult<Vec<Vid>> {
+        self.view()?.distinct_neighbor_scan(dir, ctx)
+    }
+
+    fn scan_vertices<'a>(
+        &'a self,
+        ctx: &'a QueryCtx,
+    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Vid>> + 'a>> {
+        let view = self.view()?;
+        let mut items = Vec::new();
+        for item in view.scan_vertices(ctx)? {
+            items.push(item);
+        }
+        Ok(Box::new(items.into_iter()))
+    }
+
+    fn scan_edges<'a>(
+        &'a self,
+        ctx: &'a QueryCtx,
+    ) -> GdbResult<Box<dyn Iterator<Item = GdbResult<Eid>> + 'a>> {
+        let view = self.view()?;
+        let mut items = Vec::new();
+        for item in view.scan_edges(ctx)? {
+            items.push(item);
+        }
+        Ok(Box::new(items.into_iter()))
+    }
+
+    fn vertex_property(&self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        self.view()?.vertex_property(v, name)
+    }
+
+    fn edge_property(&self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        self.view()?.edge_property(e, name)
+    }
+
+    fn edge_endpoints(&self, e: Eid) -> GdbResult<Option<(Vid, Vid)>> {
+        self.view()?.edge_endpoints(e)
+    }
+
+    fn edge_label(&self, e: Eid) -> GdbResult<Option<String>> {
+        self.view()?.edge_label(e)
+    }
+
+    fn vertex_label(&self, v: Vid) -> GdbResult<Option<String>> {
+        self.view()?.vertex_label(v)
+    }
+
+    fn has_vertex_index(&self, prop: &str) -> bool {
+        self.view()
+            .map(|v| v.has_vertex_index(prop))
+            .unwrap_or(false)
+    }
+
+    fn space(&self) -> SpaceReport {
+        self.view().map(|v| v.space()).unwrap_or_default()
+    }
+}
+
+impl GraphDb for StagedWriter<'_, '_> {
+    fn bulk_load(&mut self, _data: &Dataset, _opts: &LoadOptions) -> GdbResult<LoadStats> {
+        Err(GdbError::Unsupported(
+            "bulk load inside a transaction commit".into(),
+        ))
+    }
+
+    fn add_vertex(&mut self, label: &str, props: &Props) -> GdbResult<Vid> {
+        let n = self.n();
+        // gm-check: relaxed(round-robin placement counter: any interleaving is a valid placement)
+        let s = (self.src.spread.fetch_add(1, Ordering::Relaxed) % n as u64) as usize;
+        self.note_op(s);
+        let local = cell_write(self.src.cells[s].as_ref(), |db| db.add_vertex(label, props))?;
+        self.touched.insert(s);
+        Ok(encode_vid(local, s, n))
+    }
+
+    fn add_edge(&mut self, src: Vid, dst: Vid, label: &str, props: &Props) -> GdbResult<Eid> {
+        let n = self.n();
+        let (local_src, s) = decode_vid(src, n);
+        self.note_op(s);
+        let (local_dst_owner, dst_shard) = decode_vid(dst, n);
+        let local_dst = if dst_shard == s {
+            local_dst_owner
+        } else {
+            match self.meta.ghosts[s].get(&dst.0).copied() {
+                Some(ghost) => ghost,
+                None => {
+                    // Validate the remote endpoint with a strict cell pin
+                    // (cell-level only — never `pin_view`, which would park
+                    // on this commit's own seqlock). A vertex created
+                    // earlier in this replay is published by the pin.
+                    let seen = self.src.cells[dst_shard]
+                        .snapshot()?
+                        .vertex(local_dst_owner)?
+                        .is_some();
+                    if !seen {
+                        return Err(GdbError::VertexNotFound(dst.0));
+                    }
+                    let ghost = cell_write(self.src.cells[s].as_ref(), |db| {
+                        db.add_vertex(GHOST_LABEL, &Vec::new())
+                    })?;
+                    self.meta.ghosts[s].insert(dst.0, ghost);
+                    self.meta.rev[s].insert(ghost.0, dst.0);
+                    if let Some(m) = &self.src.metrics {
+                        m.ghost_creations.inc();
+                    }
+                    self.touched.insert(s);
+                    ghost
+                }
+            }
+        };
+        let local = cell_write(self.src.cells[s].as_ref(), |db| {
+            db.add_edge(local_src, local_dst, label, props)
+        })?;
+        self.touched.insert(s);
+        Ok(encode_eid(local, s, n))
+    }
+
+    fn set_vertex_property(&mut self, v: Vid, name: &str, value: Value) -> GdbResult<()> {
+        let (local, owner) = decode_vid(v, self.n());
+        self.note_op(owner);
+        cell_write(self.src.cells[owner].as_ref(), |db| {
+            db.set_vertex_property(local, name, value)
+        })?;
+        self.touched.insert(owner);
+        Ok(())
+    }
+
+    fn set_edge_property(&mut self, e: Eid, name: &str, value: Value) -> GdbResult<()> {
+        let (local, s) = decode_eid(e, self.n());
+        self.note_op(s);
+        cell_write(self.src.cells[s].as_ref(), |db| {
+            db.set_edge_property(local, name, value)
+        })?;
+        self.touched.insert(s);
+        Ok(())
+    }
+
+    fn remove_vertex(&mut self, v: Vid) -> GdbResult<()> {
+        let n = self.n();
+        let (local, owner) = decode_vid(v, n);
+        self.note_op(owner);
+        let ctx = QueryCtx::unbounded();
+        // Incident edges for resolution-map purging, gathered from strict
+        // per-cell pins before anything is removed (same sequence as
+        // `SourceWriter::remove_vertex`, minus its topology guard — ours
+        // is already held).
+        let mut dead_edges: Vec<Eid> = Vec::new();
+        for s in 0..n {
+            let present = if s == owner {
+                Some(local)
+            } else {
+                self.meta.ghosts[s].get(&v.0).copied()
+            };
+            if let Some(lv) = present {
+                let snap = self.src.cells[s].snapshot()?;
+                if snap.vertex(lv)?.is_some() {
+                    for r in snap.vertex_edges(lv, Direction::Both, None, &ctx)? {
+                        dead_edges.push(encode_eid(r.eid, s, n));
+                    }
+                }
+            }
+        }
+        cell_write(self.src.cells[owner].as_ref(), |db| db.remove_vertex(local))?;
+        self.touched.insert(owner);
+        for s in 0..n {
+            if s == owner {
+                continue;
+            }
+            if let Some(ghost) = self.meta.ghosts[s].remove(&v.0) {
+                self.meta.rev[s].remove(&ghost.0);
+                cell_write(self.src.cells[s].as_ref(), |db| db.remove_vertex(ghost))?;
+                self.touched.insert(s);
+            }
+        }
+        for e in dead_edges {
+            self.meta.purge_edge(e);
+        }
+        self.meta.purge_vertex(v);
+        Ok(())
+    }
+
+    fn remove_edge(&mut self, e: Eid) -> GdbResult<()> {
+        let (local, s) = decode_eid(e, self.n());
+        self.note_op(s);
+        cell_write(self.src.cells[s].as_ref(), |db| db.remove_edge(local))?;
+        self.touched.insert(s);
+        self.meta.purge_edge(e);
+        Ok(())
+    }
+
+    fn remove_vertex_property(&mut self, v: Vid, name: &str) -> GdbResult<Option<Value>> {
+        let (local, owner) = decode_vid(v, self.n());
+        self.note_op(owner);
+        let out = cell_write(self.src.cells[owner].as_ref(), |db| {
+            db.remove_vertex_property(local, name)
+        })?;
+        self.touched.insert(owner);
+        Ok(out)
+    }
+
+    fn remove_edge_property(&mut self, e: Eid, name: &str) -> GdbResult<Option<Value>> {
+        let (local, s) = decode_eid(e, self.n());
+        self.note_op(s);
+        let out = cell_write(self.src.cells[s].as_ref(), |db| {
+            db.remove_edge_property(local, name)
+        })?;
+        self.touched.insert(s);
+        Ok(out)
+    }
+
+    fn create_vertex_index(&mut self, _prop: &str) -> GdbResult<()> {
+        Err(GdbError::Unsupported(
+            "create_vertex_index inside a transaction commit".into(),
+        ))
+    }
+
+    fn sync(&mut self) -> GdbResult<()> {
+        for (s, cell) in self.src.cells.iter().enumerate() {
+            cell_write(cell.as_ref(), |db| db.sync())?;
+            self.touched.insert(s);
         }
         Ok(())
     }

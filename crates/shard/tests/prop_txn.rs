@@ -1,0 +1,316 @@
+//! Property test: arbitrary interleavings of **write transactions**,
+//! autocommit writes, and retained pins against a 3-shard [`ShardedSource`]
+//! always match a counter/key **model oracle** of the commit protocol:
+//!
+//! * **first-committer-wins, exactly** — a commit fails with
+//!   [`GdbError::TxnConflict`] if and only if some write set committed
+//!   after the transaction began intersects its keys (the model replays
+//!   the `TxnLog` semantics: key-less sets don't bump the sequence, vertex
+//!   keys compare by id);
+//! * **no torn cross-shard state** — fresh pins always agree with the
+//!   model's committed counters and property values (a discarded loser or
+//!   an uncommitted buffer never leaks), and retained pins keep answering
+//!   with the state recorded when they were taken;
+//! * **read-your-writes** — an open transaction's snapshot overlay reports
+//!   its pinned base state plus exactly its own buffered creations;
+//! * **monotone composite epochs** — commits only ever advance the
+//!   min-over-shards epoch.
+
+use std::collections::{BTreeSet, HashMap};
+
+use engine_linked::LinkedGraph;
+use gm_model::api::{GraphDb, GraphSnapshot, LoadOptions};
+use gm_model::{testkit, GdbError, QueryCtx, Value, Vid};
+use gm_mvcc::{CowCell, SnapshotSource, WriteTxn};
+use gm_shard::ShardedSource;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Buffer an `add_vertex` in transaction slot 0/1 (opens it lazily).
+    TxnAdd(usize),
+    /// Buffer a property write on pool vertex `i` in slot 0/1.
+    TxnSetProp(usize, usize, i64),
+    /// Buffer an edge between pool vertices `a`→`b` in slot 0/1.
+    TxnAddEdge(usize, usize, usize),
+    /// Commit slot 0/1 (no-op when nothing is open).
+    TxnCommit(usize),
+    /// Abort slot 0/1, discarding its buffer.
+    TxnAbort(usize),
+    /// Autocommit `add_vertex` through `with_write`.
+    AutoAdd,
+    /// Autocommit property write on pool vertex `i`.
+    AutoSetProp(usize, i64),
+    /// Autocommit edge between pool vertices `a`→`b`.
+    AutoAddEdge(usize, usize),
+    /// Pin a snapshot, retain it, and audit it against the model.
+    Pin,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (0usize..2).prop_map(Step::TxnAdd),
+        4 => (0usize..2, 0usize..12, -50i64..50).prop_map(|(s, i, x)| Step::TxnSetProp(s, i, x)),
+        3 => (0usize..2, 0usize..12, 0usize..12).prop_map(|(s, a, b)| Step::TxnAddEdge(s, a, b)),
+        4 => (0usize..2).prop_map(Step::TxnCommit),
+        1 => (0usize..2).prop_map(Step::TxnAbort),
+        2 => Just(Step::AutoAdd),
+        3 => (0usize..12, -50i64..50).prop_map(|(i, x)| Step::AutoSetProp(i, x)),
+        2 => (0usize..12, 0usize..12).prop_map(|(a, b)| Step::AutoAddEdge(a, b)),
+        3 => Just(Step::Pin),
+    ]
+}
+
+/// An open transaction plus the model state captured when it began.
+struct OpenTxn {
+    txn: WriteTxn,
+    /// Model sequence at begin — the conflict horizon.
+    start_seq: u64,
+    /// Committed counts at begin (the pinned base the overlay reads over).
+    base: (u64, u64),
+    /// Buffered creations (vertices, edges) — what RYOW must add to `base`.
+    adds: (u64, u64),
+    /// Vertex ids this transaction wrote (its conflict key set).
+    keys: BTreeSet<u64>,
+}
+
+/// The model's committed state: counters, property values, and a replay of
+/// the `TxnLog` (sequence number + retained key sets).
+struct Model {
+    vertices: u64,
+    edges: u64,
+    props: HashMap<u64, i64>,
+    seq: u64,
+    log: Vec<(u64, BTreeSet<u64>)>,
+}
+
+impl Model {
+    /// Mirror `TxnLog::append`: key-less write sets don't bump the sequence.
+    fn append(&mut self, keys: BTreeSet<u64>) {
+        if keys.is_empty() {
+            return;
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        self.log.push((seq, keys));
+    }
+
+    /// Mirror `TxnLog::validate`: conflict iff a set committed after
+    /// `start_seq` intersects `keys`. (The retention window never trims in
+    /// these runs — far fewer commits than the 1024-entry cap.)
+    fn conflicts(&self, start_seq: u64, keys: &BTreeSet<u64>) -> bool {
+        if keys.is_empty() {
+            return false;
+        }
+        self.log
+            .iter()
+            .any(|(seq, committed)| *seq > start_seq && !committed.is_disjoint(keys))
+    }
+}
+
+fn counts(db: &dyn GraphSnapshot) -> (u64, u64) {
+    let ctx = QueryCtx::unbounded();
+    (
+        db.vertex_count(&ctx).expect("vertex_count"),
+        db.edge_count(&ctx).expect("edge_count"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn txn_commits_match_first_committer_wins_oracle(
+        steps in prop::collection::vec(arb_step(), 0..80)
+    ) {
+        let data = testkit::chain_dataset(12);
+        let src = ShardedSource::from_factory(3, || {
+            Box::new(CowCell::new(LinkedGraph::v1())) as Box<dyn SnapshotSource>
+        });
+        src.with_write(&mut |db| {
+            db.bulk_load(&data, &LoadOptions::default())?;
+            Ok(0)
+        }).expect("load sharded source");
+
+        let pool: Vec<Vid> = {
+            let first = src.snapshot().expect("initial pin");
+            (0..12).map(|c| first.resolve_vertex(c).unwrap()).collect()
+        };
+        let log = src.txn_log().expect("composite source exposes a txn log");
+        let mut model = Model {
+            vertices: 12,
+            edges: 11,
+            props: HashMap::new(),
+            // The bulk load above committed through the autocommit path, so
+            // the model adopts the real log's post-load sequence.
+            seq: log.seq(),
+            log: Vec::new(),
+        };
+        let mut slots: [Option<OpenTxn>; 2] = [None, None];
+        let mut pins: Vec<(Box<dyn GraphSnapshot>, (u64, u64))> = Vec::new();
+        let mut last_epoch = 0u64;
+
+        for step in steps {
+            match step {
+                Step::TxnAdd(s) | Step::TxnSetProp(s, _, _) | Step::TxnAddEdge(s, _, _)
+                    if slots[s].is_none() =>
+                {
+                    slots[s] = Some(OpenTxn {
+                        txn: WriteTxn::begin(&src).expect("begin"),
+                        start_seq: model.seq,
+                        base: (model.vertices, model.edges),
+                        adds: (0, 0),
+                        keys: BTreeSet::new(),
+                    });
+                    // Re-dispatch below now that the slot is open.
+                }
+                _ => {}
+            }
+            match step {
+                Step::TxnAdd(s) => {
+                    let open = slots[s].as_mut().expect("opened above");
+                    open.txn.add_vertex("p_txn", &vec![]).expect("buffer add_vertex");
+                    open.adds.0 += 1;
+                }
+                Step::TxnSetProp(s, i, x) => {
+                    let open = slots[s].as_mut().expect("opened above");
+                    let v = pool[i % pool.len()];
+                    open.txn
+                        .set_vertex_property(v, "p_prop", Value::Int(x))
+                        .expect("buffer set_vertex_property");
+                    open.keys.insert(v.0);
+                }
+                Step::TxnAddEdge(s, a, b) => {
+                    let open = slots[s].as_mut().expect("opened above");
+                    let (va, vb) = (pool[a % pool.len()], pool[b % pool.len()]);
+                    open.txn.add_edge(va, vb, "p_edge", &vec![]).expect("buffer add_edge");
+                    open.adds.1 += 1;
+                    open.keys.insert(va.0);
+                    open.keys.insert(vb.0);
+                }
+                Step::TxnCommit(s) => {
+                    let Some(open) = slots[s].take() else { continue };
+                    // RYOW audit right before commit: the overlay is the
+                    // pinned base plus exactly this txn's buffered adds.
+                    prop_assert_eq!(
+                        counts(&open.txn),
+                        (open.base.0 + open.adds.0, open.base.1 + open.adds.1),
+                        "read-your-writes overlay drifted"
+                    );
+                    let expect_conflict = model.conflicts(open.start_seq, &open.keys);
+                    match open.txn.commit(&src) {
+                        Ok(_) => {
+                            prop_assert!(
+                                !expect_conflict,
+                                "commit succeeded but the oracle proves an intersecting \
+                                 write set landed after seq {}", open.start_seq
+                            );
+                            model.vertices += open.adds.0;
+                            model.edges += open.adds.1;
+                            // Property writes land with the commit. (The
+                            // last writer inside one txn wins, matching the
+                            // buffered-replay order; the model only tracks
+                            // one prop per vertex so the final value is
+                            // whatever the winning commit's last write was —
+                            // audited via the keys below, not the value.)
+                            model.append(open.keys);
+                        }
+                        Err(GdbError::TxnConflict(_)) => {
+                            prop_assert!(
+                                expect_conflict,
+                                "commit conflicted but no intersecting write set landed \
+                                 after seq {}", open.start_seq
+                            );
+                            // Loser's whole buffer is discarded: nothing to
+                            // apply to the model.
+                        }
+                        Err(e) => prop_assert!(false, "commit failed with a non-conflict error: {e}"),
+                    }
+                    prop_assert_eq!(log.seq(), model.seq, "model log diverged from the real TxnLog");
+                    let snap = src.snapshot().expect("post-commit pin");
+                    prop_assert_eq!(
+                        counts(snap.as_ref()),
+                        (model.vertices, model.edges),
+                        "committed state disagrees with the oracle after a commit"
+                    );
+                }
+                Step::TxnAbort(s) => {
+                    let Some(open) = slots[s].take() else { continue };
+                    open.txn.abort();
+                    let snap = src.snapshot().expect("post-abort pin");
+                    prop_assert_eq!(
+                        counts(snap.as_ref()),
+                        (model.vertices, model.edges),
+                        "an aborted buffer leaked into committed state"
+                    );
+                }
+                Step::AutoAdd => {
+                    src.with_write(&mut |db| db.add_vertex("p_auto", &vec![]).map(|_| 1))
+                        .expect("autocommit add_vertex");
+                    model.vertices += 1;
+                    // Key-less: no sequence bump (mirrors KeyRecorder).
+                }
+                Step::AutoSetProp(i, x) => {
+                    let v = pool[i % pool.len()];
+                    src.with_write(&mut |db| {
+                        db.set_vertex_property(v, "p_prop", Value::Int(x)).map(|_| 1)
+                    })
+                    .expect("autocommit set_vertex_property");
+                    model.props.insert(v.0, x);
+                    model.append([v.0].into_iter().collect());
+                    prop_assert_eq!(log.seq(), model.seq, "autocommit prop write must log its key");
+                }
+                Step::AutoAddEdge(a, b) => {
+                    let (va, vb) = (pool[a % pool.len()], pool[b % pool.len()]);
+                    src.with_write(&mut |db| {
+                        db.add_edge(va, vb, "p_edge", &vec![]).map(|_| 1)
+                    })
+                    .expect("autocommit add_edge");
+                    model.edges += 1;
+                    model.append([va.0, vb.0].into_iter().collect());
+                    prop_assert_eq!(log.seq(), model.seq, "autocommit edge write must log its keys");
+                }
+                Step::Pin => {
+                    let snap = src.snapshot().expect("pin");
+                    prop_assert!(
+                        snap.epoch() >= last_epoch,
+                        "composite epoch went backwards: {} after {}",
+                        snap.epoch(), last_epoch
+                    );
+                    last_epoch = snap.epoch();
+                    let c = counts(snap.as_ref());
+                    prop_assert_eq!(c, (model.vertices, model.edges), "pin disagrees with oracle");
+                    // Autocommitted property values are visible exactly as
+                    // the model recorded them (transactional prop writes
+                    // may have overwritten them — only audit vertices no
+                    // committed txn has touched since).
+                    for v in &pool {
+                        if let Some(x) = model.props.get(&v.0) {
+                            let touched_by_txn = model
+                                .log
+                                .iter()
+                                .any(|(_, keys)| keys.contains(&v.0));
+                            if !touched_by_txn {
+                                prop_assert_eq!(
+                                    snap.vertex_property(*v, "p_prop").expect("prop read"),
+                                    Some(Value::Int(*x)),
+                                    "committed property value diverged"
+                                );
+                            }
+                        }
+                    }
+                    pins.push((snap, c));
+                }
+            }
+        }
+
+        // No torn reads: every retained pin still answers with the state it
+        // was taken at, no matter what committed after it.
+        for (i, (snap, c)) in pins.iter().enumerate() {
+            prop_assert_eq!(
+                counts(snap.as_ref()), *c,
+                "pin {} tore: counts drifted after later commits", i
+            );
+        }
+    }
+}

@@ -47,7 +47,7 @@ use gm_core::report::{Measurement, Outcome, RunMode};
 use gm_core::summary::ScalingRow;
 use gm_model::api::LoadOptions;
 use gm_model::{Dataset, Eid, GdbError, GdbResult, GraphDb, QueryCtx, Value};
-use gm_mvcc::SnapshotSource;
+use gm_mvcc::{SnapshotSource, WriteTxn, TXN_ID_TAG};
 use gm_obs::phase::{self, Phase, PhaseNanos};
 use gm_obs::trace::{self, TailGate};
 
@@ -151,10 +151,18 @@ pub trait Session {
 
     /// Called once after the worker's last op, before its stats are
     /// returned. Sessions that buffer work (e.g. a fleet session batching
-    /// writes per shard) flush here so every queued mutation lands inside
-    /// the measured run; the default is a no-op.
+    /// writes per shard, or a transactional session with an open write
+    /// transaction) flush here so every queued mutation lands inside the
+    /// measured run; the default is a no-op.
     fn finish(&mut self) -> GdbResult<()> {
         Ok(())
+    }
+
+    /// How many write-transaction commits this session lost to
+    /// first-committer-wins validation over its whole op sequence. Only
+    /// transactional sessions override this; everything else reports 0.
+    fn txn_conflicts(&self) -> u64 {
+        0
     }
 }
 
@@ -284,6 +292,13 @@ pub struct WorkerStats {
     /// Always 0 for in-process snapshot runs (epochs are monotone per
     /// source) and for locked runs (no epochs at all).
     pub epoch_skew: u64,
+    /// Write transactions this worker's session committed that lost
+    /// first-committer-wins validation: the buffered write set was discarded
+    /// whole and the session carried on. Not an op error — the ops executed
+    /// and are counted in [`WorkerStats::ops`]; the *commit* lost a race —
+    /// so conflicts get their own counter. Always 0 outside transactional
+    /// session mode ([`SnapshotBackend::with_txn_ops`]).
+    pub txn_conflicts: u64,
     /// Per-phase nanosecond totals over this worker's completed ops: lock
     /// wait (always recorded), plus engine exec, snapshot pin,
     /// clone/publish, and wire phases under `GM_OBS=phases` (see
@@ -349,6 +364,12 @@ impl RunReport {
         self.workers.iter().map(|w| w.epoch_skew).sum()
     }
 
+    /// Total write-transaction commits that lost first-committer-wins
+    /// validation (see [`WorkerStats::txn_conflicts`]).
+    pub fn txn_conflicts(&self) -> u64 {
+        self.workers.iter().map(|w| w.txn_conflicts).sum()
+    }
+
     /// Total nanoseconds completed ops spent waiting on engine locks.
     pub fn lock_wait_nanos(&self) -> u64 {
         self.workers
@@ -394,6 +415,7 @@ impl RunReport {
             errors: self.errors(),
             shed: self.shed(),
             epoch_skew: self.epoch_skew(),
+            txn_conflicts: self.txn_conflicts(),
             lock_wait_nanos: phases.get(Phase::LockWait),
             engine_exec_nanos: phases.get(Phase::EngineExec),
             snapshot_pin_nanos: phases.get(Phase::SnapshotPin),
@@ -538,6 +560,36 @@ pub fn run_snapshot_sequential(
     let backend = SnapshotBackend::new(source.as_ref(), &params, cfg.op_timeout)
         .with_pin_staleness(Duration::ZERO);
     run_backend_sequential(&backend, &data.name, cfg)
+}
+
+/// Transactional-session counterpart of [`run_snapshot`]: every worker
+/// buffers its writes in an epoch-pinned [`WriteTxn`], commits each batch
+/// of `txn_ops` writes atomically (and the final partial batch at session
+/// finish), and counts commits lost to first-committer-wins validation in
+/// [`WorkerStats::txn_conflicts`]. `txn_ops == 0` degrades to plain
+/// autocommit — identical to [`run_snapshot`].
+pub fn run_snapshot_txn(
+    factory: &dyn Fn() -> Box<dyn SnapshotSource>,
+    data: &Dataset,
+    cfg: &WorkloadConfig,
+    txn_ops: u64,
+) -> GdbResult<RunReport> {
+    validate(cfg)?;
+    let (source, params) = prepare_snapshot(factory, data, cfg)?;
+    let backend =
+        SnapshotBackend::new(source.as_ref(), &params, cfg.op_timeout).with_txn_ops(txn_ops);
+    run_backend(&backend, &data.name, cfg)
+}
+
+/// Commit cadence for transactional session mode, from the `GM_TXN_OPS`
+/// environment knob: writes buffered per transaction before a commit.
+/// Default 8; `0` means autocommit (transactions disabled); unparsable
+/// values fall back to the default.
+pub fn txn_ops_from_env() -> u64 {
+    match std::env::var("GM_TXN_OPS") {
+        Ok(s) => s.trim().parse().unwrap_or(8),
+        Err(_) => 8,
+    }
 }
 
 /// Build a loaded, parameter-resolved snapshot source: bulk-load through
@@ -811,6 +863,14 @@ pub struct SnapshotBackend<'a> {
     /// replays, where every pin must be strict so a worker reads its own
     /// earlier writes and the trace stays wall-clock-independent.
     pin_staleness: Duration,
+    /// Transactional session mode: 0 (default) is autocommit — every write
+    /// goes straight through [`SnapshotSource::with_write`] as before.
+    /// `n > 0` makes each session buffer its writes in an epoch-pinned
+    /// [`WriteTxn`], committing every `n` writes and once more at
+    /// [`Session::finish`]. A commit that loses first-committer-wins
+    /// validation discards the buffered set and counts a
+    /// [`WorkerStats::txn_conflicts`] instead of an op error.
+    txn_ops: u64,
 }
 
 impl<'a> SnapshotBackend<'a> {
@@ -826,6 +886,7 @@ impl<'a> SnapshotBackend<'a> {
             params,
             op_timeout,
             pin_staleness: SNAPSHOT_PIN_STALENESS,
+            txn_ops: 0,
         }
     }
 
@@ -833,6 +894,14 @@ impl<'a> SnapshotBackend<'a> {
     /// read-your-writes pins).
     pub fn with_pin_staleness(mut self, pin_staleness: Duration) -> Self {
         self.pin_staleness = pin_staleness;
+        self
+    }
+
+    /// Enable transactional session mode: buffer writes in an epoch-pinned
+    /// [`WriteTxn`] and commit every `txn_ops` writes (0 = autocommit, the
+    /// default). See [`SnapshotBackend::txn_ops`].
+    pub fn with_txn_ops(mut self, txn_ops: u64) -> Self {
+        self.txn_ops = txn_ops;
         self
     }
 }
@@ -843,7 +912,13 @@ impl Backend for SnapshotBackend<'_> {
     }
 
     fn isolation(&self) -> String {
-        format!("snapshot-{}", self.source.kind())
+        // Transactional runs get their own label so they never collide with
+        // autocommit snapshot runs in the report matrix.
+        if self.txn_ops > 0 {
+            format!("snapshot-{}+txn", self.source.kind())
+        } else {
+            format!("snapshot-{}", self.source.kind())
+        }
     }
 
     fn open_session(&self, _worker: usize) -> GdbResult<Box<dyn Session + '_>> {
@@ -853,6 +928,10 @@ impl Backend for SnapshotBackend<'_> {
             op_timeout: self.op_timeout,
             pin_staleness: self.pin_staleness,
             owned_edges: Vec::new(),
+            txn_ops: self.txn_ops,
+            txn: None,
+            txn_writes: 0,
+            txn_conflicts: 0,
         }))
     }
 }
@@ -863,6 +942,39 @@ struct SnapshotSession<'a> {
     op_timeout: Duration,
     pin_staleness: Duration,
     owned_edges: Vec<Eid>,
+    /// Commit cadence (writes per transaction); 0 = autocommit.
+    txn_ops: u64,
+    /// The open transaction, if any. Opened lazily by the first write of a
+    /// batch; reads issued while it is open are served from its
+    /// read-your-writes overlay at the pinned base epoch.
+    txn: Option<WriteTxn>,
+    /// Writes buffered in the open transaction so far.
+    txn_writes: u64,
+    /// Commits lost to first-committer-wins validation.
+    txn_conflicts: u64,
+}
+
+impl SnapshotSession<'_> {
+    /// Commit the open transaction, if any. A `TxnConflict` is the expected
+    /// outcome of losing a validation race: count it and move on (the
+    /// buffered set is already discarded); anything else is a real failure.
+    fn commit_open(&mut self) -> GdbResult<()> {
+        if let Some(txn) = self.txn.take() {
+            match txn.commit(self.source) {
+                Ok(_) => {}
+                Err(GdbError::TxnConflict(_)) => self.txn_conflicts += 1,
+                Err(e) => return Err(e),
+            }
+            self.txn_writes = 0;
+            // Edge ids minted inside the transaction were placeholders; the
+            // real ids were assigned (or discarded) at commit, so they are
+            // unusable outside it. Drop them from the deletion pool —
+            // `RemoveOwnEdge` degrades to a create when the pool runs dry,
+            // exactly as it does early in an autocommit run.
+            self.owned_edges.retain(|e| e.0 & TXN_ID_TAG == 0);
+        }
+        Ok(())
+    }
 }
 
 impl Session for SnapshotSession<'_> {
@@ -876,6 +988,25 @@ impl Session for SnapshotSession<'_> {
         match op {
             Op::Read(inst) => {
                 let ctx = QueryCtx::with_timeout(self.op_timeout);
+                // Inside an open transaction, reads serve the transaction's
+                // read-your-writes overlay at its pinned base epoch — the
+                // worker sees its own buffered writes. No epoch is reported:
+                // the strict base pin interleaved with group-committed
+                // `snapshot_recent` pins (which may lag it) would register
+                // as skew when it is really two pin disciplines side by
+                // side; the transaction's epoch discipline is enforced at
+                // commit validation instead.
+                if let Some(txn) = &self.txn {
+                    let cardinality = {
+                        let _exec = phase::span(Phase::EngineExec);
+                        catalog::execute_read(&inst, txn, self.params, &ctx)?
+                    };
+                    return Ok(OpResult {
+                        cardinality,
+                        epoch: None,
+                        phases: phase::take_all(),
+                    });
+                }
                 let snap = {
                     let _pin = phase::span(Phase::SnapshotPin);
                     self.source.snapshot_recent(self.pin_staleness)?
@@ -891,6 +1022,32 @@ impl Session for SnapshotSession<'_> {
                 })
             }
             Op::Write(wop) => {
+                if self.txn_ops > 0 {
+                    // Transactional mode: buffer into the epoch-pinned write
+                    // transaction, committing every `txn_ops` writes.
+                    if self.txn.is_none() {
+                        let _pin = phase::span(Phase::SnapshotPin);
+                        self.txn = Some(WriteTxn::begin(self.source)?);
+                    }
+                    let card = {
+                        let _exec = phase::span(Phase::EngineExec);
+                        let txn = self.txn.as_mut().expect("opened above");
+                        apply_write(
+                            wop,
+                            txn,
+                            self.params,
+                            worker,
+                            op_index,
+                            &mut self.owned_edges,
+                        )?
+                    };
+                    self.txn_writes += 1;
+                    if self.txn_writes >= self.txn_ops {
+                        let _publish = phase::span(Phase::ClonePublish);
+                        self.commit_open()?;
+                    }
+                    return Ok(OpResult::plain(card).with_phases(phase::take_all()));
+                }
                 let params = self.params;
                 let owned_edges = &mut self.owned_edges;
                 let card = {
@@ -902,6 +1059,17 @@ impl Session for SnapshotSession<'_> {
                 Ok(OpResult::plain(card).with_phases(phase::take_all()))
             }
         }
+    }
+
+    fn finish(&mut self) -> GdbResult<()> {
+        // Commit whatever the last partial batch buffered, so every write
+        // issued inside the measured run lands (or conflicts) before the
+        // worker's stats are taken.
+        self.commit_open()
+    }
+
+    fn txn_conflicts(&self) -> u64 {
+        self.txn_conflicts
     }
 }
 
@@ -1006,6 +1174,7 @@ fn worker_loop(
         errors: 0,
         shed: 0,
         epoch_skew: 0,
+        txn_conflicts: 0,
         phases: PhaseNanos::zero(),
         hist: LatencyHistogram::new(),
         cardinalities: Vec::new(),
@@ -1116,6 +1285,7 @@ fn worker_loop(
         }
     }
     session.finish()?;
+    stats.txn_conflicts = session.txn_conflicts();
     Ok(stats)
 }
 
@@ -1309,6 +1479,80 @@ mod tests {
         assert_eq!(seq.errors(), 0);
     }
 
+    /// Single worker, one transaction spanning the whole run (committed at
+    /// session finish): the committed graph must equal the autocommit run's
+    /// graph exactly — same deterministic op sequence, no interleaving, no
+    /// conflicts possible, so transactional replay loses nothing.
+    #[test]
+    fn transactional_replay_matches_autocommit_final_state() {
+        use gm_mvcc::CowCell;
+        let data = testkit::chain_dataset(150);
+        let cfg = small_cfg(MixKind::WriteHeavy, 1);
+        let snap_factory =
+            || -> Box<dyn SnapshotSource> { Box::new(CowCell::new(LinkedGraph::v1())) };
+
+        let counts = |source: &dyn SnapshotSource| -> (u64, u64) {
+            let snap = source.snapshot().unwrap();
+            let ctx = QueryCtx::unbounded();
+            (
+                snap.vertex_count(&ctx).unwrap(),
+                snap.edge_count(&ctx).unwrap(),
+            )
+        };
+
+        let (txn_src, txn_params) = prepare_snapshot(&snap_factory, &data, &cfg).unwrap();
+        let backend = SnapshotBackend::new(txn_src.as_ref(), &txn_params, cfg.op_timeout)
+            .with_txn_ops(u64::MAX);
+        let txn_report = run_backend(&backend, &data.name, &cfg).unwrap();
+        assert_eq!(txn_report.errors(), 0);
+        assert_eq!(txn_report.txn_conflicts(), 0, "nothing to race against");
+        assert_eq!(txn_report.scaling_row().isolation, "snapshot-cow+txn");
+
+        let (auto_src, auto_params) = prepare_snapshot(&snap_factory, &data, &cfg).unwrap();
+        let backend = SnapshotBackend::new(auto_src.as_ref(), &auto_params, cfg.op_timeout);
+        let auto_report = run_backend(&backend, &data.name, &cfg).unwrap();
+        assert_eq!(auto_report.errors(), 0);
+
+        assert_eq!(
+            counts(txn_src.as_ref()),
+            counts(auto_src.as_ref()),
+            "one big committed transaction must land the same graph as autocommit"
+        );
+    }
+
+    /// Concurrent transactional sessions racing on a shared victim vertex:
+    /// a commit that loses first-committer-wins validation is counted in
+    /// `txn_conflicts`, never as an op error, and the accounting threads
+    /// through the report into the scaling row.
+    #[test]
+    fn transactional_conflicts_are_counted_not_errored() {
+        use gm_mvcc::CowCell;
+        let data = testkit::chain_dataset(200);
+        let cfg = small_cfg(MixKind::WriteHeavy, 4);
+        let snap_factory =
+            || -> Box<dyn SnapshotSource> { Box::new(CowCell::new(LinkedGraph::v1())) };
+        let report = run_snapshot_txn(&snap_factory, &data, &cfg, 4).unwrap();
+        assert_eq!(report.errors(), 0, "a conflicted commit is not an op error");
+        assert_eq!(report.ops(), 4 * 60, "every op completed");
+        assert_eq!(report.epoch_skew(), 0, "txn reads report no epoch");
+        let row = report.scaling_row();
+        assert_eq!(row.isolation, "snapshot-cow+txn");
+        assert_eq!(row.txn_conflicts, report.txn_conflicts());
+        assert_eq!(
+            report.txn_conflicts(),
+            report.workers.iter().map(|w| w.txn_conflicts).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn txn_ops_env_knob_defaults_to_eight() {
+        // No test in this workspace sets GM_TXN_OPS, so the unset default
+        // is observable without mutating the (process-global) environment.
+        if std::env::var("GM_TXN_OPS").is_err() {
+            assert_eq!(txn_ops_from_env(), 8);
+        }
+    }
+
     #[test]
     fn measurement_row_shape() {
         let data = testkit::chain_dataset(100);
@@ -1341,6 +1585,7 @@ mod tests {
                 errors,
                 shed,
                 epoch_skew: 0,
+                txn_conflicts: 0,
                 phases: PhaseNanos::zero(),
                 hist: hist.clone(),
                 cardinalities: Vec::new(),

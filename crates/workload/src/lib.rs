@@ -35,9 +35,9 @@ pub mod mix;
 
 pub use driver::{
     apply_write, prepare_snapshot, run, run_backend, run_backend_sequential, run_sequential,
-    run_snapshot, run_snapshot_sequential, Backend, LocalBackend, OpResult, Pacing, RunReport,
-    Session, SharedEngine, SnapshotBackend, WorkerStats, WorkloadConfig, ERR_CARD, SHED_CARD,
-    SNAPSHOT_PIN_STALENESS, WORKLOAD_SLOTS,
+    run_snapshot, run_snapshot_sequential, run_snapshot_txn, txn_ops_from_env, Backend,
+    LocalBackend, OpResult, Pacing, RunReport, Session, SharedEngine, SnapshotBackend, WorkerStats,
+    WorkloadConfig, ERR_CARD, SHED_CARD, SNAPSHOT_PIN_STALENESS, WORKLOAD_SLOTS,
 };
 pub use gm_obs::{Phase, PhaseNanos};
 pub use hist::{format_nanos, LatencyHistogram};
